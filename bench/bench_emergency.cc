@@ -1,0 +1,94 @@
+// E17 — §3.4 search-and-rescue with a bird's-eye AR overlay fused from
+// in-building IoT sensors: rescue time vs team size and sensing quality,
+// AR-guided vs blind sweep.
+#include <benchmark/benchmark.h>
+
+#include "bench/table.h"
+#include "scenarios/emergency.h"
+
+namespace {
+
+using namespace arbd;
+using namespace arbd::scenarios;
+
+EmergencyMetrics Avg(const EmergencyConfig& cfg, int seeds) {
+  EmergencyMetrics sum;
+  double mean_sum = 0.0, last_sum = 0.0, frac_sum = 0.0;
+  std::size_t cells = 0, found = 0;
+  for (int s = 0; s < seeds; ++s) {
+    const auto m = RunSearchAndRescue(cfg, static_cast<std::uint64_t>(s));
+    mean_sum += m.mean_rescue_time_s;
+    last_sum += m.last_rescue_time_s;
+    frac_sum += m.find_all_fraction;
+    cells += m.cells_searched;
+    found += m.victims_found;
+  }
+  sum.mean_rescue_time_s = mean_sum / seeds;
+  sum.last_rescue_time_s = last_sum / seeds;
+  sum.find_all_fraction = frac_sum / seeds;
+  sum.cells_searched = cells / static_cast<std::size_t>(seeds);
+  sum.victims_found = found / static_cast<std::size_t>(seeds);
+  return sum;
+}
+
+void TeamSweep() {
+  bench::Table table({"searchers", "mode", "mean_rescue_s", "all_found_s",
+                      "cells_searched", "found%"});
+  for (std::size_t team : {1u, 2u, 4u, 8u}) {
+    for (bool ar : {false, true}) {
+      EmergencyConfig cfg;
+      cfg.searchers = team;
+      cfg.ar_birdseye = ar;
+      cfg.time_limit = Duration::Seconds(7200);
+      const auto m = Avg(cfg, 8);
+      table.Row({bench::FmtInt(team), ar ? "AR bird's-eye" : "blind sweep",
+                 bench::Fmt("%.0f", m.mean_rescue_time_s),
+                 bench::Fmt("%.0f", m.last_rescue_time_s), bench::FmtInt(m.cells_searched),
+                 bench::Fmt("%.0f%%", m.find_all_fraction * 100.0)});
+    }
+  }
+  table.Print("E17a: search-and-rescue vs team size (12x12 grid, 5 victims)");
+  std::printf("Expected shape: the AR heat-map overlay cuts rescue time severalfold at "
+              "every team size by searching high-probability cells first.\n");
+}
+
+void SensorQualitySweep() {
+  bench::Table table({"sensor_hit_rate", "mean_rescue_s_AR", "mean_rescue_s_blind",
+                      "advantage"});
+  for (double hit : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    EmergencyConfig ar;
+    ar.ar_birdseye = true;
+    ar.sensor_hit_rate = hit;
+    ar.time_limit = Duration::Seconds(7200);
+    EmergencyConfig blind = ar;
+    blind.ar_birdseye = false;
+    const auto ma = Avg(ar, 8);
+    const auto mb = Avg(blind, 8);
+    table.Row({bench::Fmt("%.1f", hit), bench::Fmt("%.0f", ma.mean_rescue_time_s),
+               bench::Fmt("%.0f", mb.mean_rescue_time_s),
+               bench::Fmt("%.1fx", mb.mean_rescue_time_s /
+                                       std::max(1.0, ma.mean_rescue_time_s))});
+  }
+  table.Print("E17b: AR advantage vs IoT sensing quality (false rate 8%)");
+  std::printf("Expected shape: the overlay's value tracks the data quality beneath it — "
+              "with sensors barely above the false-positive floor, AR guidance adds "
+              "little; with good sensors it dominates (§3.4's smart-infrastructure "
+              "dependency).\n");
+}
+
+void BM_Rescue(benchmark::State& state) {
+  EmergencyConfig cfg;
+  cfg.ar_birdseye = state.range(0) == 1;
+  for (auto _ : state) benchmark::DoNotOptimize(RunSearchAndRescue(cfg, 1));
+}
+BENCHMARK(BM_Rescue)->Arg(0)->Arg(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  TeamSweep();
+  SensorQualitySweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

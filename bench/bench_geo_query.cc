@@ -1,0 +1,102 @@
+// E7 — §3.2 geospatial context retrieval at scale: quadtree-indexed POI
+// queries vs the linear-scan baseline, over store sizes 10^3..10^6.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <memory>
+
+#include "bench/table.h"
+#include "common/rng.h"
+#include "geo/poi.h"
+
+namespace {
+
+using namespace arbd;
+using Clock = std::chrono::steady_clock;
+
+const geo::BBox kBounds{22.0, 114.0, 23.0, 115.0};
+constexpr geo::LatLon kCenter{22.5, 114.5};
+
+std::unique_ptr<geo::PoiStore> MakeStore(std::size_t n, std::uint64_t seed) {
+  auto store = std::make_unique<geo::PoiStore>(kBounds);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    geo::Poi p;
+    p.name = "p" + std::to_string(i);
+    p.pos = {rng.Uniform(kBounds.min_lat, kBounds.max_lat),
+             rng.Uniform(kBounds.min_lon, kBounds.max_lon)};
+    p.category = static_cast<geo::PoiCategory>(rng.NextBelow(11));
+    (void)store->Add(std::move(p));
+  }
+  return store;
+}
+
+template <typename F>
+double MicrosPerQuery(F&& query, int iters) {
+  const auto t0 = Clock::now();
+  for (int i = 0; i < iters; ++i) benchmark::DoNotOptimize(query(i));
+  const auto t1 = Clock::now();
+  return std::chrono::duration<double, std::micro>(t1 - t0).count() / iters;
+}
+
+void PrintExperimentTable() {
+  bench::Table table({"pois", "knn10_idx_us", "knn10_lin_us", "knn_speedup",
+                      "radius_idx_us", "radius_lin_us", "radius_speedup"});
+  Rng rng(3);
+  for (std::size_t n : {1'000u, 10'000u, 100'000u, 1'000'000u}) {
+    const auto store = MakeStore(n, 5);
+    std::vector<geo::LatLon> probes;
+    for (int i = 0; i < 64; ++i) {
+      probes.push_back({rng.Uniform(22.2, 22.8), rng.Uniform(114.2, 114.8)});
+    }
+    const int iters = n >= 100'000 ? 32 : 128;
+    const double knn_idx = MicrosPerQuery(
+        [&](int i) { return store->Nearest(probes[static_cast<std::size_t>(i) % probes.size()], 10); }, iters);
+    const double knn_lin = MicrosPerQuery(
+        [&](int i) { return store->NearestLinear(probes[static_cast<std::size_t>(i) % probes.size()], 10); },
+        n >= 100'000 ? 4 : 32);
+    const double rad_idx = MicrosPerQuery(
+        [&](int i) { return store->WithinRadius(probes[static_cast<std::size_t>(i) % probes.size()], 500.0); },
+        iters);
+    const double rad_lin = MicrosPerQuery(
+        [&](int i) {
+          return store->WithinRadiusLinear(probes[static_cast<std::size_t>(i) % probes.size()], 500.0);
+        },
+        n >= 100'000 ? 4 : 32);
+    table.Row({bench::FmtInt(n), bench::Fmt("%.1f", knn_idx), bench::Fmt("%.1f", knn_lin),
+               bench::Fmt("%.0fx", knn_lin / knn_idx), bench::Fmt("%.1f", rad_idx),
+               bench::Fmt("%.1f", rad_lin), bench::Fmt("%.0fx", rad_lin / rad_idx)});
+  }
+  table.Print("E7: POI query latency, quadtree vs linear scan (§3.2)");
+  std::printf("Expected shape: indexed latency stays near-flat in store size; the linear "
+              "baseline grows linearly, so the speedup factor scales with the city.\n");
+}
+
+void BM_Knn(benchmark::State& state) {
+  const auto store = MakeStore(static_cast<std::size_t>(state.range(0)), 5);
+  Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        store->Nearest({rng.Uniform(22.2, 22.8), rng.Uniform(114.2, 114.8)}, 10));
+  }
+}
+BENCHMARK(BM_Knn)->Arg(1'000)->Arg(100'000)->Arg(1'000'000);
+
+void BM_Radius(benchmark::State& state) {
+  const auto store = MakeStore(static_cast<std::size_t>(state.range(0)), 5);
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store->WithinRadius(
+        {rng.Uniform(22.2, 22.8), rng.Uniform(114.2, 114.8)}, 500.0));
+  }
+}
+BENCHMARK(BM_Radius)->Arg(1'000)->Arg(100'000)->Arg(1'000'000);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintExperimentTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

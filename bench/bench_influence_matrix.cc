@@ -1,0 +1,129 @@
+// E1 — reproduction of Figure 5, the paper's only quantitative-ish
+// exhibit: a five-level "influence" rating of AR + big data per field.
+// The paper assigns the levels qualitatively; we *measure* them. For each
+// of the four §3 fields we run the scenario twice — baseline (no AR
+// assist / no big-data personalization) and full ARBD — and bin the
+// measured improvement factor into the paper's five levels.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bench/table.h"
+#include "scenarios/healthcare.h"
+#include "scenarios/retail.h"
+#include "scenarios/tourism.h"
+#include "scenarios/transport.h"
+
+namespace {
+
+using namespace arbd;
+using namespace arbd::scenarios;
+
+const char* Bin(double improvement) {
+  if (improvement >= 3.0) return "very high";
+  if (improvement >= 2.0) return "high";
+  if (improvement >= 1.3) return "medium";
+  if (improvement >= 1.05) return "low";
+  return "absent";
+}
+
+struct FieldScore {
+  std::string field;
+  std::string metric;
+  double baseline;
+  double arbd;
+  double improvement;
+};
+
+FieldScore ScoreRetail() {
+  // Metric: recommendation precision@10 with big data (item CF at 30k
+  // events) vs without customer data (popularity).
+  analytics::RetailWorkloadConfig wl;
+  wl.users = 150;
+  wl.items = 300;
+  wl.clusters = 6;
+  const auto sweep = RunRecommendationSweep(wl, {30'000}, 10, 3);
+  const double base = std::max(1e-4, sweep[0].pop_precision);
+  return {"retail", "reco precision@10", base, sweep[0].cf_precision,
+          sweep[0].cf_precision / base};
+}
+
+FieldScore ScoreTourism() {
+  // Metric: tourist spots engaged per tour, gamified AR guide vs plain walk.
+  geo::CityConfig cc;
+  cc.blocks_x = 5;
+  cc.blocks_y = 5;
+  const auto city = geo::CityModel::Generate(cc, 61);
+  const auto plain = SimulateTour(city, TourismConfig{}, false, Duration::Seconds(600), 5);
+  const auto gamified = SimulateTour(city, TourismConfig{}, true, Duration::Seconds(600), 5);
+  const double base = std::max<double>(1.0, static_cast<double>(plain.spots_visited));
+  const double full = static_cast<double>(gamified.spots_visited) +
+                      static_cast<double>(gamified.portals_captured);
+  return {"tourism", "spots engaged / tour", base, full, full / base};
+}
+
+FieldScore ScoreHealthcare() {
+  // Metric: alert precision with EHR-personalized thresholds vs a global
+  // threshold (same recall target).
+  MonitorConfig base_cfg;
+  base_cfg.patients = 80;
+  base_cfg.run_length = Duration::Seconds(600);
+  base_cfg.anomaly_rate_per_hour = 4.0;
+  base_cfg.alert_hr_threshold = 100.0;
+  const auto global = RunPatientMonitor(base_cfg, 7);
+  MonitorConfig pers_cfg = base_cfg;
+  pers_cfg.personalized = true;
+  const auto pers = RunPatientMonitor(pers_cfg, 7);
+  const double base = std::max(0.01, global.precision);
+  return {"healthcare", "alert precision", base, pers.precision, pers.precision / base};
+}
+
+FieldScore ScoreTransport() {
+  // Metric: collision-warning recall with VANET beacons (ARBD) vs what a
+  // driver can see unaided — only unoccluded threats, approximated by the
+  // non-occluded warning share.
+  geo::CityConfig cc;
+  cc.blocks_x = 6;
+  cc.blocks_y = 6;
+  const auto city = geo::CityModel::Generate(cc, 62);
+  VanetConfig cfg;
+  cfg.vehicles = 60;
+  cfg.run_length = Duration::Seconds(90);
+  const auto m = RunVanetSimulation(cfg, city, 9);
+  const double occluded_share =
+      m.warnings_issued ? static_cast<double>(m.occluded_warnings) /
+                              static_cast<double>(m.warnings_issued)
+                        : 0.0;
+  const double unaided = std::max(0.01, m.recall * (1.0 - occluded_share));
+  return {"public services", "collision-warning recall", unaided, m.recall,
+          m.recall / unaided};
+}
+
+void PrintMatrix() {
+  bench::Table table({"field", "metric", "baseline", "with ARBD", "improvement",
+                      "measured level", "paper (Fig.5)"});
+  const FieldScore scores[] = {ScoreRetail(), ScoreTourism(), ScoreHealthcare(),
+                               ScoreTransport()};
+  // The paper's Figure 5 qualitatively places all four §3 showcase fields
+  // in its top influence bands.
+  const char* paper_level[] = {"very high", "high", "very high", "high"};
+  int i = 0;
+  for (const auto& s : scores) {
+    table.Row({s.field, s.metric, bench::Fmt("%.3f", s.baseline),
+               bench::Fmt("%.3f", s.arbd), bench::Fmt("%.2fx", s.improvement),
+               Bin(s.improvement), paper_level[i++]});
+  }
+  table.Print("E1: Figure 5 reproduction — measured influence levels per field");
+  std::printf("The paper assigns these levels by argument; here each level is derived "
+              "from a measured improvement factor (>=3x very high, >=2x high, >=1.3x "
+              "medium, >=1.05x low, else absent).\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintMatrix();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

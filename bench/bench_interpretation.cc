@@ -1,0 +1,107 @@
+// E14 (ablation) — §4.2 interpretation layer cost: latency and annotation
+// yield of turning raw analytics outputs into semantically-typed,
+// world-anchored AR content, vs rule-set size and input volume.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+
+#include "bench/table.h"
+#include "common/rng.h"
+#include "core/interpretation.h"
+
+namespace {
+
+using namespace arbd;
+using namespace arbd::core;
+using Clock = std::chrono::steady_clock;
+
+InterpretationEngine MakeEngine(std::size_t rules) {
+  InterpretationEngine engine([](const std::string& key) {
+    EntityContext ctx;
+    // Cheap synthetic resolver: entities keyed "poi-*" are located.
+    if (key.rfind("poi-", 0) == 0) {
+      ctx.has_position = true;
+      ctx.pos = {22.5, 114.5};
+    }
+    return ctx;
+  });
+  for (std::size_t i = 0; i < rules; ++i) {
+    InterpretationRule r;
+    r.name = "rule-" + std::to_string(i);
+    r.attribute = "attr-" + std::to_string(i);
+    r.high = 100.0;
+    r.type = i % 4 == 0 ? ar::content::SemanticType::kAlert
+                        : ar::content::SemanticType::kPlaceInfo;
+    engine.AddRule(r);
+  }
+  return engine;
+}
+
+std::vector<stream::WindowResult> MakeInputs(std::size_t n, std::size_t attrs,
+                                             std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<stream::WindowResult> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    stream::WindowResult r;
+    r.key = rng.Bernoulli(0.7) ? "poi-" + std::to_string(rng.NextBelow(100))
+                               : "ghost-" + std::to_string(rng.NextBelow(100));
+    r.attribute = "attr-" + std::to_string(rng.NextBelow(attrs));
+    r.value = rng.Uniform(0.0, 200.0);  // ~half above the 100 threshold
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+void CostTable() {
+  bench::Table table({"rules", "inputs", "interpret_ms", "ns_per_input", "emitted",
+                      "suppressed_in_range", "no_anchor"});
+  for (std::size_t rules : {4u, 16u, 64u, 256u}) {
+    auto engine = MakeEngine(rules);
+    const auto inputs = MakeInputs(100'000, rules, rules);
+    const auto t0 = Clock::now();
+    for (const auto& r : inputs) {
+      benchmark::DoNotOptimize(engine.Interpret(r, TimePoint{}));
+    }
+    const auto t1 = Clock::now();
+    const double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    const auto& s = engine.stats();
+    table.Row({bench::FmtInt(rules), bench::FmtInt(inputs.size()),
+               bench::Fmt("%.1f", ms), bench::Fmt("%.0f", ms * 1e6 / static_cast<double>(inputs.size())),
+               bench::FmtInt(s.emitted), bench::FmtInt(s.suppressed_in_range),
+               bench::FmtInt(s.suppressed_no_anchor)});
+  }
+  table.Print("E14: interpretation-layer cost vs rule-set size (§4.2)");
+  std::printf("Expected shape: per-input cost grows with the rule set (linear scan) but "
+              "stays far below a frame budget; yield splits between emitted overlays, "
+              "in-range suppressions, and un-anchorable stats.\n");
+}
+
+void BM_InterpretHit(benchmark::State& state) {
+  auto engine = MakeEngine(16);
+  stream::WindowResult r;
+  r.key = "poi-1";
+  r.attribute = "attr-3";
+  r.value = 150.0;
+  for (auto _ : state) benchmark::DoNotOptimize(engine.Interpret(r, TimePoint{}));
+}
+BENCHMARK(BM_InterpretHit);
+
+void BM_InterpretMiss(benchmark::State& state) {
+  auto engine = MakeEngine(16);
+  stream::WindowResult r;
+  r.key = "poi-1";
+  r.attribute = "unknown";
+  r.value = 150.0;
+  for (auto _ : state) benchmark::DoNotOptimize(engine.Interpret(r, TimePoint{}));
+}
+BENCHMARK(BM_InterpretMiss);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CostTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

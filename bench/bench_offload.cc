@@ -1,0 +1,109 @@
+// E5 — §4.1/CloudRidAR: frame-deadline hit rate and energy per frame for
+// local-only, cloud-only, and adaptive offloading, swept over network RTT
+// and analytics load. The crossover (local wins at high RTT / light load,
+// cloud wins at low RTT / heavy load, adaptive tracks the winner) is the
+// paper-shaped result.
+#include <benchmark/benchmark.h>
+
+#include "bench/table.h"
+#include "offload/scheduler.h"
+
+namespace {
+
+using namespace arbd;
+using namespace arbd::offload;
+
+FrameStats Run(OffloadPolicy policy, std::int64_t rtt_ms, double load,
+               std::uint64_t seed) {
+  NetworkConfig net_cfg;
+  net_cfg.rtt = Duration::Millis(rtt_ms);
+  net_cfg.rtt_jitter = Duration::Millis(rtt_ms / 8);
+  NetworkModel net(net_cfg, seed);
+  OffloadScheduler sched(policy, DeviceModel{}, CloudModel{}, net);
+  return SimulateFrames(sched, MakeArFrameWorkload(load), 500);
+}
+
+void RttSweep() {
+  bench::Table table({"rtt_ms", "local_hit", "cloud_hit", "adapt_hit", "local_mJ",
+                      "cloud_mJ", "adapt_mJ", "adapt_offload%"});
+  const double load = 3.0;  // heavy analytics per frame
+  for (std::int64_t rtt : {5, 10, 20, 40, 80, 160, 320}) {
+    const auto local = Run(OffloadPolicy::kLocalOnly, rtt, load, 1);
+    const auto cloud = Run(OffloadPolicy::kCloudOnly, rtt, load, 1);
+    const auto adapt = Run(OffloadPolicy::kAdaptive, rtt, load, 1);
+    table.Row({bench::FmtInt(static_cast<std::size_t>(rtt)),
+               bench::Fmt("%.2f", local.hit_rate), bench::Fmt("%.2f", cloud.hit_rate),
+               bench::Fmt("%.2f", adapt.hit_rate),
+               bench::Fmt("%.1f", local.mean_energy_mj),
+               bench::Fmt("%.1f", cloud.mean_energy_mj),
+               bench::Fmt("%.1f", adapt.mean_energy_mj),
+               bench::Fmt("%.0f%%", adapt.offload_fraction * 100.0)});
+  }
+  table.Print("E5a: deadline hit-rate & energy vs RTT (analytics load 3x, 30 fps)");
+  std::printf("Expected shape: cloud/adaptive win at low RTT; local-only never hits the "
+              "deadline under heavy load; adaptive degrades gracefully toward local "
+              "behaviour as RTT grows.\n");
+}
+
+void LoadSweep() {
+  bench::Table table({"analytics_load", "local_hit", "cloud_hit", "adapt_hit",
+                      "local_p95_ms", "adapt_p95_ms", "adapt_offload%"});
+  const std::int64_t rtt = 20;
+  for (double load : {0.25, 0.5, 1.0, 2.0, 4.0, 8.0}) {
+    const auto local = Run(OffloadPolicy::kLocalOnly, rtt, load, 2);
+    const auto cloud = Run(OffloadPolicy::kCloudOnly, rtt, load, 2);
+    const auto adapt = Run(OffloadPolicy::kAdaptive, rtt, load, 2);
+    table.Row({bench::Fmt("%.2f", load), bench::Fmt("%.2f", local.hit_rate),
+               bench::Fmt("%.2f", cloud.hit_rate), bench::Fmt("%.2f", adapt.hit_rate),
+               bench::Fmt("%.1f", local.p95_latency_ms),
+               bench::Fmt("%.1f", adapt.p95_latency_ms),
+               bench::Fmt("%.0f%%", adapt.offload_fraction * 100.0)});
+  }
+  table.Print("E5b: deadline hit-rate vs per-frame analytics load (RTT 20 ms)");
+  std::printf("Expected shape: the local→cloud crossover moves left as load grows; "
+              "adaptive tracks the better placement at every point.\n");
+}
+
+void PipelineAblation() {
+  // Serial vs pipelined execution of the same adaptive schedule: overlap
+  // of network transfers with local compute (the CloudRidAR optimization).
+  bench::Table table({"rtt_ms", "serial_hit", "pipelined_hit", "serial_p95_ms",
+                      "pipelined_p95_ms"});
+  const double load = 3.0;
+  for (std::int64_t rtt : {5, 10, 20, 40, 80}) {
+    NetworkConfig net_cfg;
+    net_cfg.rtt = Duration::Millis(rtt);
+    net_cfg.rtt_jitter = Duration::Millis(rtt / 8);
+    NetworkModel net_s(net_cfg, 7);
+    OffloadScheduler serial(OffloadPolicy::kAdaptive, DeviceModel{}, CloudModel{}, net_s);
+    const auto s = SimulateFrames(serial, MakeArFrameWorkload(load), 500);
+    NetworkModel net_p(net_cfg, 7);
+    OffloadScheduler pipelined(OffloadPolicy::kAdaptive, DeviceModel{}, CloudModel{}, net_p);
+    const auto p = SimulatePipelinedFrames(pipelined, MakeArFrameWorkload(load), 500);
+    table.Row({bench::FmtInt(static_cast<std::size_t>(rtt)), bench::Fmt("%.2f", s.hit_rate),
+               bench::Fmt("%.2f", p.hit_rate), bench::Fmt("%.1f", s.p95_latency_ms),
+               bench::Fmt("%.1f", p.p95_latency_ms)});
+  }
+  table.Print("E5c (ablation): serial vs pipelined offload execution (load 3x)");
+  std::printf("Expected shape: overlapping transfers with local compute extends the RTT "
+              "range over which the frame deadline survives.\n");
+}
+
+void BM_SchedulerDecision(benchmark::State& state) {
+  NetworkModel net(NetworkConfig{}, 3);
+  OffloadScheduler sched(OffloadPolicy::kAdaptive, DeviceModel{}, CloudModel{}, net);
+  const ComputeTask task{"detection", 45.0, 60'000, 2'000, true};
+  for (auto _ : state) benchmark::DoNotOptimize(sched.Run(task));
+}
+BENCHMARK(BM_SchedulerDecision);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RttSweep();
+  LoadSweep();
+  PipelineAblation();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,73 @@
+// E6 — §3.1: recommendation quality vs interaction volume. Item-item CF
+// (the "big data" recommender) against global popularity (what an AR app
+// without customer data can do). The crossover past the cold-start region
+// is the paper-shaped result.
+#include <benchmark/benchmark.h>
+
+#include "analytics/recommend.h"
+#include "bench/table.h"
+#include "scenarios/retail.h"
+
+namespace {
+
+using namespace arbd;
+
+void SweepTable() {
+  analytics::RetailWorkloadConfig wl;
+  wl.users = 200;
+  wl.items = 500;
+  wl.clusters = 8;
+  const std::vector<std::size_t> volumes = {100, 300, 1'000, 3'000, 10'000,
+                                            30'000, 100'000};
+  const auto sweep = scenarios::RunRecommendationSweep(wl, volumes, 10, 42);
+
+  bench::Table table({"interactions", "cf_prec@10", "cf_hit", "pop_prec@10", "pop_hit",
+                      "winner"});
+  for (const auto& p : sweep) {
+    table.Row({bench::FmtInt(p.events), bench::Fmt("%.4f", p.cf_precision),
+               bench::Fmt("%.3f", p.cf_hit_rate), bench::Fmt("%.4f", p.pop_precision),
+               bench::Fmt("%.3f", p.pop_hit_rate),
+               p.cf_precision > p.pop_precision ? "item-cf" : "popularity"});
+  }
+  table.Print("E6: recommendation precision vs interaction volume (§3.1)");
+  std::printf("Expected shape: popularity wins in the cold-start region; item-item CF "
+              "overtakes once co-occurrence statistics accumulate (~10^3 events) — "
+              "'AR is less attractive without adequate customer data'.\n");
+}
+
+void BM_CfObserve(benchmark::State& state) {
+  Rng rng(7);
+  analytics::RetailWorkloadConfig wl;
+  wl.interactions = 10'000;
+  const auto workload = analytics::GenerateRetailWorkload(wl, rng);
+  for (auto _ : state) {
+    analytics::ItemCfRecommender rec;
+    for (const auto& in : workload) rec.Observe(in);
+    benchmark::DoNotOptimize(rec.item_count());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(workload.size()));
+}
+BENCHMARK(BM_CfObserve);
+
+void BM_CfRecommend(benchmark::State& state) {
+  Rng rng(8);
+  analytics::RetailWorkloadConfig wl;
+  wl.interactions = 20'000;
+  const auto workload = analytics::GenerateRetailWorkload(wl, rng);
+  analytics::ItemCfRecommender rec;
+  for (const auto& in : workload) rec.Observe(in);
+  std::size_t u = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rec.Recommend("u" + std::to_string(u++ % wl.users), 10));
+  }
+}
+BENCHMARK(BM_CfRecommend);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SweepTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Tiny fixed-width table printer shared by the experiment harnesses, so
+// every bench prints its paper-style rows the same way.
+#pragma once
+
+#include <cstdio>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace arbd::bench {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  void Row(std::initializer_list<std::string> cells) {
+    rows_.emplace_back(cells);
+  }
+
+  void Print(const char* title) const {
+    std::printf("\n=== %s ===\n", title);
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+    for (const auto& row : rows_) {
+      for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+        widths[i] = std::max(widths[i], row[i].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& cells) {
+      for (std::size_t i = 0; i < cells.size(); ++i) {
+        std::printf("%-*s  ", static_cast<int>(widths[i]), cells[i].c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(headers_);
+    std::string rule;
+    for (std::size_t i = 0; i < headers_.size(); ++i) {
+      rule += std::string(widths[i], '-') + "  ";
+    }
+    std::printf("%s\n", rule.c_str());
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string Fmt(const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+inline std::string FmtInt(std::size_t v) { return std::to_string(v); }
+
+}  // namespace arbd::bench

@@ -1,0 +1,94 @@
+// Field inspection (§3.4 / §2.2): a collaborative maintenance session.
+// An electrician, a plumber, and a supervisor stand at the same site and
+// share one dataset of infrastructure annotations, but each role sees its
+// own contextualized view — the paper's "electrical-line view for the
+// electrician and plumbing-line view for the plumber".
+//
+// Build & run:   ./build/examples/field_inspection
+#include <cstdio>
+
+#include "core/session.h"
+
+using namespace arbd;
+using namespace arbd::core;
+
+namespace {
+
+ar::content::Annotation Overlay(const geo::CityModel& city, const char* title,
+                                ar::content::SemanticType type, double east,
+                                double north, const char* system) {
+  ar::content::Annotation a;
+  a.type = type;
+  a.title = title;
+  a.body = std::string("system: ") + system;
+  a.anchor.geo_pos = city.frame().FromEnu(geo::Enu{east, north});
+  a.anchor.height_m = 0.5;  // sub-surface utilities drawn at street level
+  a.priority = 0.8;
+  a.ttl = Duration::Seconds(3600);
+  a.properties["utility"] = system;
+  return a;
+}
+
+void PrintView(const char* who, const Expected<FrameResult>& frame) {
+  if (!frame.ok()) {
+    std::printf("%s: compose failed: %s\n", who, frame.status().ToString().c_str());
+    return;
+  }
+  std::printf("%-12s sees %zu overlays (%zu occluded → x-ray):\n", who,
+              frame->layout.placed, frame->occluded);
+  for (const auto& label : frame->layout.labels) {
+    std::printf("    %s%s — %s\n", label.annotation->title.c_str(),
+                label.xray ? " [x-ray]" : "", label.annotation->body.c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  const geo::CityModel city = geo::CityModel::Generate(geo::CityConfig{}, 31);
+  CollaborativeSession session("site-42", city);
+
+  // Three workers at the same street corner, all facing north.
+  ContextEngine electrician("electrician", city);
+  ContextEngine plumber("plumber", city);
+  ContextEngine supervisor("supervisor", city);
+  ar::PoseEstimate pose;  // origin, facing north
+  electrician.tracker().Reset(pose);
+  plumber.tracker().Reset(pose);
+  supervisor.tracker().Reset(pose);
+
+  // Role-based views: whitelists on semantic type.
+  Role electric_role{"electric", {ar::content::SemanticType::kDiagnostic}, 0.0};
+  Role plumb_role{"plumbing", {ar::content::SemanticType::kXRayHint}, 0.0};
+  Role super_role{"supervisor", {}, 0.0};  // sees everything
+  (void)session.Join("electrician", electric_role, &electrician);
+  (void)session.Join("plumber", plumb_role, &plumber);
+  (void)session.Join("supervisor", super_role, &supervisor);
+
+  // The shared subsurface model: electrical runs tagged kDiagnostic,
+  // water mains tagged kXRayHint (they're behind/below everything).
+  const TimePoint now;
+  session.Share(Overlay(city, "11kV feeder F-12", ar::content::SemanticType::kDiagnostic,
+                        -5.0, 25.0, "electrical"), now);
+  session.Share(Overlay(city, "junction box J-3", ar::content::SemanticType::kDiagnostic,
+                        4.0, 32.0, "electrical"), now);
+  session.Share(Overlay(city, "water main W-8", ar::content::SemanticType::kXRayHint,
+                        0.0, 28.0, "water"), now);
+  session.Share(Overlay(city, "valve V-2", ar::content::SemanticType::kXRayHint,
+                        -8.0, 35.0, "water"), now);
+
+  // The plumber also keeps a personal measurement note.
+  ar::content::Annotation note = Overlay(city, "pressure reading 4.2 bar",
+                                         ar::content::SemanticType::kXRayHint, 0.0, 28.0,
+                                         "water");
+  session.AddPersonal("plumber", note, now);
+
+  std::printf("collaborative session '%s' with %zu members, %zu shared overlays\n\n",
+              "site-42", session.member_count(), session.shared().size());
+  PrintView("electrician", session.ComposeFor("electrician", now));
+  std::printf("\n");
+  PrintView("plumber", session.ComposeFor("plumber", now));
+  std::printf("\n");
+  PrintView("supervisor", session.ComposeFor("supervisor", now));
+  return 0;
+}

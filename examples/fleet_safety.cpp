@@ -1,0 +1,65 @@
+// Fleet safety (§3.4): a VANET of vehicles sharing beacons; each vehicle's
+// AR display warns about predicted collisions, including vehicles hidden
+// behind buildings ("see through" blind spots).
+//
+// Build & run:   ./build/examples/fleet_safety
+#include <cstdio>
+
+#include "scenarios/transport.h"
+
+using namespace arbd;
+using namespace arbd::scenarios;
+
+int main() {
+  geo::CityConfig city_cfg;
+  city_cfg.blocks_x = 6;
+  city_cfg.blocks_y = 6;
+  const geo::CityModel city = geo::CityModel::Generate(city_cfg, 21);
+
+  // Live demo slice: two vehicles on a collision course, one occluded.
+  {
+    ThreatAssessor assessor(ThreatConfig{});
+    const auto& b = city.buildings().front();
+    const TimePoint now = TimePoint::FromSeconds(1.0);
+
+    Beacon hidden;
+    hidden.vehicle_id = "truck-7";
+    hidden.sent_at = now;
+    hidden.east = b.center_east + b.half_width + 15.0;  // behind the building
+    hidden.north = b.center_north;
+    hidden.vel_east = -12.0;  // driving toward us
+    assessor.OnBeacon(hidden, now);
+
+    Beacon self;
+    self.vehicle_id = "car-1";
+    self.sent_at = now;
+    self.east = b.center_east - b.half_width - 15.0;
+    self.north = b.center_north;
+    self.vel_east = 6.0;
+
+    std::printf("car-1 approaching an intersection; truck-7 is behind '%s'…\n",
+                b.name.c_str());
+    for (const auto& threat : assessor.Assess(self, now, &city)) {
+      std::printf("  AR WARNING: %s — closest approach %.1f m in %.1f s%s\n",
+                  threat.other_id.c_str(), threat.closest_distance_m,
+                  threat.time_to_closest_s,
+                  threat.occluded ? "  [X-RAY: vehicle hidden behind building]" : "");
+    }
+  }
+
+  // Fleet-scale statistics.
+  std::printf("\nrunning a 2-minute, 80-vehicle simulation…\n");
+  VanetConfig cfg;
+  cfg.vehicles = 80;
+  cfg.run_length = Duration::Seconds(120);
+  const auto m = RunVanetSimulation(cfg, city, 23);
+  std::printf("  beacons sent        : %llu\n",
+              static_cast<unsigned long long>(m.beacons_sent));
+  std::printf("  near-miss encounters: %zu\n", m.encounters);
+  std::printf("  warned in advance   : %zu (recall %.0f%%)\n", m.warned,
+              m.recall * 100.0);
+  std::printf("  mean warning lead   : %.1f s\n", m.mean_lead_time_s);
+  std::printf("  warnings needing x-ray vision: %zu of %zu\n", m.occluded_warnings,
+              m.warnings_issued);
+  return 0;
+}

@@ -1,0 +1,60 @@
+#include "analytics/join.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace arbd::analytics {
+
+void IntervalJoiner::Push(const stream::Event& e, bool is_left) {
+  Buffer& mine = is_left ? left_ : right_;
+  Buffer& theirs = is_left ? right_ : left_;
+  TimePoint& my_max = is_left ? max_left_ : max_right_;
+  my_max = std::max(my_max, e.event_time);
+
+  // Match against the buffered other side.
+  auto it = theirs.find(e.key);
+  if (it != theirs.end()) {
+    for (const auto& other : it->second) {
+      const Duration gap = e.event_time >= other.event_time
+                               ? e.event_time - other.event_time
+                               : other.event_time - e.event_time;
+      if (gap <= window_) {
+        ++joins_;
+        if (on_join_) {
+          on_join_(is_left ? JoinedPair{e, other, gap} : JoinedPair{other, e, gap});
+        }
+      }
+    }
+  }
+
+  mine[e.key].push_back(e);
+
+  // Evict both sides against the joint watermark: an event older than
+  // min(max_left, max_right) − window can never match anything new.
+  const TimePoint wm = std::min(max_left_, max_right_);
+  if (wm > TimePoint::Min()) {
+    Evict(left_, wm);
+    Evict(right_, wm);
+  }
+}
+
+void IntervalJoiner::Evict(Buffer& buf, TimePoint watermark) {
+  const TimePoint cutoff = watermark - window_;
+  for (auto it = buf.begin(); it != buf.end();) {
+    auto& dq = it->second;
+    while (!dq.empty() && dq.front().event_time < cutoff) dq.pop_front();
+    if (dq.empty()) {
+      it = buf.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::size_t IntervalJoiner::Size(const Buffer& buf) {
+  std::size_t n = 0;
+  for (const auto& [_, dq] : buf) n += dq.size();
+  return n;
+}
+
+}  // namespace arbd::analytics

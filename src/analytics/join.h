@@ -1,0 +1,58 @@
+// Stream-stream interval join — the "mashing up data from various sources
+// dramatically increases the probability of discovering relevant and
+// interesting things" machinery (§2.2). Joins two keyed event streams on
+// key where |t_left − t_right| ≤ window, e.g. purchases ⋈ gaze-attention,
+// or vitals ⋈ location. State is bounded by eviction against the joint
+// watermark.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "common/clock.h"
+#include "stream/dataflow.h"
+
+namespace arbd::analytics {
+
+struct JoinedPair {
+  stream::Event left;
+  stream::Event right;
+  Duration gap;  // |t_left − t_right|
+};
+
+class IntervalJoiner {
+ public:
+  using Callback = std::function<void(const JoinedPair&)>;
+
+  IntervalJoiner(Duration window, Callback on_join)
+      : window_(window), on_join_(std::move(on_join)) {}
+
+  // Feed events from either side; joins fire immediately when a match is
+  // buffered on the other side.
+  void PushLeft(const stream::Event& e) { Push(e, /*is_left=*/true); }
+  void PushRight(const stream::Event& e) { Push(e, /*is_left=*/false); }
+
+  std::uint64_t joins_emitted() const { return joins_; }
+  std::size_t buffered_left() const { return Size(left_); }
+  std::size_t buffered_right() const { return Size(right_); }
+
+ private:
+  using Buffer = std::map<std::string, std::deque<stream::Event>>;
+
+  void Push(const stream::Event& e, bool is_left);
+  void Evict(Buffer& buf, TimePoint watermark);
+  static std::size_t Size(const Buffer& buf);
+
+  Duration window_;
+  Callback on_join_;
+  Buffer left_;
+  Buffer right_;
+  TimePoint max_left_ = TimePoint::Min();
+  TimePoint max_right_ = TimePoint::Min();
+  std::uint64_t joins_ = 0;
+};
+
+}  // namespace arbd::analytics

@@ -1,0 +1,167 @@
+#include "analytics/recommend.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace arbd::analytics {
+
+void PopularityRecommender::Observe(const Interaction& in) {
+  item_weight_[in.item] += in.weight;
+  user_items_[in.user].insert(in.item);
+}
+
+std::vector<std::string> PopularityRecommender::Recommend(const std::string& user,
+                                                          std::size_t k) const {
+  const std::set<std::string>* seen = nullptr;
+  if (auto it = user_items_.find(user); it != user_items_.end()) seen = &it->second;
+
+  std::vector<std::pair<double, const std::string*>> ranked;
+  ranked.reserve(item_weight_.size());
+  for (const auto& [item, w] : item_weight_) {
+    if (seen != nullptr && seen->contains(item)) continue;
+    ranked.emplace_back(w, &item);
+  }
+  const std::size_t n = std::min(k, ranked.size());
+  std::partial_sort(ranked.begin(), ranked.begin() + static_cast<std::ptrdiff_t>(n),
+                    ranked.end(), [](const auto& a, const auto& b) {
+                      if (a.first != b.first) return a.first > b.first;
+                      return *a.second < *b.second;  // stable tie-break
+                    });
+  std::vector<std::string> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(*ranked[i].second);
+  return out;
+}
+
+void ItemCfRecommender::Observe(const Interaction& in) {
+  item_weight_[in.item] += in.weight;
+  auto& items = user_items_[in.user];
+  auto& history = user_history_[in.user];
+
+  // Co-occurrence with the user's existing items (first interaction with
+  // this item only, so repeat purchases don't explode the counts).
+  if (!items.contains(in.item)) {
+    for (const auto& prev : history) {
+      if (prev == in.item) continue;
+      co_counts_[prev][in.item] += in.weight;
+      co_counts_[in.item][prev] += in.weight;
+    }
+    history.push_back(in.item);
+    if (history.size() > max_history_) history.erase(history.begin());
+    items.insert(in.item);
+  }
+}
+
+double ItemCfRecommender::Similarity(const std::string& a, const std::string& b) const {
+  auto ia = co_counts_.find(a);
+  if (ia == co_counts_.end()) return 0.0;
+  auto ib = ia->second.find(b);
+  if (ib == ia->second.end()) return 0.0;
+  const double wa = item_weight_.at(a);
+  const double wb = item_weight_.at(b);
+  return ib->second / std::sqrt(wa * wb);  // cosine-style normalization
+}
+
+std::vector<std::string> ItemCfRecommender::Recommend(const std::string& user,
+                                                      std::size_t k) const {
+  auto uit = user_items_.find(user);
+  if (uit == user_items_.end() || uit->second.empty()) return {};  // cold user
+
+  // Score every item co-occurring with the user's history.
+  std::map<std::string, double> scores;
+  for (const auto& mine : uit->second) {
+    auto cit = co_counts_.find(mine);
+    if (cit == co_counts_.end()) continue;
+    for (const auto& [other, _] : cit->second) {
+      if (uit->second.contains(other)) continue;
+      if (scores.contains(other)) continue;  // computed below once
+      scores[other] = 0.0;
+    }
+  }
+  for (auto& [cand, score] : scores) {
+    for (const auto& mine : uit->second) score += Similarity(mine, cand);
+  }
+
+  std::vector<std::pair<double, const std::string*>> ranked;
+  ranked.reserve(scores.size());
+  for (const auto& [item, s] : scores) ranked.emplace_back(s, &item);
+  const std::size_t n = std::min(k, ranked.size());
+  std::partial_sort(ranked.begin(), ranked.begin() + static_cast<std::ptrdiff_t>(n),
+                    ranked.end(), [](const auto& a, const auto& b) {
+                      if (a.first != b.first) return a.first > b.first;
+                      return *a.second < *b.second;
+                    });
+  std::vector<std::string> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(*ranked[i].second);
+  return out;
+}
+
+EvalResult EvaluateRecommender(Recommender& rec, const std::vector<Interaction>& train,
+                               const std::vector<Interaction>& test, std::size_t k) {
+  std::map<std::string, std::set<std::string>> owned;
+  for (const auto& in : train) {
+    rec.Observe(in);
+    owned[in.user].insert(in.item);
+  }
+
+  // Held-out items the user already owns in training can never be
+  // recommended (recommenders exclude owned items), so they would only
+  // deflate precision without measuring anything.
+  std::map<std::string, std::set<std::string>> held_out;
+  for (const auto& in : test) {
+    if (auto it = owned.find(in.user);
+        it != owned.end() && it->second.contains(in.item)) {
+      continue;
+    }
+    held_out[in.user].insert(in.item);
+  }
+
+  EvalResult r;
+  double precision_sum = 0.0;
+  std::size_t users_hit = 0;
+  for (const auto& [user, truth] : held_out) {
+    // Users the recommender cannot serve (cold start) count as zero hits:
+    // an AR app that shows nothing delivered no value to that shopper.
+    const auto recs = rec.Recommend(user, k);
+    std::size_t hits = 0;
+    for (const auto& item : recs) {
+      if (truth.contains(item)) ++hits;
+    }
+    precision_sum += static_cast<double>(hits) / static_cast<double>(k);
+    if (hits > 0) ++users_hit;
+    ++r.users_evaluated;
+  }
+  if (r.users_evaluated > 0) {
+    r.precision_at_k = precision_sum / static_cast<double>(r.users_evaluated);
+    r.hit_rate = static_cast<double>(users_hit) / static_cast<double>(r.users_evaluated);
+  }
+  return r;
+}
+
+std::vector<Interaction> GenerateRetailWorkload(const RetailWorkloadConfig& cfg, Rng& rng) {
+  std::vector<Interaction> out;
+  out.reserve(cfg.interactions);
+  const std::size_t per_cluster = std::max<std::size_t>(1, cfg.items / cfg.clusters);
+  ZipfGenerator zipf(per_cluster, cfg.zipf_skew);
+
+  // Stable user→cluster assignment.
+  std::vector<std::size_t> user_cluster(cfg.users);
+  for (std::size_t u = 0; u < cfg.users; ++u) user_cluster[u] = rng.NextBelow(cfg.clusters);
+
+  for (std::size_t i = 0; i < cfg.interactions; ++i) {
+    const std::size_t u = rng.NextBelow(cfg.users);
+    std::size_t cluster = user_cluster[u];
+    if (!rng.Bernoulli(cfg.in_cluster_prob)) cluster = rng.NextBelow(cfg.clusters);
+    const std::size_t within = zipf.Next(rng);
+    const std::size_t item = (cluster * per_cluster + within) % cfg.items;
+    Interaction in;
+    in.user = "u" + std::to_string(u);
+    in.item = "i" + std::to_string(item);
+    in.weight = 1.0;
+    out.push_back(std::move(in));
+  }
+  return out;
+}
+
+}  // namespace arbd::analytics

@@ -1,0 +1,95 @@
+// Recommendation over interaction streams (§3.1 retail). Item-item
+// collaborative filtering with incrementally maintained co-occurrence
+// counts — the "big data" recommender — against a global popularity
+// baseline, which is what an AR app without customer data can do. E6
+// measures precision@k for both as interaction volume grows.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace arbd::analytics {
+
+struct Interaction {
+  std::string user;
+  std::string item;
+  double weight = 1.0;  // purchase=1, view=0.2, gaze dwell scales, …
+};
+
+class Recommender {
+ public:
+  virtual ~Recommender() = default;
+  virtual void Observe(const Interaction& interaction) = 0;
+  // Items the user has already interacted with are excluded.
+  virtual std::vector<std::string> Recommend(const std::string& user, std::size_t k) const = 0;
+  virtual const char* name() const = 0;
+};
+
+// Global popularity: recommend the most-interacted items the user hasn't
+// touched. No personalization — the "walled garden" baseline.
+class PopularityRecommender final : public Recommender {
+ public:
+  void Observe(const Interaction& interaction) override;
+  std::vector<std::string> Recommend(const std::string& user, std::size_t k) const override;
+  const char* name() const override { return "popularity"; }
+
+ private:
+  std::map<std::string, double> item_weight_;
+  std::map<std::string, std::set<std::string>> user_items_;
+};
+
+// Item-item CF with cosine similarity over co-occurrence counts,
+// incrementally maintained: each new (user, item) pair bumps co-counts
+// with the user's recent history (capped to bound cost per event).
+class ItemCfRecommender final : public Recommender {
+ public:
+  explicit ItemCfRecommender(std::size_t max_history_per_user = 50)
+      : max_history_(max_history_per_user) {}
+
+  void Observe(const Interaction& interaction) override;
+  std::vector<std::string> Recommend(const std::string& user, std::size_t k) const override;
+  const char* name() const override { return "item-cf"; }
+
+  std::size_t item_count() const { return item_weight_.size(); }
+
+ private:
+  double Similarity(const std::string& a, const std::string& b) const;
+
+  std::size_t max_history_;
+  std::map<std::string, double> item_weight_;                       // per-item total
+  std::map<std::string, std::map<std::string, double>> co_counts_;  // item -> item -> w
+  std::map<std::string, std::vector<std::string>> user_history_;    // insertion order
+  std::map<std::string, std::set<std::string>> user_items_;
+};
+
+// Offline evaluation: split each user's interactions into train/test,
+// train the recommender, and measure hit rate of held-out items in the
+// top-k ("precision@k" over users with test items).
+struct EvalResult {
+  double precision_at_k = 0.0;
+  double hit_rate = 0.0;       // users with ≥1 hit / users evaluated
+  std::size_t users_evaluated = 0;
+};
+
+EvalResult EvaluateRecommender(Recommender& rec, const std::vector<Interaction>& train,
+                               const std::vector<Interaction>& test, std::size_t k);
+
+// Synthetic retail workload: users with latent taste clusters buy items
+// mostly from their cluster (Zipf within cluster), occasionally exploring.
+struct RetailWorkloadConfig {
+  std::size_t users = 200;
+  std::size_t items = 500;
+  std::size_t clusters = 8;
+  double in_cluster_prob = 0.8;
+  double zipf_skew = 1.1;
+  std::size_t interactions = 10'000;
+};
+
+std::vector<Interaction> GenerateRetailWorkload(const RetailWorkloadConfig& cfg, Rng& rng);
+
+}  // namespace arbd::analytics

@@ -1,0 +1,128 @@
+#include "analytics/sketches.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace arbd::analytics {
+
+CountMinSketch::CountMinSketch(double epsilon, double delta) {
+  if (epsilon <= 0 || epsilon >= 1 || delta <= 0 || delta >= 1) {
+    throw std::invalid_argument("CountMinSketch: epsilon and delta must be in (0,1)");
+  }
+  width_ = static_cast<std::size_t>(std::ceil(M_E / epsilon));
+  depth_ = static_cast<std::size_t>(std::ceil(std::log(1.0 / delta)));
+  depth_ = std::max<std::size_t>(depth_, 1);
+  cells_.assign(width_ * depth_, 0);
+}
+
+std::uint64_t CountMinSketch::HashRow(const std::string& key, std::size_t row) const {
+  // Two independent base hashes combined per Kirsch–Mitzenmacher.
+  const std::uint64_t h1 = Fnv1a(key);
+  const std::uint64_t h2 = h1 * 0xc2b2ae3d27d4eb4fULL + 0x165667b19e3779f9ULL;
+  return (h1 + row * h2) % width_;
+}
+
+void CountMinSketch::Add(const std::string& key, std::uint64_t count) {
+  for (std::size_t d = 0; d < depth_; ++d) {
+    cells_[d * width_ + HashRow(key, d)] += count;
+  }
+  total_ += count;
+}
+
+std::uint64_t CountMinSketch::Estimate(const std::string& key) const {
+  std::uint64_t best = UINT64_MAX;
+  for (std::size_t d = 0; d < depth_; ++d) {
+    best = std::min(best, cells_[d * width_ + HashRow(key, d)]);
+  }
+  return best == UINT64_MAX ? 0 : best;
+}
+
+void CountMinSketch::Merge(const CountMinSketch& other) {
+  if (other.width_ != width_ || other.depth_ != depth_) {
+    throw std::invalid_argument("CountMinSketch::Merge: dimension mismatch");
+  }
+  for (std::size_t i = 0; i < cells_.size(); ++i) cells_[i] += other.cells_[i];
+  total_ += other.total_;
+}
+
+HyperLogLog::HyperLogLog(int precision_bits) : p_(precision_bits) {
+  if (p_ < 4 || p_ > 18) throw std::invalid_argument("HyperLogLog: precision must be 4..18");
+  registers_.assign(static_cast<std::size_t>(1) << p_, 0);
+}
+
+void HyperLogLog::Add(const std::string& key) {
+  // FNV-1a alone avalanches poorly on short sequential keys; finalize with
+  // a SplitMix64 mixer so register indices and ranks are well distributed.
+  std::uint64_t h = Fnv1a(key);
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  AddHash(h);
+}
+
+void HyperLogLog::AddHash(std::uint64_t hash) {
+  const std::size_t idx = hash >> (64 - p_);
+  const std::uint64_t rest = hash << p_;
+  const int rank = rest == 0 ? (64 - p_ + 1) : std::countl_zero(rest) + 1;
+  registers_[idx] = std::max(registers_[idx], static_cast<std::uint8_t>(rank));
+}
+
+double HyperLogLog::Estimate() const {
+  const double m = static_cast<double>(registers_.size());
+  double sum = 0.0;
+  std::size_t zeros = 0;
+  for (std::uint8_t r : registers_) {
+    sum += std::ldexp(1.0, -static_cast<int>(r));
+    if (r == 0) ++zeros;
+  }
+  const double alpha = m <= 16 ? 0.673 : m <= 32 ? 0.697 : m <= 64 ? 0.709
+                                                         : 0.7213 / (1.0 + 1.079 / m);
+  double est = alpha * m * m / sum;
+  if (est <= 2.5 * m && zeros > 0) {
+    est = m * std::log(m / static_cast<double>(zeros));  // linear counting
+  }
+  return est;
+}
+
+void HyperLogLog::Merge(const HyperLogLog& other) {
+  if (other.p_ != p_) throw std::invalid_argument("HyperLogLog::Merge: precision mismatch");
+  for (std::size_t i = 0; i < registers_.size(); ++i) {
+    registers_[i] = std::max(registers_[i], other.registers_[i]);
+  }
+}
+
+TopK::TopK(std::size_t capacity) : capacity_(std::max<std::size_t>(1, capacity)) {}
+
+void TopK::Add(const std::string& key, std::uint64_t count) {
+  auto it = counters_.find(key);
+  if (it != counters_.end()) {
+    it->second.count += count;
+    return;
+  }
+  if (counters_.size() < capacity_) {
+    counters_[key] = Counter{count, 0};
+    return;
+  }
+  // Evict the minimum counter; the newcomer inherits its count as error.
+  auto min_it = counters_.begin();
+  for (auto c = counters_.begin(); c != counters_.end(); ++c) {
+    if (c->second.count < min_it->second.count) min_it = c;
+  }
+  const Counter evicted = min_it->second;
+  counters_.erase(min_it);
+  counters_[key] = Counter{evicted.count + count, evicted.count};
+}
+
+std::vector<TopK::Entry> TopK::Top(std::size_t k) const {
+  std::vector<Entry> out;
+  out.reserve(counters_.size());
+  for (const auto& [key, c] : counters_) out.push_back({key, c.count, c.error});
+  std::sort(out.begin(), out.end(),
+            [](const Entry& a, const Entry& b) { return a.count > b.count; });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+}  // namespace arbd::analytics

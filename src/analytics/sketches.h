@@ -1,0 +1,111 @@
+// Sublinear-memory stream summaries — the "volume" answer of the big-data
+// side: count-min for frequencies, HyperLogLog for cardinality,
+// space-saving for top-k heavy hitters, and reservoir sampling for unbiased
+// subsets. All single-pass, mergeable, and deterministic given their seeds.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/serialize.h"
+
+namespace arbd::analytics {
+
+// Count-min sketch: frequency over-estimates bounded by eps·N with
+// probability 1-delta, using width = ceil(e/eps), depth = ceil(ln(1/delta)).
+class CountMinSketch {
+ public:
+  CountMinSketch(double epsilon, double delta);
+
+  void Add(const std::string& key, std::uint64_t count = 1);
+  std::uint64_t Estimate(const std::string& key) const;
+  void Merge(const CountMinSketch& other);
+
+  std::uint64_t total() const { return total_; }
+  std::size_t width() const { return width_; }
+  std::size_t depth() const { return depth_; }
+
+ private:
+  std::uint64_t HashRow(const std::string& key, std::size_t row) const;
+
+  std::size_t width_;
+  std::size_t depth_;
+  std::vector<std::uint64_t> cells_;  // depth × width
+  std::uint64_t total_ = 0;
+};
+
+// HyperLogLog with 2^p registers; standard bias-corrected estimator with
+// linear-counting fallback for the small range.
+class HyperLogLog {
+ public:
+  explicit HyperLogLog(int precision_bits = 12);
+
+  void Add(const std::string& key);
+  void AddHash(std::uint64_t hash);
+  double Estimate() const;
+  void Merge(const HyperLogLog& other);
+
+  int precision() const { return p_; }
+
+ private:
+  int p_;
+  std::vector<std::uint8_t> registers_;
+};
+
+// Space-saving top-k: tracks at most `capacity` counters; guaranteed to
+// contain every key with true frequency > N/capacity.
+class TopK {
+ public:
+  explicit TopK(std::size_t capacity);
+
+  void Add(const std::string& key, std::uint64_t count = 1);
+
+  struct Entry {
+    std::string key;
+    std::uint64_t count;      // estimated (upper bound)
+    std::uint64_t error;      // max over-count
+  };
+  // Descending by estimated count; at most k entries.
+  std::vector<Entry> Top(std::size_t k) const;
+  std::size_t tracked() const { return counters_.size(); }
+
+ private:
+  struct Counter {
+    std::uint64_t count = 0;
+    std::uint64_t error = 0;
+  };
+  std::size_t capacity_;
+  std::map<std::string, Counter> counters_;
+};
+
+// Algorithm-R reservoir sample of fixed size.
+template <typename T>
+class ReservoirSample {
+ public:
+  ReservoirSample(std::size_t capacity, std::uint64_t seed)
+      : capacity_(capacity), rng_(seed) {}
+
+  void Add(T item) {
+    ++seen_;
+    if (items_.size() < capacity_) {
+      items_.push_back(std::move(item));
+      return;
+    }
+    const std::uint64_t j = rng_.NextBelow(seen_);
+    if (j < capacity_) items_[j] = std::move(item);
+  }
+
+  const std::vector<T>& items() const { return items_; }
+  std::uint64_t seen() const { return seen_; }
+
+ private:
+  std::size_t capacity_;
+  Rng rng_;
+  std::vector<T> items_;
+  std::uint64_t seen_ = 0;
+};
+
+}  // namespace arbd::analytics

@@ -1,0 +1,181 @@
+#include "analytics/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace arbd::analytics {
+
+void StreamingStats::Add(double x) {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double StreamingStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double StreamingStats::stddev() const { return std::sqrt(variance()); }
+
+void StreamingStats::Merge(const StreamingStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n = static_cast<double>(n_ + other.n_);
+  m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                         static_cast<double>(other.n_) / n;
+  mean_ += delta * static_cast<double>(other.n_) / n;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+void Correlator::Add(double x, double y) {
+  ++n_;
+  const double dx = x - mean_x_;
+  mean_x_ += dx / static_cast<double>(n_);
+  const double dy = y - mean_y_;
+  mean_y_ += dy / static_cast<double>(n_);
+  m2x_ += dx * (x - mean_x_);
+  m2y_ += dy * (y - mean_y_);
+  cov_ += dx * (y - mean_y_);
+}
+
+double Correlator::Correlation() const {
+  if (n_ < 2) return 0.0;
+  const double denom = std::sqrt(m2x_ * m2y_);
+  return denom < 1e-12 ? 0.0 : cov_ / denom;
+}
+
+void ExpDecayCounter::Add(TimePoint t, double weight) {
+  value_ = ValueAt(t) + weight;
+  last_ = t;
+}
+
+double ExpDecayCounter::ValueAt(TimePoint t) const {
+  if (last_ == TimePoint::Min()) return 0.0;
+  const double dt = (t - last_).seconds();
+  if (dt <= 0) return value_;
+  return value_ * std::exp2(-dt / half_life_s_);
+}
+
+void IncrementalWindow::Add(TimePoint t, double value) {
+  samples_.emplace_back(t, value);
+  sum_ += value;
+  while (!min_deque_.empty() && min_deque_.back().second >= value) min_deque_.pop_back();
+  min_deque_.emplace_back(t, value);
+  while (!max_deque_.empty() && max_deque_.back().second <= value) max_deque_.pop_back();
+  max_deque_.emplace_back(t, value);
+}
+
+void IncrementalWindow::Evict(TimePoint now) {
+  const TimePoint cutoff = now - window_;
+  while (!samples_.empty() && samples_.front().first <= cutoff) {
+    sum_ -= samples_.front().second;
+    const TimePoint t = samples_.front().first;
+    samples_.pop_front();
+    if (!min_deque_.empty() && min_deque_.front().first == t &&
+        (samples_.empty() || min_deque_.front().first <= cutoff)) {
+      min_deque_.pop_front();
+    }
+    if (!max_deque_.empty() && max_deque_.front().first == t &&
+        (samples_.empty() || max_deque_.front().first <= cutoff)) {
+      max_deque_.pop_front();
+    }
+  }
+  // Deques may retain stale heads when timestamps repeat; trim defensively.
+  while (!min_deque_.empty() && min_deque_.front().first <= cutoff) min_deque_.pop_front();
+  while (!max_deque_.empty() && max_deque_.front().first <= cutoff) max_deque_.pop_front();
+}
+
+WindowSnapshot IncrementalWindow::Query(TimePoint now) {
+  Evict(now);
+  WindowSnapshot s;
+  s.count = samples_.size();
+  s.sum = sum_;
+  s.mean = s.count ? sum_ / static_cast<double>(s.count) : 0.0;
+  s.min = min_deque_.empty() ? 0.0 : min_deque_.front().second;
+  s.max = max_deque_.empty() ? 0.0 : max_deque_.front().second;
+  return s;
+}
+
+void BatchWindow::Add(TimePoint t, double value) { samples_.emplace_back(t, value); }
+
+WindowSnapshot BatchWindow::Query(TimePoint now) const {
+  WindowSnapshot s;
+  const TimePoint cutoff = now - window_;
+  bool first = true;
+  for (const auto& [t, v] : samples_) {
+    if (t <= cutoff || t > now) continue;
+    ++s.count;
+    s.sum += v;
+    if (first) {
+      s.min = v;
+      s.max = v;
+      first = false;
+    } else {
+      s.min = std::min(s.min, v);
+      s.max = std::max(s.max, v);
+    }
+  }
+  s.mean = s.count ? s.sum / static_cast<double>(s.count) : 0.0;
+  return s;
+}
+
+void BatchWindow::Compact(TimePoint now) {
+  const TimePoint cutoff = now - window_;
+  while (!samples_.empty() && samples_.front().first <= cutoff) samples_.pop_front();
+}
+
+bool ZScoreDetector::Observe(const std::string& key, double value) {
+  State& s = states_[key];
+  if (s.n < cfg_.warmup) {
+    // Warmup: plain incremental moments, no detection.
+    ++s.n;
+    const double d = value - s.mean;
+    s.mean += d / static_cast<double>(s.n);
+    s.var += d * (value - s.mean) / std::max<std::uint64_t>(1, s.n);
+    return false;
+  }
+  const double sigma = std::sqrt(std::max(s.var, 1e-6));
+  const double z = (value - s.mean) / sigma;
+  if (std::abs(z) > cfg_.z_threshold) return true;  // anomalous: freeze baseline
+  const double d = value - s.mean;
+  s.mean += cfg_.alpha * d;
+  s.var = (1.0 - cfg_.alpha) * (s.var + cfg_.alpha * d * d);
+  ++s.n;
+  return false;
+}
+
+std::pair<double, double> ZScoreDetector::Baseline(const std::string& key) const {
+  auto it = states_.find(key);
+  if (it == states_.end()) return {0.0, 0.0};
+  return {it->second.mean, std::sqrt(std::max(0.0, it->second.var))};
+}
+
+void KeyedWindows::Add(const std::string& key, TimePoint t, double value) {
+  auto it = windows_.find(key);
+  if (it == windows_.end()) {
+    it = windows_.emplace(key, IncrementalWindow(window_)).first;
+  }
+  it->second.Add(t, value);
+}
+
+WindowSnapshot KeyedWindows::Query(const std::string& key, TimePoint now) {
+  auto it = windows_.find(key);
+  if (it == windows_.end()) return {};
+  return it->second.Query(now);
+}
+
+}  // namespace arbd::analytics

@@ -1,0 +1,162 @@
+// Incremental statistics — the §4.1 "timeliness" machinery. The core
+// contrast (experiment E4) is IncrementalWindow, which maintains sliding-
+// window aggregates in O(1) amortized per event, versus BatchWindow, which
+// recomputes from raw retained events on every query the way a periodic
+// batch-analysis job would.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace arbd::analytics {
+
+// Welford's online mean/variance.
+class StreamingStats {
+ public:
+  void Add(double x);
+  std::uint64_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const;  // sample variance
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+  void Merge(const StreamingStats& other);  // Chan et al. parallel merge
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Streaming Pearson correlation between paired samples.
+class Correlator {
+ public:
+  void Add(double x, double y);
+  double Correlation() const;  // 0 if undefined
+  std::uint64_t count() const { return n_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_x_ = 0.0, mean_y_ = 0.0;
+  double m2x_ = 0.0, m2y_ = 0.0, cov_ = 0.0;
+};
+
+// Exponentially decayed rate counter (events/second with half-life decay) —
+// used for trending-topic style signals.
+class ExpDecayCounter {
+ public:
+  explicit ExpDecayCounter(Duration half_life) : half_life_s_(half_life.seconds()) {}
+
+  void Add(TimePoint t, double weight = 1.0);
+  double ValueAt(TimePoint t) const;
+
+ private:
+  double half_life_s_;
+  double value_ = 0.0;
+  TimePoint last_ = TimePoint::Min();
+};
+
+struct WindowSnapshot {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+// Sliding time window with O(1) amortized updates: sum/count directly,
+// min/max via monotonic deques. `Query` first evicts expired samples.
+class IncrementalWindow {
+ public:
+  explicit IncrementalWindow(Duration window) : window_(window) {}
+
+  void Add(TimePoint t, double value);
+  WindowSnapshot Query(TimePoint now);
+  std::size_t buffered() const { return samples_.size(); }
+
+ private:
+  void Evict(TimePoint now);
+
+  Duration window_;
+  std::deque<std::pair<TimePoint, double>> samples_;
+  std::deque<std::pair<TimePoint, double>> min_deque_;  // increasing values
+  std::deque<std::pair<TimePoint, double>> max_deque_;  // decreasing values
+  double sum_ = 0.0;
+};
+
+// The batch baseline: retains raw samples (as a batch store would) and
+// recomputes every aggregate from scratch at query time — O(W) per query.
+class BatchWindow {
+ public:
+  explicit BatchWindow(Duration window) : window_(window) {}
+
+  void Add(TimePoint t, double value);
+  WindowSnapshot Query(TimePoint now) const;
+  std::size_t buffered() const { return samples_.size(); }
+  void Compact(TimePoint now);  // drop samples older than the window
+
+ private:
+  Duration window_;
+  std::deque<std::pair<TimePoint, double>> samples_;
+};
+
+// Self-calibrating anomaly detector: per-key EWMA baseline of mean and
+// variance; a sample is anomalous when its z-score against the learned
+// baseline exceeds the threshold. Anomalous samples do not update the
+// baseline (otherwise a long episode would normalize itself away). This
+// is the "learn each patient's normal from their own data" alternative to
+// fixed thresholds (§3.3).
+class ZScoreDetector {
+ public:
+  struct Config {
+    double alpha = 0.02;        // EWMA weight for baseline adaptation
+    double z_threshold = 4.0;
+    std::uint64_t warmup = 30;  // samples before detection arms
+  };
+
+  // (two constructors instead of a defaulted Config argument: a default
+  // argument of a nested aggregate inside its enclosing class is ill-formed
+  // until the class is complete)
+  ZScoreDetector() = default;
+  explicit ZScoreDetector(Config cfg) : cfg_(cfg) {}
+
+  // Returns true if the sample is anomalous for this key.
+  bool Observe(const std::string& key, double value);
+
+  // Current learned baseline (mean, stddev); zeros before any samples.
+  std::pair<double, double> Baseline(const std::string& key) const;
+
+ private:
+  struct State {
+    double mean = 0.0;
+    double var = 0.0;
+    std::uint64_t n = 0;
+  };
+  Config cfg_;
+  std::map<std::string, State> states_;
+};
+
+// Keyed incremental windows — one window per entity, the shape every
+// scenario pipeline (vitals per patient, speed per vehicle…) needs.
+class KeyedWindows {
+ public:
+  explicit KeyedWindows(Duration window) : window_(window) {}
+
+  void Add(const std::string& key, TimePoint t, double value);
+  WindowSnapshot Query(const std::string& key, TimePoint now);
+  std::size_t key_count() const { return windows_.size(); }
+
+ private:
+  Duration window_;
+  std::map<std::string, IncrementalWindow> windows_;
+};
+
+}  // namespace arbd::analytics

@@ -1,0 +1,267 @@
+#include "ar/arml.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace arbd::ar::arml {
+namespace {
+
+// Minimal tag scanner over the writer's dialect.
+class Scanner {
+ public:
+  explicit Scanner(const std::string& s) : s_(s) {}
+
+  void SkipWhitespace() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+  }
+
+  // Consumes "<tag>"; fails otherwise.
+  Status Open(const std::string& tag) {
+    SkipWhitespace();
+    const std::string want = "<" + tag + ">";
+    if (s_.compare(pos_, want.size(), want) != 0) {
+      return Status::DataLoss("expected " + want + " at offset " + std::to_string(pos_));
+    }
+    pos_ += want.size();
+    return Status::Ok();
+  }
+
+  Status Close(const std::string& tag) { return Open("/" + tag); }
+
+  bool Peek(const std::string& tag) {
+    SkipWhitespace();
+    const std::string want = "<" + tag + ">";
+    return s_.compare(pos_, want.size(), want) == 0;
+  }
+
+  // Text up to the next '<'.
+  Expected<std::string> Text() {
+    const std::size_t end = s_.find('<', pos_);
+    if (end == std::string::npos) return Status::DataLoss("unterminated text node");
+    std::string out = s_.substr(pos_, end - pos_);
+    pos_ = end;
+    return UnescapeXml(out);
+  }
+
+  Expected<std::string> Element(const std::string& tag) {
+    auto s = Open(tag);
+    if (!s.ok()) return s;
+    auto text = Text();
+    if (!text.ok()) return text.status();
+    s = Close(tag);
+    if (!s.ok()) return s;
+    return text;
+  }
+
+  Expected<double> NumberElement(const std::string& tag) {
+    auto text = Element(tag);
+    if (!text.ok()) return text.status();
+    try {
+      std::size_t used = 0;
+      const double v = std::stod(*text, &used);
+      if (used != text->size()) throw std::invalid_argument("trailing junk");
+      return v;
+    } catch (const std::exception&) {
+      return Status::DataLoss("bad number '" + *text + "' in <" + tag + ">");
+    }
+  }
+
+  bool AtEnd() {
+    SkipWhitespace();
+    return pos_ == s_.size();
+  }
+
+ private:
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+std::string Num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string EscapeXml(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+Expected<std::string> UnescapeXml(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '&') {
+      out += s[i];
+      continue;
+    }
+    const std::size_t semi = s.find(';', i);
+    if (semi == std::string::npos) return Status::DataLoss("unterminated entity");
+    const std::string entity = s.substr(i, semi - i + 1);
+    if (entity == "&amp;") out += '&';
+    else if (entity == "&lt;") out += '<';
+    else if (entity == "&gt;") out += '>';
+    else if (entity == "&quot;") out += '"';
+    else if (entity == "&apos;") out += '\'';
+    else return Status::DataLoss("unknown entity " + entity);
+    i = semi;
+  }
+  return out;
+}
+
+std::string ToArml(const std::vector<const content::Annotation*>& annotations) {
+  std::ostringstream out;
+  out << "<arml>\n<ARElements>\n";
+  for (const auto* a : annotations) {
+    out << "<Feature>\n";
+    out << "<id>" << a->id << "</id>\n";
+    out << "<type>" << content::SemanticTypeName(a->type) << "</type>\n";
+    out << "<name>" << EscapeXml(a->title) << "</name>\n";
+    out << "<description>" << EscapeXml(a->body) << "</description>\n";
+    out << "<priority>" << Num(a->priority) << "</priority>\n";
+    out << "<created>" << a->created.nanos() << "</created>\n";
+    out << "<ttl>" << a->ttl.nanos() << "</ttl>\n";
+    if (a->anchor.kind == content::Anchor::Kind::kWorld) {
+      out << "<GeoAnchor>\n<lat>" << Num(a->anchor.geo_pos.lat) << "</lat>\n<lon>"
+          << Num(a->anchor.geo_pos.lon) << "</lon>\n<height>" << Num(a->anchor.height_m)
+          << "</height>\n<building>" << a->anchor.building_id << "</building>\n"
+          << "</GeoAnchor>\n";
+    } else {
+      out << "<ScreenAnchor>\n<x>" << Num(a->anchor.screen_x) << "</x>\n<y>"
+          << Num(a->anchor.screen_y) << "</y>\n</ScreenAnchor>\n";
+    }
+    for (const auto& [k, v] : a->properties) {
+      out << "<property><key>" << EscapeXml(k) << "</key><value>" << EscapeXml(v)
+          << "</value></property>\n";
+    }
+    out << "</Feature>\n";
+  }
+  out << "</ARElements>\n</arml>\n";
+  return out.str();
+}
+
+std::string ToArml(const std::vector<content::Annotation>& annotations) {
+  std::vector<const content::Annotation*> ptrs;
+  ptrs.reserve(annotations.size());
+  for (const auto& a : annotations) ptrs.push_back(&a);
+  return ToArml(ptrs);
+}
+
+Expected<std::vector<content::Annotation>> FromArml(const std::string& xml) {
+  Scanner sc(xml);
+  auto s = sc.Open("arml");
+  if (!s.ok()) return s;
+  s = sc.Open("ARElements");
+  if (!s.ok()) return s;
+
+  std::vector<content::Annotation> out;
+  while (sc.Peek("Feature")) {
+    s = sc.Open("Feature");
+    if (!s.ok()) return s;
+    content::Annotation a;
+
+    auto id = sc.NumberElement("id");
+    if (!id.ok()) return id.status();
+    a.id = static_cast<std::uint64_t>(*id);
+
+    auto type = sc.Element("type");
+    if (!type.ok()) return type.status();
+    bool type_ok = false;
+    for (int t = 0; t <= static_cast<int>(content::SemanticType::kDiagnostic); ++t) {
+      if (*type == content::SemanticTypeName(static_cast<content::SemanticType>(t))) {
+        a.type = static_cast<content::SemanticType>(t);
+        type_ok = true;
+        break;
+      }
+    }
+    if (!type_ok) return Status::DataLoss("unknown semantic type '" + *type + "'");
+
+    auto name = sc.Element("name");
+    if (!name.ok()) return name.status();
+    a.title = std::move(*name);
+    auto desc = sc.Element("description");
+    if (!desc.ok()) return desc.status();
+    a.body = std::move(*desc);
+    auto prio = sc.NumberElement("priority");
+    if (!prio.ok()) return prio.status();
+    a.priority = *prio;
+    auto created = sc.NumberElement("created");
+    if (!created.ok()) return created.status();
+    a.created = TimePoint::FromNanos(static_cast<std::int64_t>(*created));
+    auto ttl = sc.NumberElement("ttl");
+    if (!ttl.ok()) return ttl.status();
+    a.ttl = Duration::Nanos(static_cast<std::int64_t>(*ttl));
+
+    if (sc.Peek("GeoAnchor")) {
+      s = sc.Open("GeoAnchor");
+      if (!s.ok()) return s;
+      a.anchor.kind = content::Anchor::Kind::kWorld;
+      auto lat = sc.NumberElement("lat");
+      if (!lat.ok()) return lat.status();
+      a.anchor.geo_pos.lat = *lat;
+      auto lon = sc.NumberElement("lon");
+      if (!lon.ok()) return lon.status();
+      a.anchor.geo_pos.lon = *lon;
+      auto height = sc.NumberElement("height");
+      if (!height.ok()) return height.status();
+      a.anchor.height_m = *height;
+      auto building = sc.NumberElement("building");
+      if (!building.ok()) return building.status();
+      a.anchor.building_id = static_cast<std::uint64_t>(*building);
+      s = sc.Close("GeoAnchor");
+      if (!s.ok()) return s;
+    } else if (sc.Peek("ScreenAnchor")) {
+      s = sc.Open("ScreenAnchor");
+      if (!s.ok()) return s;
+      a.anchor.kind = content::Anchor::Kind::kScreen;
+      auto x = sc.NumberElement("x");
+      if (!x.ok()) return x.status();
+      a.anchor.screen_x = *x;
+      auto y = sc.NumberElement("y");
+      if (!y.ok()) return y.status();
+      a.anchor.screen_y = *y;
+      s = sc.Close("ScreenAnchor");
+      if (!s.ok()) return s;
+    } else {
+      return Status::DataLoss("feature missing anchor");
+    }
+
+    while (sc.Peek("property")) {
+      s = sc.Open("property");
+      if (!s.ok()) return s;
+      auto key = sc.Element("key");
+      if (!key.ok()) return key.status();
+      auto value = sc.Element("value");
+      if (!value.ok()) return value.status();
+      a.properties[std::move(*key)] = std::move(*value);
+      s = sc.Close("property");
+      if (!s.ok()) return s;
+    }
+
+    s = sc.Close("Feature");
+    if (!s.ok()) return s;
+    out.push_back(std::move(a));
+  }
+
+  s = sc.Close("ARElements");
+  if (!s.ok()) return s;
+  s = sc.Close("arml");
+  if (!s.ok()) return s;
+  if (!sc.AtEnd()) return Status::DataLoss("trailing content after </arml>");
+  return out;
+}
+
+}  // namespace arbd::ar::arml

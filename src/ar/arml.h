@@ -1,0 +1,32 @@
+// ARML-style XML interchange (§4.2). The paper argues that "a standard
+// data format such as Augmented Reality Markup Language (ARML) is an
+// essential step" toward big-data systems whose outputs AR clients can
+// interpret. This module serializes annotation sets to a compact dialect
+// of ARML 2.0 (Feature/Anchor/Label structure) and parses them back —
+// the interchange boundary between ARBD and external content producers.
+//
+// The writer always produces well-formed output; the parser accepts only
+// what the writer emits plus whitespace variations (it is an interchange
+// codec, not a general XML parser) and fails loudly on anything else.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ar/content.h"
+#include "common/status.h"
+
+namespace arbd::ar::arml {
+
+// Serializes annotations as an <arml><ARElements>… document.
+std::string ToArml(const std::vector<const content::Annotation*>& annotations);
+std::string ToArml(const std::vector<content::Annotation>& annotations);
+
+// Parses a document produced by ToArml. Ids are preserved.
+Expected<std::vector<content::Annotation>> FromArml(const std::string& xml);
+
+// Escapes the five XML special characters (exposed for tests).
+std::string EscapeXml(const std::string& s);
+Expected<std::string> UnescapeXml(const std::string& s);
+
+}  // namespace arbd::ar::arml

@@ -1,0 +1,141 @@
+#include "ar/content.h"
+
+namespace arbd::ar::content {
+
+const char* SemanticTypeName(SemanticType t) {
+  switch (t) {
+    case SemanticType::kPlaceInfo: return "place_info";
+    case SemanticType::kRecommendation: return "recommendation";
+    case SemanticType::kNavigation: return "navigation";
+    case SemanticType::kAlert: return "alert";
+    case SemanticType::kHealthMetric: return "health_metric";
+    case SemanticType::kTranslation: return "translation";
+    case SemanticType::kXRayHint: return "xray_hint";
+    case SemanticType::kSocial: return "social";
+    case SemanticType::kDiagnostic: return "diagnostic";
+  }
+  return "?";
+}
+
+Bytes Annotation::Encode() const {
+  BinaryWriter w;
+  w.WriteU64(id);
+  w.WriteU8(static_cast<std::uint8_t>(type));
+  w.WriteU8(static_cast<std::uint8_t>(anchor.kind));
+  w.WriteF64(anchor.geo_pos.lat);
+  w.WriteF64(anchor.geo_pos.lon);
+  w.WriteF64(anchor.height_m);
+  w.WriteU64(anchor.building_id);
+  w.WriteF64(anchor.screen_x);
+  w.WriteF64(anchor.screen_y);
+  w.WriteString(title);
+  w.WriteString(body);
+  w.WriteF64(priority);
+  w.WriteI64(created.nanos());
+  w.WriteI64(ttl.nanos());
+  w.WriteU32(static_cast<std::uint32_t>(properties.size()));
+  for (const auto& [k, v] : properties) {
+    w.WriteString(k);
+    w.WriteString(v);
+  }
+  return w.Take();
+}
+
+Expected<Annotation> Annotation::Decode(const Bytes& buf) {
+  BinaryReader r(buf);
+  Annotation a;
+  auto id = r.ReadU64();
+  if (!id.ok()) return id.status();
+  a.id = *id;
+  auto type = r.ReadU8();
+  if (!type.ok()) return type.status();
+  if (*type > static_cast<std::uint8_t>(SemanticType::kDiagnostic)) {
+    return Status::DataLoss("invalid semantic type " + std::to_string(*type));
+  }
+  a.type = static_cast<SemanticType>(*type);
+  auto kind = r.ReadU8();
+  if (!kind.ok()) return kind.status();
+  if (*kind > 1) return Status::DataLoss("invalid anchor kind");
+  a.anchor.kind = static_cast<Anchor::Kind>(*kind);
+
+  auto lat = r.ReadF64();
+  if (!lat.ok()) return lat.status();
+  a.anchor.geo_pos.lat = *lat;
+  auto lon = r.ReadF64();
+  if (!lon.ok()) return lon.status();
+  a.anchor.geo_pos.lon = *lon;
+  auto h = r.ReadF64();
+  if (!h.ok()) return h.status();
+  a.anchor.height_m = *h;
+  auto b = r.ReadU64();
+  if (!b.ok()) return b.status();
+  a.anchor.building_id = *b;
+  auto sx = r.ReadF64();
+  if (!sx.ok()) return sx.status();
+  a.anchor.screen_x = *sx;
+  auto sy = r.ReadF64();
+  if (!sy.ok()) return sy.status();
+  a.anchor.screen_y = *sy;
+
+  auto title = r.ReadString();
+  if (!title.ok()) return title.status();
+  a.title = std::move(*title);
+  auto body = r.ReadString();
+  if (!body.ok()) return body.status();
+  a.body = std::move(*body);
+  auto prio = r.ReadF64();
+  if (!prio.ok()) return prio.status();
+  a.priority = *prio;
+  auto created = r.ReadI64();
+  if (!created.ok()) return created.status();
+  a.created = TimePoint::FromNanos(*created);
+  auto ttl = r.ReadI64();
+  if (!ttl.ok()) return ttl.status();
+  a.ttl = Duration::Nanos(*ttl);
+  auto n = r.ReadU32();
+  if (!n.ok()) return n.status();
+  for (std::uint32_t i = 0; i < *n; ++i) {
+    auto k = r.ReadString();
+    if (!k.ok()) return k.status();
+    auto v = r.ReadString();
+    if (!v.ok()) return v.status();
+    a.properties[std::move(*k)] = std::move(*v);
+  }
+  return a;
+}
+
+std::uint64_t AnnotationStore::Add(Annotation a) {
+  a.id = next_id_++;
+  const std::uint64_t id = a.id;
+  items_[id] = std::move(a);
+  return id;
+}
+
+bool AnnotationStore::Remove(std::uint64_t id) { return items_.erase(id) > 0; }
+
+std::size_t AnnotationStore::ExpireOlderThan(TimePoint now) {
+  std::size_t n = 0;
+  for (auto it = items_.begin(); it != items_.end();) {
+    if (it->second.ExpiredAt(now)) {
+      it = items_.erase(it);
+      ++n;
+    } else {
+      ++it;
+    }
+  }
+  return n;
+}
+
+std::vector<const Annotation*> AnnotationStore::Live() const {
+  std::vector<const Annotation*> out;
+  out.reserve(items_.size());
+  for (const auto& [_, a] : items_) out.push_back(&a);
+  return out;
+}
+
+const Annotation* AnnotationStore::Get(std::uint64_t id) const {
+  auto it = items_.find(id);
+  return it == items_.end() ? nullptr : &it->second;
+}
+
+}  // namespace arbd::ar::content

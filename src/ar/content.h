@@ -1,0 +1,79 @@
+// Semantic AR content model — the ARML-shaped contract (§4.2) between the
+// analytics side (which produces facts) and the display side (which must
+// place them in the world). An Annotation is a semantically-typed fact
+// bound to a world anchor, with enough styling/priority metadata for the
+// layout engine to resolve clutter.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/serialize.h"
+#include "geo/latlon.h"
+
+namespace arbd::ar::content {
+
+enum class SemanticType {
+  kPlaceInfo,        // name/rating/hours of a place
+  kRecommendation,   // analytics-derived suggestion
+  kNavigation,       // route hint, direction arrow
+  kAlert,            // safety/health warning — always top priority
+  kHealthMetric,     // vitals readout
+  kTranslation,      // translated sign text
+  kXRayHint,         // occluded object highlight ("see through")
+  kSocial,           // UGC: tweet/photo/review at a place
+  kDiagnostic,       // infrastructure/maintenance overlay
+};
+
+const char* SemanticTypeName(SemanticType t);
+
+// Where an annotation is pinned. World-anchored content has a geo position
+// plus height; screen-anchored content (HUD elements) is fixed in view.
+struct Anchor {
+  enum class Kind { kWorld, kScreen };
+  Kind kind = Kind::kWorld;
+  geo::LatLon geo_pos;       // world anchors
+  double height_m = 2.0;
+  std::uint64_t building_id = 0;  // 0 = free-standing
+  double screen_x = 0.5;     // screen anchors, normalized [0,1]
+  double screen_y = 0.5;
+};
+
+struct Annotation {
+  std::uint64_t id = 0;
+  SemanticType type = SemanticType::kPlaceInfo;
+  Anchor anchor;
+  std::string title;
+  std::string body;
+  double priority = 0.5;     // [0,1]; layout keeps high-priority labels
+  TimePoint created;
+  Duration ttl = Duration::Seconds(30);  // stale content must expire (§4.1)
+  std::map<std::string, std::string> properties;  // open key/value (ARML-ish)
+
+  bool ExpiredAt(TimePoint now) const { return now > created + ttl; }
+
+  Bytes Encode() const;
+  static Expected<Annotation> Decode(const Bytes& buf);
+};
+
+// An in-memory set of live annotations with TTL expiry — what the frame
+// composer draws from every frame.
+class AnnotationStore {
+ public:
+  std::uint64_t Add(Annotation a);  // assigns id, returns it
+  bool Remove(std::uint64_t id);
+  std::size_t ExpireOlderThan(TimePoint now);
+
+  std::vector<const Annotation*> Live() const;
+  const Annotation* Get(std::uint64_t id) const;
+  std::size_t size() const { return items_.size(); }
+
+ private:
+  std::map<std::uint64_t, Annotation> items_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace arbd::ar::content

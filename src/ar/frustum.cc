@@ -1,0 +1,54 @@
+#include "ar/frustum.h"
+
+#include <cmath>
+
+namespace arbd::ar {
+namespace {
+constexpr double kDegToRad = M_PI / 180.0;
+constexpr double kRadToDeg = 180.0 / M_PI;
+}  // namespace
+
+double CameraIntrinsics::fov_v_deg() const {
+  const double half_h = std::tan(fov_h_deg * kDegToRad / 2.0);
+  return 2.0 * std::atan(half_h / AspectRatio()) * kRadToDeg;
+}
+
+CameraView::CameraView(const PoseEstimate& pose, CameraIntrinsics intrinsics)
+    : pose_(pose), intr_(intrinsics) {
+  const double yaw = pose.yaw_deg * kDegToRad;
+  cos_yaw_ = std::cos(yaw);
+  sin_yaw_ = std::sin(yaw);
+  tan_half_h_ = std::tan(intr_.fov_h_deg * kDegToRad / 2.0);
+  tan_half_v_ = tan_half_h_ / intr_.AspectRatio();
+  focal_px_ = (intr_.width_px / 2.0) / tan_half_h_;
+}
+
+std::optional<ScreenPoint> CameraView::Project(double east, double north, double up,
+                                               double margin_px) const {
+  // World delta → camera frame. Camera looks along +forward (heading),
+  // +right is 90° clockwise from heading, +up is vertical.
+  const double de = east - pose_.east;
+  const double dn = north - pose_.north;
+  const double du = up - pose_.up;
+  const double forward = de * sin_yaw_ + dn * cos_yaw_;
+  const double right = de * cos_yaw_ - dn * sin_yaw_;
+  if (forward < 0.1) return std::nullopt;  // behind or at the eye
+
+  const double x = intr_.width_px / 2.0 + focal_px_ * (right / forward);
+  const double y = intr_.height_px / 2.0 - focal_px_ * (du / forward);
+  if (x < -margin_px || x > intr_.width_px + margin_px || y < -margin_px ||
+      y > intr_.height_px + margin_px) {
+    return std::nullopt;
+  }
+  ScreenPoint p;
+  p.x = x;
+  p.y = y;
+  p.depth_m = std::sqrt(de * de + dn * dn + du * du);
+  return p;
+}
+
+bool CameraView::InFrustum(double east, double north, double up) const {
+  return Project(east, north, up).has_value();
+}
+
+}  // namespace arbd::ar

@@ -1,0 +1,56 @@
+// Camera model and projection: world (ENU) → screen pixels, plus the
+// view-frustum test that decides which anchors are candidates for display
+// this frame.
+#pragma once
+
+#include <optional>
+
+#include "ar/linalg.h"
+#include "ar/tracker.h"
+
+namespace arbd::ar {
+
+struct CameraIntrinsics {
+  double fov_h_deg = 70.0;  // horizontal field of view
+  int width_px = 1920;
+  int height_px = 1080;
+
+  double AspectRatio() const {
+    return static_cast<double>(width_px) / static_cast<double>(height_px);
+  }
+  double fov_v_deg() const;
+};
+
+struct ScreenPoint {
+  double x = 0.0;        // pixels, origin top-left
+  double y = 0.0;
+  double depth_m = 0.0;  // distance along the view ray
+};
+
+// View defined by a pose estimate (position + yaw; pitch assumed level,
+// which matches handheld browsing) and intrinsics.
+class CameraView {
+ public:
+  CameraView(const PoseEstimate& pose, CameraIntrinsics intrinsics);
+
+  // Projects a world ENU point (east, north, up). nullopt if behind the
+  // camera or outside the frustum (with `margin_px` slack so labels near
+  // the edge can still be laid out).
+  std::optional<ScreenPoint> Project(double east, double north, double up,
+                                     double margin_px = 0.0) const;
+
+  // Pure visibility predicate (no projection math returned).
+  bool InFrustum(double east, double north, double up) const;
+
+  const PoseEstimate& pose() const { return pose_; }
+  const CameraIntrinsics& intrinsics() const { return intr_; }
+
+ private:
+  PoseEstimate pose_;
+  CameraIntrinsics intr_;
+  double cos_yaw_, sin_yaw_;
+  double tan_half_h_, tan_half_v_;
+  double focal_px_;
+};
+
+}  // namespace arbd::ar

@@ -1,0 +1,116 @@
+#include "ar/interaction.h"
+
+#include <algorithm>
+
+namespace arbd::ar {
+
+GazePoint GazeModel::Sample(TimePoint now, const std::vector<LabelBox>& labels,
+                            const CameraIntrinsics& intrinsics) {
+  GazePoint g;
+  g.time = now;
+
+  if (rng_.Bernoulli(cfg_.blink_rate)) {
+    g.valid = false;
+    return g;
+  }
+
+  // Re-target on saccade, when idle, or when the target disappeared.
+  if (target_ < 0 || target_ >= static_cast<int>(labels.size()) ||
+      rng_.Bernoulli(cfg_.saccade_rate) || !has_fix_) {
+    if (labels.empty()) {
+      target_ = -1;
+      fix_x_ = intrinsics.width_px / 2.0;
+      fix_y_ = intrinsics.height_px / 2.0;
+    } else {
+      // Priority-weighted choice: attention goes where the content is
+      // urgent — exactly why gaze is a useful engagement signal.
+      double total = 0.0;
+      for (const auto& l : labels) total += 0.05 + l.annotation->priority;
+      double pick = rng_.Uniform(0.0, total);
+      target_ = 0;
+      for (std::size_t i = 0; i < labels.size(); ++i) {
+        pick -= 0.05 + labels[i].annotation->priority;
+        if (pick <= 0.0) {
+          target_ = static_cast<int>(i);
+          break;
+        }
+      }
+      const auto& box = labels[static_cast<std::size_t>(target_)];
+      fix_x_ = box.x + box.width / 2.0;
+      fix_y_ = box.y + box.height / 2.0;
+    }
+    has_fix_ = true;
+  }
+
+  g.x = fix_x_ + rng_.Gaussian(0.0, cfg_.noise_px);
+  g.y = fix_y_ + rng_.Gaussian(0.0, cfg_.noise_px);
+  return g;
+}
+
+std::optional<DwellSelector::Selection> DwellSelector::Update(
+    const GazePoint& gaze, const std::vector<LabelBox>& labels) {
+  if (!gaze.valid) return std::nullopt;  // blinks don't break a dwell
+
+  const LabelBox* hit = nullptr;
+  for (const auto& l : labels) {
+    if (gaze.x >= l.x && gaze.x <= l.x + l.width && gaze.y >= l.y &&
+        gaze.y <= l.y + l.height) {
+      hit = &l;
+      break;
+    }
+  }
+  if (hit == nullptr || hit->annotation == nullptr) {
+    current_ = 0;
+    armed_ = true;
+    return std::nullopt;
+  }
+
+  const std::uint64_t id = hit->annotation->id;
+  if (id != current_) {
+    current_ = id;
+    since_ = gaze.time;
+    armed_ = true;
+    return std::nullopt;
+  }
+  if (armed_ && gaze.time - since_ >= hold_) {
+    armed_ = false;  // fire once per continuous dwell
+    return Selection{id, gaze.time, gaze.time - since_};
+  }
+  return std::nullopt;
+}
+
+void DwellSelector::Reset() {
+  current_ = 0;
+  armed_ = true;
+}
+
+void AttentionTracker::Observe(const GazePoint& gaze,
+                               const std::vector<LabelBox>& labels,
+                               Duration sample_period) {
+  if (!gaze.valid) return;
+  for (const auto& l : labels) {
+    if (gaze.x >= l.x && gaze.x <= l.x + l.width && gaze.y >= l.y &&
+        gaze.y <= l.y + l.height) {
+      if (l.annotation != nullptr) dwell_[l.annotation->title] += sample_period;
+      return;
+    }
+  }
+}
+
+std::vector<stream::Event> AttentionTracker::DrainEvents(TimePoint now,
+                                                         const std::string& user) {
+  std::vector<stream::Event> out;
+  out.reserve(dwell_.size());
+  for (const auto& [title, d] : dwell_) {
+    stream::Event e;
+    e.key = user;
+    e.attribute = "attention:" + title;
+    e.value = d.seconds();
+    e.event_time = now;
+    out.push_back(std::move(e));
+  }
+  dwell_.clear();
+  return out;
+}
+
+}  // namespace arbd::ar

@@ -1,0 +1,111 @@
+// User interaction (§2.2) and gaze analytics (§3.1).
+//
+// The paper argues AR's intangible interface needs hands-free input and
+// that "eye gazing … technologies will enable us to better understand
+// customers' focus". This module provides:
+//
+//  * GazeModel      — a simulated eye tracker: noisy gaze point derived
+//                     from head pose plus saccades toward salient labels.
+//  * DwellSelector  — dwell-to-select: fixating a label for a hold time
+//                     activates it (the standard hands-free idiom).
+//  * AttentionTracker — per-annotation cumulative dwell, exposed as
+//                     analytics events so the big-data side can learn what
+//                     the user actually looks at.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ar/layout.h"
+#include "common/clock.h"
+#include "common/rng.h"
+#include "stream/dataflow.h"
+
+namespace arbd::ar {
+
+struct GazePoint {
+  TimePoint time;
+  double x = 0.0;  // pixels
+  double y = 0.0;
+  bool valid = true;  // blinks / tracking loss
+};
+
+struct GazeConfig {
+  double noise_px = 12.0;          // fixation jitter (1-sigma)
+  double blink_rate = 0.05;        // per sample
+  double saccade_rate = 0.15;      // chance per sample of jumping targets
+  Duration period = Duration::Millis(33);  // 30 Hz eye tracker
+};
+
+// Simulates where the user is looking. Between saccades the gaze fixates
+// on one attractor (a label center, or screen center when idle).
+class GazeModel {
+ public:
+  GazeModel(GazeConfig cfg, std::uint64_t seed) : cfg_(cfg), rng_(seed) {}
+
+  // Candidate attractors are the current frame's labels, weighted by
+  // priority; pass the frame's labels each tick.
+  GazePoint Sample(TimePoint now, const std::vector<LabelBox>& labels,
+                   const CameraIntrinsics& intrinsics);
+
+  // Index into the last labels vector the gaze is fixating, -1 if none.
+  int current_target() const { return target_; }
+
+ private:
+  GazeConfig cfg_;
+  Rng rng_;
+  int target_ = -1;
+  double fix_x_ = 0.0;
+  double fix_y_ = 0.0;
+  bool has_fix_ = false;
+};
+
+// Dwell-to-select: emits a selection when the gaze stays inside one
+// label's box for `hold`. Leaving the box resets the timer.
+class DwellSelector {
+ public:
+  explicit DwellSelector(Duration hold = Duration::Millis(800)) : hold_(hold) {}
+
+  struct Selection {
+    std::uint64_t annotation_id = 0;
+    TimePoint at;
+    Duration dwell;
+  };
+
+  // Feed one gaze sample against the current labels; returns a selection
+  // when the dwell threshold is crossed.
+  std::optional<Selection> Update(const GazePoint& gaze,
+                                  const std::vector<LabelBox>& labels);
+
+  void Reset();
+
+ private:
+  Duration hold_;
+  std::uint64_t current_ = 0;  // annotation id under gaze
+  TimePoint since_;
+  bool armed_ = true;  // disarm after firing until gaze leaves the label
+};
+
+// Accumulates per-annotation gaze dwell and converts it into analytics
+// events ("attention" metric keyed by annotation title) — the §3.1 bridge
+// from eye tracking to the recommendation backend.
+class AttentionTracker {
+ public:
+  void Observe(const GazePoint& gaze, const std::vector<LabelBox>& labels,
+               Duration sample_period);
+
+  // Total dwell per annotation title.
+  const std::map<std::string, Duration>& dwell() const { return dwell_; }
+
+  // Drain accumulated attention as stream events (seconds of dwell as the
+  // value), stamped with `now`.
+  std::vector<stream::Event> DrainEvents(TimePoint now, const std::string& user);
+
+ private:
+  std::map<std::string, Duration> dwell_;
+};
+
+}  // namespace arbd::ar

@@ -1,0 +1,118 @@
+// Small fixed-size matrix algebra for the EKF and projection code.
+// Header-only, stack-allocated, no dynamic dispatch — these run inside the
+// per-frame tracking loop.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+
+namespace arbd::ar {
+
+template <std::size_t R, std::size_t C>
+class Mat {
+ public:
+  Mat() { m_.fill(0.0); }
+
+  static Mat Identity() requires(R == C) {
+    Mat out;
+    for (std::size_t i = 0; i < R; ++i) out(i, i) = 1.0;
+    return out;
+  }
+
+  double& operator()(std::size_t r, std::size_t c) { return m_[r * C + c]; }
+  double operator()(std::size_t r, std::size_t c) const { return m_[r * C + c]; }
+
+  Mat operator+(const Mat& o) const {
+    Mat out;
+    for (std::size_t i = 0; i < R * C; ++i) out.m_[i] = m_[i] + o.m_[i];
+    return out;
+  }
+  Mat operator-(const Mat& o) const {
+    Mat out;
+    for (std::size_t i = 0; i < R * C; ++i) out.m_[i] = m_[i] - o.m_[i];
+    return out;
+  }
+  Mat operator*(double k) const {
+    Mat out;
+    for (std::size_t i = 0; i < R * C; ++i) out.m_[i] = m_[i] * k;
+    return out;
+  }
+
+  template <std::size_t C2>
+  Mat<R, C2> operator*(const Mat<C, C2>& o) const {
+    Mat<R, C2> out;
+    for (std::size_t i = 0; i < R; ++i) {
+      for (std::size_t k = 0; k < C; ++k) {
+        const double a = (*this)(i, k);
+        if (a == 0.0) continue;
+        for (std::size_t j = 0; j < C2; ++j) out(i, j) += a * o(k, j);
+      }
+    }
+    return out;
+  }
+
+  Mat<C, R> Transpose() const {
+    Mat<C, R> out;
+    for (std::size_t i = 0; i < R; ++i)
+      for (std::size_t j = 0; j < C; ++j) out(j, i) = (*this)(i, j);
+    return out;
+  }
+
+  // Inverse for the small innovation matrices the EKF needs.
+  Mat Inverse() const requires(R == C && R <= 3) {
+    Mat out;
+    if constexpr (R == 1) {
+      if (std::abs(m_[0]) < 1e-300) throw std::domain_error("singular 1x1 matrix");
+      out(0, 0) = 1.0 / m_[0];
+    } else if constexpr (R == 2) {
+      const double det = (*this)(0, 0) * (*this)(1, 1) - (*this)(0, 1) * (*this)(1, 0);
+      if (std::abs(det) < 1e-300) throw std::domain_error("singular 2x2 matrix");
+      out(0, 0) = (*this)(1, 1) / det;
+      out(0, 1) = -(*this)(0, 1) / det;
+      out(1, 0) = -(*this)(1, 0) / det;
+      out(1, 1) = (*this)(0, 0) / det;
+    } else {
+      const Mat& a = *this;
+      const double det = a(0,0) * (a(1,1) * a(2,2) - a(1,2) * a(2,1)) -
+                         a(0,1) * (a(1,0) * a(2,2) - a(1,2) * a(2,0)) +
+                         a(0,2) * (a(1,0) * a(2,1) - a(1,1) * a(2,0));
+      if (std::abs(det) < 1e-300) throw std::domain_error("singular 3x3 matrix");
+      out(0,0) =  (a(1,1) * a(2,2) - a(1,2) * a(2,1)) / det;
+      out(0,1) = -(a(0,1) * a(2,2) - a(0,2) * a(2,1)) / det;
+      out(0,2) =  (a(0,1) * a(1,2) - a(0,2) * a(1,1)) / det;
+      out(1,0) = -(a(1,0) * a(2,2) - a(1,2) * a(2,0)) / det;
+      out(1,1) =  (a(0,0) * a(2,2) - a(0,2) * a(2,0)) / det;
+      out(1,2) = -(a(0,0) * a(1,2) - a(0,2) * a(1,0)) / det;
+      out(2,0) =  (a(1,0) * a(2,1) - a(1,1) * a(2,0)) / det;
+      out(2,1) = -(a(0,0) * a(2,1) - a(0,1) * a(2,0)) / det;
+      out(2,2) =  (a(0,0) * a(1,1) - a(0,1) * a(1,0)) / det;
+    }
+    return out;
+  }
+
+ private:
+  std::array<double, R * C> m_;
+};
+
+template <std::size_t N>
+using Vec = Mat<N, 1>;
+
+struct Vec3 {
+  double x = 0.0, y = 0.0, z = 0.0;
+  Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  Vec3 operator*(double k) const { return {x * k, y * k, z * k}; }
+  double Dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+  Vec3 Cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  double Norm() const { return std::sqrt(Dot(*this)); }
+  Vec3 Normalized() const {
+    const double n = Norm();
+    return n > 1e-12 ? (*this) * (1.0 / n) : Vec3{};
+  }
+};
+
+}  // namespace arbd::ar

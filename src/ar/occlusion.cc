@@ -1,0 +1,53 @@
+#include "ar/occlusion.h"
+
+namespace arbd::ar {
+
+ClassifiedAnnotation OcclusionClassifier::Classify(const content::Annotation& a,
+                                                   const CameraView& view) const {
+  ClassifiedAnnotation out;
+  out.annotation = &a;
+
+  if (a.anchor.kind == content::Anchor::Kind::kScreen) {
+    out.visibility = Visibility::kVisible;
+    out.screen.x = a.anchor.screen_x * view.intrinsics().width_px;
+    out.screen.y = a.anchor.screen_y * view.intrinsics().height_px;
+    out.screen.depth_m = 0.0;
+    return out;
+  }
+
+  // World anchor: project into the view.
+  geo::Enu enu{0.0, 0.0};
+  if (city_ != nullptr) {
+    enu = city_->frame().ToEnu(a.anchor.geo_pos);
+  } else {
+    // Without a city model, treat lat/lon as pre-projected metres around
+    // the camera origin frame (tests use this path).
+    const geo::EnuFrame frame(geo::LatLon{0.0, 0.0});
+    enu = frame.ToEnu(a.anchor.geo_pos);
+  }
+  auto proj = view.Project(enu.east, enu.north, a.anchor.height_m, /*margin_px=*/64.0);
+  if (!proj) {
+    out.visibility = Visibility::kOutOfView;
+    return out;
+  }
+  out.screen = *proj;
+  out.distance_m = proj->depth_m;
+
+  const bool occluded =
+      city_ != nullptr &&
+      city_->IsOccluded(view.pose().east, view.pose().north, view.pose().up, enu.east,
+                        enu.north, a.anchor.height_m, a.anchor.building_id);
+  out.visibility = occluded ? Visibility::kOccluded : Visibility::kVisible;
+  return out;
+}
+
+std::vector<ClassifiedAnnotation> OcclusionClassifier::ClassifyAll(
+    const std::vector<const content::Annotation*>& annotations,
+    const CameraView& view) const {
+  std::vector<ClassifiedAnnotation> out;
+  out.reserve(annotations.size());
+  for (const auto* a : annotations) out.push_back(Classify(*a, view));
+  return out;
+}
+
+}  // namespace arbd::ar

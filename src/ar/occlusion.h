@@ -1,0 +1,44 @@
+// Occlusion classification against the city model: is an anchor directly
+// visible, hidden behind geometry (an "X-ray vision" candidate, §2.1/§3.1),
+// or out of view entirely? The paper's complaint about floating bubbles is
+// precisely that AR browsers skip this step.
+#pragma once
+
+#include <vector>
+
+#include "ar/content.h"
+#include "ar/frustum.h"
+#include "geo/city.h"
+
+namespace arbd::ar {
+
+enum class Visibility {
+  kVisible,    // in frustum, unobstructed
+  kOccluded,   // in frustum but behind a building → render as X-ray hint
+  kOutOfView,  // outside the frustum
+};
+
+struct ClassifiedAnnotation {
+  const content::Annotation* annotation = nullptr;
+  Visibility visibility = Visibility::kOutOfView;
+  ScreenPoint screen;          // valid unless kOutOfView
+  double distance_m = 0.0;
+};
+
+class OcclusionClassifier {
+ public:
+  // `city` may be null — then nothing is ever occluded (the naive AR
+  // browser behaviour the paper criticizes).
+  explicit OcclusionClassifier(const geo::CityModel* city) : city_(city) {}
+
+  ClassifiedAnnotation Classify(const content::Annotation& a, const CameraView& view) const;
+
+  std::vector<ClassifiedAnnotation> ClassifyAll(
+      const std::vector<const content::Annotation*>& annotations,
+      const CameraView& view) const;
+
+ private:
+  const geo::CityModel* city_;
+};
+
+}  // namespace arbd::ar

@@ -1,0 +1,136 @@
+#include "ar/registration.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace arbd::ar {
+
+Point2 SimilarityTransform::Apply(const Point2& p) const {
+  const double c = std::cos(theta_rad);
+  const double s = std::sin(theta_rad);
+  return {scale * (c * p.x - s * p.y) + tx, scale * (s * p.x + c * p.y) + ty};
+}
+
+Expected<SimilarityTransform> FitSimilarity(const std::vector<Correspondence>& matches,
+                                            bool estimate_scale) {
+  if (matches.size() < 2) {
+    return Status::InvalidArgument("need at least 2 correspondences, have " +
+                                   std::to_string(matches.size()));
+  }
+
+  // Centroids.
+  double mx = 0.0, my = 0.0, ox = 0.0, oy = 0.0;
+  for (const auto& m : matches) {
+    mx += m.model.x;
+    my += m.model.y;
+    ox += m.observed.x;
+    oy += m.observed.y;
+  }
+  const double n = static_cast<double>(matches.size());
+  mx /= n;
+  my /= n;
+  ox /= n;
+  oy /= n;
+
+  // Cross-covariance terms (2D Umeyama): rotation from atan2 of the
+  // asymmetric parts, scale from variance ratio.
+  double sxx = 0.0, sxy = 0.0, syx = 0.0, syy = 0.0, model_var = 0.0;
+  for (const auto& m : matches) {
+    const double ax = m.model.x - mx, ay = m.model.y - my;
+    const double bx = m.observed.x - ox, by = m.observed.y - oy;
+    sxx += ax * bx;
+    sxy += ax * by;
+    syx += ay * bx;
+    syy += ay * by;
+    model_var += ax * ax + ay * ay;
+  }
+  if (model_var < 1e-12) {
+    return Status::InvalidArgument("model points are coincident; transform is degenerate");
+  }
+
+  SimilarityTransform t;
+  t.theta_rad = std::atan2(sxy - syx, sxx + syy);
+  if (estimate_scale) {
+    const double c = std::cos(t.theta_rad), s = std::sin(t.theta_rad);
+    // s = Σ bᵀR a / Σ|a|²
+    t.scale = ((sxx + syy) * c + (sxy - syx) * s) / model_var;
+    if (t.scale <= 1e-9) return Status::InvalidArgument("degenerate negative/zero scale");
+  }
+  const double c = std::cos(t.theta_rad), s = std::sin(t.theta_rad);
+  t.tx = ox - t.scale * (c * mx - s * my);
+  t.ty = oy - t.scale * (s * mx + c * my);
+  return t;
+}
+
+namespace {
+double ResidualM(const SimilarityTransform& t, const Correspondence& m) {
+  const Point2 p = t.Apply(m.model);
+  return std::hypot(p.x - m.observed.x, p.y - m.observed.y);
+}
+}  // namespace
+
+Expected<RegistrationResult> RegisterRansac(const std::vector<Correspondence>& matches,
+                                            const RansacConfig& cfg, Rng& rng) {
+  if (matches.size() < cfg.min_inliers || matches.size() < 2) {
+    return Status::InvalidArgument("too few correspondences for registration");
+  }
+
+  std::vector<bool> best_inliers;
+  std::size_t best_count = 0;
+
+  for (int iter = 0; iter < cfg.iterations; ++iter) {
+    const std::size_t i = rng.NextBelow(matches.size());
+    std::size_t j = rng.NextBelow(matches.size());
+    if (i == j) continue;
+    auto candidate = FitSimilarity({matches[i], matches[j]}, cfg.estimate_scale);
+    if (!candidate.ok()) continue;
+
+    std::vector<bool> inliers(matches.size(), false);
+    std::size_t count = 0;
+    for (std::size_t k = 0; k < matches.size(); ++k) {
+      if (ResidualM(*candidate, matches[k]) <= cfg.inlier_threshold_m) {
+        inliers[k] = true;
+        ++count;
+      }
+    }
+    if (count > best_count) {
+      best_count = count;
+      best_inliers = std::move(inliers);
+    }
+  }
+
+  if (best_count < cfg.min_inliers) {
+    return Status::Unavailable("no consensus: best model explains " +
+                               std::to_string(best_count) + " of " +
+                               std::to_string(matches.size()) + " correspondences");
+  }
+
+  // Refit on the consensus set.
+  std::vector<Correspondence> consensus;
+  consensus.reserve(best_count);
+  for (std::size_t k = 0; k < matches.size(); ++k) {
+    if (best_inliers[k]) consensus.push_back(matches[k]);
+  }
+  auto refined = FitSimilarity(consensus, cfg.estimate_scale);
+  if (!refined.ok()) return refined.status();
+
+  RegistrationResult result;
+  result.transform = *refined;
+  result.inliers.assign(matches.size(), false);
+  double sq = 0.0;
+  result.inlier_count = 0;
+  for (std::size_t k = 0; k < matches.size(); ++k) {
+    const double r = ResidualM(*refined, matches[k]);
+    if (r <= cfg.inlier_threshold_m) {
+      result.inliers[k] = true;
+      ++result.inlier_count;
+      sq += r * r;
+    }
+  }
+  result.rms_error = result.inlier_count
+                         ? std::sqrt(sq / static_cast<double>(result.inlier_count))
+                         : 0.0;
+  return result;
+}
+
+}  // namespace arbd::ar

@@ -1,0 +1,67 @@
+// Content-to-world registration. The paper (§1) calls out "linkage between
+// real and virtual content" as imperative environmental information; when
+// the camera recognizes map features, the transform aligning the content
+// model to the observed world must be estimated — with outliers, because
+// feature matching is imperfect.
+//
+// We solve the 2D similarity transform (rotation + translation + optional
+// scale) between corresponding point sets with the Umeyama closed form,
+// wrapped in RANSAC for robustness against mismatched features.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace arbd::ar {
+
+struct Point2 {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+struct Correspondence {
+  Point2 model;     // where the content model says the feature is
+  Point2 observed;  // where the camera saw it
+};
+
+// observed ≈ s·R(θ)·model + t
+struct SimilarityTransform {
+  double theta_rad = 0.0;
+  double scale = 1.0;
+  double tx = 0.0;
+  double ty = 0.0;
+
+  Point2 Apply(const Point2& p) const;
+  static SimilarityTransform Identity() { return {}; }
+};
+
+struct RegistrationResult {
+  SimilarityTransform transform;
+  std::vector<bool> inliers;    // per input correspondence
+  std::size_t inlier_count = 0;
+  double rms_error = 0.0;       // over inliers
+};
+
+// Least-squares similarity fit over all correspondences (Umeyama). Needs
+// at least two non-coincident points. `estimate_scale=false` pins s = 1
+// (rigid fit — the common case when both sides are metric).
+Expected<SimilarityTransform> FitSimilarity(const std::vector<Correspondence>& matches,
+                                            bool estimate_scale = false);
+
+struct RansacConfig {
+  int iterations = 64;
+  double inlier_threshold_m = 0.5;
+  std::size_t min_inliers = 3;
+  bool estimate_scale = false;
+};
+
+// Robust registration: samples minimal 2-point sets, scores by inlier
+// count, refits on the consensus set. Fails if no model reaches
+// `min_inliers`.
+Expected<RegistrationResult> RegisterRansac(const std::vector<Correspondence>& matches,
+                                            const RansacConfig& cfg, Rng& rng);
+
+}  // namespace arbd::ar

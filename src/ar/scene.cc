@@ -1,0 +1,112 @@
+#include "ar/scene.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace arbd::ar {
+namespace {
+constexpr double kDegToRad = M_PI / 180.0;
+}
+
+SceneGraph::SceneGraph() {
+  nodes_[kRootNode] = Node{"root", kRootNode, {}, {}, {}};
+}
+
+Expected<NodeId> SceneGraph::AddNode(NodeId parent, std::string name,
+                                     LocalTransform transform) {
+  auto it = nodes_.find(parent);
+  if (it == nodes_.end()) return Status::NotFound("parent node " + std::to_string(parent));
+  const NodeId id = next_id_++;
+  nodes_[id] = Node{std::move(name), parent, transform, {}, {}};
+  nodes_[parent].children.push_back(id);
+  return id;
+}
+
+Status SceneGraph::RemoveNode(NodeId id) {
+  if (id == kRootNode) return Status::InvalidArgument("cannot remove root");
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) return Status::NotFound("node " + std::to_string(id));
+  // Depth-first removal of the subtree.
+  std::vector<NodeId> stack{id};
+  std::vector<NodeId> doomed;
+  while (!stack.empty()) {
+    const NodeId n = stack.back();
+    stack.pop_back();
+    doomed.push_back(n);
+    for (NodeId c : nodes_[n].children) stack.push_back(c);
+  }
+  auto& siblings = nodes_[it->second.parent].children;
+  siblings.erase(std::find(siblings.begin(), siblings.end(), id));
+  for (NodeId n : doomed) nodes_.erase(n);
+  return Status::Ok();
+}
+
+Status SceneGraph::SetTransform(NodeId id, LocalTransform transform) {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) return Status::NotFound("node " + std::to_string(id));
+  it->second.transform = transform;
+  return Status::Ok();
+}
+
+Expected<LocalTransform> SceneGraph::GetTransform(NodeId id) const {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) return Status::NotFound("node " + std::to_string(id));
+  return it->second.transform;
+}
+
+Expected<WorldPose> SceneGraph::Resolve(NodeId id) const {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) return Status::NotFound("node " + std::to_string(id));
+
+  // Collect the chain node→root, then compose root→node.
+  std::vector<const Node*> chain;
+  const Node* n = &it->second;
+  while (true) {
+    chain.push_back(n);
+    if (n->parent == kRootNode && n == &nodes_.at(kRootNode)) break;
+    auto pit = nodes_.find(n->parent);
+    if (pit == nodes_.end()) return Status::DataLoss("dangling parent link");
+    if (n == &pit->second) break;  // root points at itself
+    n = &pit->second;
+  }
+
+  WorldPose pose;
+  for (auto rit = chain.rbegin(); rit != chain.rend(); ++rit) {
+    const LocalTransform& t = (*rit)->transform;
+    const double yaw = pose.yaw_deg * kDegToRad;
+    // Child translation rotated by accumulated yaw (clockwise-from-north
+    // convention: east' = e·cos + n·sin rotated appropriately).
+    pose.east += t.east * std::cos(yaw) + t.north * std::sin(yaw);
+    pose.north += -t.east * std::sin(yaw) + t.north * std::cos(yaw);
+    pose.up += t.up;
+    pose.yaw_deg += t.yaw_deg;
+  }
+  while (pose.yaw_deg >= 360.0) pose.yaw_deg -= 360.0;
+  while (pose.yaw_deg < 0.0) pose.yaw_deg += 360.0;
+  return pose;
+}
+
+Status SceneGraph::Attach(NodeId id, std::uint64_t annotation_id) {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) return Status::NotFound("node " + std::to_string(id));
+  it->second.annotations.push_back(annotation_id);
+  return Status::Ok();
+}
+
+std::vector<std::uint64_t> SceneGraph::AttachedTo(NodeId id) const {
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? std::vector<std::uint64_t>{} : it->second.annotations;
+}
+
+std::vector<NodeId> SceneGraph::ChildrenOf(NodeId id) const {
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? std::vector<NodeId>{} : it->second.children;
+}
+
+Expected<std::string> SceneGraph::NameOf(NodeId id) const {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) return Status::NotFound("node " + std::to_string(id));
+  return it->second.name;
+}
+
+}  // namespace arbd::ar

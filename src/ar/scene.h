@@ -1,0 +1,67 @@
+// A minimal scene graph: hierarchical nodes with local ENU transforms
+// (translation + yaw), so content can be authored relative to a parent —
+// e.g. a shelf node inside a store node inside the city — and resolved to
+// world coordinates per frame.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace arbd::ar {
+
+using NodeId = std::uint64_t;
+inline constexpr NodeId kRootNode = 0;
+
+struct LocalTransform {
+  double east = 0.0;
+  double north = 0.0;
+  double up = 0.0;
+  double yaw_deg = 0.0;  // rotation applied to children's translations
+};
+
+struct WorldPose {
+  double east = 0.0;
+  double north = 0.0;
+  double up = 0.0;
+  double yaw_deg = 0.0;
+};
+
+class SceneGraph {
+ public:
+  SceneGraph();
+
+  // Creates a node under `parent`; returns its id.
+  Expected<NodeId> AddNode(NodeId parent, std::string name, LocalTransform transform);
+  Status RemoveNode(NodeId id);  // removes the whole subtree
+  Status SetTransform(NodeId id, LocalTransform transform);
+  Expected<LocalTransform> GetTransform(NodeId id) const;
+
+  // Composes transforms root→node.
+  Expected<WorldPose> Resolve(NodeId id) const;
+
+  // Attach an annotation id to a node (content placed "on" that object).
+  Status Attach(NodeId id, std::uint64_t annotation_id);
+  std::vector<std::uint64_t> AttachedTo(NodeId id) const;
+
+  std::size_t size() const { return nodes_.size(); }
+  std::vector<NodeId> ChildrenOf(NodeId id) const;
+  Expected<std::string> NameOf(NodeId id) const;
+
+ private:
+  struct Node {
+    std::string name;
+    NodeId parent = kRootNode;
+    LocalTransform transform;
+    std::vector<NodeId> children;
+    std::vector<std::uint64_t> annotations;
+  };
+
+  std::map<NodeId, Node> nodes_;
+  NodeId next_id_ = 1;
+};
+
+}  // namespace arbd::ar

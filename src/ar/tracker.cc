@@ -1,0 +1,181 @@
+#include "ar/tracker.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace arbd::ar {
+namespace {
+constexpr double kDegToRad = M_PI / 180.0;
+constexpr double kRadToDeg = 180.0 / M_PI;
+
+double WrapRad(double r) {
+  while (r > M_PI) r -= 2.0 * M_PI;
+  while (r < -M_PI) r += 2.0 * M_PI;
+  return r;
+}
+}  // namespace
+
+EkfTracker::EkfTracker(TrackerConfig cfg) : cfg_(cfg) {}
+
+void EkfTracker::Reset(const PoseEstimate& initial) {
+  x_ = StateVec{};
+  x_(0, 0) = initial.east;
+  x_(1, 0) = initial.north;
+  x_(2, 0) = initial.vel_east;
+  x_(3, 0) = initial.vel_north;
+  x_(4, 0) = initial.yaw_deg * kDegToRad;
+  // Large initial uncertainty: the first absolute fixes should dominate
+  // the prior rather than be averaged away.
+  p_ = StateMat::Identity() * 100.0;
+  last_time_ = initial.time;
+  initialized_ = true;
+}
+
+void EkfTracker::PredictImu(const sensors::ImuSample& imu) {
+  if (!initialized_) return;
+  if (cfg_.mode == TrackerMode::kGpsOnly) {
+    last_time_ = imu.time;
+    return;
+  }
+  const double dt = (imu.time - last_time_).seconds();
+  last_time_ = imu.time;
+  if (dt <= 0.0 || dt > 1.0) return;  // reject bogus gaps
+  ++predicts_;
+
+  // x' = f(x, u): constant-velocity kinematics driven by measured
+  // acceleration; yaw integrates the gyro.
+  x_(0, 0) += x_(2, 0) * dt + 0.5 * imu.accel_east * dt * dt;
+  x_(1, 0) += x_(3, 0) * dt + 0.5 * imu.accel_north * dt * dt;
+  x_(2, 0) += imu.accel_east * dt;
+  x_(3, 0) += imu.accel_north * dt;
+  x_(4, 0) = WrapRad(x_(4, 0) + imu.yaw_rate_dps * kDegToRad * dt);
+
+  // Jacobian F (identity plus velocity coupling).
+  StateMat f = StateMat::Identity();
+  f(0, 2) = dt;
+  f(1, 3) = dt;
+
+  // Process noise: acceleration white noise mapped through dt.
+  const double qa = cfg_.accel_process_noise * cfg_.accel_process_noise;
+  const double qyaw = std::pow(cfg_.yaw_process_noise_dps * kDegToRad, 2);
+  StateMat q;
+  q(0, 0) = 0.25 * dt * dt * dt * dt * qa;
+  q(1, 1) = q(0, 0);
+  q(2, 2) = dt * dt * qa;
+  q(3, 3) = q(2, 2);
+  q(0, 2) = 0.5 * dt * dt * dt * qa;
+  q(2, 0) = q(0, 2);
+  q(1, 3) = q(0, 2);
+  q(3, 1) = q(0, 2);
+  q(4, 4) = dt * dt * qyaw;
+
+  p_ = f * p_ * f.Transpose() + q;
+}
+
+template <std::size_t M>
+void EkfTracker::ApplyUpdate(const Mat<M, kN>& h, const Vec<M>& innovation,
+                             const Mat<M, M>& noise) {
+  const Mat<M, M> s = h * p_ * h.Transpose() + noise;
+  const Mat<kN, M> k = p_ * h.Transpose() * s.Inverse();
+  x_ = x_ + k * innovation;
+  x_(4, 0) = WrapRad(x_(4, 0));
+  p_ = (StateMat::Identity() - k * h) * p_;
+  ++updates_;
+}
+
+void EkfTracker::UpdateGps(const sensors::GpsFix& fix) {
+  if (!initialized_) {
+    PoseEstimate init;
+    init.time = fix.time;
+    init.east = fix.east;
+    init.north = fix.north;
+    Reset(init);
+    return;
+  }
+  if (cfg_.mode == TrackerMode::kDeadReckoning) return;
+  if (cfg_.mode == TrackerMode::kGpsOnly) {
+    // Trust the fix outright: the baseline the paper's AR apps get today.
+    x_(0, 0) = fix.east;
+    x_(1, 0) = fix.north;
+    last_time_ = fix.time;
+    ++updates_;
+    p_(0, 0) = fix.accuracy_m * fix.accuracy_m;
+    p_(1, 1) = fix.accuracy_m * fix.accuracy_m;
+    return;
+  }
+
+  Mat<2, kN> h;
+  h(0, 0) = 1.0;
+  h(1, 1) = 1.0;
+  Vec<2> innovation;
+  innovation(0, 0) = fix.east - x_(0, 0);
+  innovation(1, 0) = fix.north - x_(1, 0);
+  Mat<2, 2> r;
+  const double sigma = std::max(cfg_.gps_sigma_m, 0.1);
+  r(0, 0) = sigma * sigma;
+  r(1, 1) = sigma * sigma;
+  ApplyUpdate(h, innovation, r);
+}
+
+void EkfTracker::UpdateFeature(const sensors::FeatureObservation& ob, double landmark_east,
+                               double landmark_north) {
+  if (!initialized_ || cfg_.mode != TrackerMode::kFusion) return;
+  const double de = landmark_east - x_(0, 0);
+  const double dn = landmark_north - x_(1, 0);
+  const double range = std::sqrt(de * de + dn * dn);
+  if (range < 0.5) return;  // too close: geometry degenerate
+
+  // h(x) = [range, bearing]; bearing measured clockwise from north.
+  const double pred_bearing = std::atan2(de, dn);
+  Mat<2, kN> h;
+  h(0, 0) = -de / range;
+  h(0, 1) = -dn / range;
+  const double r2 = range * range;
+  h(1, 0) = -dn / r2;
+  h(1, 1) = de / r2;
+
+  Vec<2> innovation;
+  innovation(0, 0) = ob.range_m - range;
+  innovation(1, 0) = WrapRad(ob.bearing_deg * kDegToRad - pred_bearing);
+
+  Mat<2, 2> r;
+  r(0, 0) = cfg_.feature_range_sigma_m * cfg_.feature_range_sigma_m;
+  r(1, 1) = std::pow(cfg_.feature_bearing_sigma_deg * kDegToRad, 2);
+  ApplyUpdate(h, innovation, r);
+}
+
+PoseEstimate EkfTracker::Estimate() const {
+  PoseEstimate e;
+  e.time = last_time_;
+  e.east = x_(0, 0);
+  e.north = x_(1, 0);
+  e.vel_east = x_(2, 0);
+  e.vel_north = x_(3, 0);
+  e.yaw_deg = x_(4, 0) * kRadToDeg;
+  if (e.yaw_deg < 0) e.yaw_deg += 360.0;
+  e.position_sigma_m = std::sqrt(std::max(0.0, p_(0, 0) + p_(1, 1)));
+  return e;
+}
+
+void TrackingError::Add(const PoseEstimate& est, const sensors::TruthState& truth) {
+  const double de = est.east - truth.east;
+  const double dn = est.north - truth.north;
+  const double err = std::sqrt(de * de + dn * dn);
+  sq_pos_ += err * err;
+  double dyaw = est.yaw_deg - truth.yaw_deg;
+  while (dyaw > 180.0) dyaw -= 360.0;
+  while (dyaw < -180.0) dyaw += 360.0;
+  sq_yaw_ += dyaw * dyaw;
+  max_err_ = std::max(max_err_, err);
+  ++n_;
+}
+
+double TrackingError::PositionRmseM() const {
+  return n_ ? std::sqrt(sq_pos_ / static_cast<double>(n_)) : 0.0;
+}
+
+double TrackingError::YawRmseDeg() const {
+  return n_ ? std::sqrt(sq_yaw_ / static_cast<double>(n_)) : 0.0;
+}
+
+}  // namespace arbd::ar

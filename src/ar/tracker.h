@@ -1,0 +1,102 @@
+// Pose tracking: the "registered in 3-D" leg of Azuma's AR definition.
+//
+// An extended Kalman filter fuses IMU dead reckoning with absolute fixes
+// from GPS and camera landmark observations. Two degenerate modes — dead
+// reckoning only, GPS only — exist as the baselines the E13 experiment
+// compares the fusion against.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "ar/linalg.h"
+#include "common/clock.h"
+#include "sensors/models.h"
+
+namespace arbd::ar {
+
+// Estimated device pose in the local ENU frame.
+struct PoseEstimate {
+  TimePoint time;
+  double east = 0.0;
+  double north = 0.0;
+  double up = 1.7;
+  double vel_east = 0.0;
+  double vel_north = 0.0;
+  double yaw_deg = 0.0;
+  double position_sigma_m = 0.0;  // sqrt of position covariance trace
+};
+
+enum class TrackerMode {
+  kFusion,         // IMU predict + GPS & feature updates (the real thing)
+  kGpsOnly,        // latest GPS fix, no dynamics
+  kDeadReckoning,  // IMU integration only — drifts, by design
+};
+
+struct TrackerConfig {
+  TrackerMode mode = TrackerMode::kFusion;
+  double accel_process_noise = 0.3;   // m/s^2, must dominate IMU bias
+  double yaw_process_noise_dps = 2.0;
+  double gps_sigma_m = 4.0;           // measurement noise fed to the filter
+  double feature_range_sigma_m = 0.5;
+  double feature_bearing_sigma_deg = 1.5;
+};
+
+class EkfTracker {
+ public:
+  explicit EkfTracker(TrackerConfig cfg = {});
+
+  // Initialize/reset at a known starting state.
+  void Reset(const PoseEstimate& initial);
+
+  // Dead-reckoning prediction from an IMU sample (also advances time).
+  void PredictImu(const sensors::ImuSample& imu);
+
+  // Absolute position update.
+  void UpdateGps(const sensors::GpsFix& fix);
+
+  // Range/bearing update against a known landmark at (east, north).
+  void UpdateFeature(const sensors::FeatureObservation& ob, double landmark_east,
+                     double landmark_north);
+
+  PoseEstimate Estimate() const;
+  bool initialized() const { return initialized_; }
+
+  std::uint64_t predicts() const { return predicts_; }
+  std::uint64_t updates() const { return updates_; }
+
+ private:
+  // State: [east, north, vel_east, vel_north, yaw_rad]
+  static constexpr std::size_t kN = 5;
+  using StateVec = Vec<kN>;
+  using StateMat = Mat<kN, kN>;
+
+  template <std::size_t M>
+  void ApplyUpdate(const Mat<M, kN>& h, const Vec<M>& innovation, const Mat<M, M>& noise);
+
+  TrackerConfig cfg_;
+  StateVec x_;
+  StateMat p_;
+  TimePoint last_time_;
+  bool initialized_ = false;
+  std::uint64_t predicts_ = 0;
+  std::uint64_t updates_ = 0;
+};
+
+// Error metrics accumulated over a tracking run (RMSE vs ground truth).
+class TrackingError {
+ public:
+  void Add(const PoseEstimate& est, const sensors::TruthState& truth);
+  double PositionRmseM() const;
+  double YawRmseDeg() const;
+  double MaxErrorM() const { return max_err_; }
+  std::size_t samples() const { return n_; }
+
+ private:
+  double sq_pos_ = 0.0;
+  double sq_yaw_ = 0.0;
+  double max_err_ = 0.0;
+  std::size_t n_ = 0;
+};
+
+}  // namespace arbd::ar

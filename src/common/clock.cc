@@ -1,0 +1,33 @@
+#include "common/clock.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace arbd {
+
+std::string Duration::ToString() const {
+  char buf[64];
+  if (ns_ >= 1'000'000'000 || ns_ <= -1'000'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", seconds());
+  } else if (ns_ >= 1'000'000 || ns_ <= -1'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", static_cast<double>(ns_) / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldns", static_cast<long long>(ns_));
+  }
+  return buf;
+}
+
+std::string TimePoint::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "t=%.6fs", seconds());
+  return buf;
+}
+
+void SimClock::AdvanceTo(TimePoint t) {
+  if (t < now_) {
+    throw std::invalid_argument("SimClock::AdvanceTo: time must not go backwards");
+  }
+  now_ = t;
+}
+
+}  // namespace arbd

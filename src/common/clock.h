@@ -1,0 +1,102 @@
+// Simulated-time primitives.
+//
+// Everything in ARBD runs against an explicit clock so that tests and
+// benchmarks are deterministic. Wall-clock time never leaks into the
+// library; only the benchmark harness measures real elapsed time.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <string>
+
+namespace arbd {
+
+// Nanosecond-resolution duration. A thin strong type over int64 so that
+// durations and timestamps cannot be mixed up at call sites.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  static constexpr Duration Nanos(std::int64_t n) { return Duration(n); }
+  static constexpr Duration Micros(std::int64_t u) { return Duration(u * 1000); }
+  static constexpr Duration Millis(std::int64_t m) { return Duration(m * 1'000'000); }
+  static constexpr Duration Seconds(double s) {
+    return Duration(static_cast<std::int64_t>(s * 1e9));
+  }
+  static constexpr Duration Zero() { return Duration(0); }
+  static constexpr Duration Max() { return Duration(INT64_MAX); }
+
+  constexpr std::int64_t nanos() const { return ns_; }
+  constexpr std::int64_t micros() const { return ns_ / 1000; }
+  constexpr std::int64_t millis() const { return ns_ / 1'000'000; }
+  constexpr double seconds() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+  constexpr Duration operator+(Duration o) const { return Duration(ns_ + o.ns_); }
+  constexpr Duration operator-(Duration o) const { return Duration(ns_ - o.ns_); }
+  constexpr Duration operator*(double k) const {
+    return Duration(static_cast<std::int64_t>(static_cast<double>(ns_) * k));
+  }
+  constexpr Duration operator/(std::int64_t k) const { return Duration(ns_ / k); }
+  constexpr Duration& operator+=(Duration o) { ns_ += o.ns_; return *this; }
+  constexpr Duration& operator-=(Duration o) { ns_ -= o.ns_; return *this; }
+  constexpr Duration operator-() const { return Duration(-ns_); }
+
+  std::string ToString() const;
+
+ private:
+  explicit constexpr Duration(std::int64_t ns) : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+// Absolute simulated time, nanoseconds since simulation epoch.
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+  static constexpr TimePoint FromNanos(std::int64_t n) { return TimePoint(n); }
+  static constexpr TimePoint FromMillis(std::int64_t m) { return TimePoint(m * 1'000'000); }
+  static constexpr TimePoint FromSeconds(double s) {
+    return TimePoint(static_cast<std::int64_t>(s * 1e9));
+  }
+  static constexpr TimePoint Min() { return TimePoint(INT64_MIN); }
+  static constexpr TimePoint Max() { return TimePoint(INT64_MAX); }
+
+  constexpr std::int64_t nanos() const { return ns_; }
+  constexpr std::int64_t millis() const { return ns_ / 1'000'000; }
+  constexpr double seconds() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr auto operator<=>(const TimePoint&) const = default;
+  constexpr TimePoint operator+(Duration d) const { return TimePoint(ns_ + d.nanos()); }
+  constexpr TimePoint operator-(Duration d) const { return TimePoint(ns_ - d.nanos()); }
+  constexpr Duration operator-(TimePoint o) const { return Duration::Nanos(ns_ - o.ns_); }
+  constexpr TimePoint& operator+=(Duration d) { ns_ += d.nanos(); return *this; }
+
+  std::string ToString() const;
+
+ private:
+  explicit constexpr TimePoint(std::int64_t ns) : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+// Interface for time sources. Library code takes a `Clock&` (or reads
+// timestamps off records) so simulation and production differ only in
+// wiring.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual TimePoint Now() const = 0;
+};
+
+// Manually advanced clock for simulation and tests.
+class SimClock final : public Clock {
+ public:
+  explicit SimClock(TimePoint start = TimePoint{}) : now_(start) {}
+
+  TimePoint Now() const override { return now_; }
+  void Advance(Duration d) { now_ += d; }
+  void AdvanceTo(TimePoint t);
+
+ private:
+  TimePoint now_;
+};
+
+}  // namespace arbd

@@ -1,0 +1,32 @@
+#include "common/log.h"
+
+#include <atomic>
+
+namespace arbd {
+namespace {
+std::atomic<LogLevel> g_threshold{LogLevel::kWarn};
+
+const char* LevelName(LogLevel l) {
+  switch (l) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel Logger::threshold() { return g_threshold.load(std::memory_order_relaxed); }
+
+void Logger::set_threshold(LogLevel level) {
+  g_threshold.store(level, std::memory_order_relaxed);
+}
+
+void Logger::Log(LogLevel level, const std::string& module, const std::string& message) {
+  if (level < threshold()) return;
+  std::fprintf(stderr, "[%s] %s: %s\n", LevelName(level), module.c_str(), message.c_str());
+}
+
+}  // namespace arbd

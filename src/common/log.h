@@ -1,0 +1,24 @@
+// Minimal leveled logger. Off by default above WARN so tests and benches
+// stay quiet; scenarios can raise verbosity for demos.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace arbd {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+class Logger {
+ public:
+  static LogLevel threshold();
+  static void set_threshold(LogLevel level);
+  static void Log(LogLevel level, const std::string& module, const std::string& message);
+};
+
+#define ARBD_LOG(level, module, msg) ::arbd::Logger::Log(level, module, msg)
+#define ARBD_LOG_INFO(module, msg) ARBD_LOG(::arbd::LogLevel::kInfo, module, msg)
+#define ARBD_LOG_WARN(module, msg) ARBD_LOG(::arbd::LogLevel::kWarn, module, msg)
+#define ARBD_LOG_ERROR(module, msg) ARBD_LOG(::arbd::LogLevel::kError, module, msg)
+
+}  // namespace arbd

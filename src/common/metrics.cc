@@ -1,0 +1,101 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+namespace arbd {
+
+int Histogram::BucketFor(std::int64_t value) {
+  if (value < 0) value = 0;
+  if (value < kMinor) return static_cast<int>(value);
+  const auto u = static_cast<std::uint64_t>(value);
+  const int major = 63 - std::countl_zero(u);
+  const int minor = static_cast<int>((u >> (major - kMinorBits)) & (kMinor - 1));
+  return major * kMinor + minor;
+}
+
+std::int64_t Histogram::BucketUpperBound(int bucket) {
+  const int major = bucket / kMinor;
+  const int minor = bucket % kMinor;
+  if (major < kMinorBits + 1 && bucket < kMinor) return bucket;
+  const std::uint64_t base = 1ULL << major;
+  const std::uint64_t step = base >> kMinorBits;
+  return static_cast<std::int64_t>(base + step * static_cast<std::uint64_t>(minor + 1) - 1);
+}
+
+void Histogram::Record(std::int64_t value) {
+  if (value < 0) value = 0;
+  buckets_[static_cast<std::size_t>(BucketFor(value))]++;
+  ++count_;
+  sum_ += static_cast<double>(value);
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+std::int64_t Histogram::Quantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count_)));
+  std::uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += buckets_[static_cast<std::size_t>(b)];
+    if (seen >= target && buckets_[static_cast<std::size_t>(b)] > 0) {
+      return std::min(BucketUpperBound(b), max_);
+    }
+  }
+  return max_;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (int b = 0; b < kBuckets; ++b) {
+    buckets_[static_cast<std::size_t>(b)] += other.buckets_[static_cast<std::size_t>(b)];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Histogram::Reset() {
+  buckets_.fill(0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = INT64_MAX;
+  max_ = INT64_MIN;
+}
+
+std::string Histogram::Summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean=%s p50=%s p95=%s p99=%s max=%s",
+                static_cast<unsigned long long>(count_),
+                Duration::Nanos(static_cast<std::int64_t>(mean())).ToString().c_str(),
+                Duration::Nanos(p50()).ToString().c_str(),
+                Duration::Nanos(p95()).ToString().c_str(),
+                Duration::Nanos(p99()).ToString().c_str(),
+                Duration::Nanos(max()).ToString().c_str());
+  return buf;
+}
+
+SampleStats SampleStats::Of(const std::vector<double>& xs) {
+  SampleStats s;
+  s.n = xs.size();
+  if (xs.empty()) return s;
+  double sum = 0.0;
+  s.min = xs[0];
+  s.max = xs[0];
+  for (double x : xs) {
+    sum += x;
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = sum / static_cast<double>(xs.size());
+  double var = 0.0;
+  for (double x : xs) var += (x - s.mean) * (x - s.mean);
+  s.stddev = xs.size() > 1 ? std::sqrt(var / static_cast<double>(xs.size() - 1)) : 0.0;
+  return s;
+}
+
+}  // namespace arbd

@@ -1,0 +1,90 @@
+// Measurement primitives used by benchmarks and the frame pipeline:
+// counters, gauges, and a log-bucketed latency histogram with percentile
+// queries (HdrHistogram-style, fixed memory).
+#pragma once
+
+#include <cstdint>
+#include <array>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace arbd {
+
+// Log-bucketed histogram of non-negative int64 values (we record
+// nanoseconds). 64 major buckets (one per leading-bit position) times 16
+// minor buckets gives a relative error bound of ~6%.
+class Histogram {
+ public:
+  Histogram() { buckets_.fill(0); }
+
+  void Record(std::int64_t value);
+  void RecordDuration(Duration d) { Record(d.nanos()); }
+
+  std::uint64_t count() const { return count_; }
+  std::int64_t min() const { return count_ ? min_ : 0; }
+  std::int64_t max() const { return count_ ? max_ : 0; }
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+
+  // Value at quantile q in [0, 1]; approximate (bucket upper bound).
+  std::int64_t Quantile(double q) const;
+  std::int64_t p50() const { return Quantile(0.50); }
+  std::int64_t p95() const { return Quantile(0.95); }
+  std::int64_t p99() const { return Quantile(0.99); }
+
+  void Merge(const Histogram& other);
+  void Reset();
+
+  // "count=… mean=… p50=… p95=… p99=… max=…", values printed as durations.
+  std::string Summary() const;
+
+ private:
+  static constexpr int kMinorBits = 4;
+  static constexpr int kMinor = 1 << kMinorBits;
+  static constexpr int kBuckets = 64 * kMinor;
+
+  static int BucketFor(std::int64_t value);
+  static std::int64_t BucketUpperBound(int bucket);
+
+  std::array<std::uint64_t, kBuckets> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  std::int64_t min_ = INT64_MAX;
+  std::int64_t max_ = INT64_MIN;
+};
+
+// Simple named counter/gauge registry so subsystems can expose internals
+// to benches without plumbing ad-hoc return values.
+class MetricRegistry {
+ public:
+  void Add(const std::string& name, double delta = 1.0) { values_[name] += delta; }
+  void Set(const std::string& name, double value) { values_[name] = value; }
+  double Get(const std::string& name) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? 0.0 : it->second;
+  }
+  Histogram& Hist(const std::string& name) { return hists_[name]; }
+  const std::map<std::string, double>& values() const { return values_; }
+  const std::map<std::string, Histogram>& hists() const { return hists_; }
+  void Reset() { values_.clear(); hists_.clear(); }
+
+ private:
+  std::map<std::string, double> values_;
+  std::map<std::string, Histogram> hists_;
+};
+
+// Basic descriptive statistics over a sample vector (used by experiment
+// reports; not streaming — see analytics::StreamingStats for that).
+struct SampleStats {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::size_t n = 0;
+
+  static SampleStats Of(const std::vector<double>& xs);
+};
+
+}  // namespace arbd

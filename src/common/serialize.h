@@ -1,0 +1,97 @@
+// Binary serialization used by the stream layer (record payloads,
+// checkpoints) and the ARML-like content model. Little-endian, length-
+// prefixed strings, varint-free for simplicity: fixed-width fields keep
+// decoding branch-light.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace arbd {
+
+using Bytes = std::vector<std::uint8_t>;
+
+class BinaryWriter {
+ public:
+  void WriteU8(std::uint8_t v) { buf_.push_back(v); }
+  void WriteU32(std::uint32_t v) { Append(&v, sizeof(v)); }
+  void WriteU64(std::uint64_t v) { Append(&v, sizeof(v)); }
+  void WriteI64(std::int64_t v) { Append(&v, sizeof(v)); }
+  void WriteF64(double v) { Append(&v, sizeof(v)); }
+  void WriteString(const std::string& s) {
+    WriteU32(static_cast<std::uint32_t>(s.size()));
+    Append(s.data(), s.size());
+  }
+  void WriteBytes(const Bytes& b) {
+    WriteU32(static_cast<std::uint32_t>(b.size()));
+    Append(b.data(), b.size());
+  }
+
+  const Bytes& bytes() const { return buf_; }
+  Bytes Take() { return std::move(buf_); }
+
+ private:
+  void Append(const void* p, std::size_t n) {
+    const auto* c = static_cast<const std::uint8_t*>(p);
+    buf_.insert(buf_.end(), c, c + n);
+  }
+  Bytes buf_;
+};
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(const Bytes& buf) : buf_(buf) {}
+
+  Expected<std::uint8_t> ReadU8() { return ReadScalar<std::uint8_t>(); }
+  Expected<std::uint32_t> ReadU32() { return ReadScalar<std::uint32_t>(); }
+  Expected<std::uint64_t> ReadU64() { return ReadScalar<std::uint64_t>(); }
+  Expected<std::int64_t> ReadI64() { return ReadScalar<std::int64_t>(); }
+  Expected<double> ReadF64() { return ReadScalar<double>(); }
+
+  Expected<std::string> ReadString() {
+    auto n = ReadU32();
+    if (!n.ok()) return n.status();
+    if (pos_ + *n > buf_.size()) return Truncated();
+    std::string s(reinterpret_cast<const char*>(buf_.data() + pos_), *n);
+    pos_ += *n;
+    return s;
+  }
+
+  Expected<Bytes> ReadBytes() {
+    auto n = ReadU32();
+    if (!n.ok()) return n.status();
+    if (pos_ + *n > buf_.size()) return Truncated();
+    Bytes b(buf_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + *n));
+    pos_ += *n;
+    return b;
+  }
+
+  bool AtEnd() const { return pos_ == buf_.size(); }
+  std::size_t remaining() const { return buf_.size() - pos_; }
+
+ private:
+  template <typename T>
+  Expected<T> ReadScalar() {
+    if (pos_ + sizeof(T) > buf_.size()) return Truncated();
+    T v;
+    std::memcpy(&v, buf_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+  static Status Truncated() { return Status::DataLoss("truncated buffer"); }
+
+  const Bytes& buf_;
+  std::size_t pos_ = 0;
+};
+
+// FNV-1a hash, used for payload checksums and partitioning by key.
+std::uint64_t Fnv1a(const void* data, std::size_t n);
+inline std::uint64_t Fnv1a(const std::string& s) { return Fnv1a(s.data(), s.size()); }
+inline std::uint64_t Fnv1a(const Bytes& b) { return Fnv1a(b.data(), b.size()); }
+
+}  // namespace arbd

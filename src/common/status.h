@@ -1,0 +1,141 @@
+// Lightweight error-handling vocabulary.
+//
+// Recoverable, expected failures (queue full, unknown topic, offset out of
+// range) travel as Status / Expected<T> values; programming errors and
+// violated invariants throw. This keeps hot paths exception-free while
+// still failing loudly on bugs.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+#include <stdexcept>
+
+namespace arbd {
+
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,
+  kAlreadyExists,
+  kInvalidArgument,
+  kOutOfRange,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kUnavailable,
+  kDeadlineExceeded,
+  kDataLoss,
+  kPermissionDenied,
+};
+
+inline const char* StatusCodeName(StatusCode c) {
+  switch (c) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case StatusCode::kDataLoss: return "DATA_LOSS";
+    case StatusCode::kPermissionDenied: return "PERMISSION_DENIED";
+  }
+  return "UNKNOWN";
+}
+
+class Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status NotFound(std::string m) { return {StatusCode::kNotFound, std::move(m)}; }
+  static Status AlreadyExists(std::string m) { return {StatusCode::kAlreadyExists, std::move(m)}; }
+  static Status InvalidArgument(std::string m) { return {StatusCode::kInvalidArgument, std::move(m)}; }
+  static Status OutOfRange(std::string m) { return {StatusCode::kOutOfRange, std::move(m)}; }
+  static Status ResourceExhausted(std::string m) { return {StatusCode::kResourceExhausted, std::move(m)}; }
+  static Status FailedPrecondition(std::string m) { return {StatusCode::kFailedPrecondition, std::move(m)}; }
+  static Status Unavailable(std::string m) { return {StatusCode::kUnavailable, std::move(m)}; }
+  static Status DeadlineExceeded(std::string m) { return {StatusCode::kDeadlineExceeded, std::move(m)}; }
+  static Status DataLoss(std::string m) { return {StatusCode::kDataLoss, std::move(m)}; }
+  static Status PermissionDenied(std::string m) { return {StatusCode::kPermissionDenied, std::move(m)}; }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(StatusCodeName(code_)) + ": " + message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+// Value-or-error. Accessing the value of an errored Expected throws, so
+// misuse is caught immediately in tests.
+template <typename T>
+class Expected {
+ public:
+  Expected(T value) : v_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+  Expected(Status status) : v_(std::move(status)) {    // NOLINT(google-explicit-constructor)
+    if (std::get<Status>(v_).ok()) {
+      throw std::logic_error("Expected constructed from OK status without a value");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    Check();
+    return std::get<T>(v_);
+  }
+  T& value() & {
+    Check();
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    Check();
+    return std::get<T>(std::move(v_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(v_);
+  }
+
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(v_) : std::move(fallback);
+  }
+
+ private:
+  void Check() const {
+    if (!ok()) {
+      throw std::runtime_error("Expected accessed without value: " +
+                               std::get<Status>(v_).ToString());
+    }
+  }
+  std::variant<T, Status> v_;
+};
+
+// Invariant check that survives NDEBUG: these guard logic errors whose
+// silent violation would corrupt simulation results.
+#define ARBD_CHECK(cond, msg)                                   \
+  do {                                                          \
+    if (!(cond)) {                                              \
+      throw std::logic_error(std::string("check failed: ") +    \
+                             #cond + " — " + (msg));            \
+    }                                                           \
+  } while (0)
+
+}  // namespace arbd

@@ -1,0 +1,28 @@
+#include "core/context.h"
+
+#include <cmath>
+
+namespace arbd::core {
+
+ContextEngine::ContextEngine(std::string user_id, const geo::CityModel& city,
+                             ContextConfig cfg)
+    : user_id_(std::move(user_id)), city_(city), cfg_(cfg) {}
+
+UserContext ContextEngine::Snapshot() const {
+  UserContext ctx;
+  ctx.user_id = user_id_;
+  ctx.pose = tracker_.Estimate();
+  ctx.geo_pos = city_.frame().FromEnu(geo::Enu{ctx.pose.east, ctx.pose.north});
+  ctx.speed_mps = std::sqrt(ctx.pose.vel_east * ctx.pose.vel_east +
+                            ctx.pose.vel_north * ctx.pose.vel_north);
+  ctx.nearby = city_.pois().WithinRadius(ctx.geo_pos, cfg_.nearby_radius_m);
+
+  const ar::CameraView view(ctx.pose, cfg_.intrinsics);
+  for (const auto* poi : ctx.nearby) {
+    const geo::Enu enu = city_.frame().ToEnu(poi->pos);
+    if (view.InFrustum(enu.east, enu.north, poi->height_m)) ctx.in_view.push_back(poi);
+  }
+  return ctx;
+}
+
+}  // namespace arbd::core

@@ -1,0 +1,57 @@
+// Per-user context engine: fuses the tracker pose with the geo layer to
+// answer "where is the user, what is around them, what are they looking
+// at" — the environmental knowledge the paper says AR must feed on.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ar/frustum.h"
+#include "ar/tracker.h"
+#include "geo/city.h"
+#include "geo/poi.h"
+
+namespace arbd::core {
+
+struct UserContext {
+  std::string user_id;
+  ar::PoseEstimate pose;                 // ENU in the city frame
+  geo::LatLon geo_pos;
+  std::vector<const geo::Poi*> nearby;   // within the context radius
+  std::vector<const geo::Poi*> in_view;  // nearby ∩ camera frustum
+  double speed_mps = 0.0;
+};
+
+struct ContextConfig {
+  double nearby_radius_m = 120.0;
+  ar::CameraIntrinsics intrinsics;
+};
+
+class ContextEngine {
+ public:
+  ContextEngine(std::string user_id, const geo::CityModel& city, ContextConfig cfg = {});
+
+  // Feed sensor data through to the tracker.
+  void OnImu(const sensors::ImuSample& imu) { tracker_.PredictImu(imu); }
+  void OnGps(const sensors::GpsFix& fix) { tracker_.UpdateGps(fix); }
+  void OnFeature(const sensors::FeatureObservation& ob, double landmark_east,
+                 double landmark_north) {
+    tracker_.UpdateFeature(ob, landmark_east, landmark_north);
+  }
+
+  // Snapshot the current context (queries the POI index).
+  UserContext Snapshot() const;
+
+  ar::CameraView View() const { return {tracker_.Estimate(), cfg_.intrinsics}; }
+  ar::EkfTracker& tracker() { return tracker_; }
+  const geo::CityModel& city() const { return city_; }
+
+ private:
+  std::string user_id_;
+  const geo::CityModel& city_;
+  ContextConfig cfg_;
+  ar::EkfTracker tracker_;
+};
+
+}  // namespace arbd::core

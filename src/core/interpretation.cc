@@ -1,0 +1,93 @@
+#include "core/interpretation.h"
+
+#include <cstdio>
+
+namespace arbd::core {
+
+InterpretationEngine::InterpretationEngine(EntityResolver resolver)
+    : resolver_(std::move(resolver)) {}
+
+void InterpretationEngine::AddRule(InterpretationRule rule) {
+  rules_.push_back(std::move(rule));
+}
+
+std::string InterpretationEngine::Substitute(const std::string& tmpl,
+                                             const std::string& key, double value) {
+  std::string out = tmpl;
+  const auto replace_all = [&out](const std::string& from, const std::string& to) {
+    std::size_t pos = 0;
+    while ((pos = out.find(from, pos)) != std::string::npos) {
+      out.replace(pos, from.size(), to);
+      pos += to.size();
+    }
+  };
+  char vbuf[32];
+  std::snprintf(vbuf, sizeof(vbuf), "%.1f", value);
+  replace_all("{key}", key);
+  replace_all("{value}", vbuf);
+  return out;
+}
+
+std::optional<ar::content::Annotation> InterpretationEngine::Apply(
+    const std::string& key, const std::string& attribute, double value, TimePoint now) {
+  ++stats_.inputs;
+  const InterpretationRule* match = nullptr;
+  bool had_rule = false;
+  for (const auto& r : rules_) {
+    if (r.attribute != attribute) continue;
+    had_rule = true;
+    const bool informational = r.low <= -1e300 && r.high >= 1e300;
+    if (informational || value < r.low || value > r.high) {
+      match = &r;
+      break;
+    }
+  }
+  if (match == nullptr) {
+    if (had_rule) {
+      ++stats_.suppressed_in_range;
+    } else {
+      ++stats_.suppressed_no_rule;
+    }
+    return std::nullopt;
+  }
+
+  const EntityContext ctx = resolver_ ? resolver_(key) : EntityContext{};
+  ar::content::Annotation a;
+  if (ctx.has_position) {
+    a.anchor.kind = ar::content::Anchor::Kind::kWorld;
+    a.anchor.geo_pos = ctx.pos;
+    a.anchor.height_m = ctx.height_m;
+    a.anchor.building_id = ctx.building_id;
+  } else if (match->type == ar::content::SemanticType::kAlert ||
+             match->type == ar::content::SemanticType::kHealthMetric) {
+    // Alerts about un-located entities become HUD (screen) content.
+    a.anchor.kind = ar::content::Anchor::Kind::kScreen;
+    a.anchor.screen_x = 0.5;
+    a.anchor.screen_y = 0.15;
+  } else {
+    ++stats_.suppressed_no_anchor;
+    return std::nullopt;
+  }
+  a.type = match->type;
+  a.priority = match->priority;
+  a.created = now;
+  a.ttl = match->ttl;
+  a.title = Substitute(match->title_template, key, value);
+  a.body = Substitute(match->body_template, key, value);
+  a.properties["rule"] = match->name;
+  a.properties["attribute"] = attribute;
+  ++stats_.emitted;
+  return a;
+}
+
+std::optional<ar::content::Annotation> InterpretationEngine::Interpret(
+    const stream::WindowResult& result, TimePoint now) {
+  return Apply(result.key, result.attribute, result.value, now);
+}
+
+std::optional<ar::content::Annotation> InterpretationEngine::Interpret(
+    const stream::Event& event, TimePoint now) {
+  return Apply(event.key, event.attribute, event.value, now);
+}
+
+}  // namespace arbd::core

@@ -1,0 +1,90 @@
+// The interpretation layer (§4.2) — the paper's central integration
+// problem: "the output of a customer behavior analysis system is normally
+// customer stats, but AR is responsible for how to use the stats."
+//
+// This engine turns raw analytics outputs (windowed aggregates, events)
+// into semantically-typed, world-anchored Annotations that the AR display
+// layer can place. Rules are declarative: match an attribute, test the
+// value against thresholds, and emit an annotation from a template, so
+// scenarios extend the vocabulary without touching the engine.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ar/content.h"
+#include "common/clock.h"
+#include "geo/latlon.h"
+#include "stream/dataflow.h"
+
+namespace arbd::core {
+
+// World context the interpreter needs to anchor an annotation: where is
+// the entity the stat is about?
+struct EntityContext {
+  geo::LatLon pos;
+  double height_m = 2.0;
+  std::uint64_t building_id = 0;
+  bool has_position = false;
+};
+
+using EntityResolver = std::function<EntityContext(const std::string& key)>;
+
+struct InterpretationRule {
+  std::string name;
+  std::string attribute;              // matches WindowResult/Event attribute
+  // Fires when value is outside [low, high] (alerting) or always if both
+  // are infinite (informational readouts).
+  double low = -1e300;
+  double high = 1e300;
+  ar::content::SemanticType type = ar::content::SemanticType::kPlaceInfo;
+  double priority = 0.5;
+  Duration ttl = Duration::Seconds(15);
+  // Message template; {key} and {value} are substituted.
+  std::string title_template = "{key}";
+  std::string body_template = "{value}";
+};
+
+struct InterpretationStats {
+  std::uint64_t inputs = 0;
+  std::uint64_t emitted = 0;
+  std::uint64_t suppressed_no_rule = 0;
+  std::uint64_t suppressed_in_range = 0;
+  std::uint64_t suppressed_no_anchor = 0;
+};
+
+class InterpretationEngine {
+ public:
+  explicit InterpretationEngine(EntityResolver resolver);
+
+  void AddRule(InterpretationRule rule);
+  std::size_t rule_count() const { return rules_.size(); }
+
+  // Swap the entity resolver; installed rules are unaffected.
+  void set_resolver(EntityResolver resolver) { resolver_ = std::move(resolver); }
+
+  // Interprets one analytics result; nullopt when no rule fires.
+  std::optional<ar::content::Annotation> Interpret(const stream::WindowResult& result,
+                                                   TimePoint now);
+  std::optional<ar::content::Annotation> Interpret(const stream::Event& event,
+                                                   TimePoint now);
+
+  const InterpretationStats& stats() const { return stats_; }
+
+  static std::string Substitute(const std::string& tmpl, const std::string& key,
+                                double value);
+
+ private:
+  std::optional<ar::content::Annotation> Apply(const std::string& key,
+                                               const std::string& attribute, double value,
+                                               TimePoint now);
+
+  EntityResolver resolver_;
+  std::vector<InterpretationRule> rules_;
+  InterpretationStats stats_;
+};
+
+}  // namespace arbd::core

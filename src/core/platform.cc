@@ -1,0 +1,126 @@
+#include "core/platform.h"
+#include <algorithm>
+
+namespace arbd::core {
+
+Platform::Platform(PlatformConfig cfg, const geo::CityModel& city, SimClock& clock)
+    : cfg_(cfg),
+      city_(city),
+      clock_(clock),
+      broker_(clock),
+      classifier_(&city),
+      layout_(cfg.layout) {
+  stream::TopicConfig tc;
+  tc.partitions = cfg_.partitions;
+  const Status s = broker_.CreateTopic(cfg_.event_topic, tc);
+  ARBD_CHECK(s.ok(), "event topic creation must succeed");
+  group_ = std::make_unique<stream::ConsumerGroup>(broker_, "arbd.platform",
+                                                   cfg_.event_topic);
+  auto joined = group_->Join("platform-0");
+  ARBD_CHECK(joined.ok(), "platform consumer must join");
+  consumer_ = *joined;
+
+  // Default resolver: entities named like POIs resolve to their position;
+  // scenarios usually install a richer one.
+  interpreter_ = std::make_unique<InterpretationEngine>(
+      [this](const std::string& key) -> EntityContext {
+        EntityContext ctx;
+        for (const auto* poi : city_.pois().All()) {
+          if (poi->name == key) {
+            ctx.pos = poi->pos;
+            ctx.height_m = poi->height_m;
+            ctx.has_position = true;
+            break;
+          }
+        }
+        return ctx;
+      });
+}
+
+Status Platform::Publish(const stream::Event& event) {
+  auto produced = broker_.Produce(
+      cfg_.event_topic, stream::Record::Make(event.key, event.Encode(), event.event_time));
+  return produced.status();
+}
+
+void Platform::AddAggregation(const AggregationSpec& spec) {
+  Job job;
+  job.spec = spec;
+  job.pipeline = std::make_unique<stream::Pipeline>(cfg_.max_out_of_orderness);
+  const std::string attr = spec.attribute;
+  job.pipeline->Filter([attr](const stream::Event& e) { return e.attribute == attr; })
+      .WindowAggregate(spec.window, spec.agg, spec.allowed_lateness)
+      .Sink([this](const stream::WindowResult& r) {
+        ++results_interpreted_;
+        if (auto a = interpreter_->Interpret(r, clock_.Now())) {
+          annotations_.Add(std::move(*a));
+        }
+      });
+  jobs_.push_back(std::move(job));
+}
+
+void Platform::AddRule(InterpretationRule rule) { interpreter_->AddRule(std::move(rule)); }
+
+void Platform::SetEntityResolver(EntityResolver resolver) {
+  interpreter_->set_resolver(std::move(resolver));
+}
+
+std::size_t Platform::ProcessPending(std::size_t max_records) {
+  auto records = consumer_->Poll(max_records);
+  // The poll interleaves partitions in fetch order, not event-time order;
+  // sorting each batch by event time keeps the watermark honest so one
+  // fast partition cannot mark the others' events late.
+  std::sort(records.begin(), records.end(),
+            [](const stream::StoredRecord& a, const stream::StoredRecord& b) {
+              return a.record.event_time < b.record.event_time;
+            });
+  for (const auto& sr : records) {
+    auto event = stream::Event::Decode(sr.record.payload);
+    if (!event.ok()) continue;  // corrupt payloads are dropped, not fatal
+    for (auto& job : jobs_) job.pipeline->Push(*event);
+  }
+  consumer_->Commit();
+  return records.size();
+}
+
+std::uint64_t Platform::AddAnnotation(ar::content::Annotation a) {
+  if (a.created == TimePoint{}) a.created = clock_.Now();
+  return annotations_.Add(std::move(a));
+}
+
+ContextEngine& Platform::AddUser(const std::string& user_id) {
+  auto it = users_.find(user_id);
+  if (it == users_.end()) {
+    it = users_.emplace(user_id,
+                        std::make_unique<ContextEngine>(user_id, city_, cfg_.context))
+             .first;
+  }
+  return *it->second;
+}
+
+Expected<ContextEngine*> Platform::User(const std::string& user_id) {
+  auto it = users_.find(user_id);
+  if (it == users_.end()) return Status::NotFound("user '" + user_id + "'");
+  return it->second.get();
+}
+
+Expected<FrameResult> Platform::ComposeFrame(const std::string& user_id) {
+  auto user = User(user_id);
+  if (!user.ok()) return user.status();
+
+  FrameResult frame;
+  frame.expired = annotations_.ExpireOlderThan(clock_.Now());
+  const auto live = annotations_.Live();
+  frame.live_annotations = live.size();
+
+  const ar::CameraView view = (*user)->View();
+  const auto classified = classifier_.ClassifyAll(live, view);
+  for (const auto& c : classified) {
+    if (c.visibility != ar::Visibility::kOutOfView) ++frame.in_view;
+    if (c.visibility == ar::Visibility::kOccluded) ++frame.occluded;
+  }
+  frame.layout = layout_.Arrange(classified, cfg_.context.intrinsics);
+  return frame;
+}
+
+}  // namespace arbd::core

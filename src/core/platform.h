@@ -1,0 +1,112 @@
+// The ARBD platform — the paper's contribution assembled: sensor events
+// flow into the streaming backend, windowed analytics jobs aggregate them,
+// the interpretation layer turns aggregates into semantic annotations, and
+// the frame composer classifies + lays them out against the user's current
+// view. Everything runs on simulated time, single-threaded, deterministic.
+//
+//   sensors → Broker(topic) → ConsumerGroup → Pipeline(window agg)
+//          → InterpretationEngine → AnnotationStore
+//          → [per frame] OcclusionClassifier → LabelLayout → FrameResult
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ar/layout.h"
+#include "ar/occlusion.h"
+#include "core/context.h"
+#include "core/interpretation.h"
+#include "stream/consumer.h"
+#include "stream/dataflow.h"
+#include "stream/log.h"
+
+namespace arbd::core {
+
+struct PlatformConfig {
+  std::string event_topic = "arbd.events";
+  std::uint32_t partitions = 4;
+  Duration max_out_of_orderness = Duration::Millis(200);
+  ar::LayoutConfig layout;
+  ContextConfig context;
+};
+
+struct AggregationSpec {
+  std::string attribute;                 // which event attribute to aggregate
+  stream::WindowSpec window = stream::WindowSpec::Tumbling(Duration::Seconds(5));
+  stream::AggKind agg = stream::AggKind::kMean;
+  Duration allowed_lateness = Duration::Zero();
+};
+
+// Per-frame output: what would be drawn, plus bookkeeping counters.
+struct FrameResult {
+  ar::LayoutResult layout;
+  std::size_t live_annotations = 0;
+  std::size_t expired = 0;
+  std::size_t in_view = 0;
+  std::size_t occluded = 0;
+};
+
+class Platform {
+ public:
+  Platform(PlatformConfig cfg, const geo::CityModel& city, SimClock& clock);
+
+  // --- ingestion side -----------------------------------------------
+  // Publish an analytics event into the backend (key = entity id).
+  Status Publish(const stream::Event& event);
+
+  // Register a windowed aggregation job over the event stream.
+  void AddAggregation(const AggregationSpec& spec);
+
+  // Interpretation vocabulary (rules shared by all aggregation jobs).
+  void AddRule(InterpretationRule rule);
+  void SetEntityResolver(EntityResolver resolver);
+
+  // Drain pending broker records through the dataflow jobs; window results
+  // pass through interpretation into the annotation store. Returns number
+  // of records processed.
+  std::size_t ProcessPending(std::size_t max_records = 10'000);
+
+  // Direct annotation injection (scenario content not derived from stats).
+  std::uint64_t AddAnnotation(ar::content::Annotation a);
+
+  // --- per-user AR side ----------------------------------------------
+  // Users must be registered before composing frames for them.
+  ContextEngine& AddUser(const std::string& user_id);
+  Expected<ContextEngine*> User(const std::string& user_id);
+
+  // Compose one frame for the user's current estimated pose.
+  Expected<FrameResult> ComposeFrame(const std::string& user_id);
+
+  // --- accessors ------------------------------------------------------
+  stream::Broker& broker() { return broker_; }
+  ar::content::AnnotationStore& annotations() { return annotations_; }
+  InterpretationEngine& interpreter() { return *interpreter_; }
+  SimClock& clock() { return clock_; }
+  const geo::CityModel& city() const { return city_; }
+  std::uint64_t results_interpreted() const { return results_interpreted_; }
+
+ private:
+  struct Job {
+    AggregationSpec spec;
+    std::unique_ptr<stream::Pipeline> pipeline;
+  };
+
+  PlatformConfig cfg_;
+  const geo::CityModel& city_;
+  SimClock& clock_;
+  stream::Broker broker_;
+  std::unique_ptr<stream::ConsumerGroup> group_;
+  stream::Consumer* consumer_ = nullptr;
+  std::vector<Job> jobs_;
+  std::unique_ptr<InterpretationEngine> interpreter_;
+  ar::content::AnnotationStore annotations_;
+  ar::OcclusionClassifier classifier_;
+  ar::LabelLayout layout_;
+  std::map<std::string, std::unique_ptr<ContextEngine>> users_;
+  std::uint64_t results_interpreted_ = 0;
+};
+
+}  // namespace arbd::core

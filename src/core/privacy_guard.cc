@@ -1,0 +1,45 @@
+#include "core/privacy_guard.h"
+
+namespace arbd::core {
+
+void PrivacyGuard::SetPolicy(const std::string& user, PrivacyPolicy policy) {
+  policies_[user] = policy;
+}
+
+PrivacyPolicy PrivacyGuard::GetPolicy(const std::string& user) const {
+  auto it = policies_.find(user);
+  return it == policies_.end() ? PrivacyPolicy{} : it->second;
+}
+
+void PrivacyGuard::UpdatePopulation(
+    const std::vector<std::pair<std::string, geo::LatLon>>& users) {
+  cloak_.UpdatePopulation(users);
+}
+
+Expected<ReleasedLocation> PrivacyGuard::Release(const std::string& user,
+                                                 const geo::LatLon& true_pos) {
+  ++releases_;
+  const PrivacyPolicy policy = GetPolicy(user);
+  ReleasedLocation out;
+  switch (policy.location) {
+    case LocationPolicy::kExact:
+      out.pos = true_pos;
+      out.expected_error_m = 0.0;
+      return out;
+    case LocationPolicy::kGeoInd:
+      out.pos = geo_ind_.Perturb(true_pos, policy.geo_epsilon_per_m);
+      out.expected_error_m =
+          privacy::GeoIndistinguishability::ExpectedDisplacementM(policy.geo_epsilon_per_m);
+      return out;
+    case LocationPolicy::kCloaked: {
+      auto region = cloak_.Cloak(user, policy.k);
+      if (!region.ok()) return region.status();
+      out.pos = region->Center();
+      out.expected_error_m = region->DiagonalM() / 2.0;
+      return out;
+    }
+  }
+  return Status::InvalidArgument("unknown location policy");
+}
+
+}  // namespace arbd::core

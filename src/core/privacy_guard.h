@@ -1,0 +1,64 @@
+// Per-user location-privacy enforcement at the platform boundary (§4.3).
+//
+// The paper's tension: personalization needs the user's location, but
+// "users' identities and their movement patterns have a close
+// correlation". The guard sits between the tracker and everything that
+// *leaves* the device (context queries against shared services, events
+// published to the backend): the true pose stays local for rendering,
+// while released positions are degraded according to the user's policy.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "geo/latlon.h"
+#include "privacy/cloak.h"
+#include "privacy/mechanisms.h"
+
+namespace arbd::core {
+
+enum class LocationPolicy {
+  kExact,       // no protection (the paper's status quo)
+  kGeoInd,      // geo-indistinguishability noise
+  kCloaked,     // k-anonymous region, released as its centre
+};
+
+struct PrivacyPolicy {
+  LocationPolicy location = LocationPolicy::kExact;
+  double geo_epsilon_per_m = 0.01;  // kGeoInd
+  std::size_t k = 5;                // kCloaked
+};
+
+struct ReleasedLocation {
+  geo::LatLon pos;
+  double expected_error_m = 0.0;  // what the degradation costs, a priori
+};
+
+class PrivacyGuard {
+ public:
+  PrivacyGuard(geo::BBox service_area, std::uint64_t seed)
+      : cloak_(service_area), geo_ind_(seed) {}
+
+  void SetPolicy(const std::string& user, PrivacyPolicy policy);
+  PrivacyPolicy GetPolicy(const std::string& user) const;
+
+  // The cloaking anonymity set: everyone currently known to the service.
+  void UpdatePopulation(const std::vector<std::pair<std::string, geo::LatLon>>& users);
+
+  // Degrades `true_pos` per the user's policy. Fails only for kCloaked
+  // when the anonymity set cannot support k.
+  Expected<ReleasedLocation> Release(const std::string& user,
+                                     const geo::LatLon& true_pos);
+
+  std::uint64_t releases() const { return releases_; }
+
+ private:
+  std::map<std::string, PrivacyPolicy> policies_;
+  privacy::KAnonymityCloak cloak_;
+  privacy::GeoIndistinguishability geo_ind_;
+  std::uint64_t releases_ = 0;
+};
+
+}  // namespace arbd::core

@@ -1,0 +1,77 @@
+#include "core/session.h"
+
+
+
+namespace arbd::core {
+
+CollaborativeSession::CollaborativeSession(std::string session_id,
+                                           const geo::CityModel& city,
+                                           ar::LayoutConfig layout)
+    : session_id_(std::move(session_id)),
+      city_(city),
+      classifier_(&city),
+      layout_(layout),
+      layout_cfg_(layout) {}
+
+Status CollaborativeSession::Join(const std::string& user_id, Role role,
+                                  ContextEngine* context) {
+  if (context == nullptr) return Status::InvalidArgument("context must not be null");
+  if (members_.contains(user_id)) {
+    return Status::AlreadyExists("user '" + user_id + "' already in session");
+  }
+  members_[user_id] = Member{std::move(role), context, {}};
+  return Status::Ok();
+}
+
+Status CollaborativeSession::Leave(const std::string& user_id) {
+  if (members_.erase(user_id) == 0) return Status::NotFound("user '" + user_id + "'");
+  return Status::Ok();
+}
+
+std::uint64_t CollaborativeSession::Share(ar::content::Annotation a, TimePoint now) {
+  if (a.created == TimePoint{}) a.created = now;
+  return shared_.Add(std::move(a));
+}
+
+std::uint64_t CollaborativeSession::AddPersonal(const std::string& user_id,
+                                                ar::content::Annotation a, TimePoint now) {
+  auto it = members_.find(user_id);
+  if (it == members_.end()) return 0;
+  if (a.created == TimePoint{}) a.created = now;
+  return it->second.personal.Add(std::move(a));
+}
+
+bool CollaborativeSession::RoleAllows(const Role& role,
+                                      const ar::content::Annotation& a) const {
+  if (a.priority < role.min_priority) return false;
+  if (role.visible_types.empty()) return true;
+  return role.visible_types.contains(a.type);
+}
+
+Expected<FrameResult> CollaborativeSession::ComposeFor(const std::string& user_id,
+                                                       TimePoint now) {
+  auto it = members_.find(user_id);
+  if (it == members_.end()) return Status::NotFound("user '" + user_id + "' not in session");
+  Member& m = it->second;
+
+  FrameResult frame;
+  frame.expired = shared_.ExpireOlderThan(now) + m.personal.ExpireOlderThan(now);
+
+  std::vector<const ar::content::Annotation*> visible;
+  for (const auto* a : shared_.Live()) {
+    if (RoleAllows(m.role, *a)) visible.push_back(a);
+  }
+  for (const auto* a : m.personal.Live()) visible.push_back(a);
+  frame.live_annotations = visible.size();
+
+  const ar::CameraView view = m.context->View();
+  const auto classified = classifier_.ClassifyAll(visible, view);
+  for (const auto& c : classified) {
+    if (c.visibility != ar::Visibility::kOutOfView) ++frame.in_view;
+    if (c.visibility == ar::Visibility::kOccluded) ++frame.occluded;
+  }
+  frame.layout = layout_.Arrange(classified, view.intrinsics());
+  return frame;
+}
+
+}  // namespace arbd::core

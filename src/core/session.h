@@ -1,0 +1,69 @@
+// Collaborative sessions (§2.2): multiple users share one dataset and
+// "view it from their own angle … probe into subsets respectively without
+// interference". A session holds shared annotations; each member gets a
+// role-filtered, pose-specific composition — the contextualized-views idea
+// from the civil-engineering example in §3.4 (electrician sees electrical
+// overlays, plumber sees plumbing).
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ar/layout.h"
+#include "ar/occlusion.h"
+#include "core/context.h"
+#include "core/platform.h"
+
+namespace arbd::core {
+
+struct Role {
+  std::string name;
+  // Empty = sees everything; otherwise a whitelist of semantic types.
+  std::set<ar::content::SemanticType> visible_types;
+  double min_priority = 0.0;
+};
+
+class CollaborativeSession {
+ public:
+  CollaborativeSession(std::string session_id, const geo::CityModel& city,
+                       ar::LayoutConfig layout = {});
+
+  Status Join(const std::string& user_id, Role role, ContextEngine* context);
+  Status Leave(const std::string& user_id);
+  std::size_t member_count() const { return members_.size(); }
+
+  // Shared content: any member can contribute; all members see it
+  // (subject to their role filter).
+  std::uint64_t Share(ar::content::Annotation a, TimePoint now);
+
+  // Personal content: only the owner sees it ("probe into subsets …
+  // without interference").
+  std::uint64_t AddPersonal(const std::string& user_id, ar::content::Annotation a,
+                            TimePoint now);
+
+  // Compose the member's frame: shared ∩ role filter, plus personal items.
+  Expected<FrameResult> ComposeFor(const std::string& user_id, TimePoint now);
+
+  ar::content::AnnotationStore& shared() { return shared_; }
+
+ private:
+  struct Member {
+    Role role;
+    ContextEngine* context = nullptr;
+    ar::content::AnnotationStore personal;
+  };
+
+  bool RoleAllows(const Role& role, const ar::content::Annotation& a) const;
+
+  std::string session_id_;
+  const geo::CityModel& city_;
+  ar::OcclusionClassifier classifier_;
+  ar::LabelLayout layout_;
+  ar::LayoutConfig layout_cfg_;
+  ar::content::AnnotationStore shared_;
+  std::map<std::string, Member> members_;
+};
+
+}  // namespace arbd::core

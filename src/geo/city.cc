@@ -1,0 +1,150 @@
+#include "geo/city.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace arbd::geo {
+namespace {
+
+// Slab-method intersection of a 2D ray with an AABB; returns entry t or
+// a negative value if it misses. Directions may be zero on an axis.
+double RayAabb2D(double ox, double oy, double dx, double dy, double min_x, double min_y,
+                 double max_x, double max_y) {
+  double t0 = 0.0, t1 = 1e300;
+  const double o[2] = {ox, oy};
+  const double d[2] = {dx, dy};
+  const double lo[2] = {min_x, min_y};
+  const double hi[2] = {max_x, max_y};
+  for (int axis = 0; axis < 2; ++axis) {
+    if (std::abs(d[axis]) < 1e-12) {
+      if (o[axis] < lo[axis] || o[axis] > hi[axis]) return -1.0;
+      continue;
+    }
+    double ta = (lo[axis] - o[axis]) / d[axis];
+    double tb = (hi[axis] - o[axis]) / d[axis];
+    if (ta > tb) std::swap(ta, tb);
+    t0 = std::max(t0, ta);
+    t1 = std::min(t1, tb);
+    if (t0 > t1) return -1.0;
+  }
+  return t0;
+}
+
+}  // namespace
+
+CityModel::CityModel(CityConfig cfg, BBox bounds)
+    : cfg_(cfg), frame_(cfg.origin), pois_(std::make_unique<PoiStore>(bounds)) {}
+
+CityModel CityModel::Generate(const CityConfig& cfg, std::uint64_t seed) {
+  const double pitch = cfg.block_size_m + cfg.street_width_m;
+  const double extent_e = cfg.blocks_x * pitch;
+  const double extent_n = cfg.blocks_y * pitch;
+  // Store bounds: city extent plus a margin so nothing falls off the edge.
+  const BBox bounds = BBox::Around(cfg.origin, std::max(extent_e, extent_n) + 500.0);
+
+  CityModel city(cfg, bounds);
+  Rng rng(seed);
+  std::uint64_t next_building = 1;
+
+  static constexpr PoiCategory kStreetMix[] = {
+      PoiCategory::kRestaurant, PoiCategory::kCafe,   PoiCategory::kShop,
+      PoiCategory::kHotel,      PoiCategory::kMuseum, PoiCategory::kLandmark,
+      PoiCategory::kTransit,    PoiCategory::kPark,   PoiCategory::kOffice,
+      PoiCategory::kHospital};
+
+  for (int bx = 0; bx < cfg.blocks_x; ++bx) {
+    for (int by = 0; by < cfg.blocks_y; ++by) {
+      // Block south-west corner, centred so the origin is mid-city.
+      const double block_e = (bx - cfg.blocks_x / 2.0) * pitch;
+      const double block_n = (by - cfg.blocks_y / 2.0) * pitch;
+      for (int i = 0; i < cfg.buildings_per_block; ++i) {
+        Building b;
+        b.id = next_building++;
+        b.name = "bldg-" + std::to_string(bx) + "-" + std::to_string(by) + "-" +
+                 std::to_string(i);
+        // 2x2 sub-grid within the block.
+        const int sub_e = i % 2;
+        const int sub_n = (i / 2) % 2;
+        const double cell = cfg.block_size_m / 2.0;
+        b.half_width = cell * rng.Uniform(0.25, 0.45);
+        b.half_depth = cell * rng.Uniform(0.25, 0.45);
+        b.center_east = block_e + cell * (sub_e + 0.5);
+        b.center_north = block_n + cell * (sub_n + 0.5);
+        b.height_m = rng.Uniform(cfg.min_height_m, cfg.max_height_m);
+        city.buildings_.push_back(b);
+
+        for (int p = 0; p < cfg.pois_per_building; ++p) {
+          Poi poi;
+          poi.name = b.name + "-poi" + std::to_string(p);
+          poi.category = kStreetMix[rng.NextBelow(std::size(kStreetMix))];
+          poi.rating = rng.Uniform(1.0, 5.0);
+          poi.height_m = rng.Uniform(1.5, std::max(2.0, b.height_m * 0.3));
+          // Attach to a random facade point (street side of the footprint).
+          const int side = static_cast<int>(rng.NextBelow(4));
+          double pe = b.center_east, pn = b.center_north;
+          switch (side) {
+            case 0: pe -= b.half_width; pn += rng.Uniform(-b.half_depth, b.half_depth); break;
+            case 1: pe += b.half_width; pn += rng.Uniform(-b.half_depth, b.half_depth); break;
+            case 2: pn -= b.half_depth; pe += rng.Uniform(-b.half_width, b.half_width); break;
+            default: pn += b.half_depth; pe += rng.Uniform(-b.half_width, b.half_width); break;
+          }
+          // Nudge off the wall so the POI is not inside its own building.
+          pe += (pe > b.center_east ? 0.5 : -0.5);
+          pn += (pn > b.center_north ? 0.5 : -0.5);
+          poi.pos = city.frame_.FromEnu(Enu{pe, pn});
+          poi.attributes["building"] = std::to_string(b.id);
+          auto added = city.pois_->Add(std::move(poi));
+          ARBD_CHECK(added.ok(), "generated POI must fit store bounds");
+        }
+      }
+    }
+  }
+  return city;
+}
+
+RayHit CityModel::CastRay(double east, double north, double height, double d_east,
+                          double d_north, double d_up, double max_dist_m) const {
+  const double norm = std::sqrt(d_east * d_east + d_north * d_north + d_up * d_up);
+  RayHit best;
+  if (norm < 1e-12) return best;
+  const double de = d_east / norm, dn = d_north / norm, du = d_up / norm;
+  best.distance_m = max_dist_m;
+  for (const auto& b : buildings_) {
+    const double t = RayAabb2D(east, north, de, dn, b.center_east - b.half_width,
+                               b.center_north - b.half_depth, b.center_east + b.half_width,
+                               b.center_north + b.half_depth);
+    if (t < 0 || t >= best.distance_m) continue;
+    const double hit_height = height + du * t;
+    if (hit_height >= 0.0 && hit_height <= b.height_m) {
+      best.hit = true;
+      best.building_id = b.id;
+      best.distance_m = t;
+    }
+  }
+  if (!best.hit) best.distance_m = 0.0;
+  return best;
+}
+
+bool CityModel::IsOccluded(double eye_e, double eye_n, double eye_h, double tgt_e,
+                           double tgt_n, double tgt_h, std::uint64_t ignore_building) const {
+  const double de = tgt_e - eye_e;
+  const double dn = tgt_n - eye_n;
+  const double du = tgt_h - eye_h;
+  const double dist = std::sqrt(de * de + dn * dn + du * du);
+  if (dist < 1e-9) return false;
+  // March candidate hits; ignore hits essentially at the target itself
+  // (the target's own facade) and the target's own building.
+  const double limit = dist - 0.75;
+  for (const auto& b : buildings_) {
+    if (b.id == ignore_building) continue;
+    const double t = RayAabb2D(eye_e, eye_n, de / dist, dn / dist,
+                               b.center_east - b.half_width, b.center_north - b.half_depth,
+                               b.center_east + b.half_width, b.center_north + b.half_depth);
+    if (t < 1e-6 || t >= limit) continue;
+    const double hit_h = eye_h + (du / dist) * t;
+    if (hit_h >= 0.0 && hit_h <= b.height_m) return true;
+  }
+  return false;
+}
+
+}  // namespace arbd::geo

@@ -1,0 +1,139 @@
+#include "geo/crowdsource.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace arbd::geo {
+
+std::vector<MergedPlace> CrowdMerger::Merge(
+    const std::vector<Observation>& observations) const {
+  struct Cluster {
+    double lat_sum = 0.0, lon_sum = 0.0, weight = 0.0;
+    double rating_sum = 0.0;
+    std::map<PoiCategory, double> category_votes;
+    double best_trust = -1.0;
+    std::string best_name;
+    std::size_t support = 0;
+    LatLon Centroid() const { return {lat_sum / weight, lon_sum / weight}; }
+  };
+  std::vector<Cluster> clusters;
+
+  for (const auto& ob : observations) {
+    Cluster* target = nullptr;
+    double best_dist = cfg_.cluster_radius_m;
+    for (auto& c : clusters) {
+      const double d = DistanceM(c.Centroid(), ob.observed_pos);
+      if (d <= best_dist) {
+        best_dist = d;
+        target = &c;
+      }
+    }
+    if (target == nullptr) {
+      clusters.emplace_back();
+      target = &clusters.back();
+    }
+    const double w = std::max(1e-6, ob.trust);
+    target->lat_sum += ob.observed_pos.lat * w;
+    target->lon_sum += ob.observed_pos.lon * w;
+    target->weight += w;
+    target->rating_sum += ob.rating * w;
+    target->category_votes[ob.category] += w;
+    if (ob.trust > target->best_trust) {
+      target->best_trust = ob.trust;
+      target->best_name = ob.name;
+    }
+    ++target->support;
+  }
+
+  std::vector<MergedPlace> out;
+  for (const auto& c : clusters) {
+    if (c.support < cfg_.min_support) continue;
+    MergedPlace m;
+    m.pos = c.Centroid();
+    m.rating = c.rating_sum / c.weight;
+    m.name = c.best_name;
+    m.support = c.support;
+    double best = -1.0;
+    for (const auto& [cat, votes] : c.category_votes) {
+      if (votes > best) {
+        best = votes;
+        m.category = cat;
+      }
+    }
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+ModelQuality EvaluateModel(const std::vector<MergedPlace>& merged, const PoiStore& truth,
+                           double match_tolerance_m) {
+  ModelQuality q;
+  q.merged_count = merged.size();
+  const auto all = truth.All();
+  if (all.empty()) return q;
+
+  // Greedy nearest matching, each truth place claimed at most once.
+  std::vector<bool> merged_used(merged.size(), false);
+  std::size_t matched = 0, category_ok = 0;
+  double sq_err = 0.0;
+  for (const Poi* t : all) {
+    double best = match_tolerance_m;
+    std::ptrdiff_t best_i = -1;
+    for (std::size_t i = 0; i < merged.size(); ++i) {
+      if (merged_used[i]) continue;
+      const double d = DistanceM(t->pos, merged[i].pos);
+      if (d <= best) {
+        best = d;
+        best_i = static_cast<std::ptrdiff_t>(i);
+      }
+    }
+    if (best_i >= 0) {
+      merged_used[static_cast<std::size_t>(best_i)] = true;
+      ++matched;
+      sq_err += best * best;
+      if (merged[static_cast<std::size_t>(best_i)].category == t->category) ++category_ok;
+    }
+  }
+  q.completeness = static_cast<double>(matched) / static_cast<double>(all.size());
+  q.precision = merged.empty()
+                    ? 0.0
+                    : static_cast<double>(matched) / static_cast<double>(merged.size());
+  q.position_rmse_m = matched ? std::sqrt(sq_err / static_cast<double>(matched)) : 0.0;
+  q.category_accuracy =
+      matched ? static_cast<double>(category_ok) / static_cast<double>(matched) : 0.0;
+  return q;
+}
+
+std::vector<Observation> GenerateContributions(const PoiStore& truth,
+                                               const ContributionConfig& cfg, Rng& rng) {
+  std::vector<Observation> out;
+  const auto places = truth.All();
+  static constexpr PoiCategory kCats[] = {
+      PoiCategory::kRestaurant, PoiCategory::kCafe,   PoiCategory::kShop,
+      PoiCategory::kHotel,      PoiCategory::kMuseum, PoiCategory::kLandmark,
+      PoiCategory::kTransit,    PoiCategory::kHospital, PoiCategory::kPark,
+      PoiCategory::kOffice,     PoiCategory::kOther};
+  for (std::size_t u = 0; u < cfg.contributors; ++u) {
+    const double trust = rng.Uniform(cfg.trust_min, cfg.trust_max);
+    for (const Poi* p : places) {
+      if (!rng.Bernoulli(cfg.coverage)) continue;
+      Observation ob;
+      ob.contributor = u;
+      ob.trust = trust;
+      // Less-trusted contributors are also noisier observers.
+      const double noise = cfg.pos_noise_stddev_m * (1.5 - trust * 0.5);
+      ob.observed_pos = Offset(p->pos, std::abs(rng.Gaussian(0.0, noise)),
+                               rng.Uniform(0.0, 360.0));
+      ob.category = rng.Bernoulli(cfg.category_error_rate)
+                        ? kCats[rng.NextBelow(std::size(kCats))]
+                        : p->category;
+      ob.name = p->name;
+      ob.rating = std::clamp(p->rating + rng.Gaussian(0.0, 0.5), 0.0, 5.0);
+      out.push_back(std::move(ob));
+    }
+  }
+  return out;
+}
+
+}  // namespace arbd::geo

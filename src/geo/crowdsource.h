@@ -1,0 +1,82 @@
+// Crowdsourced world-model aggregation (§3.2): many contributors submit
+// noisy, partial observations of places; the merger clusters them,
+// resolves conflicts (trust-weighted position average, majority-vote
+// category), and reports how complete and accurate the merged model is
+// against ground truth. This is the E8 experiment's engine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "geo/latlon.h"
+#include "geo/poi.h"
+
+namespace arbd::geo {
+
+struct Observation {
+  std::uint64_t contributor = 0;
+  double trust = 1.0;       // contributor reputation weight
+  LatLon observed_pos;      // noisy
+  PoiCategory category = PoiCategory::kOther;
+  std::string name;         // possibly misspelled / partial
+  double rating = 0.0;
+};
+
+struct MergedPlace {
+  LatLon pos;                 // trust-weighted centroid
+  PoiCategory category;       // majority vote (trust-weighted)
+  std::string name;           // highest-trust contributor's spelling
+  double rating = 0.0;        // trust-weighted mean
+  std::size_t support = 0;    // observations merged
+};
+
+struct MergeConfig {
+  // Observations within this distance of a cluster centroid merge into it.
+  double cluster_radius_m = 15.0;
+  // Clusters with fewer observations than this are dropped as noise.
+  std::size_t min_support = 1;
+};
+
+class CrowdMerger {
+ public:
+  explicit CrowdMerger(MergeConfig cfg = {}) : cfg_(cfg) {}
+
+  // Greedy distance-threshold clustering: observations are processed in
+  // order and joined to the nearest existing cluster within radius, else
+  // open a new cluster. O(n·clusters) — fine at workload-generator scales.
+  std::vector<MergedPlace> Merge(const std::vector<Observation>& observations) const;
+
+ private:
+  MergeConfig cfg_;
+};
+
+// Quality of a merged model vs a ground-truth store.
+struct ModelQuality {
+  double completeness = 0.0;    // fraction of truth places matched within tolerance
+  double precision = 0.0;       // fraction of merged places matching some truth place
+  double position_rmse_m = 0.0; // over matched pairs
+  double category_accuracy = 0.0;
+  std::size_t merged_count = 0;
+};
+
+ModelQuality EvaluateModel(const std::vector<MergedPlace>& merged, const PoiStore& truth,
+                           double match_tolerance_m = 25.0);
+
+// Workload generator: simulates `contributors` users each observing a
+// random subset of the truth store with Gaussian position noise and a
+// category-confusion probability.
+struct ContributionConfig {
+  std::size_t contributors = 100;
+  double coverage = 0.3;          // chance a contributor saw a given place
+  double pos_noise_stddev_m = 8.0;
+  double category_error_rate = 0.1;
+  double trust_min = 0.2;
+  double trust_max = 1.0;
+};
+
+std::vector<Observation> GenerateContributions(const PoiStore& truth,
+                                               const ContributionConfig& cfg, Rng& rng);
+
+}  // namespace arbd::geo

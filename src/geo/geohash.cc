@@ -1,0 +1,108 @@
+#include "geo/geohash.h"
+
+#include <array>
+#include <cstring>
+
+namespace arbd::geo {
+namespace {
+
+constexpr const char* kBase32 = "0123456789bcdefghjkmnpqrstuvwxyz";
+
+int CharIndex(char c) {
+  const char* p = std::strchr(kBase32, c);
+  return p ? static_cast<int>(p - kBase32) : -1;
+}
+
+Expected<BBox> DecodeBBox(const std::string& hash) {
+  if (hash.empty() || hash.size() > 12) {
+    return Status::InvalidArgument("geohash length must be 1..12");
+  }
+  double lat_lo = -90.0, lat_hi = 90.0, lon_lo = -180.0, lon_hi = 180.0;
+  bool even = true;  // longitude bit first
+  for (char c : hash) {
+    const int idx = CharIndex(c);
+    if (idx < 0) return Status::InvalidArgument(std::string("invalid geohash char '") + c + "'");
+    for (int bit = 4; bit >= 0; --bit) {
+      const bool set = (idx >> bit) & 1;
+      if (even) {
+        const double mid = (lon_lo + lon_hi) / 2;
+        (set ? lon_lo : lon_hi) = mid;
+      } else {
+        const double mid = (lat_lo + lat_hi) / 2;
+        (set ? lat_lo : lat_hi) = mid;
+      }
+      even = !even;
+    }
+  }
+  return BBox{lat_lo, lon_lo, lat_hi, lon_hi};
+}
+
+}  // namespace
+
+std::string GeohashEncode(const LatLon& p, int precision) {
+  if (precision < 1) precision = 1;
+  if (precision > 12) precision = 12;
+  double lat_lo = -90.0, lat_hi = 90.0, lon_lo = -180.0, lon_hi = 180.0;
+  std::string out;
+  out.reserve(static_cast<std::size_t>(precision));
+  bool even = true;
+  int bit = 0, idx = 0;
+  while (static_cast<int>(out.size()) < precision) {
+    if (even) {
+      const double mid = (lon_lo + lon_hi) / 2;
+      if (p.lon >= mid) {
+        idx = (idx << 1) | 1;
+        lon_lo = mid;
+      } else {
+        idx <<= 1;
+        lon_hi = mid;
+      }
+    } else {
+      const double mid = (lat_lo + lat_hi) / 2;
+      if (p.lat >= mid) {
+        idx = (idx << 1) | 1;
+        lat_lo = mid;
+      } else {
+        idx <<= 1;
+        lat_hi = mid;
+      }
+    }
+    even = !even;
+    if (++bit == 5) {
+      out.push_back(kBase32[idx]);
+      bit = 0;
+      idx = 0;
+    }
+  }
+  return out;
+}
+
+Expected<LatLon> GeohashDecode(const std::string& hash) {
+  auto box = DecodeBBox(hash);
+  if (!box.ok()) return box.status();
+  return box->Center();
+}
+
+Expected<BBox> GeohashCell(const std::string& hash) { return DecodeBBox(hash); }
+
+Expected<std::vector<std::string>> GeohashNeighbors(const std::string& hash) {
+  auto box = DecodeBBox(hash);
+  if (!box.ok()) return box.status();
+  const double dlat = box->max_lat - box->min_lat;
+  const double dlon = box->max_lon - box->min_lon;
+  const LatLon c = box->Center();
+  std::vector<std::string> out;
+  out.reserve(8);
+  const std::array<std::pair<int, int>, 8> dirs{{{-1, -1}, {-1, 0}, {-1, 1}, {0, -1},
+                                                 {0, 1}, {1, -1}, {1, 0}, {1, 1}}};
+  for (const auto& [di, dj] : dirs) {
+    LatLon n{c.lat + dlat * di, c.lon + dlon * dj};
+    if (n.lat > 90 || n.lat < -90) continue;   // polar edge: no neighbour
+    if (n.lon > 180) n.lon -= 360;
+    if (n.lon < -180) n.lon += 360;
+    out.push_back(GeohashEncode(n, static_cast<int>(hash.size())));
+  }
+  return out;
+}
+
+}  // namespace arbd::geo

@@ -1,0 +1,27 @@
+// Geohash encoding — the interleaved base-32 prefix code used to key
+// geospatial records in the stream layer (records about nearby places
+// share key prefixes, so they land in the same partitions and caches).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "geo/latlon.h"
+
+namespace arbd::geo {
+
+// Encode to `precision` base-32 characters (1..12). 7 chars ≈ 76 m cell.
+std::string GeohashEncode(const LatLon& p, int precision = 7);
+
+// Decode to the centre of the geohash cell.
+Expected<LatLon> GeohashDecode(const std::string& hash);
+
+// Bounding box of the cell the hash denotes.
+Expected<BBox> GeohashCell(const std::string& hash);
+
+// The 8 neighbouring cells at the same precision (used to search a radius
+// without missing points that straddle a cell edge).
+Expected<std::vector<std::string>> GeohashNeighbors(const std::string& hash);
+
+}  // namespace arbd::geo

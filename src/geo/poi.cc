@@ -1,0 +1,132 @@
+#include "geo/poi.h"
+
+#include <algorithm>
+
+namespace arbd::geo {
+
+const char* PoiCategoryName(PoiCategory c) {
+  switch (c) {
+    case PoiCategory::kRestaurant: return "restaurant";
+    case PoiCategory::kCafe: return "cafe";
+    case PoiCategory::kShop: return "shop";
+    case PoiCategory::kHotel: return "hotel";
+    case PoiCategory::kMuseum: return "museum";
+    case PoiCategory::kLandmark: return "landmark";
+    case PoiCategory::kTransit: return "transit";
+    case PoiCategory::kHospital: return "hospital";
+    case PoiCategory::kPark: return "park";
+    case PoiCategory::kOffice: return "office";
+    case PoiCategory::kOther: return "other";
+  }
+  return "?";
+}
+
+PoiStore::PoiStore(BBox bounds) : bounds_(bounds), index_(bounds) {}
+
+Expected<PoiId> PoiStore::Add(Poi poi) {
+  if (!poi.pos.IsValid() || !bounds_.Contains(poi.pos)) {
+    return Status::InvalidArgument("POI '" + poi.name + "' outside store bounds");
+  }
+  poi.id = next_id_++;
+  index_.Insert(poi.id, poi.pos);
+  const PoiId id = poi.id;
+  pois_[id] = std::move(poi);
+  return id;
+}
+
+Status PoiStore::Update(const Poi& poi) {
+  auto it = pois_.find(poi.id);
+  if (it == pois_.end()) return Status::NotFound("POI id " + std::to_string(poi.id));
+  if (!bounds_.Contains(poi.pos)) {
+    return Status::InvalidArgument("updated position outside store bounds");
+  }
+  if (!(it->second.pos == poi.pos)) {
+    index_.Remove(poi.id, it->second.pos);
+    index_.Insert(poi.id, poi.pos);
+  }
+  it->second = poi;
+  return Status::Ok();
+}
+
+Status PoiStore::Remove(PoiId id) {
+  auto it = pois_.find(id);
+  if (it == pois_.end()) return Status::NotFound("POI id " + std::to_string(id));
+  index_.Remove(id, it->second.pos);
+  pois_.erase(it);
+  return Status::Ok();
+}
+
+Expected<const Poi*> PoiStore::Get(PoiId id) const {
+  auto it = pois_.find(id);
+  if (it == pois_.end()) return Status::NotFound("POI id " + std::to_string(id));
+  return &it->second;
+}
+
+std::vector<const Poi*> PoiStore::Nearest(const LatLon& center, std::size_t k) const {
+  std::vector<const Poi*> out;
+  for (auto id : index_.QueryKnn(center, k)) out.push_back(&pois_.at(id));
+  return out;
+}
+
+std::vector<const Poi*> PoiStore::WithinRadius(const LatLon& center, double radius_m) const {
+  std::vector<const Poi*> out;
+  for (auto id : index_.QueryRadius(center, radius_m)) out.push_back(&pois_.at(id));
+  return out;
+}
+
+std::vector<const Poi*> PoiStore::InBBox(const BBox& box) const {
+  std::vector<const Poi*> out;
+  for (auto id : index_.QueryBBox(box)) out.push_back(&pois_.at(id));
+  return out;
+}
+
+std::vector<const Poi*> PoiStore::NearestOfCategory(const LatLon& center, PoiCategory cat,
+                                                    std::size_t k) const {
+  // Expanding k-NN: over-fetch and filter; doubles until enough matches or
+  // the whole store has been examined.
+  std::vector<const Poi*> out;
+  std::size_t fetch = std::max<std::size_t>(k * 4, 16);
+  while (true) {
+    out.clear();
+    for (auto id : index_.QueryKnn(center, fetch)) {
+      const Poi& p = pois_.at(id);
+      if (p.category == cat) {
+        out.push_back(&p);
+        if (out.size() == k) return out;
+      }
+    }
+    if (fetch >= pois_.size()) return out;
+    fetch *= 2;
+  }
+}
+
+std::vector<const Poi*> PoiStore::NearestLinear(const LatLon& center, std::size_t k) const {
+  std::vector<std::pair<double, const Poi*>> dists;
+  dists.reserve(pois_.size());
+  for (const auto& [_, p] : pois_) dists.emplace_back(DistanceM(center, p.pos), &p);
+  const std::size_t n = std::min(k, dists.size());
+  std::partial_sort(dists.begin(), dists.begin() + static_cast<std::ptrdiff_t>(n),
+                    dists.end());
+  std::vector<const Poi*> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(dists[i].second);
+  return out;
+}
+
+std::vector<const Poi*> PoiStore::WithinRadiusLinear(const LatLon& center,
+                                                     double radius_m) const {
+  std::vector<const Poi*> out;
+  for (const auto& [_, p] : pois_) {
+    if (DistanceM(center, p.pos) <= radius_m) out.push_back(&p);
+  }
+  return out;
+}
+
+std::vector<const Poi*> PoiStore::All() const {
+  std::vector<const Poi*> out;
+  out.reserve(pois_.size());
+  for (const auto& [_, p] : pois_) out.push_back(&p);
+  return out;
+}
+
+}  // namespace arbd::geo

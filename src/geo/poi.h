@@ -1,0 +1,80 @@
+// Point-of-interest store — the "walled garden" data source the paper says
+// AR must break out of. Quadtree-indexed lookups (k-NN, radius, bbox,
+// category-filtered) plus an intentionally naive linear-scan path that the
+// E7 bench uses as its baseline.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "geo/latlon.h"
+#include "geo/quadtree.h"
+
+namespace arbd::geo {
+
+using PoiId = std::uint64_t;
+
+enum class PoiCategory {
+  kRestaurant,
+  kCafe,
+  kShop,
+  kHotel,
+  kMuseum,
+  kLandmark,
+  kTransit,
+  kHospital,
+  kPark,
+  kOffice,
+  kOther,
+};
+
+const char* PoiCategoryName(PoiCategory c);
+
+struct Poi {
+  PoiId id = 0;
+  std::string name;
+  PoiCategory category = PoiCategory::kOther;
+  LatLon pos;
+  double rating = 0.0;        // 0..5, crowd-sourced mean
+  double height_m = 0.0;      // for AR anchor placement on facades
+  std::map<std::string, std::string> attributes;  // opening hours, price, …
+};
+
+class PoiStore {
+ public:
+  explicit PoiStore(BBox bounds);
+
+  // Ids are assigned by the store; returns the stored id.
+  Expected<PoiId> Add(Poi poi);
+  Status Update(const Poi& poi);
+  Status Remove(PoiId id);
+  Expected<const Poi*> Get(PoiId id) const;
+
+  std::vector<const Poi*> Nearest(const LatLon& center, std::size_t k) const;
+  std::vector<const Poi*> WithinRadius(const LatLon& center, double radius_m) const;
+  std::vector<const Poi*> InBBox(const BBox& box) const;
+  std::vector<const Poi*> NearestOfCategory(const LatLon& center, PoiCategory cat,
+                                            std::size_t k) const;
+
+  // Linear-scan variants — the "no index" baseline for E7.
+  std::vector<const Poi*> NearestLinear(const LatLon& center, std::size_t k) const;
+  std::vector<const Poi*> WithinRadiusLinear(const LatLon& center, double radius_m) const;
+
+  std::size_t size() const { return pois_.size(); }
+  const BBox& bounds() const { return bounds_; }
+
+  // All POIs (stable id order) — used by workload generators.
+  std::vector<const Poi*> All() const;
+
+ private:
+  BBox bounds_;
+  QuadTree index_;
+  std::map<PoiId, Poi> pois_;
+  PoiId next_id_ = 1;
+};
+
+}  // namespace arbd::geo

@@ -1,0 +1,164 @@
+#include "geo/quadtree.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace arbd::geo {
+
+double BBoxDistanceM(const BBox& box, const LatLon& p) {
+  const double lat = std::clamp(p.lat, box.min_lat, box.max_lat);
+  const double lon = std::clamp(p.lon, box.min_lon, box.max_lon);
+  if (lat == p.lat && lon == p.lon) return 0.0;
+  return DistanceM(p, LatLon{lat, lon});
+}
+
+QuadTree::QuadTree(BBox bounds, std::size_t node_capacity, int max_depth)
+    : bounds_(bounds), capacity_(std::max<std::size_t>(1, node_capacity)),
+      max_depth_(std::max(1, max_depth)) {
+  root_ = std::make_unique<Node>();
+  root_->box = bounds_;
+}
+
+int QuadTree::ChildIndex(const Node& node, const LatLon& p) {
+  const double mid_lat = (node.box.min_lat + node.box.max_lat) / 2;
+  const double mid_lon = (node.box.min_lon + node.box.max_lon) / 2;
+  const bool north = p.lat >= mid_lat;
+  const bool east = p.lon >= mid_lon;
+  if (north && !east) return 0;  // NW
+  if (north && east) return 1;   // NE
+  if (!north && !east) return 2; // SW
+  return 3;                      // SE
+}
+
+void QuadTree::Split(Node& node, int depth) {
+  const double mid_lat = (node.box.min_lat + node.box.max_lat) / 2;
+  const double mid_lon = (node.box.min_lon + node.box.max_lon) / 2;
+  const BBox boxes[4] = {
+      {mid_lat, node.box.min_lon, node.box.max_lat, mid_lon},  // NW
+      {mid_lat, mid_lon, node.box.max_lat, node.box.max_lon},  // NE
+      {node.box.min_lat, node.box.min_lon, mid_lat, mid_lon},  // SW
+      {node.box.min_lat, mid_lon, mid_lat, node.box.max_lon},  // SE
+  };
+  for (int i = 0; i < 4; ++i) {
+    node.children[i] = std::make_unique<Node>();
+    node.children[i]->box = boxes[i];
+  }
+  node.leaf = false;
+  std::vector<Entry> old;
+  old.swap(node.entries);
+  for (const auto& e : old) InsertInto(*node.children[ChildIndex(node, e.pos)], e, depth + 1);
+}
+
+void QuadTree::InsertInto(Node& node, const Entry& e, int depth) {
+  if (!node.leaf) {
+    InsertInto(*node.children[ChildIndex(node, e.pos)], e, depth + 1);
+    return;
+  }
+  node.entries.push_back(e);
+  if (node.entries.size() > capacity_ && depth < max_depth_) {
+    Split(node, depth);
+  }
+}
+
+bool QuadTree::Insert(std::uint64_t id, const LatLon& pos) {
+  if (!bounds_.Contains(pos)) return false;
+  InsertInto(*root_, Entry{id, pos}, 0);
+  ++size_;
+  return true;
+}
+
+bool QuadTree::Remove(std::uint64_t id, const LatLon& pos) {
+  Node* node = root_.get();
+  while (!node->leaf) node = node->children[ChildIndex(*node, pos)].get();
+  auto it = std::find_if(node->entries.begin(), node->entries.end(),
+                         [&](const Entry& e) { return e.id == id && e.pos == pos; });
+  if (it == node->entries.end()) return false;
+  node->entries.erase(it);
+  --size_;
+  return true;
+}
+
+void QuadTree::CollectBBox(const Node& node, const BBox& box,
+                           std::vector<std::uint64_t>& out) const {
+  if (!node.box.Intersects(box)) return;
+  if (node.leaf) {
+    for (const auto& e : node.entries) {
+      if (box.Contains(e.pos)) out.push_back(e.id);
+    }
+    return;
+  }
+  for (const auto& c : node.children) CollectBBox(*c, box, out);
+}
+
+std::vector<std::uint64_t> QuadTree::QueryBBox(const BBox& box) const {
+  std::vector<std::uint64_t> out;
+  CollectBBox(*root_, box, out);
+  return out;
+}
+
+std::vector<std::uint64_t> QuadTree::QueryRadius(const LatLon& center,
+                                                 double radius_m) const {
+  std::vector<std::uint64_t> out;
+  const BBox box = BBox::Around(center, radius_m);
+  // Walk candidates from the bbox, then apply the exact circle test.
+  struct Frame { const Node* node; };
+  std::vector<Frame> stack{{root_.get()}};
+  while (!stack.empty()) {
+    const Node* node = stack.back().node;
+    stack.pop_back();
+    if (!node->box.Intersects(box)) continue;
+    if (node->leaf) {
+      for (const auto& e : node->entries) {
+        if (DistanceM(center, e.pos) <= radius_m) out.push_back(e.id);
+      }
+    } else {
+      for (const auto& c : node->children) stack.push_back({c.get()});
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> QuadTree::QueryKnn(const LatLon& center, std::size_t k) const {
+  std::vector<std::uint64_t> out;
+  if (k == 0 || size_ == 0) return out;
+
+  // Best-first search: a min-heap of (distance, node-or-entry).
+  struct Item {
+    double dist;
+    const Node* node;     // non-null for subtree items
+    std::uint64_t id;     // valid when node == nullptr
+    bool operator>(const Item& o) const { return dist > o.dist; }
+  };
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  heap.push({BBoxDistanceM(root_->box, center), root_.get(), 0});
+
+  while (!heap.empty() && out.size() < k) {
+    const Item top = heap.top();
+    heap.pop();
+    if (top.node == nullptr) {
+      out.push_back(top.id);
+      continue;
+    }
+    if (top.node->leaf) {
+      for (const auto& e : top.node->entries) {
+        heap.push({DistanceM(center, e.pos), nullptr, e.id});
+      }
+    } else {
+      for (const auto& c : top.node->children) {
+        heap.push({BBoxDistanceM(c->box, center), c.get(), 0});
+      }
+    }
+  }
+  return out;
+}
+
+int QuadTree::DepthOf(const Node& node) {
+  if (node.leaf) return 1;
+  int d = 0;
+  for (const auto& c : node.children) d = std::max(d, DepthOf(*c));
+  return d + 1;
+}
+
+int QuadTree::depth() const { return DepthOf(*root_); }
+
+}  // namespace arbd::geo

@@ -1,0 +1,64 @@
+// Point quadtree over lat/lon with range, radius, and k-nearest-neighbour
+// queries. This is the spatial index behind the POI store; the linear-scan
+// fallback it is benchmarked against (E7) lives in PoiStore.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "geo/latlon.h"
+
+namespace arbd::geo {
+
+// Items are referenced by opaque 64-bit ids; the tree stores (id, pos).
+class QuadTree {
+ public:
+  explicit QuadTree(BBox bounds, std::size_t node_capacity = 16, int max_depth = 16);
+
+  // Returns false if the point lies outside the tree bounds.
+  bool Insert(std::uint64_t id, const LatLon& pos);
+  // Removes one item with this id at this position; false if absent.
+  bool Remove(std::uint64_t id, const LatLon& pos);
+
+  std::vector<std::uint64_t> QueryBBox(const BBox& box) const;
+  std::vector<std::uint64_t> QueryRadius(const LatLon& center, double radius_m) const;
+  // Ids of the k nearest points, closest first. Best-first search over
+  // node bounding boxes, so it visits only the necessary subtrees.
+  std::vector<std::uint64_t> QueryKnn(const LatLon& center, std::size_t k) const;
+
+  std::size_t size() const { return size_; }
+  int depth() const;
+  const BBox& bounds() const { return bounds_; }
+
+ private:
+  struct Entry {
+    std::uint64_t id;
+    LatLon pos;
+  };
+  struct Node {
+    BBox box;
+    std::vector<Entry> entries;
+    std::unique_ptr<Node> children[4];  // NW, NE, SW, SE
+    bool leaf = true;
+  };
+
+  void Split(Node& node, int depth);
+  void InsertInto(Node& node, const Entry& e, int depth);
+  static int ChildIndex(const Node& node, const LatLon& p);
+  void CollectBBox(const Node& node, const BBox& box, std::vector<std::uint64_t>& out) const;
+  static int DepthOf(const Node& node);
+
+  BBox bounds_;
+  std::size_t capacity_;
+  int max_depth_;
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+};
+
+// Distance from a point to the nearest edge of a bbox, in metres
+// (0 if inside). Used by k-NN pruning; exposed for tests.
+double BBoxDistanceM(const BBox& box, const LatLon& p);
+
+}  // namespace arbd::geo

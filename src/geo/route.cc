@@ -1,0 +1,171 @@
+#include "geo/route.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+namespace arbd::geo {
+
+RoutePlanner::RoutePlanner(const CityModel& city) : city_(city) {
+  const CityConfig& cfg = city.config();
+  const double pitch = cfg.block_size_m + cfg.street_width_m;
+  nx_ = cfg.blocks_x + 1;
+  ny_ = cfg.blocks_y + 1;
+
+  nodes_.reserve(static_cast<std::size_t>(nx_) * static_cast<std::size_t>(ny_));
+  for (int iy = 0; iy < ny_; ++iy) {
+    for (int ix = 0; ix < nx_; ++ix) {
+      RouteNode n;
+      n.id = static_cast<RouteNodeId>(iy * nx_ + ix);
+      // Intersections sit on the street lattice at block corners (streets
+      // run along the south and west faces of each block).
+      n.east = (ix - cfg.blocks_x / 2.0) * pitch - cfg.street_width_m / 2.0;
+      n.north = (iy - cfg.blocks_y / 2.0) * pitch - cfg.street_width_m / 2.0;
+      nodes_.push_back(n);
+    }
+  }
+
+  adjacency_.resize(nodes_.size());
+  auto connect = [&](RouteNodeId a, RouteNodeId b) {
+    const double de = nodes_[a].east - nodes_[b].east;
+    const double dn = nodes_[a].north - nodes_[b].north;
+    const double len = std::sqrt(de * de + dn * dn);
+    adjacency_[a].push_back({b, len, false});
+    adjacency_[b].push_back({a, len, false});
+  };
+  for (int iy = 0; iy < ny_; ++iy) {
+    for (int ix = 0; ix < nx_; ++ix) {
+      const auto id = static_cast<RouteNodeId>(iy * nx_ + ix);
+      if (ix + 1 < nx_) connect(id, id + 1);
+      if (iy + 1 < ny_) connect(id, static_cast<RouteNodeId>(id + nx_));
+    }
+  }
+}
+
+std::size_t RoutePlanner::edge_count() const {
+  std::size_t n = 0;
+  for (const auto& adj : adjacency_) n += adj.size();
+  return n / 2;
+}
+
+RouteNodeId RoutePlanner::NearestNode(double east, double north) const {
+  RouteNodeId best = 0;
+  double best_d = std::numeric_limits<double>::max();
+  for (const auto& n : nodes_) {
+    const double d = (n.east - east) * (n.east - east) + (n.north - north) * (n.north - north);
+    if (d < best_d) {
+      best_d = d;
+      best = n.id;
+    }
+  }
+  return best;
+}
+
+RoutePlanner::Edge* RoutePlanner::FindEdge(RouteNodeId a, RouteNodeId b) {
+  if (a >= adjacency_.size()) return nullptr;
+  for (auto& e : adjacency_[a]) {
+    if (e.to == b) return &e;
+  }
+  return nullptr;
+}
+
+Status RoutePlanner::BlockEdge(RouteNodeId a, RouteNodeId b) {
+  Edge* ab = FindEdge(a, b);
+  Edge* ba = FindEdge(b, a);
+  if (ab == nullptr || ba == nullptr) {
+    return Status::NotFound("no street between " + std::to_string(a) + " and " +
+                            std::to_string(b));
+  }
+  ab->blocked = true;
+  ba->blocked = true;
+  return Status::Ok();
+}
+
+Status RoutePlanner::UnblockEdge(RouteNodeId a, RouteNodeId b) {
+  Edge* ab = FindEdge(a, b);
+  Edge* ba = FindEdge(b, a);
+  if (ab == nullptr || ba == nullptr) {
+    return Status::NotFound("no street between " + std::to_string(a) + " and " +
+                            std::to_string(b));
+  }
+  ab->blocked = false;
+  ba->blocked = false;
+  return Status::Ok();
+}
+
+Expected<Route> RoutePlanner::AStar(RouteNodeId start, RouteNodeId goal) const {
+  const auto heuristic = [&](RouteNodeId a) {
+    const double de = nodes_[a].east - nodes_[goal].east;
+    const double dn = nodes_[a].north - nodes_[goal].north;
+    return std::sqrt(de * de + dn * dn);
+  };
+
+  struct Item {
+    double f;
+    RouteNodeId node;
+    bool operator>(const Item& o) const { return f > o.f; }
+  };
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> open;
+  std::vector<double> g(nodes_.size(), std::numeric_limits<double>::max());
+  std::vector<RouteNodeId> parent(nodes_.size(), UINT32_MAX);
+
+  g[start] = 0.0;
+  open.push({heuristic(start), start});
+  while (!open.empty()) {
+    const auto [f, u] = open.top();
+    open.pop();
+    if (u == goal) break;
+    if (f > g[u] + heuristic(u) + 1e-9) continue;  // stale entry
+    for (const auto& e : adjacency_[u]) {
+      if (e.blocked) continue;
+      const double cand = g[u] + e.length_m;
+      if (cand < g[e.to]) {
+        g[e.to] = cand;
+        parent[e.to] = u;
+        open.push({cand + heuristic(e.to), e.to});
+      }
+    }
+  }
+  if (g[goal] == std::numeric_limits<double>::max()) {
+    return Status::Unavailable("no open route between intersections " +
+                               std::to_string(start) + " and " + std::to_string(goal));
+  }
+
+  Route route;
+  route.length_m = g[goal];
+  for (RouteNodeId n = goal; n != UINT32_MAX; n = parent[n]) {
+    route.nodes.push_back(n);
+    if (n == start) break;
+  }
+  std::reverse(route.nodes.begin(), route.nodes.end());
+  return route;
+}
+
+Expected<Route> RoutePlanner::PlanEnu(double from_east, double from_north, double to_east,
+                                      double to_north) const {
+  const RouteNodeId a = NearestNode(from_east, from_north);
+  const RouteNodeId b = NearestNode(to_east, to_north);
+  auto route = AStar(a, b);
+  if (!route.ok()) return route.status();
+  // Snap legs: origin → first intersection, last intersection → target.
+  const auto& na = nodes_[a];
+  const auto& nb = nodes_[b];
+  route->length_m += std::hypot(na.east - from_east, na.north - from_north) +
+                     std::hypot(nb.east - to_east, nb.north - to_north);
+  return route;
+}
+
+Expected<Route> RoutePlanner::Plan(const LatLon& from, const LatLon& to) const {
+  const Enu f = city_.frame().ToEnu(from);
+  const Enu t = city_.frame().ToEnu(to);
+  return PlanEnu(f.east, f.north, t.east, t.north);
+}
+
+Expected<double> RoutePlanner::WalkingDistanceM(const LatLon& from, const LatLon& to) const {
+  auto route = Plan(from, to);
+  if (!route.ok()) return route.status();
+  return route->length_m;
+}
+
+}  // namespace arbd::geo

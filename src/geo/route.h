@@ -1,0 +1,75 @@
+// Street routing over the city grid. §3.2 wants recommendations "based on
+// walking distance and time" — crow-flies distance lies in a city, so the
+// tourist guide routes along streets. The planner builds an intersection
+// graph from the city's block layout and answers shortest paths with A*;
+// edges can be blocked (construction, closures) to exercise re-routing.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "geo/city.h"
+
+namespace arbd::geo {
+
+using RouteNodeId = std::uint32_t;
+
+struct RouteNode {
+  RouteNodeId id = 0;
+  double east = 0.0;
+  double north = 0.0;
+};
+
+struct Route {
+  std::vector<RouteNodeId> nodes;  // intersections visited, in order
+  double length_m = 0.0;           // along streets, snap legs included
+};
+
+class RoutePlanner {
+ public:
+  // Builds the intersection graph of the city's street grid: one node per
+  // block corner, edges along street segments.
+  explicit RoutePlanner(const CityModel& city);
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t edge_count() const;  // undirected edges
+  const RouteNode& node(RouteNodeId id) const { return nodes_[id]; }
+
+  // Closest intersection to an ENU point.
+  RouteNodeId NearestNode(double east, double north) const;
+
+  // Street-walk shortest path between two ENU points (snapping both ends
+  // to intersections). Fails only if the graph is disconnected between
+  // them (possible with blocked edges).
+  Expected<Route> PlanEnu(double from_east, double from_north, double to_east,
+                          double to_north) const;
+  Expected<Route> Plan(const LatLon& from, const LatLon& to) const;
+
+  // Walking distance in metres; +inf sentinel is never returned — errors
+  // propagate instead.
+  Expected<double> WalkingDistanceM(const LatLon& from, const LatLon& to) const;
+
+  // Blocks/unblocks the street segment between two adjacent intersections.
+  Status BlockEdge(RouteNodeId a, RouteNodeId b);
+  Status UnblockEdge(RouteNodeId a, RouteNodeId b);
+
+ private:
+  struct Edge {
+    RouteNodeId to;
+    double length_m;
+    bool blocked = false;
+  };
+
+  Expected<Route> AStar(RouteNodeId start, RouteNodeId goal) const;
+  Edge* FindEdge(RouteNodeId a, RouteNodeId b);
+
+  const CityModel& city_;
+  int nx_ = 0;  // intersections per row
+  int ny_ = 0;
+  std::vector<RouteNode> nodes_;
+  std::vector<std::vector<Edge>> adjacency_;
+};
+
+}  // namespace arbd::geo

@@ -1,0 +1,18 @@
+#include "offload/executor.h"
+
+namespace arbd::offload {
+
+Duration DeviceModel::ExecTime(const ComputeTask& task) const {
+  return Duration::Seconds(task.work_mcycles * 1e6 / (cfg_.cpu_ghz * 1e9));
+}
+
+double DeviceModel::ExecEnergyJ(const ComputeTask& task) const {
+  return cfg_.active_power_w * ExecTime(task).seconds();
+}
+
+Duration CloudModel::ExecTime(const ComputeTask& task) const {
+  return cfg_.base_service_delay +
+         Duration::Seconds(task.work_mcycles * 1e6 / (cfg_.cpu_ghz * 1e9));
+}
+
+}  // namespace arbd::offload

@@ -1,0 +1,62 @@
+// Compute and energy models for the device and the cloud. Tasks are
+// described by work (mega-cycles) and I/O sizes; executors turn them into
+// time and joules. Numbers are calibrated to a mid-2010s smartphone class
+// device (the paper's era) but every one is a config knob.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/clock.h"
+
+namespace arbd::offload {
+
+struct ComputeTask {
+  std::string name;
+  double work_mcycles = 10.0;     // CPU work in millions of cycles
+  std::size_t input_bytes = 1024;   // shipped uplink if offloaded
+  std::size_t output_bytes = 256;   // shipped downlink if offloaded
+  bool offloadable = true;          // trackers must run locally, for instance
+};
+
+struct DeviceConfig {
+  double cpu_ghz = 2.0;
+  double active_power_w = 2.2;   // CPU at full tilt
+  double idle_power_w = 0.35;    // waiting on the network
+  double tx_power_w = 1.3;
+  double rx_power_w = 1.0;
+};
+
+struct CloudConfig {
+  double cpu_ghz = 16.0;           // effective (parallel speedup folded in)
+  Duration base_service_delay = Duration::Millis(2);  // queueing/dispatch
+};
+
+class DeviceModel {
+ public:
+  explicit DeviceModel(DeviceConfig cfg = {}) : cfg_(cfg) {}
+
+  Duration ExecTime(const ComputeTask& task) const;
+  double ExecEnergyJ(const ComputeTask& task) const;
+  double TxEnergyJ(Duration tx_time) const { return cfg_.tx_power_w * tx_time.seconds(); }
+  double RxEnergyJ(Duration rx_time) const { return cfg_.rx_power_w * rx_time.seconds(); }
+  double IdleEnergyJ(Duration wait) const { return cfg_.idle_power_w * wait.seconds(); }
+
+  const DeviceConfig& config() const { return cfg_; }
+
+ private:
+  DeviceConfig cfg_;
+};
+
+class CloudModel {
+ public:
+  explicit CloudModel(CloudConfig cfg = {}) : cfg_(cfg) {}
+
+  Duration ExecTime(const ComputeTask& task) const;
+  const CloudConfig& config() const { return cfg_; }
+
+ private:
+  CloudConfig cfg_;
+};
+
+}  // namespace arbd::offload

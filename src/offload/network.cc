@@ -1,0 +1,31 @@
+#include "offload/network.h"
+
+#include <algorithm>
+
+namespace arbd::offload {
+
+Duration NetworkModel::SampledHalfRtt() {
+  const double half_ms = cfg_.rtt.seconds() * 1000.0 / 2.0;
+  const double jitter_ms = rng_.Gaussian(0.0, cfg_.rtt_jitter.seconds() * 1000.0 / 2.0);
+  return Duration::Millis(0) + Duration::Seconds(std::max(0.1, half_ms + jitter_ms) / 1000.0);
+}
+
+Duration NetworkModel::UplinkTime(std::size_t bytes) {
+  Duration t = SampledHalfRtt() +
+               Duration::Seconds(static_cast<double>(bytes) * 8.0 / (cfg_.uplink_mbps * 1e6));
+  if (rng_.Bernoulli(cfg_.loss_rate)) t += cfg_.rtt;  // one retransmission
+  return t;
+}
+
+Duration NetworkModel::DownlinkTime(std::size_t bytes) {
+  Duration t = SampledHalfRtt() +
+               Duration::Seconds(static_cast<double>(bytes) * 8.0 / (cfg_.downlink_mbps * 1e6));
+  if (rng_.Bernoulli(cfg_.loss_rate)) t += cfg_.rtt;
+  return t;
+}
+
+Duration NetworkModel::RoundTrip(std::size_t request_bytes, std::size_t response_bytes) {
+  return UplinkTime(request_bytes) + DownlinkTime(response_bytes);
+}
+
+}  // namespace arbd::offload

@@ -1,0 +1,43 @@
+// Analytic wireless-link model between the AR device and the cloud:
+// RTT with jitter, asymmetric bandwidth, and packet loss expressed as
+// retransmission delay. Deliberately simple — the offload experiments
+// (E5) sweep its parameters, so its *shape* (latency = RTT/2 + size/bw)
+// is what matters.
+#pragma once
+
+#include <cstdint>
+
+#include "common/clock.h"
+#include "common/rng.h"
+
+namespace arbd::offload {
+
+struct NetworkConfig {
+  Duration rtt = Duration::Millis(40);
+  Duration rtt_jitter = Duration::Millis(8);   // 1-sigma
+  double uplink_mbps = 30.0;    // LTE-A / 802.11n era uplink
+  double downlink_mbps = 100.0;
+  double loss_rate = 0.005;                    // per transfer; adds one RTT retry
+};
+
+class NetworkModel {
+ public:
+  NetworkModel(NetworkConfig cfg, std::uint64_t seed) : cfg_(cfg), rng_(seed) {}
+
+  // One-way latency + serialization delay for `bytes` uplink.
+  Duration UplinkTime(std::size_t bytes);
+  Duration DownlinkTime(std::size_t bytes);
+  // Full request/response exchange (request up, response down).
+  Duration RoundTrip(std::size_t request_bytes, std::size_t response_bytes);
+
+  const NetworkConfig& config() const { return cfg_; }
+  void set_config(NetworkConfig cfg) { cfg_ = cfg; }
+
+ private:
+  Duration SampledHalfRtt();
+
+  NetworkConfig cfg_;
+  Rng rng_;
+};
+
+}  // namespace arbd::offload

@@ -1,0 +1,159 @@
+#include "offload/scheduler.h"
+
+#include <algorithm>
+
+namespace arbd::offload {
+namespace {
+constexpr double kEwmaAlpha = 0.2;
+}
+
+OffloadScheduler::OffloadScheduler(OffloadPolicy policy, DeviceModel device,
+                                   CloudModel cloud, NetworkModel& network)
+    : policy_(policy),
+      device_(device),
+      cloud_(cloud),
+      network_(network),
+      // Seed beliefs from configuration; observations refine them.
+      ewma_rtt_s_(network.config().rtt.seconds()),
+      ewma_up_bps_(network.config().uplink_mbps * 1e6 / 8.0),
+      ewma_down_bps_(network.config().downlink_mbps * 1e6 / 8.0) {}
+
+Duration OffloadScheduler::PredictNetwork(std::size_t up_bytes,
+                                          std::size_t down_bytes) const {
+  return Duration::Seconds(ewma_rtt_s_ + static_cast<double>(up_bytes) / ewma_up_bps_ +
+                           static_cast<double>(down_bytes) / ewma_down_bps_);
+}
+
+TaskOutcome OffloadScheduler::RunLocal(const ComputeTask& task) {
+  ++local_count_;
+  TaskOutcome out;
+  out.placement = Placement::kLocal;
+  out.latency = device_.ExecTime(task);
+  out.energy_j = device_.ExecEnergyJ(task);
+  return out;
+}
+
+TaskOutcome OffloadScheduler::RunCloud(const ComputeTask& task) {
+  ++cloud_count_;
+  TaskOutcome out;
+  out.placement = Placement::kCloud;
+  const Duration up = network_.UplinkTime(task.input_bytes);
+  const Duration exec = cloud_.ExecTime(task);
+  const Duration down = network_.DownlinkTime(task.output_bytes);
+  out.latency = up + exec + down;
+  out.energy_j = device_.TxEnergyJ(up) + device_.IdleEnergyJ(exec) + device_.RxEnergyJ(down);
+
+  // Feed the adaptive estimator the observed network time.
+  const double observed_net_s = (up + down).seconds() -
+                                static_cast<double>(task.input_bytes) / ewma_up_bps_ -
+                                static_cast<double>(task.output_bytes) / ewma_down_bps_;
+  ewma_rtt_s_ = (1.0 - kEwmaAlpha) * ewma_rtt_s_ +
+                kEwmaAlpha * std::max(0.0005, observed_net_s);
+  return out;
+}
+
+TaskOutcome OffloadScheduler::Run(const ComputeTask& task) {
+  if (!task.offloadable || policy_ == OffloadPolicy::kLocalOnly) return RunLocal(task);
+  if (policy_ == OffloadPolicy::kCloudOnly) return RunCloud(task);
+
+  // Adaptive: compare predicted completion times.
+  const Duration local = device_.ExecTime(task);
+  const Duration cloud =
+      PredictNetwork(task.input_bytes, task.output_bytes) + cloud_.ExecTime(task);
+  return cloud < local ? RunCloud(task) : RunLocal(task);
+}
+
+FrameStats SimulateFrames(OffloadScheduler& scheduler, const FrameWorkload& workload,
+                          std::size_t frame_count) {
+  FrameStats stats;
+  Histogram latencies;
+  double energy_sum = 0.0;
+  std::uint64_t cloud_tasks = 0, total_tasks = 0;
+
+  for (std::size_t f = 0; f < frame_count; ++f) {
+    Duration frame_latency = Duration::Zero();
+    double frame_energy = 0.0;
+    for (const auto& task : workload.tasks) {
+      const TaskOutcome o = scheduler.Run(task);
+      frame_latency += o.latency;
+      frame_energy += o.energy_j;
+      if (o.placement == Placement::kCloud) ++cloud_tasks;
+      ++total_tasks;
+    }
+    latencies.RecordDuration(frame_latency);
+    energy_sum += frame_energy;
+    ++stats.frames;
+    if (frame_latency <= workload.deadline) ++stats.deadline_hits;
+  }
+
+  stats.hit_rate = stats.frames
+                       ? static_cast<double>(stats.deadline_hits) / static_cast<double>(stats.frames)
+                       : 0.0;
+  stats.mean_latency_ms = latencies.mean() / 1e6;
+  stats.p95_latency_ms = static_cast<double>(latencies.p95()) / 1e6;
+  stats.mean_energy_mj = stats.frames ? energy_sum * 1000.0 / static_cast<double>(stats.frames) : 0.0;
+  stats.offload_fraction =
+      total_tasks ? static_cast<double>(cloud_tasks) / static_cast<double>(total_tasks) : 0.0;
+  return stats;
+}
+
+FrameStats SimulatePipelinedFrames(OffloadScheduler& scheduler,
+                                   const FrameWorkload& workload,
+                                   std::size_t frame_count) {
+  FrameStats stats;
+  Histogram latencies;
+  double energy_sum = 0.0;
+  std::uint64_t cloud_tasks = 0, total_tasks = 0;
+
+  for (std::size_t f = 0; f < frame_count; ++f) {
+    Duration local_path = Duration::Zero();
+    Duration slowest_cloud = Duration::Zero();
+    double frame_energy = 0.0;
+    for (const auto& task : workload.tasks) {
+      const TaskOutcome o = scheduler.Run(task);
+      frame_energy += o.energy_j;
+      ++total_tasks;
+      if (o.placement == Placement::kCloud) {
+        ++cloud_tasks;
+        slowest_cloud = std::max(slowest_cloud, o.latency);
+      } else {
+        local_path += o.latency;
+      }
+    }
+    // Overlap: the device computes its local path while cloud requests are
+    // in flight. A cloud result that outlives the local path stalls the
+    // frame for the remainder.
+    const Duration frame_latency = std::max(local_path, slowest_cloud);
+    latencies.RecordDuration(frame_latency);
+    energy_sum += frame_energy;
+    ++stats.frames;
+    if (frame_latency <= workload.deadline) ++stats.deadline_hits;
+  }
+
+  stats.hit_rate = stats.frames
+                       ? static_cast<double>(stats.deadline_hits) / static_cast<double>(stats.frames)
+                       : 0.0;
+  stats.mean_latency_ms = latencies.mean() / 1e6;
+  stats.p95_latency_ms = static_cast<double>(latencies.p95()) / 1e6;
+  stats.mean_energy_mj = stats.frames ? energy_sum * 1000.0 / static_cast<double>(stats.frames) : 0.0;
+  stats.offload_fraction =
+      total_tasks ? static_cast<double>(cloud_tasks) / static_cast<double>(total_tasks) : 0.0;
+  return stats;
+}
+
+FrameWorkload MakeArFrameWorkload(double analytics_scale) {
+  FrameWorkload w;
+  // Tracking must stay on-device (it closes the motion-to-photon loop).
+  w.tasks.push_back({"tracking", 6.0, 0, 0, /*offloadable=*/false});
+  // Object/feature detection: compressed feature descriptors go up.
+  w.tasks.push_back({"detection", 20.0, 24'000, 2'000, true});
+  // Big-data analytics lookup (recommendations, context enrichment).
+  w.tasks.push_back({"analytics", 20.0 * analytics_scale,
+                     static_cast<std::size_t>(4'000 * analytics_scale),
+                     static_cast<std::size_t>(8'000 * analytics_scale), true});
+  // Overlay/layout preparation: small, local-friendly but offloadable.
+  w.tasks.push_back({"render_prep", 4.0, 2'000, 2'000, true});
+  return w;
+}
+
+}  // namespace arbd::offload

@@ -1,0 +1,100 @@
+// Offload scheduling (the CloudRidAR idea, §4.1 [13]): per task, decide
+// whether to run on the device or ship it to the cloud. The adaptive
+// policy keeps an EWMA estimate of observed network latency and picks the
+// placement with the lower predicted completion time; static local-only /
+// cloud-only policies are the E5 baselines. A frame simulator drives the
+// scheduler across AR frames to report deadline hit-rate and energy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/metrics.h"
+#include "offload/executor.h"
+#include "offload/network.h"
+
+namespace arbd::offload {
+
+enum class OffloadPolicy { kLocalOnly, kCloudOnly, kAdaptive };
+
+enum class Placement { kLocal, kCloud };
+
+struct TaskOutcome {
+  Placement placement = Placement::kLocal;
+  Duration latency;
+  double energy_j = 0.0;
+};
+
+class OffloadScheduler {
+ public:
+  OffloadScheduler(OffloadPolicy policy, DeviceModel device, CloudModel cloud,
+                   NetworkModel& network);
+
+  // Executes (simulates) the task under the policy; returns what happened
+  // and feeds the adaptive estimator with the observed network time.
+  TaskOutcome Run(const ComputeTask& task);
+
+  // The adaptive estimator's current belief about a round trip for the
+  // given sizes (exposed for tests).
+  Duration PredictNetwork(std::size_t up_bytes, std::size_t down_bytes) const;
+
+  OffloadPolicy policy() const { return policy_; }
+  std::uint64_t local_count() const { return local_count_; }
+  std::uint64_t cloud_count() const { return cloud_count_; }
+
+ private:
+  TaskOutcome RunLocal(const ComputeTask& task);
+  TaskOutcome RunCloud(const ComputeTask& task);
+
+  OffloadPolicy policy_;
+  DeviceModel device_;
+  CloudModel cloud_;
+  NetworkModel& network_;
+
+  // EWMA of observed per-byte rates and base latency.
+  double ewma_rtt_s_;
+  double ewma_up_bps_;
+  double ewma_down_bps_;
+  std::uint64_t local_count_ = 0;
+  std::uint64_t cloud_count_ = 0;
+};
+
+// One AR frame's workload: the per-frame task DAG flattened to a serial
+// list (tracking → detection → analytics → render prep), which is how the
+// frame-budget math works on a single-threaded mobile pipeline.
+struct FrameWorkload {
+  std::vector<ComputeTask> tasks;
+  Duration deadline = Duration::Millis(33);  // 30 fps
+};
+
+struct FrameStats {
+  std::uint64_t frames = 0;
+  std::uint64_t deadline_hits = 0;
+  double hit_rate = 0.0;
+  double mean_latency_ms = 0.0;
+  double p95_latency_ms = 0.0;
+  double mean_energy_mj = 0.0;  // millijoules per frame
+  double offload_fraction = 0.0;
+};
+
+FrameStats SimulateFrames(OffloadScheduler& scheduler, const FrameWorkload& workload,
+                          std::size_t frame_count);
+
+// Pipelined variant: cloud-placed tasks run concurrently with the frame's
+// local tasks (double-buffering — ship the request, keep computing, pick
+// up the response). Frame latency becomes max(local path, slowest cloud
+// round-trip) instead of the serial sum; results that miss the frame are
+// consumed next frame, which the deadline accounting charges as one extra
+// frame of latency for those tasks. This is the CloudRidAR-style overlap
+// optimization, benchmarked as an ablation against the serial scheduler.
+FrameStats SimulatePipelinedFrames(OffloadScheduler& scheduler,
+                                   const FrameWorkload& workload,
+                                   std::size_t frame_count);
+
+// The standard ARBD frame: local-only tracking plus offloadable heavy
+// stages, scaled by `analytics_scale` (how much big-data work the frame
+// demands — the knob E5 sweeps).
+FrameWorkload MakeArFrameWorkload(double analytics_scale);
+
+}  // namespace arbd::offload

@@ -1,0 +1,61 @@
+#include "privacy/attack.h"
+
+#include <cmath>
+
+namespace arbd::privacy {
+
+std::map<std::string, double> MobilityAttacker::HistogramOf(const Trace& trace) const {
+  std::map<std::string, double> h;
+  for (const auto& p : trace) h[geo::GeohashEncode(p.pos, precision_)] += 1.0;
+  // L2-normalize so trace length doesn't dominate.
+  double norm = 0.0;
+  for (const auto& [_, v] : h) norm += v * v;
+  norm = std::sqrt(norm);
+  if (norm > 0) {
+    for (auto& [_, v] : h) v /= norm;
+  }
+  return h;
+}
+
+double MobilityAttacker::Cosine(const std::map<std::string, double>& a,
+                                const std::map<std::string, double>& b) {
+  // Inputs are L2-normalized, so the dot product is the cosine.
+  double dot = 0.0;
+  const auto& small = a.size() <= b.size() ? a : b;
+  const auto& large = a.size() <= b.size() ? b : a;
+  for (const auto& [cell, v] : small) {
+    auto it = large.find(cell);
+    if (it != large.end()) dot += v * it->second;
+  }
+  return dot;
+}
+
+void MobilityAttacker::Train(const std::string& user, const Trace& historical) {
+  profiles_[user] = HistogramOf(historical);
+}
+
+std::string MobilityAttacker::Identify(const Trace& anonymous_trace) const {
+  const auto h = HistogramOf(anonymous_trace);
+  std::string best_user;
+  double best = -1.0;
+  for (const auto& [user, profile] : profiles_) {
+    const double s = Cosine(h, profile);
+    if (s > best) {
+      best = s;
+      best_user = user;
+    }
+  }
+  return best_user;
+}
+
+double MobilityAttacker::ReidentificationRate(
+    const std::vector<std::pair<std::string, Trace>>& labelled_traces) const {
+  if (labelled_traces.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (const auto& [truth, trace] : labelled_traces) {
+    if (Identify(trace) == truth) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(labelled_traces.size());
+}
+
+}  // namespace arbd::privacy

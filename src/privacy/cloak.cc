@@ -1,0 +1,48 @@
+#include "privacy/cloak.h"
+
+namespace arbd::privacy {
+
+void KAnonymityCloak::UpdatePopulation(
+    const std::vector<std::pair<std::string, geo::LatLon>>& users) {
+  users_.clear();
+  for (const auto& [id, pos] : users) {
+    if (bounds_.Contains(pos)) users_[id] = pos;
+  }
+}
+
+std::size_t KAnonymityCloak::CountIn(const geo::BBox& box) const {
+  std::size_t n = 0;
+  for (const auto& [_, pos] : users_) {
+    if (box.Contains(pos)) ++n;
+  }
+  return n;
+}
+
+Expected<CloakedRegion> KAnonymityCloak::Cloak(const std::string& user,
+                                               std::size_t k) const {
+  auto it = users_.find(user);
+  if (it == users_.end()) return Status::NotFound("user '" + user + "' not registered");
+  const geo::LatLon pos = it->second;
+
+  // Descend quadrants while the child still holds ≥ k users; the last box
+  // that satisfied k is the answer.
+  geo::BBox box = bounds_;
+  if (CountIn(box) < k) {
+    return Status::ResourceExhausted("anonymity set smaller than k=" + std::to_string(k));
+  }
+  for (int depth = 0; depth < max_depth_; ++depth) {
+    const double mid_lat = (box.min_lat + box.max_lat) / 2;
+    const double mid_lon = (box.min_lon + box.max_lon) / 2;
+    geo::BBox child = box;
+    if (pos.lat >= mid_lat) child.min_lat = mid_lat; else child.max_lat = mid_lat;
+    if (pos.lon >= mid_lon) child.min_lon = mid_lon; else child.max_lon = mid_lon;
+    if (CountIn(child) < k) break;
+    box = child;
+  }
+  CloakedRegion r;
+  r.box = box;
+  r.population = CountIn(box);
+  return r;
+}
+
+}  // namespace arbd::privacy

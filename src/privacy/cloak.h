@@ -1,0 +1,49 @@
+// k-anonymity spatial cloaking: a user's location is generalized to a
+// quadrant cell that contains at least k-1 other current users, so a
+// location-based query cannot distinguish them. Classic Casper/Interval-
+// Cloak style recursive quadrant descent.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "geo/latlon.h"
+
+namespace arbd::privacy {
+
+struct CloakedRegion {
+  geo::BBox box;
+  std::size_t population = 0;  // users sharing the region (≥ k on success)
+  geo::LatLon Center() const { return box.Center(); }
+  double DiagonalM() const {
+    return geo::DistanceM({box.min_lat, box.min_lon}, {box.max_lat, box.max_lon});
+  }
+};
+
+class KAnonymityCloak {
+ public:
+  // `bounds` is the service area; max_depth bounds the smallest cell.
+  explicit KAnonymityCloak(geo::BBox bounds, int max_depth = 14)
+      : bounds_(bounds), max_depth_(max_depth) {}
+
+  // Current user positions (the anonymity set); refreshed every epoch.
+  void UpdatePopulation(const std::vector<std::pair<std::string, geo::LatLon>>& users);
+
+  // Smallest quadrant containing `user` with ≥ k users. Fails if the user
+  // is unknown or even the whole service area has < k users.
+  Expected<CloakedRegion> Cloak(const std::string& user, std::size_t k) const;
+
+  std::size_t population() const { return users_.size(); }
+
+ private:
+  std::size_t CountIn(const geo::BBox& box) const;
+
+  geo::BBox bounds_;
+  int max_depth_;
+  std::map<std::string, geo::LatLon> users_;
+};
+
+}  // namespace arbd::privacy

@@ -1,0 +1,77 @@
+#include "privacy/dp_query.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace arbd::privacy {
+
+Expected<std::map<std::string, double>> NoisyHistogram::Release(
+    const std::map<std::string, std::uint64_t>& counts, double epsilon,
+    PrivacyBudget& budget) {
+  auto s = budget.Spend(epsilon);
+  if (!s.ok()) return s;
+  std::map<std::string, double> out;
+  for (const auto& [bin, count] : counts) {
+    out[bin] = std::max(0.0, mech_.Noisy(static_cast<double>(count), 1.0, epsilon));
+  }
+  return out;
+}
+
+double NoisyHistogram::L1Error(const std::map<std::string, std::uint64_t>& raw,
+                               const std::map<std::string, double>& released) {
+  double err = 0.0;
+  for (const auto& [bin, count] : raw) {
+    auto it = released.find(bin);
+    const double noisy = it == released.end() ? 0.0 : it->second;
+    err += std::abs(noisy - static_cast<double>(count));
+  }
+  return err;
+}
+
+std::string ExponentialMechanism::SelectOnce(const std::vector<Candidate>& candidates,
+                                             double epsilon,
+                                             double utility_sensitivity) {
+  // Gumbel-max formulation: argmax(u·ε/(2Δ) + Gumbel noise) samples the
+  // exponential-mechanism distribution without normalizing weights.
+  double best_score = -1e300;
+  const std::string* best = nullptr;
+  for (const auto& c : candidates) {
+    double u = rng_.NextDouble();
+    while (u <= 1e-300) u = rng_.NextDouble();
+    const double gumbel = -std::log(-std::log(u));
+    const double score = c.utility * epsilon / (2.0 * utility_sensitivity) + gumbel;
+    if (score > best_score) {
+      best_score = score;
+      best = &c.id;
+    }
+  }
+  return *best;
+}
+
+Expected<std::string> ExponentialMechanism::Select(
+    const std::vector<Candidate>& candidates, double epsilon, double utility_sensitivity,
+    PrivacyBudget& budget) {
+  if (candidates.empty()) return Status::InvalidArgument("no candidates");
+  if (utility_sensitivity <= 0.0) {
+    return Status::InvalidArgument("utility sensitivity must be positive");
+  }
+  auto s = budget.Spend(epsilon);
+  if (!s.ok()) return s;
+  return SelectOnce(candidates, epsilon, utility_sensitivity);
+}
+
+double ExponentialMechanism::BestPickRate(const std::vector<Candidate>& candidates,
+                                          double epsilon, double utility_sensitivity,
+                                          int trials) {
+  if (candidates.empty() || trials <= 0) return 0.0;
+  const auto best = std::max_element(
+      candidates.begin(), candidates.end(),
+      [](const Candidate& a, const Candidate& b) { return a.utility < b.utility; });
+  int hits = 0;
+  for (int i = 0; i < trials; ++i) {
+    if (SelectOnce(candidates, epsilon, utility_sensitivity) == best->id) ++hits;
+  }
+  return static_cast<double>(hits) / trials;
+}
+
+}  // namespace arbd::privacy

@@ -1,0 +1,68 @@
+// Higher-level differentially private queries on top of the base
+// mechanisms — what the ARBD platform actually asks of user data:
+//
+//  * NoisyHistogram       — Laplace-protected categorical counts (e.g.
+//                           "visits per POI category"); one ε covers the
+//                           whole histogram (parallel composition).
+//  * ExponentialMechanism — DP selection of the best candidate under a
+//                           utility function (e.g. "which place should the
+//                           overlay recommend?") without revealing the
+//                           underlying personal counts.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "privacy/mechanisms.h"
+
+namespace arbd::privacy {
+
+class NoisyHistogram {
+ public:
+  explicit NoisyHistogram(std::uint64_t seed) : mech_(seed) {}
+
+  // Releases every bin with Laplace(1/ε) noise, charging ε once — disjoint
+  // bins compose in parallel. Negative noisy counts are clamped to 0.
+  Expected<std::map<std::string, double>> Release(
+      const std::map<std::string, std::uint64_t>& counts, double epsilon,
+      PrivacyBudget& budget);
+
+  // L1 error of a released histogram against the raw counts (utility
+  // metric for E11).
+  static double L1Error(const std::map<std::string, std::uint64_t>& raw,
+                        const std::map<std::string, double>& released);
+
+ private:
+  LaplaceMechanism mech_;
+};
+
+struct Candidate {
+  std::string id;
+  double utility = 0.0;
+};
+
+class ExponentialMechanism {
+ public:
+  explicit ExponentialMechanism(std::uint64_t seed) : rng_(seed) {}
+
+  // Selects a candidate with probability ∝ exp(ε·u / (2·sensitivity)),
+  // charging ε to the budget. Candidates must be non-empty.
+  Expected<std::string> Select(const std::vector<Candidate>& candidates, double epsilon,
+                               double utility_sensitivity, PrivacyBudget& budget);
+
+  // Probability the true-best candidate is returned, estimated over
+  // `trials` draws without touching a budget (calibration helper).
+  double BestPickRate(const std::vector<Candidate>& candidates, double epsilon,
+                      double utility_sensitivity, int trials);
+
+ private:
+  std::string SelectOnce(const std::vector<Candidate>& candidates, double epsilon,
+                         double utility_sensitivity);
+  Rng rng_;
+};
+
+}  // namespace arbd::privacy

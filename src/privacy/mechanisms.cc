@@ -1,0 +1,53 @@
+#include "privacy/mechanisms.h"
+
+#include <cmath>
+
+namespace arbd::privacy {
+
+Status PrivacyBudget::Spend(double epsilon) {
+  if (epsilon <= 0.0) return Status::InvalidArgument("epsilon must be positive");
+  if (spent_ + epsilon > total_ + 1e-12) {
+    return Status::ResourceExhausted("privacy budget exhausted: spent " +
+                                     std::to_string(spent_) + " of " + std::to_string(total_));
+  }
+  spent_ += epsilon;
+  return Status::Ok();
+}
+
+double LaplaceMechanism::SampleLaplace(double scale) {
+  // Inverse-CDF sampling: u uniform in (-0.5, 0.5).
+  double u = 0.0;
+  do {
+    u = rng_.NextDouble() - 0.5;
+  } while (u == -0.5);
+  const double sign = u < 0 ? -1.0 : 1.0;
+  return -scale * sign * std::log(1.0 - 2.0 * std::abs(u));
+}
+
+Expected<double> LaplaceMechanism::Release(double query_result, double sensitivity,
+                                           double epsilon, PrivacyBudget& budget) {
+  if (sensitivity <= 0.0) return Status::InvalidArgument("sensitivity must be positive");
+  auto s = budget.Spend(epsilon);
+  if (!s.ok()) return s;
+  return query_result + SampleLaplace(sensitivity / epsilon);
+}
+
+double LaplaceMechanism::Noisy(double query_result, double sensitivity, double epsilon) {
+  return query_result + SampleLaplace(sensitivity / epsilon);
+}
+
+geo::LatLon GeoIndistinguishability::Perturb(const geo::LatLon& true_pos,
+                                             double epsilon_per_m) {
+  // Planar Laplace: angle uniform, radius from Gamma(2, 1/ε) via the
+  // inverse of its CDF using the Lambert-W branch; we use the standard
+  // sum-of-two-exponentials representation of Gamma(2, θ).
+  const double theta = rng_.Uniform(0.0, 2.0 * M_PI);
+  const double scale = 1.0 / epsilon_per_m;
+  double u1 = 0.0, u2 = 0.0;
+  while (u1 <= 1e-300) u1 = rng_.NextDouble();
+  while (u2 <= 1e-300) u2 = rng_.NextDouble();
+  const double r = -scale * (std::log(u1) + std::log(u2));
+  return geo::Offset(true_pos, r, theta * 180.0 / M_PI);
+}
+
+}  // namespace arbd::privacy

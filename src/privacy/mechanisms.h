@@ -1,0 +1,67 @@
+// Differential-privacy mechanisms (§4.3). The paper's worry — "the
+// information is reduced too far to be useful" — is exactly the ε/utility
+// trade-off E11 measures using these.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "geo/latlon.h"
+
+namespace arbd::privacy {
+
+// ε-budget accountant with sequential composition: every release spends
+// its ε; releases beyond the budget are refused rather than silently
+// degrading the guarantee.
+class PrivacyBudget {
+ public:
+  explicit PrivacyBudget(double total_epsilon) : total_(total_epsilon) {}
+
+  Status Spend(double epsilon);
+  double remaining() const { return total_ - spent_; }
+  double spent() const { return spent_; }
+
+ private:
+  double total_;
+  double spent_ = 0.0;
+};
+
+// Laplace mechanism for numeric queries: noise scale = sensitivity / ε.
+class LaplaceMechanism {
+ public:
+  explicit LaplaceMechanism(std::uint64_t seed) : rng_(seed) {}
+
+  // Releases query_result + Lap(sensitivity/ε), charging the budget.
+  Expected<double> Release(double query_result, double sensitivity, double epsilon,
+                           PrivacyBudget& budget);
+
+  // Raw noisy value without budget bookkeeping (for calibration sweeps).
+  double Noisy(double query_result, double sensitivity, double epsilon);
+
+ private:
+  double SampleLaplace(double scale);
+  Rng rng_;
+};
+
+// Geo-indistinguishability (Andrés et al.): planar Laplace noise so that
+// locations within radius r are ε·r-indistinguishable. The reported point
+// is the true point displaced by a random angle and a Gamma(2, 1/ε)
+// distance.
+class GeoIndistinguishability {
+ public:
+  explicit GeoIndistinguishability(std::uint64_t seed) : rng_(seed) {}
+
+  // epsilon is per-metre; typical values 0.005..0.1 (≈ tens of metres of
+  // displacement at the low end).
+  geo::LatLon Perturb(const geo::LatLon& true_pos, double epsilon_per_m);
+
+  // Expected displacement for a given ε (2/ε for the planar Laplacian).
+  static double ExpectedDisplacementM(double epsilon_per_m) { return 2.0 / epsilon_per_m; }
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace arbd::privacy

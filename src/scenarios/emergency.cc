@@ -1,0 +1,127 @@
+#include "scenarios/emergency.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace arbd::scenarios {
+namespace {
+
+struct Cell {
+  bool victim = false;
+  double score = 0.0;  // fused detection score (bird's-eye heat)
+  bool searched = false;
+};
+
+}  // namespace
+
+EmergencyMetrics RunSearchAndRescue(const EmergencyConfig& cfg, std::uint64_t seed) {
+  Rng rng(seed);
+  const int w = cfg.grid_w, h = cfg.grid_h;
+  std::vector<Cell> grid(static_cast<std::size_t>(w * h));
+
+  // Place victims.
+  std::set<int> victim_cells;
+  while (victim_cells.size() < cfg.victims) {
+    victim_cells.insert(static_cast<int>(rng.NextBelow(static_cast<std::uint64_t>(w * h))));
+  }
+  for (int c : victim_cells) grid[static_cast<std::size_t>(c)].victim = true;
+
+  // IoT sensor fusion: each cell accumulates detections; the bird's-eye
+  // overlay ranks cells by fused score.
+  for (auto& cell : grid) {
+    for (std::size_t s = 0; s < cfg.sensors_per_cell; ++s) {
+      const double p = cell.victim ? cfg.sensor_hit_rate : cfg.sensor_false_rate;
+      if (rng.Bernoulli(p)) cell.score += 1.0;
+    }
+  }
+
+  struct Searcher {
+    int x = 0, y = 0;
+    double busy_until_s = 0.0;
+  };
+  std::vector<Searcher> searchers(cfg.searchers);
+  for (std::size_t i = 0; i < searchers.size(); ++i) {
+    searchers[i].x = static_cast<int>(i) % w;  // start along the entrance wall
+    searchers[i].y = 0;
+  }
+
+  // Each searcher's sweep order. AR: global priority queue by fused score
+  // (ties by distance). No AR: boustrophedon sweep, split by rows.
+  auto cell_of = [w](int x, int y) { return y * w + x; };
+
+  EmergencyMetrics m;
+  double rescue_sum = 0.0;
+  double now_s = 0.0;
+  std::set<int> claimed;  // cells assigned to some searcher
+
+  auto next_cell_for = [&](const Searcher& s) -> int {
+    if (cfg.ar_birdseye) {
+      // Highest score, then nearest.
+      int best = -1;
+      double best_key = -1e300;
+      for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+          const int c = cell_of(x, y);
+          if (grid[static_cast<std::size_t>(c)].searched || claimed.contains(c)) continue;
+          const double dist = std::abs(x - s.x) + std::abs(y - s.y);
+          const double key = grid[static_cast<std::size_t>(c)].score * 1000.0 - dist;
+          if (key > best_key) {
+            best_key = key;
+            best = c;
+          }
+        }
+      }
+      return best;
+    }
+    // Blind boustrophedon from the searcher's position: next unsearched
+    // cell in row-major serpentine order.
+    for (int y = 0; y < h; ++y) {
+      const bool reverse = (y % 2) == 1;
+      for (int i = 0; i < w; ++i) {
+        const int x = reverse ? w - 1 - i : i;
+        const int c = cell_of(x, y);
+        if (!grid[static_cast<std::size_t>(c)].searched && !claimed.contains(c)) return c;
+      }
+    }
+    return -1;
+  };
+
+  std::size_t found = 0;
+  while (now_s < cfg.time_limit.seconds() && found < cfg.victims) {
+    // Advance the earliest-free searcher.
+    auto* s = &searchers[0];
+    for (auto& cand : searchers) {
+      if (cand.busy_until_s < s->busy_until_s) s = &cand;
+    }
+    now_s = std::max(now_s, s->busy_until_s);
+    if (now_s >= cfg.time_limit.seconds()) break;
+
+    const int target = next_cell_for(*s);
+    if (target < 0) break;
+    claimed.insert(target);
+    const int tx = target % w, ty = target / w;
+    const double travel = (std::abs(tx - s->x) + std::abs(ty - s->y)) * cfg.cell_move_time_s;
+    const double done = now_s + travel + cfg.cell_clear_time.seconds();
+    s->busy_until_s = done;
+    s->x = tx;
+    s->y = ty;
+
+    auto& cell = grid[static_cast<std::size_t>(target)];
+    cell.searched = true;
+    ++m.cells_searched;
+    if (cell.victim && done <= cfg.time_limit.seconds()) {
+      ++found;
+      rescue_sum += done;
+      m.last_rescue_time_s = std::max(m.last_rescue_time_s, done);
+    }
+  }
+
+  m.victims_found = found;
+  if (found > 0) m.mean_rescue_time_s = rescue_sum / static_cast<double>(found);
+  m.find_all_fraction = static_cast<double>(found) / static_cast<double>(cfg.victims);
+  return m;
+}
+
+}  // namespace arbd::scenarios

@@ -1,0 +1,85 @@
+// Healthcare scenario (§3.3): a fleet of monitored patients streaming
+// vitals through the platform; windowed analytics raise tachycardia
+// alerts that the AR layer surfaces in the caregiver's view; an EHR store
+// backs the "virtual viewfinder over the patient" use case. Drives
+// experiment E9 (alert latency / precision / recall vs patient count and
+// sampling rate).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analytics/stats.h"
+#include "common/clock.h"
+#include "common/rng.h"
+#include "sensors/models.h"
+#include "sensors/trajectory.h"
+
+namespace arbd::scenarios {
+
+// Minimal electronic health record (§3.3's EHR digitalization).
+struct HealthRecord {
+  std::string patient_id;
+  int age = 0;
+  std::string blood_type;
+  std::vector<std::string> conditions;
+  std::vector<std::string> medications;
+  double resting_hr = 68.0;
+};
+
+class EhrStore {
+ public:
+  void Put(HealthRecord record);
+  Expected<const HealthRecord*> Get(const std::string& patient_id) const;
+  std::size_t size() const { return records_.size(); }
+
+  // Populates `n` synthetic records.
+  static EhrStore Synthetic(std::size_t n, std::uint64_t seed);
+
+ private:
+  std::map<std::string, HealthRecord> records_;
+};
+
+struct AlertEvent {
+  std::string patient_id;
+  TimePoint raised_at;
+  double observed_hr = 0.0;
+};
+
+struct MonitorConfig {
+  std::size_t patients = 50;
+  Duration sample_period = Duration::Millis(1000);
+  Duration window = Duration::Seconds(10);
+  double alert_hr_threshold = 115.0;   // windowed mean above this alerts
+  double anomaly_rate_per_hour = 2.0;  // injected ground-truth episodes
+  Duration run_length = Duration::Seconds(600);
+  // Personalized thresholds: alert at resting_hr + delta instead of the
+  // global threshold (the "big data enables personalization" ablation).
+  bool personalized = false;
+  double personalized_delta = 45.0;
+  // Self-calibrating z-score detection on the raw vitals stream (learns
+  // each patient's baseline instead of using any threshold). Overrides
+  // both threshold modes when set.
+  bool zscore = false;
+  double zscore_threshold = 4.0;
+};
+
+struct MonitorMetrics {
+  std::size_t episodes = 0;        // ground-truth anomaly episodes
+  std::size_t detected = 0;        // episodes with ≥1 alert during them
+  std::size_t false_alerts = 0;    // alerts outside any episode
+  double recall = 0.0;
+  double precision = 0.0;
+  double mean_detection_latency_s = 0.0;  // episode start → first alert
+  std::uint64_t samples_processed = 0;
+  std::vector<AlertEvent> alerts;
+};
+
+// Runs the monitoring fleet on simulated time: per-patient vitals models
+// feed keyed incremental windows; threshold crossings raise alerts which
+// are matched against ground-truth episodes.
+MonitorMetrics RunPatientMonitor(const MonitorConfig& cfg, std::uint64_t seed);
+
+}  // namespace arbd::scenarios

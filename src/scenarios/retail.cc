@@ -1,0 +1,198 @@
+#include "scenarios/retail.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace arbd::scenarios {
+namespace {
+
+// 2D segment vs AABB test (shelves are tall boxes; a segment below shelf
+// height that crosses the footprint is blocked).
+bool SegmentHitsBox(double x0, double y0, double x1, double y1, double min_x, double min_y,
+                    double max_x, double max_y) {
+  double t0 = 0.0, t1 = 1.0;
+  const double dx = x1 - x0, dy = y1 - y0;
+  const double p[4] = {-dx, dx, -dy, dy};
+  const double q[4] = {x0 - min_x, max_x - x0, y0 - min_y, max_y - y0};
+  for (int i = 0; i < 4; ++i) {
+    if (std::abs(p[i]) < 1e-12) {
+      if (q[i] < 0) return false;
+      continue;
+    }
+    const double r = q[i] / p[i];
+    if (p[i] < 0) {
+      t0 = std::max(t0, r);
+    } else {
+      t1 = std::min(t1, r);
+    }
+    if (t0 > t1) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+StoreModel StoreModel::Generate(const Config& cfg, std::uint64_t seed) {
+  StoreModel store;
+  Rng rng(seed);
+  std::uint64_t next_shelf = 1;
+  std::size_t sku = 0;
+  for (std::size_t a = 0; a < cfg.aisles; ++a) {
+    for (std::size_t s = 0; s < cfg.shelves_per_aisle; ++s) {
+      Shelf shelf;
+      shelf.id = next_shelf++;
+      shelf.center_east = static_cast<double>(a) * cfg.aisle_pitch_m;
+      shelf.center_north = static_cast<double>(s) * (cfg.shelf_length_m + 0.5);
+      shelf.half_width = 0.4;
+      shelf.half_depth = cfg.shelf_length_m / 2.0;
+      store.shelves_.push_back(shelf);
+
+      for (std::size_t p = 0; p < cfg.products_per_shelf; ++p) {
+        Product prod;
+        prod.sku = "sku" + std::to_string(sku++);
+        prod.name = "product-" + prod.sku;
+        prod.shelf_id = shelf.id;
+        // Alternate faces of the shelf.
+        const double face = (p % 2 == 0) ? 1.0 : -1.0;
+        prod.east = shelf.center_east + face * (shelf.half_width + 0.05);
+        prod.north = shelf.center_north +
+                     rng.Uniform(-shelf.half_depth * 0.9, shelf.half_depth * 0.9);
+        prod.height = rng.Uniform(0.3, 1.7);
+        prod.price = rng.Uniform(1.0, 120.0);
+        store.products_.push_back(std::move(prod));
+      }
+    }
+  }
+  return store;
+}
+
+bool StoreModel::IsOccluded(double eye_e, double eye_n, double eye_h,
+                            const Product& target) const {
+  (void)eye_h;  // shelves are treated as full-height occluders below 1.8 m
+  for (const auto& s : shelves_) {
+    if (s.id == target.shelf_id) continue;
+    if (SegmentHitsBox(eye_e, eye_n, target.east, target.north,
+                       s.center_east - s.half_width, s.center_north - s.half_depth,
+                       s.center_east + s.half_width, s.center_north + s.half_depth)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+const Product* StoreModel::FindSku(const std::string& sku) const {
+  for (const auto& p : products_) {
+    if (p.sku == sku) return &p;
+  }
+  return nullptr;
+}
+
+SearchResult SimulateProductSearch(const StoreModel& store, const std::string& sku,
+                                   const SearchConfig& cfg, std::uint64_t seed) {
+  SearchResult result;
+  const Product* target = store.FindSku(sku);
+  if (target == nullptr) return result;
+
+  Rng rng(seed);
+  // Shopper starts at the store entrance (south-west corner).
+  double e = -2.0, n = -2.0;
+  const double step = cfg.walk_speed_mps * 0.5;  // 0.5 s ticks
+  Duration elapsed = Duration::Zero();
+
+  // Unguided sweep: visit each aisle end in order. Guided: head straight
+  // for the target.
+  std::vector<std::pair<double, double>> route;
+  if (cfg.guided) {
+    route.emplace_back(target->east, target->north);
+  } else {
+    for (const auto& s : store.shelves()) {
+      route.emplace_back(s.center_east + 1.2, s.center_north);
+    }
+    route.emplace_back(target->east, target->north);
+  }
+
+  std::size_t leg = 0;
+  while (elapsed < cfg.time_limit) {
+    // Found check: in range and (visible or x-ray).
+    const double de = target->east - e;
+    const double dn = target->north - n;
+    const double dist = std::sqrt(de * de + dn * dn);
+    if (dist <= cfg.found_range_m) {
+      const bool occluded = store.IsOccluded(e, n, 1.6, *target);
+      if (!occluded || cfg.xray_enabled) {
+        result.found = true;
+        result.time_to_find = elapsed;
+        return result;
+      }
+    }
+    // X-ray also extends the effective discovery range: the shopper sees
+    // the highlight through shelves from farther away and beelines.
+    if (cfg.xray_enabled && dist <= cfg.found_range_m * 6.0) {
+      route.clear();
+      route.emplace_back(target->east, target->north);
+      leg = 0;
+    }
+
+    if (leg >= route.size()) {
+      // Lost: wander randomly.
+      e += rng.Uniform(-step, step);
+      n += rng.Uniform(-step, step);
+    } else {
+      auto [tx, ty] = route[leg];
+      const double le = tx - e, ln = ty - n;
+      const double ldist = std::sqrt(le * le + ln * ln);
+      if (ldist < step) {
+        e = tx;
+        n = ty;
+        ++leg;
+      } else {
+        e += step * le / ldist;
+        n += step * ln / ldist;
+      }
+    }
+    result.distance_walked_m += step;
+    elapsed += Duration::Millis(500);
+  }
+  result.time_to_find = elapsed;
+  return result;
+}
+
+std::vector<RecoSweepPoint> RunRecommendationSweep(
+    const analytics::RetailWorkloadConfig& workload_cfg,
+    const std::vector<std::size_t>& volumes, std::size_t k, std::uint64_t seed) {
+  std::vector<RecoSweepPoint> out;
+  Rng rng(seed);
+
+  // One big workload; prefixes of it are the increasing volumes. The test
+  // set is a held-out fresh tail generated from the same distribution.
+  analytics::RetailWorkloadConfig big = workload_cfg;
+  const std::size_t max_volume = *std::max_element(volumes.begin(), volumes.end());
+  big.interactions = max_volume + workload_cfg.users * 5;  // extra for test split
+  const auto all = analytics::GenerateRetailWorkload(big, rng);
+
+  const std::vector<analytics::Interaction> test(all.end() - static_cast<std::ptrdiff_t>(workload_cfg.users * 5),
+                                                 all.end());
+
+  for (std::size_t volume : volumes) {
+    RecoSweepPoint point;
+    point.events = volume;
+    const std::vector<analytics::Interaction> train(all.begin(),
+                                                    all.begin() + static_cast<std::ptrdiff_t>(volume));
+    {
+      analytics::ItemCfRecommender cf;
+      const auto r = analytics::EvaluateRecommender(cf, train, test, k);
+      point.cf_precision = r.precision_at_k;
+      point.cf_hit_rate = r.hit_rate;
+    }
+    {
+      analytics::PopularityRecommender pop;
+      const auto r = analytics::EvaluateRecommender(pop, train, test, k);
+      point.pop_precision = r.precision_at_k;
+      point.pop_hit_rate = r.hit_rate;
+    }
+    out.push_back(point);
+  }
+  return out;
+}
+
+}  // namespace arbd::scenarios

@@ -1,0 +1,102 @@
+// Retail scenario (§3.1): a store of shelved products, simulated shoppers
+// whose purchases stream into the platform, an incrementally trained
+// recommender, and the AR overlay that (a) shows personalized
+// recommendations in the shopper's context and (b) locates products behind
+// shelves with "X-ray vision". Drives experiments E3 and E6.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analytics/recommend.h"
+#include "common/clock.h"
+#include "common/rng.h"
+#include "geo/city.h"
+
+namespace arbd::scenarios {
+
+struct Product {
+  std::string sku;
+  std::string name;
+  // Shelf position inside the store, ENU metres from the store origin.
+  double east = 0.0;
+  double north = 0.0;
+  double height = 1.2;
+  std::uint64_t shelf_id = 0;  // acts as occluder id
+  double price = 0.0;
+};
+
+struct Shelf {
+  std::uint64_t id = 0;
+  double center_east = 0.0, center_north = 0.0;
+  double half_width = 0.0, half_depth = 0.0;
+  double height = 1.8;
+};
+
+// A store laid out as parallel aisles of shelves with products on both
+// faces. Self-contained (does not use CityModel) because in-store
+// occlusion is shelf-scale, not building-scale.
+class StoreModel {
+ public:
+  struct Config {
+    std::size_t aisles = 6;
+    std::size_t shelves_per_aisle = 8;
+    std::size_t products_per_shelf = 10;
+    double aisle_pitch_m = 4.0;
+    double shelf_length_m = 3.0;
+  };
+
+  static StoreModel Generate(const Config& cfg, std::uint64_t seed);
+
+  const std::vector<Product>& products() const { return products_; }
+  const std::vector<Shelf>& shelves() const { return shelves_; }
+
+  // Is the straight line from (eye) to (target product) blocked by a shelf
+  // other than the product's own?
+  bool IsOccluded(double eye_e, double eye_n, double eye_h, const Product& target) const;
+
+  const Product* FindSku(const std::string& sku) const;
+
+ private:
+  std::vector<Product> products_;
+  std::vector<Shelf> shelves_;
+};
+
+// Walks a shopper through the store until the target product is "found":
+// the product must be within `found_range_m` AND either directly visible
+// or revealed by X-ray mode. Returns simulated search time.
+struct SearchResult {
+  Duration time_to_find;
+  double distance_walked_m = 0.0;
+  bool found = false;
+};
+
+struct SearchConfig {
+  bool xray_enabled = false;
+  double found_range_m = 3.0;
+  double walk_speed_mps = 1.2;
+  Duration time_limit = Duration::Seconds(600);
+  // With AR guidance the shopper walks toward the target's aisle; without,
+  // they sweep aisles in order.
+  bool guided = true;
+};
+
+SearchResult SimulateProductSearch(const StoreModel& store, const std::string& sku,
+                                   const SearchConfig& cfg, std::uint64_t seed);
+
+// End-to-end retail recommendation flow: streams a Zipf/cluster purchase
+// workload through both recommenders at increasing volumes.
+struct RecoSweepPoint {
+  std::size_t events;
+  double cf_precision = 0.0;
+  double cf_hit_rate = 0.0;
+  double pop_precision = 0.0;
+  double pop_hit_rate = 0.0;
+};
+
+std::vector<RecoSweepPoint> RunRecommendationSweep(
+    const analytics::RetailWorkloadConfig& workload_cfg,
+    const std::vector<std::size_t>& volumes, std::size_t k, std::uint64_t seed);
+
+}  // namespace arbd::scenarios

@@ -1,0 +1,104 @@
+#include "scenarios/security.h"
+
+#include <algorithm>
+
+namespace arbd::scenarios {
+
+std::vector<PersonProfile> GenerateProfiles(std::size_t n, double flag_rate,
+                                            std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<PersonProfile> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    PersonProfile p;
+    p.person_id = "person-" + std::to_string(i);
+    p.flagged = rng.Bernoulli(flag_rate);
+    // Flagged individuals skew high but overlap with the benign mass —
+    // the analytics score is informative, not oracular.
+    p.risk_score = p.flagged ? std::clamp(rng.Gaussian(0.8, 0.15), 0.0, 1.0)
+                             : std::clamp(rng.Gaussian(0.25, 0.15), 0.0, 1.0);
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+ScreeningMetrics RunScreening(const ScreeningConfig& cfg, std::uint64_t seed) {
+  ScreeningMetrics m;
+  Rng rng(seed);
+
+  struct Passenger {
+    TimePoint arrival;
+    bool flagged;
+  };
+  std::deque<Passenger> queue;
+
+  TimePoint now;
+  TimePoint next_arrival =
+      now + Duration::Seconds(rng.Exponential(cfg.arrivals_per_minute / 60.0));
+  TimePoint agent_free;  // when the agent finishes the current passenger
+  std::vector<double> waits;
+
+  while (now < TimePoint{} + cfg.run_length) {
+    // Advance to the next interesting instant.
+    TimePoint next = next_arrival;
+    if (!queue.empty() && agent_free > now && agent_free < next) next = agent_free;
+    if (!queue.empty() && agent_free <= now) next = now;  // serve immediately
+    now = std::max(now, next);
+    if (now >= TimePoint{} + cfg.run_length) break;
+
+    // Arrival?
+    if (now >= next_arrival) {
+      queue.push_back({next_arrival, rng.Bernoulli(cfg.flag_rate)});
+      ++m.arrived;
+      m.max_queue = std::max(m.max_queue, queue.size());
+      next_arrival += Duration::Seconds(rng.Exponential(cfg.arrivals_per_minute / 60.0));
+    }
+
+    // Service?
+    if (!queue.empty() && agent_free <= now) {
+      const Passenger p = queue.front();
+      queue.pop_front();
+      waits.push_back((now - p.arrival).seconds());
+
+      Duration service = cfg.manual_check;
+      double recall = cfg.manual_flag_recall;
+      if (cfg.mode == ScreeningMode::kArAssisted) {
+        if (rng.Bernoulli(cfg.recognition_rate)) {
+          service = cfg.ar_check;
+          recall = cfg.ar_flag_recall;
+        } else {
+          ++m.recognition_fallbacks;  // overlay shows "unidentified": manual
+          service = cfg.ar_check + cfg.manual_check;
+        }
+      }
+      agent_free = now + service;
+      ++m.processed;
+      if (p.flagged) {
+        ++m.flagged_present;
+        if (rng.Bernoulli(recall)) ++m.flagged_caught;
+      }
+    } else if (queue.empty()) {
+      now = next_arrival;  // idle until someone shows up
+    } else {
+      now = agent_free;  // busy: jump to service completion
+    }
+  }
+
+  const double minutes = cfg.run_length.seconds() / 60.0;
+  m.throughput_per_min = static_cast<double>(m.processed) / minutes;
+  if (!waits.empty()) {
+    double sum = 0.0;
+    for (double w : waits) sum += w;
+    m.mean_wait_s = sum / static_cast<double>(waits.size());
+    std::sort(waits.begin(), waits.end());
+    m.p95_wait_s = waits[std::min(waits.size() - 1,
+                                  static_cast<std::size_t>(waits.size() * 0.95))];
+  }
+  if (m.flagged_present > 0) {
+    m.flag_recall =
+        static_cast<double>(m.flagged_caught) / static_cast<double>(m.flagged_present);
+  }
+  return m;
+}
+
+}  // namespace arbd::scenarios

@@ -1,0 +1,67 @@
+// Security screening (§3.4, Figure 9): "an analyzed personal profile is
+// overlaid on an agency's field of vision for fast security screening
+// without direct contact" and "personal information overlaid on passengers
+// will enable security specialists to very quickly verify identification
+// and reduce screening traffic".
+//
+// A single screening lane is modelled as an M/D/1-style queue: passengers
+// arrive (Poisson), the agent services them one at a time. In manual mode
+// every check takes the full document-inspection time; in AR-assisted mode
+// face recognition resolves most identities instantly against the profile
+// database (fast service, higher watchlist recall), falling back to a
+// manual check when recognition fails.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/rng.h"
+
+namespace arbd::scenarios {
+
+struct PersonProfile {
+  std::string person_id;
+  bool flagged = false;      // on the watchlist (ground truth)
+  double risk_score = 0.0;   // analytics output shown in the overlay
+};
+
+// Synthetic profile database with a given watchlist rate.
+std::vector<PersonProfile> GenerateProfiles(std::size_t n, double flag_rate,
+                                            std::uint64_t seed);
+
+enum class ScreeningMode {
+  kManual,      // document check only
+  kArAssisted,  // face recognition + overlaid profile, manual fallback
+};
+
+struct ScreeningConfig {
+  double arrivals_per_minute = 8.0;
+  Duration manual_check = Duration::Seconds(14);
+  Duration ar_check = Duration::Seconds(3);   // glance at the overlay
+  double recognition_rate = 0.92;             // AR identifies successfully
+  double manual_flag_recall = 0.80;           // tired human vs watchlist
+  double ar_flag_recall = 0.995;              // database match is near-exact
+  double flag_rate = 0.02;
+  Duration run_length = Duration::Seconds(3600);
+  ScreeningMode mode = ScreeningMode::kManual;
+};
+
+struct ScreeningMetrics {
+  std::size_t arrived = 0;
+  std::size_t processed = 0;
+  double throughput_per_min = 0.0;
+  double mean_wait_s = 0.0;        // queueing delay before service
+  double p95_wait_s = 0.0;
+  std::size_t max_queue = 0;
+  std::size_t flagged_present = 0; // flagged passengers among processed
+  std::size_t flagged_caught = 0;
+  double flag_recall = 0.0;
+  std::size_t recognition_fallbacks = 0;  // AR mode: manual fallbacks
+};
+
+ScreeningMetrics RunScreening(const ScreeningConfig& cfg, std::uint64_t seed);
+
+}  // namespace arbd::scenarios

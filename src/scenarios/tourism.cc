@@ -1,0 +1,220 @@
+#include "scenarios/tourism.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "sensors/trajectory.h"
+
+namespace arbd::scenarios {
+
+TouristGuide::TouristGuide(const geo::CityModel& city, TourismConfig cfg,
+                           std::uint64_t seed)
+    : city_(city),
+      cfg_(cfg),
+      planner_(city),
+      rng_(seed),
+      next_rest_at_m_(cfg.rest_recommend_after_m) {}
+
+void TouristGuide::AddSign(Sign sign) { signs_[sign.at_poi] = std::move(sign); }
+
+std::vector<ar::content::Annotation> TouristGuide::Update(const geo::LatLon& pos,
+                                                          TimePoint now) {
+  std::vector<ar::content::Annotation> out;
+  if (has_last_) walked_m_ += geo::DistanceM(last_pos_, pos);
+  last_pos_ = pos;
+  has_last_ = true;
+
+  // Place cards for the most interesting nearby POIs.
+  ++queries_;
+  auto nearby = city_.pois().WithinRadius(pos, cfg_.guide_radius_m);
+  std::sort(nearby.begin(), nearby.end(),
+            [](const geo::Poi* a, const geo::Poi* b) { return a->rating > b->rating; });
+  if (nearby.size() > cfg_.max_place_cards) nearby.resize(cfg_.max_place_cards);
+  for (const auto* poi : nearby) {
+    ar::content::Annotation a;
+    a.type = ar::content::SemanticType::kPlaceInfo;
+    a.anchor.geo_pos = poi->pos;
+    a.anchor.height_m = poi->height_m;
+    a.title = poi->name;
+    a.body = std::string(geo::PoiCategoryName(poi->category)) + " · rating " +
+             std::to_string(poi->rating).substr(0, 3);
+    a.priority = 0.3 + poi->rating / 10.0;
+    a.created = now;
+    a.ttl = Duration::Seconds(10);
+    out.push_back(std::move(a));
+
+    // Translated signage overlays at the original place (§3.2).
+    if (auto it = signs_.find(poi->id); it != signs_.end()) {
+      ar::content::Annotation t;
+      t.type = ar::content::SemanticType::kTranslation;
+      t.anchor.geo_pos = poi->pos;
+      t.anchor.height_m = poi->height_m + 1.0;
+      t.title = it->second.translated;
+      t.body = "(" + it->second.original + ")";
+      t.priority = 0.75;
+      t.created = now;
+      t.ttl = Duration::Seconds(10);
+      out.push_back(std::move(t));
+    }
+  }
+
+  // Rest-stop recommendation by walked distance (§3.2: "locations of
+  // nearby rest sites and restaurants … based on walking distance").
+  if (walked_m_ >= next_rest_at_m_) {
+    next_rest_at_m_ += cfg_.rest_recommend_after_m;
+    ++queries_;
+    // Shortlist by crow-flies, then rank by *street walking distance*
+    // (§3.2: "based on walking distance and time").
+    std::vector<const geo::Poi*> candidates;
+    for (const auto* p : city_.pois().NearestOfCategory(pos, geo::PoiCategory::kCafe, 3)) {
+      candidates.push_back(p);
+    }
+    for (const auto* p :
+         city_.pois().NearestOfCategory(pos, geo::PoiCategory::kRestaurant, 3)) {
+      candidates.push_back(p);
+    }
+    const geo::Poi* rest = nullptr;
+    double best_walk = 1e300;
+    for (const auto* p : candidates) {
+      const auto walk = planner_.WalkingDistanceM(pos, p->pos);
+      if (walk.ok() && *walk < best_walk) {
+        best_walk = *walk;
+        rest = p;
+      }
+    }
+    if (rest != nullptr) {
+      ar::content::Annotation a;
+      a.type = ar::content::SemanticType::kRecommendation;
+      a.anchor.geo_pos = rest->pos;
+      a.anchor.height_m = rest->height_m;
+      a.title = "Rest stop: " + rest->name;
+      a.body = std::to_string(static_cast<int>(best_walk)) + " m walk from here";
+      a.priority = 0.85;
+      a.created = now;
+      a.ttl = Duration::Seconds(30);
+      out.push_back(std::move(a));
+
+      // Navigation hint along the street route's first leg.
+      auto route = planner_.Plan(pos, rest->pos);
+      if (route.ok() && !route->nodes.empty()) {
+        const auto& next_node = planner_.node(route->nodes.size() > 1 ? route->nodes[1]
+                                                                      : route->nodes[0]);
+        ar::content::Annotation nav;
+        nav.type = ar::content::SemanticType::kNavigation;
+        nav.anchor.geo_pos = city_.frame().FromEnu(geo::Enu{next_node.east, next_node.north});
+        nav.anchor.height_m = 1.0;
+        nav.title = "→ " + rest->name;
+        nav.body = "follow the street";
+        nav.priority = 0.7;
+        nav.created = now;
+        nav.ttl = Duration::Seconds(30);
+        out.push_back(std::move(nav));
+      }
+    }
+  }
+  return out;
+}
+
+PortalGame::PortalGame(const geo::CityModel& city, double capture_range_m,
+                       std::uint64_t seed)
+    : city_(city), range_m_(capture_range_m) {
+  (void)seed;
+  // Landmarks and museums become portals, like Ingress anchoring play to
+  // public artworks and monuments.
+  for (const auto* poi : city.pois().All()) {
+    if (poi->category == geo::PoiCategory::kLandmark ||
+        poi->category == geo::PoiCategory::kMuseum) {
+      portals_.push_back(poi->id);
+    }
+  }
+}
+
+std::vector<geo::PoiId> PortalGame::Visit(const std::string& player,
+                                          const geo::LatLon& pos) {
+  std::vector<geo::PoiId> captured;
+  for (geo::PoiId id : portals_) {
+    if (owners_.contains(id)) continue;
+    auto poi = city_.pois().Get(id);
+    if (!poi.ok()) continue;
+    if (geo::DistanceM(pos, (*poi)->pos) <= range_m_) {
+      owners_[id] = player;
+      captured.push_back(id);
+    }
+  }
+  return captured;
+}
+
+std::size_t PortalGame::captured_count() const { return owners_.size(); }
+
+TourMetrics SimulateTour(const geo::CityModel& city, const TourismConfig& cfg,
+                         bool gamified, Duration tour_length, std::uint64_t seed) {
+  TourMetrics m;
+  TouristGuide guide(city, cfg, seed);
+  PortalGame game(city, /*capture_range_m=*/25.0, seed);
+
+  sensors::TrajectoryConfig traj_cfg;
+  traj_cfg.kind = sensors::MotionKind::kRandomWalk;
+  traj_cfg.speed_mps = 1.3;
+  traj_cfg.bounds_half_extent_m = 350.0;
+  sensors::TrajectoryGenerator walker(traj_cfg, seed);
+
+  Rng rng(seed ^ 0x7052ULL);
+  std::set<geo::PoiId> visited;
+  TimePoint now;
+  const Duration step = Duration::Seconds(1);
+  geo::PoiId diversion_target = 0;
+
+  while (now < TimePoint{} + tour_length) {
+    now += step;
+    auto truth = walker.Step(step);
+    const geo::LatLon pos = city.frame().FromEnu(geo::Enu{truth.east, truth.north});
+
+    const auto annotations = guide.Update(pos, now);
+    m.annotations_shown += annotations.size();
+
+    // Count "spot visits": being within 20 m of a landmark-ish POI.
+    for (const auto* poi : city.pois().WithinRadius(pos, 20.0)) {
+      if (poi->category == geo::PoiCategory::kLandmark ||
+          poi->category == geo::PoiCategory::kMuseum) {
+        visited.insert(poi->id);
+      }
+    }
+
+    if (gamified) {
+      const auto captured = game.Visit("tourist", pos);
+      m.portals_captured += captured.size();
+      // Gamification changes behaviour: if an uncaptured portal is within
+      // 120 m, divert toward it.
+      if (diversion_target == 0 && rng.Bernoulli(0.1)) {
+        for (const auto* poi : city.pois().WithinRadius(pos, 120.0)) {
+          if ((poi->category == geo::PoiCategory::kLandmark ||
+               poi->category == geo::PoiCategory::kMuseum) &&
+              !game.ownership().contains(poi->id)) {
+            diversion_target = poi->id;
+            break;
+          }
+        }
+      }
+      if (diversion_target != 0) {
+        auto poi = city.pois().Get(diversion_target);
+        if (poi.ok()) {
+          const geo::Enu t = city.frame().ToEnu((*poi)->pos);
+          const double de = t.east - truth.east, dn = t.north - truth.north;
+          if (std::sqrt(de * de + dn * dn) < 15.0) {
+            diversion_target = 0;  // arrived
+          } else {
+            walker.set_start(truth.east + 1.2 * de / std::hypot(de, dn),
+                             truth.north + 1.2 * dn / std::hypot(de, dn), truth.yaw_deg);
+          }
+        }
+      }
+    }
+  }
+  m.distance_m = guide.distance_walked_m();
+  m.spots_visited = visited.size();
+  m.geo_queries = guide.queries_issued();
+  return m;
+}
+
+}  // namespace arbd::scenarios

@@ -1,0 +1,99 @@
+// Tourism scenario (§3.2): a geo-guided AR tour. The guide resolves the
+// tourist's context against the POI store (k-NN / category queries),
+// produces translated-sign and place-info annotations, recommends rest
+// stops by walking distance, and runs an Ingress-style portal game over
+// landmarks. Drives experiment E7's realistic query mix and the
+// gamification ablation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ar/content.h"
+#include "common/clock.h"
+#include "common/rng.h"
+#include "geo/city.h"
+#include "geo/route.h"
+
+namespace arbd::scenarios {
+
+struct TourismConfig {
+  double guide_radius_m = 150.0;
+  std::size_t max_place_cards = 8;
+  double rest_recommend_after_m = 800.0;  // walked distance trigger
+  std::string tourist_language = "en";
+};
+
+// A sign in a foreign language the guide knows how to translate.
+struct Sign {
+  geo::PoiId at_poi = 0;
+  std::string original;
+  std::string translated;
+};
+
+class TouristGuide {
+ public:
+  TouristGuide(const geo::CityModel& city, TourismConfig cfg, std::uint64_t seed);
+
+  // Tick the guide with the tourist's current position; returns the
+  // annotations the AR layer should show now.
+  std::vector<ar::content::Annotation> Update(const geo::LatLon& pos, TimePoint now);
+
+  // Register translatable signage at a POI.
+  void AddSign(Sign sign);
+
+  double distance_walked_m() const { return walked_m_; }
+  std::uint64_t queries_issued() const { return queries_; }
+
+ private:
+  const geo::CityModel& city_;
+  TourismConfig cfg_;
+  geo::RoutePlanner planner_;  // §3.2: recommend by *walking* distance
+  Rng rng_;
+  geo::LatLon last_pos_;
+  bool has_last_ = false;
+  double walked_m_ = 0.0;
+  double next_rest_at_m_;
+  std::map<geo::PoiId, Sign> signs_;
+  std::uint64_t queries_ = 0;
+};
+
+// Ingress-style portal game (§3.2's gamification): landmarks become
+// portals; walking within capture range claims them for the player's
+// faction; metrics show how gamification changes coverage of spots.
+class PortalGame {
+ public:
+  PortalGame(const geo::CityModel& city, double capture_range_m, std::uint64_t seed);
+
+  // Visit tick: captures any uncaptured portal in range. Returns newly
+  // captured portal ids.
+  std::vector<geo::PoiId> Visit(const std::string& player, const geo::LatLon& pos);
+
+  std::size_t portal_count() const { return portals_.size(); }
+  std::size_t captured_count() const;
+  const std::map<geo::PoiId, std::string>& ownership() const { return owners_; }
+
+ private:
+  const geo::CityModel& city_;
+  double range_m_;
+  std::vector<geo::PoiId> portals_;
+  std::map<geo::PoiId, std::string> owners_;
+};
+
+// Simulated tour: a tourist walks a waypoint route; with the guide on,
+// they divert to recommended spots (portals/POIs); metrics compare spots
+// visited and annotations consumed with and without gamification.
+struct TourMetrics {
+  double distance_m = 0.0;
+  std::size_t spots_visited = 0;
+  std::size_t portals_captured = 0;
+  std::size_t annotations_shown = 0;
+  std::uint64_t geo_queries = 0;
+};
+
+TourMetrics SimulateTour(const geo::CityModel& city, const TourismConfig& cfg,
+                         bool gamified, Duration tour_length, std::uint64_t seed);
+
+}  // namespace arbd::scenarios

@@ -1,0 +1,181 @@
+#include "scenarios/transport.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace arbd::scenarios {
+
+void ThreatAssessor::OnBeacon(const Beacon& beacon, TimePoint now) {
+  (void)now;
+  neighbours_[beacon.vehicle_id] = beacon;
+}
+
+std::size_t ThreatAssessor::ExpireStale(TimePoint now) {
+  std::size_t dropped = 0;
+  for (auto it = neighbours_.begin(); it != neighbours_.end();) {
+    if (now - it->second.sent_at > cfg_.beacon_staleness) {
+      it = neighbours_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
+std::vector<Threat> ThreatAssessor::Assess(const Beacon& self, TimePoint now,
+                                           const geo::CityModel* city) const {
+  std::vector<Threat> threats;
+  for (const auto& [id, nb] : neighbours_) {
+    if (id == self.vehicle_id) continue;
+    // Extrapolate the neighbour to "now" from its last beacon, then solve
+    // constant-velocity closest approach.
+    const double age = (now - nb.sent_at).seconds();
+    const double ne = nb.east + nb.vel_east * age;
+    const double nn = nb.north + nb.vel_north * age;
+
+    const double pe = ne - self.east;
+    const double pn = nn - self.north;
+    const double ve = nb.vel_east - self.vel_east;
+    const double vn = nb.vel_north - self.vel_north;
+    const double v2 = ve * ve + vn * vn;
+    double t_star = 0.0;
+    if (v2 > 1e-9) t_star = std::clamp(-(pe * ve + pn * vn) / v2, 0.0, cfg_.horizon_s);
+    const double ce = pe + ve * t_star;
+    const double cn = pn + vn * t_star;
+    const double dist = std::sqrt(ce * ce + cn * cn);
+    if (dist > cfg_.warn_distance_m) continue;
+
+    Threat t;
+    t.other_id = id;
+    t.time_to_closest_s = t_star;
+    t.closest_distance_m = dist;
+    if (city != nullptr) {
+      t.occluded = city->IsOccluded(self.east, self.north, 1.2, ne, nn, 1.2);
+    }
+    threats.push_back(std::move(t));
+  }
+  return threats;
+}
+
+VanetMetrics RunVanetSimulation(const VanetConfig& cfg, const geo::CityModel& city,
+                                std::uint64_t seed) {
+  VanetMetrics m;
+  Rng rng(seed);
+
+  struct Vehicle {
+    std::string id;
+    sensors::TrajectoryGenerator trajectory;
+    ThreatAssessor assessor;
+  };
+
+  std::vector<Vehicle> vehicles;
+  vehicles.reserve(cfg.vehicles);
+  for (std::size_t i = 0; i < cfg.vehicles; ++i) {
+    sensors::TrajectoryConfig traj;
+    traj.kind = sensors::MotionKind::kVehicle;
+    traj.speed_mps = cfg.speed_mps;
+    traj.bounds_half_extent_m = 300.0;
+    Vehicle v{"veh-" + std::to_string(i),
+              sensors::TrajectoryGenerator(traj, seed + i * 7919),
+              ThreatAssessor(cfg.threat)};
+    v.trajectory.set_start(rng.Uniform(-250.0, 250.0), rng.Uniform(-250.0, 250.0),
+                           rng.Uniform(0.0, 360.0));
+    vehicles.push_back(std::move(v));
+  }
+
+  // Per unordered pair: encounter state.
+  struct PairState {
+    bool inside = false;           // currently below near-miss distance
+    TimePoint first_warning = TimePoint::Min();
+    TimePoint last_warning = TimePoint::Min();
+  };
+  std::map<std::pair<std::size_t, std::size_t>, PairState> pairs;
+  double lead_sum_s = 0.0;
+
+  TimePoint now;
+  while (now < TimePoint{} + cfg.run_length) {
+    now += cfg.beacon_period;
+
+    // Move everyone and broadcast beacons (lossy).
+    std::vector<Beacon> beacons(vehicles.size());
+    for (std::size_t i = 0; i < vehicles.size(); ++i) {
+      const auto s = vehicles[i].trajectory.Step(cfg.beacon_period);
+      Beacon b;
+      b.vehicle_id = vehicles[i].id;
+      b.sent_at = now;
+      b.east = s.east;
+      b.north = s.north;
+      b.vel_east = s.vel_east;
+      b.vel_north = s.vel_north;
+      beacons[i] = b;
+    }
+    for (std::size_t i = 0; i < vehicles.size(); ++i) {
+      for (std::size_t j = 0; j < vehicles.size(); ++j) {
+        if (i == j) continue;
+        if (rng.Bernoulli(cfg.drop_rate)) continue;
+        // 300 m radio range.
+        const double de = beacons[j].east - beacons[i].east;
+        const double dn = beacons[j].north - beacons[i].north;
+        if (de * de + dn * dn > 300.0 * 300.0) continue;
+        vehicles[i].assessor.OnBeacon(beacons[j], now);
+      }
+      ++m.beacons_sent;
+      vehicles[i].assessor.ExpireStale(now);
+    }
+
+    // Threat assessment + warning bookkeeping.
+    for (std::size_t i = 0; i < vehicles.size(); ++i) {
+      const auto threats = vehicles[i].assessor.Assess(
+          beacons[i], now, cfg.use_city_occlusion ? &city : nullptr);
+      for (const auto& t : threats) {
+        ++m.warnings_issued;
+        if (t.occluded) ++m.occluded_warnings;
+        // Record against the pair.
+        std::size_t j = 0;
+        for (; j < vehicles.size(); ++j) {
+          if (vehicles[j].id == t.other_id) break;
+        }
+        if (j >= vehicles.size()) continue;
+        auto key = std::minmax(i, j);
+        auto& ps = pairs[{key.first, key.second}];
+        if (ps.first_warning == TimePoint::Min() ||
+            now - ps.last_warning > Duration::Seconds(10)) {
+          ps.first_warning = now;  // new interaction window
+        }
+        ps.last_warning = now;
+      }
+    }
+
+    // Ground-truth near-miss detection.
+    for (std::size_t i = 0; i < vehicles.size(); ++i) {
+      for (std::size_t j = i + 1; j < vehicles.size(); ++j) {
+        const double de = beacons[j].east - beacons[i].east;
+        const double dn = beacons[j].north - beacons[i].north;
+        const double dist = std::sqrt(de * de + dn * dn);
+        auto& ps = pairs[{i, j}];
+        if (!ps.inside && dist < cfg.near_miss_distance_m) {
+          ps.inside = true;
+          ++m.encounters;
+          if (ps.last_warning != TimePoint::Min() &&
+              now - ps.last_warning < Duration::Seconds(8)) {
+            ++m.warned;
+            lead_sum_s += (now - ps.first_warning).seconds();
+          }
+        } else if (ps.inside && dist > cfg.near_miss_distance_m * 2.0) {
+          ps.inside = false;
+        }
+      }
+    }
+  }
+
+  if (m.encounters > 0) {
+    m.recall = static_cast<double>(m.warned) / static_cast<double>(m.encounters);
+  }
+  if (m.warned > 0) {
+    m.mean_lead_time_s = lead_sum_s / static_cast<double>(m.warned);
+  }
+  return m;
+}
+
+}  // namespace arbd::scenarios

@@ -1,0 +1,109 @@
+#include "sensors/models.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace arbd::sensors {
+namespace {
+constexpr double kDegToRad = M_PI / 180.0;
+constexpr double kRadToDeg = 180.0 / M_PI;
+
+double AngleDiffDeg(double a, double b) {
+  double d = a - b;
+  while (d > 180.0) d -= 360.0;
+  while (d < -180.0) d += 360.0;
+  return d;
+}
+}  // namespace
+
+std::optional<GpsFix> GpsModel::Sample(const TruthState& truth) {
+  if (rng_.Bernoulli(cfg_.dropout_rate)) return std::nullopt;
+  bias_e_ += rng_.Gaussian(0.0, cfg_.bias_walk_stddev_m);
+  bias_n_ += rng_.Gaussian(0.0, cfg_.bias_walk_stddev_m);
+  GpsFix fix;
+  fix.time = truth.time;
+  fix.east = truth.east + bias_e_ + rng_.Gaussian(0.0, cfg_.noise_stddev_m);
+  fix.north = truth.north + bias_n_ + rng_.Gaussian(0.0, cfg_.noise_stddev_m);
+  fix.accuracy_m = cfg_.noise_stddev_m;
+  return fix;
+}
+
+ImuModel::ImuModel(ImuConfig cfg, std::uint64_t seed) : cfg_(cfg), rng_(seed) {
+  bias_ae_ = rng_.Gaussian(0.0, cfg_.accel_bias);
+  bias_an_ = rng_.Gaussian(0.0, cfg_.accel_bias);
+  bias_g_ = rng_.Gaussian(0.0, cfg_.gyro_bias_dps);
+}
+
+ImuSample ImuModel::Sample(const TruthState& prev, const TruthState& curr) {
+  const double dt = (curr.time - prev.time).seconds();
+  ImuSample s;
+  s.time = curr.time;
+  if (dt > 1e-9) {
+    s.accel_east = (curr.vel_east - prev.vel_east) / dt;
+    s.accel_north = (curr.vel_north - prev.vel_north) / dt;
+    s.yaw_rate_dps = AngleDiffDeg(curr.yaw_deg, prev.yaw_deg) / dt;
+  }
+  s.accel_east += bias_ae_ + rng_.Gaussian(0.0, cfg_.accel_noise);
+  s.accel_north += bias_an_ + rng_.Gaussian(0.0, cfg_.accel_noise);
+  s.yaw_rate_dps += bias_g_ + rng_.Gaussian(0.0, cfg_.gyro_noise_dps);
+  return s;
+}
+
+std::vector<FeatureObservation> CameraFeatureModel::Sample(
+    const TruthState& truth,
+    const std::vector<std::tuple<std::uint64_t, double, double>>& landmarks,
+    const geo::CityModel* city) {
+  std::vector<FeatureObservation> out;
+  for (const auto& [id, le, ln] : landmarks) {
+    const double de = le - truth.east;
+    const double dn = ln - truth.north;
+    const double range = std::sqrt(de * de + dn * dn);
+    if (range > cfg_.max_range_m || range < 0.5) continue;
+    const double bearing = std::atan2(de, dn) * kRadToDeg;
+    if (std::abs(AngleDiffDeg(bearing, truth.yaw_deg)) > cfg_.fov_deg / 2.0) continue;
+    if (city != nullptr &&
+        city->IsOccluded(truth.east, truth.north, truth.up, le, ln, 2.0)) {
+      continue;
+    }
+    if (!rng_.Bernoulli(cfg_.detection_rate)) continue;
+    FeatureObservation ob;
+    ob.time = truth.time;
+    ob.landmark_id = id;
+    ob.range_m = std::max(0.1, range + rng_.Gaussian(0.0, cfg_.range_noise_m));
+    ob.bearing_deg = bearing + rng_.Gaussian(0.0, cfg_.bearing_noise_deg);
+    out.push_back(ob);
+  }
+  return out;
+}
+
+VitalsSample VitalsModel::Sample(const TruthState& truth) {
+  VitalsSample s;
+  s.time = truth.time;
+
+  // Start / continue anomaly episodes.
+  if (truth.time < anomaly_until_) {
+    s.truth_anomaly = true;
+  } else if (cfg_.anomaly_rate_per_hour > 0.0) {
+    const double p = cfg_.anomaly_rate_per_hour * cfg_.period.seconds() / 3600.0;
+    if (rng_.Bernoulli(p)) {
+      anomaly_until_ = truth.time + cfg_.anomaly_duration;
+      s.truth_anomaly = true;
+    }
+  }
+
+  // Exercise response: smoothed first-order lag toward speed-driven HR.
+  const double target = truth.speed() * 12.0;  // ~+17 bpm at walking pace
+  hr_state_ += 0.05 * (target - hr_state_);
+
+  // Mild circadian swing over the simulated day.
+  const double circadian = 4.0 * std::sin(truth.time.seconds() / 86400.0 * 2.0 * M_PI);
+
+  s.heart_rate_bpm = cfg_.resting_hr + hr_state_ + circadian +
+                     rng_.Gaussian(0.0, cfg_.hr_noise) +
+                     (s.truth_anomaly ? cfg_.anomaly_hr_boost : 0.0);
+  s.spo2_pct = std::clamp(98.0 + rng_.Gaussian(0.0, 0.4) - (s.truth_anomaly ? 3.0 : 0.0),
+                          80.0, 100.0);
+  return s;
+}
+
+}  // namespace arbd::sensors

@@ -1,0 +1,141 @@
+// Noise models that turn ground truth into what a phone actually reports.
+// Each model is deliberately simple — bias + white noise + dropout — but
+// that is exactly the error structure the EKF tracker has to fight, so
+// the fusion experiments (E13) exercise the real code path.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "geo/city.h"
+#include "sensors/trajectory.h"
+
+namespace arbd::sensors {
+
+struct GpsFix {
+  TimePoint time;
+  double east = 0.0;   // measured position, ENU metres
+  double north = 0.0;
+  double accuracy_m = 5.0;  // reported 1-sigma accuracy
+};
+
+struct GpsConfig {
+  double noise_stddev_m = 4.0;
+  double bias_walk_stddev_m = 0.02;  // slow urban-canyon bias drift per sample
+  double dropout_rate = 0.02;        // chance a fix is simply missing
+  Duration period = Duration::Millis(1000);
+};
+
+class GpsModel {
+ public:
+  GpsModel(GpsConfig cfg, std::uint64_t seed) : cfg_(cfg), rng_(seed) {}
+
+  // Returns nullopt on dropout.
+  std::optional<GpsFix> Sample(const TruthState& truth);
+  const GpsConfig& config() const { return cfg_; }
+
+ private:
+  GpsConfig cfg_;
+  Rng rng_;
+  double bias_e_ = 0.0;
+  double bias_n_ = 0.0;
+};
+
+struct ImuSample {
+  TimePoint time;
+  double accel_east = 0.0;   // world-frame acceleration, m/s^2
+  double accel_north = 0.0;
+  double yaw_rate_dps = 0.0; // gyro, degrees/second
+};
+
+struct ImuConfig {
+  double accel_noise = 0.15;        // m/s^2 white noise
+  double accel_bias = 0.05;         // constant bias magnitude
+  double gyro_noise_dps = 0.8;
+  double gyro_bias_dps = 0.3;
+  Duration period = Duration::Millis(10);  // 100 Hz
+};
+
+class ImuModel {
+ public:
+  ImuModel(ImuConfig cfg, std::uint64_t seed);
+
+  // Needs the previous truth state to differentiate velocity.
+  ImuSample Sample(const TruthState& prev, const TruthState& curr);
+
+ private:
+  ImuConfig cfg_;
+  Rng rng_;
+  double bias_ae_, bias_an_, bias_g_;
+};
+
+// A recognized visual landmark: the camera "sees" a known map feature and
+// reports range + bearing to it. This stands in for the feature-matching
+// front end of a visual tracking system.
+struct FeatureObservation {
+  TimePoint time;
+  std::uint64_t landmark_id = 0;
+  double range_m = 0.0;
+  double bearing_deg = 0.0;  // relative to true north (already gravity-aligned)
+};
+
+struct CameraConfig {
+  double max_range_m = 60.0;
+  double fov_deg = 70.0;
+  double range_noise_m = 0.4;
+  double bearing_noise_deg = 1.0;
+  double detection_rate = 0.8;  // per visible landmark per frame
+  Duration period = Duration::Millis(33);  // ~30 fps
+};
+
+class CameraFeatureModel {
+ public:
+  CameraFeatureModel(CameraConfig cfg, std::uint64_t seed) : cfg_(cfg), rng_(seed) {}
+
+  // Landmarks are (id, east, north); visibility respects range, the
+  // camera's field of view around the user's yaw, and building occlusion.
+  std::vector<FeatureObservation> Sample(
+      const TruthState& truth, const std::vector<std::tuple<std::uint64_t, double, double>>& landmarks,
+      const geo::CityModel* city = nullptr);
+
+ private:
+  CameraConfig cfg_;
+  Rng rng_;
+};
+
+// Wearable vitals (§3.3): heart rate with circadian drift, exercise
+// response to movement speed, and injectable anomaly episodes
+// (tachycardia) for the alerting experiment (E9).
+struct VitalsSample {
+  TimePoint time;
+  double heart_rate_bpm = 70.0;
+  double spo2_pct = 98.0;
+  bool truth_anomaly = false;  // ground-truth label for alert evaluation
+};
+
+struct VitalsConfig {
+  double resting_hr = 68.0;
+  double hr_noise = 1.5;
+  double anomaly_rate_per_hour = 0.0;  // episodes per hour
+  Duration anomaly_duration = Duration::Seconds(45);
+  double anomaly_hr_boost = 65.0;
+  Duration period = Duration::Millis(1000);
+};
+
+class VitalsModel {
+ public:
+  VitalsModel(VitalsConfig cfg, std::uint64_t seed) : cfg_(cfg), rng_(seed) {}
+
+  VitalsSample Sample(const TruthState& truth);
+
+ private:
+  VitalsConfig cfg_;
+  Rng rng_;
+  TimePoint anomaly_until_ = TimePoint::Min();
+  double hr_state_ = 0.0;  // smoothed exercise component
+};
+
+}  // namespace arbd::sensors

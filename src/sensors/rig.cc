@@ -1,0 +1,57 @@
+#include "sensors/rig.h"
+
+#include <algorithm>
+
+namespace arbd::sensors {
+
+SensorRig::SensorRig(RigConfig cfg, std::uint64_t seed)
+    : cfg_(cfg),
+      trajectory_(cfg.trajectory, seed),
+      gps_(cfg.gps, seed ^ 0x67507351ULL),
+      imu_(cfg.imu, seed ^ 0x494d5521ULL),
+      camera_(cfg.camera, seed ^ 0x43414d21ULL),
+      vitals_(cfg.vitals, seed ^ 0x56495421ULL) {
+  prev_truth_ = trajectory_.state();
+}
+
+void SensorRig::SetLandmarks(
+    std::vector<std::tuple<std::uint64_t, double, double>> landmarks) {
+  landmarks_ = std::move(landmarks);
+}
+
+void SensorRig::RunUntil(TimePoint until, const RigCallbacks& callbacks) {
+  // Fixed integration step: the fastest sensor period (IMU by default)
+  // bounds it, so no sensor misses a tick.
+  Duration step = cfg_.imu.period;
+  if (!cfg_.enable_imu) step = Duration::Millis(20);
+
+  while (now_ < until) {
+    now_ += step;
+    prev_truth_ = trajectory_.state();
+    const TruthState truth = trajectory_.Step(step);
+    if (callbacks.on_truth) callbacks.on_truth(truth);
+
+    if (cfg_.enable_imu && now_ >= next_imu_) {
+      next_imu_ = now_ + cfg_.imu.period;
+      if (callbacks.on_imu) callbacks.on_imu(imu_.Sample(prev_truth_, truth));
+    }
+    if (cfg_.enable_gps && now_ >= next_gps_) {
+      next_gps_ = now_ + cfg_.gps.period;
+      if (callbacks.on_gps) {
+        if (auto fix = gps_.Sample(truth)) callbacks.on_gps(*fix);
+      }
+    }
+    if (cfg_.enable_camera && now_ >= next_camera_) {
+      next_camera_ = now_ + cfg_.camera.period;
+      if (callbacks.on_features && !landmarks_.empty()) {
+        callbacks.on_features(camera_.Sample(truth, landmarks_, city_));
+      }
+    }
+    if (cfg_.enable_vitals && now_ >= next_vitals_) {
+      next_vitals_ = now_ + cfg_.vitals.period;
+      if (callbacks.on_vitals) callbacks.on_vitals(vitals_.Sample(truth));
+    }
+  }
+}
+
+}  // namespace arbd::sensors

@@ -1,0 +1,74 @@
+// SensorRig: one simulated device. Owns a trajectory plus the per-sensor
+// models and steps them on their native periods, delivering samples
+// through callbacks in timestamp order. This is the boundary between "the
+// world" and everything the platform is allowed to see.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/clock.h"
+#include "sensors/models.h"
+#include "sensors/trajectory.h"
+
+namespace arbd::sensors {
+
+struct RigConfig {
+  std::string device_id = "device-0";
+  TrajectoryConfig trajectory;
+  GpsConfig gps;
+  ImuConfig imu;
+  CameraConfig camera;
+  VitalsConfig vitals;
+  bool enable_gps = true;
+  bool enable_imu = true;
+  bool enable_camera = false;  // needs landmarks wired in
+  bool enable_vitals = false;
+};
+
+struct RigCallbacks {
+  std::function<void(const GpsFix&)> on_gps;
+  std::function<void(const ImuSample&)> on_imu;
+  std::function<void(const std::vector<FeatureObservation>&)> on_features;
+  std::function<void(const VitalsSample&)> on_vitals;
+  // Ground truth at each simulation step (for evaluation only).
+  std::function<void(const TruthState&)> on_truth;
+};
+
+class SensorRig {
+ public:
+  SensorRig(RigConfig cfg, std::uint64_t seed);
+
+  // Advance the simulation to `until`, firing each sensor at its period.
+  void RunUntil(TimePoint until, const RigCallbacks& callbacks);
+
+  // Landmarks the camera model can recognize (id, east, north).
+  void SetLandmarks(std::vector<std::tuple<std::uint64_t, double, double>> landmarks);
+  void SetCity(const geo::CityModel* city) { city_ = city; }
+
+  const TruthState& truth() const { return trajectory_.state(); }
+  TrajectoryGenerator& trajectory() { return trajectory_; }
+  const std::string& device_id() const { return cfg_.device_id; }
+
+ private:
+  RigConfig cfg_;
+  TrajectoryGenerator trajectory_;
+  GpsModel gps_;
+  ImuModel imu_;
+  CameraFeatureModel camera_;
+  VitalsModel vitals_;
+  std::vector<std::tuple<std::uint64_t, double, double>> landmarks_;
+  const geo::CityModel* city_ = nullptr;
+
+  TimePoint now_;
+  TimePoint next_gps_;
+  TimePoint next_imu_;
+  TimePoint next_camera_;
+  TimePoint next_vitals_;
+  TruthState prev_truth_;
+};
+
+}  // namespace arbd::sensors

@@ -1,0 +1,118 @@
+#include "sensors/trajectory.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace arbd::sensors {
+namespace {
+constexpr double kDegToRad = M_PI / 180.0;
+
+double WrapDeg(double d) {
+  while (d < 0) d += 360.0;
+  while (d >= 360.0) d -= 360.0;
+  return d;
+}
+}  // namespace
+
+double TruthState::speed() const {
+  return std::sqrt(vel_east * vel_east + vel_north * vel_north);
+}
+
+TrajectoryGenerator::TrajectoryGenerator(TrajectoryConfig cfg, std::uint64_t seed)
+    : cfg_(std::move(cfg)), rng_(seed), target_speed_(cfg_.speed_mps) {
+  state_.yaw_deg = rng_.Uniform(0.0, 360.0);
+  if (cfg_.kind == MotionKind::kWaypoints && cfg_.waypoints.empty()) {
+    cfg_.kind = MotionKind::kStatic;
+  }
+}
+
+void TrajectoryGenerator::set_start(double east, double north, double yaw_deg) {
+  state_.east = east;
+  state_.north = north;
+  state_.yaw_deg = WrapDeg(yaw_deg);
+}
+
+TruthState TrajectoryGenerator::Step(Duration dt) {
+  const double dt_s = dt.seconds();
+  state_.time += dt;
+  switch (cfg_.kind) {
+    case MotionKind::kStatic:
+      state_.vel_east = 0.0;
+      state_.vel_north = 0.0;
+      break;
+    case MotionKind::kRandomWalk:
+      StepRandomWalk(dt_s);
+      break;
+    case MotionKind::kWaypoints:
+      StepWaypoints(dt_s);
+      break;
+    case MotionKind::kVehicle:
+      StepVehicle(dt_s);
+      break;
+  }
+  return state_;
+}
+
+void TrajectoryGenerator::StepRandomWalk(double dt_s) {
+  state_.yaw_deg = WrapDeg(state_.yaw_deg +
+                           rng_.Gaussian(0.0, cfg_.heading_drift_deg_per_s) * dt_s);
+  const double speed =
+      std::max(0.0, cfg_.speed_mps * (1.0 + rng_.Gaussian(0.0, cfg_.speed_jitter)));
+  const double yaw = state_.yaw_deg * kDegToRad;
+  state_.vel_east = speed * std::sin(yaw);
+  state_.vel_north = speed * std::cos(yaw);
+  state_.east += state_.vel_east * dt_s;
+  state_.north += state_.vel_north * dt_s;
+  ReflectAtBounds();
+}
+
+void TrajectoryGenerator::StepWaypoints(double dt_s) {
+  const auto& wps = cfg_.waypoints;
+  const auto& [tx, ty] = wps[next_waypoint_ % wps.size()];
+  const double de = tx - state_.east;
+  const double dn = ty - state_.north;
+  const double dist = std::sqrt(de * de + dn * dn);
+  const double step = cfg_.speed_mps * dt_s;
+  if (dist <= step || dist < 1e-9) {
+    state_.east = tx;
+    state_.north = ty;
+    next_waypoint_ = (next_waypoint_ + 1) % wps.size();
+    state_.vel_east = 0.0;
+    state_.vel_north = 0.0;
+  } else {
+    state_.vel_east = cfg_.speed_mps * de / dist;
+    state_.vel_north = cfg_.speed_mps * dn / dist;
+    state_.east += state_.vel_east * dt_s;
+    state_.north += state_.vel_north * dt_s;
+    state_.yaw_deg = WrapDeg(std::atan2(de, dn) / kDegToRad);
+  }
+}
+
+void TrajectoryGenerator::StepVehicle(double dt_s) {
+  // Smooth speed toward a slowly changing target; gentle heading changes.
+  if (rng_.Bernoulli(0.02)) {
+    target_speed_ = std::max(1.0, cfg_.speed_mps * rng_.Uniform(0.5, 1.3));
+  }
+  const double current = state_.speed();
+  const double accel = std::clamp(target_speed_ - current, -3.0, 2.0);
+  const double speed = std::max(0.0, current + accel * dt_s);
+  state_.yaw_deg = WrapDeg(state_.yaw_deg +
+                           rng_.Gaussian(0.0, cfg_.heading_drift_deg_per_s * 0.2) * dt_s);
+  const double yaw = state_.yaw_deg * kDegToRad;
+  state_.vel_east = speed * std::sin(yaw);
+  state_.vel_north = speed * std::cos(yaw);
+  state_.east += state_.vel_east * dt_s;
+  state_.north += state_.vel_north * dt_s;
+  ReflectAtBounds();
+}
+
+void TrajectoryGenerator::ReflectAtBounds() {
+  const double b = cfg_.bounds_half_extent_m;
+  if (state_.east > b || state_.east < -b || state_.north > b || state_.north < -b) {
+    state_.east = std::clamp(state_.east, -b, b);
+    state_.north = std::clamp(state_.north, -b, b);
+    state_.yaw_deg = WrapDeg(state_.yaw_deg + 180.0 + rng_.Uniform(-30.0, 30.0));
+  }
+}
+
+}  // namespace arbd::sensors

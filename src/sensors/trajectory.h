@@ -1,0 +1,66 @@
+// Ground-truth motion generation for the simulated device/user. The AR
+// tracker never sees these states directly — only the noisy sensor models
+// derived from them — which is what lets the tracking experiments (E13)
+// compute honest error numbers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/rng.h"
+
+namespace arbd::sensors {
+
+// True kinematic state in a local ENU frame (metres, metres/second).
+struct TruthState {
+  TimePoint time;
+  double east = 0.0;
+  double north = 0.0;
+  double up = 1.7;  // eye height
+  double vel_east = 0.0;
+  double vel_north = 0.0;
+  double yaw_deg = 0.0;  // heading, clockwise from north
+
+  double speed() const;
+};
+
+enum class MotionKind {
+  kWaypoints,   // piecewise-linear between fixed points (commuter / tourist route)
+  kRandomWalk,  // pedestrian wandering with smooth heading drift
+  kVehicle,     // faster, smoother turns, bounded acceleration
+  kStatic,      // standing still (in-situ inspection scenarios)
+};
+
+struct TrajectoryConfig {
+  MotionKind kind = MotionKind::kRandomWalk;
+  double speed_mps = 1.4;               // walking pace
+  double speed_jitter = 0.2;            // fractional speed variation
+  double heading_drift_deg_per_s = 25.0;  // random-walk heading volatility
+  double bounds_half_extent_m = 400.0;  // keep motion within ±this
+  std::vector<std::pair<double, double>> waypoints;  // (east, north) for kWaypoints
+};
+
+class TrajectoryGenerator {
+ public:
+  TrajectoryGenerator(TrajectoryConfig cfg, std::uint64_t seed);
+
+  // Advance by dt and return the new ground-truth state.
+  TruthState Step(Duration dt);
+  const TruthState& state() const { return state_; }
+  void set_start(double east, double north, double yaw_deg);
+
+ private:
+  void StepRandomWalk(double dt_s);
+  void StepWaypoints(double dt_s);
+  void StepVehicle(double dt_s);
+  void ReflectAtBounds();
+
+  TrajectoryConfig cfg_;
+  Rng rng_;
+  TruthState state_;
+  std::size_t next_waypoint_ = 0;
+  double target_speed_;
+};
+
+}  // namespace arbd::sensors

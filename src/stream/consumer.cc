@@ -1,0 +1,132 @@
+#include "stream/consumer.h"
+
+#include <algorithm>
+
+namespace arbd::stream {
+
+std::vector<StoredRecord> Consumer::Poll(std::size_t max_records) {
+  std::vector<StoredRecord> out;
+  if (positions_.empty() || max_records == 0) return out;
+
+  // Snapshot assigned partitions in a stable order, then start from a
+  // rotating cursor for fairness.
+  std::vector<PartitionId> parts;
+  parts.reserve(positions_.size());
+  for (const auto& [p, _] : positions_) parts.push_back(p);
+
+  const std::size_t n = parts.size();
+  for (std::size_t i = 0; i < n && out.size() < max_records; ++i) {
+    const PartitionId p = parts[(rr_cursor_ + i) % n];
+    Offset& pos = positions_[p];
+    auto fetched = group_.broker_.Fetch(group_.topic_name_, p, pos, max_records - out.size());
+    if (!fetched.ok()) {
+      // Truncated below log start: skip forward to what is retained.
+      auto topic = group_.broker_.GetTopic(group_.topic_name_);
+      if (topic.ok()) {
+        pos = std::max(pos, (*topic)->partition(p).log_start_offset());
+      }
+      continue;
+    }
+    for (auto& sr : *fetched) {
+      sr.partition = p;
+      pos = sr.offset + 1;
+      out.push_back(std::move(sr));
+    }
+  }
+  rr_cursor_ = (rr_cursor_ + 1) % std::max<std::size_t>(n, 1);
+  return out;
+}
+
+void Consumer::Commit() {
+  for (const auto& [p, pos] : positions_) {
+    group_.committed_[p] = std::max(group_.CommittedOffset(p), pos);
+  }
+}
+
+std::vector<PartitionId> Consumer::Assignment() const {
+  std::vector<PartitionId> parts;
+  parts.reserve(positions_.size());
+  for (const auto& [p, _] : positions_) parts.push_back(p);
+  return parts;
+}
+
+ConsumerGroup::ConsumerGroup(Broker& broker, std::string group_id, std::string topic,
+                             ResetPolicy reset)
+    : broker_(broker),
+      group_id_(std::move(group_id)),
+      topic_name_(std::move(topic)),
+      reset_(reset) {}
+
+Expected<Consumer*> ConsumerGroup::Join(const std::string& consumer_id) {
+  if (members_.contains(consumer_id)) {
+    return Status::AlreadyExists("consumer '" + consumer_id + "' already in group '" +
+                                 group_id_ + "'");
+  }
+  auto topic = broker_.GetTopic(topic_name_);
+  if (!topic.ok()) return topic.status();
+  auto consumer = std::unique_ptr<Consumer>(new Consumer(*this, consumer_id));
+  Consumer* raw = consumer.get();
+  members_[consumer_id] = std::move(consumer);
+  Rebalance();
+  return raw;
+}
+
+Status ConsumerGroup::Leave(const std::string& consumer_id, bool commit_progress) {
+  auto it = members_.find(consumer_id);
+  if (it == members_.end()) {
+    return Status::NotFound("consumer '" + consumer_id + "' not in group '" + group_id_ + "'");
+  }
+  // Preserve the departing member's progress before dropping it (unless
+  // this models a crash, where in-flight progress is lost).
+  if (commit_progress) it->second->Commit();
+  members_.erase(it);
+  Rebalance();
+  return Status::Ok();
+}
+
+Offset ConsumerGroup::CommittedOffset(PartitionId p) const {
+  auto it = committed_.find(p);
+  if (it != committed_.end()) return it->second;
+  return InitialOffset(p);
+}
+
+Offset ConsumerGroup::InitialOffset(PartitionId p) const {
+  auto topic = const_cast<Broker&>(broker_).GetTopic(topic_name_);
+  if (!topic.ok()) return 0;
+  const Partition& part = (*topic)->partition(p);
+  return reset_ == ResetPolicy::kEarliest ? part.log_start_offset() : part.end_offset();
+}
+
+std::int64_t ConsumerGroup::TotalLag() const {
+  auto topic = const_cast<Broker&>(broker_).GetTopic(topic_name_);
+  if (!topic.ok()) return 0;
+  std::int64_t lag = 0;
+  for (PartitionId p = 0; p < (*topic)->partition_count(); ++p) {
+    lag += (*topic)->partition(p).end_offset() - CommittedOffset(p);
+  }
+  return lag;
+}
+
+void ConsumerGroup::Rebalance() {
+  ++rebalances_;
+  assignment_.clear();
+  for (auto& [_, m] : members_) m->positions_.clear();
+  if (members_.empty()) return;
+
+  auto topic = broker_.GetTopic(topic_name_);
+  if (!topic.ok()) return;
+
+  // Range assignment: partitions dealt to members in sorted order.
+  std::vector<Consumer*> ms;
+  ms.reserve(members_.size());
+  for (auto& [_, m] : members_) ms.push_back(m.get());
+
+  const std::uint32_t nparts = (*topic)->partition_count();
+  for (PartitionId p = 0; p < nparts; ++p) {
+    Consumer* owner = ms[p % ms.size()];
+    assignment_[p] = owner->id_;
+    owner->positions_[p] = CommittedOffset(p);
+  }
+}
+
+}  // namespace arbd::stream

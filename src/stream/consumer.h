@@ -1,0 +1,87 @@
+// Consumer groups over the partitioned log: cooperative partition
+// assignment, committed offsets, and rebalancing when members join or
+// leave. Mirrors the Kafka consumer-group contract closely enough that the
+// platform's readers (analytics jobs, scenario pipelines) behave like
+// their production counterparts.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "stream/log.h"
+
+namespace arbd::stream {
+
+class ConsumerGroup;
+
+// A single member of a consumer group. Poll() only returns records from
+// partitions currently assigned to this member.
+class Consumer {
+ public:
+  // Fetches up to max_records across assigned partitions (round-robin so
+  // one hot partition cannot starve the others).
+  std::vector<StoredRecord> Poll(std::size_t max_records);
+
+  // Commit consumed offsets back to the group (next offsets to read).
+  void Commit();
+
+  const std::string& id() const { return id_; }
+  std::vector<PartitionId> Assignment() const;
+
+ private:
+  friend class ConsumerGroup;
+  Consumer(ConsumerGroup& group, std::string id) : group_(group), id_(std::move(id)) {}
+
+  ConsumerGroup& group_;
+  std::string id_;
+  // Position per assigned partition (next offset to fetch); seeded from the
+  // group's committed offsets at (re)assignment.
+  std::map<PartitionId, Offset> positions_;
+  std::uint64_t rr_cursor_ = 0;
+};
+
+// Where a fresh group (no committed offset) starts reading.
+enum class ResetPolicy { kEarliest, kLatest };
+
+class ConsumerGroup {
+ public:
+  ConsumerGroup(Broker& broker, std::string group_id, std::string topic,
+                ResetPolicy reset = ResetPolicy::kEarliest);
+
+  // Adding/removing a member triggers an immediate rebalance. Uncommitted
+  // progress on reassigned partitions is rewound to the committed offset —
+  // i.e. at-least-once delivery, like the real thing.
+  Expected<Consumer*> Join(const std::string& consumer_id);
+  // A graceful leave commits the member's progress first; a crash
+  // (commit_progress = false) loses everything since the last commit.
+  Status Leave(const std::string& consumer_id, bool commit_progress = true);
+
+  Offset CommittedOffset(PartitionId p) const;
+  std::size_t member_count() const { return members_.size(); }
+  const std::string& topic() const { return topic_name_; }
+  std::uint64_t rebalance_count() const { return rebalances_; }
+
+  // Total records not yet committed across all partitions ("consumer lag").
+  std::int64_t TotalLag() const;
+
+ private:
+  friend class Consumer;
+  void Rebalance();
+  Offset InitialOffset(PartitionId p) const;
+
+  Broker& broker_;
+  std::string group_id_;
+  std::string topic_name_;
+  ResetPolicy reset_;
+  std::map<std::string, std::unique_ptr<Consumer>> members_;
+  std::map<PartitionId, std::string> assignment_;  // partition -> consumer id
+  std::map<PartitionId, Offset> committed_;
+  std::uint64_t rebalances_ = 0;
+};
+
+}  // namespace arbd::stream

@@ -1,0 +1,178 @@
+// Event-time dataflow over the message log — the Flink-shaped half of the
+// big-data substrate. Push-based pipelines of stages (map, filter, keyed
+// window aggregation, sink) driven by watermarks with configurable
+// out-of-orderness and allowed lateness, plus checkpoint/restore of all
+// operator state so a pipeline can resume after simulated failure.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/serialize.h"
+#include "common/status.h"
+
+namespace arbd::stream {
+
+// The typed event the dataflow layer works on. Scenario code serializes
+// richer structs into Record payloads; the analytics pipelines operate on
+// this (key, attribute, value, time) shape, which covers every aggregate
+// the paper's use cases need (vitals, purchases, speeds, gaze dwell…).
+struct Event {
+  std::string key;        // entity: user / vehicle / patient / product id
+  std::string attribute;  // which metric this sample is ("heart_rate", …)
+  double value = 0.0;
+  TimePoint event_time;
+
+  Bytes Encode() const;
+  static Expected<Event> Decode(const Bytes& buf);
+};
+
+struct WindowSpec {
+  enum class Kind { kTumbling, kSliding, kSession };
+  Kind kind = Kind::kTumbling;
+  Duration size = Duration::Seconds(1);
+  Duration slide = Duration::Seconds(1);  // sliding only
+  Duration gap = Duration::Seconds(1);    // session only
+
+  static WindowSpec Tumbling(Duration size);
+  static WindowSpec Sliding(Duration size, Duration slide);
+  static WindowSpec Session(Duration gap);
+};
+
+enum class AggKind { kCount, kSum, kMean, kMin, kMax };
+
+struct WindowResult {
+  std::string key;
+  std::string attribute;
+  TimePoint window_start;
+  TimePoint window_end;
+  double value = 0.0;
+  std::uint64_t count = 0;
+};
+
+class Pipeline;
+
+// Execution context handed to stages: lets a stage push an event to its
+// downstream neighbour and surface window results to pipeline sinks.
+class StageContext {
+ public:
+  virtual ~StageContext() = default;
+  virtual void Emit(Event event) = 0;
+  virtual void EmitResult(WindowResult result) = 0;
+};
+
+class Stage {
+ public:
+  virtual ~Stage() = default;
+  virtual void Process(const Event& event, StageContext& ctx) = 0;
+  // Watermark advanced to `wm`: fire any windows that are now complete.
+  virtual void OnWatermark(TimePoint wm, StageContext& ctx) { (void)wm; (void)ctx; }
+  // Operator-state snapshot for checkpointing. Stateless stages write nothing.
+  virtual void SaveState(BinaryWriter& w) const { (void)w; }
+  virtual Status LoadState(BinaryReader& r) { (void)r; return Status::Ok(); }
+};
+
+// Keyed windowed aggregation with event-time semantics. State per
+// (key, window): running aggregate. A window fires when the watermark
+// passes window_end + allowed_lateness; events older than the watermark
+// minus lateness are counted as dropped-late.
+class WindowAggregateStage final : public Stage {
+ public:
+  WindowAggregateStage(WindowSpec spec, AggKind agg, Duration allowed_lateness = Duration::Zero());
+
+  void Process(const Event& event, StageContext& ctx) override;
+  void OnWatermark(TimePoint wm, StageContext& ctx) override;
+  void SaveState(BinaryWriter& w) const override;
+  Status LoadState(BinaryReader& r) override;
+
+  std::uint64_t late_dropped() const { return late_dropped_; }
+  std::size_t open_windows() const { return windows_.size(); }
+
+ private:
+  struct Accum {
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    std::uint64_t count = 0;
+    void Add(double v);
+    double Result(AggKind k) const;
+  };
+  struct WindowKey {
+    std::string key;
+    std::string attribute;
+    std::int64_t start_ns;
+    std::int64_t end_ns;
+    auto operator<=>(const WindowKey&) const = default;
+  };
+
+  std::vector<std::pair<TimePoint, TimePoint>> WindowsFor(TimePoint t) const;
+  void AssignSession(const Event& e);
+
+  WindowSpec spec_;
+  AggKind agg_;
+  Duration lateness_;
+  std::map<WindowKey, Accum> windows_;
+  TimePoint last_watermark_ = TimePoint::Min();
+  std::uint64_t late_dropped_ = 0;
+};
+
+// A linear pipeline of stages fed from user code or a consumer loop.
+// Watermarks are generated as (max event time seen − max_out_of_orderness)
+// and propagated through every stage.
+class Pipeline final : public StageContext {
+ public:
+  explicit Pipeline(Duration max_out_of_orderness = Duration::Zero());
+
+  Pipeline& Map(std::function<Event(const Event&)> fn);
+  Pipeline& Filter(std::function<bool(const Event&)> pred);
+  // Rekey/rename: convenience map that preserves the value.
+  Pipeline& KeyBy(std::function<std::string(const Event&)> key_fn);
+  Pipeline& WindowAggregate(WindowSpec spec, AggKind agg,
+                            Duration allowed_lateness = Duration::Zero());
+  Pipeline& Sink(std::function<void(const WindowResult&)> sink);
+  Pipeline& EventSink(std::function<void(const Event&)> sink);
+
+  // Feed one event; advances the watermark and may fire windows.
+  void Push(const Event& event);
+  // Force all remaining windows closed (end of stream).
+  void Flush();
+
+  TimePoint watermark() const { return watermark_; }
+  std::uint64_t events_in() const { return events_in_; }
+  std::uint64_t results_out() const { return results_out_; }
+
+  // Snapshot/restore all operator state + watermark (E4/E12 failure tests).
+  Bytes Checkpoint() const;
+  Status Restore(const Bytes& snapshot);
+
+  // Total late-dropped events across window stages.
+  std::uint64_t late_dropped() const;
+
+ private:
+  // StageContext for the stage currently executing at index `cursor_`.
+  void Emit(Event event) override;
+  void EmitResult(WindowResult result) override;
+  void RunFrom(std::size_t index, const Event& event);
+  void PropagateWatermark(TimePoint wm);
+
+  struct FnStage;
+
+  Duration max_ooo_;
+  std::vector<std::unique_ptr<Stage>> stages_;
+  std::vector<WindowAggregateStage*> window_stages_;
+  std::vector<std::function<void(const WindowResult&)>> sinks_;
+  std::vector<std::function<void(const Event&)>> event_sinks_;
+  TimePoint max_event_time_ = TimePoint::Min();
+  TimePoint watermark_ = TimePoint::Min();
+  std::size_t cursor_ = 0;
+  std::uint64_t events_in_ = 0;
+  std::uint64_t results_out_ = 0;
+};
+
+}  // namespace arbd::stream

@@ -1,0 +1,166 @@
+#include "stream/log.h"
+#include <set>
+
+#include <algorithm>
+
+namespace arbd::stream {
+
+Offset Partition::Append(Record record, TimePoint ingest_time) {
+  record.ingest_time = ingest_time;
+  max_event_time_ = std::max(max_event_time_, record.event_time);
+  records_.push_back(std::move(record));
+  return end_offset() - 1;
+}
+
+Expected<std::vector<StoredRecord>> Partition::Fetch(Offset from,
+                                                     std::size_t max_records) const {
+  if (from < start_offset_) {
+    return Status::OutOfRange("offset " + std::to_string(from) +
+                              " below log start " + std::to_string(start_offset_));
+  }
+  if (from > end_offset()) {
+    return Status::OutOfRange("offset " + std::to_string(from) + " beyond log end " +
+                              std::to_string(end_offset()));
+  }
+  std::vector<StoredRecord> out;
+  const auto begin = static_cast<std::size_t>(from - start_offset_);
+  const std::size_t n = std::min(max_records, records_.size() - begin);
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    StoredRecord sr;
+    sr.offset = from + static_cast<Offset>(i);
+    sr.record = records_[begin + i];
+    out.push_back(std::move(sr));
+  }
+  return out;
+}
+
+std::size_t Partition::EnforceRetention(const TopicConfig& cfg, TimePoint now) {
+  std::size_t dropped = 0;
+  if (cfg.retention_records > 0) {
+    while (records_.size() > cfg.retention_records) {
+      records_.pop_front();
+      ++start_offset_;
+      ++dropped;
+    }
+  }
+  if (cfg.retention_time > Duration::Zero()) {
+    const TimePoint cutoff = now - cfg.retention_time;
+    while (!records_.empty() && records_.front().ingest_time < cutoff) {
+      records_.pop_front();
+      ++start_offset_;
+      ++dropped;
+    }
+  }
+  return dropped;
+}
+
+std::size_t Partition::CompactKeepLatest() {
+  // Walk from the tail keeping the first (i.e. newest) record per key;
+  // tombstones mark their key as dead without being retained themselves.
+  std::set<std::string> seen;
+  std::deque<Record> kept;
+  for (auto it = records_.rbegin(); it != records_.rend(); ++it) {
+    if (seen.contains(it->key)) continue;
+    seen.insert(it->key);
+    if (it->payload.empty()) continue;  // tombstone: key deleted
+    kept.push_front(std::move(*it));
+  }
+  const std::size_t removed = records_.size() - kept.size();
+  records_ = std::move(kept);
+  return removed;
+}
+
+Topic::Topic(std::string name, TopicConfig cfg)
+    : name_(std::move(name)), cfg_(cfg) {
+  if (cfg_.partitions == 0) cfg_.partitions = 1;
+  parts_.resize(cfg_.partitions);
+}
+
+PartitionId Topic::PartitionFor(const std::string& key) {
+  if (key.empty()) {
+    return static_cast<PartitionId>(round_robin_++ % parts_.size());
+  }
+  return static_cast<PartitionId>(Fnv1a(key) % parts_.size());
+}
+
+std::size_t Topic::TotalRecords() const {
+  std::size_t n = 0;
+  for (const auto& p : parts_) n += p.size();
+  return n;
+}
+
+std::size_t Topic::EnforceRetention(TimePoint now) {
+  std::size_t dropped = 0;
+  for (auto& p : parts_) dropped += p.EnforceRetention(cfg_, now);
+  return dropped;
+}
+
+Status Broker::CreateTopic(const std::string& name, TopicConfig cfg) {
+  if (name.empty()) return Status::InvalidArgument("topic name must not be empty");
+  if (topics_.contains(name)) return Status::AlreadyExists("topic '" + name + "'");
+  topics_[name] = std::make_unique<Topic>(name, cfg);
+  return Status::Ok();
+}
+
+Status Broker::DeleteTopic(const std::string& name) {
+  if (topics_.erase(name) == 0) return Status::NotFound("topic '" + name + "'");
+  return Status::Ok();
+}
+
+Expected<Topic*> Broker::GetTopic(const std::string& name) {
+  auto it = topics_.find(name);
+  if (it == topics_.end()) return Status::NotFound("topic '" + name + "'");
+  return it->second.get();
+}
+
+Expected<std::pair<PartitionId, Offset>> Broker::Produce(const std::string& topic,
+                                                         Record record) {
+  auto t = GetTopic(topic);
+  if (!t.ok()) return t.status();
+  const PartitionId p = (*t)->PartitionFor(record.key);
+  const Offset off = (*t)->partition(p).Append(std::move(record), clock_.Now());
+  ++total_produced_;
+  return std::make_pair(p, off);
+}
+
+Expected<std::vector<StoredRecord>> Broker::Fetch(const std::string& topic,
+                                                  PartitionId partition, Offset from,
+                                                  std::size_t max_records) {
+  auto t = GetTopic(topic);
+  if (!t.ok()) return t.status();
+  if (partition >= (*t)->partition_count()) {
+    return Status::OutOfRange("partition " + std::to_string(partition) + " of topic '" +
+                              topic + "'");
+  }
+  return (*t)->partition(partition).Fetch(from, max_records);
+}
+
+std::size_t Broker::RunRetention() {
+  std::size_t dropped = 0;
+  for (auto& [name, topic] : topics_) dropped += topic->EnforceRetention(clock_.Now());
+  return dropped;
+}
+
+std::vector<std::string> Broker::TopicNames() const {
+  std::vector<std::string> names;
+  names.reserve(topics_.size());
+  for (const auto& [name, _] : topics_) names.push_back(name);
+  return names;
+}
+
+Expected<std::pair<PartitionId, Offset>> Producer::Send(Record record) {
+  auto r = broker_.Produce(topic_, std::move(record));
+  if (r.ok()) ++sent_;
+  return r;
+}
+
+Status Producer::SendBatch(std::vector<Record> records) {
+  for (auto& r : records) {
+    auto s = Send(std::move(r));
+    if (!s.ok()) return s.status();
+  }
+  return Status::Ok();
+}
+
+}  // namespace arbd::stream

@@ -1,0 +1,136 @@
+// Partitioned, append-only message log — the Kafka-shaped substrate the
+// paper's "velocity" arguments assume. In-memory (this is a simulation
+// substrate) but with the full broker semantics the rest of the platform
+// relies on: key-hash partitioning, per-partition monotonically increasing
+// offsets, retention by size and by time, and checksummed fetches.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "stream/record.h"
+
+namespace arbd::stream {
+
+struct TopicConfig {
+  std::uint32_t partitions = 1;
+  // Retention: records older than this (by ingest time) or beyond this
+  // count per partition are eligible for truncation. Zero disables.
+  Duration retention_time = Duration::Zero();
+  std::size_t retention_records = 0;
+};
+
+// One partition of a topic. Offsets are dense: the first retained record
+// sits at `log_start_offset`, the next append goes to `end_offset`.
+class Partition {
+ public:
+  Offset Append(Record record, TimePoint ingest_time);
+
+  // Fetch up to `max_records` starting at `from`. Returns OutOfRange if
+  // `from` is below the log start (truncated away) or above the end.
+  Expected<std::vector<StoredRecord>> Fetch(Offset from, std::size_t max_records) const;
+
+  Offset log_start_offset() const { return start_offset_; }
+  Offset end_offset() const { return start_offset_ + static_cast<Offset>(records_.size()); }
+  std::size_t size() const { return records_.size(); }
+
+  // Drop records violating retention limits. Returns number dropped.
+  std::size_t EnforceRetention(const TopicConfig& cfg, TimePoint now);
+
+  // Log compaction: keep only the newest record per key, dropping
+  // tombstoned keys (empty payloads) entirely. Retained records are
+  // renumbered densely from the current log start (see stream/table.h for
+  // the semantics note). Returns records removed.
+  std::size_t CompactKeepLatest();
+
+  // Latest event time appended (for watermark generation at the source).
+  TimePoint max_event_time() const { return max_event_time_; }
+
+ private:
+  std::deque<Record> records_;
+  Offset start_offset_ = 0;
+  TimePoint max_event_time_ = TimePoint::Min();
+};
+
+class Topic {
+ public:
+  Topic(std::string name, TopicConfig cfg);
+
+  const std::string& name() const { return name_; }
+  const TopicConfig& config() const { return cfg_; }
+  std::uint32_t partition_count() const { return static_cast<std::uint32_t>(parts_.size()); }
+
+  // Key-hash partitioning; empty key round-robins.
+  PartitionId PartitionFor(const std::string& key);
+
+  Partition& partition(PartitionId p) { return parts_.at(p); }
+  const Partition& partition(PartitionId p) const { return parts_.at(p); }
+
+  std::size_t TotalRecords() const;
+  std::size_t EnforceRetention(TimePoint now);
+
+ private:
+  std::string name_;
+  TopicConfig cfg_;
+  std::vector<Partition> parts_;
+  std::uint64_t round_robin_ = 0;
+};
+
+// The broker: a named collection of topics plus produce/fetch endpoints.
+// Single-node by design — the distribution story in ARBD lives in the
+// offload layer (device↔cloud), not in broker replication.
+class Broker {
+ public:
+  explicit Broker(Clock& clock) : clock_(clock) {}
+
+  Status CreateTopic(const std::string& name, TopicConfig cfg);
+  Status DeleteTopic(const std::string& name);
+  bool HasTopic(const std::string& name) const { return topics_.contains(name); }
+  Expected<Topic*> GetTopic(const std::string& name);
+
+  // Appends the record, stamping ingest time from the broker clock.
+  // Returns the (partition, offset) it landed at.
+  Expected<std::pair<PartitionId, Offset>> Produce(const std::string& topic, Record record);
+
+  Expected<std::vector<StoredRecord>> Fetch(const std::string& topic, PartitionId partition,
+                                            Offset from, std::size_t max_records);
+
+  // Runs retention across all topics; returns records dropped.
+  std::size_t RunRetention();
+
+  std::vector<std::string> TopicNames() const;
+  Clock& clock() { return clock_; }
+
+  std::uint64_t total_produced() const { return total_produced_; }
+
+ private:
+  Clock& clock_;
+  std::map<std::string, std::unique_ptr<Topic>> topics_;
+  std::uint64_t total_produced_ = 0;
+};
+
+// Thin producer handle: validates topic existence once and adds batching
+// counters used by the throughput bench (E12).
+class Producer {
+ public:
+  Producer(Broker& broker, std::string topic)
+      : broker_(broker), topic_(std::move(topic)) {}
+
+  Expected<std::pair<PartitionId, Offset>> Send(Record record);
+  Status SendBatch(std::vector<Record> records);
+
+  std::uint64_t sent() const { return sent_; }
+
+ private:
+  Broker& broker_;
+  std::string topic_;
+  std::uint64_t sent_ = 0;
+};
+
+}  // namespace arbd::stream

@@ -1,0 +1,57 @@
+#include "stream/record.h"
+
+namespace arbd::stream {
+
+Record Record::Make(std::string key, Bytes payload, TimePoint event_time) {
+  Record r;
+  r.key = std::move(key);
+  r.checksum = Fnv1a(payload);
+  r.payload = std::move(payload);
+  r.event_time = event_time;
+  return r;
+}
+
+Record Record::MakeText(std::string key, const std::string& text, TimePoint event_time) {
+  Bytes b(text.begin(), text.end());
+  return Make(std::move(key), std::move(b), event_time);
+}
+
+std::string Record::TextPayload() const {
+  return std::string(payload.begin(), payload.end());
+}
+
+Bytes Record::Encode() const {
+  BinaryWriter w;
+  w.WriteString(key);
+  w.WriteBytes(payload);
+  w.WriteI64(event_time.nanos());
+  w.WriteI64(ingest_time.nanos());
+  w.WriteU64(checksum);
+  return w.Take();
+}
+
+Expected<Record> Record::Decode(const Bytes& buf) {
+  BinaryReader r(buf);
+  Record rec;
+  auto key = r.ReadString();
+  if (!key.ok()) return key.status();
+  rec.key = std::move(*key);
+  auto payload = r.ReadBytes();
+  if (!payload.ok()) return payload.status();
+  rec.payload = std::move(*payload);
+  auto et = r.ReadI64();
+  if (!et.ok()) return et.status();
+  rec.event_time = TimePoint::FromNanos(*et);
+  auto it = r.ReadI64();
+  if (!it.ok()) return it.status();
+  rec.ingest_time = TimePoint::FromNanos(*it);
+  auto cs = r.ReadU64();
+  if (!cs.ok()) return cs.status();
+  rec.checksum = *cs;
+  if (Fnv1a(rec.payload) != rec.checksum) {
+    return Status::DataLoss("record checksum mismatch for key '" + rec.key + "'");
+  }
+  return rec;
+}
+
+}  // namespace arbd::stream

@@ -1,0 +1,43 @@
+// The unit of data in the streaming backend: a keyed, timestamped, opaque
+// payload. Records carry both event time (when the sensor observed it) and
+// ingest time (when the broker accepted it); the gap between them is what
+// watermarks and the timeliness experiments (E4, E12) reason about.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/clock.h"
+#include "common/serialize.h"
+
+namespace arbd::stream {
+
+using PartitionId = std::uint32_t;
+using Offset = std::int64_t;
+
+struct Record {
+  std::string key;        // partitioning key (e.g. user id, vehicle id)
+  Bytes payload;          // opaque serialized value
+  TimePoint event_time;   // when the event happened (device clock)
+  TimePoint ingest_time;  // when the broker appended it
+  std::uint64_t checksum = 0;  // FNV-1a of payload, checked on fetch
+
+  static Record Make(std::string key, Bytes payload, TimePoint event_time);
+
+  // Convenience for string payloads (tests, examples).
+  static Record MakeText(std::string key, const std::string& text, TimePoint event_time);
+  std::string TextPayload() const;
+
+  Bytes Encode() const;
+  static Expected<Record> Decode(const Bytes& buf);
+};
+
+// A record as stored in / fetched from a topic partition: the record plus
+// its immutable position.
+struct StoredRecord {
+  PartitionId partition = 0;
+  Offset offset = 0;
+  Record record;
+};
+
+}  // namespace arbd::stream

@@ -1,0 +1,85 @@
+#include "stream/recovery.h"
+
+namespace arbd::stream {
+
+CheckpointedJob::CheckpointedJob(Broker& broker, std::string topic, std::string group_id,
+                                 PipelineFactory factory, std::size_t checkpoint_every)
+    : broker_(broker),
+      topic_(std::move(topic)),
+      group_id_(std::move(group_id)),
+      factory_(std::move(factory)),
+      checkpoint_every_(std::max<std::size_t>(1, checkpoint_every)) {
+  group_ = std::make_unique<ConsumerGroup>(broker_, group_id_, topic_);
+  auto joined = group_->Join(group_id_ + "-worker");
+  ARBD_CHECK(joined.ok(), "recovery job must be able to join its group");
+  consumer_ = *joined;
+  pipeline_ = factory_();
+  ARBD_CHECK(pipeline_ != nullptr, "pipeline factory must produce a pipeline");
+}
+
+Expected<std::size_t> CheckpointedJob::Pump(std::size_t max_records) {
+  if (crashed()) {
+    auto s = Recover();
+    if (!s.ok()) return s;
+  }
+  const auto records = consumer_->Poll(max_records);
+  for (const auto& sr : records) {
+    auto event = Event::Decode(sr.record.payload);
+    if (!event.ok()) {
+      ++stats_.decode_failures;
+      continue;
+    }
+    ++stats_.records_processed;
+    auto& hwm = processed_hwm_[sr.partition];
+    if (sr.offset < hwm) {
+      ++stats_.records_replayed;
+    } else {
+      hwm = sr.offset + 1;
+    }
+    pipeline_->Push(*event);
+    ++since_checkpoint_;
+  }
+  // Checkpoint only at batch boundaries: the consumer's poll positions
+  // cover the whole fetched batch, so committing mid-batch would mark
+  // records as done before the pipeline saw them.
+  if (since_checkpoint_ >= checkpoint_every_) {
+    auto s = Checkpoint();
+    if (!s.ok()) return s;
+  }
+  return records.size();
+}
+
+Status CheckpointedJob::Checkpoint() {
+  if (crashed()) return Status::FailedPrecondition("cannot checkpoint while crashed");
+  snapshot_ = pipeline_->Checkpoint();
+  has_snapshot_ = true;
+  consumer_->Commit();
+  since_checkpoint_ = 0;
+  ++stats_.checkpoints;
+  return Status::Ok();
+}
+
+void CheckpointedJob::InjectCrash() {
+  pipeline_.reset();
+  since_checkpoint_ = 0;
+  ++stats_.crashes;
+  // The worker's uncommitted positions die with it. The group (broker-side
+  // state) survives and keeps only the explicitly committed offsets.
+  (void)group_->Leave(group_id_ + "-worker", /*commit_progress=*/false);
+}
+
+Status CheckpointedJob::Recover() {
+  auto joined = group_->Join(group_id_ + "-worker");
+  if (!joined.ok()) return joined.status();
+  consumer_ = *joined;
+
+  pipeline_ = factory_();
+  if (pipeline_ == nullptr) return Status::FailedPrecondition("factory returned null");
+  if (has_snapshot_) {
+    auto s = pipeline_->Restore(snapshot_);
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+}  // namespace arbd::stream

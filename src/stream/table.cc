@@ -1,0 +1,57 @@
+#include "stream/table.h"
+
+#include <set>
+
+namespace arbd::stream {
+
+void TableView::Apply(const Record& record) {
+  if (record.payload.empty()) {
+    rows_.erase(record.key);
+    ++tombstones_;
+  } else {
+    rows_[record.key] = record.payload;
+    ++updates_;
+  }
+}
+
+std::optional<Bytes> TableView::Get(const std::string& key) const {
+  auto it = rows_.find(key);
+  if (it == rows_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::string> TableView::GetText(const std::string& key) const {
+  auto bytes = Get(key);
+  if (!bytes) return std::nullopt;
+  return std::string(bytes->begin(), bytes->end());
+}
+
+std::size_t CompactTopic(Topic& topic) {
+  std::size_t removed = 0;
+  for (PartitionId p = 0; p < topic.partition_count(); ++p) {
+    removed += topic.partition(p).CompactKeepLatest();
+  }
+  return removed;
+}
+
+Expected<TableView> MaterializeTable(Broker& broker, const std::string& topic_name) {
+  auto topic = broker.GetTopic(topic_name);
+  if (!topic.ok()) return topic.status();
+  TableView view;
+  for (PartitionId p = 0; p < (*topic)->partition_count(); ++p) {
+    const Partition& part = (*topic)->partition(p);
+    Offset at = part.log_start_offset();
+    while (at < part.end_offset()) {
+      auto batch = part.Fetch(at, 1024);
+      if (!batch.ok()) return batch.status();
+      if (batch->empty()) break;
+      for (const auto& sr : *batch) {
+        view.Apply(sr.record);
+        at = sr.offset + 1;
+      }
+    }
+  }
+  return view;
+}
+
+}  // namespace arbd::stream

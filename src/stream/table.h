@@ -1,0 +1,53 @@
+// Compacted table topics: the latest-value-per-key view of a changelog
+// stream (Kafka's log compaction). Profile stores — EHRs, customer
+// records, POI metadata — live on exactly this shape: every update is an
+// event in the log, the table is its materialization, and a new consumer
+// can rebuild the table from the compacted log without replaying history.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+#include "stream/log.h"
+
+namespace arbd::stream {
+
+// Materialized latest-value view over a topic. Feed it records (usually
+// from a consumer loop); empty payloads are tombstones that delete keys.
+class TableView {
+ public:
+  void Apply(const Record& record);
+
+  std::optional<Bytes> Get(const std::string& key) const;
+  std::optional<std::string> GetText(const std::string& key) const;
+  bool Contains(const std::string& key) const { return rows_.contains(key); }
+  std::size_t size() const { return rows_.size(); }
+  std::uint64_t updates_applied() const { return updates_; }
+  std::uint64_t tombstones_applied() const { return tombstones_; }
+
+  const std::map<std::string, Bytes>& rows() const { return rows_; }
+
+ private:
+  std::map<std::string, Bytes> rows_;
+  std::uint64_t updates_ = 0;
+  std::uint64_t tombstones_ = 0;
+};
+
+// Log compaction for a topic: keeps only the newest record per key and
+// drops tombstoned keys entirely, like Kafka's cleaner. Returns records
+// removed.
+//
+// Divergence from Kafka, by design: this library's log is dense, so
+// compaction renumbers the retained records (relative order preserved,
+// end offset shrinks). Consumers should re-materialize after compaction
+// rather than resume mid-log — `MaterializeTable` is that bootstrap path.
+std::size_t CompactTopic(Topic& topic);
+
+// Convenience: rebuild a table by scanning a whole topic from the log
+// start (what a booting consumer does).
+Expected<TableView> MaterializeTable(Broker& broker, const std::string& topic);
+
+}  // namespace arbd::stream

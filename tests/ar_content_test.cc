@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ar/content.h"
+#include "ar/scene.h"
+
+namespace arbd::ar {
+namespace {
+
+content::Annotation MakeAnnotation(const std::string& title,
+                                   content::SemanticType type = content::SemanticType::kPlaceInfo) {
+  content::Annotation a;
+  a.type = type;
+  a.title = title;
+  a.body = "body of " + title;
+  a.anchor.geo_pos = {22.3, 114.2};
+  a.anchor.height_m = 3.0;
+  a.priority = 0.6;
+  a.created = TimePoint::FromSeconds(10.0);
+  a.ttl = Duration::Seconds(5);
+  a.properties["source"] = "test";
+  return a;
+}
+
+TEST(Annotation, EncodeDecodeRoundTrip) {
+  content::Annotation a = MakeAnnotation("Cafe Milano", content::SemanticType::kRecommendation);
+  a.id = 77;
+  a.anchor.building_id = 5;
+  const auto d = content::Annotation::Decode(a.Encode());
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->id, 77u);
+  EXPECT_EQ(d->type, content::SemanticType::kRecommendation);
+  EXPECT_EQ(d->title, "Cafe Milano");
+  EXPECT_EQ(d->body, "body of Cafe Milano");
+  EXPECT_DOUBLE_EQ(d->anchor.geo_pos.lat, 22.3);
+  EXPECT_EQ(d->anchor.building_id, 5u);
+  EXPECT_DOUBLE_EQ(d->priority, 0.6);
+  EXPECT_EQ(d->created.seconds(), 10.0);
+  EXPECT_EQ(d->ttl, Duration::Seconds(5));
+  EXPECT_EQ(d->properties.at("source"), "test");
+}
+
+TEST(Annotation, ScreenAnchorRoundTrip) {
+  content::Annotation a = MakeAnnotation("HUD");
+  a.anchor.kind = content::Anchor::Kind::kScreen;
+  a.anchor.screen_x = 0.25;
+  a.anchor.screen_y = 0.75;
+  const auto d = content::Annotation::Decode(a.Encode());
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->anchor.kind, content::Anchor::Kind::kScreen);
+  EXPECT_DOUBLE_EQ(d->anchor.screen_x, 0.25);
+}
+
+TEST(Annotation, DecodeRejectsBadSemanticType) {
+  content::Annotation a = MakeAnnotation("x");
+  Bytes b = a.Encode();
+  b[8] = 0xEE;  // the semantic-type byte follows the u64 id
+  EXPECT_FALSE(content::Annotation::Decode(b).ok());
+}
+
+TEST(Annotation, ExpiryIsTtlBased) {
+  const content::Annotation a = MakeAnnotation("fleeting");
+  EXPECT_FALSE(a.ExpiredAt(TimePoint::FromSeconds(14.0)));
+  EXPECT_TRUE(a.ExpiredAt(TimePoint::FromSeconds(15.5)));
+}
+
+TEST(AnnotationStore, AddAssignsIdsAndLive) {
+  content::AnnotationStore store;
+  const auto id1 = store.Add(MakeAnnotation("a"));
+  const auto id2 = store.Add(MakeAnnotation("b"));
+  EXPECT_NE(id1, id2);
+  EXPECT_EQ(store.Live().size(), 2u);
+  ASSERT_NE(store.Get(id1), nullptr);
+  EXPECT_EQ(store.Get(id1)->title, "a");
+  EXPECT_EQ(store.Get(9999), nullptr);
+}
+
+TEST(AnnotationStore, RemoveAndExpire) {
+  content::AnnotationStore store;
+  const auto id = store.Add(MakeAnnotation("gone"));
+  EXPECT_TRUE(store.Remove(id));
+  EXPECT_FALSE(store.Remove(id));
+
+  store.Add(MakeAnnotation("old"));  // created t=10, ttl 5
+  content::Annotation fresh = MakeAnnotation("fresh");
+  fresh.created = TimePoint::FromSeconds(100.0);
+  store.Add(fresh);
+  EXPECT_EQ(store.ExpireOlderThan(TimePoint::FromSeconds(50.0)), 1u);
+  ASSERT_EQ(store.Live().size(), 1u);
+  EXPECT_EQ(store.Live()[0]->title, "fresh");
+}
+
+TEST(SemanticTypeNames, AllDistinct) {
+  std::set<std::string> names;
+  for (int i = 0; i <= static_cast<int>(content::SemanticType::kDiagnostic); ++i) {
+    names.insert(content::SemanticTypeName(static_cast<content::SemanticType>(i)));
+  }
+  EXPECT_EQ(names.size(), 9u);
+}
+
+TEST(SceneGraphTest, RootExists) {
+  SceneGraph g;
+  EXPECT_EQ(g.size(), 1u);
+  EXPECT_EQ(*g.NameOf(kRootNode), "root");
+}
+
+TEST(SceneGraphTest, AddAndResolveTranslation) {
+  SceneGraph g;
+  const NodeId store = *g.AddNode(kRootNode, "store", {100.0, 200.0, 0.0, 0.0});
+  const NodeId shelf = *g.AddNode(store, "shelf", {5.0, -3.0, 1.0, 0.0});
+  const auto pose = g.Resolve(shelf);
+  ASSERT_TRUE(pose.ok());
+  EXPECT_DOUBLE_EQ(pose->east, 105.0);
+  EXPECT_DOUBLE_EQ(pose->north, 197.0);
+  EXPECT_DOUBLE_EQ(pose->up, 1.0);
+}
+
+TEST(SceneGraphTest, YawRotatesChildTranslations) {
+  SceneGraph g;
+  // Parent rotated 90° clockwise: child "north" offset becomes "east".
+  const NodeId parent = *g.AddNode(kRootNode, "p", {0.0, 0.0, 0.0, 90.0});
+  const NodeId child = *g.AddNode(parent, "c", {0.0, 10.0, 0.0, 0.0});
+  const auto pose = g.Resolve(child);
+  ASSERT_TRUE(pose.ok());
+  EXPECT_NEAR(pose->east, 10.0, 1e-9);
+  EXPECT_NEAR(pose->north, 0.0, 1e-9);
+  EXPECT_DOUBLE_EQ(pose->yaw_deg, 90.0);
+}
+
+TEST(SceneGraphTest, RemoveSubtree) {
+  SceneGraph g;
+  const NodeId a = *g.AddNode(kRootNode, "a", {});
+  const NodeId b = *g.AddNode(a, "b", {});
+  const NodeId c = *g.AddNode(b, "c", {});
+  ASSERT_TRUE(g.RemoveNode(a).ok());
+  EXPECT_FALSE(g.Resolve(b).ok());
+  EXPECT_FALSE(g.Resolve(c).ok());
+  EXPECT_EQ(g.size(), 1u);
+}
+
+TEST(SceneGraphTest, CannotRemoveRoot) {
+  SceneGraph g;
+  EXPECT_EQ(g.RemoveNode(kRootNode).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SceneGraphTest, AddToMissingParentFails) {
+  SceneGraph g;
+  EXPECT_FALSE(g.AddNode(42, "orphan", {}).ok());
+}
+
+TEST(SceneGraphTest, SetTransformUpdatesResolution) {
+  SceneGraph g;
+  const NodeId n = *g.AddNode(kRootNode, "n", {1.0, 1.0, 0.0, 0.0});
+  ASSERT_TRUE(g.SetTransform(n, {9.0, 9.0, 0.0, 0.0}).ok());
+  EXPECT_DOUBLE_EQ(g.Resolve(n)->east, 9.0);
+  EXPECT_FALSE(g.SetTransform(999, {}).ok());
+}
+
+TEST(SceneGraphTest, AttachAnnotations) {
+  SceneGraph g;
+  const NodeId n = *g.AddNode(kRootNode, "n", {});
+  ASSERT_TRUE(g.Attach(n, 11).ok());
+  ASSERT_TRUE(g.Attach(n, 22).ok());
+  EXPECT_EQ(g.AttachedTo(n).size(), 2u);
+  EXPECT_FALSE(g.Attach(999, 1).ok());
+}
+
+TEST(SceneGraphTest, ChildrenListed) {
+  SceneGraph g;
+  const NodeId a = *g.AddNode(kRootNode, "a", {});
+  const NodeId b = *g.AddNode(kRootNode, "b", {});
+  const auto kids = g.ChildrenOf(kRootNode);
+  EXPECT_EQ(kids.size(), 2u);
+  EXPECT_EQ(kids[0], a);
+  EXPECT_EQ(kids[1], b);
+}
+
+}  // namespace
+}  // namespace arbd::ar

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ar/tracker.h"
+#include "sensors/rig.h"
+
+namespace arbd::ar {
+namespace {
+
+TEST(Linalg, IdentityMultiply) {
+  const auto i = Mat<3, 3>::Identity();
+  Mat<3, 3> a;
+  a(0, 1) = 2.0;
+  a(2, 0) = -1.5;
+  const auto b = i * a;
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(b(r, c), a(r, c));
+  }
+}
+
+TEST(Linalg, TransposeSwapsIndices) {
+  Mat<2, 3> a;
+  a(0, 2) = 5.0;
+  a(1, 0) = -2.0;
+  const auto t = a.Transpose();
+  EXPECT_DOUBLE_EQ(t(2, 0), 5.0);
+  EXPECT_DOUBLE_EQ(t(0, 1), -2.0);
+}
+
+TEST(Linalg, Inverse2x2) {
+  Mat<2, 2> a;
+  a(0, 0) = 4.0;
+  a(0, 1) = 7.0;
+  a(1, 0) = 2.0;
+  a(1, 1) = 6.0;
+  const auto inv = a.Inverse();
+  const auto prod = a * inv;
+  EXPECT_NEAR(prod(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(prod(1, 1), 1.0, 1e-12);
+  EXPECT_NEAR(prod(0, 1), 0.0, 1e-12);
+}
+
+TEST(Linalg, Inverse3x3) {
+  Mat<3, 3> a;
+  a(0, 0) = 2; a(0, 1) = 1; a(0, 2) = 1;
+  a(1, 0) = 1; a(1, 1) = 3; a(1, 2) = 2;
+  a(2, 0) = 1; a(2, 1) = 0; a(2, 2) = 0;
+  const auto prod = a * a.Inverse();
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_NEAR(prod(r, c), r == c ? 1.0 : 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(Linalg, SingularInverseThrows) {
+  Mat<2, 2> a;  // all zeros
+  EXPECT_THROW(a.Inverse(), std::domain_error);
+}
+
+TEST(Vec3Test, CrossAndNorm) {
+  const Vec3 x{1, 0, 0}, y{0, 1, 0};
+  const Vec3 z = x.Cross(y);
+  EXPECT_DOUBLE_EQ(z.z, 1.0);
+  EXPECT_DOUBLE_EQ((Vec3{3, 4, 0}).Norm(), 5.0);
+  EXPECT_NEAR((Vec3{3, 4, 0}).Normalized().Norm(), 1.0, 1e-12);
+}
+
+TEST(EkfTracker, UninitializedIgnoresImu) {
+  EkfTracker t;
+  sensors::ImuSample imu;
+  imu.time = TimePoint::FromMillis(10);
+  t.PredictImu(imu);  // must not crash or count
+  EXPECT_EQ(t.predicts(), 0u);
+  EXPECT_FALSE(t.initialized());
+}
+
+TEST(EkfTracker, FirstGpsInitializes) {
+  EkfTracker t;
+  sensors::GpsFix fix;
+  fix.time = TimePoint::FromMillis(0);
+  fix.east = 12.0;
+  fix.north = -7.0;
+  t.UpdateGps(fix);
+  EXPECT_TRUE(t.initialized());
+  const auto e = t.Estimate();
+  EXPECT_DOUBLE_EQ(e.east, 12.0);
+  EXPECT_DOUBLE_EQ(e.north, -7.0);
+}
+
+TEST(EkfTracker, GpsUpdatesPullTowardFix) {
+  EkfTracker t;
+  PoseEstimate init;
+  init.time = TimePoint::FromMillis(0);
+  t.Reset(init);
+  sensors::GpsFix fix;
+  fix.east = 10.0;
+  fix.north = 0.0;
+  for (int i = 1; i <= 20; ++i) {
+    fix.time = TimePoint::FromMillis(i * 100);
+    t.UpdateGps(fix);
+  }
+  EXPECT_NEAR(t.Estimate().east, 10.0, 0.5);
+}
+
+TEST(EkfTracker, FeatureUpdateCorrectsPosition) {
+  TrackerConfig cfg;
+  EkfTracker t(cfg);
+  PoseEstimate init;
+  init.time = TimePoint::FromMillis(0);
+  init.east = 2.0;  // wrong: true position is the origin
+  t.Reset(init);
+
+  // Landmark at (10, 0); true range from origin is 10, bearing 90° (east).
+  sensors::FeatureObservation ob;
+  for (int i = 1; i <= 30; ++i) {
+    ob.time = TimePoint::FromMillis(i * 33);
+    ob.range_m = 10.0;
+    ob.bearing_deg = 90.0;
+    t.UpdateFeature(ob, 10.0, 0.0);
+  }
+  EXPECT_NEAR(t.Estimate().east, 0.0, 0.4);
+}
+
+// End-to-end tracking accuracy: fusion must beat dead reckoning on a
+// long random walk and roughly match or beat GPS-only.
+struct ModeRun {
+  double rmse;
+};
+
+ModeRun RunMode(TrackerMode mode, std::uint64_t seed) {
+  sensors::RigConfig rig_cfg;
+  rig_cfg.trajectory.kind = sensors::MotionKind::kRandomWalk;
+  rig_cfg.trajectory.speed_mps = 1.4;
+  rig_cfg.gps.noise_stddev_m = 5.0;
+  rig_cfg.gps.dropout_rate = 0.05;
+  sensors::SensorRig rig(rig_cfg, seed);
+
+  TrackerConfig cfg;
+  cfg.mode = mode;
+  cfg.gps_sigma_m = 5.0;
+  EkfTracker tracker(cfg);
+  PoseEstimate init;
+  tracker.Reset(init);
+
+  TrackingError err;
+  sensors::RigCallbacks cbs;
+  cbs.on_imu = [&](const sensors::ImuSample& s) { tracker.PredictImu(s); };
+  cbs.on_gps = [&](const sensors::GpsFix& f) { tracker.UpdateGps(f); };
+  cbs.on_truth = [&](const sensors::TruthState& truth) {
+    if (truth.time.millis() % 500 == 0) err.Add(tracker.Estimate(), truth);
+  };
+  rig.RunUntil(TimePoint::FromSeconds(120.0), cbs);
+  return {err.PositionRmseM()};
+}
+
+TEST(EkfTracker, FusionBeatsDeadReckoning) {
+  const double fusion = RunMode(TrackerMode::kFusion, 100).rmse;
+  const double dead = RunMode(TrackerMode::kDeadReckoning, 100).rmse;
+  EXPECT_LT(fusion, dead * 0.5) << "fusion=" << fusion << " dead-reckoning=" << dead;
+}
+
+TEST(EkfTracker, FusionAtLeastMatchesGpsOnly) {
+  const double fusion = RunMode(TrackerMode::kFusion, 101).rmse;
+  const double gps = RunMode(TrackerMode::kGpsOnly, 101).rmse;
+  EXPECT_LT(fusion, gps * 1.2) << "fusion=" << fusion << " gps-only=" << gps;
+}
+
+TEST(EkfTracker, FusionStaysBounded) {
+  const double fusion = RunMode(TrackerMode::kFusion, 102).rmse;
+  EXPECT_LT(fusion, 6.0) << "fusion RMSE should be well under raw GPS noise";
+}
+
+TEST(EkfTracker, RejectsHugeTimeGaps) {
+  EkfTracker t;
+  PoseEstimate init;
+  init.time = TimePoint::FromMillis(0);
+  init.vel_east = 100.0;  // would fly away if integrated over a bad gap
+  t.Reset(init);
+  sensors::ImuSample imu;
+  imu.time = TimePoint::FromSeconds(60.0);  // 60 s gap: bogus
+  t.PredictImu(imu);
+  EXPECT_NEAR(t.Estimate().east, 0.0, 1e-9);
+}
+
+TEST(TrackingErrorTest, RmseAndMax) {
+  TrackingError e;
+  PoseEstimate est;
+  sensors::TruthState truth;
+  est.east = 3.0;  // error 3
+  e.Add(est, truth);
+  est.east = 4.0;  // error 4
+  e.Add(est, truth);
+  EXPECT_NEAR(e.PositionRmseM(), std::sqrt((9.0 + 16.0) / 2.0), 1e-9);
+  EXPECT_DOUBLE_EQ(e.MaxErrorM(), 4.0);
+  EXPECT_EQ(e.samples(), 2u);
+}
+
+TEST(TrackingErrorTest, YawWrapsCorrectly) {
+  TrackingError e;
+  PoseEstimate est;
+  est.yaw_deg = 359.0;
+  sensors::TruthState truth;
+  truth.yaw_deg = 1.0;
+  e.Add(est, truth);
+  EXPECT_NEAR(e.YawRmseDeg(), 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace arbd::ar

@@ -1,0 +1,266 @@
+#include <gtest/gtest.h>
+
+#include "ar/frustum.h"
+#include "ar/layout.h"
+#include "ar/occlusion.h"
+
+namespace arbd::ar {
+namespace {
+
+PoseEstimate PoseAt(double east, double north, double yaw_deg) {
+  PoseEstimate p;
+  p.east = east;
+  p.north = north;
+  p.up = 1.7;
+  p.yaw_deg = yaw_deg;
+  return p;
+}
+
+TEST(CameraIntrinsicsTest, VerticalFovFollowsAspect) {
+  CameraIntrinsics intr;
+  intr.fov_h_deg = 90.0;
+  intr.width_px = 1000;
+  intr.height_px = 1000;
+  EXPECT_NEAR(intr.fov_v_deg(), 90.0, 0.1);  // square sensor
+  intr.height_px = 500;
+  EXPECT_LT(intr.fov_v_deg(), 60.0);
+}
+
+TEST(CameraViewTest, CenterProjectionAtImageCenter) {
+  const CameraView view(PoseAt(0, 0, 0), {});
+  // Point dead ahead at eye height projects to image centre.
+  const auto p = view.Project(0.0, 50.0, 1.7);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_NEAR(p->x, 960.0, 1e-6);
+  EXPECT_NEAR(p->y, 540.0, 1e-6);
+  EXPECT_NEAR(p->depth_m, 50.0, 1e-9);
+}
+
+TEST(CameraViewTest, BehindCameraCulled) {
+  const CameraView view(PoseAt(0, 0, 0), {});
+  EXPECT_FALSE(view.Project(0.0, -10.0, 1.7).has_value());
+}
+
+TEST(CameraViewTest, RightOfHeadingProjectsRightOfCenter) {
+  const CameraView view(PoseAt(0, 0, 0), {});
+  const auto p = view.Project(10.0, 50.0, 1.7);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_GT(p->x, 960.0);
+}
+
+TEST(CameraViewTest, AboveEyeProjectsUpward) {
+  const CameraView view(PoseAt(0, 0, 0), {});
+  const auto p = view.Project(0.0, 50.0, 10.0);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_LT(p->y, 540.0);  // screen y grows downward
+}
+
+TEST(CameraViewTest, YawRotatesView) {
+  // Facing east (yaw 90), a point to the east is dead ahead.
+  const CameraView view(PoseAt(0, 0, 90.0), {});
+  const auto p = view.Project(50.0, 0.0, 1.7);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_NEAR(p->x, 960.0, 1e-6);
+  // A point to the north is now off-screen left or culled.
+  const auto q = view.Project(0.0, 50.0, 1.7);
+  EXPECT_FALSE(q.has_value());
+}
+
+TEST(CameraViewTest, OutsideFovCulledWithMarginSlack) {
+  CameraIntrinsics intr;
+  intr.fov_h_deg = 60.0;
+  const CameraView view(PoseAt(0, 0, 0), intr);
+  // ~45 degrees off-axis: outside a 30-degree half FOV.
+  EXPECT_FALSE(view.Project(50.0, 50.0, 1.7).has_value());
+  EXPECT_FALSE(view.InFrustum(50.0, 50.0, 1.7));
+  // Dead ahead stays visible.
+  EXPECT_TRUE(view.InFrustum(0.0, 30.0, 1.7));
+}
+
+content::Annotation WorldAnnotation(const geo::CityModel& city, double east, double north,
+                                    double height, double priority = 0.5) {
+  content::Annotation a;
+  a.anchor.geo_pos = city.frame().FromEnu(geo::Enu{east, north});
+  a.anchor.height_m = height;
+  a.priority = priority;
+  a.title = "x";
+  return a;
+}
+
+class OcclusionFixture : public ::testing::Test {
+ protected:
+  OcclusionFixture() : city_(geo::CityModel::Generate(geo::CityConfig{}, 31)) {}
+  geo::CityModel city_;
+};
+
+TEST_F(OcclusionFixture, VisibleOccludedOutOfView) {
+  const auto& b = city_.buildings().front();
+  // Stand west of the first building, looking east.
+  const double eye_e = b.center_east - b.half_width - 20.0;
+  PoseEstimate pose = PoseAt(eye_e, b.center_north, 90.0);
+  const CameraView view(pose, {});
+  OcclusionClassifier clf(&city_);
+
+  // In front of the building: visible.
+  const auto front = clf.Classify(
+      WorldAnnotation(city_, b.center_east - b.half_width - 5.0, b.center_north, 2.0), view);
+  EXPECT_EQ(front.visibility, Visibility::kVisible);
+
+  // Behind the building: occluded (the X-ray case).
+  const auto behind = clf.Classify(
+      WorldAnnotation(city_, b.center_east + b.half_width + 5.0, b.center_north, 2.0), view);
+  EXPECT_EQ(behind.visibility, Visibility::kOccluded);
+
+  // Behind the camera: out of view.
+  const auto rear =
+      clf.Classify(WorldAnnotation(city_, eye_e - 50.0, b.center_north, 2.0), view);
+  EXPECT_EQ(rear.visibility, Visibility::kOutOfView);
+}
+
+TEST_F(OcclusionFixture, ScreenAnchorsAlwaysVisible) {
+  content::Annotation hud;
+  hud.anchor.kind = content::Anchor::Kind::kScreen;
+  hud.anchor.screen_x = 0.1;
+  hud.anchor.screen_y = 0.9;
+  OcclusionClassifier clf(&city_);
+  const CameraView view(PoseAt(0, 0, 0), {});
+  const auto c = clf.Classify(hud, view);
+  EXPECT_EQ(c.visibility, Visibility::kVisible);
+  EXPECT_NEAR(c.screen.x, 0.1 * 1920, 1e-6);
+}
+
+TEST_F(OcclusionFixture, ClassifyAllPreservesOrder) {
+  OcclusionClassifier clf(&city_);
+  const CameraView view(PoseAt(0, 0, 0), {});
+  content::Annotation a = WorldAnnotation(city_, 0.0, 30.0, 2.0);
+  content::Annotation b = WorldAnnotation(city_, 0.0, -30.0, 2.0);
+  const auto out = clf.ClassifyAll({&a, &b}, view);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].annotation, &a);
+  EXPECT_EQ(out[1].annotation, &b);
+}
+
+std::vector<ClassifiedAnnotation> CrowdedCandidates(
+    std::vector<content::Annotation>& storage, std::size_t n) {
+  // All projected to nearly the same screen point.
+  storage.clear();
+  storage.reserve(n);
+  std::vector<ClassifiedAnnotation> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    content::Annotation a;
+    a.priority = 0.2 + 0.6 * static_cast<double>(i) / static_cast<double>(n);
+    a.title = "a" + std::to_string(i);
+    storage.push_back(a);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    ClassifiedAnnotation c;
+    c.annotation = &storage[i];
+    c.visibility = Visibility::kVisible;
+    c.screen.x = 960.0 + static_cast<double>(i % 7);
+    c.screen.y = 540.0 + static_cast<double>(i % 5);
+    c.distance_m = 20.0 + static_cast<double>(i);
+    out.push_back(c);
+  }
+  return out;
+}
+
+TEST(LabelLayoutTest, NaiveBubblesOverlapHeavily) {
+  std::vector<content::Annotation> storage;
+  const auto cands = CrowdedCandidates(storage, 30);
+  LayoutConfig cfg;
+  cfg.strategy = LayoutStrategy::kNaiveBubbles;
+  const auto r = LabelLayout(cfg).Arrange(cands, {});
+  EXPECT_EQ(r.placed, 30u);
+  EXPECT_GT(r.overlap_ratio, 1.0) << "a pile of bubbles must overlap badly";
+}
+
+TEST(LabelLayoutTest, DeclutterNeverOverlaps) {
+  std::vector<content::Annotation> storage;
+  const auto cands = CrowdedCandidates(storage, 30);
+  LayoutConfig cfg;
+  cfg.strategy = LayoutStrategy::kDeclutter;
+  const auto r = LabelLayout(cfg).Arrange(cands, {});
+  EXPECT_DOUBLE_EQ(r.overlap_ratio, 0.0);
+  EXPECT_GT(r.placed, 3u) << "several labels fit around the cluster";
+  EXPECT_EQ(r.placed + r.dropped, r.candidates);
+}
+
+TEST(LabelLayoutTest, DeclutterPrefersHighPriority) {
+  std::vector<content::Annotation> storage;
+  const auto cands = CrowdedCandidates(storage, 40);
+  LayoutConfig cfg;
+  cfg.strategy = LayoutStrategy::kDeclutter;
+  cfg.max_labels = 5;
+  const auto r = LabelLayout(cfg).Arrange(cands, {});
+  ASSERT_EQ(r.placed, 5u);
+  // The highest-priority candidates are at the end of `storage`.
+  for (const auto& box : r.labels) {
+    EXPECT_GE(box.annotation->priority, 0.2 + 0.6 * 30.0 / 40.0)
+        << "placed label priority too low: " << box.annotation->title;
+  }
+}
+
+TEST(LabelLayoutTest, MinPriorityFilters) {
+  std::vector<content::Annotation> storage;
+  const auto cands = CrowdedCandidates(storage, 10);
+  LayoutConfig cfg;
+  cfg.min_priority = 0.99;
+  const auto r = LabelLayout(cfg).Arrange(cands, {});
+  EXPECT_EQ(r.candidates, 0u);
+  EXPECT_EQ(r.placed, 0u);
+}
+
+TEST(LabelLayoutTest, OccludedBecomesXray) {
+  std::vector<content::Annotation> storage;
+  auto cands = CrowdedCandidates(storage, 2);
+  cands[0].visibility = Visibility::kOccluded;
+  LayoutConfig cfg;
+  const auto r = LabelLayout(cfg).Arrange(cands, {});
+  bool saw_xray = false;
+  for (const auto& box : r.labels) saw_xray |= box.xray;
+  EXPECT_TRUE(saw_xray);
+}
+
+TEST(LabelLayoutTest, XrayDisabledHidesOccluded) {
+  std::vector<content::Annotation> storage;
+  auto cands = CrowdedCandidates(storage, 1);
+  cands[0].visibility = Visibility::kOccluded;
+  LayoutConfig cfg;
+  cfg.show_occluded_as_xray = false;
+  const auto r = LabelLayout(cfg).Arrange(cands, {});
+  EXPECT_EQ(r.placed, 0u);
+}
+
+TEST(LabelLayoutTest, OverlapRatioOfDisjointBoxesIsZero) {
+  std::vector<LabelBox> boxes(3);
+  for (int i = 0; i < 3; ++i) {
+    boxes[static_cast<std::size_t>(i)] =
+        LabelBox{i * 300.0, 100.0, 180.0, 56.0, nullptr, Visibility::kVisible, false};
+  }
+  EXPECT_DOUBLE_EQ(LabelLayout::OverlapRatio(boxes), 0.0);
+}
+
+TEST(LabelLayoutTest, OverlapRatioOfIdenticalBoxes) {
+  std::vector<LabelBox> boxes(2, LabelBox{0, 0, 100, 50, nullptr, Visibility::kVisible, false});
+  // One full overlap over total area 2·A → ratio 0.5.
+  EXPECT_DOUBLE_EQ(LabelLayout::OverlapRatio(boxes), 0.5);
+}
+
+// Property: declutter never exceeds max_labels across densities.
+class DeclutterDensity : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DeclutterDensity, RespectsBudgetAndNoOverlap) {
+  std::vector<content::Annotation> storage;
+  const auto cands = CrowdedCandidates(storage, GetParam());
+  LayoutConfig cfg;
+  cfg.max_labels = 12;
+  const auto r = LabelLayout(cfg).Arrange(cands, {});
+  EXPECT_LE(r.placed, 12u);
+  EXPECT_DOUBLE_EQ(r.overlap_ratio, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, DeclutterDensity,
+                         ::testing::Values(1, 5, 20, 100, 500));
+
+}  // namespace
+}  // namespace arbd::ar

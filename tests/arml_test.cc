@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "ar/arml.h"
+
+namespace arbd::ar::arml {
+namespace {
+
+content::Annotation World(const std::string& title) {
+  content::Annotation a;
+  a.id = 42;
+  a.type = content::SemanticType::kRecommendation;
+  a.title = title;
+  a.body = "a body with <brackets> & \"quotes\"";
+  a.anchor.geo_pos = {22.336412, 114.265534};
+  a.anchor.height_m = 3.5;
+  a.anchor.building_id = 7;
+  a.priority = 0.875;
+  a.created = TimePoint::FromMillis(123456);
+  a.ttl = Duration::Seconds(30);
+  a.properties["rule"] = "trending";
+  a.properties["source"] = "analytics/1";
+  return a;
+}
+
+TEST(Escape, RoundTripsSpecials) {
+  const std::string nasty = "a<b>&c\"d'e";
+  const auto back = UnescapeXml(EscapeXml(nasty));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, nasty);
+}
+
+TEST(Escape, RejectsBadEntities) {
+  EXPECT_FALSE(UnescapeXml("&bogus;").ok());
+  EXPECT_FALSE(UnescapeXml("&amp").ok());
+}
+
+TEST(Arml, EmptySetRoundTrips) {
+  const auto parsed = FromArml(ToArml(std::vector<content::Annotation>{}));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->empty());
+}
+
+TEST(Arml, WorldAnchorRoundTrip) {
+  const std::vector<content::Annotation> in = {World("Café «Milano»")};
+  const auto parsed = FromArml(ToArml(in));
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 1u);
+  const auto& a = (*parsed)[0];
+  EXPECT_EQ(a.id, 42u);
+  EXPECT_EQ(a.type, content::SemanticType::kRecommendation);
+  EXPECT_EQ(a.title, "Café «Milano»");
+  EXPECT_EQ(a.body, "a body with <brackets> & \"quotes\"");
+  EXPECT_NEAR(a.anchor.geo_pos.lat, 22.336412, 1e-6);
+  EXPECT_NEAR(a.anchor.geo_pos.lon, 114.265534, 1e-6);
+  EXPECT_DOUBLE_EQ(a.anchor.height_m, 3.5);
+  EXPECT_EQ(a.anchor.building_id, 7u);
+  EXPECT_DOUBLE_EQ(a.priority, 0.875);
+  EXPECT_EQ(a.created, TimePoint::FromMillis(123456));
+  EXPECT_EQ(a.ttl, Duration::Seconds(30));
+  EXPECT_EQ(a.properties.at("rule"), "trending");
+  EXPECT_EQ(a.properties.at("source"), "analytics/1");
+}
+
+TEST(Arml, ScreenAnchorRoundTrip) {
+  content::Annotation hud;
+  hud.anchor.kind = content::Anchor::Kind::kScreen;
+  hud.anchor.screen_x = 0.5;
+  hud.anchor.screen_y = 0.125;
+  hud.type = content::SemanticType::kAlert;
+  hud.title = "HUD";
+  const auto parsed = FromArml(ToArml(std::vector<content::Annotation>{hud}));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ((*parsed)[0].anchor.kind, content::Anchor::Kind::kScreen);
+  EXPECT_DOUBLE_EQ((*parsed)[0].anchor.screen_x, 0.5);
+  EXPECT_DOUBLE_EQ((*parsed)[0].anchor.screen_y, 0.125);
+}
+
+TEST(Arml, MultipleFeaturesPreserveOrder) {
+  std::vector<content::Annotation> in;
+  for (int i = 0; i < 5; ++i) {
+    auto a = World("f" + std::to_string(i));
+    a.id = static_cast<std::uint64_t>(i);
+    in.push_back(a);
+  }
+  const auto parsed = FromArml(ToArml(in));
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ((*parsed)[static_cast<std::size_t>(i)].title, "f" + std::to_string(i));
+  }
+}
+
+TEST(Arml, RejectsMalformedDocuments) {
+  EXPECT_FALSE(FromArml("").ok());
+  EXPECT_FALSE(FromArml("<arml>").ok());
+  EXPECT_FALSE(FromArml("<arml><ARElements></ARElements></arml>trailing").ok());
+  EXPECT_FALSE(FromArml("<html><body/></html>").ok());
+}
+
+TEST(Arml, RejectsUnknownType) {
+  std::string doc = ToArml(std::vector<content::Annotation>{World("x")});
+  const auto pos = doc.find("recommendation");
+  ASSERT_NE(pos, std::string::npos);
+  doc.replace(pos, std::string("recommendation").size(), "hologram");
+  EXPECT_FALSE(FromArml(doc).ok());
+}
+
+TEST(Arml, RejectsMissingAnchor) {
+  std::string doc = ToArml(std::vector<content::Annotation>{World("x")});
+  const auto start = doc.find("<GeoAnchor>");
+  const auto end = doc.find("</GeoAnchor>") + std::string("</GeoAnchor>").size();
+  doc.erase(start, end - start);
+  EXPECT_FALSE(FromArml(doc).ok());
+}
+
+TEST(Arml, RejectsBadNumbers) {
+  std::string doc = ToArml(std::vector<content::Annotation>{World("x")});
+  const auto pos = doc.find("<priority>");
+  doc.replace(pos, std::string("<priority>0.875</priority>").size(),
+              "<priority>high</priority>");
+  EXPECT_FALSE(FromArml(doc).ok());
+}
+
+TEST(Arml, WhitespaceTolerant) {
+  std::string doc = ToArml(std::vector<content::Annotation>{World("x")});
+  // Double every newline — the parser must not care about formatting.
+  std::string padded;
+  for (char c : doc) {
+    padded += c;
+    if (c == '\n') padded += "  \n ";
+  }
+  EXPECT_TRUE(FromArml(padded).ok());
+}
+
+}  // namespace
+}  // namespace arbd::ar::arml

@@ -1,0 +1,281 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "common/clock.h"
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "common/serialize.h"
+#include "common/status.h"
+
+namespace arbd {
+namespace {
+
+TEST(Duration, ConstructorsAndAccessors) {
+  EXPECT_EQ(Duration::Millis(5).nanos(), 5'000'000);
+  EXPECT_EQ(Duration::Micros(3).nanos(), 3'000);
+  EXPECT_EQ(Duration::Seconds(1.5).millis(), 1500);
+  EXPECT_DOUBLE_EQ(Duration::Millis(250).seconds(), 0.25);
+}
+
+TEST(Duration, Arithmetic) {
+  const Duration a = Duration::Millis(100);
+  const Duration b = Duration::Millis(40);
+  EXPECT_EQ((a + b).millis(), 140);
+  EXPECT_EQ((a - b).millis(), 60);
+  EXPECT_EQ((a * 2.5).millis(), 250);
+  EXPECT_EQ((a / 4).millis(), 25);
+  EXPECT_LT(b, a);
+  EXPECT_EQ(-a, Duration::Millis(-100));
+}
+
+TEST(TimePoint, ArithmeticWithDurations) {
+  const TimePoint t = TimePoint::FromMillis(1000);
+  EXPECT_EQ((t + Duration::Millis(500)).millis(), 1500);
+  EXPECT_EQ((t - Duration::Millis(500)).millis(), 500);
+  EXPECT_EQ((t + Duration::Millis(500)) - t, Duration::Millis(500));
+}
+
+TEST(SimClock, AdvancesMonotonically) {
+  SimClock clock;
+  EXPECT_EQ(clock.Now().nanos(), 0);
+  clock.Advance(Duration::Millis(10));
+  EXPECT_EQ(clock.Now().millis(), 10);
+  clock.AdvanceTo(TimePoint::FromMillis(50));
+  EXPECT_EQ(clock.Now().millis(), 50);
+}
+
+TEST(SimClock, RefusesTimeTravel) {
+  SimClock clock(TimePoint::FromMillis(100));
+  EXPECT_THROW(clock.AdvanceTo(TimePoint::FromMillis(50)), std::invalid_argument);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.Uniform(-3.0, 5.0);
+    EXPECT_GE(x, -3.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusive) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto x = rng.UniformInt(1, 6);
+    EXPECT_GE(x, 1);
+    EXPECT_LE(x, 6);
+    saw_lo |= x == 1;
+    saw_hi |= x == 6;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(11);
+  double sum = 0.0, sq = 0.0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Gaussian();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, PoissonMeanMatches) {
+  Rng rng(13);
+  for (double mean : {0.5, 3.0, 20.0, 120.0}) {
+    double total = 0.0;
+    const int n = 20'000;
+    for (int i = 0; i < n; ++i) total += static_cast<double>(rng.Poisson(mean));
+    EXPECT_NEAR(total / n, mean, mean * 0.05 + 0.05) << "mean=" << mean;
+  }
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(17);
+  double total = 0.0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) total += rng.Exponential(4.0);
+  EXPECT_NEAR(total / n, 0.25, 0.01);
+}
+
+TEST(Zipf, SkewConcentratesMass) {
+  Rng rng(19);
+  ZipfGenerator zipf(100, 1.2);
+  std::map<std::size_t, int> counts;
+  for (int i = 0; i < 20'000; ++i) counts[zipf.Next(rng)]++;
+  // Rank 0 should dominate rank 10 heavily under skew 1.2.
+  EXPECT_GT(counts[0], counts[10] * 5);
+  // All draws must be in range.
+  for (const auto& [k, _] : counts) EXPECT_LT(k, 100u);
+}
+
+TEST(Zipf, RejectsEmptyDomain) {
+  EXPECT_THROW(ZipfGenerator(0, 1.0), std::invalid_argument);
+}
+
+TEST(Status, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, CarriesCodeAndMessage) {
+  const Status s = Status::NotFound("thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: thing");
+}
+
+TEST(Expected, HoldsValue) {
+  Expected<int> e = 42;
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(*e, 42);
+  EXPECT_TRUE(e.status().ok());
+}
+
+TEST(Expected, HoldsError) {
+  Expected<int> e = Status::InvalidArgument("bad");
+  EXPECT_FALSE(e.ok());
+  EXPECT_EQ(e.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(e.value_or(-1), -1);
+  EXPECT_THROW(e.value(), std::runtime_error);
+}
+
+TEST(Expected, RejectsOkStatus) {
+  EXPECT_THROW((Expected<int>(Status::Ok())), std::logic_error);
+}
+
+TEST(Histogram, BasicStats) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.Record(i);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.min(), 1);
+  EXPECT_EQ(h.max(), 100);
+  EXPECT_NEAR(h.mean(), 50.5, 0.01);
+}
+
+TEST(Histogram, QuantilesApproximate) {
+  Histogram h;
+  for (int i = 0; i < 10'000; ++i) h.Record(i);
+  // Log-bucketing gives ~6% relative error.
+  EXPECT_NEAR(static_cast<double>(h.p50()), 5000.0, 5000.0 * 0.08);
+  EXPECT_NEAR(static_cast<double>(h.p99()), 9900.0, 9900.0 * 0.08);
+}
+
+TEST(Histogram, MergeCombines) {
+  Histogram a, b;
+  a.Record(10);
+  b.Record(1000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 10);
+  EXPECT_EQ(a.max(), 1000);
+}
+
+TEST(Histogram, NegativeClampedToZero) {
+  Histogram h;
+  h.Record(-5);
+  EXPECT_EQ(h.min(), 0);
+}
+
+TEST(Histogram, ResetClears) {
+  Histogram h;
+  h.Record(5);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Quantile(0.5), 0);
+}
+
+TEST(MetricRegistry, CountersAndHists) {
+  MetricRegistry reg;
+  reg.Add("x");
+  reg.Add("x", 2.0);
+  reg.Set("y", 7.0);
+  reg.Hist("lat").Record(100);
+  EXPECT_DOUBLE_EQ(reg.Get("x"), 3.0);
+  EXPECT_DOUBLE_EQ(reg.Get("y"), 7.0);
+  EXPECT_DOUBLE_EQ(reg.Get("missing"), 0.0);
+  EXPECT_EQ(reg.Hist("lat").count(), 1u);
+}
+
+TEST(SampleStats, ComputesMoments) {
+  const auto s = SampleStats::Of({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_NEAR(s.stddev, 1.29099, 1e-4);
+}
+
+TEST(SampleStats, EmptyIsZero) {
+  const auto s = SampleStats::Of({});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Serialize, ScalarRoundTrip) {
+  BinaryWriter w;
+  w.WriteU8(7);
+  w.WriteU32(123456);
+  w.WriteU64(1ULL << 60);
+  w.WriteI64(-42);
+  w.WriteF64(3.14159);
+  const Bytes buf = w.Take();
+
+  BinaryReader r(buf);
+  EXPECT_EQ(*r.ReadU8(), 7);
+  EXPECT_EQ(*r.ReadU32(), 123456u);
+  EXPECT_EQ(*r.ReadU64(), 1ULL << 60);
+  EXPECT_EQ(*r.ReadI64(), -42);
+  EXPECT_DOUBLE_EQ(*r.ReadF64(), 3.14159);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(Serialize, StringAndBytesRoundTrip) {
+  BinaryWriter w;
+  w.WriteString("hello ARBD");
+  w.WriteBytes(Bytes{1, 2, 3});
+  BinaryReader r(w.bytes());
+  EXPECT_EQ(*r.ReadString(), "hello ARBD");
+  EXPECT_EQ(*r.ReadBytes(), (Bytes{1, 2, 3}));
+}
+
+TEST(Serialize, TruncationDetected) {
+  BinaryWriter w;
+  w.WriteString("some payload");
+  Bytes buf = w.Take();
+  buf.resize(buf.size() - 3);
+  BinaryReader r(buf);
+  auto s = r.ReadString();
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(Fnv1a, StableAndDistinct) {
+  EXPECT_EQ(Fnv1a(std::string("abc")), Fnv1a(std::string("abc")));
+  EXPECT_NE(Fnv1a(std::string("abc")), Fnv1a(std::string("abd")));
+  EXPECT_NE(Fnv1a(std::string("")), Fnv1a(std::string("a")));
+}
+
+}  // namespace
+}  // namespace arbd

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "geo/city.h"
+#include "geo/crowdsource.h"
+
+namespace arbd::geo {
+namespace {
+
+const BBox kBounds{22.0, 114.0, 23.0, 115.0};
+constexpr LatLon kCenter{22.5, 114.5};
+
+Observation Ob(LatLon pos, double trust = 1.0, PoiCategory cat = PoiCategory::kCafe) {
+  Observation o;
+  o.observed_pos = pos;
+  o.trust = trust;
+  o.category = cat;
+  o.name = "place";
+  o.rating = 4.0;
+  return o;
+}
+
+TEST(CrowdMerger, SingleObservationSingleCluster) {
+  CrowdMerger merger;
+  const auto merged = merger.Merge({Ob(kCenter)});
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].support, 1u);
+}
+
+TEST(CrowdMerger, NearbyObservationsMerge) {
+  CrowdMerger merger(MergeConfig{.cluster_radius_m = 20.0});
+  const auto merged = merger.Merge({
+      Ob(kCenter),
+      Ob(Offset(kCenter, 5.0, 90.0)),
+      Ob(Offset(kCenter, 8.0, 180.0)),
+  });
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].support, 3u);
+}
+
+TEST(CrowdMerger, DistantObservationsStaySeparate) {
+  CrowdMerger merger(MergeConfig{.cluster_radius_m = 20.0});
+  const auto merged = merger.Merge({Ob(kCenter), Ob(Offset(kCenter, 500.0, 90.0))});
+  EXPECT_EQ(merged.size(), 2u);
+}
+
+TEST(CrowdMerger, TrustWeightsPosition) {
+  CrowdMerger merger(MergeConfig{.cluster_radius_m = 50.0});
+  const LatLon off = Offset(kCenter, 30.0, 90.0);
+  const auto merged = merger.Merge({Ob(kCenter, /*trust=*/10.0), Ob(off, /*trust=*/0.1)});
+  ASSERT_EQ(merged.size(), 1u);
+  // Centroid should sit very near the trusted observer's report.
+  EXPECT_LT(DistanceM(merged[0].pos, kCenter), 3.0);
+}
+
+TEST(CrowdMerger, MajorityCategoryWins) {
+  CrowdMerger merger(MergeConfig{.cluster_radius_m = 50.0});
+  const auto merged = merger.Merge({
+      Ob(kCenter, 1.0, PoiCategory::kCafe),
+      Ob(kCenter, 1.0, PoiCategory::kCafe),
+      Ob(kCenter, 1.0, PoiCategory::kShop),
+  });
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].category, PoiCategory::kCafe);
+}
+
+TEST(CrowdMerger, MinSupportDropsNoise) {
+  CrowdMerger merger(MergeConfig{.cluster_radius_m = 20.0, .min_support = 2});
+  const auto merged = merger.Merge({
+      Ob(kCenter), Ob(Offset(kCenter, 3.0, 0.0)),   // real place, support 2
+      Ob(Offset(kCenter, 900.0, 45.0)),             // lone noise report
+  });
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].support, 2u);
+}
+
+TEST(EvaluateModelTest, PerfectModelScoresPerfect) {
+  PoiStore truth(kBounds);
+  for (int i = 0; i < 10; ++i) {
+    Poi p;
+    p.name = "t" + std::to_string(i);
+    p.pos = Offset(kCenter, 100.0 * i, 36.0 * i);
+    p.category = PoiCategory::kShop;
+    ASSERT_TRUE(truth.Add(std::move(p)).ok());
+  }
+  std::vector<MergedPlace> merged;
+  for (const auto* p : truth.All()) {
+    MergedPlace m;
+    m.pos = p->pos;
+    m.category = p->category;
+    m.support = 3;
+    merged.push_back(m);
+  }
+  const auto q = EvaluateModel(merged, truth);
+  EXPECT_DOUBLE_EQ(q.completeness, 1.0);
+  EXPECT_DOUBLE_EQ(q.precision, 1.0);
+  EXPECT_DOUBLE_EQ(q.category_accuracy, 1.0);
+  EXPECT_NEAR(q.position_rmse_m, 0.0, 0.01);
+}
+
+TEST(EvaluateModelTest, EmptyModelScoresZero) {
+  PoiStore truth(kBounds);
+  Poi p;
+  p.name = "t";
+  p.pos = kCenter;
+  ASSERT_TRUE(truth.Add(std::move(p)).ok());
+  const auto q = EvaluateModel({}, truth);
+  EXPECT_DOUBLE_EQ(q.completeness, 0.0);
+}
+
+TEST(CrowdsourceEndToEnd, MoreContributorsImproveCompleteness) {
+  CityConfig city_cfg;
+  city_cfg.blocks_x = 4;
+  city_cfg.blocks_y = 4;
+  const auto city = CityModel::Generate(city_cfg, 23);
+
+  auto run = [&](std::size_t contributors) {
+    Rng rng(99);
+    ContributionConfig cc;
+    cc.contributors = contributors;
+    cc.coverage = 0.08;
+    const auto obs = GenerateContributions(city.pois(), cc, rng);
+    CrowdMerger merger(MergeConfig{.cluster_radius_m = 12.0, .min_support = 2});
+    return EvaluateModel(merger.Merge(obs), city.pois());
+  };
+
+  const auto few = run(5);
+  const auto many = run(80);
+  EXPECT_GT(many.completeness, few.completeness);
+  EXPECT_GT(many.completeness, 0.5) << "80 contributors should map most of the city";
+}
+
+TEST(CrowdsourceEndToEnd, NoiseDegradesAccuracyNotCompleteness) {
+  // Well-separated truth places so cluster identity is unambiguous and
+  // RMSE isolates observation noise (the city packs POIs closer together
+  // than the cluster radius, which would confound this).
+  PoiStore truth(kBounds);
+  for (int i = 0; i < 30; ++i) {
+    Poi p;
+    p.name = "t" + std::to_string(i);
+    p.pos = Offset(kCenter, 300.0 * (1 + i), 37.0 * i);
+    p.category = PoiCategory::kShop;
+    ASSERT_TRUE(truth.Add(std::move(p)).ok());
+  }
+
+  auto run = [&](double noise) {
+    Rng rng(7);
+    ContributionConfig cc;
+    cc.contributors = 60;
+    cc.coverage = 0.2;
+    cc.pos_noise_stddev_m = noise;
+    const auto obs = GenerateContributions(truth, cc, rng);
+    CrowdMerger merger(MergeConfig{.cluster_radius_m = 40.0, .min_support = 2});
+    return EvaluateModel(merger.Merge(obs), truth, /*tolerance=*/80.0);
+  };
+
+  const auto clean = run(1.0);
+  const auto noisy = run(12.0);
+  EXPECT_LT(clean.position_rmse_m, noisy.position_rmse_m);
+  EXPECT_GT(clean.completeness, 0.8);
+}
+
+}  // namespace
+}  // namespace arbd::geo

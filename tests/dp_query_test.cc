@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "privacy/dp_query.h"
+
+namespace arbd::privacy {
+namespace {
+
+std::map<std::string, std::uint64_t> SampleCounts() {
+  return {{"cafe", 120}, {"museum", 40}, {"shop", 300}, {"park", 5}};
+}
+
+TEST(NoisyHistogramTest, ChargesEpsilonOncePerRelease) {
+  NoisyHistogram hist(1);
+  PrivacyBudget budget(1.0);
+  ASSERT_TRUE(hist.Release(SampleCounts(), 0.4, budget).ok());
+  EXPECT_NEAR(budget.spent(), 0.4, 1e-12);
+  ASSERT_TRUE(hist.Release(SampleCounts(), 0.4, budget).ok());
+  EXPECT_FALSE(hist.Release(SampleCounts(), 0.4, budget).ok());
+}
+
+TEST(NoisyHistogramTest, BinsArePreservedAndNonNegative) {
+  NoisyHistogram hist(2);
+  PrivacyBudget budget(100.0);
+  const auto counts = SampleCounts();
+  const auto released = hist.Release(counts, 0.5, budget);
+  ASSERT_TRUE(released.ok());
+  EXPECT_EQ(released->size(), counts.size());
+  for (const auto& [bin, v] : *released) {
+    EXPECT_GE(v, 0.0) << bin;
+    EXPECT_TRUE(counts.contains(bin));
+  }
+}
+
+TEST(NoisyHistogramTest, ErrorShrinksWithEpsilon) {
+  NoisyHistogram hist(3);
+  PrivacyBudget budget(1e9);
+  const auto counts = SampleCounts();
+  double err_tight = 0.0, err_loose = 0.0;
+  const int trials = 300;
+  for (int i = 0; i < trials; ++i) {
+    err_tight += NoisyHistogram::L1Error(counts, *hist.Release(counts, 5.0, budget));
+    err_loose += NoisyHistogram::L1Error(counts, *hist.Release(counts, 0.05, budget));
+  }
+  EXPECT_GT(err_loose, err_tight * 10.0);
+}
+
+TEST(NoisyHistogramTest, MeanErrorMatchesLaplaceScale) {
+  // Each bin's expected |noise| is 1/ε (ignoring the clamp on large bins).
+  NoisyHistogram hist(4);
+  PrivacyBudget budget(1e9);
+  std::map<std::string, std::uint64_t> big = {{"a", 10'000}, {"b", 20'000}};
+  const double eps = 0.5;
+  double err = 0.0;
+  const int trials = 5000;
+  for (int i = 0; i < trials; ++i) {
+    err += NoisyHistogram::L1Error(big, *hist.Release(big, eps, budget));
+  }
+  EXPECT_NEAR(err / trials, 2.0 / eps, 0.3);
+}
+
+std::vector<Candidate> Places() {
+  return {{"great", 10.0}, {"fine", 6.0}, {"meh", 3.0}, {"bad", 0.0}};
+}
+
+TEST(ExponentialMechanismTest, ChargesBudgetAndValidates) {
+  ExponentialMechanism mech(5);
+  PrivacyBudget budget(1.0);
+  ASSERT_TRUE(mech.Select(Places(), 0.7, 1.0, budget).ok());
+  EXPECT_NEAR(budget.spent(), 0.7, 1e-12);
+  EXPECT_FALSE(mech.Select({}, 0.1, 1.0, budget).ok());
+  EXPECT_FALSE(mech.Select(Places(), 0.1, 0.0, budget).ok());
+}
+
+TEST(ExponentialMechanismTest, HighEpsilonPicksBest) {
+  ExponentialMechanism mech(6);
+  EXPECT_GT(mech.BestPickRate(Places(), 10.0, 1.0, 2000), 0.98);
+}
+
+TEST(ExponentialMechanismTest, ZeroEpsilonIsUniform) {
+  ExponentialMechanism mech(7);
+  // With ε→0 every candidate is equally likely; best-pick ≈ 1/4.
+  EXPECT_NEAR(mech.BestPickRate(Places(), 1e-9, 1.0, 5000), 0.25, 0.04);
+}
+
+TEST(ExponentialMechanismTest, UtilityMonotonicity) {
+  // Across many draws, better candidates are selected more often.
+  ExponentialMechanism mech(8);
+  PrivacyBudget budget(1e9);
+  std::map<std::string, int> picks;
+  for (int i = 0; i < 4000; ++i) {
+    picks[*mech.Select(Places(), 0.8, 1.0, budget)]++;
+  }
+  EXPECT_GT(picks["great"], picks["fine"]);
+  EXPECT_GT(picks["fine"], picks["meh"]);
+  EXPECT_GT(picks["meh"], picks["bad"]);
+}
+
+}  // namespace
+}  // namespace arbd::privacy

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "scenarios/emergency.h"
+
+namespace arbd::scenarios {
+namespace {
+
+TEST(SearchAndRescue, FindsAllVictimsGivenTime) {
+  EmergencyConfig cfg;
+  cfg.time_limit = Duration::Seconds(36'000);  // effectively unlimited
+  const auto m = RunSearchAndRescue(cfg, 1);
+  EXPECT_EQ(m.victims_found, cfg.victims);
+  EXPECT_DOUBLE_EQ(m.find_all_fraction, 1.0);
+  EXPECT_GT(m.mean_rescue_time_s, 0.0);
+  EXPECT_GE(m.last_rescue_time_s, m.mean_rescue_time_s);
+}
+
+TEST(SearchAndRescue, BirdseyeFindsFasterThanBlindSweep) {
+  EmergencyConfig ar;
+  ar.ar_birdseye = true;
+  ar.time_limit = Duration::Seconds(36'000);
+  EmergencyConfig blind = ar;
+  blind.ar_birdseye = false;
+
+  // Average over seeds: individual layouts can favour either strategy.
+  double ar_sum = 0.0, blind_sum = 0.0;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    ar_sum += RunSearchAndRescue(ar, seed).mean_rescue_time_s;
+    blind_sum += RunSearchAndRescue(blind, seed).mean_rescue_time_s;
+  }
+  EXPECT_LT(ar_sum, blind_sum * 0.7)
+      << "ar=" << ar_sum / 10 << "s blind=" << blind_sum / 10 << "s";
+}
+
+TEST(SearchAndRescue, BirdseyeSearchesFewerCells) {
+  EmergencyConfig ar;
+  ar.time_limit = Duration::Seconds(36'000);
+  EmergencyConfig blind = ar;
+  blind.ar_birdseye = false;
+  std::size_t ar_cells = 0, blind_cells = 0;
+  for (std::uint64_t seed = 20; seed < 28; ++seed) {
+    ar_cells += RunSearchAndRescue(ar, seed).cells_searched;
+    blind_cells += RunSearchAndRescue(blind, seed).cells_searched;
+  }
+  EXPECT_LT(ar_cells, blind_cells);
+}
+
+TEST(SearchAndRescue, MoreSearchersFinishSooner) {
+  EmergencyConfig one;
+  one.searchers = 1;
+  one.time_limit = Duration::Seconds(36'000);
+  EmergencyConfig four = one;
+  four.searchers = 4;
+  double one_sum = 0.0, four_sum = 0.0;
+  for (std::uint64_t seed = 40; seed < 46; ++seed) {
+    one_sum += RunSearchAndRescue(one, seed).last_rescue_time_s;
+    four_sum += RunSearchAndRescue(four, seed).last_rescue_time_s;
+  }
+  EXPECT_LT(four_sum, one_sum);
+}
+
+TEST(SearchAndRescue, TimeLimitTruncates) {
+  EmergencyConfig cfg;
+  cfg.time_limit = Duration::Seconds(60);  // barely time for 2-3 cells
+  const auto m = RunSearchAndRescue(cfg, 5);
+  EXPECT_LT(m.cells_searched, 10u);
+  EXPECT_LE(m.victims_found, cfg.victims);
+}
+
+TEST(SearchAndRescue, UselessSensorsDegradeToBlind) {
+  // With hit rate == false rate the heat map carries no information; the
+  // AR advantage should mostly evaporate (sanity of the mechanism).
+  EmergencyConfig informative;
+  informative.time_limit = Duration::Seconds(36'000);
+  EmergencyConfig useless = informative;
+  useless.sensor_hit_rate = 0.08;  // == false rate
+  double informative_sum = 0.0, useless_sum = 0.0;
+  for (std::uint64_t seed = 60; seed < 70; ++seed) {
+    informative_sum += RunSearchAndRescue(informative, seed).mean_rescue_time_s;
+    useless_sum += RunSearchAndRescue(useless, seed).mean_rescue_time_s;
+  }
+  EXPECT_LT(informative_sum, useless_sum);
+}
+
+}  // namespace
+}  // namespace arbd::scenarios

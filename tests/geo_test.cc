@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geo/geohash.h"
+#include "geo/latlon.h"
+
+namespace arbd::geo {
+namespace {
+
+constexpr LatLon kHkust{22.3364, 114.2655};
+constexpr LatLon kBerlin{52.5200, 13.4050};
+
+TEST(LatLon, Validity) {
+  EXPECT_TRUE(kHkust.IsValid());
+  EXPECT_FALSE((LatLon{91.0, 0.0}.IsValid()));
+  EXPECT_FALSE((LatLon{0.0, -181.0}.IsValid()));
+}
+
+TEST(Distance, ZeroForSamePoint) {
+  EXPECT_DOUBLE_EQ(DistanceM(kHkust, kHkust), 0.0);
+}
+
+TEST(Distance, KnownCityPair) {
+  // HKUST ↔ Berlin is roughly 8750 km.
+  const double d = DistanceM(kHkust, kBerlin);
+  EXPECT_NEAR(d, 8'750'000.0, 80'000.0);
+}
+
+TEST(Distance, Symmetric) {
+  EXPECT_DOUBLE_EQ(DistanceM(kHkust, kBerlin), DistanceM(kBerlin, kHkust));
+}
+
+TEST(Distance, SmallOffsetsAreMetric) {
+  // 0.001 deg latitude ≈ 111.2 m anywhere.
+  const LatLon a{40.0, -74.0};
+  const LatLon b{40.001, -74.0};
+  EXPECT_NEAR(DistanceM(a, b), 111.2, 1.0);
+}
+
+TEST(Bearing, CardinalDirections) {
+  const LatLon o{0.0, 0.0};
+  EXPECT_NEAR(BearingDeg(o, {1.0, 0.0}), 0.0, 0.1);    // north
+  EXPECT_NEAR(BearingDeg(o, {0.0, 1.0}), 90.0, 0.1);   // east
+  EXPECT_NEAR(BearingDeg(o, {-1.0, 0.0}), 180.0, 0.1); // south
+  EXPECT_NEAR(BearingDeg(o, {0.0, -1.0}), 270.0, 0.1); // west
+}
+
+TEST(Offset, InverseOfDistanceAndBearing) {
+  const LatLon p = Offset(kHkust, 1234.0, 57.0);
+  EXPECT_NEAR(DistanceM(kHkust, p), 1234.0, 1.0);
+  EXPECT_NEAR(BearingDeg(kHkust, p), 57.0, 0.5);
+}
+
+TEST(EnuFrame, RoundTrip) {
+  const EnuFrame frame(kHkust);
+  const Enu e = frame.ToEnu(Offset(kHkust, 500.0, 45.0));
+  EXPECT_NEAR(e.east, 500.0 / std::sqrt(2.0), 2.0);
+  EXPECT_NEAR(e.north, 500.0 / std::sqrt(2.0), 2.0);
+  const LatLon back = frame.FromEnu(e);
+  EXPECT_NEAR(DistanceM(back, Offset(kHkust, 500.0, 45.0)), 0.0, 1.0);
+}
+
+TEST(BBoxTest, ContainsAndIntersects) {
+  const BBox a{0.0, 0.0, 10.0, 10.0};
+  EXPECT_TRUE(a.Contains({5.0, 5.0}));
+  EXPECT_FALSE(a.Contains({-1.0, 5.0}));
+  const BBox b{5.0, 5.0, 15.0, 15.0};
+  const BBox c{11.0, 11.0, 12.0, 12.0};
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(c));
+}
+
+TEST(BBoxTest, AroundCoversRadius) {
+  const BBox box = BBox::Around(kHkust, 1000.0);
+  // All compass points at 1 km must be inside.
+  for (double bearing : {0.0, 90.0, 180.0, 270.0, 45.0}) {
+    EXPECT_TRUE(box.Contains(Offset(kHkust, 1000.0, bearing))) << bearing;
+  }
+}
+
+TEST(Geohash, KnownValue) {
+  // Well-known reference: (57.64911, 10.40744) → "u4pruydqqvj".
+  EXPECT_EQ(GeohashEncode({57.64911, 10.40744}, 11), "u4pruydqqvj");
+}
+
+TEST(Geohash, EncodeDecodeRoundTrip) {
+  for (const LatLon& p : {kHkust, kBerlin, LatLon{-33.86, 151.21}}) {
+    const std::string h = GeohashEncode(p, 9);
+    const auto back = GeohashDecode(h);
+    ASSERT_TRUE(back.ok());
+    EXPECT_NEAR(DistanceM(p, *back), 0.0, 10.0);
+  }
+}
+
+TEST(Geohash, PrefixPropertyNearbySharesPrefix) {
+  const std::string a = GeohashEncode(kHkust, 7);
+  const std::string b = GeohashEncode(Offset(kHkust, 20.0, 90.0), 7);
+  // 20 m apart: first 6 characters should agree.
+  EXPECT_EQ(a.substr(0, 6), b.substr(0, 6));
+}
+
+TEST(Geohash, CellShrinksWithPrecision) {
+  const auto c5 = GeohashCell(GeohashEncode(kHkust, 5));
+  const auto c8 = GeohashCell(GeohashEncode(kHkust, 8));
+  ASSERT_TRUE(c5.ok());
+  ASSERT_TRUE(c8.ok());
+  EXPECT_GT(c5->max_lat - c5->min_lat, c8->max_lat - c8->min_lat);
+}
+
+TEST(Geohash, InvalidInputRejected) {
+  EXPECT_FALSE(GeohashDecode("").ok());
+  EXPECT_FALSE(GeohashDecode("aaaa!").ok());  // 'a' itself invalid in base32 too
+  EXPECT_FALSE(GeohashDecode("0123456789abc").ok());  // too long
+}
+
+TEST(Geohash, NeighborsAreAdjacent) {
+  const std::string h = GeohashEncode(kHkust, 6);
+  const auto neighbors = GeohashNeighbors(h);
+  ASSERT_TRUE(neighbors.ok());
+  EXPECT_EQ(neighbors->size(), 8u);
+  const auto center = *GeohashDecode(h);
+  const auto cell = *GeohashCell(h);
+  const double cell_diag =
+      DistanceM({cell.min_lat, cell.min_lon}, {cell.max_lat, cell.max_lon});
+  for (const auto& n : *neighbors) {
+    EXPECT_NE(n, h);
+    const auto np = *GeohashDecode(n);
+    EXPECT_LT(DistanceM(center, np), cell_diag * 1.5);
+  }
+}
+
+}  // namespace
+}  // namespace arbd::geo

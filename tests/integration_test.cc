@@ -1,0 +1,206 @@
+// End-to-end integration tests that cross module boundaries the way the
+// paper's scenarios do: sensors → tracking → platform → analytics →
+// interpretation → frame, plus the gaze-attention loop and the offload-
+// aware frame budget.
+#include <gtest/gtest.h>
+
+#include "ar/interaction.h"
+#include "core/platform.h"
+#include "core/session.h"
+#include "offload/scheduler.h"
+#include "sensors/rig.h"
+
+namespace arbd {
+namespace {
+
+class PlatformEndToEnd : public ::testing::Test {
+ protected:
+  PlatformEndToEnd()
+      : city_(geo::CityModel::Generate(geo::CityConfig{}, 99)),
+        platform_(core::PlatformConfig{}, city_, clock_) {}
+
+  SimClock clock_;
+  geo::CityModel city_;
+  core::Platform platform_;
+};
+
+TEST_F(PlatformEndToEnd, SensorsToTrackedFrame) {
+  // A walking user tracked from noisy sensors; the platform composes
+  // frames against the *estimated* pose, and the estimate stays close
+  // enough to ground truth that context queries agree.
+  auto& user = platform_.AddUser("walker");
+  ar::PoseEstimate init;
+  user.tracker().Reset(init);
+
+  sensors::RigConfig rig_cfg;
+  rig_cfg.trajectory.kind = sensors::MotionKind::kRandomWalk;
+  rig_cfg.trajectory.speed_mps = 1.4;
+  sensors::SensorRig rig(rig_cfg, 7);
+
+  sensors::TruthState last_truth;
+  sensors::RigCallbacks cbs;
+  cbs.on_imu = [&](const sensors::ImuSample& s) { user.OnImu(s); };
+  cbs.on_gps = [&](const sensors::GpsFix& f) { user.OnGps(f); };
+  cbs.on_truth = [&](const sensors::TruthState& t) { last_truth = t; };
+  rig.RunUntil(TimePoint::FromSeconds(60.0), cbs);
+
+  const auto ctx = user.Snapshot();
+  const double err = std::hypot(ctx.pose.east - last_truth.east,
+                                ctx.pose.north - last_truth.north);
+  EXPECT_LT(err, 10.0) << "fused pose must track the walk";
+
+  const auto frame = platform_.ComposeFrame("walker");
+  ASSERT_TRUE(frame.ok());
+}
+
+TEST_F(PlatformEndToEnd, VitalsStreamToHudAlert) {
+  // §3.3 loop: vitals events → windowed mean → interpretation rule →
+  // HUD alert in the composed frame.
+  core::AggregationSpec spec;
+  spec.attribute = "heart_rate";
+  spec.window = stream::WindowSpec::Tumbling(Duration::Seconds(5));
+  spec.agg = stream::AggKind::kMean;
+  platform_.AddAggregation(spec);
+
+  core::InterpretationRule rule;
+  rule.name = "tachycardia";
+  rule.attribute = "heart_rate";
+  rule.high = 115.0;
+  rule.type = ar::content::SemanticType::kAlert;
+  rule.priority = 1.0;
+  rule.ttl = Duration::Seconds(120);
+  rule.title_template = "ALERT {key}";
+  rule.body_template = "HR {value} bpm";
+  platform_.AddRule(rule);
+
+  for (int i = 0; i < 12; ++i) {
+    stream::Event e;
+    e.key = "patient-9";
+    e.attribute = "heart_rate";
+    e.value = 150.0;
+    e.event_time = TimePoint::FromMillis(i * 500);
+    ASSERT_TRUE(platform_.Publish(e).ok());
+  }
+  platform_.ProcessPending();
+  ASSERT_GT(platform_.annotations().size(), 0u);
+
+  platform_.AddUser("nurse");
+  const auto frame = platform_.ComposeFrame("nurse");
+  ASSERT_TRUE(frame.ok());
+  ASSERT_GT(frame->layout.placed, 0u);
+  bool hud_alert = false;
+  for (const auto& label : frame->layout.labels) {
+    if (label.annotation->type == ar::content::SemanticType::kAlert) {
+      hud_alert = true;
+      EXPECT_EQ(label.annotation->title, "ALERT patient-9");
+    }
+  }
+  EXPECT_TRUE(hud_alert) << "un-located patient alerts must surface on the HUD";
+}
+
+TEST_F(PlatformEndToEnd, GazeAttentionFlowsBackIntoAnalytics) {
+  // §3.1 loop: the user looks at overlays; dwell becomes events; a
+  // windowed aggregation over attention closes the loop.
+  const geo::Poi* poi = city_.pois().All().front();
+  ar::content::Annotation a;
+  a.title = "promo";
+  a.anchor.geo_pos = poi->pos;
+  a.anchor.height_m = 2.0;
+  a.priority = 0.9;
+  a.ttl = Duration::Seconds(600);
+  platform_.AddAnnotation(a);
+
+  auto& user = platform_.AddUser("shopper");
+  const geo::Enu at = city_.frame().ToEnu(poi->pos);
+  ar::PoseEstimate pose;
+  pose.east = at.east;
+  pose.north = at.north - 25.0;
+  pose.yaw_deg = 0.0;
+  user.tracker().Reset(pose);
+
+  const auto frame = platform_.ComposeFrame("shopper");
+  ASSERT_TRUE(frame.ok());
+  ASSERT_GT(frame->layout.placed, 0u);
+
+  // Gaze at the frame for 10 simulated seconds.
+  ar::GazeConfig gcfg;
+  gcfg.blink_rate = 0.0;
+  ar::GazeModel gaze(gcfg, 3);
+  ar::AttentionTracker attention;
+  TimePoint t;
+  for (int i = 0; i < 300; ++i) {
+    t += gcfg.period;
+    attention.Observe(gaze.Sample(t, frame->layout.labels, {}), frame->layout.labels,
+                      gcfg.period);
+  }
+  ASSERT_FALSE(attention.dwell().empty());
+
+  // Attention events feed a counting job keyed by user.
+  core::AggregationSpec spec;
+  spec.attribute = "attention:promo";
+  spec.window = stream::WindowSpec::Tumbling(Duration::Seconds(60));
+  spec.agg = stream::AggKind::kSum;
+  platform_.AddAggregation(spec);
+
+  double attention_seconds = 0.0;
+  for (auto& e : attention.DrainEvents(TimePoint::FromSeconds(10.0), "shopper")) {
+    attention_seconds += e.value;
+    ASSERT_TRUE(platform_.Publish(e).ok());
+  }
+  EXPECT_GT(attention_seconds, 5.0) << "one visible label should capture most dwell";
+  EXPECT_GT(platform_.ProcessPending(), 0u);
+}
+
+TEST_F(PlatformEndToEnd, CollaborationSeesSharedAlerts) {
+  // Alerts produced by the platform can be re-shared into a collaborative
+  // session and reach every member, role filters permitting.
+  core::CollaborativeSession session("ops", city_);
+  core::ContextEngine a("a", city_), b("b", city_);
+  ar::PoseEstimate init;
+  a.tracker().Reset(init);
+  b.tracker().Reset(init);
+  ASSERT_TRUE(session.Join("a", core::Role{}, &a).ok());
+  ASSERT_TRUE(session.Join("b", core::Role{}, &b).ok());
+
+  ar::content::Annotation alert;
+  alert.type = ar::content::SemanticType::kAlert;
+  alert.anchor.geo_pos = city_.frame().FromEnu(geo::Enu{0.0, 20.0});
+  alert.anchor.height_m = 1.7;
+  alert.priority = 1.0;
+  alert.ttl = Duration::Seconds(60);
+  session.Share(alert, TimePoint{});
+
+  EXPECT_EQ(session.ComposeFor("a", TimePoint{})->live_annotations, 1u);
+  EXPECT_EQ(session.ComposeFor("b", TimePoint{})->live_annotations, 1u);
+}
+
+TEST(OffloadIntegration, AdaptiveFollowsNetworkDegradation) {
+  // The adaptive scheduler must move work back on-device when the network
+  // degrades mid-session (EWMA adaptation, §4.1).
+  offload::NetworkConfig net_cfg;
+  net_cfg.rtt = Duration::Millis(10);
+  net_cfg.rtt_jitter = Duration::Millis(1);
+  offload::NetworkModel net(net_cfg, 5);
+  offload::OffloadScheduler sched(offload::OffloadPolicy::kAdaptive,
+                                  offload::DeviceModel{}, offload::CloudModel{}, net);
+  const offload::ComputeTask heavy{"analytics", 60.0, 4'000, 8'000, true};
+
+  // Fast network: offloads.
+  std::size_t cloud_before = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (sched.Run(heavy).placement == offload::Placement::kCloud) ++cloud_before;
+  }
+  EXPECT_GT(cloud_before, 40u);
+
+  // Network collapses to 400 ms RTT; the EWMA must pull work local.
+  net_cfg.rtt = Duration::Millis(400);
+  net.set_config(net_cfg);
+  std::size_t cloud_tail = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (sched.Run(heavy).placement == offload::Placement::kCloud) ++cloud_tail;
+  }
+  EXPECT_LT(cloud_tail, 40u) << "scheduler must adapt to the degraded link";
+}
+
+}  // namespace
+}  // namespace arbd

@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include "ar/interaction.h"
+
+namespace arbd::ar {
+namespace {
+
+std::vector<content::Annotation> MakeAnnotations(std::size_t n) {
+  std::vector<content::Annotation> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i].id = i + 1;
+    out[i].title = "label-" + std::to_string(i);
+    out[i].priority = 0.5;
+  }
+  return out;
+}
+
+std::vector<LabelBox> MakeLabels(const std::vector<content::Annotation>& annotations) {
+  std::vector<LabelBox> labels;
+  for (std::size_t i = 0; i < annotations.size(); ++i) {
+    LabelBox box;
+    box.x = 100.0 + 250.0 * static_cast<double>(i);
+    box.y = 300.0;
+    box.width = 180.0;
+    box.height = 56.0;
+    box.annotation = &annotations[i];
+    labels.push_back(box);
+  }
+  return labels;
+}
+
+GazePoint At(double x, double y, std::int64_t ms) {
+  GazePoint g;
+  g.x = x;
+  g.y = y;
+  g.time = TimePoint::FromMillis(ms);
+  return g;
+}
+
+TEST(GazeModelTest, IdleGazeCentersOnScreen) {
+  GazeConfig cfg;
+  cfg.blink_rate = 0.0;
+  GazeModel gaze(cfg, 1);
+  CameraIntrinsics intr;
+  double sx = 0.0, sy = 0.0;
+  const int n = 500;
+  for (int i = 0; i < n; ++i) {
+    const auto g = gaze.Sample(TimePoint::FromMillis(i * 33), {}, intr);
+    ASSERT_TRUE(g.valid);
+    sx += g.x;
+    sy += g.y;
+  }
+  EXPECT_NEAR(sx / n, intr.width_px / 2.0, 10.0);
+  EXPECT_NEAR(sy / n, intr.height_px / 2.0, 10.0);
+  EXPECT_EQ(gaze.current_target(), -1);
+}
+
+TEST(GazeModelTest, FixatesOnLabels) {
+  GazeConfig cfg;
+  cfg.blink_rate = 0.0;
+  cfg.noise_px = 1.0;
+  GazeModel gaze(cfg, 2);
+  const auto annotations = MakeAnnotations(3);
+  const auto labels = MakeLabels(annotations);
+  CameraIntrinsics intr;
+  int on_label = 0;
+  const int n = 1000;
+  for (int i = 0; i < n; ++i) {
+    const auto g = gaze.Sample(TimePoint::FromMillis(i * 33), labels, intr);
+    for (const auto& l : labels) {
+      if (g.x >= l.x - 5 && g.x <= l.x + l.width + 5 && g.y >= l.y - 5 &&
+          g.y <= l.y + l.height + 5) {
+        ++on_label;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(on_label, n * 9 / 10);
+}
+
+TEST(GazeModelTest, BlinksAreInvalidSamples) {
+  GazeConfig cfg;
+  cfg.blink_rate = 0.5;
+  GazeModel gaze(cfg, 3);
+  int invalid = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    if (!gaze.Sample(TimePoint::FromMillis(i * 33), {}, {}).valid) ++invalid;
+  }
+  EXPECT_NEAR(invalid / static_cast<double>(n), 0.5, 0.05);
+}
+
+TEST(GazeModelTest, PriorityBiasesAttention) {
+  GazeConfig cfg;
+  cfg.blink_rate = 0.0;
+  cfg.noise_px = 1.0;
+  cfg.saccade_rate = 0.5;  // frequent re-targeting to sample the weights
+  GazeModel gaze(cfg, 4);
+  auto annotations = MakeAnnotations(2);
+  annotations[0].priority = 0.95;
+  annotations[1].priority = 0.05;
+  const auto labels = MakeLabels(annotations);
+  int high = 0, low = 0;
+  for (int i = 0; i < 3000; ++i) {
+    gaze.Sample(TimePoint::FromMillis(i * 33), labels, {});
+    if (gaze.current_target() == 0) ++high;
+    if (gaze.current_target() == 1) ++low;
+  }
+  EXPECT_GT(high, low * 3);
+}
+
+TEST(DwellSelectorTest, SelectsAfterHold) {
+  DwellSelector sel(Duration::Millis(500));
+  const auto annotations = MakeAnnotations(1);
+  const auto labels = MakeLabels(annotations);
+  const double cx = labels[0].x + 10, cy = labels[0].y + 10;
+
+  EXPECT_FALSE(sel.Update(At(cx, cy, 0), labels).has_value());
+  EXPECT_FALSE(sel.Update(At(cx, cy, 300), labels).has_value());
+  const auto hit = sel.Update(At(cx, cy, 600), labels);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->annotation_id, 1u);
+  EXPECT_GE(hit->dwell, Duration::Millis(500));
+}
+
+TEST(DwellSelectorTest, FiresOncePerDwell) {
+  DwellSelector sel(Duration::Millis(100));
+  const auto annotations = MakeAnnotations(1);
+  const auto labels = MakeLabels(annotations);
+  const double cx = labels[0].x + 10, cy = labels[0].y + 10;
+  ASSERT_FALSE(sel.Update(At(cx, cy, 0), labels).has_value());
+  ASSERT_TRUE(sel.Update(At(cx, cy, 150), labels).has_value());
+  EXPECT_FALSE(sel.Update(At(cx, cy, 300), labels).has_value());
+  EXPECT_FALSE(sel.Update(At(cx, cy, 1000), labels).has_value());
+}
+
+TEST(DwellSelectorTest, LeavingResetsTimer) {
+  DwellSelector sel(Duration::Millis(500));
+  const auto annotations = MakeAnnotations(1);
+  const auto labels = MakeLabels(annotations);
+  const double cx = labels[0].x + 10, cy = labels[0].y + 10;
+  ASSERT_FALSE(sel.Update(At(cx, cy, 0), labels).has_value());
+  ASSERT_FALSE(sel.Update(At(0, 0, 300), labels).has_value());  // looked away
+  ASSERT_FALSE(sel.Update(At(cx, cy, 400), labels).has_value());
+  // Only 300 ms of continuous dwell by t=700: not yet.
+  EXPECT_FALSE(sel.Update(At(cx, cy, 700), labels).has_value());
+  EXPECT_TRUE(sel.Update(At(cx, cy, 950), labels).has_value());
+}
+
+TEST(DwellSelectorTest, BlinksDoNotBreakDwell) {
+  DwellSelector sel(Duration::Millis(300));
+  const auto annotations = MakeAnnotations(1);
+  const auto labels = MakeLabels(annotations);
+  const double cx = labels[0].x + 10, cy = labels[0].y + 10;
+  ASSERT_FALSE(sel.Update(At(cx, cy, 0), labels).has_value());
+  GazePoint blink = At(0, 0, 150);
+  blink.valid = false;
+  ASSERT_FALSE(sel.Update(blink, labels).has_value());
+  EXPECT_TRUE(sel.Update(At(cx, cy, 350), labels).has_value());
+}
+
+TEST(DwellSelectorTest, SwitchingLabelsRestartsDwell) {
+  DwellSelector sel(Duration::Millis(300));
+  const auto annotations = MakeAnnotations(2);
+  const auto labels = MakeLabels(annotations);
+  ASSERT_FALSE(sel.Update(At(labels[0].x + 5, 310, 0), labels).has_value());
+  ASSERT_FALSE(sel.Update(At(labels[1].x + 5, 310, 200), labels).has_value());
+  // 300 ms after switching to label 2, not after the first fixation.
+  EXPECT_FALSE(sel.Update(At(labels[1].x + 5, 310, 400), labels).has_value());
+  const auto hit = sel.Update(At(labels[1].x + 5, 310, 550), labels);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->annotation_id, 2u);
+}
+
+TEST(AttentionTrackerTest, AccumulatesDwellPerLabel) {
+  AttentionTracker tracker;
+  const auto annotations = MakeAnnotations(2);
+  const auto labels = MakeLabels(annotations);
+  const Duration tick = Duration::Millis(33);
+  for (int i = 0; i < 10; ++i) {
+    tracker.Observe(At(labels[0].x + 5, 310, i * 33), labels, tick);
+  }
+  for (int i = 0; i < 5; ++i) {
+    tracker.Observe(At(labels[1].x + 5, 310, 400 + i * 33), labels, tick);
+  }
+  tracker.Observe(At(0, 0, 900), labels, tick);  // off-label: ignored
+  const auto& dwell = tracker.dwell();
+  ASSERT_EQ(dwell.size(), 2u);
+  EXPECT_EQ(dwell.at("label-0"), tick * 10.0);
+  EXPECT_EQ(dwell.at("label-1"), tick * 5.0);
+}
+
+TEST(AttentionTrackerTest, DrainProducesEventsAndClears) {
+  AttentionTracker tracker;
+  const auto annotations = MakeAnnotations(1);
+  const auto labels = MakeLabels(annotations);
+  tracker.Observe(At(labels[0].x + 5, 310, 0), labels, Duration::Seconds(2));
+  const auto events = tracker.DrainEvents(TimePoint::FromSeconds(10.0), "alice");
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].key, "alice");
+  EXPECT_EQ(events[0].attribute, "attention:label-0");
+  EXPECT_DOUBLE_EQ(events[0].value, 2.0);
+  EXPECT_TRUE(tracker.dwell().empty());
+  EXPECT_TRUE(tracker.DrainEvents(TimePoint{}, "alice").empty());
+}
+
+}  // namespace
+}  // namespace arbd::ar

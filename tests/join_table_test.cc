@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "analytics/join.h"
+#include "stream/table.h"
+
+namespace arbd {
+namespace {
+
+stream::Event Ev(const std::string& key, const std::string& attr, double v,
+                 std::int64_t ms) {
+  stream::Event e;
+  e.key = key;
+  e.attribute = attr;
+  e.value = v;
+  e.event_time = TimePoint::FromMillis(ms);
+  return e;
+}
+
+TEST(IntervalJoin, MatchesWithinWindow) {
+  std::vector<analytics::JoinedPair> joined;
+  analytics::IntervalJoiner join(Duration::Millis(500),
+                                 [&](const analytics::JoinedPair& p) { joined.push_back(p); });
+  join.PushLeft(Ev("u1", "purchase", 1.0, 1000));
+  join.PushRight(Ev("u1", "gaze", 2.0, 1300));  // 300 ms apart: joins
+  ASSERT_EQ(joined.size(), 1u);
+  EXPECT_EQ(joined[0].left.attribute, "purchase");
+  EXPECT_EQ(joined[0].right.attribute, "gaze");
+  EXPECT_EQ(joined[0].gap, Duration::Millis(300));
+}
+
+TEST(IntervalJoin, OutsideWindowNoMatch) {
+  analytics::IntervalJoiner join(Duration::Millis(500), nullptr);
+  join.PushLeft(Ev("u1", "a", 1.0, 1000));
+  join.PushRight(Ev("u1", "b", 2.0, 1600));
+  EXPECT_EQ(join.joins_emitted(), 0u);
+}
+
+TEST(IntervalJoin, KeysIsolated) {
+  analytics::IntervalJoiner join(Duration::Millis(500), nullptr);
+  join.PushLeft(Ev("u1", "a", 1.0, 1000));
+  join.PushRight(Ev("u2", "b", 2.0, 1000));  // same time, different key
+  EXPECT_EQ(join.joins_emitted(), 0u);
+}
+
+TEST(IntervalJoin, ManyToManyWithinWindow) {
+  analytics::IntervalJoiner join(Duration::Millis(1000), nullptr);
+  join.PushLeft(Ev("k", "a", 1.0, 1000));
+  join.PushLeft(Ev("k", "a", 2.0, 1200));
+  join.PushRight(Ev("k", "b", 3.0, 1100));  // joins both lefts
+  join.PushRight(Ev("k", "b", 4.0, 1500));  // joins both lefts
+  EXPECT_EQ(join.joins_emitted(), 4u);
+}
+
+TEST(IntervalJoin, OrderIndependent) {
+  // Right arriving before left still joins.
+  analytics::IntervalJoiner join(Duration::Millis(500), nullptr);
+  join.PushRight(Ev("k", "b", 1.0, 1000));
+  join.PushLeft(Ev("k", "a", 2.0, 1200));
+  EXPECT_EQ(join.joins_emitted(), 1u);
+}
+
+TEST(IntervalJoin, StateEvictedPastWatermark) {
+  analytics::IntervalJoiner join(Duration::Millis(200), nullptr);
+  for (int i = 0; i < 100; ++i) {
+    join.PushLeft(Ev("k", "a", 1.0, i * 1000));
+    join.PushRight(Ev("k", "b", 1.0, i * 1000 + 50));
+  }
+  // Window is 200 ms but events span 100 s: buffers must stay tiny.
+  EXPECT_LE(join.buffered_left(), 3u);
+  EXPECT_LE(join.buffered_right(), 3u);
+  EXPECT_EQ(join.joins_emitted(), 100u);
+}
+
+TEST(IntervalJoin, OneSidedStreamDoesNotGrowUnbounded) {
+  // Without events on the other side the joint watermark cannot advance;
+  // this documents the (real) caveat that one dead stream holds state.
+  analytics::IntervalJoiner join(Duration::Millis(200), nullptr);
+  for (int i = 0; i < 50; ++i) join.PushLeft(Ev("k", "a", 1.0, i * 1000));
+  EXPECT_EQ(join.buffered_left(), 50u);
+  // One right-side event releases everything older than its watermark.
+  join.PushRight(Ev("k", "b", 1.0, 49'000));
+  EXPECT_LE(join.buffered_left(), 2u);
+}
+
+TEST(TableViewTest, LatestValueWins) {
+  stream::TableView view;
+  view.Apply(stream::Record::MakeText("ehr:p1", "v1", TimePoint::FromMillis(1)));
+  view.Apply(stream::Record::MakeText("ehr:p1", "v2", TimePoint::FromMillis(2)));
+  EXPECT_EQ(view.size(), 1u);
+  EXPECT_EQ(*view.GetText("ehr:p1"), "v2");
+  EXPECT_EQ(view.updates_applied(), 2u);
+}
+
+TEST(TableViewTest, TombstoneDeletes) {
+  stream::TableView view;
+  view.Apply(stream::Record::MakeText("k", "v", TimePoint{}));
+  stream::Record tombstone;
+  tombstone.key = "k";
+  view.Apply(tombstone);
+  EXPECT_FALSE(view.Contains("k"));
+  EXPECT_EQ(view.tombstones_applied(), 1u);
+  EXPECT_FALSE(view.Get("missing").has_value());
+}
+
+class TableTopicFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(broker_.CreateTopic("profiles", {.partitions = 2}).ok());
+  }
+
+  void Put(const std::string& key, const std::string& value) {
+    ASSERT_TRUE(
+        broker_.Produce("profiles", stream::Record::MakeText(key, value, clock_.Now()))
+            .ok());
+  }
+
+  void Delete(const std::string& key) {
+    stream::Record tombstone;
+    tombstone.key = key;
+    tombstone.checksum = Fnv1a(tombstone.payload);
+    ASSERT_TRUE(broker_.Produce("profiles", std::move(tombstone)).ok());
+  }
+
+  SimClock clock_;
+  stream::Broker broker_{clock_};
+};
+
+TEST_F(TableTopicFixture, MaterializeReflectsLatestState) {
+  Put("p1", "a");
+  Put("p2", "b");
+  Put("p1", "a2");
+  Delete("p2");
+  const auto view = stream::MaterializeTable(broker_, "profiles");
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->size(), 1u);
+  EXPECT_EQ(*view->GetText("p1"), "a2");
+  EXPECT_FALSE(view->Contains("p2"));
+}
+
+TEST_F(TableTopicFixture, MaterializeUnknownTopicFails) {
+  EXPECT_FALSE(stream::MaterializeTable(broker_, "nope").ok());
+}
+
+TEST_F(TableTopicFixture, CompactionShrinksLogPreservesTable) {
+  for (int round = 0; round < 10; ++round) {
+    for (int k = 0; k < 5; ++k) {
+      Put("key" + std::to_string(k), "v" + std::to_string(round));
+    }
+  }
+  Delete("key0");
+  const auto before = *stream::MaterializeTable(broker_, "profiles");
+
+  auto topic = broker_.GetTopic("profiles");
+  ASSERT_TRUE(topic.ok());
+  const std::size_t records_before = (*topic)->TotalRecords();
+  const std::size_t removed = stream::CompactTopic(**topic);
+  EXPECT_GT(removed, 40u);
+  EXPECT_EQ((*topic)->TotalRecords(), records_before - removed);
+  EXPECT_EQ((*topic)->TotalRecords(), 4u);  // 5 keys − 1 tombstoned
+
+  const auto after = *stream::MaterializeTable(broker_, "profiles");
+  EXPECT_EQ(after.rows(), before.rows()) << "compaction must not change the table";
+}
+
+TEST_F(TableTopicFixture, CompactionIsIdempotent) {
+  Put("a", "1");
+  Put("a", "2");
+  auto topic = broker_.GetTopic("profiles");
+  ASSERT_TRUE(topic.ok());
+  EXPECT_EQ(stream::CompactTopic(**topic), 1u);
+  EXPECT_EQ(stream::CompactTopic(**topic), 0u);
+}
+
+}  // namespace
+}  // namespace arbd

@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include "offload/scheduler.h"
+
+namespace arbd::offload {
+namespace {
+
+NetworkConfig QuietNet(std::int64_t rtt_ms) {
+  NetworkConfig cfg;
+  cfg.rtt = Duration::Millis(rtt_ms);
+  cfg.rtt_jitter = Duration::Millis(0);
+  cfg.loss_rate = 0.0;
+  return cfg;
+}
+
+TEST(Network, UplinkIncludesSerializationDelay) {
+  NetworkModel net(QuietNet(40), 1);
+  // 1 MB at 30 Mbps ≈ 0.267 s, plus 20 ms half-RTT.
+  const Duration t = net.UplinkTime(1'000'000);
+  EXPECT_NEAR(t.seconds(), 0.287, 0.01);
+}
+
+TEST(Network, DownlinkFasterThanUplink) {
+  NetworkModel net(QuietNet(40), 2);
+  EXPECT_LT(net.DownlinkTime(1'000'000).seconds(), net.UplinkTime(1'000'000).seconds());
+}
+
+TEST(Network, RoundTripAtLeastRtt) {
+  NetworkModel net(QuietNet(50), 3);
+  EXPECT_GE(net.RoundTrip(100, 100).seconds(), 0.049);
+}
+
+TEST(Network, LossAddsRetriesOnAverage) {
+  NetworkConfig lossy = QuietNet(40);
+  lossy.loss_rate = 0.5;
+  NetworkModel with_loss(lossy, 4);
+  NetworkModel without(QuietNet(40), 4);
+  double t_loss = 0.0, t_clean = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    t_loss += with_loss.UplinkTime(100).seconds();
+    t_clean += without.UplinkTime(100).seconds();
+  }
+  EXPECT_GT(t_loss, t_clean * 1.5);
+}
+
+TEST(Device, ExecTimeScalesWithWork) {
+  DeviceModel dev;
+  ComputeTask small{"s", 10.0, 0, 0, true};
+  ComputeTask big{"b", 100.0, 0, 0, true};
+  EXPECT_NEAR(dev.ExecTime(big).seconds() / dev.ExecTime(small).seconds(), 10.0, 1e-6);
+}
+
+TEST(Device, EnergyProportionalToTime) {
+  DeviceConfig cfg;
+  cfg.cpu_ghz = 2.0;
+  cfg.active_power_w = 3.0;
+  DeviceModel dev(cfg);
+  ComputeTask t{"t", 200.0, 0, 0, true};  // 0.1 s at 2 GHz
+  EXPECT_NEAR(dev.ExecTime(t).seconds(), 0.1, 1e-9);
+  EXPECT_NEAR(dev.ExecEnergyJ(t), 0.3, 1e-9);
+}
+
+TEST(Cloud, FasterThanDeviceButHasBaseDelay) {
+  DeviceModel dev;
+  CloudModel cloud;
+  ComputeTask heavy{"h", 500.0, 0, 0, true};
+  EXPECT_LT(cloud.ExecTime(heavy).seconds(), dev.ExecTime(heavy).seconds());
+  ComputeTask tiny{"t", 0.001, 0, 0, true};
+  EXPECT_GT(cloud.ExecTime(tiny).seconds(), 0.001);  // base service delay dominates
+}
+
+class SchedulerFixture : public ::testing::Test {
+ protected:
+  OffloadScheduler Make(OffloadPolicy policy, std::int64_t rtt_ms = 40) {
+    net_ = std::make_unique<NetworkModel>(QuietNet(rtt_ms), 5);
+    return OffloadScheduler(policy, DeviceModel{}, CloudModel{}, *net_);
+  }
+  std::unique_ptr<NetworkModel> net_;
+};
+
+TEST_F(SchedulerFixture, LocalOnlyNeverOffloads) {
+  auto s = Make(OffloadPolicy::kLocalOnly);
+  for (int i = 0; i < 10; ++i) s.Run({"t", 100.0, 1000, 1000, true});
+  EXPECT_EQ(s.cloud_count(), 0u);
+  EXPECT_EQ(s.local_count(), 10u);
+}
+
+TEST_F(SchedulerFixture, CloudOnlyAlwaysOffloadsOffloadable) {
+  auto s = Make(OffloadPolicy::kCloudOnly);
+  for (int i = 0; i < 10; ++i) s.Run({"t", 100.0, 1000, 1000, true});
+  EXPECT_EQ(s.cloud_count(), 10u);
+}
+
+TEST_F(SchedulerFixture, NonOffloadableAlwaysLocal) {
+  auto s = Make(OffloadPolicy::kCloudOnly);
+  const auto o = s.Run({"tracking", 10.0, 0, 0, /*offloadable=*/false});
+  EXPECT_EQ(o.placement, Placement::kLocal);
+}
+
+TEST_F(SchedulerFixture, AdaptiveOffloadsHeavyTaskOnFastNetwork) {
+  auto s = Make(OffloadPolicy::kAdaptive, /*rtt_ms=*/10);
+  // 900 Mcycles = 0.5 s locally; cloud ≈ 10 ms RTT + ~56 ms exec.
+  const auto o = s.Run({"heavy", 900.0, 10'000, 1'000, true});
+  EXPECT_EQ(o.placement, Placement::kCloud);
+}
+
+TEST_F(SchedulerFixture, AdaptiveKeepsLightTaskLocalOnSlowNetwork) {
+  auto s = Make(OffloadPolicy::kAdaptive, /*rtt_ms=*/200);
+  // 3.6 Mcycles = 2 ms locally; cloud costs ≥ 200 ms.
+  const auto o = s.Run({"light", 3.6, 10'000, 1'000, true});
+  EXPECT_EQ(o.placement, Placement::kLocal);
+}
+
+TEST_F(SchedulerFixture, CloudLatencyIncludesTransfers) {
+  auto s = Make(OffloadPolicy::kCloudOnly, 40);
+  const auto o = s.Run({"t", 160.0, 1'000'000, 1'000, true});
+  // 1 MB up at 30 Mbps ≈ 0.27 s dominates.
+  EXPECT_GT(o.latency.seconds(), 0.25);
+}
+
+TEST_F(SchedulerFixture, OffloadEnergyUsesRadioAndIdle) {
+  auto local = Make(OffloadPolicy::kLocalOnly);
+  const double local_j = local.Run({"t", 900.0, 1000, 1000, true}).energy_j;
+  auto cloud = Make(OffloadPolicy::kCloudOnly, 10);
+  const double cloud_j = cloud.Run({"t", 900.0, 1000, 1000, true}).energy_j;
+  // Heavy task on a fast network: offloading saves energy.
+  EXPECT_LT(cloud_j, local_j);
+}
+
+TEST_F(SchedulerFixture, PredictNetworkTracksConfig) {
+  auto s = Make(OffloadPolicy::kAdaptive, 100);
+  EXPECT_NEAR(s.PredictNetwork(0, 0).seconds(), 0.1, 0.01);
+}
+
+TEST(FrameSim, LocalHitsDeadlineForLightFrames) {
+  NetworkModel net(QuietNet(40), 6);
+  OffloadScheduler s(OffloadPolicy::kLocalOnly, DeviceModel{}, CloudModel{}, net);
+  const auto stats = SimulateFrames(s, MakeArFrameWorkload(0.2), 200);
+  EXPECT_EQ(stats.frames, 200u);
+  EXPECT_GT(stats.hit_rate, 0.95);
+}
+
+TEST(FrameSim, LocalMissesDeadlineForHeavyAnalytics) {
+  NetworkModel net(QuietNet(40), 7);
+  OffloadScheduler s(OffloadPolicy::kLocalOnly, DeviceModel{}, CloudModel{}, net);
+  const auto stats = SimulateFrames(s, MakeArFrameWorkload(5.0), 100);
+  EXPECT_LT(stats.hit_rate, 0.2);
+}
+
+TEST(FrameSim, AdaptiveBeatsLocalOnHeavyFramesWithGoodNetwork) {
+  NetworkModel net_a(QuietNet(10), 8);
+  OffloadScheduler adaptive(OffloadPolicy::kAdaptive, DeviceModel{}, CloudModel{}, net_a);
+  const auto a = SimulateFrames(adaptive, MakeArFrameWorkload(5.0), 100);
+
+  NetworkModel net_l(QuietNet(10), 8);
+  OffloadScheduler local(OffloadPolicy::kLocalOnly, DeviceModel{}, CloudModel{}, net_l);
+  const auto l = SimulateFrames(local, MakeArFrameWorkload(5.0), 100);
+
+  EXPECT_LT(a.mean_latency_ms, l.mean_latency_ms);
+  EXPECT_GT(a.offload_fraction, 0.0);
+}
+
+TEST(FrameSim, StatsAreInternallyConsistent) {
+  NetworkModel net(QuietNet(40), 9);
+  OffloadScheduler s(OffloadPolicy::kAdaptive, DeviceModel{}, CloudModel{}, net);
+  const auto stats = SimulateFrames(s, MakeArFrameWorkload(1.0), 50);
+  EXPECT_EQ(stats.frames, 50u);
+  EXPECT_LE(stats.deadline_hits, stats.frames);
+  EXPECT_GE(stats.p95_latency_ms, 0.0);
+  EXPECT_GE(stats.mean_energy_mj, 0.0);
+  EXPECT_GE(stats.offload_fraction, 0.0);
+  EXPECT_LE(stats.offload_fraction, 1.0);
+}
+
+TEST(PipelinedFrames, NeverWorseThanSerial) {
+  NetworkModel net_a(QuietNet(20), 11);
+  OffloadScheduler serial(OffloadPolicy::kAdaptive, DeviceModel{}, CloudModel{}, net_a);
+  const auto s = SimulateFrames(serial, MakeArFrameWorkload(3.0), 200);
+
+  NetworkModel net_b(QuietNet(20), 11);
+  OffloadScheduler pipelined(OffloadPolicy::kAdaptive, DeviceModel{}, CloudModel{}, net_b);
+  const auto p = SimulatePipelinedFrames(pipelined, MakeArFrameWorkload(3.0), 200);
+
+  EXPECT_LE(p.mean_latency_ms, s.mean_latency_ms + 0.5);
+  EXPECT_GE(p.hit_rate, s.hit_rate);
+}
+
+TEST(PipelinedFrames, OverlapHidesCloudLatency) {
+  // Cloud-only on a moderate network: serial pays every round trip in
+  // sequence; pipelining pays only the slowest one.
+  NetworkModel net_a(QuietNet(30), 12);
+  OffloadScheduler serial(OffloadPolicy::kCloudOnly, DeviceModel{}, CloudModel{}, net_a);
+  const auto s = SimulateFrames(serial, MakeArFrameWorkload(3.0), 100);
+
+  NetworkModel net_b(QuietNet(30), 12);
+  OffloadScheduler pipelined(OffloadPolicy::kCloudOnly, DeviceModel{}, CloudModel{}, net_b);
+  const auto p = SimulatePipelinedFrames(pipelined, MakeArFrameWorkload(3.0), 100);
+
+  EXPECT_LT(p.mean_latency_ms, s.mean_latency_ms * 0.7)
+      << "pipelined=" << p.mean_latency_ms << " serial=" << s.mean_latency_ms;
+}
+
+TEST(PipelinedFrames, IdenticalWhenEverythingIsLocal) {
+  NetworkModel net_a(QuietNet(40), 13);
+  OffloadScheduler a(OffloadPolicy::kLocalOnly, DeviceModel{}, CloudModel{}, net_a);
+  const auto s = SimulateFrames(a, MakeArFrameWorkload(1.0), 50);
+  NetworkModel net_b(QuietNet(40), 13);
+  OffloadScheduler b(OffloadPolicy::kLocalOnly, DeviceModel{}, CloudModel{}, net_b);
+  const auto p = SimulatePipelinedFrames(b, MakeArFrameWorkload(1.0), 50);
+  EXPECT_NEAR(p.mean_latency_ms, s.mean_latency_ms, 1e-6);
+  EXPECT_EQ(p.hit_rate, s.hit_rate);
+}
+
+TEST(FrameWorkloadFactory, TrackingIsPinnedLocal) {
+  const auto w = MakeArFrameWorkload(1.0);
+  ASSERT_FALSE(w.tasks.empty());
+  EXPECT_EQ(w.tasks[0].name, "tracking");
+  EXPECT_FALSE(w.tasks[0].offloadable);
+}
+
+}  // namespace
+}  // namespace arbd::offload

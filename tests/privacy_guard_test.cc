@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/privacy_guard.h"
+#include "geo/city.h"
+
+namespace arbd::core {
+namespace {
+
+const geo::BBox kArea{22.0, 114.0, 23.0, 115.0};
+constexpr geo::LatLon kHere{22.5, 114.5};
+
+std::vector<std::pair<std::string, geo::LatLon>> Crowd(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<std::string, geo::LatLon>> users;
+  for (std::size_t i = 0; i < n; ++i) {
+    users.emplace_back("user-" + std::to_string(i),
+                       geo::Offset(kHere, rng.Uniform(0.0, 5000.0), rng.Uniform(0.0, 360.0)));
+  }
+  return users;
+}
+
+TEST(PrivacyGuard, DefaultPolicyIsExact) {
+  PrivacyGuard guard(kArea, 1);
+  const auto r = guard.Release("anyone", kHere);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->pos.lat, kHere.lat);
+  EXPECT_DOUBLE_EQ(r->expected_error_m, 0.0);
+  EXPECT_EQ(guard.releases(), 1u);
+}
+
+TEST(PrivacyGuard, GeoIndDegradesByEpsilon) {
+  PrivacyGuard guard(kArea, 2);
+  PrivacyPolicy policy;
+  policy.location = LocationPolicy::kGeoInd;
+  policy.geo_epsilon_per_m = 0.02;  // expected displacement 100 m
+  guard.SetPolicy("u", policy);
+
+  double sum = 0.0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    const auto r = guard.Release("u", kHere);
+    ASSERT_TRUE(r.ok());
+    sum += geo::DistanceM(kHere, r->pos);
+    EXPECT_DOUBLE_EQ(r->expected_error_m, 100.0);
+  }
+  EXPECT_NEAR(sum / n, 100.0, 10.0);
+}
+
+TEST(PrivacyGuard, CloakedReleasesRegionCenter) {
+  PrivacyGuard guard(kArea, 3);
+  const auto crowd = Crowd(100, 4);
+  guard.UpdatePopulation(crowd);
+  PrivacyPolicy policy;
+  policy.location = LocationPolicy::kCloaked;
+  policy.k = 10;
+  guard.SetPolicy("user-7", policy);
+
+  const auto r = guard.Release("user-7", crowd[7].second);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->expected_error_m, 0.0);
+  // The centre is not the true position (unless astronomically unlucky).
+  EXPECT_GT(geo::DistanceM(crowd[7].second, r->pos), 0.1);
+}
+
+TEST(PrivacyGuard, CloakFailsWithoutAnonymitySet) {
+  PrivacyGuard guard(kArea, 5);
+  guard.UpdatePopulation(Crowd(3, 6));
+  PrivacyPolicy policy;
+  policy.location = LocationPolicy::kCloaked;
+  policy.k = 50;
+  guard.SetPolicy("user-0", policy);
+  const auto r = guard.Release("user-0", kHere);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(PrivacyGuard, PoliciesArePerUser) {
+  PrivacyGuard guard(kArea, 7);
+  PrivacyPolicy noisy;
+  noisy.location = LocationPolicy::kGeoInd;
+  noisy.geo_epsilon_per_m = 0.001;
+  guard.SetPolicy("careful", noisy);
+
+  const auto exact = guard.Release("carefree", kHere);
+  const auto fuzzy = guard.Release("careful", kHere);
+  ASSERT_TRUE(exact.ok());
+  ASSERT_TRUE(fuzzy.ok());
+  EXPECT_DOUBLE_EQ(geo::DistanceM(kHere, exact->pos), 0.0);
+  EXPECT_GT(geo::DistanceM(kHere, fuzzy->pos), 10.0);
+}
+
+TEST(PrivacyGuard, ContextQualityDegradesWithPrivacy) {
+  // End-to-end cost of privacy: nearby-POI recall through the released
+  // location, per policy — the §4.3 utility knee at platform level.
+  const auto city = geo::CityModel::Generate(geo::CityConfig{}, 8);
+  PrivacyGuard guard(city.pois().bounds(), 9);
+  const geo::LatLon me = city.pois().All()[10]->pos;
+
+  auto recall_with = [&](PrivacyPolicy policy) {
+    guard.SetPolicy("u", policy);
+    const auto truth = city.pois().WithinRadius(me, 150.0);
+    double hits = 0.0;
+    const int trials = 30;
+    for (int i = 0; i < trials; ++i) {
+      const auto released = guard.Release("u", me);
+      if (!released.ok()) continue;
+      const auto got = city.pois().WithinRadius(released->pos, 150.0);
+      std::set<geo::PoiId> got_ids;
+      for (const auto* p : got) got_ids.insert(p->id);
+      std::size_t overlap = 0;
+      for (const auto* p : truth) overlap += got_ids.contains(p->id) ? 1 : 0;
+      hits += truth.empty() ? 1.0
+                            : static_cast<double>(overlap) / static_cast<double>(truth.size());
+    }
+    return hits / trials;
+  };
+
+  PrivacyPolicy exact;
+  PrivacyPolicy mild;
+  mild.location = LocationPolicy::kGeoInd;
+  mild.geo_epsilon_per_m = 0.05;  // ~40 m expected noise
+  PrivacyPolicy strong;
+  strong.location = LocationPolicy::kGeoInd;
+  strong.geo_epsilon_per_m = 0.002;  // ~1 km expected noise
+
+  const double r_exact = recall_with(exact);
+  const double r_mild = recall_with(mild);
+  const double r_strong = recall_with(strong);
+  EXPECT_DOUBLE_EQ(r_exact, 1.0);
+  EXPECT_GT(r_mild, r_strong);
+  EXPECT_LT(r_strong, 0.3) << "km-scale noise must destroy nearby-POI context";
+}
+
+}  // namespace
+}  // namespace arbd::core

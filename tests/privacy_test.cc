@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geo/city.h"
+#include "privacy/attack.h"
+#include "privacy/cloak.h"
+#include "privacy/mechanisms.h"
+
+namespace arbd::privacy {
+namespace {
+
+constexpr geo::LatLon kCenter{22.5, 114.5};
+const geo::BBox kBounds{22.0, 114.0, 23.0, 115.0};
+
+TEST(Budget, SpendsAndExhausts) {
+  PrivacyBudget budget(1.0);
+  EXPECT_TRUE(budget.Spend(0.4).ok());
+  EXPECT_TRUE(budget.Spend(0.6).ok());
+  EXPECT_NEAR(budget.remaining(), 0.0, 1e-12);
+  EXPECT_EQ(budget.Spend(0.1).code(), StatusCode::kResourceExhausted);
+}
+
+TEST(Budget, RejectsNonPositiveEpsilon) {
+  PrivacyBudget budget(1.0);
+  EXPECT_EQ(budget.Spend(0.0).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(budget.Spend(-1.0).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Laplace, NoiseScalesWithEpsilon) {
+  LaplaceMechanism mech(1);
+  auto mad = [&](double eps) {
+    double sum = 0.0;
+    const int n = 20'000;
+    for (int i = 0; i < n; ++i) sum += std::abs(mech.Noisy(0.0, 1.0, eps) - 0.0);
+    return sum / n;
+  };
+  // Mean |Lap(b)| = b = sensitivity/ε.
+  EXPECT_NEAR(mad(1.0), 1.0, 0.05);
+  EXPECT_NEAR(mad(0.1), 10.0, 0.5);
+}
+
+TEST(Laplace, ReleaseChargesBudget) {
+  LaplaceMechanism mech(2);
+  PrivacyBudget budget(0.5);
+  EXPECT_TRUE(mech.Release(100.0, 1.0, 0.3, budget).ok());
+  EXPECT_NEAR(budget.spent(), 0.3, 1e-12);
+  auto denied = mech.Release(100.0, 1.0, 0.3, budget);
+  EXPECT_FALSE(denied.ok());
+}
+
+TEST(Laplace, ReleaseRejectsBadSensitivity) {
+  LaplaceMechanism mech(3);
+  PrivacyBudget budget(1.0);
+  EXPECT_FALSE(mech.Release(1.0, 0.0, 0.1, budget).ok());
+}
+
+TEST(Laplace, NoiseIsUnbiased) {
+  LaplaceMechanism mech(4);
+  double sum = 0.0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) sum += mech.Noisy(42.0, 1.0, 0.5);
+  EXPECT_NEAR(sum / n, 42.0, 0.15);
+}
+
+TEST(GeoInd, MeanDisplacementMatchesTheory) {
+  GeoIndistinguishability gi(5);
+  for (double eps : {0.01, 0.05}) {
+    double sum = 0.0;
+    const int n = 5000;
+    for (int i = 0; i < n; ++i) {
+      sum += geo::DistanceM(kCenter, gi.Perturb(kCenter, eps));
+    }
+    const double expected = GeoIndistinguishability::ExpectedDisplacementM(eps);
+    EXPECT_NEAR(sum / n, expected, expected * 0.08) << "eps=" << eps;
+  }
+}
+
+TEST(GeoInd, SmallerEpsilonMeansMoreNoise) {
+  GeoIndistinguishability gi(6);
+  double strict = 0.0, loose = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    strict += geo::DistanceM(kCenter, gi.Perturb(kCenter, 0.005));
+    loose += geo::DistanceM(kCenter, gi.Perturb(kCenter, 0.1));
+  }
+  EXPECT_GT(strict, loose * 5.0);
+}
+
+std::vector<std::pair<std::string, geo::LatLon>> ClusteredUsers(std::size_t n,
+                                                                std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<std::string, geo::LatLon>> users;
+  for (std::size_t i = 0; i < n; ++i) {
+    users.emplace_back("user-" + std::to_string(i),
+                       geo::Offset(kCenter, rng.Uniform(0.0, 3000.0),
+                                   rng.Uniform(0.0, 360.0)));
+  }
+  return users;
+}
+
+TEST(Cloak, RegionContainsAtLeastK) {
+  KAnonymityCloak cloak(kBounds);
+  cloak.UpdatePopulation(ClusteredUsers(100, 7));
+  for (std::size_t k : {2u, 5u, 20u}) {
+    const auto region = cloak.Cloak("user-3", k);
+    ASSERT_TRUE(region.ok()) << k;
+    EXPECT_GE(region->population, k);
+  }
+}
+
+TEST(Cloak, LargerKMeansLargerRegion) {
+  KAnonymityCloak cloak(kBounds);
+  cloak.UpdatePopulation(ClusteredUsers(200, 8));
+  const auto small = cloak.Cloak("user-0", 2);
+  const auto large = cloak.Cloak("user-0", 100);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  EXPECT_GE(large->DiagonalM(), small->DiagonalM());
+}
+
+TEST(Cloak, UnknownUserFails) {
+  KAnonymityCloak cloak(kBounds);
+  cloak.UpdatePopulation(ClusteredUsers(10, 9));
+  EXPECT_EQ(cloak.Cloak("ghost", 2).status().code(), StatusCode::kNotFound);
+}
+
+TEST(Cloak, InsufficientPopulationFails) {
+  KAnonymityCloak cloak(kBounds);
+  cloak.UpdatePopulation(ClusteredUsers(3, 10));
+  EXPECT_EQ(cloak.Cloak("user-0", 10).status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(Cloak, RegionContainsTheUser) {
+  KAnonymityCloak cloak(kBounds);
+  const auto users = ClusteredUsers(50, 11);
+  cloak.UpdatePopulation(users);
+  const auto region = cloak.Cloak("user-7", 5);
+  ASSERT_TRUE(region.ok());
+  EXPECT_TRUE(region->box.Contains(users[7].second));
+}
+
+// Attack machinery: build regular commuters, then check the attacker.
+Trace CommuterTrace(const geo::LatLon& home, const geo::LatLon& work, Rng& rng,
+                    int days = 10) {
+  Trace t;
+  for (int d = 0; d < days; ++d) {
+    for (int i = 0; i < 5; ++i) {
+      t.push_back({geo::Offset(home, rng.Uniform(0.0, 120.0), rng.Uniform(0.0, 360.0))});
+    }
+    for (int i = 0; i < 5; ++i) {
+      t.push_back({geo::Offset(work, rng.Uniform(0.0, 120.0), rng.Uniform(0.0, 360.0))});
+    }
+  }
+  return t;
+}
+
+class AttackFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(12);
+    for (int u = 0; u < 40; ++u) {
+      const auto home = geo::Offset(kCenter, rng.Uniform(1000.0, 20'000.0),
+                                    rng.Uniform(0.0, 360.0));
+      const auto work = geo::Offset(kCenter, rng.Uniform(1000.0, 20'000.0),
+                                    rng.Uniform(0.0, 360.0));
+      homes_.push_back(home);
+      works_.push_back(work);
+      attacker_.Train("user-" + std::to_string(u), CommuterTrace(home, work, rng));
+    }
+  }
+
+  Trace FreshTrace(int user, std::uint64_t seed) {
+    Rng rng(seed);
+    return CommuterTrace(homes_[static_cast<std::size_t>(user)],
+                         works_[static_cast<std::size_t>(user)], rng, 3);
+  }
+
+  MobilityAttacker attacker_{6};
+  std::vector<geo::LatLon> homes_, works_;
+};
+
+TEST_F(AttackFixture, ReidentifiesRawTraces) {
+  std::vector<std::pair<std::string, Trace>> traces;
+  for (int u = 0; u < 40; ++u) {
+    traces.emplace_back("user-" + std::to_string(u), FreshTrace(u, 100 + u));
+  }
+  EXPECT_GT(attacker_.ReidentificationRate(traces), 0.85)
+      << "regular mobility must be identifying (González et al.)";
+}
+
+TEST_F(AttackFixture, GeoIndNoiseReducesReidentification) {
+  GeoIndistinguishability gi(13);
+  std::vector<std::pair<std::string, Trace>> raw, noisy;
+  for (int u = 0; u < 40; ++u) {
+    const Trace t = FreshTrace(u, 200 + u);
+    raw.emplace_back("user-" + std::to_string(u), t);
+    Trace perturbed;
+    for (const auto& p : t) {
+      perturbed.push_back({gi.Perturb(p.pos, 0.0003)});  // ~6.7 km expected noise
+    }
+    noisy.emplace_back("user-" + std::to_string(u), perturbed);
+  }
+  const double raw_rate = attacker_.ReidentificationRate(raw);
+  const double noisy_rate = attacker_.ReidentificationRate(noisy);
+  EXPECT_LT(noisy_rate, raw_rate * 0.6)
+      << "raw=" << raw_rate << " noisy=" << noisy_rate;
+}
+
+TEST(Attacker, EmptyTracesHandled) {
+  MobilityAttacker attacker;
+  EXPECT_EQ(attacker.Identify({}), "");
+  EXPECT_DOUBLE_EQ(attacker.ReidentificationRate({}), 0.0);
+}
+
+}  // namespace
+}  // namespace arbd::privacy

@@ -1,0 +1,197 @@
+// Cross-cutting property tests: invariants that must hold across randomized
+// inputs and parameter sweeps, beyond the per-module example-based tests.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ar/layout.h"
+#include "common/rng.h"
+#include "geo/geohash.h"
+#include "geo/quadtree.h"
+#include "stream/dataflow.h"
+
+namespace arbd {
+namespace {
+
+// --- Checkpoint/restore equivalence ---------------------------------
+// Restoring a pipeline mid-stream and continuing must produce exactly the
+// same window results as an uninterrupted run, for any cut point.
+class CheckpointEquivalence : public ::testing::TestWithParam<std::size_t> {};
+
+std::vector<stream::Event> RandomEvents(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<stream::Event> out;
+  TimePoint t;
+  for (std::size_t i = 0; i < n; ++i) {
+    t += Duration::Millis(static_cast<std::int64_t>(rng.NextBelow(80)));
+    stream::Event e;
+    e.key = "k" + std::to_string(rng.NextBelow(4));
+    e.attribute = "m";
+    e.value = rng.Uniform(-10.0, 10.0);
+    e.event_time = t;
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+std::unique_ptr<stream::Pipeline> BuildPipeline(
+    std::vector<stream::WindowResult>* sink) {
+  auto p = std::make_unique<stream::Pipeline>(Duration::Millis(40));
+  p->WindowAggregate(stream::WindowSpec::Tumbling(Duration::Millis(500)),
+                     stream::AggKind::kSum)
+      .Sink([sink](const stream::WindowResult& r) { sink->push_back(r); });
+  return p;
+}
+
+TEST_P(CheckpointEquivalence, ResultsIdenticalAcrossCutPoints) {
+  const std::size_t cut = GetParam();
+  const auto events = RandomEvents(500, 42);
+
+  std::vector<stream::WindowResult> uninterrupted;
+  auto a = BuildPipeline(&uninterrupted);
+  for (const auto& e : events) a->Push(e);
+  a->Flush();
+
+  std::vector<stream::WindowResult> resumed;
+  auto b = BuildPipeline(&resumed);
+  for (std::size_t i = 0; i < cut && i < events.size(); ++i) b->Push(events[i]);
+  const Bytes snapshot = b->Checkpoint();
+  auto c = BuildPipeline(&resumed);  // sink is shared; b's results stay
+  ASSERT_TRUE(c->Restore(snapshot).ok());
+  for (std::size_t i = cut; i < events.size(); ++i) c->Push(events[i]);
+  c->Flush();
+
+  ASSERT_EQ(resumed.size(), uninterrupted.size());
+  for (std::size_t i = 0; i < resumed.size(); ++i) {
+    EXPECT_EQ(resumed[i].key, uninterrupted[i].key) << i;
+    EXPECT_EQ(resumed[i].window_start, uninterrupted[i].window_start) << i;
+    EXPECT_DOUBLE_EQ(resumed[i].value, uninterrupted[i].value) << i;
+    EXPECT_EQ(resumed[i].count, uninterrupted[i].count) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CutPoints, CheckpointEquivalence,
+                         ::testing::Values(0, 1, 57, 123, 250, 499, 500));
+
+// --- Geohash containment ---------------------------------------------
+class GeohashContainment : public ::testing::TestWithParam<int> {};
+
+TEST_P(GeohashContainment, CellContainsItsPoint) {
+  const int precision = GetParam();
+  Rng rng(static_cast<std::uint64_t>(precision));
+  for (int i = 0; i < 200; ++i) {
+    const geo::LatLon p{rng.Uniform(-89.9, 89.9), rng.Uniform(-179.9, 179.9)};
+    const std::string h = geo::GeohashEncode(p, precision);
+    EXPECT_EQ(static_cast<int>(h.size()), precision);
+    const auto cell = geo::GeohashCell(h);
+    ASSERT_TRUE(cell.ok());
+    EXPECT_TRUE(cell->Contains(p)) << h << " " << p.ToString();
+    // Decoded centre re-encodes to the same hash.
+    EXPECT_EQ(geo::GeohashEncode(*geo::GeohashDecode(h), precision), h);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Precisions, GeohashContainment,
+                         ::testing::Values(1, 3, 5, 7, 9, 12));
+
+// --- k-NN exactness across k ------------------------------------------
+class KnnExactness : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(KnnExactness, MatchesBruteForceOrder) {
+  const std::size_t k = GetParam();
+  const geo::BBox bounds{0.0, 0.0, 10.0, 10.0};
+  geo::QuadTree qt(bounds, 8);
+  Rng rng(k);
+  std::vector<std::pair<std::uint64_t, geo::LatLon>> pts;
+  for (std::uint64_t i = 1; i <= 400; ++i) {
+    const geo::LatLon p{rng.Uniform(0.0, 10.0), rng.Uniform(0.0, 10.0)};
+    qt.Insert(i, p);
+    pts.emplace_back(i, p);
+  }
+  const geo::LatLon probe{5.0, 5.0};
+  const auto knn = qt.QueryKnn(probe, k);
+  ASSERT_EQ(knn.size(), std::min<std::size_t>(k, pts.size()));
+
+  std::vector<std::pair<double, std::uint64_t>> brute;
+  for (const auto& [id, p] : pts) brute.emplace_back(geo::DistanceM(probe, p), id);
+  std::sort(brute.begin(), brute.end());
+  for (std::size_t i = 0; i < knn.size(); ++i) EXPECT_EQ(knn[i], brute[i].second) << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, KnnExactness, ::testing::Values(1, 2, 7, 50, 400, 1000));
+
+// --- Layout safety across seeds ---------------------------------------
+class LayoutSafety : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LayoutSafety, LabelsOnScreenAndDisjoint) {
+  Rng rng(GetParam());
+  std::vector<ar::content::Annotation> storage(200);
+  std::vector<ar::ClassifiedAnnotation> cands;
+  ar::CameraIntrinsics intr;
+  for (std::size_t i = 0; i < storage.size(); ++i) {
+    storage[i].priority = rng.NextDouble();
+    ar::ClassifiedAnnotation c;
+    c.annotation = &storage[i];
+    c.visibility = rng.Bernoulli(0.3) ? ar::Visibility::kOccluded : ar::Visibility::kVisible;
+    c.screen.x = rng.Uniform(-100.0, intr.width_px + 100.0);
+    c.screen.y = rng.Uniform(-100.0, intr.height_px + 100.0);
+    c.distance_m = rng.Uniform(1.0, 200.0);
+    cands.push_back(c);
+  }
+  ar::LayoutConfig cfg;
+  const auto r = ar::LabelLayout(cfg).Arrange(cands, intr);
+  EXPECT_DOUBLE_EQ(r.overlap_ratio, 0.0);
+  EXPECT_LE(r.placed, cfg.max_labels);
+  for (const auto& box : r.labels) {
+    EXPECT_GE(box.x, 0.0);
+    EXPECT_GE(box.y, 0.0);
+    EXPECT_LE(box.x + box.width, intr.width_px);
+    EXPECT_LE(box.y + box.height, intr.height_px);
+  }
+  EXPECT_EQ(r.placed + r.dropped, r.candidates);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LayoutSafety, ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// --- Window-results conservation under random window specs -------------
+class WindowConservation
+    : public ::testing::TestWithParam<std::pair<std::int64_t, std::int64_t>> {};
+
+TEST_P(WindowConservation, SlidingCountsEqualOverlapFactor) {
+  // Every on-time event lands in exactly size/slide sliding windows, so
+  // total counted = events × overlap factor (for slide dividing size).
+  const auto [size_ms, slide_ms] = GetParam();
+  stream::Pipeline p(Duration::Millis(100));
+  double total = 0.0;
+  p.WindowAggregate(stream::WindowSpec::Sliding(Duration::Millis(size_ms),
+                                                Duration::Millis(slide_ms)),
+                    stream::AggKind::kCount)
+      .Sink([&](const stream::WindowResult& r) { total += r.value; });
+  const auto events = RandomEvents(400, static_cast<std::uint64_t>(size_ms));
+  for (const auto& e : events) p.Push(e);
+  p.Flush();
+  const double factor = static_cast<double>(size_ms) / static_cast<double>(slide_ms);
+  EXPECT_DOUBLE_EQ(total + static_cast<double>(p.late_dropped()) * factor,
+                   400.0 * factor);
+}
+
+INSTANTIATE_TEST_SUITE_P(Specs, WindowConservation,
+                         ::testing::Values(std::pair<std::int64_t, std::int64_t>{1000, 500},
+                                           std::pair<std::int64_t, std::int64_t>{2000, 1000},
+                                           std::pair<std::int64_t, std::int64_t>{1500, 500},
+                                           std::pair<std::int64_t, std::int64_t>{3000, 750}));
+
+// --- Determinism: same seed, same world --------------------------------
+TEST(Determinism, WorkloadsAreReproducible) {
+  for (std::uint64_t seed : {1ULL, 99ULL, 12345ULL}) {
+    Rng a(seed), b(seed);
+    ZipfGenerator zipf(100, 1.1);
+    for (int i = 0; i < 1000; ++i) {
+      ASSERT_EQ(zipf.Next(a), zipf.Next(b));
+      ASSERT_DOUBLE_EQ(a.Gaussian(), b.Gaussian());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace arbd

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "geo/quadtree.h"
+
+namespace arbd::geo {
+namespace {
+
+const BBox kBounds{22.0, 114.0, 23.0, 115.0};
+
+std::vector<std::pair<std::uint64_t, LatLon>> RandomPoints(std::size_t n,
+                                                           std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<std::uint64_t, LatLon>> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.emplace_back(i + 1, LatLon{rng.Uniform(kBounds.min_lat, kBounds.max_lat),
+                                   rng.Uniform(kBounds.min_lon, kBounds.max_lon)});
+  }
+  return pts;
+}
+
+TEST(QuadTree, InsertAndSize) {
+  QuadTree qt(kBounds);
+  EXPECT_TRUE(qt.Insert(1, {22.5, 114.5}));
+  EXPECT_TRUE(qt.Insert(2, {22.6, 114.6}));
+  EXPECT_EQ(qt.size(), 2u);
+}
+
+TEST(QuadTree, RejectsOutOfBounds) {
+  QuadTree qt(kBounds);
+  EXPECT_FALSE(qt.Insert(1, {50.0, 10.0}));
+  EXPECT_EQ(qt.size(), 0u);
+}
+
+TEST(QuadTree, RemoveExistingAndMissing) {
+  QuadTree qt(kBounds);
+  const LatLon p{22.5, 114.5};
+  qt.Insert(1, p);
+  EXPECT_TRUE(qt.Remove(1, p));
+  EXPECT_FALSE(qt.Remove(1, p));
+  EXPECT_EQ(qt.size(), 0u);
+}
+
+TEST(QuadTree, SplitsBeyondCapacity) {
+  QuadTree qt(kBounds, /*node_capacity=*/4);
+  const auto pts = RandomPoints(100, 1);
+  for (const auto& [id, p] : pts) qt.Insert(id, p);
+  EXPECT_GT(qt.depth(), 1);
+  EXPECT_EQ(qt.size(), 100u);
+}
+
+TEST(QuadTree, BBoxQueryMatchesBruteForce) {
+  QuadTree qt(kBounds);
+  const auto pts = RandomPoints(500, 2);
+  for (const auto& [id, p] : pts) qt.Insert(id, p);
+  const BBox query{22.3, 114.2, 22.7, 114.8};
+
+  std::set<std::uint64_t> expected;
+  for (const auto& [id, p] : pts) {
+    if (query.Contains(p)) expected.insert(id);
+  }
+  const auto got = qt.QueryBBox(query);
+  EXPECT_EQ(std::set<std::uint64_t>(got.begin(), got.end()), expected);
+}
+
+TEST(QuadTree, RadiusQueryMatchesBruteForce) {
+  QuadTree qt(kBounds);
+  const auto pts = RandomPoints(500, 3);
+  for (const auto& [id, p] : pts) qt.Insert(id, p);
+  const LatLon center{22.5, 114.5};
+  const double radius = 15'000.0;
+
+  std::set<std::uint64_t> expected;
+  for (const auto& [id, p] : pts) {
+    if (DistanceM(center, p) <= radius) expected.insert(id);
+  }
+  const auto got = qt.QueryRadius(center, radius);
+  EXPECT_EQ(std::set<std::uint64_t>(got.begin(), got.end()), expected);
+}
+
+TEST(QuadTree, KnnExactOrder) {
+  QuadTree qt(kBounds);
+  const auto pts = RandomPoints(300, 4);
+  std::map<std::uint64_t, LatLon> by_id;
+  for (const auto& [id, p] : pts) {
+    qt.Insert(id, p);
+    by_id[id] = p;
+  }
+  const LatLon center{22.42, 114.37};
+  const auto knn = qt.QueryKnn(center, 10);
+  ASSERT_EQ(knn.size(), 10u);
+
+  // Results must be sorted by distance and match brute force.
+  std::vector<std::pair<double, std::uint64_t>> brute;
+  for (const auto& [id, p] : pts) brute.emplace_back(DistanceM(center, p), id);
+  std::sort(brute.begin(), brute.end());
+  for (std::size_t i = 0; i < knn.size(); ++i) {
+    EXPECT_EQ(knn[i], brute[i].second) << "rank " << i;
+  }
+}
+
+TEST(QuadTree, KnnWithKLargerThanSize) {
+  QuadTree qt(kBounds);
+  qt.Insert(1, {22.1, 114.1});
+  qt.Insert(2, {22.2, 114.2});
+  EXPECT_EQ(qt.QueryKnn({22.15, 114.15}, 50).size(), 2u);
+}
+
+TEST(QuadTree, EmptyTreeQueries) {
+  QuadTree qt(kBounds);
+  EXPECT_TRUE(qt.QueryBBox(kBounds).empty());
+  EXPECT_TRUE(qt.QueryRadius({22.5, 114.5}, 1e6).empty());
+  EXPECT_TRUE(qt.QueryKnn({22.5, 114.5}, 3).empty());
+}
+
+TEST(QuadTree, DuplicatePositionsSupported) {
+  QuadTree qt(kBounds, 2, 6);
+  const LatLon p{22.5, 114.5};
+  // More duplicates than node capacity: the depth cap must stop splitting.
+  for (std::uint64_t i = 0; i < 50; ++i) EXPECT_TRUE(qt.Insert(i, p));
+  EXPECT_EQ(qt.size(), 50u);
+  EXPECT_EQ(qt.QueryRadius(p, 1.0).size(), 50u);
+  EXPECT_LE(qt.depth(), 7);
+}
+
+TEST(BBoxDistance, InsideIsZero) {
+  EXPECT_DOUBLE_EQ(BBoxDistanceM(kBounds, {22.5, 114.5}), 0.0);
+}
+
+TEST(BBoxDistance, OutsideIsPositive) {
+  const double d = BBoxDistanceM(kBounds, {23.5, 114.5});
+  EXPECT_NEAR(d, DistanceM({23.5, 114.5}, {23.0, 114.5}), 1.0);
+}
+
+// Property sweep: radius queries match brute force across radii.
+class RadiusProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(RadiusProperty, MatchesBruteForce) {
+  QuadTree qt(kBounds, 8);
+  const auto pts = RandomPoints(400, 99);
+  for (const auto& [id, p] : pts) qt.Insert(id, p);
+  const LatLon center{22.5, 114.5};
+  const double radius = GetParam();
+
+  std::set<std::uint64_t> expected;
+  for (const auto& [id, p] : pts) {
+    if (DistanceM(center, p) <= radius) expected.insert(id);
+  }
+  const auto got = qt.QueryRadius(center, radius);
+  EXPECT_EQ(std::set<std::uint64_t>(got.begin(), got.end()), expected) << radius;
+}
+
+INSTANTIATE_TEST_SUITE_P(Radii, RadiusProperty,
+                         ::testing::Values(100.0, 1'000.0, 5'000.0, 20'000.0, 80'000.0));
+
+}  // namespace
+}  // namespace arbd::geo

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ar/registration.h"
+
+namespace arbd::ar {
+namespace {
+
+SimilarityTransform GroundTruth() {
+  SimilarityTransform t;
+  t.theta_rad = 0.35;
+  t.scale = 1.0;
+  t.tx = 12.0;
+  t.ty = -7.5;
+  return t;
+}
+
+std::vector<Correspondence> CleanMatches(const SimilarityTransform& t, std::size_t n,
+                                         Rng& rng, double noise = 0.0) {
+  std::vector<Correspondence> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    Correspondence c;
+    c.model = {rng.Uniform(-50.0, 50.0), rng.Uniform(-50.0, 50.0)};
+    c.observed = t.Apply(c.model);
+    c.observed.x += rng.Gaussian(0.0, noise);
+    c.observed.y += rng.Gaussian(0.0, noise);
+    out.push_back(c);
+  }
+  return out;
+}
+
+TEST(Similarity, ApplyIdentityIsNoop) {
+  const Point2 p{3.0, 4.0};
+  const Point2 q = SimilarityTransform::Identity().Apply(p);
+  EXPECT_DOUBLE_EQ(q.x, 3.0);
+  EXPECT_DOUBLE_EQ(q.y, 4.0);
+}
+
+TEST(FitSimilarityTest, ExactRecoveryFromCleanPoints) {
+  Rng rng(1);
+  const auto truth = GroundTruth();
+  const auto matches = CleanMatches(truth, 10, rng);
+  const auto fit = FitSimilarity(matches);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->theta_rad, truth.theta_rad, 1e-9);
+  EXPECT_NEAR(fit->tx, truth.tx, 1e-9);
+  EXPECT_NEAR(fit->ty, truth.ty, 1e-9);
+  EXPECT_DOUBLE_EQ(fit->scale, 1.0);  // rigid fit keeps scale pinned
+}
+
+TEST(FitSimilarityTest, RecoversScaleWhenAsked) {
+  Rng rng(2);
+  SimilarityTransform truth = GroundTruth();
+  truth.scale = 2.5;
+  const auto matches = CleanMatches(truth, 10, rng);
+  const auto fit = FitSimilarity(matches, /*estimate_scale=*/true);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->scale, 2.5, 1e-9);
+  EXPECT_NEAR(fit->theta_rad, truth.theta_rad, 1e-9);
+}
+
+TEST(FitSimilarityTest, NoisyFitIsUnbiased) {
+  Rng rng(3);
+  const auto truth = GroundTruth();
+  const auto matches = CleanMatches(truth, 200, rng, /*noise=*/0.3);
+  const auto fit = FitSimilarity(matches);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->theta_rad, truth.theta_rad, 0.01);
+  EXPECT_NEAR(fit->tx, truth.tx, 0.2);
+  EXPECT_NEAR(fit->ty, truth.ty, 0.2);
+}
+
+TEST(FitSimilarityTest, RejectsDegenerateInput) {
+  EXPECT_FALSE(FitSimilarity({}).ok());
+  EXPECT_FALSE(FitSimilarity({Correspondence{{1, 1}, {2, 2}}}).ok());
+  // Coincident model points carry no orientation information.
+  const std::vector<Correspondence> coincident = {
+      {{5.0, 5.0}, {1.0, 1.0}},
+      {{5.0, 5.0}, {2.0, 2.0}},
+  };
+  EXPECT_FALSE(FitSimilarity(coincident).ok());
+}
+
+TEST(Ransac, PerfectDataAllInliers) {
+  Rng rng(4);
+  const auto truth = GroundTruth();
+  const auto matches = CleanMatches(truth, 20, rng);
+  RansacConfig cfg;
+  const auto result = RegisterRansac(matches, cfg, rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->inlier_count, 20u);
+  EXPECT_NEAR(result->transform.theta_rad, truth.theta_rad, 1e-6);
+  EXPECT_LT(result->rms_error, 1e-9);
+}
+
+TEST(Ransac, SurvivesHeavyOutliers) {
+  Rng rng(5);
+  const auto truth = GroundTruth();
+  auto matches = CleanMatches(truth, 20, rng, /*noise=*/0.05);
+  // 40% outliers: feature mismatches landing anywhere.
+  for (int i = 0; i < 13; ++i) {
+    Correspondence bad;
+    bad.model = {rng.Uniform(-50.0, 50.0), rng.Uniform(-50.0, 50.0)};
+    bad.observed = {rng.Uniform(-80.0, 80.0), rng.Uniform(-80.0, 80.0)};
+    matches.push_back(bad);
+  }
+  RansacConfig cfg;
+  cfg.iterations = 256;
+  const auto result = RegisterRansac(matches, cfg, rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->inlier_count, 18u);
+  EXPECT_LE(result->inlier_count, 22u);  // outliers must not be absorbed
+  EXPECT_NEAR(result->transform.theta_rad, truth.theta_rad, 0.02);
+  EXPECT_NEAR(result->transform.tx, truth.tx, 0.5);
+
+  // A plain least-squares fit on the same data is dragged off target —
+  // the reason RANSAC exists.
+  const auto naive = FitSimilarity(matches);
+  ASSERT_TRUE(naive.ok());
+  const double naive_err = std::abs(naive->tx - truth.tx) + std::abs(naive->ty - truth.ty);
+  const double ransac_err = std::abs(result->transform.tx - truth.tx) +
+                            std::abs(result->transform.ty - truth.ty);
+  EXPECT_GT(naive_err, ransac_err * 3.0);
+}
+
+TEST(Ransac, FailsWithoutConsensus) {
+  Rng rng(6);
+  // Pure noise: no transform explains ≥ min_inliers points.
+  std::vector<Correspondence> garbage;
+  for (int i = 0; i < 12; ++i) {
+    garbage.push_back({{rng.Uniform(-50.0, 50.0), rng.Uniform(-50.0, 50.0)},
+                       {rng.Uniform(-50.0, 50.0), rng.Uniform(-50.0, 50.0)}});
+  }
+  RansacConfig cfg;
+  cfg.min_inliers = 6;
+  cfg.inlier_threshold_m = 0.1;
+  const auto result = RegisterRansac(garbage, cfg, rng);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(Ransac, TooFewMatchesRejected) {
+  Rng rng(7);
+  RansacConfig cfg;
+  EXPECT_FALSE(RegisterRansac({Correspondence{{0, 0}, {1, 1}}}, cfg, rng).ok());
+}
+
+}  // namespace
+}  // namespace arbd::ar

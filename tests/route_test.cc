@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geo/route.h"
+
+namespace arbd::geo {
+namespace {
+
+class RouteFixture : public ::testing::Test {
+ protected:
+  RouteFixture() : city_(CityModel::Generate(MakeConfig(), 71)), planner_(city_) {}
+
+  static CityConfig MakeConfig() {
+    CityConfig cfg;
+    cfg.blocks_x = 6;
+    cfg.blocks_y = 4;
+    return cfg;
+  }
+
+  double Pitch() const {
+    return city_.config().block_size_m + city_.config().street_width_m;
+  }
+
+  CityModel city_;
+  RoutePlanner planner_;
+};
+
+TEST_F(RouteFixture, GraphDimensionsMatchGrid) {
+  EXPECT_EQ(planner_.node_count(), 7u * 5u);
+  // Grid edges: ny*(nx-1) horizontal + nx*(ny-1) vertical.
+  EXPECT_EQ(planner_.edge_count(), 5u * 6u + 7u * 4u);
+}
+
+TEST_F(RouteFixture, NearestNodeSnaps) {
+  const RouteNode& n = planner_.node(planner_.NearestNode(0.0, 0.0));
+  EXPECT_LT(std::hypot(n.east, n.north), Pitch());
+}
+
+TEST_F(RouteFixture, TrivialRouteIsZeroLegs) {
+  const auto& n = planner_.node(0);
+  const auto route = planner_.PlanEnu(n.east, n.north, n.east, n.north);
+  ASSERT_TRUE(route.ok());
+  EXPECT_EQ(route->nodes.size(), 1u);
+  EXPECT_NEAR(route->length_m, 0.0, 1e-9);
+}
+
+TEST_F(RouteFixture, StraightLineAlongStreet) {
+  // Two intersections on the same row, 3 blocks apart.
+  const auto& a = planner_.node(0);
+  const auto& b = planner_.node(3);
+  const auto route = planner_.PlanEnu(a.east, a.north, b.east, b.north);
+  ASSERT_TRUE(route.ok());
+  EXPECT_EQ(route->nodes.size(), 4u);
+  EXPECT_NEAR(route->length_m, 3.0 * Pitch(), 1.0);
+}
+
+TEST_F(RouteFixture, ManhattanOptimality) {
+  // Diagonal corner-to-corner: shortest street route is the Manhattan
+  // distance (dx + dy), no detours.
+  const auto& a = planner_.node(0);                      // SW corner
+  const RouteNodeId far_id = static_cast<RouteNodeId>(planner_.node_count() - 1);
+  const auto& b = planner_.node(far_id);                 // NE corner
+  const auto route = planner_.PlanEnu(a.east, a.north, b.east, b.north);
+  ASSERT_TRUE(route.ok());
+  const double manhattan = std::abs(b.east - a.east) + std::abs(b.north - a.north);
+  EXPECT_NEAR(route->length_m, manhattan, 1.0);
+}
+
+TEST_F(RouteFixture, WalkingDistanceAtLeastCrowFlies) {
+  Rng rng(5);
+  for (int i = 0; i < 30; ++i) {
+    const LatLon from = city_.frame().FromEnu(
+        Enu{rng.Uniform(-200.0, 200.0), rng.Uniform(-150.0, 150.0)});
+    const LatLon to = city_.frame().FromEnu(
+        Enu{rng.Uniform(-200.0, 200.0), rng.Uniform(-150.0, 150.0)});
+    const auto walk = planner_.WalkingDistanceM(from, to);
+    ASSERT_TRUE(walk.ok());
+    // Snap legs can add up to ~a block on each end; the street path itself
+    // must dominate the crow-flies distance minus that slack.
+    EXPECT_GE(*walk + 2.0 * Pitch(), DistanceM(from, to));
+  }
+}
+
+TEST_F(RouteFixture, BlockedEdgeForcesDetour) {
+  const auto& a = planner_.node(0);
+  const auto& b = planner_.node(1);
+  const auto direct = planner_.PlanEnu(a.east, a.north, b.east, b.north);
+  ASSERT_TRUE(direct.ok());
+
+  ASSERT_TRUE(planner_.BlockEdge(0, 1).ok());
+  const auto detour = planner_.PlanEnu(a.east, a.north, b.east, b.north);
+  ASSERT_TRUE(detour.ok());
+  EXPECT_GT(detour->length_m, direct->length_m * 2.5);
+
+  ASSERT_TRUE(planner_.UnblockEdge(0, 1).ok());
+  const auto again = planner_.PlanEnu(a.east, a.north, b.east, b.north);
+  ASSERT_TRUE(again.ok());
+  EXPECT_NEAR(again->length_m, direct->length_m, 1e-9);
+}
+
+TEST_F(RouteFixture, BlockingNonAdjacentFails) {
+  EXPECT_EQ(planner_.BlockEdge(0, 5).code(), StatusCode::kNotFound);
+  EXPECT_EQ(planner_.UnblockEdge(0, 999999).code(), StatusCode::kNotFound);
+}
+
+TEST_F(RouteFixture, FullyBlockedIsUnavailable) {
+  // Cut node 0 off entirely (it has exactly two incident streets).
+  ASSERT_TRUE(planner_.BlockEdge(0, 1).ok());
+  ASSERT_TRUE(planner_.BlockEdge(0, 7).ok());  // nx = 7
+  const auto& a = planner_.node(0);
+  const auto& b = planner_.node(10);
+  // Plan from exactly node 0's position so the snap picks node 0.
+  const auto route = planner_.PlanEnu(a.east, a.north, b.east, b.north);
+  EXPECT_FALSE(route.ok());
+  EXPECT_EQ(route.status().code(), StatusCode::kUnavailable);
+}
+
+TEST_F(RouteFixture, RouteNodesAreAdjacentSteps) {
+  const auto& a = planner_.node(0);
+  const RouteNodeId far_id = static_cast<RouteNodeId>(planner_.node_count() - 1);
+  const auto& b = planner_.node(far_id);
+  const auto route = planner_.PlanEnu(a.east, a.north, b.east, b.north);
+  ASSERT_TRUE(route.ok());
+  for (std::size_t i = 1; i < route->nodes.size(); ++i) {
+    const auto& p = planner_.node(route->nodes[i - 1]);
+    const auto& q = planner_.node(route->nodes[i]);
+    const double step = std::hypot(p.east - q.east, p.north - q.north);
+    EXPECT_NEAR(step, Pitch(), 1.0) << "hop " << i << " must be one street segment";
+  }
+}
+
+}  // namespace
+}  // namespace arbd::geo

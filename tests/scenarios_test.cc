@@ -1,0 +1,350 @@
+#include <gtest/gtest.h>
+
+#include "scenarios/healthcare.h"
+#include "scenarios/retail.h"
+#include "scenarios/tourism.h"
+#include "scenarios/transport.h"
+
+namespace arbd::scenarios {
+namespace {
+
+TEST(StoreModel, GeneratesConfiguredCatalog) {
+  StoreModel::Config cfg;
+  cfg.aisles = 3;
+  cfg.shelves_per_aisle = 4;
+  cfg.products_per_shelf = 5;
+  const auto store = StoreModel::Generate(cfg, 1);
+  EXPECT_EQ(store.shelves().size(), 12u);
+  EXPECT_EQ(store.products().size(), 60u);
+  EXPECT_NE(store.FindSku("sku0"), nullptr);
+  EXPECT_EQ(store.FindSku("nope"), nullptr);
+}
+
+TEST(StoreModel, OcclusionByInterveningShelf) {
+  StoreModel::Config cfg;
+  cfg.aisles = 3;
+  const auto store = StoreModel::Generate(cfg, 2);
+  // A product in the last aisle viewed from before the first aisle must be
+  // blocked by shelves in between.
+  const Product* far_product = nullptr;
+  for (const auto& p : store.products()) {
+    if (p.east > 7.0) {
+      far_product = &p;
+      break;
+    }
+  }
+  ASSERT_NE(far_product, nullptr);
+  EXPECT_TRUE(store.IsOccluded(-3.0, far_product->north, 1.6, *far_product));
+}
+
+TEST(ProductSearch, XrayFindsFasterThanSweep) {
+  StoreModel::Config cfg;
+  cfg.aisles = 6;
+  cfg.shelves_per_aisle = 8;
+  const auto store = StoreModel::Generate(cfg, 3);
+  // A product deep in the store.
+  const std::string sku = store.products()[store.products().size() - 5].sku;
+
+  SearchConfig with_xray;
+  with_xray.xray_enabled = true;
+  with_xray.guided = true;
+  SearchConfig without;
+  without.xray_enabled = false;
+  without.guided = false;
+
+  const auto fast = SimulateProductSearch(store, sku, with_xray, 4);
+  const auto slow = SimulateProductSearch(store, sku, without, 4);
+  ASSERT_TRUE(fast.found);
+  ASSERT_TRUE(slow.found);
+  EXPECT_LT(fast.time_to_find.seconds(), slow.time_to_find.seconds());
+}
+
+TEST(ProductSearch, MissingSkuNotFound) {
+  const auto store = StoreModel::Generate({}, 5);
+  const auto r = SimulateProductSearch(store, "missing", {}, 6);
+  EXPECT_FALSE(r.found);
+}
+
+TEST(RecoSweep, CfOvertakesPopularityPastColdStart) {
+  // The E6 crossover: with little data, global popularity beats CF (cold
+  // start — "AR is less attractive without adequate customer data"); with
+  // volume, personalization wins decisively.
+  analytics::RetailWorkloadConfig wl;
+  wl.users = 80;
+  wl.items = 160;
+  wl.clusters = 4;
+  const auto sweep = RunRecommendationSweep(wl, {200, 20'000}, 10, 7);
+  ASSERT_EQ(sweep.size(), 2u);
+  EXPECT_GT(sweep[0].pop_precision, sweep[0].cf_precision)
+      << "at 200 events popularity should still win (cold start)";
+  EXPECT_GT(sweep[1].cf_precision, sweep[1].pop_precision * 1.5)
+      << "at 20k events CF must beat popularity clearly";
+  EXPECT_GT(sweep[1].cf_hit_rate, sweep[1].pop_hit_rate);
+}
+
+TEST(TouristGuideTest, EmitsPlaceCardsNearPois) {
+  const auto city = geo::CityModel::Generate(geo::CityConfig{}, 8);
+  TouristGuide guide(city, TourismConfig{}, 9);
+  const geo::LatLon at = city.pois().All().front()->pos;
+  const auto annotations = guide.Update(at, TimePoint{});
+  EXPECT_FALSE(annotations.empty());
+  EXPECT_LE(annotations.size(), TourismConfig{}.max_place_cards * 2u);
+}
+
+TEST(TouristGuideTest, TranslationOverlayAppears) {
+  const auto city = geo::CityModel::Generate(geo::CityConfig{}, 10);
+  TourismConfig guide_cfg;
+  guide_cfg.max_place_cards = 500;  // keep every nearby card so the signed POI shows
+  TouristGuide guide(city, guide_cfg, 11);
+  const geo::Poi* poi = city.pois().All().front();
+  guide.AddSign({poi->id, "出口", "Exit"});
+  const auto annotations = guide.Update(poi->pos, TimePoint{});
+  bool translated = false;
+  for (const auto& a : annotations) {
+    if (a.type == ar::content::SemanticType::kTranslation) {
+      translated = true;
+      EXPECT_EQ(a.title, "Exit");
+    }
+  }
+  EXPECT_TRUE(translated);
+}
+
+TEST(TouristGuideTest, RestRecommendationAfterWalking) {
+  const auto city = geo::CityModel::Generate(geo::CityConfig{}, 12);
+  TourismConfig cfg;
+  cfg.rest_recommend_after_m = 100.0;
+  TouristGuide guide(city, cfg, 13);
+  const geo::LatLon start = city.frame().FromEnu(geo::Enu{0.0, 0.0});
+  guide.Update(start, TimePoint{});
+  // Walk 150 m in 3 hops.
+  bool recommended = false;
+  for (int i = 1; i <= 3; ++i) {
+    const auto annotations =
+        guide.Update(geo::Offset(start, i * 50.0, 90.0), TimePoint::FromSeconds(i));
+    for (const auto& a : annotations) {
+      recommended |= a.type == ar::content::SemanticType::kRecommendation;
+    }
+  }
+  EXPECT_TRUE(recommended);
+  EXPECT_NEAR(guide.distance_walked_m(), 150.0, 1.0);
+}
+
+TEST(PortalGameTest, CapturesWithinRange) {
+  const auto city = geo::CityModel::Generate(geo::CityConfig{}, 14);
+  PortalGame game(city, 25.0, 15);
+  ASSERT_GT(game.portal_count(), 0u);
+  // Find one portal's POI and stand on it.
+  geo::PoiId portal = 0;
+  for (const auto* poi : city.pois().All()) {
+    if (poi->category == geo::PoiCategory::kLandmark ||
+        poi->category == geo::PoiCategory::kMuseum) {
+      portal = poi->id;
+      break;
+    }
+  }
+  ASSERT_NE(portal, 0u);
+  const auto captured = game.Visit("player", (*city.pois().Get(portal))->pos);
+  EXPECT_FALSE(captured.empty());
+  EXPECT_GT(game.captured_count(), 0u);
+  // Re-visiting does not recapture.
+  EXPECT_TRUE(game.Visit("player", (*city.pois().Get(portal))->pos).empty());
+}
+
+TEST(TourSimulation, RunsAndCountsQueries) {
+  const auto city = geo::CityModel::Generate(geo::CityConfig{}, 16);
+  const auto m = SimulateTour(city, TourismConfig{}, /*gamified=*/false,
+                              Duration::Seconds(120), 17);
+  EXPECT_GT(m.distance_m, 50.0);
+  EXPECT_GT(m.geo_queries, 100u);
+  EXPECT_GT(m.annotations_shown, 0u);
+}
+
+TEST(EhrStoreTest, SyntheticRecordsComplete) {
+  const auto store = EhrStore::Synthetic(25, 18);
+  EXPECT_EQ(store.size(), 25u);
+  const auto r = store.Get("patient-7");
+  ASSERT_TRUE(r.ok());
+  EXPECT_GE((*r)->age, 18);
+  EXPECT_FALSE((*r)->blood_type.empty());
+  EXPECT_FALSE(store.Get("patient-999").ok());
+}
+
+TEST(PatientMonitor, DetectsInjectedEpisodes) {
+  MonitorConfig cfg;
+  cfg.patients = 20;
+  cfg.run_length = Duration::Seconds(600);
+  cfg.anomaly_rate_per_hour = 12.0;  // plenty of episodes in 10 min
+  const auto m = RunPatientMonitor(cfg, 19);
+  ASSERT_GT(m.episodes, 5u);
+  EXPECT_GT(m.recall, 0.7) << m.episodes << " episodes, " << m.detected << " detected";
+  EXPECT_GT(m.samples_processed, 10'000u);
+}
+
+TEST(PatientMonitor, DetectionLatencyReasonable) {
+  MonitorConfig cfg;
+  cfg.patients = 10;
+  cfg.run_length = Duration::Seconds(600);
+  cfg.anomaly_rate_per_hour = 12.0;
+  const auto m = RunPatientMonitor(cfg, 20);
+  ASSERT_GT(m.detected, 0u);
+  // Windowed mean over 10 s: detection should land within ~the window.
+  EXPECT_LT(m.mean_detection_latency_s, cfg.window.seconds() * 2.0);
+}
+
+TEST(PatientMonitor, NoAnomaliesFewAlerts) {
+  MonitorConfig cfg;
+  cfg.patients = 20;
+  cfg.anomaly_rate_per_hour = 0.0;
+  cfg.run_length = Duration::Seconds(300);
+  const auto m = RunPatientMonitor(cfg, 21);
+  EXPECT_EQ(m.episodes, 0u);
+  EXPECT_LT(m.alerts.size(), 5u);
+}
+
+TEST(PatientMonitor, PersonalizedThresholdCutsFalseAlerts) {
+  MonitorConfig base;
+  base.patients = 40;
+  base.run_length = Duration::Seconds(400);
+  base.anomaly_rate_per_hour = 6.0;
+  base.alert_hr_threshold = 95.0;  // tight global threshold: noisy
+
+  MonitorConfig personalized = base;
+  personalized.personalized = true;
+
+  const auto g = RunPatientMonitor(base, 22);
+  const auto p = RunPatientMonitor(personalized, 22);
+  EXPECT_LE(p.false_alerts, g.false_alerts)
+      << "global=" << g.false_alerts << " personalized=" << p.false_alerts;
+  EXPECT_GT(p.recall, 0.6);
+}
+
+TEST(PatientMonitor, ZScoreDetectsWithoutAnyThreshold) {
+  MonitorConfig cfg;
+  cfg.patients = 30;
+  cfg.run_length = Duration::Seconds(600);
+  cfg.anomaly_rate_per_hour = 6.0;
+  cfg.zscore = true;
+  const auto m = RunPatientMonitor(cfg, 33);
+  ASSERT_GT(m.episodes, 5u);
+  EXPECT_GT(m.recall, 0.7);
+  EXPECT_GT(m.precision, 0.7);
+}
+
+TEST(ThreatAssessorTest, HeadOnCollisionWarned) {
+  ThreatAssessor assessor(ThreatConfig{});
+  const TimePoint now = TimePoint::FromSeconds(10.0);
+  Beacon other;
+  other.vehicle_id = "other";
+  other.sent_at = now;
+  other.east = 100.0;
+  other.north = 0.0;
+  other.vel_east = -20.0;  // coming straight at us
+  assessor.OnBeacon(other, now);
+
+  Beacon self;
+  self.vehicle_id = "self";
+  self.east = 0.0;
+  self.vel_east = 0.0;
+  const auto threats = assessor.Assess(self, now);
+  ASSERT_EQ(threats.size(), 1u);
+  EXPECT_EQ(threats[0].other_id, "other");
+  EXPECT_NEAR(threats[0].time_to_closest_s, 5.0, 0.1);
+  EXPECT_LT(threats[0].closest_distance_m, 1.0);
+}
+
+TEST(ThreatAssessorTest, ParallelTrafficNotWarned) {
+  ThreatAssessor assessor(ThreatConfig{});
+  const TimePoint now = TimePoint::FromSeconds(1.0);
+  Beacon other;
+  other.vehicle_id = "other";
+  other.sent_at = now;
+  other.east = 0.0;
+  other.north = 50.0;   // one lane over, same direction/speed
+  other.vel_east = 15.0;
+  assessor.OnBeacon(other, now);
+  Beacon self;
+  self.vehicle_id = "self";
+  self.vel_east = 15.0;
+  EXPECT_TRUE(assessor.Assess(self, now).empty());
+}
+
+TEST(ThreatAssessorTest, StaleBeaconsExpire) {
+  ThreatAssessor assessor(ThreatConfig{});
+  Beacon b;
+  b.vehicle_id = "old";
+  b.sent_at = TimePoint::FromSeconds(0.0);
+  assessor.OnBeacon(b, TimePoint::FromSeconds(0.0));
+  EXPECT_EQ(assessor.neighbour_count(), 1u);
+  EXPECT_EQ(assessor.ExpireStale(TimePoint::FromSeconds(10.0)), 1u);
+  EXPECT_EQ(assessor.neighbour_count(), 0u);
+}
+
+TEST(ThreatAssessorTest, ExtrapolatesBeaconAge) {
+  ThreatAssessor assessor(ThreatConfig{});
+  const TimePoint sent = TimePoint::FromSeconds(0.0);
+  const TimePoint now = TimePoint::FromSeconds(1.0);
+  Beacon other;
+  other.vehicle_id = "o";
+  other.sent_at = sent;
+  other.east = 120.0;      // 1 s ago; now effectively at 100 given -20 m/s
+  other.vel_east = -20.0;
+  assessor.OnBeacon(other, sent);
+  Beacon self;
+  self.vehicle_id = "s";
+  const auto threats = assessor.Assess(self, now);
+  ASSERT_EQ(threats.size(), 1u);
+  EXPECT_NEAR(threats[0].time_to_closest_s, 5.0, 0.2);
+}
+
+TEST(VanetSimulation, DetectsEncountersAndWarns) {
+  geo::CityConfig city_cfg;
+  city_cfg.blocks_x = 4;
+  city_cfg.blocks_y = 4;
+  const auto city = geo::CityModel::Generate(city_cfg, 23);
+  VanetConfig cfg;
+  cfg.vehicles = 40;
+  cfg.run_length = Duration::Seconds(60);
+  const auto m = RunVanetSimulation(cfg, city, 24);
+  EXPECT_GT(m.beacons_sent, 1000u);
+  ASSERT_GT(m.encounters, 0u) << "40 vehicles in a small box must have near misses";
+  EXPECT_GT(m.recall, 0.5);
+  EXPECT_GT(m.warnings_issued, 0u);
+}
+
+TEST(VanetSimulation, HigherBeaconRateNoWorse) {
+  geo::CityConfig city_cfg;
+  city_cfg.blocks_x = 4;
+  city_cfg.blocks_y = 4;
+  const auto city = geo::CityModel::Generate(city_cfg, 25);
+  VanetConfig slow;
+  slow.vehicles = 30;
+  slow.beacon_period = Duration::Millis(1000);
+  slow.run_length = Duration::Seconds(60);
+  VanetConfig fast = slow;
+  fast.beacon_period = Duration::Millis(100);
+  const auto ms = RunVanetSimulation(slow, city, 26);
+  const auto mf = RunVanetSimulation(fast, city, 26);
+  if (ms.encounters > 5 && mf.encounters > 5) {
+    EXPECT_GE(mf.recall + 0.15, ms.recall)
+        << "fast=" << mf.recall << " slow=" << ms.recall;
+  }
+}
+
+TEST(VanetSimulation, OccludedWarningsExist) {
+  // In a dense city, some threats come from behind buildings — exactly the
+  // "see through buildings" capability of §3.4.
+  geo::CityConfig city_cfg;
+  city_cfg.blocks_x = 6;
+  city_cfg.blocks_y = 6;
+  const auto city = geo::CityModel::Generate(city_cfg, 27);
+  VanetConfig cfg;
+  cfg.vehicles = 60;
+  cfg.run_length = Duration::Seconds(60);
+  cfg.use_city_occlusion = true;
+  const auto m = RunVanetSimulation(cfg, city, 28);
+  EXPECT_GT(m.occluded_warnings, 0u);
+  EXPECT_LT(m.occluded_warnings, m.warnings_issued);
+}
+
+}  // namespace
+}  // namespace arbd::scenarios

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "scenarios/security.h"
+
+namespace arbd::scenarios {
+namespace {
+
+TEST(Profiles, FlagRateRespected) {
+  const auto profiles = GenerateProfiles(10'000, 0.05, 1);
+  std::size_t flagged = 0;
+  for (const auto& p : profiles) flagged += p.flagged ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(flagged) / 10'000.0, 0.05, 0.01);
+}
+
+TEST(Profiles, RiskScoresSeparateClasses) {
+  const auto profiles = GenerateProfiles(5'000, 0.2, 2);
+  double flagged_sum = 0.0, benign_sum = 0.0;
+  std::size_t nf = 0, nb = 0;
+  for (const auto& p : profiles) {
+    EXPECT_GE(p.risk_score, 0.0);
+    EXPECT_LE(p.risk_score, 1.0);
+    if (p.flagged) {
+      flagged_sum += p.risk_score;
+      ++nf;
+    } else {
+      benign_sum += p.risk_score;
+      ++nb;
+    }
+  }
+  ASSERT_GT(nf, 100u);
+  EXPECT_GT(flagged_sum / nf, benign_sum / nb + 0.3);
+}
+
+TEST(Screening, ManualLaneSaturates) {
+  ScreeningConfig cfg;
+  cfg.mode = ScreeningMode::kManual;
+  cfg.arrivals_per_minute = 8.0;           // service capacity ~4.3/min
+  cfg.run_length = Duration::Seconds(1800);
+  const auto m = RunScreening(cfg, 3);
+  EXPECT_GT(m.arrived, m.processed) << "overloaded lane must build a queue";
+  EXPECT_GT(m.max_queue, 10u);
+  EXPECT_LT(m.throughput_per_min, 5.0);
+}
+
+TEST(Screening, ArAssistedKeepsUp) {
+  ScreeningConfig cfg;
+  cfg.mode = ScreeningMode::kArAssisted;
+  cfg.arrivals_per_minute = 8.0;
+  cfg.run_length = Duration::Seconds(1800);
+  const auto m = RunScreening(cfg, 3);
+  EXPECT_GT(m.throughput_per_min, 7.0);
+  EXPECT_LT(m.mean_wait_s, 60.0);
+}
+
+TEST(Screening, ArBeatsManualOnThroughputAndWait) {
+  ScreeningConfig manual;
+  manual.mode = ScreeningMode::kManual;
+  manual.arrivals_per_minute = 6.0;
+  ScreeningConfig ar = manual;
+  ar.mode = ScreeningMode::kArAssisted;
+  const auto mm = RunScreening(manual, 4);
+  const auto ma = RunScreening(ar, 4);
+  EXPECT_GE(ma.processed, mm.processed);
+  EXPECT_LT(ma.mean_wait_s, mm.mean_wait_s);
+}
+
+TEST(Screening, ArImprovesWatchlistRecall) {
+  ScreeningConfig manual;
+  manual.mode = ScreeningMode::kManual;
+  manual.arrivals_per_minute = 3.0;  // underload so both see everyone
+  manual.flag_rate = 0.10;
+  manual.run_length = Duration::Seconds(7200);
+  ScreeningConfig ar = manual;
+  ar.mode = ScreeningMode::kArAssisted;
+  const auto mm = RunScreening(manual, 5);
+  const auto ma = RunScreening(ar, 5);
+  ASSERT_GT(mm.flagged_present, 10u);
+  ASSERT_GT(ma.flagged_present, 10u);
+  EXPECT_GT(ma.flag_recall, mm.flag_recall);
+}
+
+TEST(Screening, RecognitionFallbacksTracked) {
+  ScreeningConfig cfg;
+  cfg.mode = ScreeningMode::kArAssisted;
+  cfg.recognition_rate = 0.5;
+  cfg.arrivals_per_minute = 3.0;
+  cfg.run_length = Duration::Seconds(3600);
+  const auto m = RunScreening(cfg, 6);
+  ASSERT_GT(m.processed, 50u);
+  EXPECT_NEAR(static_cast<double>(m.recognition_fallbacks) /
+                  static_cast<double>(m.processed),
+              0.5, 0.1);
+}
+
+TEST(Screening, NoArrivalsNoWork) {
+  ScreeningConfig cfg;
+  cfg.arrivals_per_minute = 0.001;
+  cfg.run_length = Duration::Seconds(60);
+  const auto m = RunScreening(cfg, 7);
+  EXPECT_LE(m.processed, 1u);
+}
+
+}  // namespace
+}  // namespace arbd::scenarios

@@ -1,0 +1,278 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sensors/rig.h"
+
+namespace arbd::sensors {
+namespace {
+
+TEST(Trajectory, StaticStaysPut) {
+  TrajectoryConfig cfg;
+  cfg.kind = MotionKind::kStatic;
+  TrajectoryGenerator gen(cfg, 1);
+  gen.set_start(10.0, 20.0, 90.0);
+  for (int i = 0; i < 100; ++i) gen.Step(Duration::Millis(100));
+  EXPECT_DOUBLE_EQ(gen.state().east, 10.0);
+  EXPECT_DOUBLE_EQ(gen.state().north, 20.0);
+  EXPECT_DOUBLE_EQ(gen.state().speed(), 0.0);
+}
+
+TEST(Trajectory, RandomWalkMovesAtConfiguredPace) {
+  TrajectoryConfig cfg;
+  cfg.kind = MotionKind::kRandomWalk;
+  cfg.speed_mps = 1.4;
+  TrajectoryGenerator gen(cfg, 2);
+  double dist = 0.0;
+  auto prev = gen.state();
+  for (int i = 0; i < 600; ++i) {
+    const auto s = gen.Step(Duration::Millis(100));
+    dist += std::hypot(s.east - prev.east, s.north - prev.north);
+    prev = s;
+  }
+  // 60 s at ~1.4 m/s, allow wide tolerance for jitter.
+  EXPECT_NEAR(dist, 84.0, 30.0);
+}
+
+TEST(Trajectory, RandomWalkRespectsBounds) {
+  TrajectoryConfig cfg;
+  cfg.kind = MotionKind::kRandomWalk;
+  cfg.speed_mps = 30.0;  // fast so bounds are hit quickly
+  cfg.bounds_half_extent_m = 50.0;
+  TrajectoryGenerator gen(cfg, 3);
+  for (int i = 0; i < 2000; ++i) {
+    const auto s = gen.Step(Duration::Millis(100));
+    EXPECT_LE(std::abs(s.east), 50.0 + 1e-9);
+    EXPECT_LE(std::abs(s.north), 50.0 + 1e-9);
+  }
+}
+
+TEST(Trajectory, WaypointsVisitedInOrder) {
+  TrajectoryConfig cfg;
+  cfg.kind = MotionKind::kWaypoints;
+  cfg.speed_mps = 2.0;
+  cfg.waypoints = {{10.0, 0.0}, {10.0, 10.0}};
+  TrajectoryGenerator gen(cfg, 4);
+  gen.set_start(0.0, 0.0, 0.0);
+  bool reached_first = false;
+  for (int i = 0; i < 200; ++i) {
+    const auto s = gen.Step(Duration::Millis(100));
+    if (!reached_first && std::abs(s.east - 10.0) < 0.01 && std::abs(s.north) < 0.01) {
+      reached_first = true;
+    }
+  }
+  EXPECT_TRUE(reached_first);
+}
+
+TEST(Trajectory, EmptyWaypointsFallsBackToStatic) {
+  TrajectoryConfig cfg;
+  cfg.kind = MotionKind::kWaypoints;
+  TrajectoryGenerator gen(cfg, 5);
+  gen.set_start(1.0, 2.0, 0.0);
+  gen.Step(Duration::Seconds(1));
+  EXPECT_DOUBLE_EQ(gen.state().east, 1.0);
+}
+
+TEST(Trajectory, VehicleSpeedBounded) {
+  TrajectoryConfig cfg;
+  cfg.kind = MotionKind::kVehicle;
+  cfg.speed_mps = 15.0;
+  TrajectoryGenerator gen(cfg, 6);
+  for (int i = 0; i < 1000; ++i) {
+    const auto s = gen.Step(Duration::Millis(100));
+    EXPECT_LT(s.speed(), 25.0);
+  }
+}
+
+TEST(GpsModelTest, NoiseIsBounded) {
+  GpsConfig cfg;
+  cfg.noise_stddev_m = 3.0;
+  cfg.dropout_rate = 0.0;
+  GpsModel gps(cfg, 7);
+  TruthState truth;
+  truth.east = 100.0;
+  truth.north = -50.0;
+  double sq = 0.0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    const auto fix = gps.Sample(truth);
+    ASSERT_TRUE(fix.has_value());
+    sq += (fix->east - 100.0) * (fix->east - 100.0);
+  }
+  // RMS error ≈ noise stddev (bias walk adds a little).
+  EXPECT_NEAR(std::sqrt(sq / n), 3.0, 1.0);
+}
+
+TEST(GpsModelTest, DropoutsOccurAtConfiguredRate) {
+  GpsConfig cfg;
+  cfg.dropout_rate = 0.3;
+  GpsModel gps(cfg, 8);
+  TruthState truth;
+  int missing = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    if (!gps.Sample(truth)) ++missing;
+  }
+  EXPECT_NEAR(static_cast<double>(missing) / n, 0.3, 0.03);
+}
+
+TEST(ImuModelTest, MeasuresAcceleration) {
+  ImuConfig cfg;
+  cfg.accel_noise = 0.0;
+  cfg.accel_bias = 0.0;
+  cfg.gyro_noise_dps = 0.0;
+  cfg.gyro_bias_dps = 0.0;
+  ImuModel imu(cfg, 9);
+  TruthState a, b;
+  a.time = TimePoint::FromMillis(0);
+  a.vel_east = 0.0;
+  b.time = TimePoint::FromMillis(100);
+  b.vel_east = 1.0;  // 10 m/s^2 over 0.1 s
+  const auto s = imu.Sample(a, b);
+  EXPECT_NEAR(s.accel_east, 10.0, 1e-6);
+}
+
+TEST(ImuModelTest, MeasuresYawRateAcrossWrap) {
+  ImuConfig cfg;
+  cfg.gyro_noise_dps = 0.0;
+  cfg.gyro_bias_dps = 0.0;
+  ImuModel imu(cfg, 10);
+  TruthState a, b;
+  a.time = TimePoint::FromMillis(0);
+  a.yaw_deg = 359.0;
+  b.time = TimePoint::FromMillis(100);
+  b.yaw_deg = 1.0;  // +2 deg through the wrap
+  const auto s = imu.Sample(a, b);
+  EXPECT_NEAR(s.yaw_rate_dps, 20.0, 1e-6);
+}
+
+TEST(CameraModelTest, SeesOnlyInFovAndRange) {
+  CameraConfig cfg;
+  cfg.fov_deg = 90.0;
+  cfg.max_range_m = 50.0;
+  cfg.detection_rate = 1.0;
+  cfg.range_noise_m = 0.0;
+  cfg.bearing_noise_deg = 0.0;
+  CameraFeatureModel cam(cfg, 11);
+  TruthState truth;
+  truth.yaw_deg = 0.0;  // facing north
+
+  const std::vector<std::tuple<std::uint64_t, double, double>> landmarks = {
+      {1, 0.0, 30.0},    // dead ahead, in range
+      {2, 0.0, 80.0},    // ahead but too far
+      {3, 0.0, -30.0},   // behind
+      {4, 30.0, 2.0},    // far right (~86 deg off-axis): outside half-FOV
+  };
+  const auto obs = cam.Sample(truth, landmarks);
+  ASSERT_EQ(obs.size(), 1u);
+  EXPECT_EQ(obs[0].landmark_id, 1u);
+  EXPECT_NEAR(obs[0].range_m, 30.0, 1e-6);
+  EXPECT_NEAR(obs[0].bearing_deg, 0.0, 1e-6);
+}
+
+TEST(CameraModelTest, OcclusionBlocksDetection) {
+  geo::CityConfig city_cfg;
+  const auto city = geo::CityModel::Generate(city_cfg, 12);
+  const auto& b = city.buildings().front();
+
+  CameraConfig cfg;
+  cfg.detection_rate = 1.0;
+  cfg.fov_deg = 359.0;
+  cfg.max_range_m = 500.0;
+  CameraFeatureModel cam(cfg, 13);
+
+  TruthState truth;
+  truth.east = b.center_east - b.half_width - 10.0;
+  truth.north = b.center_north;
+  truth.yaw_deg = 90.0;  // facing east, toward the building
+
+  // A landmark on the far side of the building.
+  const std::vector<std::tuple<std::uint64_t, double, double>> landmarks = {
+      {1, b.center_east + b.half_width + 10.0, b.center_north}};
+  EXPECT_TRUE(cam.Sample(truth, landmarks, &city).empty());
+  EXPECT_EQ(cam.Sample(truth, landmarks, nullptr).size(), 1u);
+}
+
+TEST(VitalsModelTest, RestingRateWithoutAnomalies) {
+  VitalsConfig cfg;
+  cfg.resting_hr = 65.0;
+  cfg.anomaly_rate_per_hour = 0.0;
+  VitalsModel vitals(cfg, 14);
+  TruthState truth;
+  double sum = 0.0;
+  const int n = 500;
+  for (int i = 0; i < n; ++i) {
+    truth.time += Duration::Seconds(1);
+    const auto s = vitals.Sample(truth);
+    EXPECT_FALSE(s.truth_anomaly);
+    sum += s.heart_rate_bpm;
+  }
+  EXPECT_NEAR(sum / n, 65.0, 5.0);
+}
+
+TEST(VitalsModelTest, AnomaliesRaiseHeartRate) {
+  VitalsConfig cfg;
+  cfg.anomaly_rate_per_hour = 60.0;  // one per minute on average
+  cfg.anomaly_hr_boost = 70.0;
+  VitalsModel vitals(cfg, 15);
+  TruthState truth;
+  double normal_sum = 0.0, anomaly_sum = 0.0;
+  int normal_n = 0, anomaly_n = 0;
+  for (int i = 0; i < 3600; ++i) {
+    truth.time += Duration::Seconds(1);
+    const auto s = vitals.Sample(truth);
+    if (s.truth_anomaly) {
+      anomaly_sum += s.heart_rate_bpm;
+      ++anomaly_n;
+    } else {
+      normal_sum += s.heart_rate_bpm;
+      ++normal_n;
+    }
+  }
+  ASSERT_GT(anomaly_n, 10);
+  ASSERT_GT(normal_n, 100);
+  EXPECT_GT(anomaly_sum / anomaly_n, normal_sum / normal_n + 40.0);
+}
+
+TEST(SensorRigTest, FiresSensorsAtConfiguredRates) {
+  RigConfig cfg;
+  cfg.trajectory.kind = MotionKind::kRandomWalk;
+  cfg.gps.period = Duration::Millis(1000);
+  cfg.imu.period = Duration::Millis(10);
+  cfg.gps.dropout_rate = 0.0;
+  cfg.enable_vitals = true;
+  cfg.vitals.period = Duration::Millis(500);
+
+  SensorRig rig(cfg, 16);
+  int gps = 0, imu = 0, vitals = 0, truth = 0;
+  RigCallbacks cbs;
+  cbs.on_gps = [&](const GpsFix&) { ++gps; };
+  cbs.on_imu = [&](const ImuSample&) { ++imu; };
+  cbs.on_vitals = [&](const VitalsSample&) { ++vitals; };
+  cbs.on_truth = [&](const TruthState&) { ++truth; };
+  rig.RunUntil(TimePoint::FromSeconds(10.0), cbs);
+
+  EXPECT_NEAR(imu, 1000, 20);
+  EXPECT_NEAR(gps, 10, 2);
+  EXPECT_NEAR(vitals, 20, 3);
+  EXPECT_EQ(truth, imu);  // truth fires every integration step
+}
+
+TEST(SensorRigTest, CameraNeedsLandmarks) {
+  RigConfig cfg;
+  cfg.enable_camera = true;
+  cfg.camera.detection_rate = 1.0;
+  SensorRig rig(cfg, 17);
+  int feature_batches = 0;
+  RigCallbacks cbs;
+  cbs.on_features = [&](const std::vector<FeatureObservation>&) { ++feature_batches; };
+  rig.RunUntil(TimePoint::FromSeconds(1.0), cbs);
+  EXPECT_EQ(feature_batches, 0) << "no landmarks registered, callback must not fire";
+
+  rig.SetLandmarks({{1, 5.0, 5.0}});
+  rig.RunUntil(TimePoint::FromSeconds(2.0), cbs);
+  EXPECT_GT(feature_batches, 0);
+}
+
+}  // namespace
+}  // namespace arbd::sensors

@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "stream/consumer.h"
+
+namespace arbd::stream {
+namespace {
+
+class ConsumerGroupTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(broker_.CreateTopic("t", TopicConfig{.partitions = 4}).ok());
+  }
+
+  void ProduceN(int n) {
+    for (int i = 0; i < n; ++i) {
+      ASSERT_TRUE(broker_
+                      .Produce("t", Record::MakeText("key-" + std::to_string(i % 16),
+                                                     std::to_string(i), TimePoint{}))
+                      .ok());
+    }
+  }
+
+  SimClock clock_;
+  Broker broker_{clock_};
+};
+
+TEST_F(ConsumerGroupTest, SingleConsumerGetsAllPartitions) {
+  ConsumerGroup group(broker_, "g", "t");
+  auto c = group.Join("c0");
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ((*c)->Assignment().size(), 4u);
+}
+
+TEST_F(ConsumerGroupTest, SingleConsumerReadsEverything) {
+  ProduceN(100);
+  ConsumerGroup group(broker_, "g", "t");
+  auto c = group.Join("c0");
+  ASSERT_TRUE(c.ok());
+  std::size_t total = 0;
+  while (true) {
+    const auto batch = (*c)->Poll(32);
+    if (batch.empty()) break;
+    total += batch.size();
+  }
+  EXPECT_EQ(total, 100u);
+}
+
+TEST_F(ConsumerGroupTest, TwoConsumersSplitPartitionsDisjointly) {
+  ProduceN(200);
+  ConsumerGroup group(broker_, "g", "t");
+  auto a = group.Join("a");
+  auto b = group.Join("b");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ((*a)->Assignment().size(), 2u);
+  EXPECT_EQ((*b)->Assignment().size(), 2u);
+  const auto a_parts = (*a)->Assignment();
+  const std::set<PartitionId> pa(a_parts.begin(), a_parts.end());
+  for (PartitionId p : (*b)->Assignment()) EXPECT_FALSE(pa.contains(p));
+
+  std::size_t total = 0;
+  for (auto* c : {*a, *b}) {
+    while (true) {
+      const auto batch = c->Poll(64);
+      if (batch.empty()) break;
+      total += batch.size();
+    }
+  }
+  EXPECT_EQ(total, 200u);
+}
+
+TEST_F(ConsumerGroupTest, DuplicateJoinRejected) {
+  ConsumerGroup group(broker_, "g", "t");
+  ASSERT_TRUE(group.Join("c").ok());
+  EXPECT_EQ(group.Join("c").status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(ConsumerGroupTest, JoinUnknownTopicFails) {
+  ConsumerGroup group(broker_, "g", "missing");
+  EXPECT_FALSE(group.Join("c").ok());
+}
+
+TEST_F(ConsumerGroupTest, LeaveUnknownConsumerFails) {
+  ConsumerGroup group(broker_, "g", "t");
+  EXPECT_EQ(group.Leave("ghost").code(), StatusCode::kNotFound);
+}
+
+TEST_F(ConsumerGroupTest, CommitPersistsProgressAcrossRebalance) {
+  ProduceN(40);
+  ConsumerGroup group(broker_, "g", "t");
+  auto a = group.Join("a");
+  ASSERT_TRUE(a.ok());
+  // Read everything and commit.
+  std::size_t first_read = 0;
+  while (true) {
+    const auto batch = (*a)->Poll(16);
+    if (batch.empty()) break;
+    first_read += batch.size();
+  }
+  (*a)->Commit();
+  EXPECT_EQ(first_read, 40u);
+  EXPECT_EQ(group.TotalLag(), 0);
+
+  // A new member joining triggers rebalance; neither re-reads old data.
+  auto b = group.Join("b");
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE((*a)->Poll(16).empty());
+  EXPECT_TRUE((*b)->Poll(16).empty());
+
+  // New data flows to the group exactly once.
+  ProduceN(20);
+  std::size_t second_read = 0;
+  for (auto* c : {*a, *b}) {
+    while (true) {
+      const auto batch = c->Poll(16);
+      if (batch.empty()) break;
+      second_read += batch.size();
+    }
+  }
+  EXPECT_EQ(second_read, 20u);
+}
+
+TEST_F(ConsumerGroupTest, UncommittedWorkIsRedeliveredAfterRebalance) {
+  ProduceN(40);
+  ConsumerGroup group(broker_, "g", "t");
+  auto a = group.Join("a");
+  ASSERT_TRUE(a.ok());
+  // Read without committing.
+  std::size_t uncommitted = 0;
+  while (true) {
+    const auto batch = (*a)->Poll(16);
+    if (batch.empty()) break;
+    uncommitted += batch.size();
+  }
+  EXPECT_EQ(uncommitted, 40u);
+
+  // Rebalance rewinds to committed offsets (none) — at-least-once.
+  auto b = group.Join("b");
+  ASSERT_TRUE(b.ok());
+  std::size_t redelivered = 0;
+  for (auto* c : {*a, *b}) {
+    while (true) {
+      const auto batch = c->Poll(16);
+      if (batch.empty()) break;
+      redelivered += batch.size();
+    }
+  }
+  EXPECT_EQ(redelivered, 40u);
+}
+
+TEST_F(ConsumerGroupTest, LeaveCommitsDepartingMember) {
+  ProduceN(40);
+  ConsumerGroup group(broker_, "g", "t");
+  auto a = group.Join("a");
+  ASSERT_TRUE(a.ok());
+  while (!(*a)->Poll(16).empty()) {
+  }
+  ASSERT_TRUE(group.Leave("a").ok());
+
+  auto b = group.Join("b");
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE((*b)->Poll(64).empty()) << "departing member's progress must be committed";
+}
+
+TEST_F(ConsumerGroupTest, LatestResetSkipsHistory) {
+  ProduceN(50);
+  ConsumerGroup group(broker_, "g", "t", ResetPolicy::kLatest);
+  auto c = group.Join("c");
+  ASSERT_TRUE(c.ok());
+  EXPECT_TRUE((*c)->Poll(64).empty());
+  ProduceN(5);
+  std::size_t got = 0;
+  while (true) {
+    const auto batch = (*c)->Poll(8);
+    if (batch.empty()) break;
+    got += batch.size();
+  }
+  EXPECT_EQ(got, 5u);
+}
+
+TEST_F(ConsumerGroupTest, LagTracksOutstandingRecords) {
+  ProduceN(30);
+  ConsumerGroup group(broker_, "g", "t");
+  auto c = group.Join("c");
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(group.TotalLag(), 30);
+  while (!(*c)->Poll(16).empty()) {
+  }
+  (*c)->Commit();
+  EXPECT_EQ(group.TotalLag(), 0);
+}
+
+TEST_F(ConsumerGroupTest, RebalanceCountIncrements) {
+  ConsumerGroup group(broker_, "g", "t");
+  ASSERT_TRUE(group.Join("a").ok());
+  ASSERT_TRUE(group.Join("b").ok());
+  ASSERT_TRUE(group.Leave("a").ok());
+  EXPECT_EQ(group.rebalance_count(), 3u);
+}
+
+TEST_F(ConsumerGroupTest, SkipsOverTruncatedOffsets) {
+  TopicConfig cfg;
+  cfg.partitions = 1;
+  cfg.retention_records = 5;
+  ASSERT_TRUE(broker_.CreateTopic("small", cfg).ok());
+  ConsumerGroup group(broker_, "g", "small");
+  auto c = group.Join("c");
+  ASSERT_TRUE(c.ok());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(broker_.Produce("small", Record::MakeText("", std::to_string(i), TimePoint{})).ok());
+  }
+  broker_.RunRetention();
+  // Consumer starts at committed offset 0, which was truncated; it must
+  // jump forward to the retained range instead of erroring forever.
+  std::size_t got = 0;
+  for (int rounds = 0; rounds < 10; ++rounds) {
+    const auto batch = (*c)->Poll(8);
+    got += batch.size();
+    if (batch.empty() && got > 0) break;
+  }
+  EXPECT_EQ(got, 5u);
+}
+
+}  // namespace
+}  // namespace arbd::stream

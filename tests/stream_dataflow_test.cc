@@ -1,0 +1,313 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "stream/dataflow.h"
+
+namespace arbd::stream {
+namespace {
+
+Event Ev(const std::string& key, double value, std::int64_t ms,
+         const std::string& attr = "metric") {
+  Event e;
+  e.key = key;
+  e.attribute = attr;
+  e.value = value;
+  e.event_time = TimePoint::FromMillis(ms);
+  return e;
+}
+
+TEST(EventTest, EncodeDecodeRoundTrip) {
+  const Event e = Ev("vehicle-3", 42.5, 1234, "speed");
+  const auto d = Event::Decode(e.Encode());
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->key, "vehicle-3");
+  EXPECT_EQ(d->attribute, "speed");
+  EXPECT_DOUBLE_EQ(d->value, 42.5);
+  EXPECT_EQ(d->event_time.millis(), 1234);
+}
+
+TEST(EventTest, DecodeTruncatedFails) {
+  Bytes b = Ev("k", 1.0, 0).Encode();
+  b.resize(4);
+  EXPECT_FALSE(Event::Decode(b).ok());
+}
+
+TEST(WindowSpecTest, Factories) {
+  const auto t = WindowSpec::Tumbling(Duration::Seconds(5));
+  EXPECT_EQ(t.kind, WindowSpec::Kind::kTumbling);
+  const auto s = WindowSpec::Sliding(Duration::Seconds(10), Duration::Seconds(2));
+  EXPECT_EQ(s.kind, WindowSpec::Kind::kSliding);
+  const auto g = WindowSpec::Session(Duration::Seconds(3));
+  EXPECT_EQ(g.kind, WindowSpec::Kind::kSession);
+}
+
+class TumblingPipeline : public ::testing::Test {
+ protected:
+  void Build(AggKind agg, Duration lateness = Duration::Zero(),
+             Duration ooo = Duration::Zero()) {
+    pipeline_ = std::make_unique<Pipeline>(ooo);
+    pipeline_->WindowAggregate(WindowSpec::Tumbling(Duration::Seconds(1)), agg, lateness)
+        .Sink([this](const WindowResult& r) { results_.push_back(r); });
+  }
+  std::unique_ptr<Pipeline> pipeline_;
+  std::vector<WindowResult> results_;
+};
+
+TEST_F(TumblingPipeline, SumFiresOnWatermark) {
+  Build(AggKind::kSum);
+  pipeline_->Push(Ev("a", 1.0, 100));
+  pipeline_->Push(Ev("a", 2.0, 600));
+  EXPECT_TRUE(results_.empty()) << "window must not fire before it closes";
+  pipeline_->Push(Ev("a", 5.0, 1200));  // watermark passes 1000
+  ASSERT_EQ(results_.size(), 1u);
+  EXPECT_DOUBLE_EQ(results_[0].value, 3.0);
+  EXPECT_EQ(results_[0].window_start.millis(), 0);
+  EXPECT_EQ(results_[0].window_end.millis(), 1000);
+  EXPECT_EQ(results_[0].count, 2u);
+}
+
+TEST_F(TumblingPipeline, KeysAggregateIndependently) {
+  Build(AggKind::kCount);
+  pipeline_->Push(Ev("a", 1.0, 100));
+  pipeline_->Push(Ev("b", 1.0, 200));
+  pipeline_->Push(Ev("a", 1.0, 300));
+  pipeline_->Flush();
+  ASSERT_EQ(results_.size(), 2u);
+  double a_count = 0, b_count = 0;
+  for (const auto& r : results_) {
+    (r.key == "a" ? a_count : b_count) = r.value;
+  }
+  EXPECT_DOUBLE_EQ(a_count, 2.0);
+  EXPECT_DOUBLE_EQ(b_count, 1.0);
+}
+
+TEST_F(TumblingPipeline, MeanMinMax) {
+  for (AggKind agg : {AggKind::kMean, AggKind::kMin, AggKind::kMax}) {
+    Build(agg);
+    results_.clear();
+    pipeline_->Push(Ev("k", 2.0, 100));
+    pipeline_->Push(Ev("k", 8.0, 200));
+    pipeline_->Push(Ev("k", 5.0, 300));
+    pipeline_->Flush();
+    ASSERT_EQ(results_.size(), 1u);
+    const double expected = agg == AggKind::kMean ? 5.0 : agg == AggKind::kMin ? 2.0 : 8.0;
+    EXPECT_DOUBLE_EQ(results_[0].value, expected);
+  }
+}
+
+TEST_F(TumblingPipeline, OutOfOrderWithinSlackAccepted) {
+  Build(AggKind::kCount, Duration::Zero(), /*ooo=*/Duration::Millis(500));
+  pipeline_->Push(Ev("k", 1.0, 800));
+  pipeline_->Push(Ev("k", 1.0, 400));  // older but within slack
+  pipeline_->Push(Ev("k", 1.0, 2000));
+  pipeline_->Flush();
+  ASSERT_GE(results_.size(), 1u);
+  EXPECT_DOUBLE_EQ(results_[0].value, 2.0);
+  EXPECT_EQ(pipeline_->late_dropped(), 0u);
+}
+
+TEST_F(TumblingPipeline, LateEventsDroppedAndCounted) {
+  Build(AggKind::kCount);
+  pipeline_->Push(Ev("k", 1.0, 100));
+  pipeline_->Push(Ev("k", 1.0, 2500));  // watermark now 2500
+  pipeline_->Push(Ev("k", 1.0, 200));   // way late
+  EXPECT_EQ(pipeline_->late_dropped(), 1u);
+}
+
+TEST_F(TumblingPipeline, AllowedLatenessAdmitsStragglers) {
+  Build(AggKind::kCount, /*lateness=*/Duration::Seconds(2));
+  pipeline_->Push(Ev("k", 1.0, 100));
+  pipeline_->Push(Ev("k", 1.0, 1500));  // watermark 1500 < 1000+2000
+  pipeline_->Push(Ev("k", 1.0, 200));   // late but within lateness
+  EXPECT_EQ(pipeline_->late_dropped(), 0u);
+  pipeline_->Flush();
+  ASSERT_GE(results_.size(), 1u);
+  // First window holds both 100 and 200.
+  EXPECT_DOUBLE_EQ(results_[0].value, 2.0);
+}
+
+TEST(SlidingWindow, EventLandsInMultipleWindows) {
+  Pipeline p;
+  std::vector<WindowResult> results;
+  p.WindowAggregate(WindowSpec::Sliding(Duration::Seconds(2), Duration::Seconds(1)),
+                    AggKind::kCount)
+      .Sink([&](const WindowResult& r) { results.push_back(r); });
+  p.Push(Ev("k", 1.0, 1500));  // in [0,2000) and [1000,3000)
+  p.Flush();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_DOUBLE_EQ(results[0].value, 1.0);
+  EXPECT_DOUBLE_EQ(results[1].value, 1.0);
+}
+
+TEST(SlidingWindow, CountsMatchAcrossSlides) {
+  Pipeline p;
+  std::vector<WindowResult> results;
+  p.WindowAggregate(WindowSpec::Sliding(Duration::Seconds(3), Duration::Seconds(1)),
+                    AggKind::kSum)
+      .Sink([&](const WindowResult& r) { results.push_back(r); });
+  // One event per second, value 1: every full window sums to 3.
+  for (int s = 0; s < 10; ++s) p.Push(Ev("k", 1.0, s * 1000 + 500));
+  p.Flush();
+  int full_windows = 0;
+  for (const auto& r : results) {
+    if (r.value == 3.0) ++full_windows;
+  }
+  EXPECT_GE(full_windows, 6);
+}
+
+TEST(SessionWindow, GapsSplitSessions) {
+  Pipeline p;
+  std::vector<WindowResult> results;
+  p.WindowAggregate(WindowSpec::Session(Duration::Seconds(1)), AggKind::kCount)
+      .Sink([&](const WindowResult& r) { results.push_back(r); });
+  p.Push(Ev("k", 1.0, 0));
+  p.Push(Ev("k", 1.0, 500));   // same session
+  p.Push(Ev("k", 1.0, 3000));  // new session (gap > 1s)
+  p.Flush();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_DOUBLE_EQ(results[0].value, 2.0);
+  EXPECT_DOUBLE_EQ(results[1].value, 1.0);
+}
+
+TEST(SessionWindow, OverlappingSessionsMerge) {
+  Pipeline p;
+  std::vector<WindowResult> results;
+  p.WindowAggregate(WindowSpec::Session(Duration::Seconds(2)), AggKind::kCount)
+      .Sink([&](const WindowResult& r) { results.push_back(r); });
+  // Out-of-order arrivals that bridge into one session.
+  Pipeline q(Duration::Seconds(5));
+  q.WindowAggregate(WindowSpec::Session(Duration::Seconds(2)), AggKind::kCount)
+      .Sink([&](const WindowResult& r) { results.push_back(r); });
+  q.Push(Ev("k", 1.0, 0));
+  q.Push(Ev("k", 1.0, 3000));  // separate for now
+  q.Push(Ev("k", 1.0, 1500));  // bridges the two
+  q.Flush();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_DOUBLE_EQ(results[0].value, 3.0);
+}
+
+TEST(PipelineStages, MapFilterChain) {
+  Pipeline p;
+  std::vector<WindowResult> results;
+  p.Filter([](const Event& e) { return e.value > 0; })
+      .Map([](const Event& e) {
+        Event out = e;
+        out.value *= 2.0;
+        return out;
+      })
+      .WindowAggregate(WindowSpec::Tumbling(Duration::Seconds(1)), AggKind::kSum)
+      .Sink([&](const WindowResult& r) { results.push_back(r); });
+  p.Push(Ev("k", 3.0, 100));
+  p.Push(Ev("k", -5.0, 200));  // filtered out
+  p.Flush();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_DOUBLE_EQ(results[0].value, 6.0);
+}
+
+TEST(PipelineStages, KeyByRekeysEvents) {
+  Pipeline p;
+  std::vector<WindowResult> results;
+  p.KeyBy([](const Event& e) { return e.attribute; })
+      .WindowAggregate(WindowSpec::Tumbling(Duration::Seconds(1)), AggKind::kCount)
+      .Sink([&](const WindowResult& r) { results.push_back(r); });
+  p.Push(Ev("u1", 1.0, 100, "hr"));
+  p.Push(Ev("u2", 1.0, 200, "hr"));
+  p.Flush();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].key, "hr");
+  EXPECT_DOUBLE_EQ(results[0].value, 2.0);
+}
+
+TEST(PipelineStages, WindowResultsFlowDownstream) {
+  // Window → filter-on-result (as events) → event sink.
+  Pipeline p;
+  std::vector<Event> alerts;
+  p.WindowAggregate(WindowSpec::Tumbling(Duration::Seconds(1)), AggKind::kMean)
+      .Filter([](const Event& e) { return e.value > 100.0; })
+      .EventSink([&](const Event& e) { alerts.push_back(e); });
+  p.Push(Ev("p1", 150.0, 100, "hr"));
+  p.Push(Ev("p2", 60.0, 100, "hr"));
+  p.Flush();
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].key, "p1");
+}
+
+TEST(PipelineCheckpoint, RoundTripPreservesWindows) {
+  auto build = [](std::vector<WindowResult>* out) {
+    auto p = std::make_unique<Pipeline>();
+    p->WindowAggregate(WindowSpec::Tumbling(Duration::Seconds(1)), AggKind::kSum)
+        .Sink([out](const WindowResult& r) { out->push_back(r); });
+    return p;
+  };
+  std::vector<WindowResult> results_a, results_b;
+  auto a = build(&results_a);
+  a->Push(Ev("k", 2.0, 100));
+  a->Push(Ev("k", 3.0, 600));
+  const Bytes snapshot = a->Checkpoint();
+
+  // "Fail over" to a fresh pipeline restored from the snapshot.
+  auto b = build(&results_b);
+  ASSERT_TRUE(b->Restore(snapshot).ok());
+  EXPECT_EQ(b->events_in(), 2u);
+  b->Push(Ev("k", 5.0, 1500));
+  ASSERT_EQ(results_b.size(), 1u);
+  EXPECT_DOUBLE_EQ(results_b[0].value, 5.0) << "restored window must contain both pre-checkpoint events";
+  EXPECT_EQ(results_b[0].count, 2u);
+}
+
+TEST(PipelineCheckpoint, StageCountMismatchRejected) {
+  Pipeline a;
+  a.WindowAggregate(WindowSpec::Tumbling(Duration::Seconds(1)), AggKind::kSum);
+  const Bytes snap = a.Checkpoint();
+  Pipeline b;  // no stages
+  EXPECT_FALSE(b.Restore(snap).ok());
+}
+
+TEST(PipelineCheckpoint, CorruptSnapshotRejected) {
+  Pipeline a;
+  a.WindowAggregate(WindowSpec::Tumbling(Duration::Seconds(1)), AggKind::kSum);
+  Bytes snap = a.Checkpoint();
+  snap.resize(snap.size() / 2);
+  Pipeline b;
+  b.WindowAggregate(WindowSpec::Tumbling(Duration::Seconds(1)), AggKind::kSum);
+  EXPECT_FALSE(b.Restore(snap).ok());
+}
+
+TEST(PipelineCounters, TrackInputsAndOutputs) {
+  Pipeline p;
+  p.WindowAggregate(WindowSpec::Tumbling(Duration::Seconds(1)), AggKind::kCount)
+      .Sink([](const WindowResult&) {});
+  for (int i = 0; i < 5; ++i) p.Push(Ev("k", 1.0, i * 400));
+  p.Flush();
+  EXPECT_EQ(p.events_in(), 5u);
+  EXPECT_GE(p.results_out(), 2u);
+}
+
+// Property sweep: for tumbling windows of any size, the sum of per-window
+// counts equals the number of on-time events pushed.
+class TumblingConservation : public ::testing::TestWithParam<int> {};
+
+TEST_P(TumblingConservation, CountsAreConserved) {
+  const int window_ms = GetParam();
+  Pipeline p(Duration::Millis(50));
+  double total = 0.0;
+  p.WindowAggregate(WindowSpec::Tumbling(Duration::Millis(window_ms)), AggKind::kCount)
+      .Sink([&](const WindowResult& r) { total += r.value; });
+  Rng rng(static_cast<std::uint64_t>(window_ms));
+  std::int64_t t = 0;
+  const int n = 500;
+  for (int i = 0; i < n; ++i) {
+    t += static_cast<std::int64_t>(rng.NextBelow(40));
+    p.Push(Ev("k" + std::to_string(rng.NextBelow(5)), 1.0, t));
+  }
+  p.Flush();
+  EXPECT_DOUBLE_EQ(total + static_cast<double>(p.late_dropped()), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(WindowSizes, TumblingConservation,
+                         ::testing::Values(10, 50, 100, 250, 1000, 5000));
+
+}  // namespace
+}  // namespace arbd::stream

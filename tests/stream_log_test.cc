@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include "stream/log.h"
+
+namespace arbd::stream {
+namespace {
+
+Record TextRecord(const std::string& key, const std::string& text, std::int64_t ms = 0) {
+  return Record::MakeText(key, text, TimePoint::FromMillis(ms));
+}
+
+class BrokerTest : public ::testing::Test {
+ protected:
+  SimClock clock_;
+  Broker broker_{clock_};
+};
+
+TEST(RecordTest, EncodeDecodeRoundTrip) {
+  Record r = TextRecord("user-1", "payload body", 1234);
+  r.ingest_time = TimePoint::FromMillis(1300);
+  const auto decoded = Record::Decode(r.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->key, "user-1");
+  EXPECT_EQ(decoded->TextPayload(), "payload body");
+  EXPECT_EQ(decoded->event_time.millis(), 1234);
+  EXPECT_EQ(decoded->ingest_time.millis(), 1300);
+}
+
+TEST(RecordTest, ChecksumDetectsCorruption) {
+  Record r = TextRecord("k", "important data");
+  Bytes encoded = r.Encode();
+  // Flip a byte inside the payload region.
+  encoded[10] ^= 0xFF;
+  const auto decoded = Record::Decode(encoded);
+  EXPECT_FALSE(decoded.ok());
+}
+
+TEST(PartitionTest, OffsetsAreDense) {
+  Partition p;
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(p.Append(TextRecord("k", "v"), TimePoint{}), i);
+  }
+  EXPECT_EQ(p.log_start_offset(), 0);
+  EXPECT_EQ(p.end_offset(), 5);
+}
+
+TEST(PartitionTest, FetchRange) {
+  Partition p;
+  for (int i = 0; i < 10; ++i) p.Append(TextRecord("k", std::to_string(i)), TimePoint{});
+  auto got = p.Fetch(3, 4);
+  ASSERT_TRUE(got.ok());
+  ASSERT_EQ(got->size(), 4u);
+  EXPECT_EQ((*got)[0].offset, 3);
+  EXPECT_EQ((*got)[0].record.TextPayload(), "3");
+  EXPECT_EQ((*got)[3].record.TextPayload(), "6");
+}
+
+TEST(PartitionTest, FetchAtEndIsEmpty) {
+  Partition p;
+  p.Append(TextRecord("k", "v"), TimePoint{});
+  auto got = p.Fetch(1, 10);
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(got->empty());
+}
+
+TEST(PartitionTest, FetchBeyondEndFails) {
+  Partition p;
+  auto got = p.Fetch(5, 1);
+  EXPECT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(PartitionTest, RetentionByCount) {
+  Partition p;
+  for (int i = 0; i < 10; ++i) p.Append(TextRecord("k", std::to_string(i)), TimePoint{});
+  TopicConfig cfg;
+  cfg.retention_records = 4;
+  EXPECT_EQ(p.EnforceRetention(cfg, TimePoint{}), 6u);
+  EXPECT_EQ(p.log_start_offset(), 6);
+  EXPECT_EQ(p.end_offset(), 10);
+  // Fetch below the retained range is refused.
+  EXPECT_FALSE(p.Fetch(2, 1).ok());
+  EXPECT_TRUE(p.Fetch(6, 1).ok());
+}
+
+TEST(PartitionTest, RetentionByTime) {
+  Partition p;
+  for (int i = 0; i < 5; ++i) {
+    p.Append(TextRecord("k", "v"), TimePoint::FromMillis(i * 1000));
+  }
+  TopicConfig cfg;
+  cfg.retention_time = Duration::Seconds(2);
+  const std::size_t dropped = p.EnforceRetention(cfg, TimePoint::FromMillis(4500));
+  EXPECT_EQ(dropped, 3u);  // ingest times 0,1000,2000 are older than 2500
+  EXPECT_EQ(p.log_start_offset(), 3);
+}
+
+TEST(TopicTest, KeyHashingIsStable) {
+  Topic t("t", TopicConfig{.partitions = 8});
+  const PartitionId p1 = t.PartitionFor("alice");
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(t.PartitionFor("alice"), p1);
+}
+
+TEST(TopicTest, EmptyKeyRoundRobins) {
+  Topic t("t", TopicConfig{.partitions = 4});
+  std::set<PartitionId> seen;
+  for (int i = 0; i < 8; ++i) seen.insert(t.PartitionFor(""));
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(TopicTest, ZeroPartitionsCoercedToOne) {
+  Topic t("t", TopicConfig{.partitions = 0});
+  EXPECT_EQ(t.partition_count(), 1u);
+}
+
+TEST_F(BrokerTest, CreateAndDuplicateTopic) {
+  EXPECT_TRUE(broker_.CreateTopic("events", {}).ok());
+  const Status dup = broker_.CreateTopic("events", {});
+  EXPECT_EQ(dup.code(), StatusCode::kAlreadyExists);
+  EXPECT_TRUE(broker_.HasTopic("events"));
+}
+
+TEST_F(BrokerTest, RejectsEmptyTopicName) {
+  EXPECT_EQ(broker_.CreateTopic("", {}).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(BrokerTest, ProduceToUnknownTopicFails) {
+  auto r = broker_.Produce("nope", TextRecord("k", "v"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(BrokerTest, ProduceStampsIngestTime) {
+  ASSERT_TRUE(broker_.CreateTopic("events", {}).ok());
+  clock_.Advance(Duration::Millis(77));
+  auto pos = broker_.Produce("events", TextRecord("k", "v"));
+  ASSERT_TRUE(pos.ok());
+  auto fetched = broker_.Fetch("events", pos->first, pos->second, 1);
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ((*fetched)[0].record.ingest_time.millis(), 77);
+}
+
+TEST_F(BrokerTest, FetchInvalidPartition) {
+  ASSERT_TRUE(broker_.CreateTopic("events", {.partitions = 2}).ok());
+  auto r = broker_.Fetch("events", 9, 0, 1);
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(BrokerTest, SameKeySamePartitionOrdered) {
+  ASSERT_TRUE(broker_.CreateTopic("events", {.partitions = 8}).ok());
+  PartitionId part = 0;
+  for (int i = 0; i < 20; ++i) {
+    auto pos = broker_.Produce("events", TextRecord("vehicle-7", std::to_string(i)));
+    ASSERT_TRUE(pos.ok());
+    if (i == 0) part = pos->first;
+    EXPECT_EQ(pos->first, part) << "key must map to one partition";
+  }
+  auto fetched = broker_.Fetch("events", part, 0, 100);
+  ASSERT_TRUE(fetched.ok());
+  ASSERT_EQ(fetched->size(), 20u);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ((*fetched)[static_cast<std::size_t>(i)].record.TextPayload(),
+              std::to_string(i));
+  }
+}
+
+TEST_F(BrokerTest, RetentionAcrossTopics) {
+  TopicConfig cfg;
+  cfg.retention_records = 2;
+  ASSERT_TRUE(broker_.CreateTopic("a", cfg).ok());
+  ASSERT_TRUE(broker_.CreateTopic("b", cfg).ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(broker_.Produce("a", TextRecord("", "x")).ok());
+    ASSERT_TRUE(broker_.Produce("b", TextRecord("", "x")).ok());
+  }
+  EXPECT_GT(broker_.RunRetention(), 0u);
+  EXPECT_EQ((*broker_.GetTopic("a"))->TotalRecords(), 2u);
+}
+
+TEST_F(BrokerTest, DeleteTopic) {
+  ASSERT_TRUE(broker_.CreateTopic("gone", {}).ok());
+  EXPECT_TRUE(broker_.DeleteTopic("gone").ok());
+  EXPECT_FALSE(broker_.HasTopic("gone"));
+  EXPECT_EQ(broker_.DeleteTopic("gone").code(), StatusCode::kNotFound);
+}
+
+TEST_F(BrokerTest, ProducerCountsAndBatch) {
+  ASSERT_TRUE(broker_.CreateTopic("events", {.partitions = 2}).ok());
+  Producer prod(broker_, "events");
+  std::vector<Record> batch;
+  for (int i = 0; i < 10; ++i) batch.push_back(TextRecord("k" + std::to_string(i), "v"));
+  EXPECT_TRUE(prod.SendBatch(std::move(batch)).ok());
+  EXPECT_EQ(prod.sent(), 10u);
+  EXPECT_EQ(broker_.total_produced(), 10u);
+}
+
+TEST_F(BrokerTest, TopicNamesSorted) {
+  ASSERT_TRUE(broker_.CreateTopic("zeta", {}).ok());
+  ASSERT_TRUE(broker_.CreateTopic("alpha", {}).ok());
+  const auto names = broker_.TopicNames();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "alpha");
+  EXPECT_EQ(names[1], "zeta");
+}
+
+}  // namespace
+}  // namespace arbd::stream
