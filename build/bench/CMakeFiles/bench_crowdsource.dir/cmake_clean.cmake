@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_crowdsource.dir/bench_crowdsource.cc.o"
+  "CMakeFiles/bench_crowdsource.dir/bench_crowdsource.cc.o.d"
+  "bench_crowdsource"
+  "bench_crowdsource.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_crowdsource.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_emergency.dir/bench_emergency.cc.o"
+  "CMakeFiles/bench_emergency.dir/bench_emergency.cc.o.d"
+  "bench_emergency"
+  "bench_emergency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_emergency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_geo_query.dir/bench_geo_query.cc.o"
+  "CMakeFiles/bench_geo_query.dir/bench_geo_query.cc.o.d"
+  "bench_geo_query"
+  "bench_geo_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_geo_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_healthcare.dir/bench_healthcare.cc.o"
+  "CMakeFiles/bench_healthcare.dir/bench_healthcare.cc.o.d"
+  "bench_healthcare"
+  "bench_healthcare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_healthcare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

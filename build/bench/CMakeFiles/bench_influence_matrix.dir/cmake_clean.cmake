@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_influence_matrix.dir/bench_influence_matrix.cc.o"
+  "CMakeFiles/bench_influence_matrix.dir/bench_influence_matrix.cc.o.d"
+  "bench_influence_matrix"
+  "bench_influence_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_influence_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

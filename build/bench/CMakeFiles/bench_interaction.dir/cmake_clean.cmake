@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_interaction.dir/bench_interaction.cc.o"
+  "CMakeFiles/bench_interaction.dir/bench_interaction.cc.o.d"
+  "bench_interaction"
+  "bench_interaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_interaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

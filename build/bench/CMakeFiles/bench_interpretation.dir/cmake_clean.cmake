@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_interpretation.dir/bench_interpretation.cc.o"
+  "CMakeFiles/bench_interpretation.dir/bench_interpretation.cc.o.d"
+  "bench_interpretation"
+  "bench_interpretation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_interpretation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

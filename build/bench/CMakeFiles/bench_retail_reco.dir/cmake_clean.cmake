@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_retail_reco.dir/bench_retail_reco.cc.o"
+  "CMakeFiles/bench_retail_reco.dir/bench_retail_reco.cc.o.d"
+  "bench_retail_reco"
+  "bench_retail_reco.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_retail_reco.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

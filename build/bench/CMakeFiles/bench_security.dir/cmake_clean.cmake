@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_security.dir/bench_security.cc.o"
+  "CMakeFiles/bench_security.dir/bench_security.cc.o.d"
+  "bench_security"
+  "bench_security.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

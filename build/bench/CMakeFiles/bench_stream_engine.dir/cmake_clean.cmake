@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stream_engine.dir/bench_stream_engine.cc.o"
+  "CMakeFiles/bench_stream_engine.dir/bench_stream_engine.cc.o.d"
+  "bench_stream_engine"
+  "bench_stream_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stream_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tracking.dir/bench_tracking.cc.o"
+  "CMakeFiles/bench_tracking.dir/bench_tracking.cc.o.d"
+  "bench_tracking"
+  "bench_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

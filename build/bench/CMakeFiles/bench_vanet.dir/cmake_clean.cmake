@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vanet.dir/bench_vanet.cc.o"
+  "CMakeFiles/bench_vanet.dir/bench_vanet.cc.o.d"
+  "bench_vanet"
+  "bench_vanet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vanet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

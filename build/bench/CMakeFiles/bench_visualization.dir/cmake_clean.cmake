@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_visualization.dir/bench_visualization.cc.o"
+  "CMakeFiles/bench_visualization.dir/bench_visualization.cc.o.d"
+  "bench_visualization"
+  "bench_visualization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_visualization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

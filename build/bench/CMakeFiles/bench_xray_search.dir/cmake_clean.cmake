@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_xray_search.dir/bench_xray_search.cc.o"
+  "CMakeFiles/bench_xray_search.dir/bench_xray_search.cc.o.d"
+  "bench_xray_search"
+  "bench_xray_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_xray_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

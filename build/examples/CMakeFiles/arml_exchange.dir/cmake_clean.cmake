@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arml_exchange.dir/arml_exchange.cpp.o"
+  "CMakeFiles/arml_exchange.dir/arml_exchange.cpp.o.d"
+  "arml_exchange"
+  "arml_exchange.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arml_exchange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for arml_exchange.
+# This may be replaced when dependencies are built.

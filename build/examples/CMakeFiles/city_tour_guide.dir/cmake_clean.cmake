@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/city_tour_guide.dir/city_tour_guide.cpp.o"
+  "CMakeFiles/city_tour_guide.dir/city_tour_guide.cpp.o.d"
+  "city_tour_guide"
+  "city_tour_guide.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/city_tour_guide.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

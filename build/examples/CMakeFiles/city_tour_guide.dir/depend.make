@@ -1,0 +1,2 @@
+# Empty dependencies file for city_tour_guide.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/field_inspection.cpp" "examples/CMakeFiles/field_inspection.dir/field_inspection.cpp.o" "gcc" "examples/CMakeFiles/field_inspection.dir/field_inspection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scenarios/CMakeFiles/arbd_scenarios.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/arbd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ar/CMakeFiles/arbd_ar.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/arbd_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytics/CMakeFiles/arbd_analytics.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/arbd_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/privacy/CMakeFiles/arbd_privacy.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/arbd_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/offload/CMakeFiles/arbd_offload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/arbd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

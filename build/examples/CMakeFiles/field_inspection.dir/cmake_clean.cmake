@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/field_inspection.dir/field_inspection.cpp.o"
+  "CMakeFiles/field_inspection.dir/field_inspection.cpp.o.d"
+  "field_inspection"
+  "field_inspection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/field_inspection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_safety.dir/fleet_safety.cpp.o"
+  "CMakeFiles/fleet_safety.dir/fleet_safety.cpp.o.d"
+  "fleet_safety"
+  "fleet_safety.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_safety.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

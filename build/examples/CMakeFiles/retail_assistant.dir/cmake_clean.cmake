@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retail_assistant.dir/retail_assistant.cpp.o"
+  "CMakeFiles/retail_assistant.dir/retail_assistant.cpp.o.d"
+  "retail_assistant"
+  "retail_assistant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retail_assistant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for retail_assistant.
+# This may be replaced when dependencies are built.

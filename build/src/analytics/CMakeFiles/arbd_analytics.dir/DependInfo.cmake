@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analytics/join.cc" "src/analytics/CMakeFiles/arbd_analytics.dir/join.cc.o" "gcc" "src/analytics/CMakeFiles/arbd_analytics.dir/join.cc.o.d"
+  "/root/repo/src/analytics/recommend.cc" "src/analytics/CMakeFiles/arbd_analytics.dir/recommend.cc.o" "gcc" "src/analytics/CMakeFiles/arbd_analytics.dir/recommend.cc.o.d"
+  "/root/repo/src/analytics/sketches.cc" "src/analytics/CMakeFiles/arbd_analytics.dir/sketches.cc.o" "gcc" "src/analytics/CMakeFiles/arbd_analytics.dir/sketches.cc.o.d"
+  "/root/repo/src/analytics/stats.cc" "src/analytics/CMakeFiles/arbd_analytics.dir/stats.cc.o" "gcc" "src/analytics/CMakeFiles/arbd_analytics.dir/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/arbd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/arbd_stream.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arbd_analytics.dir/join.cc.o"
+  "CMakeFiles/arbd_analytics.dir/join.cc.o.d"
+  "CMakeFiles/arbd_analytics.dir/recommend.cc.o"
+  "CMakeFiles/arbd_analytics.dir/recommend.cc.o.d"
+  "CMakeFiles/arbd_analytics.dir/sketches.cc.o"
+  "CMakeFiles/arbd_analytics.dir/sketches.cc.o.d"
+  "CMakeFiles/arbd_analytics.dir/stats.cc.o"
+  "CMakeFiles/arbd_analytics.dir/stats.cc.o.d"
+  "libarbd_analytics.a"
+  "libarbd_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arbd_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

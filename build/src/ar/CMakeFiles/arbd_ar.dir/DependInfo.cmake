@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ar/arml.cc" "src/ar/CMakeFiles/arbd_ar.dir/arml.cc.o" "gcc" "src/ar/CMakeFiles/arbd_ar.dir/arml.cc.o.d"
+  "/root/repo/src/ar/content.cc" "src/ar/CMakeFiles/arbd_ar.dir/content.cc.o" "gcc" "src/ar/CMakeFiles/arbd_ar.dir/content.cc.o.d"
+  "/root/repo/src/ar/frustum.cc" "src/ar/CMakeFiles/arbd_ar.dir/frustum.cc.o" "gcc" "src/ar/CMakeFiles/arbd_ar.dir/frustum.cc.o.d"
+  "/root/repo/src/ar/interaction.cc" "src/ar/CMakeFiles/arbd_ar.dir/interaction.cc.o" "gcc" "src/ar/CMakeFiles/arbd_ar.dir/interaction.cc.o.d"
+  "/root/repo/src/ar/layout.cc" "src/ar/CMakeFiles/arbd_ar.dir/layout.cc.o" "gcc" "src/ar/CMakeFiles/arbd_ar.dir/layout.cc.o.d"
+  "/root/repo/src/ar/occlusion.cc" "src/ar/CMakeFiles/arbd_ar.dir/occlusion.cc.o" "gcc" "src/ar/CMakeFiles/arbd_ar.dir/occlusion.cc.o.d"
+  "/root/repo/src/ar/registration.cc" "src/ar/CMakeFiles/arbd_ar.dir/registration.cc.o" "gcc" "src/ar/CMakeFiles/arbd_ar.dir/registration.cc.o.d"
+  "/root/repo/src/ar/scene.cc" "src/ar/CMakeFiles/arbd_ar.dir/scene.cc.o" "gcc" "src/ar/CMakeFiles/arbd_ar.dir/scene.cc.o.d"
+  "/root/repo/src/ar/tracker.cc" "src/ar/CMakeFiles/arbd_ar.dir/tracker.cc.o" "gcc" "src/ar/CMakeFiles/arbd_ar.dir/tracker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/arbd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/arbd_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/arbd_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/arbd_stream.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

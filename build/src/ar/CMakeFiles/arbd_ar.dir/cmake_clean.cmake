@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arbd_ar.dir/arml.cc.o"
+  "CMakeFiles/arbd_ar.dir/arml.cc.o.d"
+  "CMakeFiles/arbd_ar.dir/content.cc.o"
+  "CMakeFiles/arbd_ar.dir/content.cc.o.d"
+  "CMakeFiles/arbd_ar.dir/frustum.cc.o"
+  "CMakeFiles/arbd_ar.dir/frustum.cc.o.d"
+  "CMakeFiles/arbd_ar.dir/interaction.cc.o"
+  "CMakeFiles/arbd_ar.dir/interaction.cc.o.d"
+  "CMakeFiles/arbd_ar.dir/layout.cc.o"
+  "CMakeFiles/arbd_ar.dir/layout.cc.o.d"
+  "CMakeFiles/arbd_ar.dir/occlusion.cc.o"
+  "CMakeFiles/arbd_ar.dir/occlusion.cc.o.d"
+  "CMakeFiles/arbd_ar.dir/registration.cc.o"
+  "CMakeFiles/arbd_ar.dir/registration.cc.o.d"
+  "CMakeFiles/arbd_ar.dir/scene.cc.o"
+  "CMakeFiles/arbd_ar.dir/scene.cc.o.d"
+  "CMakeFiles/arbd_ar.dir/tracker.cc.o"
+  "CMakeFiles/arbd_ar.dir/tracker.cc.o.d"
+  "libarbd_ar.a"
+  "libarbd_ar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arbd_ar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for arbd_ar.
+# This may be replaced when dependencies are built.

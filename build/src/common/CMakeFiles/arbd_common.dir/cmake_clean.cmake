@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arbd_common.dir/clock.cc.o"
+  "CMakeFiles/arbd_common.dir/clock.cc.o.d"
+  "CMakeFiles/arbd_common.dir/log.cc.o"
+  "CMakeFiles/arbd_common.dir/log.cc.o.d"
+  "CMakeFiles/arbd_common.dir/metrics.cc.o"
+  "CMakeFiles/arbd_common.dir/metrics.cc.o.d"
+  "CMakeFiles/arbd_common.dir/serialize.cc.o"
+  "CMakeFiles/arbd_common.dir/serialize.cc.o.d"
+  "libarbd_common.a"
+  "libarbd_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arbd_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

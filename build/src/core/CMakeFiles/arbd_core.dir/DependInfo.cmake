@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/context.cc" "src/core/CMakeFiles/arbd_core.dir/context.cc.o" "gcc" "src/core/CMakeFiles/arbd_core.dir/context.cc.o.d"
+  "/root/repo/src/core/interpretation.cc" "src/core/CMakeFiles/arbd_core.dir/interpretation.cc.o" "gcc" "src/core/CMakeFiles/arbd_core.dir/interpretation.cc.o.d"
+  "/root/repo/src/core/platform.cc" "src/core/CMakeFiles/arbd_core.dir/platform.cc.o" "gcc" "src/core/CMakeFiles/arbd_core.dir/platform.cc.o.d"
+  "/root/repo/src/core/privacy_guard.cc" "src/core/CMakeFiles/arbd_core.dir/privacy_guard.cc.o" "gcc" "src/core/CMakeFiles/arbd_core.dir/privacy_guard.cc.o.d"
+  "/root/repo/src/core/session.cc" "src/core/CMakeFiles/arbd_core.dir/session.cc.o" "gcc" "src/core/CMakeFiles/arbd_core.dir/session.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/arbd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/arbd_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/arbd_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/arbd_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/ar/CMakeFiles/arbd_ar.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytics/CMakeFiles/arbd_analytics.dir/DependInfo.cmake"
+  "/root/repo/build/src/privacy/CMakeFiles/arbd_privacy.dir/DependInfo.cmake"
+  "/root/repo/build/src/offload/CMakeFiles/arbd_offload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

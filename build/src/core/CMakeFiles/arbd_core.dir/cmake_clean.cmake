@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arbd_core.dir/context.cc.o"
+  "CMakeFiles/arbd_core.dir/context.cc.o.d"
+  "CMakeFiles/arbd_core.dir/interpretation.cc.o"
+  "CMakeFiles/arbd_core.dir/interpretation.cc.o.d"
+  "CMakeFiles/arbd_core.dir/platform.cc.o"
+  "CMakeFiles/arbd_core.dir/platform.cc.o.d"
+  "CMakeFiles/arbd_core.dir/privacy_guard.cc.o"
+  "CMakeFiles/arbd_core.dir/privacy_guard.cc.o.d"
+  "CMakeFiles/arbd_core.dir/session.cc.o"
+  "CMakeFiles/arbd_core.dir/session.cc.o.d"
+  "libarbd_core.a"
+  "libarbd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arbd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

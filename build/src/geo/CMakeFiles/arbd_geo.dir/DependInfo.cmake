@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/city.cc" "src/geo/CMakeFiles/arbd_geo.dir/city.cc.o" "gcc" "src/geo/CMakeFiles/arbd_geo.dir/city.cc.o.d"
+  "/root/repo/src/geo/crowdsource.cc" "src/geo/CMakeFiles/arbd_geo.dir/crowdsource.cc.o" "gcc" "src/geo/CMakeFiles/arbd_geo.dir/crowdsource.cc.o.d"
+  "/root/repo/src/geo/geohash.cc" "src/geo/CMakeFiles/arbd_geo.dir/geohash.cc.o" "gcc" "src/geo/CMakeFiles/arbd_geo.dir/geohash.cc.o.d"
+  "/root/repo/src/geo/latlon.cc" "src/geo/CMakeFiles/arbd_geo.dir/latlon.cc.o" "gcc" "src/geo/CMakeFiles/arbd_geo.dir/latlon.cc.o.d"
+  "/root/repo/src/geo/poi.cc" "src/geo/CMakeFiles/arbd_geo.dir/poi.cc.o" "gcc" "src/geo/CMakeFiles/arbd_geo.dir/poi.cc.o.d"
+  "/root/repo/src/geo/quadtree.cc" "src/geo/CMakeFiles/arbd_geo.dir/quadtree.cc.o" "gcc" "src/geo/CMakeFiles/arbd_geo.dir/quadtree.cc.o.d"
+  "/root/repo/src/geo/route.cc" "src/geo/CMakeFiles/arbd_geo.dir/route.cc.o" "gcc" "src/geo/CMakeFiles/arbd_geo.dir/route.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/arbd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arbd_geo.dir/city.cc.o"
+  "CMakeFiles/arbd_geo.dir/city.cc.o.d"
+  "CMakeFiles/arbd_geo.dir/crowdsource.cc.o"
+  "CMakeFiles/arbd_geo.dir/crowdsource.cc.o.d"
+  "CMakeFiles/arbd_geo.dir/geohash.cc.o"
+  "CMakeFiles/arbd_geo.dir/geohash.cc.o.d"
+  "CMakeFiles/arbd_geo.dir/latlon.cc.o"
+  "CMakeFiles/arbd_geo.dir/latlon.cc.o.d"
+  "CMakeFiles/arbd_geo.dir/poi.cc.o"
+  "CMakeFiles/arbd_geo.dir/poi.cc.o.d"
+  "CMakeFiles/arbd_geo.dir/quadtree.cc.o"
+  "CMakeFiles/arbd_geo.dir/quadtree.cc.o.d"
+  "CMakeFiles/arbd_geo.dir/route.cc.o"
+  "CMakeFiles/arbd_geo.dir/route.cc.o.d"
+  "libarbd_geo.a"
+  "libarbd_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arbd_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

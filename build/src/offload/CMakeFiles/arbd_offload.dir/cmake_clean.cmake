@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arbd_offload.dir/executor.cc.o"
+  "CMakeFiles/arbd_offload.dir/executor.cc.o.d"
+  "CMakeFiles/arbd_offload.dir/network.cc.o"
+  "CMakeFiles/arbd_offload.dir/network.cc.o.d"
+  "CMakeFiles/arbd_offload.dir/scheduler.cc.o"
+  "CMakeFiles/arbd_offload.dir/scheduler.cc.o.d"
+  "libarbd_offload.a"
+  "libarbd_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arbd_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libarbd_offload.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/privacy/attack.cc" "src/privacy/CMakeFiles/arbd_privacy.dir/attack.cc.o" "gcc" "src/privacy/CMakeFiles/arbd_privacy.dir/attack.cc.o.d"
+  "/root/repo/src/privacy/cloak.cc" "src/privacy/CMakeFiles/arbd_privacy.dir/cloak.cc.o" "gcc" "src/privacy/CMakeFiles/arbd_privacy.dir/cloak.cc.o.d"
+  "/root/repo/src/privacy/dp_query.cc" "src/privacy/CMakeFiles/arbd_privacy.dir/dp_query.cc.o" "gcc" "src/privacy/CMakeFiles/arbd_privacy.dir/dp_query.cc.o.d"
+  "/root/repo/src/privacy/mechanisms.cc" "src/privacy/CMakeFiles/arbd_privacy.dir/mechanisms.cc.o" "gcc" "src/privacy/CMakeFiles/arbd_privacy.dir/mechanisms.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/arbd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/arbd_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

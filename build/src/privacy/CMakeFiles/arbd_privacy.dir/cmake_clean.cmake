@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arbd_privacy.dir/attack.cc.o"
+  "CMakeFiles/arbd_privacy.dir/attack.cc.o.d"
+  "CMakeFiles/arbd_privacy.dir/cloak.cc.o"
+  "CMakeFiles/arbd_privacy.dir/cloak.cc.o.d"
+  "CMakeFiles/arbd_privacy.dir/dp_query.cc.o"
+  "CMakeFiles/arbd_privacy.dir/dp_query.cc.o.d"
+  "CMakeFiles/arbd_privacy.dir/mechanisms.cc.o"
+  "CMakeFiles/arbd_privacy.dir/mechanisms.cc.o.d"
+  "libarbd_privacy.a"
+  "libarbd_privacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arbd_privacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arbd_scenarios.dir/emergency.cc.o"
+  "CMakeFiles/arbd_scenarios.dir/emergency.cc.o.d"
+  "CMakeFiles/arbd_scenarios.dir/healthcare.cc.o"
+  "CMakeFiles/arbd_scenarios.dir/healthcare.cc.o.d"
+  "CMakeFiles/arbd_scenarios.dir/retail.cc.o"
+  "CMakeFiles/arbd_scenarios.dir/retail.cc.o.d"
+  "CMakeFiles/arbd_scenarios.dir/security.cc.o"
+  "CMakeFiles/arbd_scenarios.dir/security.cc.o.d"
+  "CMakeFiles/arbd_scenarios.dir/tourism.cc.o"
+  "CMakeFiles/arbd_scenarios.dir/tourism.cc.o.d"
+  "CMakeFiles/arbd_scenarios.dir/transport.cc.o"
+  "CMakeFiles/arbd_scenarios.dir/transport.cc.o.d"
+  "libarbd_scenarios.a"
+  "libarbd_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arbd_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sensors/models.cc" "src/sensors/CMakeFiles/arbd_sensors.dir/models.cc.o" "gcc" "src/sensors/CMakeFiles/arbd_sensors.dir/models.cc.o.d"
+  "/root/repo/src/sensors/rig.cc" "src/sensors/CMakeFiles/arbd_sensors.dir/rig.cc.o" "gcc" "src/sensors/CMakeFiles/arbd_sensors.dir/rig.cc.o.d"
+  "/root/repo/src/sensors/trajectory.cc" "src/sensors/CMakeFiles/arbd_sensors.dir/trajectory.cc.o" "gcc" "src/sensors/CMakeFiles/arbd_sensors.dir/trajectory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/arbd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/arbd_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arbd_sensors.dir/models.cc.o"
+  "CMakeFiles/arbd_sensors.dir/models.cc.o.d"
+  "CMakeFiles/arbd_sensors.dir/rig.cc.o"
+  "CMakeFiles/arbd_sensors.dir/rig.cc.o.d"
+  "CMakeFiles/arbd_sensors.dir/trajectory.cc.o"
+  "CMakeFiles/arbd_sensors.dir/trajectory.cc.o.d"
+  "libarbd_sensors.a"
+  "libarbd_sensors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arbd_sensors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

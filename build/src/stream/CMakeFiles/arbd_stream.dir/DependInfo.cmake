@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stream/consumer.cc" "src/stream/CMakeFiles/arbd_stream.dir/consumer.cc.o" "gcc" "src/stream/CMakeFiles/arbd_stream.dir/consumer.cc.o.d"
+  "/root/repo/src/stream/dataflow.cc" "src/stream/CMakeFiles/arbd_stream.dir/dataflow.cc.o" "gcc" "src/stream/CMakeFiles/arbd_stream.dir/dataflow.cc.o.d"
+  "/root/repo/src/stream/log.cc" "src/stream/CMakeFiles/arbd_stream.dir/log.cc.o" "gcc" "src/stream/CMakeFiles/arbd_stream.dir/log.cc.o.d"
+  "/root/repo/src/stream/record.cc" "src/stream/CMakeFiles/arbd_stream.dir/record.cc.o" "gcc" "src/stream/CMakeFiles/arbd_stream.dir/record.cc.o.d"
+  "/root/repo/src/stream/recovery.cc" "src/stream/CMakeFiles/arbd_stream.dir/recovery.cc.o" "gcc" "src/stream/CMakeFiles/arbd_stream.dir/recovery.cc.o.d"
+  "/root/repo/src/stream/table.cc" "src/stream/CMakeFiles/arbd_stream.dir/table.cc.o" "gcc" "src/stream/CMakeFiles/arbd_stream.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/arbd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

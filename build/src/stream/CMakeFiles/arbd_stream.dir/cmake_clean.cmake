@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arbd_stream.dir/consumer.cc.o"
+  "CMakeFiles/arbd_stream.dir/consumer.cc.o.d"
+  "CMakeFiles/arbd_stream.dir/dataflow.cc.o"
+  "CMakeFiles/arbd_stream.dir/dataflow.cc.o.d"
+  "CMakeFiles/arbd_stream.dir/log.cc.o"
+  "CMakeFiles/arbd_stream.dir/log.cc.o.d"
+  "CMakeFiles/arbd_stream.dir/record.cc.o"
+  "CMakeFiles/arbd_stream.dir/record.cc.o.d"
+  "CMakeFiles/arbd_stream.dir/recovery.cc.o"
+  "CMakeFiles/arbd_stream.dir/recovery.cc.o.d"
+  "CMakeFiles/arbd_stream.dir/table.cc.o"
+  "CMakeFiles/arbd_stream.dir/table.cc.o.d"
+  "libarbd_stream.a"
+  "libarbd_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arbd_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analytics_test.cc" "tests/CMakeFiles/arbd_tests.dir/analytics_test.cc.o" "gcc" "tests/CMakeFiles/arbd_tests.dir/analytics_test.cc.o.d"
+  "/root/repo/tests/ar_content_test.cc" "tests/CMakeFiles/arbd_tests.dir/ar_content_test.cc.o" "gcc" "tests/CMakeFiles/arbd_tests.dir/ar_content_test.cc.o.d"
+  "/root/repo/tests/ar_tracker_test.cc" "tests/CMakeFiles/arbd_tests.dir/ar_tracker_test.cc.o" "gcc" "tests/CMakeFiles/arbd_tests.dir/ar_tracker_test.cc.o.d"
+  "/root/repo/tests/ar_view_test.cc" "tests/CMakeFiles/arbd_tests.dir/ar_view_test.cc.o" "gcc" "tests/CMakeFiles/arbd_tests.dir/ar_view_test.cc.o.d"
+  "/root/repo/tests/arml_test.cc" "tests/CMakeFiles/arbd_tests.dir/arml_test.cc.o" "gcc" "tests/CMakeFiles/arbd_tests.dir/arml_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/arbd_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/arbd_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/core_test.cc" "tests/CMakeFiles/arbd_tests.dir/core_test.cc.o" "gcc" "tests/CMakeFiles/arbd_tests.dir/core_test.cc.o.d"
+  "/root/repo/tests/crowdsource_test.cc" "tests/CMakeFiles/arbd_tests.dir/crowdsource_test.cc.o" "gcc" "tests/CMakeFiles/arbd_tests.dir/crowdsource_test.cc.o.d"
+  "/root/repo/tests/dp_query_test.cc" "tests/CMakeFiles/arbd_tests.dir/dp_query_test.cc.o" "gcc" "tests/CMakeFiles/arbd_tests.dir/dp_query_test.cc.o.d"
+  "/root/repo/tests/emergency_test.cc" "tests/CMakeFiles/arbd_tests.dir/emergency_test.cc.o" "gcc" "tests/CMakeFiles/arbd_tests.dir/emergency_test.cc.o.d"
+  "/root/repo/tests/geo_test.cc" "tests/CMakeFiles/arbd_tests.dir/geo_test.cc.o" "gcc" "tests/CMakeFiles/arbd_tests.dir/geo_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/arbd_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/arbd_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/interaction_test.cc" "tests/CMakeFiles/arbd_tests.dir/interaction_test.cc.o" "gcc" "tests/CMakeFiles/arbd_tests.dir/interaction_test.cc.o.d"
+  "/root/repo/tests/join_table_test.cc" "tests/CMakeFiles/arbd_tests.dir/join_table_test.cc.o" "gcc" "tests/CMakeFiles/arbd_tests.dir/join_table_test.cc.o.d"
+  "/root/repo/tests/offload_test.cc" "tests/CMakeFiles/arbd_tests.dir/offload_test.cc.o" "gcc" "tests/CMakeFiles/arbd_tests.dir/offload_test.cc.o.d"
+  "/root/repo/tests/poi_city_test.cc" "tests/CMakeFiles/arbd_tests.dir/poi_city_test.cc.o" "gcc" "tests/CMakeFiles/arbd_tests.dir/poi_city_test.cc.o.d"
+  "/root/repo/tests/privacy_guard_test.cc" "tests/CMakeFiles/arbd_tests.dir/privacy_guard_test.cc.o" "gcc" "tests/CMakeFiles/arbd_tests.dir/privacy_guard_test.cc.o.d"
+  "/root/repo/tests/privacy_test.cc" "tests/CMakeFiles/arbd_tests.dir/privacy_test.cc.o" "gcc" "tests/CMakeFiles/arbd_tests.dir/privacy_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/arbd_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/arbd_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/quadtree_test.cc" "tests/CMakeFiles/arbd_tests.dir/quadtree_test.cc.o" "gcc" "tests/CMakeFiles/arbd_tests.dir/quadtree_test.cc.o.d"
+  "/root/repo/tests/recommend_test.cc" "tests/CMakeFiles/arbd_tests.dir/recommend_test.cc.o" "gcc" "tests/CMakeFiles/arbd_tests.dir/recommend_test.cc.o.d"
+  "/root/repo/tests/recovery_test.cc" "tests/CMakeFiles/arbd_tests.dir/recovery_test.cc.o" "gcc" "tests/CMakeFiles/arbd_tests.dir/recovery_test.cc.o.d"
+  "/root/repo/tests/registration_test.cc" "tests/CMakeFiles/arbd_tests.dir/registration_test.cc.o" "gcc" "tests/CMakeFiles/arbd_tests.dir/registration_test.cc.o.d"
+  "/root/repo/tests/route_test.cc" "tests/CMakeFiles/arbd_tests.dir/route_test.cc.o" "gcc" "tests/CMakeFiles/arbd_tests.dir/route_test.cc.o.d"
+  "/root/repo/tests/scenarios_test.cc" "tests/CMakeFiles/arbd_tests.dir/scenarios_test.cc.o" "gcc" "tests/CMakeFiles/arbd_tests.dir/scenarios_test.cc.o.d"
+  "/root/repo/tests/security_test.cc" "tests/CMakeFiles/arbd_tests.dir/security_test.cc.o" "gcc" "tests/CMakeFiles/arbd_tests.dir/security_test.cc.o.d"
+  "/root/repo/tests/sensors_test.cc" "tests/CMakeFiles/arbd_tests.dir/sensors_test.cc.o" "gcc" "tests/CMakeFiles/arbd_tests.dir/sensors_test.cc.o.d"
+  "/root/repo/tests/stream_consumer_test.cc" "tests/CMakeFiles/arbd_tests.dir/stream_consumer_test.cc.o" "gcc" "tests/CMakeFiles/arbd_tests.dir/stream_consumer_test.cc.o.d"
+  "/root/repo/tests/stream_dataflow_test.cc" "tests/CMakeFiles/arbd_tests.dir/stream_dataflow_test.cc.o" "gcc" "tests/CMakeFiles/arbd_tests.dir/stream_dataflow_test.cc.o.d"
+  "/root/repo/tests/stream_log_test.cc" "tests/CMakeFiles/arbd_tests.dir/stream_log_test.cc.o" "gcc" "tests/CMakeFiles/arbd_tests.dir/stream_log_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scenarios/CMakeFiles/arbd_scenarios.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/arbd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ar/CMakeFiles/arbd_ar.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/arbd_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytics/CMakeFiles/arbd_analytics.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/arbd_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/privacy/CMakeFiles/arbd_privacy.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/arbd_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/offload/CMakeFiles/arbd_offload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/arbd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
