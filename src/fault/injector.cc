@@ -1,0 +1,63 @@
+#include "fault/injector.h"
+
+#include <algorithm>
+#include <string>
+
+namespace arbd::fault {
+
+const char* InjectionPointName(InjectionPoint point) {
+  switch (point) {
+    case InjectionPoint::kBrokerAppend: return "broker.append";
+    case InjectionPoint::kBrokerFetch: return "broker.fetch";
+    case InjectionPoint::kJobPumpRecord: return "job.pump";
+    case InjectionPoint::kJobCheckpoint: return "job.checkpoint";
+    case InjectionPoint::kJobRecover: return "job.recover";
+    case InjectionPoint::kNetTransfer: return "net.transfer";
+    case InjectionPoint::kTaskExecute: return "task.execute";
+  }
+  return "unknown";
+}
+
+bool FaultInjector::Fire(FaultKind kind, InjectionPoint point) {
+  const FaultRule* rule = plan_.Find(kind);
+  if (rule == nullptr) return false;
+  const std::uint64_t opportunity = opportunities_++;
+  if (!rng_.Bernoulli(rule->probability)) return false;
+  events_.push_back({opportunity, kind, point});
+  ++injected_[kind];
+  if (metrics_ != nullptr) {
+    metrics_->Add(std::string("fault.injected.") + FaultKindName(kind));
+  }
+  return true;
+}
+
+Duration FaultInjector::FireDuration(FaultKind kind, InjectionPoint point) {
+  if (!Fire(kind, point)) return Duration::Zero();
+  const FaultRule* rule = plan_.Find(kind);
+  return std::max(Duration::Zero(), rule->duration);
+}
+
+double FaultInjector::FireScale(FaultKind kind, InjectionPoint point) {
+  if (!Fire(kind, point)) return 1.0;
+  const FaultRule* rule = plan_.Find(kind);
+  return std::max(1.0, rule->magnitude);
+}
+
+void FaultInjector::RecordSurvival(FaultKind kind) {
+  ++survived_[kind];
+  if (metrics_ != nullptr) {
+    metrics_->Add(std::string("fault.survived.") + FaultKindName(kind));
+  }
+}
+
+std::uint64_t FaultInjector::injected(FaultKind kind) const {
+  auto it = injected_.find(kind);
+  return it == injected_.end() ? 0 : it->second;
+}
+
+std::uint64_t FaultInjector::survived(FaultKind kind) const {
+  auto it = survived_.find(kind);
+  return it == survived_.end() ? 0 : it->second;
+}
+
+}  // namespace arbd::fault

@@ -1,0 +1,85 @@
+// Seed-driven fault injector. Each call site that can fail declares a
+// named injection point and asks the injector whether the fault fires on
+// this opportunity. Decisions come from a private xoshiro stream
+// (arbd::Rng), so a (plan, seed) pair yields a bit-reproducible fault
+// schedule: the whole point, per "Toward Scalable and Controllable AR
+// Experimentation", is that chaos runs are repeatable experiments.
+//
+// Determinism contract: an opportunity consumes randomness only when the
+// plan has a rule for the queried kind, so instrumenting new call sites
+// never perturbs the schedules of plans that do not exercise them.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "fault/plan.h"
+
+namespace arbd::fault {
+
+// Where in the system an opportunity arose (for logs and counters).
+enum class InjectionPoint {
+  kBrokerAppend,
+  kBrokerFetch,
+  kJobPumpRecord,
+  kJobCheckpoint,
+  kJobRecover,
+  kNetTransfer,
+  kTaskExecute,
+};
+
+const char* InjectionPointName(InjectionPoint point);
+
+// One fired fault. `opportunity` is the index of the decision (among
+// decisions that consumed randomness) that fired, so two schedules can be
+// compared position-by-position.
+struct FaultEvent {
+  std::uint64_t opportunity = 0;
+  FaultKind kind = FaultKind::kCrash;
+  InjectionPoint point = InjectionPoint::kBrokerAppend;
+
+  bool operator==(const FaultEvent&) const = default;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(FaultPlan plan, std::uint64_t seed,
+                MetricRegistry* metrics = nullptr)
+      : plan_(std::move(plan)), rng_(seed), metrics_(metrics) {}
+
+  // Does `kind` fire at `point` on this opportunity?
+  bool Fire(FaultKind kind, InjectionPoint point);
+
+  // Duration-valued faults (stall, outage): the rule's duration when it
+  // fires, zero otherwise.
+  Duration FireDuration(FaultKind kind, InjectionPoint point);
+
+  // Multiplier faults (latency spike): the rule's magnitude when it fires
+  // (>= 1 enforced), 1.0 otherwise.
+  double FireScale(FaultKind kind, InjectionPoint point);
+
+  // The caller absorbed a fired fault without losing data — the number the
+  // chaos harness checks against injected counts.
+  void RecordSurvival(FaultKind kind);
+
+  const FaultPlan& plan() const { return plan_; }
+  const std::vector<FaultEvent>& events() const { return events_; }
+  std::uint64_t opportunities() const { return opportunities_; }
+  std::uint64_t injected(FaultKind kind) const;
+  std::uint64_t survived(FaultKind kind) const;
+  std::uint64_t total_injected() const { return events_.size(); }
+
+ private:
+  FaultPlan plan_;
+  Rng rng_;
+  MetricRegistry* metrics_;
+  std::uint64_t opportunities_ = 0;
+  std::vector<FaultEvent> events_;
+  std::map<FaultKind, std::uint64_t> injected_;
+  std::map<FaultKind, std::uint64_t> survived_;
+};
+
+}  // namespace arbd::fault

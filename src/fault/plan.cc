@@ -1,0 +1,157 @@
+#include "fault/plan.h"
+
+#include <array>
+#include <cstdlib>
+#include <utility>
+
+namespace arbd::fault {
+namespace {
+
+constexpr std::array<std::pair<FaultKind, const char*>, 11> kKindNames = {{
+    {FaultKind::kCrash, "crash"},
+    {FaultKind::kTornAppend, "torn"},
+    {FaultKind::kAppendError, "apperr"},
+    {FaultKind::kFetchError, "fetcherr"},
+    {FaultKind::kCheckpointFail, "ckptfail"},
+    {FaultKind::kSnapshotCorrupt, "snapcorrupt"},
+    {FaultKind::kNetLoss, "netloss"},
+    {FaultKind::kOutage, "outage"},
+    {FaultKind::kLatencySpike, "spike"},
+    {FaultKind::kStall, "stall"},
+    {FaultKind::kTaskFail, "taskfail"},
+}};
+
+bool ParseDouble(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size()) return false;
+  *out = v;
+  return true;
+}
+
+std::vector<std::string> Split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t pos = s.find(sep, start);
+    if (pos == std::string::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* FaultKindName(FaultKind kind) {
+  for (const auto& [k, name] : kKindNames) {
+    if (k == kind) return name;
+  }
+  return "unknown";
+}
+
+Expected<FaultPlan> FaultPlan::Parse(const std::string& spec) {
+  FaultPlan plan;
+  if (spec.empty()) return plan;
+  for (const std::string& token : Split(spec, ';')) {
+    if (token.empty()) {
+      return Status::InvalidArgument("empty rule in fault spec '" + spec + "'");
+    }
+    const std::size_t at = token.find('@');
+    if (at == std::string::npos) {
+      return Status::InvalidArgument("rule '" + token + "' missing '@params'");
+    }
+    const std::string kind_name = token.substr(0, at);
+    FaultRule rule;
+    bool known = false;
+    for (const auto& [k, name] : kKindNames) {
+      if (kind_name == name) {
+        rule.kind = k;
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      return Status::InvalidArgument("unknown fault kind '" + kind_name + "'");
+    }
+    bool have_p = false;
+    for (const std::string& param : Split(token.substr(at + 1), ',')) {
+      const std::size_t eq = param.find('=');
+      if (eq == std::string::npos) {
+        return Status::InvalidArgument("param '" + param + "' is not key=value");
+      }
+      const std::string key = param.substr(0, eq);
+      double value = 0.0;
+      if (!ParseDouble(param.substr(eq + 1), &value)) {
+        return Status::InvalidArgument("bad number in param '" + param + "'");
+      }
+      if (key == "p") {
+        if (value < 0.0 || value > 1.0) {
+          return Status::InvalidArgument("p must be in [0,1] in '" + token + "'");
+        }
+        rule.probability = value;
+        have_p = true;
+      } else if (key == "ms") {
+        if (value < 0.0) {
+          return Status::InvalidArgument("ms must be >= 0 in '" + token + "'");
+        }
+        rule.duration = Duration::Seconds(value / 1000.0);
+      } else if (key == "x") {
+        if (value < 0.0) {
+          return Status::InvalidArgument("x must be >= 0 in '" + token + "'");
+        }
+        rule.magnitude = value;
+      } else {
+        return Status::InvalidArgument("unknown param key '" + key + "'");
+      }
+    }
+    if (!have_p) {
+      return Status::InvalidArgument("rule '" + token + "' must set p=");
+    }
+    auto s = plan.Add(rule);
+    if (!s.ok()) return s;
+  }
+  return plan;
+}
+
+Status FaultPlan::Add(FaultRule rule) {
+  if (Find(rule.kind) != nullptr) {
+    return Status::InvalidArgument(std::string("duplicate rule for kind '") +
+                                   FaultKindName(rule.kind) + "'");
+  }
+  rules_.push_back(rule);
+  return Status::Ok();
+}
+
+const FaultRule* FaultPlan::Find(FaultKind kind) const {
+  for (const auto& r : rules_) {
+    if (r.kind == kind) return &r;
+  }
+  return nullptr;
+}
+
+std::string FaultPlan::ToString() const {
+  std::string out;
+  for (const auto& r : rules_) {
+    if (!out.empty()) out += ';';
+    out += FaultKindName(r.kind);
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "@p=%g", r.probability);
+    out += buf;
+    if (r.duration > Duration::Zero()) {
+      std::snprintf(buf, sizeof(buf), ",ms=%g", r.duration.seconds() * 1000.0);
+      out += buf;
+    }
+    if (r.magnitude > 0.0) {
+      std::snprintf(buf, sizeof(buf), ",x=%g", r.magnitude);
+      out += buf;
+    }
+  }
+  return out;
+}
+
+}  // namespace arbd::fault

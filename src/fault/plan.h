@@ -1,0 +1,66 @@
+// Deterministic fault-injection plans (§4.1 robustness): a FaultPlan is a
+// set of rules parsed from a compact spec string, e.g.
+//
+//   "crash@p=1e-4;netloss@p=0.02;stall@ms=50,p=1e-3"
+//
+// Each rule names a fault kind, its per-opportunity probability, and the
+// kind-specific parameters (duration, magnitude). Plans are pure data;
+// FaultInjector (injector.h) turns a plan plus a seed into a
+// bit-reproducible schedule of fault events.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace arbd::fault {
+
+enum class FaultKind {
+  kCrash,           // process crash between records (CheckpointedJob)
+  kTornAppend,      // broker append persists the record but reports failure
+  kAppendError,     // broker append rejected cleanly (nothing persisted)
+  kFetchError,      // broker fetch returns Unavailable
+  kCheckpointFail,  // snapshot write torn; previous checkpoint kept
+  kSnapshotCorrupt, // snapshot decode fails once on recovery (retried)
+  kNetLoss,         // loss burst: extra retransmission round trips
+  kOutage,          // link outage: transfer stalls for the outage duration
+  kLatencySpike,    // sampled RTT multiplied by the spike factor
+  kStall,           // worker stall: injected pause while pumping
+  kTaskFail,        // offloaded task attempt fails (retry with backoff)
+};
+
+// Spec-string token for each kind (also used in ToString / metrics names).
+const char* FaultKindName(FaultKind kind);
+
+struct FaultRule {
+  FaultKind kind = FaultKind::kCrash;
+  double probability = 0.0;                // per opportunity, in [0, 1]
+  Duration duration = Duration::Zero();    // stall / outage length (`ms=`)
+  double magnitude = 0.0;                  // spike factor / burst size (`x=`)
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  // Grammar:  plan  := rule (';' rule)*
+  //           rule  := kind '@' param (',' param)*
+  //           param := 'p=' float | 'ms=' float | 'x=' float
+  // Every rule must set `p`. An empty spec is the empty (fault-free) plan.
+  static Expected<FaultPlan> Parse(const std::string& spec);
+
+  // Canonical spec string that re-parses to this plan.
+  std::string ToString() const;
+
+  Status Add(FaultRule rule);
+  const FaultRule* Find(FaultKind kind) const;
+  const std::vector<FaultRule>& rules() const { return rules_; }
+  bool empty() const { return rules_.empty(); }
+
+ private:
+  std::vector<FaultRule> rules_;
+};
+
+}  // namespace arbd::fault

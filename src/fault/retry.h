@@ -1,0 +1,34 @@
+// Retry with capped exponential backoff and jitter — how the offload
+// layer (and anything else talking over the faulty link) turns injected
+// task failures into graceful degradation instead of dropped work.
+#pragma once
+
+#include <cstddef>
+#include <algorithm>
+
+#include "common/clock.h"
+#include "common/rng.h"
+
+namespace arbd::fault {
+
+struct RetryPolicy {
+  std::size_t max_attempts = 4;                 // total tries, first included
+  Duration base_backoff = Duration::Millis(5);  // before the first retry
+  double multiplier = 2.0;                      // growth per retry
+  double jitter = 0.2;                          // uniform fraction, ±
+  Duration max_backoff = Duration::Seconds(1);  // cap before jitter
+
+  // Backoff before retry number `retry` (1-based: retry 1 follows the
+  // first failed attempt). Jitter never drives the result negative.
+  Duration BackoffFor(std::size_t retry, Rng& rng) const {
+    if (retry == 0) return Duration::Zero();
+    double backoff_s = base_backoff.seconds();
+    for (std::size_t i = 1; i < retry; ++i) backoff_s *= multiplier;
+    backoff_s = std::min(backoff_s, max_backoff.seconds());
+    const double jittered =
+        backoff_s * (1.0 + rng.Uniform(-jitter, jitter));
+    return Duration::Seconds(std::max(0.0, jittered));
+  }
+};
+
+}  // namespace arbd::fault

@@ -7,21 +7,42 @@ namespace arbd::offload {
 Duration NetworkModel::SampledHalfRtt() {
   const double half_ms = cfg_.rtt.seconds() * 1000.0 / 2.0;
   const double jitter_ms = rng_.Gaussian(0.0, cfg_.rtt_jitter.seconds() * 1000.0 / 2.0);
-  return Duration::Millis(0) + Duration::Seconds(std::max(0.1, half_ms + jitter_ms) / 1000.0);
+  // Gaussian jitter can exceed the half-RTT (jitter > rtt/2), which used
+  // to be floored at an arbitrary 0.1 ms; clamp at zero so configs with
+  // tiny RTTs are not silently inflated and the sample is never negative.
+  double sampled_ms = std::max(0.0, half_ms + jitter_ms);
+  if (fault_ != nullptr) {
+    sampled_ms *= fault_->FireScale(fault::FaultKind::kLatencySpike,
+                                    fault::InjectionPoint::kNetTransfer);
+  }
+  return Duration::Seconds(sampled_ms / 1000.0);
+}
+
+Duration NetworkModel::InjectedTransferDelay() {
+  if (fault_ == nullptr) return Duration::Zero();
+  Duration extra = fault_->FireDuration(fault::FaultKind::kOutage,
+                                        fault::InjectionPoint::kNetTransfer);
+  if (fault_->Fire(fault::FaultKind::kNetLoss, fault::InjectionPoint::kNetTransfer)) {
+    // A loss burst: `x` back-to-back retransmissions (default one).
+    const fault::FaultRule* rule = fault_->plan().Find(fault::FaultKind::kNetLoss);
+    const double retries = std::max(1.0, rule->magnitude);
+    extra += cfg_.rtt * retries;
+  }
+  return extra;
 }
 
 Duration NetworkModel::UplinkTime(std::size_t bytes) {
   Duration t = SampledHalfRtt() +
                Duration::Seconds(static_cast<double>(bytes) * 8.0 / (cfg_.uplink_mbps * 1e6));
   if (rng_.Bernoulli(cfg_.loss_rate)) t += cfg_.rtt;  // one retransmission
-  return t;
+  return t + InjectedTransferDelay();
 }
 
 Duration NetworkModel::DownlinkTime(std::size_t bytes) {
   Duration t = SampledHalfRtt() +
                Duration::Seconds(static_cast<double>(bytes) * 8.0 / (cfg_.downlink_mbps * 1e6));
   if (rng_.Bernoulli(cfg_.loss_rate)) t += cfg_.rtt;
-  return t;
+  return t + InjectedTransferDelay();
 }
 
 Duration NetworkModel::RoundTrip(std::size_t request_bytes, std::size_t response_bytes) {

@@ -9,6 +9,7 @@
 
 #include "common/clock.h"
 #include "common/rng.h"
+#include "fault/injector.h"
 
 namespace arbd::offload {
 
@@ -33,11 +34,20 @@ class NetworkModel {
   const NetworkConfig& config() const { return cfg_; }
   void set_config(NetworkConfig cfg) { cfg_ = cfg; }
 
+  // Optional chaos hook (not owned). Per transfer: `spike` multiplies the
+  // sampled RTT by the rule's factor, `outage` adds the rule's duration
+  // (the link is down, the transfer waits it out), and `netloss` adds a
+  // burst of `x` retransmission RTTs on top of the baseline loss_rate.
+  void set_fault_injector(fault::FaultInjector* injector) { fault_ = injector; }
+
  private:
   Duration SampledHalfRtt();
+  // Fault-model additions shared by up- and downlink transfers.
+  Duration InjectedTransferDelay();
 
   NetworkConfig cfg_;
   Rng rng_;
+  fault::FaultInjector* fault_ = nullptr;
 };
 
 }  // namespace arbd::offload

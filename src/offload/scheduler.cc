@@ -37,18 +37,52 @@ TaskOutcome OffloadScheduler::RunCloud(const ComputeTask& task) {
   ++cloud_count_;
   TaskOutcome out;
   out.placement = Placement::kCloud;
-  const Duration up = network_.UplinkTime(task.input_bytes);
-  const Duration exec = cloud_.ExecTime(task);
-  const Duration down = network_.DownlinkTime(task.output_bytes);
-  out.latency = up + exec + down;
-  out.energy_j = device_.TxEnergyJ(up) + device_.IdleEnergyJ(exec) + device_.RxEnergyJ(down);
 
-  // Feed the adaptive estimator the observed network time.
-  const double observed_net_s = (up + down).seconds() -
-                                static_cast<double>(task.input_bytes) / ewma_up_bps_ -
-                                static_cast<double>(task.output_bytes) / ewma_down_bps_;
-  ewma_rtt_s_ = (1.0 - kEwmaAlpha) * ewma_rtt_s_ +
-                kEwmaAlpha * std::max(0.0005, observed_net_s);
+  // Each failed attempt costs the request uplink (the work was shipped
+  // before the failure surfaced) plus the policy's backoff; the retry
+  // budget comes from RetryPolicy, jitter from a dedicated stream so the
+  // network model's schedule is undisturbed.
+  const std::size_t max_attempts = std::max<std::size_t>(1, retry_.max_attempts);
+  for (std::size_t attempt = 1; attempt <= max_attempts; ++attempt) {
+    const bool failed =
+        fault_ != nullptr &&
+        fault_->Fire(fault::FaultKind::kTaskFail, fault::InjectionPoint::kTaskExecute);
+    if (!failed) {
+      const Duration up = network_.UplinkTime(task.input_bytes);
+      const Duration exec = cloud_.ExecTime(task);
+      const Duration down = network_.DownlinkTime(task.output_bytes);
+      out.latency += up + exec + down;
+      out.energy_j +=
+          device_.TxEnergyJ(up) + device_.IdleEnergyJ(exec) + device_.RxEnergyJ(down);
+
+      // Feed the adaptive estimator the observed network time.
+      const double observed_net_s = (up + down).seconds() -
+                                    static_cast<double>(task.input_bytes) / ewma_up_bps_ -
+                                    static_cast<double>(task.output_bytes) / ewma_down_bps_;
+      ewma_rtt_s_ = (1.0 - kEwmaAlpha) * ewma_rtt_s_ +
+                    kEwmaAlpha * std::max(0.0005, observed_net_s);
+      return out;
+    }
+    const Duration up = network_.UplinkTime(task.input_bytes);
+    out.latency += up;
+    out.energy_j += device_.TxEnergyJ(up);
+    fault_->RecordSurvival(fault::FaultKind::kTaskFail);
+    if (attempt < max_attempts) {
+      ++out.retries;
+      ++retry_count_;
+      const Duration backoff = retry_.BackoffFor(attempt, backoff_rng_);
+      out.latency += backoff;
+      out.energy_j += device_.IdleEnergyJ(backoff);
+    }
+  }
+
+  // Cloud exhausted its retry budget: degrade to on-device execution so
+  // the task still completes (never dropped).
+  ++fallback_count_;
+  out.fell_back_local = true;
+  out.placement = Placement::kLocal;
+  out.latency += device_.ExecTime(task);
+  out.energy_j += device_.ExecEnergyJ(task);
   return out;
 }
 

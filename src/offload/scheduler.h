@@ -11,6 +11,9 @@
 
 #include "common/clock.h"
 #include "common/metrics.h"
+#include "common/rng.h"
+#include "fault/injector.h"
+#include "fault/retry.h"
 #include "offload/executor.h"
 #include "offload/network.h"
 
@@ -24,6 +27,8 @@ struct TaskOutcome {
   Placement placement = Placement::kLocal;
   Duration latency;
   double energy_j = 0.0;
+  std::uint32_t retries = 0;     // failed cloud attempts retried
+  bool fell_back_local = false;  // cloud gave up; ran on-device instead
 };
 
 class OffloadScheduler {
@@ -42,6 +47,20 @@ class OffloadScheduler {
   OffloadPolicy policy() const { return policy_; }
   std::uint64_t local_count() const { return local_count_; }
   std::uint64_t cloud_count() const { return cloud_count_; }
+  std::uint64_t retry_count() const { return retry_count_; }
+  std::uint64_t fallback_count() const { return fallback_count_; }
+
+  // Optional chaos hook (not owned): `taskfail` fails individual cloud
+  // attempts, which the scheduler absorbs with capped exponential backoff
+  // (RetryPolicy, jitter drawn from a dedicated seeded stream) and, once
+  // attempts are exhausted, a local fallback — degraded, never dropped.
+  void set_fault_injector(fault::FaultInjector* injector,
+                          std::uint64_t backoff_seed = 0x5eedULL) {
+    fault_ = injector;
+    backoff_rng_ = Rng(backoff_seed);
+  }
+  void set_retry_policy(fault::RetryPolicy policy) { retry_ = policy; }
+  const fault::RetryPolicy& retry_policy() const { return retry_; }
 
  private:
   TaskOutcome RunLocal(const ComputeTask& task);
@@ -58,6 +77,12 @@ class OffloadScheduler {
   double ewma_down_bps_;
   std::uint64_t local_count_ = 0;
   std::uint64_t cloud_count_ = 0;
+  std::uint64_t retry_count_ = 0;
+  std::uint64_t fallback_count_ = 0;
+
+  fault::FaultInjector* fault_ = nullptr;
+  fault::RetryPolicy retry_;
+  Rng backoff_rng_{0x5eedULL};
 };
 
 // One AR frame's workload: the per-frame task DAG flattened to a serial

@@ -118,9 +118,20 @@ Expected<std::pair<PartitionId, Offset>> Broker::Produce(const std::string& topi
                                                          Record record) {
   auto t = GetTopic(topic);
   if (!t.ok()) return t.status();
+  if (fault_ != nullptr &&
+      fault_->Fire(fault::FaultKind::kAppendError, fault::InjectionPoint::kBrokerAppend)) {
+    return Status::Unavailable("injected append error on topic '" + topic + "'");
+  }
+  const bool torn =
+      fault_ != nullptr &&
+      fault_->Fire(fault::FaultKind::kTornAppend, fault::InjectionPoint::kBrokerAppend);
   const PartitionId p = (*t)->PartitionFor(record.key);
   const Offset off = (*t)->partition(p).Append(std::move(record), clock_.Now());
   ++total_produced_;
+  if (torn) {
+    // The record landed but the ack is lost; the producer sees a failure.
+    return Status::Unavailable("injected torn append on topic '" + topic + "'");
+  }
   return std::make_pair(p, off);
 }
 
@@ -132,6 +143,10 @@ Expected<std::vector<StoredRecord>> Broker::Fetch(const std::string& topic,
   if (partition >= (*t)->partition_count()) {
     return Status::OutOfRange("partition " + std::to_string(partition) + " of topic '" +
                               topic + "'");
+  }
+  if (fault_ != nullptr &&
+      fault_->Fire(fault::FaultKind::kFetchError, fault::InjectionPoint::kBrokerFetch)) {
+    return Status::Unavailable("injected fetch error on topic '" + topic + "'");
   }
   return (*t)->partition(partition).Fetch(from, max_records);
 }

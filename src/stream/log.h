@@ -14,6 +14,7 @@
 
 #include "common/clock.h"
 #include "common/status.h"
+#include "fault/injector.h"
 #include "stream/record.h"
 
 namespace arbd::stream {
@@ -109,10 +110,18 @@ class Broker {
 
   std::uint64_t total_produced() const { return total_produced_; }
 
+  // Optional chaos hook (not owned). When set, produce/fetch consult it:
+  // `apperr` rejects the append cleanly, `torn` persists the record but
+  // still reports Unavailable (a retrying producer then duplicates it —
+  // at-least-once, like a real broker losing the ack), and `fetcherr`
+  // fails the fetch without touching the log.
+  void set_fault_injector(fault::FaultInjector* injector) { fault_ = injector; }
+
  private:
   Clock& clock_;
   std::map<std::string, std::unique_ptr<Topic>> topics_;
   std::uint64_t total_produced_ = 0;
+  fault::FaultInjector* fault_ = nullptr;
 };
 
 // Thin producer handle: validates topic existence once and adds batching

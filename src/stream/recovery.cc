@@ -23,6 +23,7 @@ Expected<std::size_t> CheckpointedJob::Pump(std::size_t max_records) {
     if (!s.ok()) return s;
   }
   const auto records = consumer_->Poll(max_records);
+  std::size_t pushed = 0;
   for (const auto& sr : records) {
     auto event = Event::Decode(sr.record.payload);
     if (!event.ok()) {
@@ -38,19 +39,50 @@ Expected<std::size_t> CheckpointedJob::Pump(std::size_t max_records) {
     }
     pipeline_->Push(*event);
     ++since_checkpoint_;
+    ++pushed;
+    if (fault_ != nullptr) {
+      const Duration stall = fault_->FireDuration(fault::FaultKind::kStall,
+                                                  fault::InjectionPoint::kJobPumpRecord);
+      if (stall > Duration::Zero()) {
+        stats_.stalled += stall;
+        fault_->RecordSurvival(fault::FaultKind::kStall);
+      }
+      if (fault_->Fire(fault::FaultKind::kCrash, fault::InjectionPoint::kJobPumpRecord)) {
+        // Crash at an arbitrary point between pump and checkpoint: the rest
+        // of the polled batch and every uncommitted position die with the
+        // worker; the next Pump recovers and replays from the snapshot.
+        InjectCrash();
+        return pushed;
+      }
+    }
   }
   // Checkpoint only at batch boundaries: the consumer's poll positions
   // cover the whole fetched batch, so committing mid-batch would mark
   // records as done before the pipeline saw them.
   if (since_checkpoint_ >= checkpoint_every_) {
     auto s = Checkpoint();
-    if (!s.ok()) return s;
+    if (!s.ok()) {
+      // A torn checkpoint write is survivable — the previous snapshot and
+      // committed offsets still stand, and the write retries at the next
+      // batch boundary. Anything else is a real error.
+      if (s.code() != StatusCode::kUnavailable) return s;
+      if (fault_ != nullptr) fault_->RecordSurvival(fault::FaultKind::kCheckpointFail);
+    }
   }
   return records.size();
 }
 
 Status CheckpointedJob::Checkpoint() {
   if (crashed()) return Status::FailedPrecondition("cannot checkpoint while crashed");
+  if (fault_ != nullptr &&
+      fault_->Fire(fault::FaultKind::kCheckpointFail,
+                   fault::InjectionPoint::kJobCheckpoint)) {
+    // Torn write, detected by checksum before replacing the old snapshot:
+    // state and offsets stay at the previous checkpoint, and
+    // since_checkpoint_ keeps growing so the next boundary retries.
+    ++stats_.checkpoint_failures;
+    return Status::Unavailable("injected torn checkpoint write");
+  }
   snapshot_ = pipeline_->Checkpoint();
   has_snapshot_ = true;
   consumer_->Commit();
@@ -76,6 +108,15 @@ Status CheckpointedJob::Recover() {
   pipeline_ = factory_();
   if (pipeline_ == nullptr) return Status::FailedPrecondition("factory returned null");
   if (has_snapshot_) {
+    if (fault_ != nullptr &&
+        fault_->Fire(fault::FaultKind::kSnapshotCorrupt,
+                     fault::InjectionPoint::kJobRecover)) {
+      // First read of the snapshot decodes garbage; checksummed stable
+      // storage lets the re-read heal it. Counted so chaos runs can see
+      // the path was exercised.
+      ++stats_.snapshot_decode_retries;
+      fault_->RecordSurvival(fault::FaultKind::kSnapshotCorrupt);
+    }
     auto s = pipeline_->Restore(snapshot_);
     if (!s.ok()) return s;
   }

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "common/status.h"
+#include "fault/injector.h"
 #include "stream/consumer.h"
 #include "stream/dataflow.h"
 
@@ -27,6 +28,12 @@ struct RecoveryStats {
   std::uint64_t checkpoints = 0;
   std::uint64_t crashes = 0;
   std::uint64_t decode_failures = 0;
+  // Chaos-mode counters (zero unless a FaultInjector is attached).
+  std::uint64_t checkpoint_failures = 0;      // torn snapshot writes, retried
+  std::uint64_t snapshot_decode_retries = 0;  // corrupt reads healed by re-read
+  Duration stalled = Duration::Zero();        // simulated worker stall time
+
+  bool operator==(const RecoveryStats&) const = default;
 };
 
 class CheckpointedJob {
@@ -54,6 +61,18 @@ class CheckpointedJob {
   const RecoveryStats& stats() const { return stats_; }
   bool crashed() const { return pipeline_ == nullptr; }
 
+  // Records produced but not yet committed by this job's group — the
+  // drain condition chaos harnesses use (a single empty Pump can just be
+  // an injected fetch error, not completion).
+  std::int64_t Lag() const { return group_->TotalLag(); }
+
+  // Optional chaos hook (not owned). Injects `crash` per record pumped,
+  // `stall` pauses per record, `ckptfail` torn checkpoint writes (the
+  // previous snapshot and offsets are kept, so the write is retried at the
+  // next batch boundary), and `snapcorrupt` snapshot-decode failures on
+  // recovery (healed by re-reading — stable storage is checksummed).
+  void set_fault_injector(fault::FaultInjector* injector) { fault_ = injector; }
+
  private:
   Broker& broker_;
   std::string topic_;
@@ -72,6 +91,7 @@ class CheckpointedJob {
   // replayed deliveries.
   std::map<PartitionId, Offset> processed_hwm_;
 
+  fault::FaultInjector* fault_ = nullptr;
   RecoveryStats stats_;
 };
 

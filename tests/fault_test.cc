@@ -1,0 +1,467 @@
+// Fault-injection subsystem: plan parsing, schedule determinism, retry
+// backoff, and the injection points threaded through the broker, the
+// checkpointed job, the network model, and the offload scheduler.
+#include <gtest/gtest.h>
+
+#include "fault/injector.h"
+#include "fault/plan.h"
+#include "fault/retry.h"
+#include "offload/network.h"
+#include "offload/scheduler.h"
+#include "scenarios/chaos.h"
+#include "stream/log.h"
+#include "stream/recovery.h"
+
+namespace arbd {
+namespace {
+
+using fault::FaultInjector;
+using fault::FaultKind;
+using fault::FaultPlan;
+using fault::InjectionPoint;
+
+// --- Plan parsing -----------------------------------------------------
+
+TEST(FaultPlan, ParsesTheCanonicalSpec) {
+  auto plan = FaultPlan::Parse("crash@p=1e-4;netloss@p=0.02;stall@ms=50,p=1e-3");
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->rules().size(), 3u);
+  const auto* crash = plan->Find(FaultKind::kCrash);
+  ASSERT_NE(crash, nullptr);
+  EXPECT_DOUBLE_EQ(crash->probability, 1e-4);
+  const auto* stall = plan->Find(FaultKind::kStall);
+  ASSERT_NE(stall, nullptr);
+  EXPECT_DOUBLE_EQ(stall->probability, 1e-3);
+  EXPECT_EQ(stall->duration.millis(), 50);
+  EXPECT_EQ(plan->Find(FaultKind::kOutage), nullptr);
+}
+
+TEST(FaultPlan, RoundTripsThroughToString) {
+  const std::string spec = "crash@p=0.01;outage@p=0.002,ms=120;spike@p=0.05,x=8";
+  auto plan = FaultPlan::Parse(spec);
+  ASSERT_TRUE(plan.ok());
+  auto reparsed = FaultPlan::Parse(plan->ToString());
+  ASSERT_TRUE(reparsed.ok());
+  ASSERT_EQ(reparsed->rules().size(), plan->rules().size());
+  for (const auto& r : plan->rules()) {
+    const auto* other = reparsed->Find(r.kind);
+    ASSERT_NE(other, nullptr);
+    EXPECT_DOUBLE_EQ(other->probability, r.probability);
+    EXPECT_EQ(other->duration.nanos(), r.duration.nanos());
+    EXPECT_DOUBLE_EQ(other->magnitude, r.magnitude);
+  }
+}
+
+TEST(FaultPlan, EmptySpecIsFaultFree) {
+  auto plan = FaultPlan::Parse("");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->empty());
+}
+
+TEST(FaultPlan, RejectsMalformedSpecs) {
+  for (const char* bad : {
+           "meteor@p=0.1",        // unknown kind
+           "crash",               // missing @params
+           "crash@ms=10",         // missing p
+           "crash@p=banana",      // bad number
+           "crash@p=1.5",         // p out of range
+           "crash@p=0.1,q=2",     // unknown key
+           "crash@p=0.1;crash@p=0.2",  // duplicate kind
+           "crash@p=0.1;;stall@p=0.1,ms=5",  // empty rule
+           "outage@p=0.1,ms=-5",  // negative duration
+       }) {
+    auto plan = FaultPlan::Parse(bad);
+    EXPECT_FALSE(plan.ok()) << bad;
+    EXPECT_EQ(plan.status().code(), StatusCode::kInvalidArgument) << bad;
+  }
+}
+
+// --- Injector determinism ---------------------------------------------
+
+TEST(FaultInjector, SameSeedSameSchedule) {
+  auto plan = FaultPlan::Parse("crash@p=0.3;netloss@p=0.2");
+  ASSERT_TRUE(plan.ok());
+  FaultInjector a(*plan, 77), b(*plan, 77);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(a.Fire(FaultKind::kCrash, InjectionPoint::kJobPumpRecord),
+              b.Fire(FaultKind::kCrash, InjectionPoint::kJobPumpRecord));
+    EXPECT_EQ(a.Fire(FaultKind::kNetLoss, InjectionPoint::kNetTransfer),
+              b.Fire(FaultKind::kNetLoss, InjectionPoint::kNetTransfer));
+  }
+  EXPECT_GT(a.total_injected(), 0u);
+  EXPECT_EQ(a.events(), b.events());
+}
+
+TEST(FaultInjector, DifferentSeedsDifferentSchedules) {
+  auto plan = FaultPlan::Parse("crash@p=0.3");
+  ASSERT_TRUE(plan.ok());
+  FaultInjector a(*plan, 1), b(*plan, 2);
+  for (int i = 0; i < 500; ++i) {
+    a.Fire(FaultKind::kCrash, InjectionPoint::kJobPumpRecord);
+    b.Fire(FaultKind::kCrash, InjectionPoint::kJobPumpRecord);
+  }
+  EXPECT_NE(a.events(), b.events());
+}
+
+TEST(FaultInjector, RulelessKindsConsumeNoRandomness) {
+  // Querying kinds with no rule must not perturb the schedule of kinds
+  // that do have one — instrumenting new call sites stays compatible.
+  auto plan = FaultPlan::Parse("crash@p=0.25");
+  ASSERT_TRUE(plan.ok());
+  FaultInjector with_noise(*plan, 9), without(*plan, 9);
+  for (int i = 0; i < 300; ++i) {
+    with_noise.Fire(FaultKind::kNetLoss, InjectionPoint::kNetTransfer);
+    with_noise.Fire(FaultKind::kOutage, InjectionPoint::kNetTransfer);
+    const bool x = with_noise.Fire(FaultKind::kCrash, InjectionPoint::kJobPumpRecord);
+    const bool y = without.Fire(FaultKind::kCrash, InjectionPoint::kJobPumpRecord);
+    EXPECT_EQ(x, y) << i;
+  }
+  EXPECT_EQ(with_noise.events(), without.events());
+}
+
+TEST(FaultInjector, CountersFlowIntoMetrics) {
+  auto plan = FaultPlan::Parse("crash@p=1");
+  ASSERT_TRUE(plan.ok());
+  MetricRegistry metrics;
+  FaultInjector inj(*plan, 4, &metrics);
+  ASSERT_TRUE(inj.Fire(FaultKind::kCrash, InjectionPoint::kJobPumpRecord));
+  inj.RecordSurvival(FaultKind::kCrash);
+  EXPECT_DOUBLE_EQ(metrics.Get("fault.injected.crash"), 1.0);
+  EXPECT_DOUBLE_EQ(metrics.Get("fault.survived.crash"), 1.0);
+  EXPECT_EQ(inj.injected(FaultKind::kCrash), 1u);
+  EXPECT_EQ(inj.survived(FaultKind::kCrash), 1u);
+}
+
+// --- Retry policy ------------------------------------------------------
+
+TEST(RetryPolicy, BackoffGrowsGeometricallyAndCaps) {
+  fault::RetryPolicy policy;
+  policy.base_backoff = Duration::Millis(10);
+  policy.multiplier = 2.0;
+  policy.jitter = 0.0;
+  policy.max_backoff = Duration::Millis(50);
+  Rng rng(1);
+  EXPECT_EQ(policy.BackoffFor(0, rng).nanos(), 0);
+  EXPECT_EQ(policy.BackoffFor(1, rng).millis(), 10);
+  EXPECT_EQ(policy.BackoffFor(2, rng).millis(), 20);
+  EXPECT_EQ(policy.BackoffFor(3, rng).millis(), 40);
+  EXPECT_EQ(policy.BackoffFor(4, rng).millis(), 50);  // capped
+  EXPECT_EQ(policy.BackoffFor(10, rng).millis(), 50);
+}
+
+TEST(RetryPolicy, JitterStaysBoundedAndNonNegative) {
+  fault::RetryPolicy policy;
+  policy.base_backoff = Duration::Millis(8);
+  policy.jitter = 1.0;  // worst case: ±100%
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    const Duration d = policy.BackoffFor(2, rng);
+    EXPECT_GE(d.nanos(), 0) << i;
+    EXPECT_LE(d.seconds(), policy.max_backoff.seconds() * 2.0) << i;
+  }
+}
+
+// --- Negative-duration regression (network jitter) ---------------------
+
+TEST(NetworkModel, NoNegativeSamplesWhenJitterExceedsRtt) {
+  // jitter sigma is 25x the rtt: before the clamp-at-zero fix roughly half
+  // of all samples would have gone negative.
+  offload::NetworkConfig cfg;
+  cfg.rtt = Duration::Millis(2);
+  cfg.rtt_jitter = Duration::Millis(50);
+  cfg.loss_rate = 0.0;
+  offload::NetworkModel net(cfg, 11);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_GE(net.UplinkTime(0).nanos(), 0) << i;
+    EXPECT_GE(net.DownlinkTime(0).nanos(), 0) << i;
+    EXPECT_GE(net.RoundTrip(256, 256).nanos(), 0) << i;
+  }
+}
+
+TEST(NetworkModel, InjectedFaultsOnlyEverAddLatency) {
+  offload::NetworkConfig cfg;
+  cfg.loss_rate = 0.0;
+  auto plan = FaultPlan::Parse("spike@p=0.3,x=10;outage@p=0.1,ms=100;netloss@p=0.2,x=3");
+  ASSERT_TRUE(plan.ok());
+  FaultInjector inj(*plan, 21);
+
+  offload::NetworkModel clean(cfg, 5);
+  offload::NetworkModel chaotic(cfg, 5);
+  chaotic.set_fault_injector(&inj);
+  double clean_total = 0.0, chaotic_total = 0.0;
+  for (int i = 0; i < 2'000; ++i) {
+    clean_total += clean.UplinkTime(1024).seconds();
+    const double t = chaotic.UplinkTime(1024).seconds();
+    EXPECT_GE(t, 0.0) << i;
+    chaotic_total += t;
+  }
+  EXPECT_GT(inj.total_injected(), 0u);
+  EXPECT_GT(chaotic_total, clean_total);
+}
+
+// --- Broker injection points -------------------------------------------
+
+class BrokerFaultFixture : public ::testing::Test {
+ protected:
+  SimClock clock_;
+  stream::Broker broker_{clock_};
+};
+
+TEST_F(BrokerFaultFixture, AppendErrorRejectsCleanly) {
+  ASSERT_TRUE(broker_.CreateTopic("t", {}).ok());
+  auto plan = FaultPlan::Parse("apperr@p=1");
+  ASSERT_TRUE(plan.ok());
+  FaultInjector inj(*plan, 1);
+  broker_.set_fault_injector(&inj);
+  auto r = broker_.Produce("t", stream::Record::MakeText("k", "v", TimePoint{}));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ((*broker_.GetTopic("t"))->TotalRecords(), 0u);  // nothing persisted
+}
+
+TEST_F(BrokerFaultFixture, TornAppendPersistsButReportsFailure) {
+  ASSERT_TRUE(broker_.CreateTopic("t", {}).ok());
+  auto plan = FaultPlan::Parse("torn@p=1");
+  ASSERT_TRUE(plan.ok());
+  FaultInjector inj(*plan, 1);
+  broker_.set_fault_injector(&inj);
+  auto r = broker_.Produce("t", stream::Record::MakeText("k", "v", TimePoint{}));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+  // The record landed despite the failed ack; a retrying producer
+  // duplicates it — at-least-once, never lost.
+  EXPECT_EQ((*broker_.GetTopic("t"))->TotalRecords(), 1u);
+  (void)broker_.Produce("t", stream::Record::MakeText("k", "v", TimePoint{}));
+  EXPECT_EQ((*broker_.GetTopic("t"))->TotalRecords(), 2u);
+}
+
+TEST_F(BrokerFaultFixture, FetchErrorSurfacesAndPollTolerates) {
+  ASSERT_TRUE(broker_.CreateTopic("t", {}).ok());
+  ASSERT_TRUE(broker_.Produce("t", stream::Record::MakeText("k", "v", TimePoint{})).ok());
+  auto plan = FaultPlan::Parse("fetcherr@p=1");
+  ASSERT_TRUE(plan.ok());
+  FaultInjector inj(*plan, 1);
+  broker_.set_fault_injector(&inj);
+
+  auto fetched = broker_.Fetch("t", 0, 0, 10);
+  EXPECT_FALSE(fetched.ok());
+  EXPECT_EQ(fetched.status().code(), StatusCode::kUnavailable);
+
+  // A consumer polling through the flaky broker just gets an empty batch.
+  stream::ConsumerGroup group(broker_, "g", "t");
+  auto consumer = group.Join("c");
+  ASSERT_TRUE(consumer.ok());
+  EXPECT_TRUE((*consumer)->Poll(10).empty());
+}
+
+// --- CheckpointedJob injection points ----------------------------------
+
+class JobFaultFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(broker_.CreateTopic("t", {.partitions = 2}).ok());
+    for (int i = 0; i < 60; ++i) {
+      stream::Event e;
+      e.key = "k" + std::to_string(i % 4);
+      e.attribute = "m";
+      e.value = 1.0;
+      e.event_time = TimePoint::FromMillis(i * 100);
+      ASSERT_TRUE(
+          broker_.Produce("t", stream::Record::Make(e.key, e.Encode(), e.event_time)).ok());
+    }
+  }
+
+  stream::PipelineFactory Factory() {
+    return []() {
+      auto p = std::make_unique<stream::Pipeline>(Duration::Millis(100));
+      p->WindowAggregate(stream::WindowSpec::Tumbling(Duration::Seconds(1)),
+                         stream::AggKind::kCount)
+          .Sink([](const stream::WindowResult&) {});
+      return p;
+    };
+  }
+
+  SimClock clock_;
+  stream::Broker broker_{clock_};
+};
+
+TEST_F(JobFaultFixture, TornCheckpointKeepsPreviousStateAndRetries) {
+  auto plan = FaultPlan::Parse("ckptfail@p=1");
+  ASSERT_TRUE(plan.ok());
+  FaultInjector inj(*plan, 1);
+  stream::CheckpointedJob job(broker_, "t", "job", Factory(), /*checkpoint_every=*/10);
+  job.set_fault_injector(&inj);
+
+  // Every boundary checkpoint tears, but pumping itself keeps going.
+  while (true) {
+    auto n = job.Pump(16);
+    ASSERT_TRUE(n.ok());
+    if (*n == 0) break;
+  }
+  EXPECT_EQ(job.stats().records_processed, 60u);
+  EXPECT_EQ(job.stats().checkpoints, 0u);
+  EXPECT_GE(job.stats().checkpoint_failures, 3u);
+  EXPECT_GT(job.Lag(), 0);  // nothing ever committed
+
+  // Once the fault clears, the retried write commits everything.
+  job.set_fault_injector(nullptr);
+  ASSERT_TRUE(job.Checkpoint().ok());
+  EXPECT_EQ(job.Lag(), 0);
+}
+
+TEST_F(JobFaultFixture, SnapshotDecodeRetryIsCountedAndHarmless) {
+  auto plan = FaultPlan::Parse("snapcorrupt@p=1");
+  ASSERT_TRUE(plan.ok());
+  FaultInjector inj(*plan, 1);
+  stream::CheckpointedJob job(broker_, "t", "job", Factory(), /*checkpoint_every=*/10);
+  job.set_fault_injector(&inj);
+
+  ASSERT_TRUE(job.Pump(20).ok());
+  ASSERT_TRUE(job.Checkpoint().ok());
+  job.InjectCrash();
+  ASSERT_TRUE(job.Recover().ok());
+  EXPECT_EQ(job.stats().snapshot_decode_retries, 1u);
+}
+
+TEST_F(JobFaultFixture, InjectedCrashesRecoverWithBoundedReplay) {
+  auto plan = FaultPlan::Parse("crash@p=0.05");
+  ASSERT_TRUE(plan.ok());
+  FaultInjector inj(*plan, 42);
+  stream::CheckpointedJob job(broker_, "t", "job", Factory(), /*checkpoint_every=*/8);
+  job.set_fault_injector(&inj);
+
+  for (int i = 0; i < 500 && job.Lag() > 0; ++i) {
+    auto n = job.Pump(16);
+    ASSERT_TRUE(n.ok());
+    if (*n == 0 && !job.crashed() && job.Lag() > 0) {
+      ASSERT_TRUE(job.Checkpoint().ok());
+    }
+  }
+  EXPECT_EQ(job.Lag(), 0);
+  EXPECT_GE(job.stats().crashes, 1u);
+  EXPECT_GE(job.stats().records_processed, 60u);
+  // Replay per crash is bounded by the checkpoint interval plus one batch.
+  EXPECT_LE(job.stats().records_replayed, job.stats().crashes * (8u + 16u));
+}
+
+// --- Offload retry path -------------------------------------------------
+
+TEST(OffloadRetry, ExhaustedRetriesFallBackToLocalExecution) {
+  auto plan = FaultPlan::Parse("taskfail@p=1");
+  ASSERT_TRUE(plan.ok());
+  FaultInjector inj(*plan, 6);
+  offload::NetworkModel net({}, 3);
+  offload::OffloadScheduler sched(offload::OffloadPolicy::kCloudOnly,
+                                  offload::DeviceModel{}, offload::CloudModel{}, net);
+  sched.set_fault_injector(&inj);
+
+  offload::ComputeTask task{"analytics", 30.0, 8'000, 4'000, true};
+  const auto out = sched.Run(task);
+  EXPECT_TRUE(out.fell_back_local);
+  EXPECT_EQ(out.placement, offload::Placement::kLocal);
+  EXPECT_EQ(out.retries, sched.retry_policy().max_attempts - 1);
+  EXPECT_EQ(sched.fallback_count(), 1u);
+  // The fallback still pays for the failed attempts: slower than a clean
+  // local run, but the task completed.
+  EXPECT_GT(out.latency, offload::DeviceModel{}.ExecTime(task));
+  EXPECT_EQ(inj.injected(FaultKind::kTaskFail), inj.survived(FaultKind::kTaskFail));
+}
+
+TEST(OffloadRetry, PartialFailuresRetryAndComplete) {
+  auto plan = FaultPlan::Parse("taskfail@p=0.5");
+  ASSERT_TRUE(plan.ok());
+  FaultInjector inj(*plan, 7);
+  offload::NetworkModel net({}, 3);
+  offload::OffloadScheduler sched(offload::OffloadPolicy::kCloudOnly,
+                                  offload::DeviceModel{}, offload::CloudModel{}, net);
+  sched.set_fault_injector(&inj);
+
+  offload::ComputeTask task{"detect", 20.0, 24'000, 2'000, true};
+  std::uint64_t completed = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto out = sched.Run(task);
+    EXPECT_GE(out.latency.nanos(), 0);
+    ++completed;
+  }
+  EXPECT_EQ(completed, 200u);
+  EXPECT_GT(sched.retry_count(), 0u);
+}
+
+TEST(OffloadRetry, FaultFreePathIsUntouched) {
+  offload::NetworkModel net_a({}, 3), net_b({}, 3);
+  offload::OffloadScheduler plain(offload::OffloadPolicy::kCloudOnly,
+                                  offload::DeviceModel{}, offload::CloudModel{}, net_a);
+  auto plan = FaultPlan::Parse("");
+  ASSERT_TRUE(plan.ok());
+  FaultInjector inj(*plan, 6);
+  offload::OffloadScheduler chaos(offload::OffloadPolicy::kCloudOnly,
+                                  offload::DeviceModel{}, offload::CloudModel{}, net_b);
+  chaos.set_fault_injector(&inj);
+
+  offload::ComputeTask task{"detect", 20.0, 24'000, 2'000, true};
+  for (int i = 0; i < 50; ++i) {
+    const auto a = plain.Run(task);
+    const auto b = chaos.Run(task);
+    EXPECT_EQ(a.latency.nanos(), b.latency.nanos()) << i;
+    EXPECT_EQ(b.retries, 0u);
+  }
+}
+
+// --- Chaos soak + producer path ----------------------------------------
+
+TEST(ChaosSoak, SeedDeterminism) {
+  scenarios::ChaosConfig cfg;
+  cfg.records = 800;
+  cfg.fault_spec = "crash@p=0.01;ckptfail@p=0.02;fetcherr@p=0.02;stall@ms=20,p=0.05";
+  cfg.seed = 5;
+  auto a = scenarios::RunChaosSoak(cfg);
+  auto b = scenarios::RunChaosSoak(cfg);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_FALSE(a->wedged);
+  EXPECT_GT(a->fault_events, 0u);
+  // Same seed + same plan: identical fault schedule, stats, and results.
+  EXPECT_EQ(a->fault_log, b->fault_log);
+  EXPECT_EQ(a->stats, b->stats);
+  EXPECT_EQ(a->results, b->results);
+
+  cfg.seed = 6;
+  auto c = scenarios::RunChaosSoak(cfg);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(a->fault_log, c->fault_log);
+}
+
+TEST(ChaosSoak, CommittedResultsSurviveChaos) {
+  scenarios::ChaosConfig baseline;
+  baseline.records = 1200;
+  baseline.seed = 9;
+  auto clean = scenarios::RunChaosSoak(baseline);
+  ASSERT_TRUE(clean.ok());
+  ASSERT_FALSE(clean->wedged);
+  EXPECT_DOUBLE_EQ(clean->goodput, 1.0);
+  EXPECT_EQ(clean->stats.crashes, 0u);
+
+  scenarios::ChaosConfig chaotic = baseline;
+  chaotic.fault_spec =
+      "crash@p=0.01;ckptfail@p=0.05;snapcorrupt@p=0.2;fetcherr@p=0.05;stall@ms=20,p=0.02";
+  auto dirty = scenarios::RunChaosSoak(chaotic);
+  ASSERT_TRUE(dirty.ok());
+  ASSERT_FALSE(dirty->wedged);
+  EXPECT_GE(dirty->stats.crashes, 1u);
+  EXPECT_LT(dirty->goodput, 1.0);
+  // The robustness contract: replay and retries cost throughput, but the
+  // committed window results are bit-identical to the fault-free run.
+  EXPECT_EQ(dirty->results, clean->results);
+}
+
+TEST(ProducerChaos, TornAppendsDuplicateButNeverLose) {
+  auto report = scenarios::RunProducerChaos(600, "torn@p=0.15;apperr@p=0.15", 13);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->lost, 0u);
+  EXPECT_GT(report->retries, 0u);
+  EXPECT_GT(report->duplicates, 0u);
+  EXPECT_GT(report->attempts, 600u);
+}
+
+}  // namespace
+}  // namespace arbd
