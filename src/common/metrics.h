@@ -28,7 +28,10 @@ class Histogram {
   std::int64_t max() const { return count_ ? max_ : 0; }
   double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
 
-  // Value at quantile q in [0, 1]; approximate (bucket upper bound).
+  // Value at quantile q in [0, 1]; approximate. Returns the log-midpoint
+  // (geometric mean of the bounds) of the bucket holding the q-th record,
+  // clamped to the observed min/max, so estimates are centered rather
+  // than biased high by up to a bucket width (~6%).
   std::int64_t Quantile(double q) const;
   std::int64_t p50() const { return Quantile(0.50); }
   std::int64_t p95() const { return Quantile(0.95); }

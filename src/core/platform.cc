@@ -12,8 +12,15 @@ Platform::Platform(PlatformConfig cfg, const geo::CityModel& city, SimClock& clo
       layout_(cfg.layout) {
   stream::TopicConfig tc;
   tc.partitions = cfg_.partitions;
+  if (cfg_.qos.enabled) tc.max_records = cfg_.qos.topic_budget_records;
   const Status s = broker_.CreateTopic(cfg_.event_topic, tc);
   ARBD_CHECK(s.ok(), "event topic creation must succeed");
+  if (cfg_.qos.enabled) {
+    broker_.set_metrics(&metrics_);
+    admission_ =
+        std::make_unique<qos::AdmissionController>(cfg_.qos.admission, &metrics_);
+    ladder_ = std::make_unique<qos::DegradationLadder>(cfg_.qos.ladder, &metrics_);
+  }
   group_ = std::make_unique<stream::ConsumerGroup>(broker_, "arbd.platform",
                                                    cfg_.event_topic);
   auto joined = group_->Join("platform-0");
@@ -37,7 +44,19 @@ Platform::Platform(PlatformConfig cfg, const geo::CityModel& city, SimClock& clo
       });
 }
 
-Status Platform::Publish(const stream::Event& event) {
+Status Platform::Publish(const stream::Event& event, qos::PriorityClass priority) {
+  if (admission_ != nullptr) {
+    admission_->UpdatePressureAll(broker_.Pressure(cfg_.event_topic));
+    if (!admission_->Admit(priority)) {
+      // Shedding frame-relevant work is an SLO violation in its own right:
+      // better to degrade fidelity than to keep dropping critical events.
+      if (priority == qos::PriorityClass::kFrameCritical && ladder_ != nullptr) {
+        ladder_->ObserveShed();
+      }
+      return Status::ResourceExhausted(
+          std::string("admission shed (") + qos::PriorityClassName(priority) + ")");
+    }
+  }
   auto produced = broker_.Produce(
       cfg_.event_topic, stream::Record::Make(event.key, event.Encode(), event.event_time));
   return produced.status();
@@ -47,6 +66,7 @@ void Platform::AddAggregation(const AggregationSpec& spec) {
   Job job;
   job.spec = spec;
   job.pipeline = std::make_unique<stream::Pipeline>(cfg_.max_out_of_orderness);
+  if (cfg_.qos.enabled) job.pipeline->set_input_budget(cfg_.qos.pipeline_budget_records);
   const std::string attr = spec.attribute;
   job.pipeline->Filter([attr](const stream::Event& e) { return e.attribute == attr; })
       .WindowAggregate(spec.window, spec.agg, spec.allowed_lateness)
@@ -66,6 +86,18 @@ void Platform::SetEntityResolver(EntityResolver resolver) {
 }
 
 std::size_t Platform::ProcessPending(std::size_t max_records) {
+  if (ladder_ != nullptr) {
+    // Degraded fetch: shrink the batch we pull per call so a struggling
+    // frame loop spends less of its budget on ingestion catch-up.
+    const double scale = ladder_->profile().fetch_batch_scale;
+    max_records = std::max<std::size_t>(
+        1, static_cast<std::size_t>(static_cast<double>(max_records) * scale));
+  }
+  // Credit-based hand-off into the dataflow jobs: never fetch more than
+  // the most constrained pipeline inbox can take.
+  for (const auto& job : jobs_) {
+    max_records = std::min(max_records, job.pipeline->input_credit());
+  }
   auto records = consumer_->Poll(max_records);
   // The poll interleaves partitions in fetch order, not event-time order;
   // sorting each batch by event time keeps the watermark honest so one
@@ -77,8 +109,12 @@ std::size_t Platform::ProcessPending(std::size_t max_records) {
   for (const auto& sr : records) {
     auto event = stream::Event::Decode(sr.record.payload);
     if (!event.ok()) continue;  // corrupt payloads are dropped, not fatal
-    for (auto& job : jobs_) job.pipeline->Push(*event);
+    for (auto& job : jobs_) {
+      // The credit clamp above guarantees this Offer fits the inbox.
+      (void)job.pipeline->Offer(*event);
+    }
   }
+  for (auto& job : jobs_) job.pipeline->DrainPending(records.size());
   consumer_->Commit();
   return records.size();
 }
@@ -108,19 +144,37 @@ Expected<FrameResult> Platform::ComposeFrame(const std::string& user_id) {
   auto user = User(user_id);
   if (!user.ok()) return user.status();
 
+  const qos::DegradationProfile profile =
+      ladder_ != nullptr ? ladder_->profile() : qos::DegradationProfile{};
+
   FrameResult frame;
+  frame.degradation_level = profile.level;
   frame.expired = annotations_.ExpireOlderThan(clock_.Now());
   const auto live = annotations_.Live();
   frame.live_annotations = live.size();
 
   const ar::CameraView view = (*user)->View();
-  const auto classified = classifier_.ClassifyAll(live, view);
+  const ar::OcclusionClassifier& classifier =
+      profile.occlusion_raycast ? classifier_ : degraded_classifier_;
+  const auto classified = classifier.ClassifyAll(live, view);
   for (const auto& c : classified) {
     if (c.visibility != ar::Visibility::kOutOfView) ++frame.in_view;
     if (c.visibility == ar::Visibility::kOccluded) ++frame.occluded;
   }
-  frame.layout = layout_.Arrange(classified, cfg_.context.intrinsics);
+  if (profile.label_budget_scale < 1.0) {
+    ar::LayoutConfig scaled = cfg_.layout;
+    scaled.max_labels = std::max<std::size_t>(
+        1, static_cast<std::size_t>(static_cast<double>(scaled.max_labels) *
+                                    profile.label_budget_scale));
+    frame.layout = ar::LabelLayout(scaled).Arrange(classified, cfg_.context.intrinsics);
+  } else {
+    frame.layout = layout_.Arrange(classified, cfg_.context.intrinsics);
+  }
   return frame;
+}
+
+void Platform::ObserveFrameLatency(Duration latency) {
+  if (ladder_ != nullptr) ladder_->Observe(latency);
 }
 
 }  // namespace arbd::core

@@ -17,13 +17,30 @@
 
 #include "ar/layout.h"
 #include "ar/occlusion.h"
+#include "common/metrics.h"
 #include "core/context.h"
 #include "core/interpretation.h"
+#include "qos/admission.h"
+#include "qos/degradation.h"
 #include "stream/consumer.h"
 #include "stream/dataflow.h"
 #include "stream/log.h"
 
 namespace arbd::core {
+
+// Overload-control knobs for the platform (ISSUE 2 / E19). Disabled by
+// default so existing scenarios and benches see the original unbounded
+// behaviour; when enabled the event topic gets a record budget, ingestion
+// goes through priority admission, dataflow jobs get bounded inboxes, and
+// the frame path degrades under sustained SLO violation instead of
+// falling arbitrarily behind.
+struct PlatformQosConfig {
+  bool enabled = false;
+  std::size_t topic_budget_records = 8192;    // 0 leaves the topic unbudgeted
+  std::size_t pipeline_budget_records = 4096; // 0 leaves pipelines unbounded
+  qos::AdmissionConfig admission;
+  qos::LadderConfig ladder;
+};
 
 struct PlatformConfig {
   std::string event_topic = "arbd.events";
@@ -31,6 +48,7 @@ struct PlatformConfig {
   Duration max_out_of_orderness = Duration::Millis(200);
   ar::LayoutConfig layout;
   ContextConfig context;
+  PlatformQosConfig qos;
 };
 
 struct AggregationSpec {
@@ -47,6 +65,8 @@ struct FrameResult {
   std::size_t expired = 0;
   std::size_t in_view = 0;
   std::size_t occluded = 0;
+  // Ladder level the frame was composed at (0 = full fidelity).
+  int degradation_level = 0;
 };
 
 class Platform {
@@ -54,8 +74,12 @@ class Platform {
   Platform(PlatformConfig cfg, const geo::CityModel& city, SimClock& clock);
 
   // --- ingestion side -----------------------------------------------
-  // Publish an analytics event into the backend (key = entity id).
-  Status Publish(const stream::Event& event);
+  // Publish an analytics event into the backend (key = entity id). With
+  // QoS enabled the event passes priority admission first: under queue
+  // pressure low classes shed before high ones (kResourceExhausted), and
+  // the broker's topic budget backstops everything the controller admits.
+  Status Publish(const stream::Event& event,
+                 qos::PriorityClass priority = qos::PriorityClass::kBackground);
 
   // Register a windowed aggregation job over the event stream.
   void AddAggregation(const AggregationSpec& spec);
@@ -77,8 +101,16 @@ class Platform {
   ContextEngine& AddUser(const std::string& user_id);
   Expected<ContextEngine*> User(const std::string& user_id);
 
-  // Compose one frame for the user's current estimated pose.
+  // Compose one frame for the user's current estimated pose. With QoS
+  // enabled the ladder's current profile is applied: degraded frames skip
+  // occlusion raycasts and shrink the label budget.
   Expected<FrameResult> ComposeFrame(const std::string& user_id);
+
+  // Feed one measured frame-path latency into the degradation ladder
+  // (no-op with QoS disabled). Drivers call this with the wall/sim time a
+  // frame actually took; sustained violation steps fidelity down,
+  // sustained headroom steps it back up.
+  void ObserveFrameLatency(Duration latency);
 
   // --- accessors ------------------------------------------------------
   stream::Broker& broker() { return broker_; }
@@ -87,6 +119,11 @@ class Platform {
   SimClock& clock() { return clock_; }
   const geo::CityModel& city() const { return city_; }
   std::uint64_t results_interpreted() const { return results_interpreted_; }
+
+  // QoS observability (admission/ladder are null with QoS disabled).
+  MetricRegistry& metrics() { return metrics_; }
+  qos::AdmissionController* admission() { return admission_.get(); }
+  qos::DegradationLadder* ladder() { return ladder_.get(); }
 
  private:
   struct Job {
@@ -104,9 +141,15 @@ class Platform {
   std::unique_ptr<InterpretationEngine> interpreter_;
   ar::content::AnnotationStore annotations_;
   ar::OcclusionClassifier classifier_;
+  // No-raycast classifier used at degradation level >= 1 (nothing is ever
+  // occluded — the naive-browser behaviour, accepted as the cheap rung).
+  ar::OcclusionClassifier degraded_classifier_{nullptr};
   ar::LabelLayout layout_;
   std::map<std::string, std::unique_ptr<ContextEngine>> users_;
   std::uint64_t results_interpreted_ = 0;
+  MetricRegistry metrics_;
+  std::unique_ptr<qos::AdmissionController> admission_;
+  std::unique_ptr<qos::DegradationLadder> ladder_;
 };
 
 }  // namespace arbd::core

@@ -14,6 +14,7 @@ const char* InjectionPointName(InjectionPoint point) {
     case InjectionPoint::kJobRecover: return "job.recover";
     case InjectionPoint::kNetTransfer: return "net.transfer";
     case InjectionPoint::kTaskExecute: return "task.execute";
+    case InjectionPoint::kServiceTick: return "service.tick";
   }
   return "unknown";
 }

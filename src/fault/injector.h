@@ -29,6 +29,7 @@ enum class InjectionPoint {
   kJobRecover,
   kNetTransfer,
   kTaskExecute,
+  kServiceTick,  // the overload harness's per-tick service loop
 };
 
 const char* InjectionPointName(InjectionPoint point);

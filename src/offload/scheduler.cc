@@ -34,6 +34,14 @@ TaskOutcome OffloadScheduler::RunLocal(const ComputeTask& task) {
 }
 
 TaskOutcome OffloadScheduler::RunCloud(const ComputeTask& task) {
+  // Breaker open: don't even ship the request. Local execution is the
+  // degraded-but-bounded alternative to queueing behind a dead backend.
+  if (breaker_ != nullptr && !breaker_->Allow()) {
+    ++short_circuit_count_;
+    TaskOutcome out = RunLocal(task);
+    out.short_circuited = true;
+    return out;
+  }
   ++cloud_count_;
   TaskOutcome out;
   out.placement = Placement::kCloud;
@@ -48,6 +56,7 @@ TaskOutcome OffloadScheduler::RunCloud(const ComputeTask& task) {
         fault_ != nullptr &&
         fault_->Fire(fault::FaultKind::kTaskFail, fault::InjectionPoint::kTaskExecute);
     if (!failed) {
+      if (breaker_ != nullptr) breaker_->RecordSuccess();
       const Duration up = network_.UplinkTime(task.input_bytes);
       const Duration exec = cloud_.ExecTime(task);
       const Duration down = network_.DownlinkTime(task.output_bytes);
@@ -63,6 +72,7 @@ TaskOutcome OffloadScheduler::RunCloud(const ComputeTask& task) {
                     kEwmaAlpha * std::max(0.0005, observed_net_s);
       return out;
     }
+    if (breaker_ != nullptr) breaker_->RecordFailure();
     const Duration up = network_.UplinkTime(task.input_bytes);
     out.latency += up;
     out.energy_j += device_.TxEnergyJ(up);

@@ -16,6 +16,7 @@
 #include "fault/retry.h"
 #include "offload/executor.h"
 #include "offload/network.h"
+#include "qos/circuit_breaker.h"
 
 namespace arbd::offload {
 
@@ -29,6 +30,7 @@ struct TaskOutcome {
   double energy_j = 0.0;
   std::uint32_t retries = 0;     // failed cloud attempts retried
   bool fell_back_local = false;  // cloud gave up; ran on-device instead
+  bool short_circuited = false;  // breaker open: never attempted the cloud
 };
 
 class OffloadScheduler {
@@ -62,6 +64,13 @@ class OffloadScheduler {
   void set_retry_policy(fault::RetryPolicy policy) { retry_ = policy; }
   const fault::RetryPolicy& retry_policy() const { return retry_; }
 
+  // Optional circuit breaker (not owned) guarding the cloud path. While
+  // open, cloud-placed tasks short-circuit straight to local execution —
+  // no uplink cost, no retry storm against a dead backend — and the
+  // breaker's half-open probes decide when to trust the cloud again.
+  void set_circuit_breaker(qos::CircuitBreaker* breaker) { breaker_ = breaker; }
+  std::uint64_t short_circuit_count() const { return short_circuit_count_; }
+
  private:
   TaskOutcome RunLocal(const ComputeTask& task);
   TaskOutcome RunCloud(const ComputeTask& task);
@@ -79,7 +88,9 @@ class OffloadScheduler {
   std::uint64_t cloud_count_ = 0;
   std::uint64_t retry_count_ = 0;
   std::uint64_t fallback_count_ = 0;
+  std::uint64_t short_circuit_count_ = 0;
 
+  qos::CircuitBreaker* breaker_ = nullptr;
   fault::FaultInjector* fault_ = nullptr;
   fault::RetryPolicy retry_;
   Rng backoff_rng_{0x5eedULL};

@@ -1,0 +1,82 @@
+#include "qos/circuit_breaker.h"
+
+namespace arbd::qos {
+
+const char* BreakerStateName(BreakerState s) {
+  switch (s) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half_open";
+  }
+  return "unknown";
+}
+
+CircuitBreaker::CircuitBreaker(BreakerConfig cfg, std::uint64_t seed,
+                               MetricRegistry* metrics)
+    : cfg_(cfg), rng_(seed), metrics_(metrics) {}
+
+void CircuitBreaker::Transition(BreakerState next) {
+  state_ = next;
+  if (next == BreakerState::kOpen) {
+    ++opens_;
+    open_decisions_seen_ = 0;
+    if (metrics_ != nullptr) metrics_->Add("qos.breaker.opens");
+  } else if (next == BreakerState::kHalfOpen) {
+    half_open_successes_ = 0;
+  } else {
+    ++closes_;
+    consecutive_failures_ = 0;
+    if (metrics_ != nullptr) metrics_->Add("qos.breaker.closes");
+  }
+  if (metrics_ != nullptr) {
+    metrics_->Set("qos.breaker.state", static_cast<double>(static_cast<int>(state_)));
+  }
+}
+
+bool CircuitBreaker::Allow() {
+  if (state_ == BreakerState::kOpen) {
+    if (++open_decisions_seen_ >= cfg_.open_decisions) {
+      Transition(BreakerState::kHalfOpen);
+    } else {
+      ++short_circuits_;
+      if (metrics_ != nullptr) metrics_->Add("qos.breaker.short_circuits");
+      return false;
+    }
+  }
+  if (state_ == BreakerState::kHalfOpen) {
+    // Probe a seeded trickle; everything else keeps short-circuiting until
+    // the probes prove the path healthy again.
+    if (rng_.Bernoulli(cfg_.probe_probability)) {
+      ++probes_;
+      if (metrics_ != nullptr) metrics_->Add("qos.breaker.probes");
+      return true;
+    }
+    ++short_circuits_;
+    if (metrics_ != nullptr) metrics_->Add("qos.breaker.short_circuits");
+    return false;
+  }
+  return true;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  consecutive_failures_ = 0;
+  if (state_ == BreakerState::kHalfOpen &&
+      ++half_open_successes_ >= cfg_.close_successes) {
+    Transition(BreakerState::kClosed);
+  }
+}
+
+void CircuitBreaker::RecordFailure() {
+  if (state_ == BreakerState::kHalfOpen) {
+    // A failed probe: the path is still bad, hold the circuit open for
+    // another cooldown round.
+    Transition(BreakerState::kOpen);
+    return;
+  }
+  if (state_ == BreakerState::kClosed &&
+      ++consecutive_failures_ >= cfg_.failure_threshold) {
+    Transition(BreakerState::kOpen);
+  }
+}
+
+}  // namespace arbd::qos

@@ -1,0 +1,71 @@
+// Circuit breaker for the device→cloud offload path. PR 1's retry+backoff
+// +fallback absorbs individual task failures; the breaker complements it
+// by not even attempting the cloud once it is known-bad: consecutive
+// failures open the circuit, open calls short-circuit straight to the
+// local fallback (no uplink cost, no backoff stall), and after a cooldown
+// a trickle of half-open probes re-detects recovery.
+//
+// Determinism: probe selection in the half-open state draws from a private
+// seeded Rng (the fault::FaultInjector discipline), and the open→half-open
+// cooldown counts decisions rather than wall time, so a (config, seed,
+// outcome sequence) triple yields a bit-reproducible breaker schedule.
+#pragma once
+
+#include <cstdint>
+
+#include "common/metrics.h"
+#include "common/rng.h"
+
+namespace arbd::qos {
+
+enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
+const char* BreakerStateName(BreakerState s);
+
+struct BreakerConfig {
+  std::size_t failure_threshold = 4;  // consecutive failures that trip it
+  std::size_t open_decisions = 32;    // Allow() calls held open before probing
+  std::size_t close_successes = 2;    // half-open successes that close it
+  double probe_probability = 0.25;    // chance a half-open Allow() probes
+};
+
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(BreakerConfig cfg = {}, std::uint64_t seed = 0xb4eaceULL,
+                          MetricRegistry* metrics = nullptr);
+
+  // Consult before attempting the protected path. False means the caller
+  // must take its fallback (the attempt is short-circuited). Randomness is
+  // consumed only in the half-open state, so wiring a breaker into a call
+  // site never perturbs closed-path schedules.
+  bool Allow();
+
+  // Report the outcome of an attempt that Allow() let through.
+  void RecordSuccess();
+  void RecordFailure();
+
+  BreakerState state() const { return state_; }
+  std::uint64_t opens() const { return opens_; }
+  std::uint64_t closes() const { return closes_; }
+  std::uint64_t short_circuits() const { return short_circuits_; }
+  std::uint64_t probes() const { return probes_; }
+
+  const BreakerConfig& config() const { return cfg_; }
+
+ private:
+  void Transition(BreakerState next);
+
+  BreakerConfig cfg_;
+  Rng rng_;
+  MetricRegistry* metrics_;
+  BreakerState state_ = BreakerState::kClosed;
+  std::size_t consecutive_failures_ = 0;
+  std::size_t open_decisions_seen_ = 0;
+  std::size_t half_open_successes_ = 0;
+  std::uint64_t opens_ = 0;
+  std::uint64_t closes_ = 0;
+  std::uint64_t short_circuits_ = 0;
+  std::uint64_t probes_ = 0;
+};
+
+}  // namespace arbd::qos

@@ -296,7 +296,32 @@ void Pipeline::Push(const Event& event) {
 }
 
 void Pipeline::Flush() {
+  DrainPending(static_cast<std::size_t>(-1));
   PropagateWatermark(TimePoint::Max());
+}
+
+Status Pipeline::Offer(Event event) {
+  if (input_budget_ == 0) {
+    Push(event);
+    return Status::Ok();
+  }
+  if (pending_.size() >= input_budget_) {
+    return Status::ResourceExhausted("pipeline inbox full (" +
+                                     std::to_string(input_budget_) + " events)");
+  }
+  pending_.push_back(std::move(event));
+  return Status::Ok();
+}
+
+std::size_t Pipeline::DrainPending(std::size_t max_events) {
+  std::size_t processed = 0;
+  while (processed < max_events && !pending_.empty()) {
+    Event e = std::move(pending_.front());
+    pending_.pop_front();
+    Push(e);
+    ++processed;
+  }
+  return processed;
 }
 
 void Pipeline::RunFrom(std::size_t index, const Event& event) {

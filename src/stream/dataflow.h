@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -143,6 +144,22 @@ class Pipeline final : public StageContext {
   // Force all remaining windows closed (end of stream).
   void Flush();
 
+  // Bounded stage hand-off: with an input budget set (0 disables), Offer
+  // enqueues into a bounded inbox instead of processing inline, returning
+  // kResourceExhausted when the inbox is full. The feeding loop reads
+  // input_credit() before fetching from the broker (credit-based
+  // backpressure) and calls DrainPending to process queued events.
+  void set_input_budget(std::size_t budget) { input_budget_ = budget; }
+  std::size_t input_budget() const { return input_budget_; }
+  std::size_t input_credit() const {
+    return input_budget_ == 0 ? static_cast<std::size_t>(-1)
+                              : input_budget_ - std::min(input_budget_, pending_.size());
+  }
+  Status Offer(Event event);
+  // Process up to `max_events` queued events; returns events processed.
+  std::size_t DrainPending(std::size_t max_events);
+  std::size_t pending() const { return pending_.size(); }
+
   TimePoint watermark() const { return watermark_; }
   std::uint64_t events_in() const { return events_in_; }
   std::uint64_t results_out() const { return results_out_; }
@@ -173,6 +190,8 @@ class Pipeline final : public StageContext {
   std::size_t cursor_ = 0;
   std::uint64_t events_in_ = 0;
   std::uint64_t results_out_ = 0;
+  std::size_t input_budget_ = 0;
+  std::deque<Event> pending_;
 };
 
 }  // namespace arbd::stream

@@ -5,9 +5,16 @@
 
 namespace arbd::stream {
 
+namespace {
+
+std::size_t RecordBytes(const Record& r) { return r.key.size() + r.payload.size(); }
+
+}  // namespace
+
 Offset Partition::Append(Record record, TimePoint ingest_time) {
   record.ingest_time = ingest_time;
   max_event_time_ = std::max(max_event_time_, record.event_time);
+  bytes_ += RecordBytes(record);
   records_.push_back(std::move(record));
   return end_offset() - 1;
 }
@@ -39,6 +46,7 @@ std::size_t Partition::EnforceRetention(const TopicConfig& cfg, TimePoint now) {
   std::size_t dropped = 0;
   if (cfg.retention_records > 0) {
     while (records_.size() > cfg.retention_records) {
+      bytes_ -= RecordBytes(records_.front());
       records_.pop_front();
       ++start_offset_;
       ++dropped;
@@ -47,10 +55,23 @@ std::size_t Partition::EnforceRetention(const TopicConfig& cfg, TimePoint now) {
   if (cfg.retention_time > Duration::Zero()) {
     const TimePoint cutoff = now - cfg.retention_time;
     while (!records_.empty() && records_.front().ingest_time < cutoff) {
+      bytes_ -= RecordBytes(records_.front());
       records_.pop_front();
       ++start_offset_;
       ++dropped;
     }
+  }
+  return dropped;
+}
+
+std::size_t Partition::TruncateBefore(Offset offset) {
+  offset = std::min(offset, end_offset());
+  std::size_t dropped = 0;
+  while (start_offset_ < offset) {
+    bytes_ -= RecordBytes(records_.front());
+    records_.pop_front();
+    ++start_offset_;
+    ++dropped;
   }
   return dropped;
 }
@@ -68,6 +89,8 @@ std::size_t Partition::CompactKeepLatest() {
   }
   const std::size_t removed = records_.size() - kept.size();
   records_ = std::move(kept);
+  bytes_ = 0;
+  for (const auto& r : records_) bytes_ += RecordBytes(r);
   return removed;
 }
 
@@ -88,6 +111,24 @@ std::size_t Topic::TotalRecords() const {
   std::size_t n = 0;
   for (const auto& p : parts_) n += p.size();
   return n;
+}
+
+std::size_t Topic::TotalBytes() const {
+  std::size_t n = 0;
+  for (const auto& p : parts_) n += p.bytes();
+  return n;
+}
+
+double Topic::Pressure() const {
+  double pressure = 0.0;
+  if (cfg_.max_records > 0) {
+    pressure = static_cast<double>(TotalRecords()) / static_cast<double>(cfg_.max_records);
+  }
+  if (cfg_.max_bytes > 0) {
+    pressure = std::max(pressure, static_cast<double>(TotalBytes()) /
+                                      static_cast<double>(cfg_.max_bytes));
+  }
+  return pressure;
 }
 
 std::size_t Topic::EnforceRetention(TimePoint now) {
@@ -118,6 +159,18 @@ Expected<std::pair<PartitionId, Offset>> Broker::Produce(const std::string& topi
                                                          Record record) {
   auto t = GetTopic(topic);
   if (!t.ok()) return t.status();
+  // Budget check first: backpressure is a flow-control decision, not a
+  // fault, so it must not consume injector randomness.
+  const TopicConfig& cfg = (*t)->config();
+  const bool over_records =
+      cfg.max_records > 0 && (*t)->TotalRecords() >= cfg.max_records;
+  const bool over_bytes = cfg.max_bytes > 0 && (*t)->TotalBytes() >= cfg.max_bytes;
+  if (over_records || over_bytes) {
+    ++backpressure_rejects_;
+    if (metrics_ != nullptr) metrics_->Add("qos.backpressure." + topic);
+    return Status::ResourceExhausted("topic '" + topic + "' over " +
+                                     (over_records ? "record" : "byte") + " budget");
+  }
   if (fault_ != nullptr &&
       fault_->Fire(fault::FaultKind::kAppendError, fault::InjectionPoint::kBrokerAppend)) {
     return Status::Unavailable("injected append error on topic '" + topic + "'");
@@ -128,6 +181,11 @@ Expected<std::pair<PartitionId, Offset>> Broker::Produce(const std::string& topi
   const PartitionId p = (*t)->PartitionFor(record.key);
   const Offset off = (*t)->partition(p).Append(std::move(record), clock_.Now());
   ++total_produced_;
+  if (metrics_ != nullptr) {
+    metrics_->Set("qos.depth." + topic + ".p" + std::to_string(p),
+                  static_cast<double>((*t)->partition(p).size()));
+    metrics_->Set("qos.bytes." + topic, static_cast<double>((*t)->TotalBytes()));
+  }
   if (torn) {
     // The record landed but the ack is lost; the producer sees a failure.
     return Status::Unavailable("injected torn append on topic '" + topic + "'");
@@ -148,7 +206,63 @@ Expected<std::vector<StoredRecord>> Broker::Fetch(const std::string& topic,
       fault_->Fire(fault::FaultKind::kFetchError, fault::InjectionPoint::kBrokerFetch)) {
     return Status::Unavailable("injected fetch error on topic '" + topic + "'");
   }
-  return (*t)->partition(partition).Fetch(from, max_records);
+  auto fetched = (*t)->partition(partition).Fetch(from, max_records);
+  if (metrics_ != nullptr && fetched.ok() && !fetched->empty()) {
+    // Ingest-to-fetch lag of the newest record handed out: how far behind
+    // the head this consumer is running, in wall-clock terms.
+    const Duration lag = clock_.Now() - fetched->back().record.ingest_time;
+    metrics_->Set("qos.lag_ms." + topic + ".p" + std::to_string(partition),
+                  lag.seconds() * 1e3);
+  }
+  return fetched;
+}
+
+Expected<std::size_t> Broker::TruncateBefore(const std::string& topic,
+                                             PartitionId partition, Offset offset) {
+  auto t = GetTopic(topic);
+  if (!t.ok()) return t.status();
+  if (partition >= (*t)->partition_count()) {
+    return Status::OutOfRange("partition " + std::to_string(partition) + " of topic '" +
+                              topic + "'");
+  }
+  const std::size_t dropped = (*t)->partition(partition).TruncateBefore(offset);
+  if (metrics_ != nullptr && dropped > 0) {
+    metrics_->Set("qos.depth." + topic + ".p" + std::to_string(partition),
+                  static_cast<double>((*t)->partition(partition).size()));
+    metrics_->Set("qos.bytes." + topic, static_cast<double>((*t)->TotalBytes()));
+  }
+  return dropped;
+}
+
+std::size_t Broker::Credit(const std::string& topic) const {
+  auto it = topics_.find(topic);
+  if (it == topics_.end()) return 0;
+  const Topic& t = *it->second;
+  const TopicConfig& cfg = t.config();
+  std::size_t credit = static_cast<std::size_t>(-1);
+  if (cfg.max_records > 0) {
+    const std::size_t held = t.TotalRecords();
+    credit = held >= cfg.max_records ? 0 : cfg.max_records - held;
+  }
+  if (cfg.max_bytes > 0) {
+    const std::size_t held = t.TotalBytes();
+    std::size_t byte_credit = 0;
+    if (held < cfg.max_bytes) {
+      // Convert byte headroom to records conservatively via the mean
+      // retained record size (or count bytes 1:1 on an empty topic).
+      const std::size_t n = t.TotalRecords();
+      const std::size_t mean = n > 0 ? std::max<std::size_t>(1, held / n) : 1;
+      byte_credit = (cfg.max_bytes - held) / mean;
+    }
+    credit = std::min(credit, byte_credit);
+  }
+  return credit;
+}
+
+double Broker::Pressure(const std::string& topic) const {
+  auto it = topics_.find(topic);
+  if (it == topics_.end()) return 0.0;
+  return it->second->Pressure();
 }
 
 std::size_t Broker::RunRetention() {

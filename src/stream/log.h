@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/metrics.h"
 #include "common/status.h"
 #include "fault/injector.h"
 #include "stream/record.h"
@@ -25,6 +26,13 @@ struct TopicConfig {
   // count per partition are eligible for truncation. Zero disables.
   Duration retention_time = Duration::Zero();
   std::size_t retention_records = 0;
+  // QoS budgets across the whole topic (zero disables): once the topic
+  // holds this many records / payload+key bytes, Produce is rejected with
+  // kResourceExhausted instead of growing the queue unboundedly. Producers
+  // read the remaining headroom through Broker::Credit (credit-based
+  // backpressure) rather than probing for rejections.
+  std::size_t max_records = 0;
+  std::size_t max_bytes = 0;
 };
 
 // One partition of a topic. Offsets are dense: the first retained record
@@ -40,9 +48,17 @@ class Partition {
   Offset log_start_offset() const { return start_offset_; }
   Offset end_offset() const { return start_offset_ + static_cast<Offset>(records_.size()); }
   std::size_t size() const { return records_.size(); }
+  // Retained payload+key bytes (the unit topic byte budgets meter).
+  std::size_t bytes() const { return bytes_; }
 
   // Drop records violating retention limits. Returns number dropped.
   std::size_t EnforceRetention(const TopicConfig& cfg, TimePoint now);
+
+  // Advance the log start to `offset`, dropping everything below it (the
+  // Kafka deleteRecords operation). Consumers that have committed up to an
+  // offset use this to return queue budget to producers. Returns records
+  // dropped; offsets beyond the end clamp to the end.
+  std::size_t TruncateBefore(Offset offset);
 
   // Log compaction: keep only the newest record per key, dropping
   // tombstoned keys (empty payloads) entirely. Retained records are
@@ -56,6 +72,7 @@ class Partition {
  private:
   std::deque<Record> records_;
   Offset start_offset_ = 0;
+  std::size_t bytes_ = 0;
   TimePoint max_event_time_ = TimePoint::Min();
 };
 
@@ -74,7 +91,13 @@ class Topic {
   const Partition& partition(PartitionId p) const { return parts_.at(p); }
 
   std::size_t TotalRecords() const;
+  std::size_t TotalBytes() const;
   std::size_t EnforceRetention(TimePoint now);
+
+  // Queue pressure against the configured budgets: the larger of the
+  // record-fill and byte-fill fractions, 0 when unbudgeted. The admission
+  // layer reads this (via Broker::Pressure) to decide what to shed.
+  double Pressure() const;
 
  private:
   std::string name_;
@@ -102,6 +125,10 @@ class Broker {
   Expected<std::vector<StoredRecord>> Fetch(const std::string& topic, PartitionId partition,
                                             Offset from, std::size_t max_records);
 
+  // Advance a partition's log start (consumer-driven queue truncation).
+  Expected<std::size_t> TruncateBefore(const std::string& topic, PartitionId partition,
+                                       Offset offset);
+
   // Runs retention across all topics; returns records dropped.
   std::size_t RunRetention();
 
@@ -109,6 +136,22 @@ class Broker {
   Clock& clock() { return clock_; }
 
   std::uint64_t total_produced() const { return total_produced_; }
+  std::uint64_t backpressure_rejects() const { return backpressure_rejects_; }
+
+  // Remaining record headroom under the topic's budgets (credit-based
+  // backpressure): how many records a producer may send before Produce
+  // starts rejecting. SIZE_MAX when the topic is unbudgeted; byte budgets
+  // are counted conservatively against the topic's mean record size.
+  std::size_t Credit(const std::string& topic) const;
+
+  // Topic::Pressure for a named topic; 0 for unknown or unbudgeted topics.
+  double Pressure(const std::string& topic) const;
+
+  // Optional observability hook (not owned). When set, the broker exports
+  // per-partition depth gauges (qos.depth.<topic>.p<n>), topic byte
+  // gauges, ingest-to-fetch lag gauges (qos.lag_ms.<topic>.p<n>), and
+  // backpressure counters into the registry.
+  void set_metrics(MetricRegistry* metrics) { metrics_ = metrics; }
 
   // Optional chaos hook (not owned). When set, produce/fetch consult it:
   // `apperr` rejects the append cleanly, `torn` persists the record but
@@ -121,7 +164,9 @@ class Broker {
   Clock& clock_;
   std::map<std::string, std::unique_ptr<Topic>> topics_;
   std::uint64_t total_produced_ = 0;
+  std::uint64_t backpressure_rejects_ = 0;
   fault::FaultInjector* fault_ = nullptr;
+  MetricRegistry* metrics_ = nullptr;
 };
 
 // Thin producer handle: validates topic existence once and adds batching
@@ -132,7 +177,13 @@ class Producer {
       : broker_(broker), topic_(std::move(topic)) {}
 
   Expected<std::pair<PartitionId, Offset>> Send(Record record);
+  // Sends until done or the first failure. A kResourceExhausted status is
+  // the broker pushing back (topic over budget): already-sent records
+  // stand, the remainder should be retried once credit returns.
   Status SendBatch(std::vector<Record> records);
+
+  // Remaining topic credit (see Broker::Credit).
+  std::size_t credit() const { return broker_.Credit(topic_); }
 
   std::uint64_t sent() const { return sent_; }
 

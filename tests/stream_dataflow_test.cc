@@ -285,6 +285,55 @@ TEST(PipelineCounters, TrackInputsAndOutputs) {
   EXPECT_GE(p.results_out(), 2u);
 }
 
+TEST(PipelineBackpressure, OfferRejectsWhenInboxFull) {
+  Pipeline p;
+  p.set_input_budget(3);
+  std::vector<WindowResult> results;
+  p.WindowAggregate(WindowSpec::Tumbling(Duration::Seconds(1)), AggKind::kCount)
+      .Sink([&](const WindowResult& r) { results.push_back(r); });
+
+  EXPECT_EQ(p.input_credit(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(p.Offer(Ev("k", 1.0, i * 100)).ok());
+  }
+  EXPECT_EQ(p.input_credit(), 0u);
+  const Status st = p.Offer(Ev("k", 1.0, 400));
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+
+  // Draining frees credit; the rejected event can be retried.
+  EXPECT_EQ(p.DrainPending(2), 2u);
+  EXPECT_EQ(p.input_credit(), 2u);
+  EXPECT_TRUE(p.Offer(Ev("k", 1.0, 400)).ok());
+  p.Flush();
+  EXPECT_EQ(p.events_in(), 4u);
+  EXPECT_EQ(p.pending(), 0u);
+}
+
+TEST(PipelineBackpressure, UnbudgetedOfferProcessesInline) {
+  Pipeline p;
+  std::vector<WindowResult> results;
+  p.WindowAggregate(WindowSpec::Tumbling(Duration::Seconds(1)), AggKind::kSum)
+      .Sink([&](const WindowResult& r) { results.push_back(r); });
+  EXPECT_TRUE(p.Offer(Ev("k", 2.0, 100)).ok());
+  EXPECT_EQ(p.pending(), 0u);  // no inbox without a budget
+  EXPECT_EQ(p.events_in(), 1u);
+}
+
+TEST(PipelineBackpressure, FlushDrainsTheInboxFirst) {
+  Pipeline p;
+  p.set_input_budget(8);
+  double total = 0.0;
+  p.WindowAggregate(WindowSpec::Tumbling(Duration::Seconds(1)), AggKind::kCount)
+      .Sink([&](const WindowResult& r) { total += r.value; });
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(p.Offer(Ev("k", 1.0, i * 100)).ok());
+  }
+  EXPECT_EQ(p.pending(), 5u);
+  p.Flush();
+  EXPECT_EQ(p.pending(), 0u);
+  EXPECT_DOUBLE_EQ(total, 5.0);
+}
+
 // Property sweep: for tumbling windows of any size, the sum of per-window
 // counts equals the number of on-time events pushed.
 class TumblingConservation : public ::testing::TestWithParam<int> {};

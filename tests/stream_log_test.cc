@@ -195,6 +195,123 @@ TEST_F(BrokerTest, ProducerCountsAndBatch) {
   EXPECT_EQ(broker_.total_produced(), 10u);
 }
 
+TEST_F(BrokerTest, RecordBudgetRejectsWhenFull) {
+  TopicConfig cfg;
+  cfg.partitions = 1;
+  cfg.max_records = 4;
+  ASSERT_TRUE(broker_.CreateTopic("t", cfg).ok());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(broker_.Produce("t", TextRecord("k", "v")).ok());
+  }
+  EXPECT_EQ(broker_.Credit("t"), 0u);
+  EXPECT_DOUBLE_EQ(broker_.Pressure("t"), 1.0);
+  auto rejected = broker_.Produce("t", TextRecord("k", "v"));
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(broker_.backpressure_rejects(), 1u);
+}
+
+TEST_F(BrokerTest, TruncateReturnsCreditToProducers) {
+  TopicConfig cfg;
+  cfg.partitions = 1;
+  cfg.max_records = 4;
+  ASSERT_TRUE(broker_.CreateTopic("t", cfg).ok());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(broker_.Produce("t", TextRecord("k", std::to_string(i))).ok());
+  }
+  ASSERT_EQ(broker_.Credit("t"), 0u);
+
+  // A consumer commits through offset 2 and truncates: budget comes back.
+  auto dropped = broker_.TruncateBefore("t", 0, 2);
+  ASSERT_TRUE(dropped.ok());
+  EXPECT_EQ(*dropped, 2u);
+  EXPECT_EQ(broker_.Credit("t"), 2u);
+  EXPECT_TRUE(broker_.Produce("t", TextRecord("k", "v")).ok());
+  // Offsets stay dense across the truncation.
+  EXPECT_FALSE(broker_.Fetch("t", 0, 1, 1).ok());  // truncated away
+  EXPECT_TRUE(broker_.Fetch("t", 0, 2, 1).ok());
+}
+
+TEST_F(BrokerTest, ByteBudgetBoundsQueueBytes) {
+  TopicConfig cfg;
+  cfg.partitions = 1;
+  cfg.max_bytes = 40;  // each record is 1 key byte + 10 payload bytes
+  ASSERT_TRUE(broker_.CreateTopic("t", cfg).ok());
+  int accepted = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (broker_.Produce("t", TextRecord("k", "0123456789")).ok()) ++accepted;
+  }
+  // 4 records = 44 bytes is the first state at/over budget, so the 5th
+  // and later produces are rejected.
+  EXPECT_EQ(accepted, 4);
+  EXPECT_EQ((*broker_.GetTopic("t"))->TotalBytes(), 44u);
+  EXPECT_GT(broker_.backpressure_rejects(), 0u);
+}
+
+TEST_F(BrokerTest, UnbudgetedTopicHasInfiniteCreditAndZeroPressure) {
+  ASSERT_TRUE(broker_.CreateTopic("t", {.partitions = 1}).ok());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(broker_.Produce("t", TextRecord("k", "v")).ok());
+  }
+  EXPECT_EQ(broker_.Credit("t"), SIZE_MAX);
+  EXPECT_DOUBLE_EQ(broker_.Pressure("t"), 0.0);
+  EXPECT_EQ(broker_.backpressure_rejects(), 0u);
+}
+
+TEST_F(BrokerTest, ExportsDepthByteAndLagGauges) {
+  MetricRegistry reg;
+  broker_.set_metrics(&reg);
+  TopicConfig cfg;
+  cfg.partitions = 1;
+  cfg.max_records = 16;
+  ASSERT_TRUE(broker_.CreateTopic("t", cfg).ok());
+
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(broker_.Produce("t", TextRecord("k", "0123456789")).ok());
+  }
+  EXPECT_DOUBLE_EQ(reg.Get("qos.depth.t.p0"), 3.0);
+  EXPECT_DOUBLE_EQ(reg.Get("qos.bytes.t"), 33.0);
+
+  // Ingest-to-fetch lag: records ingested at t=0, fetched 50ms later.
+  clock_.Advance(Duration::Millis(50));
+  ASSERT_TRUE(broker_.Fetch("t", 0, 0, 10).ok());
+  EXPECT_NEAR(reg.Get("qos.lag_ms.t.p0"), 50.0, 1e-9);
+
+  // Truncation updates the depth gauge too.
+  ASSERT_TRUE(broker_.TruncateBefore("t", 0, 2).ok());
+  EXPECT_DOUBLE_EQ(reg.Get("qos.depth.t.p0"), 1.0);
+}
+
+TEST_F(BrokerTest, BackpressureCounterExported) {
+  MetricRegistry reg;
+  broker_.set_metrics(&reg);
+  TopicConfig cfg;
+  cfg.partitions = 1;
+  cfg.max_records = 1;
+  ASSERT_TRUE(broker_.CreateTopic("t", cfg).ok());
+  ASSERT_TRUE(broker_.Produce("t", TextRecord("k", "v")).ok());
+  ASSERT_FALSE(broker_.Produce("t", TextRecord("k", "v")).ok());
+  EXPECT_DOUBLE_EQ(reg.Get("qos.backpressure.t"), 1.0);
+}
+
+TEST_F(BrokerTest, ProducerSeesCreditAndPartialBatch) {
+  TopicConfig cfg;
+  cfg.partitions = 1;
+  cfg.max_records = 4;
+  ASSERT_TRUE(broker_.CreateTopic("t", cfg).ok());
+  Producer prod(broker_, "t");
+  EXPECT_EQ(prod.credit(), 4u);
+
+  std::vector<Record> batch;
+  for (int i = 0; i < 6; ++i) batch.push_back(TextRecord("k", "v"));
+  const Status st = prod.SendBatch(std::move(batch));
+  // The batch ran out of credit mid-way: what fit stands, the rest is the
+  // caller's to retry once credit returns.
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(prod.sent(), 4u);
+  EXPECT_EQ(prod.credit(), 0u);
+}
+
 TEST_F(BrokerTest, TopicNamesSorted) {
   ASSERT_TRUE(broker_.CreateTopic("zeta", {}).ok());
   ASSERT_TRUE(broker_.CreateTopic("alpha", {}).ok());
