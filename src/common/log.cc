@@ -1,10 +1,23 @@
 #include "common/log.h"
 
 #include <atomic>
+#include <mutex>
 
 namespace arbd {
 namespace {
 std::atomic<LogLevel> g_threshold{LogLevel::kWarn};
+
+// Serializes both formatting state and the sink call: a line is fully
+// assembled and handed to the sink before any other writer may emit.
+std::mutex& SinkMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+Logger::Sink& SinkRef() {
+  static Logger::Sink sink;  // empty = stderr
+  return sink;
+}
 
 const char* LevelName(LogLevel l) {
   switch (l) {
@@ -24,9 +37,23 @@ void Logger::set_threshold(LogLevel level) {
   g_threshold.store(level, std::memory_order_relaxed);
 }
 
+void Logger::set_sink(Sink sink) {
+  std::lock_guard<std::mutex> lk(SinkMutex());
+  SinkRef() = std::move(sink);
+}
+
 void Logger::Log(LogLevel level, const std::string& module, const std::string& message) {
   if (level < threshold()) return;
-  std::fprintf(stderr, "[%s] %s: %s\n", LevelName(level), module.c_str(), message.c_str());
+  std::string line;
+  line.reserve(module.size() + message.size() + 16);
+  line.append("[").append(LevelName(level)).append("] ");
+  line.append(module).append(": ").append(message);
+  std::lock_guard<std::mutex> lk(SinkMutex());
+  if (const Sink& sink = SinkRef()) {
+    sink(level, line);
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
 }
 
 }  // namespace arbd

@@ -1,8 +1,13 @@
 // Minimal leveled logger. Off by default above WARN so tests and benches
 // stay quiet; scenarios can raise verbosity for demos.
+//
+// Thread-safe: the threshold check stays a lock-free atomic load (the hot
+// path when logging is off), and emission is serialized behind a single
+// sink mutex so concurrent writers can never interleave partial lines.
 #pragma once
 
 #include <cstdio>
+#include <functional>
 #include <string>
 
 namespace arbd {
@@ -11,9 +16,17 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
 class Logger {
  public:
+  using Sink = std::function<void(LogLevel, const std::string& line)>;
+
   static LogLevel threshold();
   static void set_threshold(LogLevel level);
   static void Log(LogLevel level, const std::string& module, const std::string& message);
+
+  // Replace the stderr sink (tests use this to capture whole lines and
+  // assert no interleaving). The sink is invoked under the sink mutex —
+  // one fully formatted line per call — so it must not log reentrantly.
+  // Pass nullptr to restore stderr.
+  static void set_sink(Sink sink);
 };
 
 #define ARBD_LOG(level, module, msg) ::arbd::Logger::Log(level, module, msg)

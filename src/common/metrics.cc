@@ -1,6 +1,7 @@
 #include "common/metrics.h"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cmath>
 #include <cstdio>
@@ -89,6 +90,139 @@ std::string Histogram::Summary() const {
                 Duration::Nanos(p99()).ToString().c_str(),
                 Duration::Nanos(max()).ToString().c_str());
   return buf;
+}
+
+std::size_t MetricRegistry::ThisThreadShard() {
+  static std::atomic<std::size_t> next{0};
+  thread_local std::size_t idx = next.fetch_add(1, std::memory_order_relaxed);
+  return idx % kShards;
+}
+
+MetricRegistry::MetricRegistry() : state_(std::make_unique<State>()) {}
+
+MetricRegistry::MetricRegistry(const MetricRegistry& other)
+    : state_(std::make_unique<State>()) {
+  CopyFrom(other);
+}
+
+MetricRegistry& MetricRegistry::operator=(const MetricRegistry& other) {
+  if (this != &other) {
+    state_ = std::make_unique<State>();
+    CopyFrom(other);
+  }
+  return *this;
+}
+
+MetricRegistry::MetricRegistry(MetricRegistry&& other) noexcept
+    : state_(std::move(other.state_)) {
+  other.state_ = std::make_unique<State>();
+}
+
+MetricRegistry& MetricRegistry::operator=(MetricRegistry&& other) noexcept {
+  if (this != &other) {
+    state_ = std::move(other.state_);
+    other.state_ = std::make_unique<State>();
+  }
+  return *this;
+}
+
+void MetricRegistry::CopyFrom(const MetricRegistry& other) {
+  // Collapse the source's shards into shard 0 of the copy: aggregates are
+  // identical and the copy is typically a frozen report.
+  {
+    std::lock_guard<std::mutex> lk(other.state_->gauge_mu);
+    state_->gauges = other.state_->gauges;
+  }
+  Shard& dst = state_->shards[0];
+  for (const Shard& src : other.state_->shards) {
+    std::lock_guard<std::mutex> lk(src.mu);
+    for (const auto& [name, delta] : src.adds) dst.adds[name] += delta;
+    for (const auto& [name, hist] : src.hists) dst.hists[name].Merge(hist);
+  }
+}
+
+void MetricRegistry::Add(const std::string& name, double delta) {
+  Shard& shard = state_->shards[ThisThreadShard()];
+  std::lock_guard<std::mutex> lk(shard.mu);
+  shard.adds[name] += delta;
+}
+
+void MetricRegistry::Set(const std::string& name, double value) {
+  // Overwrite: the gauge takes the value and any accumulated deltas for
+  // the key are dropped, matching the old single-map `values_[name] = v`.
+  {
+    std::lock_guard<std::mutex> lk(state_->gauge_mu);
+    state_->gauges[name] = value;
+  }
+  for (Shard& shard : state_->shards) {
+    std::lock_guard<std::mutex> lk(shard.mu);
+    shard.adds.erase(name);
+  }
+}
+
+double MetricRegistry::Get(const std::string& name) const {
+  double total = 0.0;
+  {
+    std::lock_guard<std::mutex> lk(state_->gauge_mu);
+    auto it = state_->gauges.find(name);
+    if (it != state_->gauges.end()) total = it->second;
+  }
+  for (const Shard& shard : state_->shards) {
+    std::lock_guard<std::mutex> lk(shard.mu);
+    auto it = shard.adds.find(name);
+    if (it != shard.adds.end()) total += it->second;
+  }
+  return total;
+}
+
+Histogram& MetricRegistry::Hist(const std::string& name) {
+  Shard& shard = state_->shards[ThisThreadShard()];
+  std::lock_guard<std::mutex> lk(shard.mu);
+  return shard.hists[name];
+}
+
+Histogram MetricRegistry::HistSnapshot(const std::string& name) const {
+  Histogram out;
+  for (const Shard& shard : state_->shards) {
+    std::lock_guard<std::mutex> lk(shard.mu);
+    auto it = shard.hists.find(name);
+    if (it != shard.hists.end()) out.Merge(it->second);
+  }
+  return out;
+}
+
+std::map<std::string, double> MetricRegistry::values() const {
+  std::map<std::string, double> out;
+  {
+    std::lock_guard<std::mutex> lk(state_->gauge_mu);
+    out = state_->gauges;
+  }
+  for (const Shard& shard : state_->shards) {
+    std::lock_guard<std::mutex> lk(shard.mu);
+    for (const auto& [name, delta] : shard.adds) out[name] += delta;
+  }
+  return out;
+}
+
+std::map<std::string, Histogram> MetricRegistry::hists() const {
+  std::map<std::string, Histogram> out;
+  for (const Shard& shard : state_->shards) {
+    std::lock_guard<std::mutex> lk(shard.mu);
+    for (const auto& [name, hist] : shard.hists) out[name].Merge(hist);
+  }
+  return out;
+}
+
+void MetricRegistry::Reset() {
+  {
+    std::lock_guard<std::mutex> lk(state_->gauge_mu);
+    state_->gauges.clear();
+  }
+  for (Shard& shard : state_->shards) {
+    std::lock_guard<std::mutex> lk(shard.mu);
+    shard.adds.clear();
+    shard.hists.clear();
+  }
 }
 
 SampleStats SampleStats::Of(const std::vector<double>& xs) {

@@ -6,6 +6,8 @@
 #include <cstdint>
 #include <array>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -58,24 +60,63 @@ class Histogram {
   std::int64_t max_ = INT64_MIN;
 };
 
-// Simple named counter/gauge registry so subsystems can expose internals
-// to benches without plumbing ad-hoc return values.
+// Named counter/gauge/histogram registry so subsystems can expose
+// internals to benches without plumbing ad-hoc return values.
+//
+// Thread-safe via striping: counter deltas and histogram records land in a
+// per-thread shard (each shard guarded by its own mutex, so any thread may
+// still read an aggregate), and reads sum across shards in fixed shard
+// order. Gauges (`Set`) keep overwrite semantics under a single mutex —
+// concurrent Set on one key is last-write-wins, so determinism-sensitive
+// callers keep a single writer per gauge key. Counter aggregates are
+// order-independent only for integral deltas (the common case throughout
+// the codebase); scenario digests stick to those.
 class MetricRegistry {
  public:
-  void Add(const std::string& name, double delta = 1.0) { values_[name] += delta; }
-  void Set(const std::string& name, double value) { values_[name] = value; }
-  double Get(const std::string& name) const {
-    auto it = values_.find(name);
-    return it == values_.end() ? 0.0 : it->second;
-  }
-  Histogram& Hist(const std::string& name) { return hists_[name]; }
-  const std::map<std::string, double>& values() const { return values_; }
-  const std::map<std::string, Histogram>& hists() const { return hists_; }
-  void Reset() { values_.clear(); hists_.clear(); }
+  MetricRegistry();
+  ~MetricRegistry() = default;
+  // Copy takes an aggregated snapshot (reports hold registries by value).
+  MetricRegistry(const MetricRegistry& other);
+  MetricRegistry& operator=(const MetricRegistry& other);
+  MetricRegistry(MetricRegistry&& other) noexcept;
+  MetricRegistry& operator=(MetricRegistry&& other) noexcept;
+
+  void Add(const std::string& name, double delta = 1.0);
+  void Set(const std::string& name, double value);
+  double Get(const std::string& name) const;
+
+  // The calling thread's shard-local histogram: safe to Record from many
+  // threads concurrently (each writes its own shard). Reading quantiles
+  // off the returned reference sees only this thread's records; use
+  // HistSnapshot for the cross-thread aggregate.
+  Histogram& Hist(const std::string& name);
+  Histogram HistSnapshot(const std::string& name) const;
+
+  // Aggregated snapshots (shards merged in fixed order), returned by
+  // value — the registry may keep being written while callers iterate.
+  std::map<std::string, double> values() const;
+  std::map<std::string, Histogram> hists() const;
+
+  void Reset();
 
  private:
-  std::map<std::string, double> values_;
-  std::map<std::string, Histogram> hists_;
+  static constexpr std::size_t kShards = 8;
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::map<std::string, double> adds;
+    std::map<std::string, Histogram> hists;
+  };
+  struct State {
+    mutable std::mutex gauge_mu;
+    std::map<std::string, double> gauges;
+    std::array<Shard, kShards> shards;
+  };
+
+  static std::size_t ThisThreadShard();
+  void CopyFrom(const MetricRegistry& other);
+
+  std::unique_ptr<State> state_;
 };
 
 // Basic descriptive statistics over a sample vector (used by experiment

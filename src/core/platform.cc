@@ -7,6 +7,7 @@ Platform::Platform(PlatformConfig cfg, const geo::CityModel& city, SimClock& clo
     : cfg_(cfg),
       city_(city),
       clock_(clock),
+      exec_(std::make_unique<exec::Executor>(cfg.exec)),
       broker_(clock),
       classifier_(&city),
       layout_(cfg.layout) {
@@ -68,13 +69,15 @@ void Platform::AddAggregation(const AggregationSpec& spec) {
   job.pipeline = std::make_unique<stream::Pipeline>(cfg_.max_out_of_orderness);
   if (cfg_.qos.enabled) job.pipeline->set_input_budget(cfg_.qos.pipeline_budget_records);
   const std::string attr = spec.attribute;
+  // The sink only buffers: it may run on a worker (terminal stage task),
+  // so interpretation — which touches the shared annotation store — is
+  // deferred to the driver (ProcessPending merges buffers in job order).
+  // Index capture keeps the sink valid across jobs_ reallocation.
+  const std::size_t job_index = jobs_.size();
   job.pipeline->Filter([attr](const stream::Event& e) { return e.attribute == attr; })
       .WindowAggregate(spec.window, spec.agg, spec.allowed_lateness)
-      .Sink([this](const stream::WindowResult& r) {
-        ++results_interpreted_;
-        if (auto a = interpreter_->Interpret(r, clock_.Now())) {
-          annotations_.Add(std::move(*a));
-        }
+      .Sink([this, job_index](const stream::WindowResult& r) {
+        jobs_[job_index].results.push_back(r);
       });
   jobs_.push_back(std::move(job));
 }
@@ -106,15 +109,43 @@ std::size_t Platform::ProcessPending(std::size_t max_records) {
             [](const stream::StoredRecord& a, const stream::StoredRecord& b) {
               return a.record.event_time < b.record.event_time;
             });
+  std::vector<stream::Event> events;
+  events.reserve(records.size());
   for (const auto& sr : records) {
     auto event = stream::Event::Decode(sr.record.payload);
     if (!event.ok()) continue;  // corrupt payloads are dropped, not fatal
-    for (auto& job : jobs_) {
-      // The credit clamp above guarantees this Offer fits the inbox.
-      (void)job.pipeline->Offer(*event);
-    }
+    events.push_back(std::move(*event));
   }
-  for (auto& job : jobs_) job.pipeline->DrainPending(records.size());
+  if (exec_->workers() > 1) {
+    // Each job's stage chain occupies its own shard range, so the jobs
+    // progress concurrently; within a job, stages pipeline in order.
+    std::uint64_t shard_base = 1;
+    for (auto& job : jobs_) {
+      job.pipeline->ProcessBatchParallel(*exec_, events, shard_base);
+      shard_base += job.pipeline->stage_count() + 1;
+    }
+    exec_->Drain();
+  } else {
+    for (const auto& event : events) {
+      for (auto& job : jobs_) {
+        // The credit clamp above guarantees this Offer fits the inbox.
+        (void)job.pipeline->Offer(event);
+      }
+    }
+    for (auto& job : jobs_) job.pipeline->DrainPending(records.size());
+  }
+  // Merge point: window results feed interpretation in job order, the
+  // same order the synchronous drain fired sinks — identical annotation
+  // ids and contents regardless of worker count.
+  for (auto& job : jobs_) {
+    for (const auto& r : job.results) {
+      ++results_interpreted_;
+      if (auto a = interpreter_->Interpret(r, clock_.Now())) {
+        annotations_.Add(std::move(*a));
+      }
+    }
+    job.results.clear();
+  }
   consumer_->Commit();
   return records.size();
 }
@@ -156,7 +187,24 @@ Expected<FrameResult> Platform::ComposeFrame(const std::string& user_id) {
   const ar::CameraView view = (*user)->View();
   const ar::OcclusionClassifier& classifier =
       profile.occlusion_raycast ? classifier_ : degraded_classifier_;
-  const auto classified = classifier.ClassifyAll(live, view);
+  std::vector<ar::ClassifiedAnnotation> classified;
+  if (exec_->workers() > 1 && live.size() >= exec_->workers() * 2) {
+    // Per-annotation classification is pure (read-only city raycasts) and
+    // lands at a fixed index, so chunked parallel execution reproduces
+    // ClassifyAll's output exactly.
+    classified.resize(live.size());
+    const std::size_t chunks = exec_->workers();
+    const std::size_t per = (live.size() + chunks - 1) / chunks;
+    exec_->ParallelFor(chunks, [&](std::size_t c) {
+      const std::size_t lo = c * per;
+      const std::size_t hi = std::min(live.size(), lo + per);
+      for (std::size_t i = lo; i < hi; ++i) {
+        classified[i] = classifier.Classify(*live[i], view);
+      }
+    });
+  } else {
+    classified = classifier.ClassifyAll(live, view);
+  }
   for (const auto& c : classified) {
     if (c.visibility != ar::Visibility::kOutOfView) ++frame.in_view;
     if (c.visibility == ar::Visibility::kOccluded) ++frame.occluded;

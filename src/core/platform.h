@@ -7,6 +7,14 @@
 //   sensors → Broker(topic) → ConsumerGroup → Pipeline(window agg)
 //          → InterpretationEngine → AnnotationStore
 //          → [per frame] OcclusionClassifier → LabelLayout → FrameResult
+//
+// Execution: the platform owns a deterministic executor (src/exec). With
+// workers=1 (the default) everything runs inline on the caller, exactly
+// the original single-threaded behaviour; with more workers, ProcessPending
+// fans each dataflow job's stages out as executor tasks and ComposeFrame
+// classifies annotations in parallel chunks. Results are merged in job /
+// index order, so outputs are identical at every worker count — see
+// docs/execution.md for the determinism contract.
 #pragma once
 
 #include <cstdint>
@@ -20,6 +28,7 @@
 #include "common/metrics.h"
 #include "core/context.h"
 #include "core/interpretation.h"
+#include "exec/executor.h"
 #include "qos/admission.h"
 #include "qos/degradation.h"
 #include "stream/consumer.h"
@@ -49,6 +58,10 @@ struct PlatformConfig {
   ar::LayoutConfig layout;
   ContextConfig context;
   PlatformQosConfig qos;
+  // Worker pool for ingestion and frame composition. Defaults from the
+  // environment (ARBD_EXEC_WORKERS) so CI can run the whole suite at
+  // several worker counts without touching call sites.
+  exec::ExecConfig exec = exec::ExecConfig::FromEnv();
 };
 
 struct AggregationSpec {
@@ -125,15 +138,27 @@ class Platform {
   qos::AdmissionController* admission() { return admission_.get(); }
   qos::DegradationLadder* ladder() { return ladder_.get(); }
 
+  exec::Executor& executor() { return *exec_; }
+
+  // Aggregation-job introspection (digest harnesses checkpoint-hash every
+  // pipeline to prove cross-worker-count determinism).
+  std::size_t job_count() const { return jobs_.size(); }
+  stream::Pipeline& job_pipeline(std::size_t i) { return *jobs_.at(i).pipeline; }
+
  private:
   struct Job {
     AggregationSpec spec;
     std::unique_ptr<stream::Pipeline> pipeline;
+    // Window results buffered by the job's sink during processing, then
+    // interpreted on the driver in job order — the deterministic merge
+    // point between parallel pipelines and the shared annotation store.
+    std::vector<stream::WindowResult> results;
   };
 
   PlatformConfig cfg_;
   const geo::CityModel& city_;
   SimClock& clock_;
+  std::unique_ptr<exec::Executor> exec_;
   stream::Broker broker_;
   std::unique_ptr<stream::ConsumerGroup> group_;
   stream::Consumer* consumer_ = nullptr;

@@ -1,0 +1,98 @@
+// Deterministic cross-shard merge.
+//
+// Parallel stages produce results on independent shards; the order those
+// results arrive in depends on thread scheduling, which must never leak
+// into program state. MergeBuffer collects per-shard result lanes (each
+// lane is single-writer: only the task stream of that shard pushes to it)
+// and produces one canonical order:
+//
+//   sort by (vtime, ShardRank(seed, shard), shard, push-seq-within-shard)
+//
+// With seed == 0 ShardRank(shard) == shard, so equal-vtime entries come
+// out in natural shard order — which for every refactored layer matches
+// the order the old synchronous code produced (shards are visited 0..n-1
+// by the serial loop). A nonzero seed permutes the tie-break reproducibly,
+// letting experiments probe alternative legal interleavings without
+// changing what is computed.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace arbd::exec {
+
+// Deterministic rank of a shard for merge tie-breaking. seed==0 preserves
+// natural order; otherwise a splitmix64-style mix of (seed, shard).
+inline std::uint64_t ShardRank(std::uint64_t seed, std::uint64_t shard) {
+  if (seed == 0) return shard;
+  std::uint64_t z = shard + seed * 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+template <typename T>
+class MergeBuffer {
+ public:
+  explicit MergeBuffer(std::size_t shards, std::uint64_t seed = 0)
+      : seed_(seed), lanes_(shards) {}
+
+  // Push from shard's task stream only (single writer per lane); lock-free.
+  void Push(std::size_t shard, Duration vtime, T item) {
+    auto& lane = lanes_.at(shard);
+    lane.push_back(Entry{vtime, lane.size(), std::move(item)});
+  }
+
+  std::size_t shards() const { return lanes_.size(); }
+  std::size_t lane_size(std::size_t shard) const { return lanes_.at(shard).size(); }
+
+  // Drains all lanes into the canonical merged order. Call from the driver
+  // after Executor::Drain() — never while shard tasks may still push.
+  std::vector<T> TakeMerged() {
+    struct Key {
+      Duration vtime;
+      std::uint64_t rank;
+      std::uint64_t shard;
+      std::uint64_t seq;
+    };
+    std::vector<std::pair<Key, T>> all;
+    std::size_t total = 0;
+    for (const auto& lane : lanes_) total += lane.size();
+    all.reserve(total);
+    for (std::size_t s = 0; s < lanes_.size(); ++s) {
+      for (auto& e : lanes_[s]) {
+        all.emplace_back(Key{e.vtime, ShardRank(seed_, s), s, e.seq},
+                         std::move(e.item));
+      }
+      lanes_[s].clear();
+    }
+    std::stable_sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+      const Key& x = a.first;
+      const Key& y = b.first;
+      if (x.vtime != y.vtime) return x.vtime < y.vtime;
+      if (x.rank != y.rank) return x.rank < y.rank;
+      if (x.shard != y.shard) return x.shard < y.shard;
+      return x.seq < y.seq;
+    });
+    std::vector<T> out;
+    out.reserve(all.size());
+    for (auto& [k, item] : all) out.push_back(std::move(item));
+    return out;
+  }
+
+ private:
+  struct Entry {
+    Duration vtime;
+    std::uint64_t seq;
+    T item;
+  };
+
+  std::uint64_t seed_;
+  std::vector<std::vector<Entry>> lanes_;
+};
+
+}  // namespace arbd::exec

@@ -1,0 +1,83 @@
+#include "offload/fleet.h"
+
+#include <algorithm>
+
+#include "common/metrics.h"
+
+namespace arbd::offload {
+
+FleetStats SimulateFleetFrames(exec::Executor& exec, const FleetConfig& cfg) {
+  const std::size_t users = std::max<std::size_t>(1, cfg.users);
+  std::vector<FrameStats> per_user(users);
+  std::vector<Histogram> per_user_hist(users);
+  std::vector<std::uint64_t> cloud_tasks(users, 0), total_tasks(users, 0);
+
+  const FrameWorkload workload = MakeArFrameWorkload(cfg.analytics_scale);
+
+  for (std::size_t u = 0; u < users; ++u) {
+    exec.Submit(u, [&, u] {
+      // Everything a user's simulation touches is built inside the task:
+      // independent RNG stream, scheduler state, and histogram.
+      NetworkModel network(cfg.network, cfg.seed ^ static_cast<std::uint64_t>(u));
+      OffloadScheduler scheduler(cfg.policy, DeviceModel(cfg.device),
+                                 CloudModel(cfg.cloud), network);
+      FrameStats& stats = per_user[u];
+      Histogram& hist = per_user_hist[u];
+      double energy_sum = 0.0;
+      Duration busy = Duration::Zero();
+      for (std::size_t f = 0; f < cfg.frames_per_user; ++f) {
+        Duration frame_latency = Duration::Zero();
+        double frame_energy = 0.0;
+        for (const auto& task : workload.tasks) {
+          const TaskOutcome o = scheduler.Run(task);
+          frame_latency += o.latency;
+          frame_energy += o.energy_j;
+          if (o.placement == Placement::kCloud) ++cloud_tasks[u];
+          ++total_tasks[u];
+        }
+        hist.RecordDuration(frame_latency);
+        busy += frame_latency;
+        energy_sum += frame_energy;
+        ++stats.frames;
+        if (frame_latency <= workload.deadline) ++stats.deadline_hits;
+      }
+      stats.hit_rate = stats.frames ? static_cast<double>(stats.deadline_hits) /
+                                          static_cast<double>(stats.frames)
+                                    : 0.0;
+      stats.mean_latency_ms = hist.mean() / 1e6;
+      stats.p95_latency_ms = static_cast<double>(hist.p95()) / 1e6;
+      stats.mean_energy_mj =
+          stats.frames ? energy_sum * 1000.0 / static_cast<double>(stats.frames) : 0.0;
+      stats.offload_fraction =
+          total_tasks[u] ? static_cast<double>(cloud_tasks[u]) /
+                               static_cast<double>(total_tasks[u])
+                         : 0.0;
+      // The user's simulated frame time is the modeled cost of this task.
+      exec.AddVirtualCost(busy);
+    });
+  }
+  exec.Drain();
+
+  // Deterministic merge in user order.
+  FleetStats fleet;
+  fleet.per_user = std::move(per_user);
+  Histogram all;
+  std::uint64_t hits = 0, cloud = 0, total = 0;
+  for (std::size_t u = 0; u < users; ++u) {
+    fleet.frames += fleet.per_user[u].frames;
+    hits += fleet.per_user[u].deadline_hits;
+    cloud += cloud_tasks[u];
+    total += total_tasks[u];
+    all.Merge(per_user_hist[u]);
+  }
+  fleet.hit_rate = fleet.frames
+                       ? static_cast<double>(hits) / static_cast<double>(fleet.frames)
+                       : 0.0;
+  fleet.mean_latency_ms = all.mean() / 1e6;
+  fleet.p99_latency_ms = static_cast<double>(all.p99()) / 1e6;
+  fleet.offload_fraction =
+      total ? static_cast<double>(cloud) / static_cast<double>(total) : 0.0;
+  return fleet;
+}
+
+}  // namespace arbd::offload

@@ -1,0 +1,43 @@
+// Fleet-scale frame simulation on the deterministic executor: one shard
+// per simulated user, each with its own seeded NetworkModel and
+// OffloadScheduler, so user simulations are fully independent and run in
+// parallel without sharing any mutable state. Per-user results land in
+// slots indexed by user and are merged in user order — identical output
+// at every worker count. Each user's total simulated busy time is billed
+// to the executing worker's virtual clock, which is what E20's frame-path
+// scaling numbers are computed from.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/executor.h"
+#include "offload/executor.h"
+#include "offload/network.h"
+#include "offload/scheduler.h"
+
+namespace arbd::offload {
+
+struct FleetConfig {
+  std::size_t users = 8;
+  std::size_t frames_per_user = 200;
+  OffloadPolicy policy = OffloadPolicy::kAdaptive;
+  DeviceConfig device;
+  CloudConfig cloud;
+  NetworkConfig network;
+  double analytics_scale = 1.0;
+  std::uint64_t seed = 1;  // user u's network stream is seeded seed ^ u
+};
+
+struct FleetStats {
+  std::uint64_t frames = 0;
+  double hit_rate = 0.0;
+  double mean_latency_ms = 0.0;
+  double p99_latency_ms = 0.0;  // across all users' frames
+  double offload_fraction = 0.0;
+  std::vector<FrameStats> per_user;  // indexed by user
+};
+
+FleetStats SimulateFleetFrames(exec::Executor& exec, const FleetConfig& cfg);
+
+}  // namespace arbd::offload

@@ -1,0 +1,33 @@
+// Final-state digests of the tourism and overload scenarios, run on the
+// deterministic executor. A digest folds every determinism-sensitive
+// observable — pipeline checkpoint bytes, annotation counts, broker
+// offsets, integral metric counters, per-tourist tour metrics — into one
+// FNV-1a hash. The regression contract (ISSUE 3, satellite b): for a
+// given seed the digest is identical at every worker count; the
+// cross-worker determinism test asserts this at workers ∈ {1, 4} across
+// seeds, and bench_exec (E20) asserts it across {1, 2, 4, 8}.
+//
+// Floating-point values are folded in as exact bit patterns, which is
+// sound because every parallel path either keeps a single writer per
+// accumulator or merges partial results in a canonical order — the same
+// additions happen in the same order at any worker count.
+#pragma once
+
+#include <cstdint>
+
+#include "exec/executor.h"
+
+namespace arbd::scenarios {
+
+// AR-platform path: seeded event streams → parallel ProcessPending
+// (pipelined stages) → interpretation → frame composition (parallel
+// classify), plus independent per-tourist tour simulations fanned out as
+// executor tasks and merged in tourist order.
+std::uint64_t TourismDigest(std::uint64_t seed, const exec::ExecConfig& exec_cfg);
+
+// Broker path: seeded keyed batches through ParallelProduce against a
+// budgeted topic (batches sized to credit on the driver, so admission is
+// deterministic), consumed and truncated partition-by-partition.
+std::uint64_t OverloadDigest(std::uint64_t seed, const exec::ExecConfig& exec_cfg);
+
+}  // namespace arbd::scenarios

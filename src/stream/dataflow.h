@@ -18,6 +18,10 @@
 #include "common/serialize.h"
 #include "common/status.h"
 
+namespace arbd::exec {
+class Executor;
+}
+
 namespace arbd::stream {
 
 // The typed event the dataflow layer works on. Scenario code serializes
@@ -144,6 +148,24 @@ class Pipeline final : public StageContext {
   // Force all remaining windows closed (end of stream).
   void Flush();
 
+  // Run a whole batch with each stage as an executor task: the driver
+  // assigns watermark positions up front (replicating Push's bookkeeping
+  // event-for-event), then stage s's task processes the full in-band item
+  // sequence — events, pass-through results, watermark markers — and
+  // submits stage s+1's task on the next shard. Because every stage sees
+  // the identical ordered sequence the synchronous pump would have fed it,
+  // sink calls, counters, and checkpoint bytes come out bit-identical to
+  // calling Push(batch[i]) in order, at any worker count. Stages of this
+  // pipeline occupy shards [shard_base, shard_base + stage_count()], so
+  // distinct pipelines sharing an executor need shard_base strides of at
+  // least stage_count()+1. The caller must exec.Drain() before touching
+  // the pipeline again; the bounded inbox (Offer/DrainPending) is
+  // bypassed — in batch mode admission is the caller's fetch credit.
+  void ProcessBatchParallel(exec::Executor& exec, const std::vector<Event>& batch,
+                            std::uint64_t shard_base = 0);
+
+  std::size_t stage_count() const { return stages_.size(); }
+
   // Bounded stage hand-off: with an input budget set (0 disables), Offer
   // enqueues into a bounded inbox instead of processing inline, returning
   // kResourceExhausted when the inbox is full. The feeding loop reads
@@ -179,6 +201,10 @@ class Pipeline final : public StageContext {
   void PropagateWatermark(TimePoint wm);
 
   struct FnStage;
+  struct ParItem;
+  class BatchCtx;
+  void SubmitStage(exec::Executor& exec, std::size_t stage, std::uint64_t shard_base,
+                   std::shared_ptr<std::vector<ParItem>> items);
 
   Duration max_ooo_;
   std::vector<std::unique_ptr<Stage>> stages_;

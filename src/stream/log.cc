@@ -11,23 +11,35 @@ std::size_t RecordBytes(const Record& r) { return r.key.size() + r.payload.size(
 
 }  // namespace
 
+void Partition::UpdateMirrors() {
+  start_mirror_.store(start_offset_, std::memory_order_release);
+  end_mirror_.store(start_offset_ + static_cast<Offset>(records_.size()),
+                    std::memory_order_release);
+  bytes_mirror_.store(bytes_, std::memory_order_release);
+  max_event_ns_mirror_.store(max_event_time_.nanos(), std::memory_order_release);
+}
+
 Offset Partition::Append(Record record, TimePoint ingest_time) {
+  std::lock_guard<std::mutex> lk(mu_);
   record.ingest_time = ingest_time;
   max_event_time_ = std::max(max_event_time_, record.event_time);
   bytes_ += RecordBytes(record);
   records_.push_back(std::move(record));
-  return end_offset() - 1;
+  UpdateMirrors();
+  return start_offset_ + static_cast<Offset>(records_.size()) - 1;
 }
 
 Expected<std::vector<StoredRecord>> Partition::Fetch(Offset from,
                                                      std::size_t max_records) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const Offset end = start_offset_ + static_cast<Offset>(records_.size());
   if (from < start_offset_) {
     return Status::OutOfRange("offset " + std::to_string(from) +
                               " below log start " + std::to_string(start_offset_));
   }
-  if (from > end_offset()) {
+  if (from > end) {
     return Status::OutOfRange("offset " + std::to_string(from) + " beyond log end " +
-                              std::to_string(end_offset()));
+                              std::to_string(end));
   }
   std::vector<StoredRecord> out;
   const auto begin = static_cast<std::size_t>(from - start_offset_);
@@ -43,6 +55,7 @@ Expected<std::vector<StoredRecord>> Partition::Fetch(Offset from,
 }
 
 std::size_t Partition::EnforceRetention(const TopicConfig& cfg, TimePoint now) {
+  std::lock_guard<std::mutex> lk(mu_);
   std::size_t dropped = 0;
   if (cfg.retention_records > 0) {
     while (records_.size() > cfg.retention_records) {
@@ -61,11 +74,13 @@ std::size_t Partition::EnforceRetention(const TopicConfig& cfg, TimePoint now) {
       ++dropped;
     }
   }
+  if (dropped > 0) UpdateMirrors();
   return dropped;
 }
 
 std::size_t Partition::TruncateBefore(Offset offset) {
-  offset = std::min(offset, end_offset());
+  std::lock_guard<std::mutex> lk(mu_);
+  offset = std::min(offset, start_offset_ + static_cast<Offset>(records_.size()));
   std::size_t dropped = 0;
   while (start_offset_ < offset) {
     bytes_ -= RecordBytes(records_.front());
@@ -73,10 +88,12 @@ std::size_t Partition::TruncateBefore(Offset offset) {
     ++start_offset_;
     ++dropped;
   }
+  if (dropped > 0) UpdateMirrors();
   return dropped;
 }
 
 std::size_t Partition::CompactKeepLatest() {
+  std::lock_guard<std::mutex> lk(mu_);
   // Walk from the tail keeping the first (i.e. newest) record per key;
   // tombstones mark their key as dead without being retained themselves.
   std::set<std::string> seen;
@@ -91,31 +108,36 @@ std::size_t Partition::CompactKeepLatest() {
   records_ = std::move(kept);
   bytes_ = 0;
   for (const auto& r : records_) bytes_ += RecordBytes(r);
+  UpdateMirrors();
   return removed;
 }
 
 Topic::Topic(std::string name, TopicConfig cfg)
     : name_(std::move(name)), cfg_(cfg) {
   if (cfg_.partitions == 0) cfg_.partitions = 1;
-  parts_.resize(cfg_.partitions);
+  parts_.reserve(cfg_.partitions);
+  for (std::uint32_t i = 0; i < cfg_.partitions; ++i) {
+    parts_.push_back(std::make_unique<Partition>());
+  }
 }
 
 PartitionId Topic::PartitionFor(const std::string& key) {
   if (key.empty()) {
-    return static_cast<PartitionId>(round_robin_++ % parts_.size());
+    return static_cast<PartitionId>(
+        round_robin_.fetch_add(1, std::memory_order_relaxed) % parts_.size());
   }
   return static_cast<PartitionId>(Fnv1a(key) % parts_.size());
 }
 
 std::size_t Topic::TotalRecords() const {
   std::size_t n = 0;
-  for (const auto& p : parts_) n += p.size();
+  for (const auto& p : parts_) n += p->size();
   return n;
 }
 
 std::size_t Topic::TotalBytes() const {
   std::size_t n = 0;
-  for (const auto& p : parts_) n += p.bytes();
+  for (const auto& p : parts_) n += p->bytes();
   return n;
 }
 
@@ -133,23 +155,31 @@ double Topic::Pressure() const {
 
 std::size_t Topic::EnforceRetention(TimePoint now) {
   std::size_t dropped = 0;
-  for (auto& p : parts_) dropped += p.EnforceRetention(cfg_, now);
+  for (auto& p : parts_) dropped += p->EnforceRetention(cfg_, now);
   return dropped;
 }
 
 Status Broker::CreateTopic(const std::string& name, TopicConfig cfg) {
   if (name.empty()) return Status::InvalidArgument("topic name must not be empty");
+  std::unique_lock<std::shared_mutex> lk(topics_mu_);
   if (topics_.contains(name)) return Status::AlreadyExists("topic '" + name + "'");
   topics_[name] = std::make_unique<Topic>(name, cfg);
   return Status::Ok();
 }
 
 Status Broker::DeleteTopic(const std::string& name) {
+  std::unique_lock<std::shared_mutex> lk(topics_mu_);
   if (topics_.erase(name) == 0) return Status::NotFound("topic '" + name + "'");
   return Status::Ok();
 }
 
+bool Broker::HasTopic(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lk(topics_mu_);
+  return topics_.contains(name);
+}
+
 Expected<Topic*> Broker::GetTopic(const std::string& name) {
+  std::shared_lock<std::shared_mutex> lk(topics_mu_);
   auto it = topics_.find(name);
   if (it == topics_.end()) return Status::NotFound("topic '" + name + "'");
   return it->second.get();
@@ -159,38 +189,57 @@ Expected<std::pair<PartitionId, Offset>> Broker::Produce(const std::string& topi
                                                          Record record) {
   auto t = GetTopic(topic);
   if (!t.ok()) return t.status();
+  const PartitionId p = (*t)->PartitionFor(record.key);
+  auto off = ProduceImpl(topic, *t, p, std::move(record));
+  if (!off.ok()) return off.status();
+  return std::make_pair(p, *off);
+}
+
+Expected<Offset> Broker::ProduceToPartition(const std::string& topic,
+                                            PartitionId partition, Record record) {
+  auto t = GetTopic(topic);
+  if (!t.ok()) return t.status();
+  if (partition >= (*t)->partition_count()) {
+    return Status::OutOfRange("partition " + std::to_string(partition) + " of topic '" +
+                              topic + "'");
+  }
+  return ProduceImpl(topic, *t, partition, std::move(record));
+}
+
+Expected<Offset> Broker::ProduceImpl(const std::string& topic, Topic* t,
+                                     PartitionId p, Record record) {
   // Budget check first: backpressure is a flow-control decision, not a
   // fault, so it must not consume injector randomness.
-  const TopicConfig& cfg = (*t)->config();
-  const bool over_records =
-      cfg.max_records > 0 && (*t)->TotalRecords() >= cfg.max_records;
-  const bool over_bytes = cfg.max_bytes > 0 && (*t)->TotalBytes() >= cfg.max_bytes;
+  const TopicConfig& cfg = t->config();
+  const bool over_records = cfg.max_records > 0 && t->TotalRecords() >= cfg.max_records;
+  const bool over_bytes = cfg.max_bytes > 0 && t->TotalBytes() >= cfg.max_bytes;
   if (over_records || over_bytes) {
-    ++backpressure_rejects_;
+    backpressure_rejects_.fetch_add(1, std::memory_order_relaxed);
     if (metrics_ != nullptr) metrics_->Add("qos.backpressure." + topic);
     return Status::ResourceExhausted("topic '" + topic + "' over " +
                                      (over_records ? "record" : "byte") + " budget");
   }
-  if (fault_ != nullptr &&
-      fault_->Fire(fault::FaultKind::kAppendError, fault::InjectionPoint::kBrokerAppend)) {
-    return Status::Unavailable("injected append error on topic '" + topic + "'");
+  bool torn = false;
+  if (fault_ != nullptr) {
+    // FaultInjector's RNG is single-threaded; serialize draws.
+    std::lock_guard<std::mutex> flk(fault_mu_);
+    if (fault_->Fire(fault::FaultKind::kAppendError, fault::InjectionPoint::kBrokerAppend)) {
+      return Status::Unavailable("injected append error on topic '" + topic + "'");
+    }
+    torn = fault_->Fire(fault::FaultKind::kTornAppend, fault::InjectionPoint::kBrokerAppend);
   }
-  const bool torn =
-      fault_ != nullptr &&
-      fault_->Fire(fault::FaultKind::kTornAppend, fault::InjectionPoint::kBrokerAppend);
-  const PartitionId p = (*t)->PartitionFor(record.key);
-  const Offset off = (*t)->partition(p).Append(std::move(record), clock_.Now());
-  ++total_produced_;
+  const Offset off = t->partition(p).Append(std::move(record), clock_.Now());
+  total_produced_.fetch_add(1, std::memory_order_relaxed);
   if (metrics_ != nullptr) {
     metrics_->Set("qos.depth." + topic + ".p" + std::to_string(p),
-                  static_cast<double>((*t)->partition(p).size()));
-    metrics_->Set("qos.bytes." + topic, static_cast<double>((*t)->TotalBytes()));
+                  static_cast<double>(t->partition(p).size()));
+    metrics_->Set("qos.bytes." + topic, static_cast<double>(t->TotalBytes()));
   }
   if (torn) {
     // The record landed but the ack is lost; the producer sees a failure.
     return Status::Unavailable("injected torn append on topic '" + topic + "'");
   }
-  return std::make_pair(p, off);
+  return off;
 }
 
 Expected<std::vector<StoredRecord>> Broker::Fetch(const std::string& topic,
@@ -202,9 +251,11 @@ Expected<std::vector<StoredRecord>> Broker::Fetch(const std::string& topic,
     return Status::OutOfRange("partition " + std::to_string(partition) + " of topic '" +
                               topic + "'");
   }
-  if (fault_ != nullptr &&
-      fault_->Fire(fault::FaultKind::kFetchError, fault::InjectionPoint::kBrokerFetch)) {
-    return Status::Unavailable("injected fetch error on topic '" + topic + "'");
+  if (fault_ != nullptr) {
+    std::lock_guard<std::mutex> flk(fault_mu_);
+    if (fault_->Fire(fault::FaultKind::kFetchError, fault::InjectionPoint::kBrokerFetch)) {
+      return Status::Unavailable("injected fetch error on topic '" + topic + "'");
+    }
   }
   auto fetched = (*t)->partition(partition).Fetch(from, max_records);
   if (metrics_ != nullptr && fetched.ok() && !fetched->empty()) {
@@ -235,22 +286,26 @@ Expected<std::size_t> Broker::TruncateBefore(const std::string& topic,
 }
 
 std::size_t Broker::Credit(const std::string& topic) const {
-  auto it = topics_.find(topic);
-  if (it == topics_.end()) return 0;
-  const Topic& t = *it->second;
-  const TopicConfig& cfg = t.config();
+  const Topic* t = nullptr;
+  {
+    std::shared_lock<std::shared_mutex> lk(topics_mu_);
+    auto it = topics_.find(topic);
+    if (it == topics_.end()) return 0;
+    t = it->second.get();
+  }
+  const TopicConfig& cfg = t->config();
   std::size_t credit = static_cast<std::size_t>(-1);
   if (cfg.max_records > 0) {
-    const std::size_t held = t.TotalRecords();
+    const std::size_t held = t->TotalRecords();
     credit = held >= cfg.max_records ? 0 : cfg.max_records - held;
   }
   if (cfg.max_bytes > 0) {
-    const std::size_t held = t.TotalBytes();
+    const std::size_t held = t->TotalBytes();
     std::size_t byte_credit = 0;
     if (held < cfg.max_bytes) {
       // Convert byte headroom to records conservatively via the mean
       // retained record size (or count bytes 1:1 on an empty topic).
-      const std::size_t n = t.TotalRecords();
+      const std::size_t n = t->TotalRecords();
       const std::size_t mean = n > 0 ? std::max<std::size_t>(1, held / n) : 1;
       byte_credit = (cfg.max_bytes - held) / mean;
     }
@@ -260,18 +315,21 @@ std::size_t Broker::Credit(const std::string& topic) const {
 }
 
 double Broker::Pressure(const std::string& topic) const {
+  std::shared_lock<std::shared_mutex> lk(topics_mu_);
   auto it = topics_.find(topic);
   if (it == topics_.end()) return 0.0;
   return it->second->Pressure();
 }
 
 std::size_t Broker::RunRetention() {
+  std::shared_lock<std::shared_mutex> lk(topics_mu_);
   std::size_t dropped = 0;
   for (auto& [name, topic] : topics_) dropped += topic->EnforceRetention(clock_.Now());
   return dropped;
 }
 
 std::vector<std::string> Broker::TopicNames() const {
+  std::shared_lock<std::shared_mutex> lk(topics_mu_);
   std::vector<std::string> names;
   names.reserve(topics_.size());
   for (const auto& [name, _] : topics_) names.push_back(name);

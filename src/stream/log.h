@@ -3,12 +3,27 @@
 // substrate) but with the full broker semantics the rest of the platform
 // relies on: key-hash partitioning, per-partition monotonically increasing
 // offsets, retention by size and by time, and checksummed fetches.
+//
+// Concurrency model (since the exec refactor): the partition is the unit
+// of parallelism. Each Partition carries its own mutex, so Produce/Fetch/
+// TruncateBefore on *different* partitions never contend; lightweight
+// accessors (size, bytes, offsets, pressure, credit) read relaxed atomic
+// mirrors and stay lock-free. The topic map itself is guarded by a
+// shared_mutex — lookups take a shared lock, CreateTopic/DeleteTopic an
+// exclusive one. DeleteTopic must not race in-flight produce/fetch on the
+// topic being deleted (callers quiesce first; the simulation drivers do).
+// Budget checks read the lock-free aggregates, so enforcement is exact in
+// serial use and best-effort (a handful of records of slack) when many
+// workers produce concurrently.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -37,6 +52,9 @@ struct TopicConfig {
 
 // One partition of a topic. Offsets are dense: the first retained record
 // sits at `log_start_offset`, the next append goes to `end_offset`.
+// All mutating/reading operations on the record store are serialized by
+// the partition mutex; the offset/size/byte accessors read atomic mirrors
+// and may be called from any thread without locking.
 class Partition {
  public:
   Offset Append(Record record, TimePoint ingest_time);
@@ -45,11 +63,13 @@ class Partition {
   // `from` is below the log start (truncated away) or above the end.
   Expected<std::vector<StoredRecord>> Fetch(Offset from, std::size_t max_records) const;
 
-  Offset log_start_offset() const { return start_offset_; }
-  Offset end_offset() const { return start_offset_ + static_cast<Offset>(records_.size()); }
-  std::size_t size() const { return records_.size(); }
+  Offset log_start_offset() const { return start_mirror_.load(std::memory_order_acquire); }
+  Offset end_offset() const { return end_mirror_.load(std::memory_order_acquire); }
+  std::size_t size() const {
+    return static_cast<std::size_t>(end_offset() - log_start_offset());
+  }
   // Retained payload+key bytes (the unit topic byte budgets meter).
-  std::size_t bytes() const { return bytes_; }
+  std::size_t bytes() const { return bytes_mirror_.load(std::memory_order_acquire); }
 
   // Drop records violating retention limits. Returns number dropped.
   std::size_t EnforceRetention(const TopicConfig& cfg, TimePoint now);
@@ -67,13 +87,23 @@ class Partition {
   std::size_t CompactKeepLatest();
 
   // Latest event time appended (for watermark generation at the source).
-  TimePoint max_event_time() const { return max_event_time_; }
+  TimePoint max_event_time() const {
+    return TimePoint::FromNanos(max_event_ns_mirror_.load(std::memory_order_acquire));
+  }
 
  private:
+  void UpdateMirrors();  // call with mu_ held after any mutation
+
+  mutable std::mutex mu_;
   std::deque<Record> records_;
   Offset start_offset_ = 0;
   std::size_t bytes_ = 0;
   TimePoint max_event_time_ = TimePoint::Min();
+
+  std::atomic<Offset> start_mirror_{0};
+  std::atomic<Offset> end_mirror_{0};
+  std::atomic<std::size_t> bytes_mirror_{0};
+  std::atomic<std::int64_t> max_event_ns_mirror_{TimePoint::Min().nanos()};
 };
 
 class Topic {
@@ -84,11 +114,14 @@ class Topic {
   const TopicConfig& config() const { return cfg_; }
   std::uint32_t partition_count() const { return static_cast<std::uint32_t>(parts_.size()); }
 
-  // Key-hash partitioning; empty key round-robins.
+  // Key-hash partitioning; empty key round-robins. The round-robin counter
+  // is atomic (thread-safe), but its assignment order then depends on call
+  // interleaving — parallel producers that need determinism assign
+  // partitions on the driver before fanning out (stream/parallel.h does).
   PartitionId PartitionFor(const std::string& key);
 
-  Partition& partition(PartitionId p) { return parts_.at(p); }
-  const Partition& partition(PartitionId p) const { return parts_.at(p); }
+  Partition& partition(PartitionId p) { return *parts_.at(p); }
+  const Partition& partition(PartitionId p) const { return *parts_.at(p); }
 
   std::size_t TotalRecords() const;
   std::size_t TotalBytes() const;
@@ -102,8 +135,9 @@ class Topic {
  private:
   std::string name_;
   TopicConfig cfg_;
-  std::vector<Partition> parts_;
-  std::uint64_t round_robin_ = 0;
+  // unique_ptr because Partition owns a mutex (non-movable).
+  std::vector<std::unique_ptr<Partition>> parts_;
+  std::atomic<std::uint64_t> round_robin_{0};
 };
 
 // The broker: a named collection of topics plus produce/fetch endpoints.
@@ -115,12 +149,19 @@ class Broker {
 
   Status CreateTopic(const std::string& name, TopicConfig cfg);
   Status DeleteTopic(const std::string& name);
-  bool HasTopic(const std::string& name) const { return topics_.contains(name); }
+  bool HasTopic(const std::string& name) const;
   Expected<Topic*> GetTopic(const std::string& name);
 
   // Appends the record, stamping ingest time from the broker clock.
   // Returns the (partition, offset) it landed at.
   Expected<std::pair<PartitionId, Offset>> Produce(const std::string& topic, Record record);
+
+  // Produce with the partition chosen by the caller (parallel producers
+  // assign partitions deterministically on the driver, then fan appends
+  // out across workers — see stream/parallel.h). Budget + fault semantics
+  // match Produce.
+  Expected<Offset> ProduceToPartition(const std::string& topic, PartitionId partition,
+                                      Record record);
 
   Expected<std::vector<StoredRecord>> Fetch(const std::string& topic, PartitionId partition,
                                             Offset from, std::size_t max_records);
@@ -135,8 +176,12 @@ class Broker {
   std::vector<std::string> TopicNames() const;
   Clock& clock() { return clock_; }
 
-  std::uint64_t total_produced() const { return total_produced_; }
-  std::uint64_t backpressure_rejects() const { return backpressure_rejects_; }
+  std::uint64_t total_produced() const {
+    return total_produced_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t backpressure_rejects() const {
+    return backpressure_rejects_.load(std::memory_order_relaxed);
+  }
 
   // Remaining record headroom under the topic's budgets (credit-based
   // backpressure): how many records a producer may send before Produce
@@ -150,21 +195,29 @@ class Broker {
   // Optional observability hook (not owned). When set, the broker exports
   // per-partition depth gauges (qos.depth.<topic>.p<n>), topic byte
   // gauges, ingest-to-fetch lag gauges (qos.lag_ms.<topic>.p<n>), and
-  // backpressure counters into the registry.
+  // backpressure counters into the registry. Gauges are last-write-wins
+  // under concurrency; scenario digests only fold in counters.
   void set_metrics(MetricRegistry* metrics) { metrics_ = metrics; }
 
   // Optional chaos hook (not owned). When set, produce/fetch consult it:
   // `apperr` rejects the append cleanly, `torn` persists the record but
   // still reports Unavailable (a retrying producer then duplicates it —
   // at-least-once, like a real broker losing the ack), and `fetcherr`
-  // fails the fetch without touching the log.
+  // fails the fetch without touching the log. The injector's RNG is not
+  // thread-safe, so the broker serializes Fire() calls behind a mutex;
+  // fault *ordering* is deterministic only for serial producers.
   void set_fault_injector(fault::FaultInjector* injector) { fault_ = injector; }
 
  private:
+  Expected<Offset> ProduceImpl(const std::string& topic, Topic* t, PartitionId partition,
+                               Record record);
+
   Clock& clock_;
+  mutable std::shared_mutex topics_mu_;
   std::map<std::string, std::unique_ptr<Topic>> topics_;
-  std::uint64_t total_produced_ = 0;
-  std::uint64_t backpressure_rejects_ = 0;
+  std::atomic<std::uint64_t> total_produced_{0};
+  std::atomic<std::uint64_t> backpressure_rejects_{0};
+  std::mutex fault_mu_;
   fault::FaultInjector* fault_ = nullptr;
   MetricRegistry* metrics_ = nullptr;
 };

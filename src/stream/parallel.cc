@@ -1,0 +1,79 @@
+#include "stream/parallel.h"
+
+#include <utility>
+
+namespace arbd::stream {
+
+ParallelProduceReport ParallelProduce(exec::Executor& exec, Broker& broker,
+                                      const std::string& topic,
+                                      std::vector<Record> records,
+                                      Duration cost_per_record) {
+  ParallelProduceReport report;
+  auto t = broker.GetTopic(topic);
+  if (!t.ok()) {
+    report.rejected = records.size();
+    return report;
+  }
+  const std::size_t nparts = (*t)->partition_count();
+
+  // Partition assignment happens here, on the driver, in record order:
+  // this is the only place the round-robin counter or hash is consulted,
+  // so the record→partition mapping is independent of worker count.
+  std::vector<std::vector<Record>> buckets(nparts);
+  for (auto& r : records) {
+    const PartitionId p = (*t)->PartitionFor(r.key);
+    buckets[p].push_back(std::move(r));
+  }
+
+  std::vector<std::size_t> produced(nparts, 0);
+  std::vector<std::size_t> rejected(nparts, 0);
+  for (std::size_t p = 0; p < nparts; ++p) {
+    if (buckets[p].empty()) continue;
+    const Duration cost = cost_per_record * static_cast<double>(buckets[p].size());
+    exec.SubmitCost(p, cost, [&broker, &topic, &buckets, &produced, &rejected, p] {
+      for (auto& r : buckets[p]) {
+        auto off = broker.ProduceToPartition(topic, static_cast<PartitionId>(p),
+                                             std::move(r));
+        if (off.ok()) {
+          ++produced[p];
+        } else {
+          ++rejected[p];
+        }
+      }
+    });
+  }
+  exec.Drain();
+
+  report.per_partition.resize(nparts);
+  for (std::size_t p = 0; p < nparts; ++p) {
+    report.per_partition[p] = produced[p];
+    report.produced += produced[p];
+    report.rejected += rejected[p];
+  }
+  return report;
+}
+
+std::vector<std::vector<StoredRecord>> ParallelFetchAll(exec::Executor& exec,
+                                                        Broker& broker,
+                                                        const std::string& topic,
+                                                        std::size_t max_per_partition,
+                                                        Duration cost_per_record) {
+  auto t = broker.GetTopic(topic);
+  if (!t.ok()) return {};
+  const std::size_t nparts = (*t)->partition_count();
+  std::vector<std::vector<StoredRecord>> out(nparts);
+  for (std::size_t p = 0; p < nparts; ++p) {
+    exec.Submit(p, [&broker, &exec, &topic, &out, max_per_partition, cost_per_record,
+                    p, t = *t] {
+      const Offset from = t->partition(static_cast<PartitionId>(p)).log_start_offset();
+      auto fetched = broker.Fetch(topic, static_cast<PartitionId>(p), from,
+                                  max_per_partition);
+      if (fetched.ok()) out[p] = std::move(*fetched);
+      exec.AddVirtualCost(cost_per_record * static_cast<double>(out[p].size()));
+    });
+  }
+  exec.Drain();
+  return out;
+}
+
+}  // namespace arbd::stream

@@ -1,0 +1,51 @@
+// Parallel produce/fetch over the sharded broker.
+//
+// Parallelism over a topic is by partition: the driver assigns a partition
+// to every record *serially* (so key hashing and the empty-key round-robin
+// stay deterministic regardless of worker count), buckets records per
+// partition, and fans one executor task out per partition. Disjoint
+// partitions never contend — each task appends behind its own partition
+// mutex — and per-partition results land in slots the driver pre-sized,
+// so no cross-task synchronization beyond Executor::Drain is needed.
+// The outcome (records placed, offsets, reject counts) is identical for
+// every worker count, including workers=1 which degenerates to the serial
+// loop.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "exec/executor.h"
+#include "stream/log.h"
+
+namespace arbd::stream {
+
+struct ParallelProduceReport {
+  std::size_t produced = 0;
+  std::size_t rejected = 0;  // budget rejections + injected append faults
+  // Per-partition record counts, indexed by partition, for digesting.
+  std::vector<std::size_t> per_partition;
+};
+
+// Appends `records` to `topic` using one executor task per partition.
+// `cost_per_record` is the modeled per-append cost billed to the executing
+// worker's virtual clock (Executor::SubmitCost), which is what E20 meters
+// scaling with.
+ParallelProduceReport ParallelProduce(exec::Executor& exec, Broker& broker,
+                                      const std::string& topic,
+                                      std::vector<Record> records,
+                                      Duration cost_per_record);
+
+// Fetches every partition's full retained log concurrently (up to
+// `max_per_partition` records each). Result is indexed by partition, so
+// the merged view is in canonical partition order no matter which worker
+// fetched what.
+std::vector<std::vector<StoredRecord>> ParallelFetchAll(exec::Executor& exec,
+                                                        Broker& broker,
+                                                        const std::string& topic,
+                                                        std::size_t max_per_partition,
+                                                        Duration cost_per_record);
+
+}  // namespace arbd::stream
