@@ -6,6 +6,7 @@
 // still failing loudly on bugs.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <variant>
@@ -66,6 +67,20 @@ class Status {
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
+  // Optional structured payload: the valid range the offending value fell
+  // outside of. Machine-readable recovery (a consumer resetting to the
+  // earliest retained offset) must not parse error strings — it reads
+  // this. Carried by value so Status stays cheap to copy.
+  Status&& WithRange(std::int64_t lo, std::int64_t hi) && {
+    has_range_ = true;
+    range_lo_ = lo;
+    range_hi_ = hi;
+    return std::move(*this);
+  }
+  bool has_range() const { return has_range_; }
+  std::int64_t range_lo() const { return range_lo_; }
+  std::int64_t range_hi() const { return range_hi_; }
+
   std::string ToString() const {
     if (ok()) return "OK";
     return std::string(StatusCodeName(code_)) + ": " + message_;
@@ -74,6 +89,9 @@ class Status {
  private:
   StatusCode code_ = StatusCode::kOk;
   std::string message_;
+  bool has_range_ = false;
+  std::int64_t range_lo_ = 0;
+  std::int64_t range_hi_ = 0;
 };
 
 // Value-or-error. Accessing the value of an errored Expected throws, so

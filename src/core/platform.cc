@@ -3,6 +3,15 @@
 
 namespace arbd::core {
 
+namespace {
+// Modeled costs on the causal-trace time axis (virtual, worker-count
+// independent — see docs/observability.md).
+constexpr Duration kPublishCost = Duration::Micros(3);
+constexpr Duration kIngestCost = Duration::Micros(1);
+constexpr Duration kComposeBaseCost = Duration::Micros(40);
+constexpr Duration kComposePerAnnotationCost = Duration::Micros(2);
+}  // namespace
+
 Platform::Platform(PlatformConfig cfg, const geo::CityModel& city, SimClock& clock)
     : cfg_(cfg),
       city_(city),
@@ -10,7 +19,9 @@ Platform::Platform(PlatformConfig cfg, const geo::CityModel& city, SimClock& clo
       exec_(std::make_unique<exec::Executor>(cfg.exec)),
       broker_(clock),
       classifier_(&city),
-      layout_(cfg.layout) {
+      layout_(cfg.layout),
+      tracer_(cfg.tracer != nullptr ? cfg.tracer : &trace::Tracer::Global()) {
+  broker_.set_tracer(tracer_);
   stream::TopicConfig tc;
   tc.partitions = cfg_.partitions;
   if (cfg_.qos.enabled) tc.max_records = cfg_.qos.topic_budget_records;
@@ -46,6 +57,15 @@ Platform::Platform(PlatformConfig cfg, const geo::CityModel& city, SimClock& clo
 }
 
 Status Platform::Publish(const stream::Event& event, qos::PriorityClass priority) {
+  trace::SpanContext untraced;
+  return PublishTraced(event, priority, untraced);
+}
+
+Status Platform::PublishTraced(const stream::Event& event, qos::PriorityClass priority,
+                               trace::SpanContext& ctx) {
+  const bool traced = tracer_->enabled() && ctx.valid();
+  const std::uint64_t salt =
+      Fnv1a(event.key) ^ static_cast<std::uint64_t>(event.event_time.nanos());
   if (admission_ != nullptr) {
     admission_->UpdatePressureAll(broker_.Pressure(cfg_.event_topic));
     if (!admission_->Admit(priority)) {
@@ -54,12 +74,21 @@ Status Platform::Publish(const stream::Event& event, qos::PriorityClass priority
       if (priority == qos::PriorityClass::kFrameCritical && ladder_ != nullptr) {
         ladder_->ObserveShed();
       }
+      if (traced) {
+        ctx = tracer_->Record("platform.publish", ctx, kPublishCost,
+                              {{"shed", "1"}}, salt);
+      }
       return Status::ResourceExhausted(
           std::string("admission shed (") + qos::PriorityClassName(priority) + ")");
     }
   }
-  auto produced = broker_.Produce(
-      cfg_.event_topic, stream::Record::Make(event.key, event.Encode(), event.event_time));
+  stream::Record record =
+      stream::Record::Make(event.key, event.Encode(), event.event_time);
+  if (traced) {
+    ctx = tracer_->Record("platform.publish", ctx, kPublishCost, {{"shed", "0"}}, salt);
+    record.trace_ctx = ctx;
+  }
+  auto produced = broker_.Produce(cfg_.event_topic, std::move(record));
   return produced.status();
 }
 
@@ -67,6 +96,7 @@ void Platform::AddAggregation(const AggregationSpec& spec) {
   Job job;
   job.spec = spec;
   job.pipeline = std::make_unique<stream::Pipeline>(cfg_.max_out_of_orderness);
+  job.pipeline->set_tracer(tracer_);
   if (cfg_.qos.enabled) job.pipeline->set_input_budget(cfg_.qos.pipeline_budget_records);
   const std::string attr = spec.attribute;
   // The sink only buffers: it may run on a worker (terminal stage task),
@@ -109,11 +139,19 @@ std::size_t Platform::ProcessPending(std::size_t max_records) {
             [](const stream::StoredRecord& a, const stream::StoredRecord& b) {
               return a.record.event_time < b.record.event_time;
             });
+  const bool traced = tracer_->enabled();
   std::vector<stream::Event> events;
   events.reserve(records.size());
   for (const auto& sr : records) {
     auto event = stream::Event::Decode(sr.record.payload);
     if (!event.ok()) continue;  // corrupt payloads are dropped, not fatal
+    if (traced && sr.record.trace_ctx.valid()) {
+      // Hand the record's causal context to the decoded event, spending
+      // one ingest span for the fetch+decode hop.
+      event->trace_ctx = tracer_->Record(
+          "platform.ingest", sr.record.trace_ctx, kIngestCost, {},
+          Fnv1a(event->key) ^ static_cast<std::uint64_t>(event->event_time.nanos()));
+    }
     events.push_back(std::move(*event));
   }
   if (exec_->workers() > 1) {
@@ -217,6 +255,24 @@ Expected<FrameResult> Platform::ComposeFrame(const std::string& user_id) {
     frame.layout = ar::LabelLayout(scaled).Arrange(classified, cfg_.context.intrinsics);
   } else {
     frame.layout = layout_.Arrange(classified, cfg_.context.intrinsics);
+  }
+  return frame;
+}
+
+Expected<FrameResult> Platform::ComposeFrameTraced(const std::string& user_id,
+                                                   trace::SpanContext& ctx) {
+  auto frame = ComposeFrame(user_id);
+  if (frame.ok() && tracer_->enabled() && ctx.valid()) {
+    // Compose cost is modeled from the frame's deterministic annotation
+    // counts, so the span is identical at every worker count.
+    const Duration cost =
+        kComposeBaseCost +
+        kComposePerAnnotationCost * static_cast<std::int64_t>(frame->live_annotations);
+    ctx = tracer_->Record(
+        "frame.compose", ctx, cost,
+        {{"degradation_level", std::to_string(frame->degradation_level)},
+         {"live", std::to_string(frame->live_annotations)},
+         {"in_view", std::to_string(frame->in_view)}});
   }
   return frame;
 }

@@ -34,6 +34,7 @@
 #include "stream/consumer.h"
 #include "stream/dataflow.h"
 #include "stream/log.h"
+#include "trace/tracer.h"
 
 namespace arbd::core {
 
@@ -62,6 +63,10 @@ struct PlatformConfig {
   // environment (ARBD_EXEC_WORKERS) so CI can run the whole suite at
   // several worker counts without touching call sites.
   exec::ExecConfig exec = exec::ExecConfig::FromEnv();
+  // Causal tracer wired through broker, pipelines, and the frame path.
+  // Null selects trace::Tracer::Global() (ARBD_TRACE=1 turns it on); all
+  // instrumentation is a single relaxed load when disabled.
+  trace::Tracer* tracer = nullptr;
 };
 
 struct AggregationSpec {
@@ -94,6 +99,14 @@ class Platform {
   Status Publish(const stream::Event& event,
                  qos::PriorityClass priority = qos::PriorityClass::kBackground);
 
+  // Publish under a causal trace: records a "platform.publish" span (with
+  // a shed=1 tag when admission rejects), advances `ctx` to its child
+  // context, and stamps the context onto the produced record so the
+  // broker/pipeline/frame spans downstream chain off it. Identical to
+  // Publish when tracing is disabled or `ctx` is invalid.
+  Status PublishTraced(const stream::Event& event, qos::PriorityClass priority,
+                       trace::SpanContext& ctx);
+
   // Register a windowed aggregation job over the event stream.
   void AddAggregation(const AggregationSpec& spec);
 
@@ -119,6 +132,12 @@ class Platform {
   // occlusion raycasts and shrink the label budget.
   Expected<FrameResult> ComposeFrame(const std::string& user_id);
 
+  // ComposeFrame under a causal trace: records a "frame.compose" span of
+  // the frame's modeled composition cost (tags: degradation level, live /
+  // in-view annotation counts) and advances `ctx` past it.
+  Expected<FrameResult> ComposeFrameTraced(const std::string& user_id,
+                                           trace::SpanContext& ctx);
+
   // Feed one measured frame-path latency into the degradation ladder
   // (no-op with QoS disabled). Drivers call this with the wall/sim time a
   // frame actually took; sustained violation steps fidelity down,
@@ -139,6 +158,7 @@ class Platform {
   qos::DegradationLadder* ladder() { return ladder_.get(); }
 
   exec::Executor& executor() { return *exec_; }
+  trace::Tracer& tracer() { return *tracer_; }
 
   // Aggregation-job introspection (digest harnesses checkpoint-hash every
   // pipeline to prove cross-worker-count determinism).
@@ -171,6 +191,7 @@ class Platform {
   ar::OcclusionClassifier degraded_classifier_{nullptr};
   ar::LabelLayout layout_;
   std::map<std::string, std::unique_ptr<ContextEngine>> users_;
+  trace::Tracer* tracer_ = nullptr;  // never null after construction
   std::uint64_t results_interpreted_ = 0;
   MetricRegistry metrics_;
   std::unique_ptr<qos::AdmissionController> admission_;

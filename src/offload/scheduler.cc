@@ -107,6 +107,19 @@ TaskOutcome OffloadScheduler::Run(const ComputeTask& task) {
   return cloud < local ? RunCloud(task) : RunLocal(task);
 }
 
+TaskOutcome OffloadScheduler::RunTraced(const ComputeTask& task, trace::SpanContext& ctx) {
+  TaskOutcome out = Run(task);
+  if (tracer_ != nullptr && tracer_->enabled() && ctx.valid()) {
+    ctx = tracer_->Record(
+        "offload." + task.name, ctx, out.latency,
+        {{"placement", out.placement == Placement::kCloud ? "cloud" : "local"},
+         {"retries", std::to_string(out.retries)},
+         {"fell_back_local", out.fell_back_local ? "1" : "0"},
+         {"short_circuited", out.short_circuited ? "1" : "0"}});
+  }
+  return out;
+}
+
 FrameStats SimulateFrames(OffloadScheduler& scheduler, const FrameWorkload& workload,
                           std::size_t frame_count) {
   FrameStats stats;

@@ -17,6 +17,7 @@
 #include "offload/executor.h"
 #include "offload/network.h"
 #include "qos/circuit_breaker.h"
+#include "trace/tracer.h"
 
 namespace arbd::offload {
 
@@ -41,6 +42,16 @@ class OffloadScheduler {
   // Executes (simulates) the task under the policy; returns what happened
   // and feeds the adaptive estimator with the observed network time.
   TaskOutcome Run(const ComputeTask& task);
+
+  // Run + causal tracing: records an "offload.<task>" span of the
+  // outcome's latency under `ctx` and advances `ctx` to the span's child
+  // context. Placement, retries, local fallback, and breaker
+  // short-circuits land as span tags. Behaves exactly like Run when the
+  // tracer is unset/disabled or `ctx` is invalid.
+  TaskOutcome RunTraced(const ComputeTask& task, trace::SpanContext& ctx);
+
+  // Optional tracing hook (not owned); see RunTraced.
+  void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
 
   // The adaptive estimator's current belief about a round trip for the
   // given sizes (exposed for tests).
@@ -92,6 +103,7 @@ class OffloadScheduler {
 
   qos::CircuitBreaker* breaker_ = nullptr;
   fault::FaultInjector* fault_ = nullptr;
+  trace::Tracer* tracer_ = nullptr;
   fault::RetryPolicy retry_;
   Rng backoff_rng_{0x5eedULL};
 };

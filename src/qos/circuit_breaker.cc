@@ -23,6 +23,7 @@ void CircuitBreaker::Transition(BreakerState next) {
     if (metrics_ != nullptr) metrics_->Add("qos.breaker.opens");
   } else if (next == BreakerState::kHalfOpen) {
     half_open_successes_ = 0;
+    decisions_since_probe_ = 0;
   } else {
     ++closes_;
     consecutive_failures_ = 0;
@@ -45,8 +46,14 @@ bool CircuitBreaker::Allow() {
   }
   if (state_ == BreakerState::kHalfOpen) {
     // Probe a seeded trickle; everything else keeps short-circuiting until
-    // the probes prove the path healthy again.
-    if (rng_.Bernoulli(cfg_.probe_probability)) {
+    // the probes prove the path healthy again. The Bernoulli draw happens
+    // unconditionally so the RNG stream is identical with or without the
+    // floor — the floor only flips unlucky short-circuits into probes.
+    const bool lucky = rng_.Bernoulli(cfg_.probe_probability);
+    const bool forced = cfg_.probe_interval > 0 &&
+                        ++decisions_since_probe_ >= cfg_.probe_interval;
+    if (lucky || forced) {
+      decisions_since_probe_ = 0;
       ++probes_;
       if (metrics_ != nullptr) metrics_->Add("qos.breaker.probes");
       return true;

@@ -27,6 +27,11 @@ struct BreakerConfig {
   std::size_t open_decisions = 32;    // Allow() calls held open before probing
   std::size_t close_successes = 2;    // half-open successes that close it
   double probe_probability = 0.25;    // chance a half-open Allow() probes
+  // Probe floor: a half-open breaker is guaranteed at least one probe per
+  // this many Allow() decisions even on an unlucky RNG streak. Without it
+  // a worst-case seed can short-circuit indefinitely and a recovered cloud
+  // is never rediscovered. 0 disables the floor (pre-fix behavior).
+  std::size_t probe_interval = 16;
 };
 
 class CircuitBreaker {
@@ -62,6 +67,7 @@ class CircuitBreaker {
   std::size_t consecutive_failures_ = 0;
   std::size_t open_decisions_seen_ = 0;
   std::size_t half_open_successes_ = 0;
+  std::size_t decisions_since_probe_ = 0;
   std::uint64_t opens_ = 0;
   std::uint64_t closes_ = 0;
   std::uint64_t short_circuits_ = 0;

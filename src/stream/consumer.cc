@@ -20,12 +20,18 @@ std::vector<StoredRecord> Consumer::Poll(std::size_t max_records) {
     Offset& pos = positions_[p];
     auto fetched = group_.broker_.Fetch(group_.topic_name_, p, pos, max_records - out.size());
     if (!fetched.ok()) {
-      // Truncated below log start: skip forward to what is retained.
-      auto topic = group_.broker_.GetTopic(group_.topic_name_);
-      if (topic.ok()) {
-        pos = std::max(pos, (*topic)->partition(p).log_start_offset());
+      const Status st = fetched.status();
+      if (st.code() == StatusCode::kOutOfRange && st.has_range()) {
+        // Our position fell outside the retained [log_start, end) window
+        // (retention or truncation ran past us). Reposition per the
+        // group's reset policy using the structured range — no string
+        // parsing — and retry immediately so the surviving records are
+        // delivered in this same Poll.
+        pos = group_.reset_ == ResetPolicy::kEarliest ? st.range_lo() : st.range_hi();
+        ++group_.auto_resets_;
+        fetched = group_.broker_.Fetch(group_.topic_name_, p, pos, max_records - out.size());
       }
-      continue;
+      if (!fetched.ok()) continue;  // transient (injected fault, unknown topic)
     }
     for (auto& sr : *fetched) {
       sr.partition = p;

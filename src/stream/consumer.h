@@ -65,6 +65,9 @@ class ConsumerGroup {
   std::size_t member_count() const { return members_.size(); }
   const std::string& topic() const { return topic_name_; }
   std::uint64_t rebalance_count() const { return rebalances_; }
+  // Times a member's position was repositioned after falling outside the
+  // retained offset window (observability for data-loss windows).
+  std::uint64_t auto_reset_count() const { return auto_resets_; }
 
   // Total records not yet committed across all partitions ("consumer lag").
   std::int64_t TotalLag() const;
@@ -82,6 +85,7 @@ class ConsumerGroup {
   std::map<PartitionId, std::string> assignment_;  // partition -> consumer id
   std::map<PartitionId, Offset> committed_;
   std::uint64_t rebalances_ = 0;
+  std::uint64_t auto_resets_ = 0;
 };
 
 }  // namespace arbd::stream

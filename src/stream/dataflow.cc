@@ -252,6 +252,7 @@ Pipeline& Pipeline::Map(std::function<Event(const Event&)> fn) {
   auto s = std::make_unique<FnStage>();
   s->kind = FnStage::Kind::kMap;
   s->map = std::move(fn);
+  stage_span_names_.push_back("pipeline.s" + std::to_string(stages_.size()) + ".map");
   stages_.push_back(std::move(s));
   return *this;
 }
@@ -260,6 +261,7 @@ Pipeline& Pipeline::Filter(std::function<bool(const Event&)> pred) {
   auto s = std::make_unique<FnStage>();
   s->kind = FnStage::Kind::kFilter;
   s->filter = std::move(pred);
+  stage_span_names_.push_back("pipeline.s" + std::to_string(stages_.size()) + ".filter");
   stages_.push_back(std::move(s));
   return *this;
 }
@@ -275,6 +277,7 @@ Pipeline& Pipeline::KeyBy(std::function<std::string(const Event&)> key_fn) {
 Pipeline& Pipeline::WindowAggregate(WindowSpec spec, AggKind agg, Duration allowed_lateness) {
   auto s = std::make_unique<WindowAggregateStage>(spec, agg, allowed_lateness);
   window_stages_.push_back(s.get());
+  stage_span_names_.push_back("pipeline.s" + std::to_string(stages_.size()) + ".window");
   stages_.push_back(std::move(s));
   return *this;
 }
@@ -290,6 +293,19 @@ Pipeline& Pipeline::EventSink(std::function<void(const Event&)> sink) {
 }
 
 void Pipeline::Push(const Event& event) {
+  // With a bounded inbox in play, a direct Push while earlier events are
+  // still queued must not jump the line: that would reorder this event
+  // ahead of Offer()ed ones and corrupt event-time bookkeeping for
+  // sessions/lateness. Enqueue behind them; DrainPending preserves
+  // arrival order. Unbudgeted pipelines keep the inline fast path.
+  if (input_budget_ != 0 && !pending_.empty()) {
+    pending_.push_back(event);
+    return;
+  }
+  PushNow(event);
+}
+
+void Pipeline::PushNow(const Event& event) {
   ++events_in_;
   max_event_time_ = std::max(max_event_time_, event.event_time);
   RunFrom(0, event);
@@ -320,10 +336,20 @@ std::size_t Pipeline::DrainPending(std::size_t max_events) {
   while (processed < max_events && !pending_.empty()) {
     Event e = std::move(pending_.front());
     pending_.pop_front();
-    Push(e);
+    PushNow(e);
     ++processed;
   }
   return processed;
+}
+
+// Modeled per-stage cost on the causal-trace time axis.
+constexpr Duration kStageCost = Duration::Micros(2);
+
+trace::SpanContext Pipeline::TraceStage(std::size_t index, const Event& event) const {
+  // Salted by key hash + event time: within one trace, events sharing a
+  // parent context stay distinguishable through the same stage.
+  return tracer_->Record(stage_span_names_[index], event.trace_ctx, kStageCost, {},
+                         Fnv1a(event.key) ^ static_cast<std::uint64_t>(event.event_time.nanos()));
 }
 
 void Pipeline::RunFrom(std::size_t index, const Event& event) {
@@ -333,7 +359,13 @@ void Pipeline::RunFrom(std::size_t index, const Event& event) {
   }
   const std::size_t saved = cursor_;
   cursor_ = index;
-  stages_[index]->Process(event, *this);
+  if (tracer_ != nullptr && tracer_->enabled() && event.trace_ctx.valid()) {
+    Event traced = event;
+    traced.trace_ctx = TraceStage(index, event);
+    stages_[index]->Process(traced, *this);
+  } else {
+    stages_[index]->Process(event, *this);
+  }
   cursor_ = saved;
 }
 
@@ -469,6 +501,12 @@ void Pipeline::SubmitStage(exec::Executor& exec, std::size_t stage,
     for (ParItem& it : *items) {
       switch (it.kind) {
         case ParItem::Kind::kEvent:
+          // Same traced-context handoff as RunFrom: chain the child
+          // context into the event the stage sees, so serial and batch
+          // executions record identical span trees.
+          if (tracer_ != nullptr && tracer_->enabled() && it.event.trace_ctx.valid()) {
+            it.event.trace_ctx = TraceStage(stage, it.event);
+          }
           stages_[stage]->Process(it.event, ctx);
           break;
         case ParItem::Kind::kResult:

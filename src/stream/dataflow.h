@@ -17,6 +17,7 @@
 #include "common/clock.h"
 #include "common/serialize.h"
 #include "common/status.h"
+#include "trace/tracer.h"
 
 namespace arbd::exec {
 class Executor;
@@ -33,6 +34,11 @@ struct Event {
   std::string attribute;  // which metric this sample is ("heart_rate", …)
   double value = 0.0;
   TimePoint event_time;
+  // Causal-tracing header. In-memory only — Encode/Decode ignore it, so
+  // serialized bytes (and every digest built on them) are identical with
+  // tracing on or off. Stage functions that copy their input event
+  // preserve the chain; ones that build a fresh Event end the trace.
+  trace::SpanContext trace_ctx;
 
   Bytes Encode() const;
   static Expected<Event> Decode(const Bytes& buf);
@@ -143,7 +149,9 @@ class Pipeline final : public StageContext {
   Pipeline& Sink(std::function<void(const WindowResult&)> sink);
   Pipeline& EventSink(std::function<void(const Event&)> sink);
 
-  // Feed one event; advances the watermark and may fire windows.
+  // Feed one event; advances the watermark and may fire windows. If a
+  // bounded inbox is active and has queued events, the event joins the
+  // queue instead (FIFO with Offer) and is processed by DrainPending.
   void Push(const Event& event);
   // Force all remaining windows closed (end of stream).
   void Flush();
@@ -182,6 +190,14 @@ class Pipeline final : public StageContext {
   std::size_t DrainPending(std::size_t max_events);
   std::size_t pending() const { return pending_.size(); }
 
+  // Optional tracing hook (not owned). When set and enabled, every stage
+  // invocation on an event with a valid context records a
+  // "pipeline.s<i>.<kind>" span and chains the child context into the
+  // stage's emitted events — identically on the serial Push path and the
+  // ProcessBatchParallel task chain, so traced span trees stay
+  // bit-identical at any worker count.
+  void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
+
   TimePoint watermark() const { return watermark_; }
   std::uint64_t events_in() const { return events_in_; }
   std::uint64_t results_out() const { return results_out_; }
@@ -197,6 +213,10 @@ class Pipeline final : public StageContext {
   // StageContext for the stage currently executing at index `cursor_`.
   void Emit(Event event) override;
   void EmitResult(WindowResult result) override;
+  // Push minus the inbox-ordering check: processes the event right now.
+  // DrainPending pops from pending_ and calls this (calling Push would
+  // re-enqueue forever).
+  void PushNow(const Event& event);
   void RunFrom(std::size_t index, const Event& event);
   void PropagateWatermark(TimePoint wm);
 
@@ -206,8 +226,14 @@ class Pipeline final : public StageContext {
   void SubmitStage(exec::Executor& exec, std::size_t stage, std::uint64_t shard_base,
                    std::shared_ptr<std::vector<ParItem>> items);
 
+  // Span name for stage `index`, recorded on traced events; returns the
+  // updated event context. No-op passthrough when tracing is off.
+  trace::SpanContext TraceStage(std::size_t index, const Event& event) const;
+
   Duration max_ooo_;
   std::vector<std::unique_ptr<Stage>> stages_;
+  std::vector<std::string> stage_span_names_;  // parallel to stages_
+  trace::Tracer* tracer_ = nullptr;
   std::vector<WindowAggregateStage*> window_stages_;
   std::vector<std::function<void(const WindowResult&)>> sinks_;
   std::vector<std::function<void(const Event&)>> event_sinks_;

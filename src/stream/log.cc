@@ -9,6 +9,9 @@ namespace {
 
 std::size_t RecordBytes(const Record& r) { return r.key.size() + r.payload.size(); }
 
+// Modeled cost of one broker append on the causal-trace time axis.
+constexpr Duration kProduceCost = Duration::Micros(2);
+
 }  // namespace
 
 void Partition::UpdateMirrors() {
@@ -34,12 +37,16 @@ Expected<std::vector<StoredRecord>> Partition::Fetch(Offset from,
   std::lock_guard<std::mutex> lk(mu_);
   const Offset end = start_offset_ + static_cast<Offset>(records_.size());
   if (from < start_offset_) {
+    // Carry the valid [log_start, end) window as structured payload so
+    // consumers can reposition without parsing the message text.
     return Status::OutOfRange("offset " + std::to_string(from) +
-                              " below log start " + std::to_string(start_offset_));
+                              " below log start " + std::to_string(start_offset_))
+        .WithRange(start_offset_, end);
   }
   if (from > end) {
     return Status::OutOfRange("offset " + std::to_string(from) + " beyond log end " +
-                              std::to_string(end));
+                              std::to_string(end))
+        .WithRange(start_offset_, end);
   }
   std::vector<StoredRecord> out;
   const auto begin = static_cast<std::size_t>(from - start_offset_);
@@ -227,6 +234,16 @@ Expected<Offset> Broker::ProduceImpl(const std::string& topic, Topic* t,
       return Status::Unavailable("injected append error on topic '" + topic + "'");
     }
     torn = fault_->Fire(fault::FaultKind::kTornAppend, fault::InjectionPoint::kBrokerAppend);
+  }
+  if (tracer_ != nullptr && tracer_->enabled() && record.trace_ctx.valid()) {
+    // Stamp the child context before the append so fetchers see the
+    // produce span as their causal parent. Salted with the record's key
+    // and event time: many records of one trace may produce at the same
+    // cursor.
+    record.trace_ctx = tracer_->Record(
+        "broker.produce", record.trace_ctx, kProduceCost,
+        {{"topic", topic}, {"partition", std::to_string(p)}},
+        Fnv1a(record.key) ^ static_cast<std::uint64_t>(record.event_time.nanos()));
   }
   const Offset off = t->partition(p).Append(std::move(record), clock_.Now());
   total_produced_.fetch_add(1, std::memory_order_relaxed);

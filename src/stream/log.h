@@ -208,6 +208,13 @@ class Broker {
   // fault *ordering* is deterministic only for serial producers.
   void set_fault_injector(fault::FaultInjector* injector) { fault_ = injector; }
 
+  // Optional tracing hook (not owned). When set and enabled, ProduceImpl
+  // records a "broker.produce" span under each record's trace context and
+  // stamps the child context back onto the record before it is appended,
+  // so consumers chain downstream spans off the produce. Cost on the
+  // modeled-time axis; zero impact on the record's encoded bytes.
+  void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   Expected<Offset> ProduceImpl(const std::string& topic, Topic* t, PartitionId partition,
                                Record record);
@@ -220,6 +227,7 @@ class Broker {
   std::mutex fault_mu_;
   fault::FaultInjector* fault_ = nullptr;
   MetricRegistry* metrics_ = nullptr;
+  trace::Tracer* tracer_ = nullptr;
 };
 
 // Thin producer handle: validates topic existence once and adds batching

@@ -9,6 +9,7 @@
 
 #include "common/clock.h"
 #include "common/serialize.h"
+#include "trace/tracer.h"
 
 namespace arbd::stream {
 
@@ -21,6 +22,10 @@ struct Record {
   TimePoint event_time;   // when the event happened (device clock)
   TimePoint ingest_time;  // when the broker appended it
   std::uint64_t checksum = 0;  // FNV-1a of payload, checked on fetch
+  // Causal-tracing header, propagated in memory only — deliberately NOT
+  // part of Encode/Decode, so payload bytes, checksums, and byte budgets
+  // are identical with tracing on or off.
+  trace::SpanContext trace_ctx;
 
   static Record Make(std::string key, Bytes payload, TimePoint event_time);
 

@@ -1,0 +1,94 @@
+#include "trace/breakdown.h"
+
+#include <algorithm>
+
+namespace arbd::trace {
+
+namespace {
+
+// Total length of the union of [lo, hi) intervals, clipped to [clip_lo,
+// clip_hi). Intervals need not be sorted or disjoint.
+std::int64_t UnionLength(std::vector<std::pair<std::int64_t, std::int64_t>> iv,
+                         std::int64_t clip_lo, std::int64_t clip_hi) {
+  std::int64_t covered = 0;
+  std::sort(iv.begin(), iv.end());
+  std::int64_t cursor = clip_lo;
+  for (const auto& [lo, hi] : iv) {
+    const std::int64_t a = std::max(lo, cursor);
+    const std::int64_t b = std::min(hi, clip_hi);
+    if (b > a) {
+      covered += b - a;
+      cursor = b;
+    }
+  }
+  return covered;
+}
+
+}  // namespace
+
+const StageStats* BreakdownReport::Stage(const std::string& name) const {
+  for (const auto& s : stages) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+void LatencyBreakdown::Add(const Span& span) { traces_[span.trace_id].push_back(span); }
+
+void LatencyBreakdown::AddAll(const std::vector<Span>& spans) {
+  for (const Span& s : spans) Add(s);
+}
+
+BreakdownReport LatencyBreakdown::Compute() const {
+  BreakdownReport report;
+  std::map<std::string, StageStats> by_name;
+
+  for (const auto& [trace_id, spans] : traces_) {
+    (void)trace_id;
+    if (spans.empty()) continue;
+    ++report.traces;
+
+    std::int64_t lo = spans.front().start.nanos();
+    std::int64_t hi = spans.front().end.nanos();
+    std::map<SpanId, std::vector<std::pair<std::int64_t, std::int64_t>>> child_iv;
+    for (const Span& s : spans) {
+      lo = std::min(lo, s.start.nanos());
+      hi = std::max(hi, s.end.nanos());
+      child_iv[s.parent_id].emplace_back(s.start.nanos(), s.end.nanos());
+    }
+    report.end_to_end.Record(hi - lo);
+    report.total_end_to_end += Duration::Nanos(hi - lo);
+
+    for (const Span& s : spans) {
+      std::int64_t self = s.end.nanos() - s.start.nanos();
+      auto it = child_iv.find(s.span_id);
+      if (it != child_iv.end()) {
+        self -= UnionLength(it->second, s.start.nanos(), s.end.nanos());
+      }
+      StageStats& stats = by_name[s.name];
+      stats.name = s.name;
+      ++stats.spans;
+      stats.self_times.Record(self);
+      stats.total_self += Duration::Nanos(self);
+      report.total_attributed += Duration::Nanos(self);
+    }
+  }
+
+  const double denom = static_cast<double>(report.total_end_to_end.nanos());
+  for (auto& [name, stats] : by_name) {
+    (void)name;
+    stats.critical_share =
+        denom > 0.0 ? static_cast<double>(stats.total_self.nanos()) / denom : 0.0;
+    report.stages.push_back(std::move(stats));
+  }
+  std::sort(report.stages.begin(), report.stages.end(),
+            [](const StageStats& a, const StageStats& b) {
+              if (a.total_self != b.total_self) return a.total_self > b.total_self;
+              return a.name < b.name;
+            });
+  report.coverage =
+      denom > 0.0 ? static_cast<double>(report.total_attributed.nanos()) / denom : 0.0;
+  return report;
+}
+
+}  // namespace arbd::trace

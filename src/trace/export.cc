@@ -1,0 +1,90 @@
+#include "trace/export.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace arbd::trace {
+
+namespace {
+
+void AppendEscaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void AppendHexU64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string ToChromeTraceJson(const std::vector<Span>& spans) {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const Span& s : spans) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    AppendEscaped(out, s.name);
+    out += "\",\"cat\":\"arbd\",\"ph\":\"X\",\"pid\":1,\"tid\":";
+    // One row per trace: chrome renders tid as the track. Trace ids are
+    // 64-bit; fold to a stable positive int for the track and keep the
+    // full id in args.
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, s.trace_id % 1'000'000'007ULL);
+    out += buf;
+    std::snprintf(buf, sizeof(buf), ",\"ts\":%.3f,\"dur\":%.3f,",
+                  static_cast<double>(s.start.nanos()) / 1e3,
+                  static_cast<double>(s.duration().nanos()) / 1e3);
+    out += buf;
+    out += "\"args\":{\"trace_id\":\"";
+    AppendHexU64(out, s.trace_id);
+    out += "\",\"span_id\":\"";
+    AppendHexU64(out, s.span_id);
+    out += "\",\"parent_id\":\"";
+    AppendHexU64(out, s.parent_id);
+    out += '"';
+    for (const Tag& t : s.tags) {
+      out += ",\"";
+      AppendEscaped(out, t.key);
+      out += "\":\"";
+      AppendEscaped(out, t.value);
+      out += '"';
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+Status WriteChromeTrace(const std::vector<Span>& spans, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Unavailable("cannot open trace output file '" + path + "'");
+  }
+  const std::string json = ToChromeTraceJson(spans);
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    return Status::DataLoss("short write to trace output file '" + path + "'");
+  }
+  return Status::Ok();
+}
+
+}  // namespace arbd::trace

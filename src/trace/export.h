@@ -1,0 +1,24 @@
+// Chrome trace-event exporter: serializes a drained span set to the
+// chrome://tracing / Perfetto JSON array format ("X" complete events,
+// microsecond timestamps). One row (tid) per trace, so frames stack
+// vertically and each frame's stage chain reads left-to-right on the
+// modeled-time axis.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "trace/tracer.h"
+
+namespace arbd::trace {
+
+// {"traceEvents": [...]} JSON document for the given spans. Tags become
+// "args" entries; span/parent ids are emitted as hex strings so a span
+// tree survives the round trip.
+std::string ToChromeTraceJson(const std::vector<Span>& spans);
+
+// Convenience: write ToChromeTraceJson to `path` (truncating).
+Status WriteChromeTrace(const std::vector<Span>& spans, const std::string& path);
+
+}  // namespace arbd::trace

@@ -160,6 +160,49 @@ TEST(Breaker, FailedProbeReopensForAnotherCooldown) {
   EXPECT_EQ(b.opens(), 2u);
 }
 
+TEST(Breaker, WorstSeedStillProbesWithinInterval) {
+  // Worst-case RNG — modeled exactly by probe_probability = 0, where every
+  // Bernoulli draw loses — must still probe: the floor guarantees at least
+  // one probe per probe_interval half-open decisions. Pre-fix this config
+  // short-circuits forever and a recovered backend is never rediscovered.
+  BreakerConfig cfg;
+  cfg.probe_probability = 0.0;
+  CircuitBreaker b(cfg, 42);
+  for (std::size_t i = 0; i < cfg.failure_threshold; ++i) {
+    b.Allow();
+    b.RecordFailure();
+  }
+  ASSERT_EQ(b.state(), BreakerState::kOpen);
+
+  // Healthy backend: every allowed probe succeeds. The breaker must close
+  // within cooldown + close_successes forced-probe windows.
+  const std::size_t bound =
+      cfg.open_decisions + cfg.close_successes * cfg.probe_interval + 2;
+  std::size_t decisions = 0;
+  while (b.state() != BreakerState::kClosed && decisions < bound) {
+    ++decisions;
+    if (b.Allow()) b.RecordSuccess();
+  }
+  EXPECT_EQ(b.state(), BreakerState::kClosed);
+  EXPECT_EQ(b.probes(), cfg.close_successes);
+}
+
+TEST(Breaker, ProbeFloorDisabledRestoresBernoulliOnly) {
+  // probe_interval = 0 keeps the pure seeded-trickle behaviour (no floor).
+  BreakerConfig cfg;
+  cfg.probe_probability = 0.0;
+  cfg.probe_interval = 0;
+  CircuitBreaker b(cfg, 42);
+  for (std::size_t i = 0; i < cfg.failure_threshold; ++i) {
+    b.Allow();
+    b.RecordFailure();
+  }
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(b.Allow());
+  }
+  EXPECT_EQ(b.probes(), 0u);
+}
+
 TEST(Breaker, SameSeedSameSchedule) {
   CircuitBreaker a({}, 7), b({}, 7);
   auto drive = [](CircuitBreaker& cb) {

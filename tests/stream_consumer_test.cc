@@ -223,5 +223,55 @@ TEST_F(ConsumerGroupTest, SkipsOverTruncatedOffsets) {
   EXPECT_EQ(got, 5u);
 }
 
+// --- structured auto-reset regression --------------------------------------
+// A consumer whose position falls below the retained window used to learn
+// the new log start from a side lookup and return an empty batch for the
+// round. The structured out-of-range payload lets Poll reposition by the
+// group's reset policy and refetch immediately — surviving records arrive
+// in the SAME Poll, and the reset is counted.
+
+TEST_F(ConsumerGroupTest, TruncationRecoveryDeliversInSamePoll) {
+  ProduceN(40);
+  ConsumerGroup group(broker_, "g", "t");
+  auto c = group.Join("c0");
+  ASSERT_TRUE(c.ok());
+
+  // Keep only the newest two records of each partition.
+  auto topic = broker_.GetTopic("t");
+  ASSERT_TRUE(topic.ok());
+  std::size_t retained = 0;
+  for (PartitionId p = 0; p < 4; ++p) {
+    Partition& part = (*topic)->partition(p);
+    part.TruncateBefore(part.end_offset() - 2);
+    retained += part.size();
+  }
+  ASSERT_GT(retained, 0u);
+
+  const auto batch = (*c)->Poll(64);
+  EXPECT_EQ(batch.size(), retained) << "retained records must arrive in the same Poll";
+  EXPECT_EQ(group.auto_reset_count(), 4u);
+}
+
+TEST_F(ConsumerGroupTest, LatestResetPolicySkipsRetainedBacklog) {
+  ConsumerGroup group(broker_, "g", "t", ResetPolicy::kLatest);
+  auto c = group.Join("c0");  // topic empty: every position starts at 0
+  ASSERT_TRUE(c.ok());
+  ProduceN(40);
+  auto topic = broker_.GetTopic("t");
+  ASSERT_TRUE(topic.ok());
+  for (PartitionId p = 0; p < 4; ++p) {
+    Partition& part = (*topic)->partition(p);
+    part.TruncateBefore(part.end_offset() - 2);
+  }
+  // kLatest jumps past the retained backlog to the log end...
+  EXPECT_TRUE((*c)->Poll(64).empty());
+  EXPECT_EQ(group.auto_reset_count(), 4u);
+  // ...so only records produced after the reset are delivered.
+  ProduceN(8);
+  std::size_t got = 0;
+  for (int i = 0; i < 10 && got < 8; ++i) got += (*c)->Poll(64).size();
+  EXPECT_EQ(got, 8u);
+}
+
 }  // namespace
 }  // namespace arbd::stream

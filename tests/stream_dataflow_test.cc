@@ -358,5 +358,58 @@ TEST_P(TumblingConservation, CountsAreConserved) {
 INSTANTIATE_TEST_SUITE_P(WindowSizes, TumblingConservation,
                          ::testing::Values(10, 50, 100, 250, 1000, 5000));
 
+// --- bounded-inbox ordering regression -------------------------------------
+// A direct Push while Offer()ed events sit in the bounded inbox used to
+// process immediately, jumping the queue: downstream stages saw events out
+// of arrival order (corrupting session windows and lateness accounting).
+// Push must queue behind the pending events instead.
+
+TEST(PipelineInboxOrdering, DirectPushQueuesBehindOfferedEvents) {
+  Pipeline p;
+  p.set_input_budget(8);
+  std::vector<double> seen;
+  p.EventSink([&](const Event& e) { seen.push_back(e.value); });
+
+  ASSERT_TRUE(p.Offer(Ev("a", 1.0, 100)).ok());
+  ASSERT_TRUE(p.Offer(Ev("a", 2.0, 200)).ok());
+  p.Push(Ev("a", 3.0, 300));  // pre-fix: processed here, ahead of 1.0/2.0
+  EXPECT_EQ(p.pending(), 3u) << "direct Push must join the queue";
+  EXPECT_TRUE(seen.empty());
+
+  p.DrainPending(16);
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_DOUBLE_EQ(seen[0], 1.0);
+  EXPECT_DOUBLE_EQ(seen[1], 2.0);
+  EXPECT_DOUBLE_EQ(seen[2], 3.0);
+}
+
+TEST(PipelineInboxOrdering, SessionWindowSurvivesInterleavedPush) {
+  // One session per key with a 1 s gap. Events arrive 400 ms apart via
+  // Offer except the middle one, which arrives via direct Push. Reordered
+  // processing would advance max_event_time_ early and split the session.
+  Pipeline p;
+  p.set_input_budget(8);
+  std::vector<WindowResult> results;
+  p.WindowAggregate(WindowSpec::Session(Duration::Seconds(1)), AggKind::kCount)
+      .Sink([&](const WindowResult& r) { results.push_back(r); });
+  ASSERT_TRUE(p.Offer(Ev("a", 1.0, 0)).ok());
+  ASSERT_TRUE(p.Offer(Ev("a", 1.0, 400)).ok());
+  p.Push(Ev("a", 1.0, 800));
+  ASSERT_TRUE(p.Offer(Ev("a", 1.0, 1200)).ok());
+  p.DrainPending(16);
+  p.Flush();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_DOUBLE_EQ(results[0].value, 4.0);
+}
+
+TEST(PipelineInboxOrdering, UnbudgetedPushStaysInline) {
+  Pipeline p;  // no input budget: the original zero-queue fast path
+  std::vector<double> seen;
+  p.EventSink([&](const Event& e) { seen.push_back(e.value); });
+  p.Push(Ev("a", 1.0, 100));
+  EXPECT_EQ(p.pending(), 0u);
+  ASSERT_EQ(seen.size(), 1u);
+}
+
 }  // namespace
 }  // namespace arbd::stream

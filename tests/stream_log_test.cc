@@ -71,6 +71,27 @@ TEST(PartitionTest, FetchBeyondEndFails) {
   EXPECT_EQ(got.status().code(), StatusCode::kOutOfRange);
 }
 
+TEST(PartitionTest, OutOfRangeFetchCarriesRetainedWindow) {
+  // The out-of-range error must carry the valid [log_start, end) window as
+  // a structured payload — consumers reposition from it without parsing
+  // the message text.
+  Partition p;
+  for (int i = 0; i < 10; ++i) p.Append(TextRecord("k", std::to_string(i)), TimePoint{});
+  p.TruncateBefore(4);
+
+  auto below = p.Fetch(1, 4);
+  ASSERT_FALSE(below.ok());
+  ASSERT_TRUE(below.status().has_range());
+  EXPECT_EQ(below.status().range_lo(), 4);
+  EXPECT_EQ(below.status().range_hi(), 10);
+
+  auto beyond = p.Fetch(11, 4);
+  ASSERT_FALSE(beyond.ok());
+  ASSERT_TRUE(beyond.status().has_range());
+  EXPECT_EQ(beyond.status().range_lo(), 4);
+  EXPECT_EQ(beyond.status().range_hi(), 10);
+}
+
 TEST(PartitionTest, RetentionByCount) {
   Partition p;
   for (int i = 0; i < 10; ++i) p.Append(TextRecord("k", std::to_string(i)), TimePoint{});
