@@ -24,9 +24,14 @@ Platform::Platform(PlatformConfig cfg, const geo::CityModel& city, SimClock& clo
   broker_.set_tracer(tracer_);
   stream::TopicConfig tc;
   tc.partitions = cfg_.partitions;
+  tc.replication_factor = cfg_.replication_factor;  // 0 defers to ARBD_REPLICAS
   if (cfg_.qos.enabled) tc.max_records = cfg_.qos.topic_budget_records;
   const Status s = broker_.CreateTopic(cfg_.event_topic, tc);
   ARBD_CHECK(s.ok(), "event topic creation must succeed");
+  pid_ = broker_.AllocateProducerId();
+  auto created = broker_.GetTopic(cfg_.event_topic);
+  ARBD_CHECK(created.ok(), "event topic must exist after creation");
+  publish_retries_ = (*created)->replication(0).factor() > 1;
   if (cfg_.qos.enabled) {
     broker_.set_metrics(&metrics_);
     admission_ =
@@ -88,8 +93,24 @@ Status Platform::PublishTraced(const stream::Event& event, qos::PriorityClass pr
     ctx = tracer_->Record("platform.publish", ctx, kPublishCost, {{"shed", "0"}}, salt);
     record.trace_ctx = ctx;
   }
-  auto produced = broker_.Produce(cfg_.event_topic, std::move(record));
-  return produced.status();
+  // Idempotent publish: the partition is pinned and the (pid, seq) pair
+  // stamped up front, so a retried send after a lost ack (torn append,
+  // replica leader crash) resolves to the original offset broker-side.
+  // With a single-copy topic we send exactly once — byte-identical to the
+  // pre-replication platform; retries only exist where replicas can make
+  // them succeed.
+  auto topic = broker_.GetTopic(cfg_.event_topic);
+  if (!topic.ok()) return topic.status();
+  const stream::PartitionId p = (*topic)->PartitionFor(record.key);
+  const std::uint64_t seq = ++pub_seq_[p];
+  const std::size_t attempts = publish_retries_ ? 4 : 1;
+  Status last = Status::Ok();
+  for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+    auto produced = broker_.ProduceIdempotent(cfg_.event_topic, p, pid_, seq, record);
+    last = produced.status();
+    if (last.code() != StatusCode::kUnavailable) break;
+  }
+  return last;
 }
 
 void Platform::AddAggregation(const AggregationSpec& spec) {

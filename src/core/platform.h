@@ -55,6 +55,12 @@ struct PlatformQosConfig {
 struct PlatformConfig {
   std::string event_topic = "arbd.events";
   std::uint32_t partitions = 4;
+  // Replica nodes per event-topic partition; 0 defers to ARBD_REPLICAS
+  // (default 1). At factor 1 publishing is byte-identical to the
+  // pre-replication platform; at higher factors publishes ride the
+  // idempotent producer path and survive injected leader crashes without
+  // loss or duplication (retries dedup broker-side).
+  std::uint32_t replication_factor = 0;
   Duration max_out_of_orderness = Duration::Millis(200);
   ar::LayoutConfig layout;
   ContextConfig context;
@@ -191,6 +197,12 @@ class Platform {
   ar::OcclusionClassifier degraded_classifier_{nullptr};
   ar::LabelLayout layout_;
   std::map<std::string, std::unique_ptr<ContextEngine>> users_;
+  // Idempotent-publish identity: stable producer id plus per-partition
+  // sequence numbers, so replica-group retries (enabled when the event
+  // topic is replicated) dedup instead of duplicating.
+  stream::ProducerId pid_ = 0;
+  std::map<stream::PartitionId, std::uint64_t> pub_seq_;
+  bool publish_retries_ = false;  // true when the event topic has replicas
   trace::Tracer* tracer_ = nullptr;  // never null after construction
   std::uint64_t results_interpreted_ = 0;
   MetricRegistry metrics_;

@@ -15,6 +15,7 @@ const char* InjectionPointName(InjectionPoint point) {
     case InjectionPoint::kNetTransfer: return "net.transfer";
     case InjectionPoint::kTaskExecute: return "task.execute";
     case InjectionPoint::kServiceTick: return "service.tick";
+    case InjectionPoint::kReplicaAppend: return "replica.append";
   }
   return "unknown";
 }

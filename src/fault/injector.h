@@ -29,7 +29,8 @@ enum class InjectionPoint {
   kJobRecover,
   kNetTransfer,
   kTaskExecute,
-  kServiceTick,  // the overload harness's per-tick service loop
+  kServiceTick,   // the overload harness's per-tick service loop
+  kReplicaAppend, // the replicated-partition leader append path
 };
 
 const char* InjectionPointName(InjectionPoint point);

@@ -7,7 +7,7 @@
 namespace arbd::fault {
 namespace {
 
-constexpr std::array<std::pair<FaultKind, const char*>, 11> kKindNames = {{
+constexpr std::array<std::pair<FaultKind, const char*>, 12> kKindNames = {{
     {FaultKind::kCrash, "crash"},
     {FaultKind::kTornAppend, "torn"},
     {FaultKind::kAppendError, "apperr"},
@@ -19,6 +19,7 @@ constexpr std::array<std::pair<FaultKind, const char*>, 11> kKindNames = {{
     {FaultKind::kLatencySpike, "spike"},
     {FaultKind::kStall, "stall"},
     {FaultKind::kTaskFail, "taskfail"},
+    {FaultKind::kNodeCrash, "nodecrash"},
 }};
 
 bool ParseDouble(const std::string& text, double* out) {

@@ -29,6 +29,9 @@ enum class FaultKind {
   kLatencySpike,    // sampled RTT multiplied by the spike factor
   kStall,           // worker stall: injected pause while pumping
   kTaskFail,        // offloaded task attempt fails (retry with backoff)
+  kNodeCrash,       // replica node (the partition leader) crashes mid-produce;
+                    // `x=` is how many subsequent produce attempts pass before
+                    // the node restores (0 = the layer's default window)
 };
 
 // Spec-string token for each kind (also used in ToString / metrics names).

@@ -18,13 +18,22 @@ struct RetryPolicy {
   double jitter = 0.2;                          // uniform fraction, ±
   Duration max_backoff = Duration::Seconds(1);  // cap before jitter
 
+  // Retries permitted after the first attempt. max_attempts == 0 means "no
+  // attempts at all" — 0 retries, not SIZE_MAX from unsigned underflow.
+  std::size_t MaxRetries() const { return max_attempts == 0 ? 0 : max_attempts - 1; }
+
   // Backoff before retry number `retry` (1-based: retry 1 follows the
-  // first failed attempt). Jitter never drives the result negative.
+  // first failed attempt). Jitter never drives the result negative. The
+  // growth loop stops as soon as the cap is reached, so huge retry counts
+  // stay O(log(cap/base)) and never overflow the double to infinity.
   Duration BackoffFor(std::size_t retry, Rng& rng) const {
     if (retry == 0) return Duration::Zero();
+    const double cap = max_backoff.seconds();
     double backoff_s = base_backoff.seconds();
-    for (std::size_t i = 1; i < retry; ++i) backoff_s *= multiplier;
-    backoff_s = std::min(backoff_s, max_backoff.seconds());
+    if (multiplier > 1.0) {
+      for (std::size_t i = 1; i < retry && backoff_s < cap; ++i) backoff_s *= multiplier;
+    }
+    backoff_s = std::min(backoff_s, cap);
     const double jittered =
         backoff_s * (1.0 + rng.Uniform(-jitter, jitter));
     return Duration::Seconds(std::max(0.0, jittered));

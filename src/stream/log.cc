@@ -122,9 +122,16 @@ std::size_t Partition::CompactKeepLatest() {
 Topic::Topic(std::string name, TopicConfig cfg)
     : name_(std::move(name)), cfg_(cfg) {
   if (cfg_.partitions == 0) cfg_.partitions = 1;
+  if (cfg_.replication_factor == 0) cfg_.replication_factor = ReplicationFactorFromEnv();
   parts_.reserve(cfg_.partitions);
+  repl_.reserve(cfg_.partitions);
   for (std::uint32_t i = 0; i < cfg_.partitions; ++i) {
     parts_.push_back(std::make_unique<Partition>());
+    // Mix the partition id into the failover seed so sibling partitions
+    // elect independently under the same crash schedule.
+    repl_.push_back(std::make_unique<ReplicatedPartition>(
+        cfg_.replication_factor, cfg_.replication_seed ^ (0x9e3779b97f4a7c15ULL * (i + 1)),
+        *parts_.back()));
   }
 }
 
@@ -213,8 +220,39 @@ Expected<Offset> Broker::ProduceToPartition(const std::string& topic,
   return ProduceImpl(topic, *t, partition, std::move(record));
 }
 
+Expected<Offset> Broker::ProduceIdempotent(const std::string& topic, PartitionId partition,
+                                           ProducerId pid, std::uint64_t seq,
+                                           Record record) {
+  auto t = GetTopic(topic);
+  if (!t.ok()) return t.status();
+  if (partition >= (*t)->partition_count()) {
+    return Status::OutOfRange("partition " + std::to_string(partition) + " of topic '" +
+                              topic + "'");
+  }
+  return ProduceImpl(topic, *t, partition, std::move(record), pid, seq);
+}
+
+Expected<ReplicatedPartition*> Broker::Replication(const std::string& topic,
+                                                   PartitionId partition) {
+  auto t = GetTopic(topic);
+  if (!t.ok()) return t.status();
+  if (partition >= (*t)->partition_count()) {
+    return Status::OutOfRange("partition " + std::to_string(partition) + " of topic '" +
+                              topic + "'");
+  }
+  return &(*t)->replication(partition);
+}
+
+Status Broker::CrashLeader(const std::string& topic, PartitionId partition,
+                           std::size_t restore_after_ops) {
+  auto rp = Replication(topic, partition);
+  if (!rp.ok()) return rp.status();
+  return (*rp)->CrashLeader(restore_after_ops);
+}
+
 Expected<Offset> Broker::ProduceImpl(const std::string& topic, Topic* t,
-                                     PartitionId p, Record record) {
+                                     PartitionId p, Record record, ProducerId pid,
+                                     std::uint64_t seq) {
   // Budget check first: backpressure is a flow-control decision, not a
   // fault, so it must not consume injector randomness.
   const TopicConfig& cfg = t->config();
@@ -227,6 +265,7 @@ Expected<Offset> Broker::ProduceImpl(const std::string& topic, Topic* t,
                                      (over_records ? "record" : "byte") + " budget");
   }
   bool torn = false;
+  InjectedCrash crash;
   if (fault_ != nullptr) {
     // FaultInjector's RNG is single-threaded; serialize draws.
     std::lock_guard<std::mutex> flk(fault_mu_);
@@ -234,6 +273,15 @@ Expected<Offset> Broker::ProduceImpl(const std::string& topic, Topic* t,
       return Status::Unavailable("injected append error on topic '" + topic + "'");
     }
     torn = fault_->Fire(fault::FaultKind::kTornAppend, fault::InjectionPoint::kBrokerAppend);
+    if (fault_->Fire(fault::FaultKind::kNodeCrash, fault::InjectionPoint::kReplicaAppend)) {
+      crash.crash_leader = true;
+      // The rule's `x=` is the restore window in produce attempts; 0 keeps
+      // the replication layer's default.
+      const fault::FaultRule* rule = fault_->plan().Find(fault::FaultKind::kNodeCrash);
+      if (rule != nullptr && rule->magnitude > 0.0) {
+        crash.restore_after_ops = static_cast<std::size_t>(rule->magnitude);
+      }
+    }
   }
   if (tracer_ != nullptr && tracer_->enabled() && record.trace_ctx.valid()) {
     // Stamp the child context before the append so fetchers see the
@@ -245,7 +293,8 @@ Expected<Offset> Broker::ProduceImpl(const std::string& topic, Topic* t,
         {{"topic", topic}, {"partition", std::to_string(p)}},
         Fnv1a(record.key) ^ static_cast<std::uint64_t>(record.event_time.nanos()));
   }
-  const Offset off = t->partition(p).Append(std::move(record), clock_.Now());
+  auto off = t->replication(p).Produce(std::move(record), clock_.Now(), pid, seq, crash);
+  if (!off.ok()) return off.status();
   total_produced_.fetch_add(1, std::memory_order_relaxed);
   if (metrics_ != nullptr) {
     metrics_->Set("qos.depth." + topic + ".p" + std::to_string(p),
@@ -256,7 +305,7 @@ Expected<Offset> Broker::ProduceImpl(const std::string& topic, Topic* t,
     // The record landed but the ack is lost; the producer sees a failure.
     return Status::Unavailable("injected torn append on topic '" + topic + "'");
   }
-  return off;
+  return *off;
 }
 
 Expected<std::vector<StoredRecord>> Broker::Fetch(const std::string& topic,

@@ -32,6 +32,7 @@
 #include "common/status.h"
 #include "fault/injector.h"
 #include "stream/record.h"
+#include "stream/replication.h"
 
 namespace arbd::stream {
 
@@ -48,6 +49,13 @@ struct TopicConfig {
   // backpressure) rather than probing for rejections.
   std::size_t max_records = 0;
   std::size_t max_bytes = 0;
+  // Replica nodes per partition (stream/replication.h). 0 defers to the
+  // ARBD_REPLICAS environment variable (default 1, the single-copy
+  // behaviour every pre-replication caller gets unchanged).
+  std::uint32_t replication_factor = 0;
+  // Seeds the deterministic leader elections; mixed with the partition id
+  // so sibling partitions fail over independently.
+  std::uint64_t replication_seed = 0x5eedULL;
 };
 
 // One partition of a topic. Offsets are dense: the first retained record
@@ -123,6 +131,10 @@ class Topic {
   Partition& partition(PartitionId p) { return *parts_.at(p); }
   const Partition& partition(PartitionId p) const { return *parts_.at(p); }
 
+  // The replica group in front of partition `p`: every produce routes
+  // through it, and the Partition above is its committed prefix.
+  ReplicatedPartition& replication(PartitionId p) { return *repl_.at(p); }
+
   std::size_t TotalRecords() const;
   std::size_t TotalBytes() const;
   std::size_t EnforceRetention(TimePoint now);
@@ -137,12 +149,15 @@ class Topic {
   TopicConfig cfg_;
   // unique_ptr because Partition owns a mutex (non-movable).
   std::vector<std::unique_ptr<Partition>> parts_;
+  std::vector<std::unique_ptr<ReplicatedPartition>> repl_;
   std::atomic<std::uint64_t> round_robin_{0};
 };
 
 // The broker: a named collection of topics plus produce/fetch endpoints.
-// Single-node by design — the distribution story in ARBD lives in the
-// offload layer (device↔cloud), not in broker replication.
+// Each partition fronts a replica group (stream/replication.h): produces
+// route through the group's leader and commit only once quorum-acked, so
+// every fetch below reads the committed prefix. At replication factor 1
+// (the default) the group is a zero-overhead passthrough.
 class Broker {
  public:
   explicit Broker(Clock& clock) : clock_(clock) {}
@@ -162,6 +177,28 @@ class Broker {
   // match Produce.
   Expected<Offset> ProduceToPartition(const std::string& topic, PartitionId partition,
                                       Record record);
+
+  // Idempotent produce: like ProduceToPartition, but stamped with the
+  // producer's stable id and per-partition sequence number so the replica
+  // group can dedup retries after a lost ack (torn append, leader crash).
+  // Sequence numbers must be assigned monotonically per (pid, partition) —
+  // IdempotentProducer (stream/replication.h) does this for you.
+  Expected<Offset> ProduceIdempotent(const std::string& topic, PartitionId partition,
+                                     ProducerId pid, std::uint64_t seq, Record record);
+
+  // Broker-unique producer id for idempotent produce (never 0; 0 means
+  // anonymous / no dedup).
+  ProducerId AllocateProducerId() {
+    return next_pid_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // The replica group fronting a partition — the handle chaos harnesses
+  // use to crash and restore specific nodes.
+  Expected<ReplicatedPartition*> Replication(const std::string& topic,
+                                             PartitionId partition);
+  // Convenience: crash the current leader of a partition's replica group.
+  Status CrashLeader(const std::string& topic, PartitionId partition,
+                     std::size_t restore_after_ops = 0);
 
   Expected<std::vector<StoredRecord>> Fetch(const std::string& topic, PartitionId partition,
                                             Offset from, std::size_t max_records);
@@ -217,13 +254,14 @@ class Broker {
 
  private:
   Expected<Offset> ProduceImpl(const std::string& topic, Topic* t, PartitionId partition,
-                               Record record);
+                               Record record, ProducerId pid = 0, std::uint64_t seq = 0);
 
   Clock& clock_;
   mutable std::shared_mutex topics_mu_;
   std::map<std::string, std::unique_ptr<Topic>> topics_;
   std::atomic<std::uint64_t> total_produced_{0};
   std::atomic<std::uint64_t> backpressure_rejects_{0};
+  std::atomic<ProducerId> next_pid_{1};
   std::mutex fault_mu_;
   fault::FaultInjector* fault_ = nullptr;
   MetricRegistry* metrics_ = nullptr;

@@ -88,13 +88,54 @@ Status CheckpointedJob::Checkpoint() {
   consumer_->Commit();
   since_checkpoint_ = 0;
   ++stats_.checkpoints;
+  // The checkpoint (snapshot + offsets) is durable: publish the output
+  // buffer it covers. Downstream sees each result exactly once — results
+  // of uncheckpointed work never get here (a crash discards them along
+  // with the uncommitted offsets that would regenerate them).
+  if (txn_deliver_ != nullptr && !txn_buffer_.empty()) {
+    for (const WindowResult& r : txn_buffer_) txn_deliver_(r);
+    stats_.outputs_committed += txn_buffer_.size();
+    txn_buffer_.clear();
+  }
   return Status::Ok();
+}
+
+void CheckpointedJob::SetTransactionalSink(std::function<void(const WindowResult&)> deliver) {
+  txn_deliver_ = std::move(deliver);
+  AttachTxnSink();
+}
+
+void CheckpointedJob::AttachTxnSink() {
+  if (txn_deliver_ == nullptr || pipeline_ == nullptr) return;
+  pipeline_->Sink([this](const WindowResult& r) { txn_buffer_.push_back(r); });
+}
+
+Status CheckpointedJob::Finish() {
+  if (crashed()) {
+    auto s = Recover();
+    if (!s.ok()) return s;
+  }
+  pipeline_->Flush();
+  // A torn checkpoint write keeps the buffer; retry until it lands (the
+  // injector fires per opportunity, so a bounded number of retries
+  // suffices for any probability < 1).
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    auto s = Checkpoint();
+    if (s.ok()) return s;
+    if (s.code() != StatusCode::kUnavailable) return s;
+    if (fault_ != nullptr) fault_->RecordSurvival(fault::FaultKind::kCheckpointFail);
+  }
+  return Status::Unavailable("checkpoint kept tearing; giving up after 64 attempts");
 }
 
 void CheckpointedJob::InjectCrash() {
   pipeline_.reset();
   since_checkpoint_ = 0;
   ++stats_.crashes;
+  // Uncommitted outputs die with the worker; the replayed inputs will
+  // regenerate them from the restored snapshot.
+  stats_.outputs_discarded += txn_buffer_.size();
+  txn_buffer_.clear();
   // The worker's uncommitted positions die with it. The group (broker-side
   // state) survives and keeps only the explicitly committed offsets.
   (void)group_->Leave(group_id_ + "-worker", /*commit_progress=*/false);
@@ -107,6 +148,7 @@ Status CheckpointedJob::Recover() {
 
   pipeline_ = factory_();
   if (pipeline_ == nullptr) return Status::FailedPrecondition("factory returned null");
+  AttachTxnSink();
   if (has_snapshot_) {
     if (fault_ != nullptr &&
         fault_->Fire(fault::FaultKind::kSnapshotCorrupt,

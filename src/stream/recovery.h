@@ -4,12 +4,23 @@
 // only the uncommitted suffix (at-least-once, with the replay window
 // bounded by the checkpoint interval). This is the recovery half of the
 // §4.1 timeliness story — results must survive the components dying.
+//
+// With SetTransactionalSink the job upgrades to end-to-end exactly-once:
+// window results emitted since the last checkpoint are buffered, and the
+// buffer is published downstream only when the checkpoint (snapshot +
+// offset commit) succeeds — the two-phase-commit shape. A crash discards
+// the uncommitted buffer; the replayed inputs regenerate the same windows
+// from the restored state, so each result reaches the sink exactly once.
+// Paired with IdempotentProducer on the input side (which dedups retries
+// into the replicated log), the path from produce to sink delivers every
+// record's effect once, crashes or not.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "fault/injector.h"
@@ -32,6 +43,9 @@ struct RecoveryStats {
   std::uint64_t checkpoint_failures = 0;      // torn snapshot writes, retried
   std::uint64_t snapshot_decode_retries = 0;  // corrupt reads healed by re-read
   Duration stalled = Duration::Zero();        // simulated worker stall time
+  // Transactional-sink counters (zero unless SetTransactionalSink is used).
+  std::uint64_t outputs_committed = 0;  // window results delivered downstream
+  std::uint64_t outputs_discarded = 0;  // buffered results dropped by a crash
 
   bool operator==(const RecoveryStats&) const = default;
 };
@@ -57,6 +71,18 @@ class CheckpointedJob {
   // crash; exposed for tests.
   Status Recover();
 
+  // Upgrade to exactly-once delivery: results flow into an internal buffer
+  // and `deliver` is invoked for each only after the checkpoint that
+  // covers them commits. Call before the first Pump (the buffer must
+  // cover every emitted result). Survives crashes: the sink re-attaches
+  // to every rebuilt pipeline.
+  void SetTransactionalSink(std::function<void(const WindowResult&)> deliver);
+
+  // Drain to a clean end: recover if crashed, flush remaining windows, and
+  // checkpoint (retrying torn writes) so every buffered result is
+  // delivered. The terminal step of an exactly-once run.
+  Status Finish();
+
   Pipeline* pipeline() { return pipeline_.get(); }
   const RecoveryStats& stats() const { return stats_; }
   bool crashed() const { return pipeline_ == nullptr; }
@@ -74,6 +100,8 @@ class CheckpointedJob {
   void set_fault_injector(fault::FaultInjector* injector) { fault_ = injector; }
 
  private:
+  void AttachTxnSink();
+
   Broker& broker_;
   std::string topic_;
   std::string group_id_;
@@ -90,6 +118,12 @@ class CheckpointedJob {
   // High-water mark per partition of offsets ever processed, to classify
   // replayed deliveries.
   std::map<PartitionId, Offset> processed_hwm_;
+
+  // Exactly-once output buffer: results since the last committed
+  // checkpoint. Delivered on checkpoint success, discarded on crash, kept
+  // across a torn checkpoint write (the retry delivers them once).
+  std::function<void(const WindowResult&)> txn_deliver_;
+  std::vector<WindowResult> txn_buffer_;
 
   fault::FaultInjector* fault_ = nullptr;
   RecoveryStats stats_;

@@ -149,6 +149,38 @@ TEST(RetryPolicy, BackoffGrowsGeometricallyAndCaps) {
   EXPECT_EQ(policy.BackoffFor(10, rng).millis(), 50);
 }
 
+TEST(RetryPolicy, ExtremeRetryCountsStayCappedAndFinite) {
+  // Regression (ISSUE 5): the growth loop used to multiply `retry` times
+  // unconditionally, so a huge retry number was both O(retry) work and a
+  // double overflow to inf. It must now stop at the cap and return it.
+  fault::RetryPolicy policy;
+  policy.base_backoff = Duration::Millis(10);
+  policy.multiplier = 2.0;
+  policy.jitter = 0.0;
+  policy.max_backoff = Duration::Seconds(1);
+  Rng rng(1);
+  // Before the fix this loop never terminated in test time (quintillions
+  // of multiplies); after it, each call is a handful of iterations.
+  for (const std::size_t retry :
+       {std::size_t{100}, std::size_t{1} << 20, std::size_t{1} << 62}) {
+    const Duration d = policy.BackoffFor(retry, rng);
+    EXPECT_EQ(d.nanos(), policy.max_backoff.nanos()) << retry;
+  }
+  // A non-growing multiplier must not loop over the retry count either.
+  policy.multiplier = 1.0;
+  EXPECT_EQ(policy.BackoffFor(std::size_t{1} << 62, rng).millis(), 10);
+}
+
+TEST(RetryPolicy, ZeroMaxAttemptsMeansNoRetriesNotUnderflow) {
+  fault::RetryPolicy policy;
+  policy.max_attempts = 0;
+  EXPECT_EQ(policy.MaxRetries(), 0u);
+  policy.max_attempts = 1;
+  EXPECT_EQ(policy.MaxRetries(), 0u);
+  policy.max_attempts = 4;
+  EXPECT_EQ(policy.MaxRetries(), 3u);
+}
+
 TEST(RetryPolicy, JitterStaysBoundedAndNonNegative) {
   fault::RetryPolicy policy;
   policy.base_backoff = Duration::Millis(8);
