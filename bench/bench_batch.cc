@@ -1,0 +1,230 @@
+// E23 — columnar RecordBatch hot path. Two parts:
+//
+//   E23a: batch-size sweep — N keyed records through ParallelProduce (in
+//         produce chunks of B) + ParallelFetchAll on a single partition,
+//         per-record mode vs ARBD_BATCH mode, B ∈ {64, 256, 1024, 4096}.
+//         Throughput is *modeled* records/sec from the executor's virtual
+//         makespan: the per-record path bills a flat cost per row, the
+//         batch path bills BatchedCost (2x setup per batch, 1/8 the
+//         marginal per row), so the model predicts a step from ~6.4x
+//         toward the 8x marginal ceiling as B grows. Gates: the fetched
+//         content digest is bit-identical between modes at every B, the
+//         modeled speedup is >= 4x at every B, non-decreasing in B, and
+//         >= 6x by B=4096.
+//
+//   E23b: differential digest gates — TourismDigest and OverloadDigest
+//         with the batch path off vs on, across workers {1, 4} and
+//         replication factors {1, 3}: every pair must be bit-identical
+//         (the tier-1 batch_determinism suite enforces the same contract;
+//         here it rides the experiment so E23 is self-contained).
+//
+// `--quick` runs reduced scenario seeds with the same checks and no
+// google-benchmark timings — the CI batch smoke. Exit code = failures.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/table.h"
+#include "common/rng.h"
+#include "common/serialize.h"
+#include "exec/executor.h"
+#include "scenarios/digest.h"
+#include "stream/batch.h"
+#include "stream/log.h"
+#include "stream/parallel.h"
+
+namespace {
+
+using namespace arbd;
+
+constexpr Duration kProduceCost = Duration::Micros(2);
+constexpr Duration kFetchCost = Duration::Micros(1);
+
+struct CheckList {
+  int failures = 0;
+  void Check(bool ok, const std::string& what) {
+    std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what.c_str());
+    if (!ok) ++failures;
+  }
+};
+
+std::vector<stream::Record> MakeRecords(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<stream::Record> records;
+  records.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string key = "k" + std::to_string(rng.NextU64() % 64);
+    Bytes payload(32, static_cast<std::uint8_t>(i & 0xff));
+    records.push_back(
+        stream::Record::Make(key, std::move(payload), TimePoint::FromMillis(i)));
+  }
+  return records;
+}
+
+struct SweepRun {
+  std::uint64_t digest = 0;
+  double makespan_ms = 0.0;
+  double recs_per_s = 0.0;  // modeled, from virtual makespan
+};
+
+// N records through produce chunks of `chunk` + one full fetch, on one
+// partition so the produce batch size is exactly `chunk` in batch mode.
+SweepRun RunSweep(std::size_t n_records, std::size_t chunk) {
+  SimClock clock;
+  stream::Broker broker(clock);
+  stream::TopicConfig tc;
+  tc.partitions = 1;
+  (void)broker.CreateTopic("e23.load", tc);
+  exec::ExecConfig ec;
+  ec.workers = 1;
+  exec::Executor ex(ec);
+
+  auto records = MakeRecords(n_records, 23);
+  std::size_t produced = 0;
+  for (std::size_t at = 0; at < records.size(); at += chunk) {
+    const std::size_t take = std::min(chunk, records.size() - at);
+    std::vector<stream::Record> part(records.begin() + static_cast<std::ptrdiff_t>(at),
+                                     records.begin() + static_cast<std::ptrdiff_t>(at + take));
+    produced += stream::ParallelProduce(ex, broker, "e23.load", std::move(part),
+                                        kProduceCost)
+                    .produced;
+  }
+  const auto fetched =
+      stream::ParallelFetchAll(ex, broker, "e23.load", n_records, kFetchCost);
+
+  SweepRun run;
+  BinaryWriter w;
+  w.WriteU64(produced);
+  for (const auto& part : fetched) {
+    w.WriteU64(part.size());
+    for (const auto& sr : part) {
+      w.WriteU64(Fnv1a(sr.record.key));
+      w.WriteBytes(sr.record.payload);
+      w.WriteI64(sr.offset);
+      w.WriteU32(sr.partition);
+    }
+  }
+  run.digest = Fnv1a(w.bytes());
+  const double makespan_s = ex.VirtualMakespan().seconds();
+  run.makespan_ms = makespan_s * 1e3;
+  std::size_t total_fetched = 0;
+  for (const auto& part : fetched) total_fetched += part.size();
+  run.recs_per_s = makespan_s > 0.0
+                       ? static_cast<double>(produced + total_fetched) / makespan_s
+                       : 0.0;
+  return run;
+}
+
+int RunExperiment(bool quick) {
+  const std::vector<std::size_t> batch_sizes = {64, 256, 1024, 4096};
+  const std::size_t n_records = 8'192;
+  CheckList checks;
+
+  // --- E23a: batch-size sweep ----------------------------------------
+  bench::Table table({"batch", "records", "recs/s(record)", "recs/s(batch)",
+                      "speedup", "digest=="});
+  std::vector<double> speedups;
+  for (const std::size_t b : batch_sizes) {
+    stream::SetBatchingEnabled(false);
+    const SweepRun off = RunSweep(n_records, b);
+    stream::SetBatchingEnabled(true);
+    const SweepRun on = RunSweep(n_records, b);
+    stream::SetBatchingEnabled(false);
+    const double speedup = on.recs_per_s / off.recs_per_s;
+    speedups.push_back(speedup);
+    table.Row({bench::FmtInt(b), bench::FmtInt(n_records),
+               bench::Fmt("%.0f", off.recs_per_s), bench::Fmt("%.0f", on.recs_per_s),
+               bench::Fmt("%.2fx", speedup), off.digest == on.digest ? "yes" : "NO"});
+    checks.Check(off.digest == on.digest,
+                 "sweep: fetched-content digest identical at batch=" + std::to_string(b));
+    checks.Check(speedup >= 4.0, "sweep: modeled speedup " + bench::Fmt("%.2f", speedup) +
+                                     "x >= 4x at batch=" + std::to_string(b));
+  }
+  table.Print("E23a columnar batch sweep (modeled records/s, P=1)");
+  bool monotone = true;
+  for (std::size_t i = 1; i < speedups.size(); ++i) {
+    monotone = monotone && speedups[i] >= speedups[i - 1] - 1e-9;
+  }
+  checks.Check(monotone, "sweep: speedup non-decreasing from batch=64 to 4096");
+  checks.Check(speedups.back() >= 6.0,
+               "sweep: speedup " + bench::Fmt("%.2f", speedups.back()) +
+                   "x >= 6x at batch=4096 (8x ceiling)");
+
+  // --- E23b: differential scenario digests ----------------------------
+  const std::vector<std::uint64_t> seeds =
+      quick ? std::vector<std::uint64_t>{3} : std::vector<std::uint64_t>{3, 11};
+  bench::Table stable({"scenario", "seed", "workers", "replicas", "off", "on", "equal"});
+  for (const char* factor : {"1", "3"}) {
+    setenv("ARBD_REPLICAS", factor, 1);
+    for (const std::size_t wks : {1u, 4u}) {
+      exec::ExecConfig ec;
+      ec.workers = wks;
+      for (const std::uint64_t seed : seeds) {
+        for (const bool tourism : {true, false}) {
+          stream::SetBatchingEnabled(false);
+          const std::uint64_t off = tourism ? scenarios::TourismDigest(seed, ec)
+                                            : scenarios::OverloadDigest(seed, ec);
+          stream::SetBatchingEnabled(true);
+          const std::uint64_t on = tourism ? scenarios::TourismDigest(seed, ec)
+                                           : scenarios::OverloadDigest(seed, ec);
+          stream::SetBatchingEnabled(false);
+          char offb[32], onb[32];
+          std::snprintf(offb, sizeof(offb), "%08llx",
+                        static_cast<unsigned long long>(off & 0xffffffffULL));
+          std::snprintf(onb, sizeof(onb), "%08llx",
+                        static_cast<unsigned long long>(on & 0xffffffffULL));
+          stable.Row({tourism ? "tourism" : "overload", bench::FmtInt(seed),
+                      bench::FmtInt(wks), factor, offb, onb,
+                      off == on ? "yes" : "NO"});
+          checks.Check(off == on, std::string(tourism ? "tourism" : "overload") +
+                                      " digest batch-invariant: seed=" +
+                                      std::to_string(seed) + " workers=" +
+                                      std::to_string(wks) + " replicas=" + factor);
+        }
+      }
+    }
+  }
+  unsetenv("ARBD_REPLICAS");
+  stable.Print("E23b scenario digests, batch path off vs on");
+
+  std::printf("\nE23 verdict: %s (%d failing check%s)\n",
+              checks.failures == 0 ? "PASS" : "FAIL", checks.failures,
+              checks.failures == 1 ? "" : "s");
+  return checks.failures;
+}
+
+void BM_BatchSweep(benchmark::State& state) {
+  const auto chunk = static_cast<std::size_t>(state.range(0));
+  stream::SetBatchingEnabled(state.range(1) != 0);
+  for (auto _ : state) {
+    auto run = RunSweep(8'192, chunk);
+    benchmark::DoNotOptimize(run);
+  }
+  stream::SetBatchingEnabled(false);
+  state.SetItemsProcessed(state.iterations() * 16'384);
+}
+BENCHMARK(BM_BatchSweep)
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Args({1024, 0})
+    ->Args({1024, 1})
+    ->Args({4096, 1});
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  const int failures = RunExperiment(quick);
+  if (quick) return failures;  // CI smoke: tables + checks only
+  if (failures != 0) return failures;
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

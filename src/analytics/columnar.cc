@@ -1,0 +1,81 @@
+#include "analytics/columnar.h"
+
+#include <map>
+#include <tuple>
+#include <utility>
+
+#include "stream/batch.h"
+#include "stream/dataflow.h"
+
+namespace arbd::analytics {
+
+namespace {
+
+using GroupKey = std::tuple<std::string, std::string, std::int64_t>;
+
+// Same tumbling-start arithmetic as WindowAggregateStage::WindowsFor.
+std::int64_t TumblingStart(std::int64_t ns, std::int64_t size) {
+  return (ns / size) * size - (ns < 0 && ns % size != 0 ? size : 0);
+}
+
+void FoldBatch(const stream::RecordBatch& batch, std::int64_t size,
+               std::map<GroupKey, RunAccum>& groups, std::uint64_t& corrupt) {
+  // Memoized group cursor: batched partitions deliver long same-key runs,
+  // so the common case is one compare instead of a map lookup per row.
+  RunAccum* slot = nullptr;
+  GroupKey last;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    auto ev = stream::Event::Decode(batch.payload_data(i), batch.payload_size(i));
+    if (!ev.ok()) {
+      ++corrupt;
+      continue;
+    }
+    const std::int64_t start = TumblingStart(ev->event_time.nanos(), size);
+    if (slot == nullptr || std::get<2>(last) != start || std::get<0>(last) != ev->key ||
+        std::get<1>(last) != ev->attribute) {
+      last = GroupKey{ev->key, ev->attribute, start};
+      slot = &groups[last];
+    }
+    slot->Add(ev->value);
+  }
+}
+
+std::vector<ColumnarWindowRow> ToRows(std::map<GroupKey, RunAccum>&& groups,
+                                      std::int64_t size) {
+  std::vector<ColumnarWindowRow> rows;
+  rows.reserve(groups.size());
+  for (auto& [gk, acc] : groups) {
+    ColumnarWindowRow row;
+    row.key = std::get<0>(gk);
+    row.attribute = std::get<1>(gk);
+    row.start_ns = std::get<2>(gk);
+    row.end_ns = row.start_ns + size;
+    row.acc = acc;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace
+
+std::vector<ColumnarWindowRow> TumblingAggregateBatch(const stream::RecordBatch& batch,
+                                                      Duration window,
+                                                      std::uint64_t* corrupt) {
+  std::map<GroupKey, RunAccum> groups;
+  std::uint64_t bad = 0;
+  FoldBatch(batch, window.nanos(), groups, bad);
+  if (corrupt != nullptr) *corrupt += bad;
+  return ToRows(std::move(groups), window.nanos());
+}
+
+std::vector<ColumnarWindowRow> TumblingAggregateBatches(
+    const std::vector<stream::RecordBatch>& batches, Duration window,
+    std::uint64_t* corrupt) {
+  std::map<GroupKey, RunAccum> groups;
+  std::uint64_t bad = 0;
+  for (const auto& b : batches) FoldBatch(b, window.nanos(), groups, bad);
+  if (corrupt != nullptr) *corrupt += bad;
+  return ToRows(std::move(groups), window.nanos());
+}
+
+}  // namespace arbd::analytics

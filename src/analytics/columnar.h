@@ -1,0 +1,80 @@
+// Columnar analytics kernels over batched event data. The run accumulator
+// is header-only (no arbd_stream dependency) so stream-layer code can use
+// it without a link cycle; the batch-walking aggregators that consume
+// stream::RecordBatch live in columnar.cc, which may link arbd_stream.
+//
+// Bit-identity contract: RunAccum::Add is the same fold as
+// WindowAggregateStage::Accum::Add — the sum is accumulated left-to-right
+// and never reassociated, min/max seed from the first element — so a
+// columnar aggregate over a batch equals the per-record streaming result
+// down to float bit patterns.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace arbd::stream {
+class RecordBatch;
+}
+
+namespace arbd::analytics {
+
+// Order-sensitive running aggregate over one column run.
+struct RunAccum {
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::uint64_t count = 0;
+
+  void Add(double v) {
+    if (count == 0) {
+      min = v;
+      max = v;
+    } else {
+      min = min < v ? min : v;
+      max = max > v ? max : v;
+    }
+    sum += v;
+    ++count;
+  }
+
+  // Element-wise in-order fold over a contiguous value run — the inner
+  // loop a columnar engine runs per (key, window) group.
+  void AddRun(const double* values, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) Add(values[i]);
+  }
+
+  double mean() const { return count ? sum / static_cast<double>(count) : 0.0; }
+};
+
+// One fired (key, attribute, tumbling window) group.
+struct ColumnarWindowRow {
+  std::string key;
+  std::string attribute;
+  std::int64_t start_ns = 0;
+  std::int64_t end_ns = 0;
+  RunAccum acc;
+};
+
+// Aggregate the encoded Events in a columnar batch into tumbling windows,
+// decoding each payload zero-copy out of the batch's flat payload buffer
+// (no Record or Bytes materialization). Rows whose payloads fail to
+// decode are skipped and counted into *corrupt when non-null. Window
+// start arithmetic matches WindowAggregateStage exactly; rows come back
+// sorted by (key, attribute, start). Events are folded in row order, so
+// results are bit-identical to pushing the same events through a tumbling
+// WindowAggregateStage and flushing.
+std::vector<ColumnarWindowRow> TumblingAggregateBatch(const stream::RecordBatch& batch,
+                                                      Duration window,
+                                                      std::uint64_t* corrupt = nullptr);
+
+// Same fold across a sequence of batches (the shape Consumer::PollBatches
+// returns), merged into one window table.
+std::vector<ColumnarWindowRow> TumblingAggregateBatches(
+    const std::vector<stream::RecordBatch>& batches, Duration window,
+    std::uint64_t* corrupt = nullptr);
+
+}  // namespace arbd::analytics

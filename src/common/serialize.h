@@ -44,7 +44,10 @@ class BinaryWriter {
 
 class BinaryReader {
  public:
-  explicit BinaryReader(const Bytes& buf) : buf_(buf) {}
+  explicit BinaryReader(const Bytes& buf) : data_(buf.data()), size_(buf.size()) {}
+  // Zero-copy form: decode directly out of a larger buffer (e.g. one row's
+  // slice of a columnar RecordBatch) without materializing a Bytes copy.
+  BinaryReader(const std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
 
   Expected<std::uint8_t> ReadU8() { return ReadScalar<std::uint8_t>(); }
   Expected<std::uint32_t> ReadU32() { return ReadScalar<std::uint32_t>(); }
@@ -55,8 +58,8 @@ class BinaryReader {
   Expected<std::string> ReadString() {
     auto n = ReadU32();
     if (!n.ok()) return n.status();
-    if (pos_ + *n > buf_.size()) return Truncated();
-    std::string s(reinterpret_cast<const char*>(buf_.data() + pos_), *n);
+    if (pos_ + *n > size_) return Truncated();
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), *n);
     pos_ += *n;
     return s;
   }
@@ -64,28 +67,28 @@ class BinaryReader {
   Expected<Bytes> ReadBytes() {
     auto n = ReadU32();
     if (!n.ok()) return n.status();
-    if (pos_ + *n > buf_.size()) return Truncated();
-    Bytes b(buf_.begin() + static_cast<std::ptrdiff_t>(pos_),
-            buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + *n));
+    if (pos_ + *n > size_) return Truncated();
+    Bytes b(data_ + pos_, data_ + pos_ + *n);
     pos_ += *n;
     return b;
   }
 
-  bool AtEnd() const { return pos_ == buf_.size(); }
-  std::size_t remaining() const { return buf_.size() - pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+  std::size_t remaining() const { return size_ - pos_; }
 
  private:
   template <typename T>
   Expected<T> ReadScalar() {
-    if (pos_ + sizeof(T) > buf_.size()) return Truncated();
+    if (pos_ + sizeof(T) > size_) return Truncated();
     T v;
-    std::memcpy(&v, buf_.data() + pos_, sizeof(T));
+    std::memcpy(&v, data_ + pos_, sizeof(T));
     pos_ += sizeof(T);
     return v;
   }
   static Status Truncated() { return Status::DataLoss("truncated buffer"); }
 
-  const Bytes& buf_;
+  const std::uint8_t* data_;
+  std::size_t size_;
   std::size_t pos_ = 0;
 };
 

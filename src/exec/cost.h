@@ -1,0 +1,48 @@
+// Modeled-cost accounting helpers for batched work on the virtual-time
+// axis (executor.h). The per-record hot path bills a flat cost per
+// operation: header bookkeeping, checksum, and budget accounting are paid
+// on every produce and every fetch. A columnar batch pays those once per
+// batch and a reduced marginal cost per row — checksums cover whole
+// column buffers, budget checks amortize across the run, and the header
+// is parsed once. AmortizedCost is the modeled form of that contract;
+// bench_batch (E23) reports modeled records/s from costs billed through
+// it, so the step change it measures is deterministic and host-independent
+// like every other virtual-time number.
+#pragma once
+
+#include <cstddef>
+
+#include "common/clock.h"
+
+namespace arbd::exec {
+
+// Cost of one batched operation over n items: a fixed per-batch setup
+// charge plus a marginal per-item charge. With n == 0 nothing is billed
+// (an empty batch never reaches the broker).
+struct AmortizedCost {
+  Duration per_batch = Duration::Zero();
+  Duration per_item = Duration::Zero();
+
+  Duration For(std::size_t n) const {
+    if (n == 0) return Duration::Zero();
+    return per_batch + per_item * static_cast<double>(n);
+  }
+};
+
+// How much of a per-record serial cost the batch path amortizes away:
+// the marginal per-row cost is serial/kBatchMarginalDivisor, and each
+// batch pays kBatchSetupFactor serial costs up front. At n = 64 the
+// modeled speedup is ~6.4x, approaching kBatchMarginalDivisor (8x) as n
+// grows — the "step change" E23 gates on. The divisor models the share
+// of per-record work that is header/checksum/accounting (amortizable)
+// versus payload movement (not).
+inline constexpr std::int64_t kBatchSetupFactor = 2;
+inline constexpr std::int64_t kBatchMarginalDivisor = 8;
+
+// The batched equivalent of billing `per_record_serial` n times.
+inline AmortizedCost BatchedCost(Duration per_record_serial) {
+  return AmortizedCost{per_record_serial * static_cast<double>(kBatchSetupFactor),
+                       per_record_serial / kBatchMarginalDivisor};
+}
+
+}  // namespace arbd::exec

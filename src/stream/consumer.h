@@ -24,8 +24,18 @@ class ConsumerGroup;
 class Consumer {
  public:
   // Fetches up to max_records across assigned partitions (round-robin so
-  // one hot partition cannot starve the others).
+  // one hot partition cannot starve the others). With ARBD_BATCH on, the
+  // fetches go through the broker's columnar FetchBatch and rows are
+  // materialized at the return boundary — same records, same auto-reset
+  // behaviour, one batched fetch per partition.
   std::vector<StoredRecord> Poll(std::size_t max_records);
+
+  // Columnar poll: the same partition rotation, positions, and auto-reset
+  // semantics as Poll, but rows stay in per-partition RecordBatches (one
+  // per non-empty partition visited) for zero-copy downstream processing.
+  // Unlike Poll this never materializes Records; it is the platform's
+  // batch-mode ingest surface.
+  std::vector<RecordBatch> PollBatches(std::size_t max_records);
 
   // Commit consumed offsets back to the group (next offsets to read).
   void Commit();

@@ -17,7 +17,11 @@ Bytes Event::Encode() const {
 }
 
 Expected<Event> Event::Decode(const Bytes& buf) {
-  BinaryReader r(buf);
+  return Decode(buf.data(), buf.size());
+}
+
+Expected<Event> Event::Decode(const std::uint8_t* data, std::size_t size) {
+  BinaryReader r(data, size);
   Event e;
   auto key = r.ReadString();
   if (!key.ok()) return key.status();
@@ -146,12 +150,36 @@ void WindowAggregateStage::Process(const Event& event, StageContext& ctx) {
     AssignSession(event);
     return;
   }
+  if (spec_.kind == WindowSpec::Kind::kTumbling) {
+    // Same start arithmetic as WindowsFor's tumbling branch; tumbling
+    // events land in exactly one window, so the last accumulator can be
+    // revalidated with a key compare instead of a map lookup. The memo is
+    // a pure lookup cache: hit or miss, the same Accum sees the same Add
+    // in the same order.
+    const std::int64_t ns = event.event_time.nanos();
+    const std::int64_t size = spec_.size.nanos();
+    const std::int64_t start = (ns / size) * size - (ns < 0 && ns % size != 0 ? size : 0);
+    if (memo_.slot != nullptr && memo_.start_ns == start && memo_.key == event.key &&
+        memo_.attribute == event.attribute) {
+      memo_.slot->Add(event.value);
+      return;
+    }
+    Accum& acc = windows_[WindowKey{event.key, event.attribute, start, start + size}];
+    acc.Add(event.value);
+    memo_.slot = &acc;
+    memo_.key = event.key;
+    memo_.attribute = event.attribute;
+    memo_.start_ns = start;
+    return;
+  }
   for (const auto& [ws, we] : WindowsFor(event.event_time)) {
     windows_[WindowKey{event.key, event.attribute, ws.nanos(), we.nanos()}].Add(event.value);
   }
 }
 
 void WindowAggregateStage::OnWatermark(TimePoint wm, StageContext& ctx) {
+  // Firing erases map entries; the memo may point at one of them.
+  memo_.slot = nullptr;
   last_watermark_ = std::max(last_watermark_, wm);
   for (auto it = windows_.begin(); it != windows_.end();) {
     const WindowKey& wk = it->first;
@@ -190,6 +218,7 @@ void WindowAggregateStage::SaveState(BinaryWriter& w) const {
 }
 
 Status WindowAggregateStage::LoadState(BinaryReader& r) {
+  memo_.slot = nullptr;
   windows_.clear();
   auto late = r.ReadU64();
   if (!late.ok()) return late.status();
@@ -451,26 +480,84 @@ class Pipeline::BatchCtx final : public StageContext {
   std::vector<ParItem>* out_;
 };
 
-void Pipeline::ProcessBatchParallel(exec::Executor& exec,
-                                    const std::vector<Event>& batch,
-                                    std::uint64_t shard_base) {
+std::vector<Pipeline::ParItem> Pipeline::PlanBatch(const std::vector<Event>& batch) {
   // Source bookkeeping runs on the driver, event-for-event as Push would:
   // watermark positions are fixed here, so the item sequence every stage
   // receives is independent of scheduling.
-  auto items = std::make_shared<std::vector<ParItem>>();
-  items->reserve(batch.size() * 2);
+  std::vector<ParItem> items;
+  items.reserve(batch.size() * 2);
   for (const Event& e : batch) {
     ++events_in_;
     max_event_time_ = std::max(max_event_time_, e.event_time);
-    items->push_back(ParItem::OfEvent(e));
+    items.push_back(ParItem::OfEvent(e));
     const TimePoint wm = max_event_time_ - max_ooo_;
     if (wm > watermark_) {
       watermark_ = wm;
-      items->push_back(ParItem::OfWatermark(wm));
+      items.push_back(ParItem::OfWatermark(wm));
     }
   }
+  return items;
+}
+
+void Pipeline::RunStageOnItems(std::size_t stage, std::vector<ParItem>& items,
+                               std::vector<ParItem>& next) {
+  BatchCtx ctx(stage, stages_.size(), !event_sinks_.empty(), &next);
+  for (ParItem& it : items) {
+    switch (it.kind) {
+      case ParItem::Kind::kEvent:
+        // Same traced-context handoff as RunFrom: chain the child
+        // context into the event the stage sees, so serial and batch
+        // executions record identical span trees.
+        if (tracer_ != nullptr && tracer_->enabled() && it.event.trace_ctx.valid()) {
+          it.event.trace_ctx = TraceStage(stage, it.event);
+        }
+        stages_[stage]->Process(it.event, ctx);
+        break;
+      case ParItem::Kind::kResult:
+        next.push_back(std::move(it));
+        break;
+      case ParItem::Kind::kWatermark:
+        stages_[stage]->OnWatermark(it.wm, ctx);
+        next.push_back(std::move(it));
+        break;
+    }
+  }
+}
+
+void Pipeline::DeliverTerminal(const std::vector<ParItem>& items) {
+  // Terminal delivery: results and surviving events reach sinks in order.
+  for (const ParItem& it : items) {
+    switch (it.kind) {
+      case ParItem::Kind::kEvent:
+        for (const auto& sink : event_sinks_) sink(it.event);
+        break;
+      case ParItem::Kind::kResult:
+        ++results_out_;
+        for (const auto& sink : sinks_) sink(it.result);
+        break;
+      case ParItem::Kind::kWatermark:
+        break;
+    }
+  }
+}
+
+void Pipeline::ProcessBatchParallel(exec::Executor& exec,
+                                    const std::vector<Event>& batch,
+                                    std::uint64_t shard_base) {
+  auto items = std::make_shared<std::vector<ParItem>>(PlanBatch(batch));
   if (items->empty()) return;
   SubmitStage(exec, 0, shard_base, std::move(items));
+}
+
+void Pipeline::PushBatch(const std::vector<Event>& batch) {
+  std::vector<ParItem> items = PlanBatch(batch);
+  for (std::size_t stage = 0; stage < stages_.size() && !items.empty(); ++stage) {
+    std::vector<ParItem> next;
+    next.reserve(items.size());
+    RunStageOnItems(stage, items, next);
+    items = std::move(next);
+  }
+  if (!items.empty()) DeliverTerminal(items);
 }
 
 void Pipeline::SubmitStage(exec::Executor& exec, std::size_t stage,
@@ -479,45 +566,12 @@ void Pipeline::SubmitStage(exec::Executor& exec, std::size_t stage,
   exec.Submit(shard_base + stage, [this, &exec, stage, shard_base,
                                    items = std::move(items)] {
     if (stage >= stages_.size()) {
-      // Terminal task: deliver results and surviving events in order.
-      for (ParItem& it : *items) {
-        switch (it.kind) {
-          case ParItem::Kind::kEvent:
-            for (const auto& sink : event_sinks_) sink(it.event);
-            break;
-          case ParItem::Kind::kResult:
-            ++results_out_;
-            for (const auto& sink : sinks_) sink(it.result);
-            break;
-          case ParItem::Kind::kWatermark:
-            break;
-        }
-      }
+      DeliverTerminal(*items);
       return;
     }
     auto out = std::make_shared<std::vector<ParItem>>();
     out->reserve(items->size());
-    BatchCtx ctx(stage, stages_.size(), !event_sinks_.empty(), out.get());
-    for (ParItem& it : *items) {
-      switch (it.kind) {
-        case ParItem::Kind::kEvent:
-          // Same traced-context handoff as RunFrom: chain the child
-          // context into the event the stage sees, so serial and batch
-          // executions record identical span trees.
-          if (tracer_ != nullptr && tracer_->enabled() && it.event.trace_ctx.valid()) {
-            it.event.trace_ctx = TraceStage(stage, it.event);
-          }
-          stages_[stage]->Process(it.event, ctx);
-          break;
-        case ParItem::Kind::kResult:
-          out->push_back(std::move(it));
-          break;
-        case ParItem::Kind::kWatermark:
-          stages_[stage]->OnWatermark(it.wm, ctx);
-          out->push_back(std::move(it));
-          break;
-      }
-    }
+    RunStageOnItems(stage, *items, *out);
     if (!out->empty()) SubmitStage(exec, stage + 1, shard_base, std::move(out));
   });
 }

@@ -42,6 +42,10 @@ struct Event {
 
   Bytes Encode() const;
   static Expected<Event> Decode(const Bytes& buf);
+  // Zero-copy form: decode straight out of a columnar batch's payload
+  // slice (RecordBatch::payload_data/payload_size) without materializing
+  // an intermediate Bytes copy. Identical parse to Decode(Bytes).
+  static Expected<Event> Decode(const std::uint8_t* data, std::size_t size);
 };
 
 struct WindowSpec {
@@ -114,6 +118,21 @@ class WindowAggregateStage final : public Stage {
     void Add(double v);
     double Result(AggKind k) const;
   };
+
+  // Hot-path memo for tumbling windows: batched ingest delivers long runs
+  // of events hitting the same (key, attribute, window), so the last
+  // resolved accumulator is cached and re-validated with one key compare
+  // instead of a map lookup per event. Pure lookup memoization — the adds
+  // hit the same accumulator in the same order, so results (including
+  // float bit patterns) are identical with the memo hit or miss.
+  // std::map pointers are stable under insert; OnWatermark/LoadState erase
+  // entries and must invalidate the memo.
+  struct Memo {
+    Accum* slot = nullptr;  // null = invalid
+    std::string key;
+    std::string attribute;
+    std::int64_t start_ns = 0;
+  };
   struct WindowKey {
     std::string key;
     std::string attribute;
@@ -129,6 +148,7 @@ class WindowAggregateStage final : public Stage {
   AggKind agg_;
   Duration lateness_;
   std::map<WindowKey, Accum> windows_;
+  Memo memo_;
   TimePoint last_watermark_ = TimePoint::Min();
   std::uint64_t late_dropped_ = 0;
 };
@@ -171,6 +191,17 @@ class Pipeline final : public StageContext {
   // bypassed — in batch mode admission is the caller's fetch credit.
   void ProcessBatchParallel(exec::Executor& exec, const std::vector<Event>& batch,
                             std::uint64_t shard_base = 0);
+
+  // Inline columnar-era batch execution: the same driver-side watermark
+  // assignment and in-band item sequence as ProcessBatchParallel, but the
+  // stages run stage-at-a-time on the calling thread (no executor). Each
+  // stage consumes the whole ordered item sequence before the next stage
+  // starts, which is exactly what the task chain does, so sink calls,
+  // counters, and checkpoint bytes are bit-identical to Push(batch[i]) in
+  // order — and to ProcessBatchParallel at any worker count. Like the
+  // parallel form it bypasses the bounded inbox; callers with queued
+  // events must drain them first to preserve FIFO order.
+  void PushBatch(const std::vector<Event>& batch);
 
   std::size_t stage_count() const { return stages_.size(); }
 
@@ -225,6 +256,18 @@ class Pipeline final : public StageContext {
   class BatchCtx;
   void SubmitStage(exec::Executor& exec, std::size_t stage, std::uint64_t shard_base,
                    std::shared_ptr<std::vector<ParItem>> items);
+  // Shared per-stage item pump: runs stage `stage` over the ordered item
+  // sequence, appending its outputs to `next`. Used by both the executor
+  // task chain (SubmitStage) and the inline batch path (PushBatch) so the
+  // two cannot drift.
+  void RunStageOnItems(std::size_t stage, std::vector<ParItem>& items,
+                       std::vector<ParItem>& next);
+  // Terminal delivery: hand the final item sequence to sinks, in order.
+  void DeliverTerminal(const std::vector<ParItem>& items);
+  // Driver-side bookkeeping shared by ProcessBatchParallel and PushBatch:
+  // replicates Push's watermark arithmetic event-for-event and returns the
+  // in-band item sequence (events + watermark markers) stage 0 should see.
+  std::vector<ParItem> PlanBatch(const std::vector<Event>& batch);
 
   // Span name for stage `index`, recorded on traced events; returns the
   // updated event context. No-op passthrough when tracing is off.

@@ -7,8 +7,6 @@ namespace arbd::stream {
 
 namespace {
 
-std::size_t RecordBytes(const Record& r) { return r.key.size() + r.payload.size(); }
-
 // Modeled cost of one broker append on the causal-trace time axis.
 constexpr Duration kProduceCost = Duration::Micros(2);
 
@@ -16,26 +14,57 @@ constexpr Duration kProduceCost = Duration::Micros(2);
 
 void Partition::UpdateMirrors() {
   start_mirror_.store(start_offset_, std::memory_order_release);
-  end_mirror_.store(start_offset_ + static_cast<Offset>(records_.size()),
+  end_mirror_.store(start_offset_ + static_cast<Offset>(LiveLocked()),
                     std::memory_order_release);
   bytes_mirror_.store(bytes_, std::memory_order_release);
   max_event_ns_mirror_.store(max_event_time_.nanos(), std::memory_order_release);
 }
 
+void Partition::DropFrontLocked() {
+  bytes_ -= store_.row_bytes(head_);
+  ++head_;
+  ++start_offset_;
+}
+
+void Partition::MaybeCompactHeadLocked() {
+  // Reclaim the dead prefix once it outweighs the live rows: one bulk
+  // column copy, amortized O(1) per dropped record.
+  if (head_ < 32 || head_ < LiveLocked()) return;
+  RecordBatch fresh;
+  fresh.AppendRange(store_, head_, LiveLocked());
+  store_ = std::move(fresh);
+  head_ = 0;
+}
+
 Offset Partition::Append(Record record, TimePoint ingest_time) {
   std::lock_guard<std::mutex> lk(mu_);
-  record.ingest_time = ingest_time;
   max_event_time_ = std::max(max_event_time_, record.event_time);
-  bytes_ += RecordBytes(record);
-  records_.push_back(std::move(record));
+  bytes_ += record.key.size() + record.payload.size();
+  store_.AppendRow(record.key, record.payload.data(), record.payload.size(),
+                   record.event_time, ingest_time, record.checksum, record.trace_ctx);
   UpdateMirrors();
-  return start_offset_ + static_cast<Offset>(records_.size()) - 1;
+  return start_offset_ + static_cast<Offset>(LiveLocked()) - 1;
+}
+
+Offset Partition::AppendBatchRange(const RecordBatch& batch, std::size_t from_row,
+                                   std::size_t n, TimePoint ingest_time) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const Offset base = start_offset_ + static_cast<Offset>(LiveLocked());
+  const std::size_t first = store_.size();
+  store_.AppendRange(batch, from_row, n);
+  store_.StampIngest(first, ingest_time);
+  for (std::size_t i = 0; i < n; ++i) {
+    bytes_ += batch.row_bytes(from_row + i);
+    max_event_time_ = std::max(max_event_time_, batch.event_time(from_row + i));
+  }
+  UpdateMirrors();
+  return base;
 }
 
 Expected<std::vector<StoredRecord>> Partition::Fetch(Offset from,
                                                      std::size_t max_records) const {
   std::lock_guard<std::mutex> lk(mu_);
-  const Offset end = start_offset_ + static_cast<Offset>(records_.size());
+  const Offset end = start_offset_ + static_cast<Offset>(LiveLocked());
   if (from < start_offset_) {
     // Carry the valid [log_start, end) window as structured payload so
     // consumers can reposition without parsing the message text.
@@ -49,15 +78,36 @@ Expected<std::vector<StoredRecord>> Partition::Fetch(Offset from,
         .WithRange(start_offset_, end);
   }
   std::vector<StoredRecord> out;
-  const auto begin = static_cast<std::size_t>(from - start_offset_);
-  const std::size_t n = std::min(max_records, records_.size() - begin);
+  const std::size_t begin = head_ + static_cast<std::size_t>(from - start_offset_);
+  const std::size_t n = std::min(max_records, store_.size() - begin);
   out.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     StoredRecord sr;
     sr.offset = from + static_cast<Offset>(i);
-    sr.record = records_[begin + i];
+    sr.record = store_.MaterializeRecord(begin + i);
     out.push_back(std::move(sr));
   }
+  return out;
+}
+
+Expected<RecordBatch> Partition::FetchBatch(Offset from, std::size_t max_records) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const Offset end = start_offset_ + static_cast<Offset>(LiveLocked());
+  if (from < start_offset_) {
+    return Status::OutOfRange("offset " + std::to_string(from) +
+                              " below log start " + std::to_string(start_offset_))
+        .WithRange(start_offset_, end);
+  }
+  if (from > end) {
+    return Status::OutOfRange("offset " + std::to_string(from) + " beyond log end " +
+                              std::to_string(end))
+        .WithRange(start_offset_, end);
+  }
+  const std::size_t begin = head_ + static_cast<std::size_t>(from - start_offset_);
+  const std::size_t n = std::min(max_records, store_.size() - begin);
+  RecordBatch out;
+  out.AppendRange(store_, begin, n);
+  out.set_base_offset(from);
   return out;
 }
 
@@ -65,56 +115,67 @@ std::size_t Partition::EnforceRetention(const TopicConfig& cfg, TimePoint now) {
   std::lock_guard<std::mutex> lk(mu_);
   std::size_t dropped = 0;
   if (cfg.retention_records > 0) {
-    while (records_.size() > cfg.retention_records) {
-      bytes_ -= RecordBytes(records_.front());
-      records_.pop_front();
-      ++start_offset_;
+    while (LiveLocked() > cfg.retention_records) {
+      DropFrontLocked();
       ++dropped;
     }
   }
   if (cfg.retention_time > Duration::Zero()) {
     const TimePoint cutoff = now - cfg.retention_time;
-    while (!records_.empty() && records_.front().ingest_time < cutoff) {
-      bytes_ -= RecordBytes(records_.front());
-      records_.pop_front();
-      ++start_offset_;
+    while (LiveLocked() > 0 && store_.ingest_time(head_) < cutoff) {
+      DropFrontLocked();
       ++dropped;
     }
   }
-  if (dropped > 0) UpdateMirrors();
+  if (dropped > 0) {
+    MaybeCompactHeadLocked();
+    UpdateMirrors();
+  }
   return dropped;
 }
 
 std::size_t Partition::TruncateBefore(Offset offset) {
   std::lock_guard<std::mutex> lk(mu_);
-  offset = std::min(offset, start_offset_ + static_cast<Offset>(records_.size()));
+  offset = std::min(offset, start_offset_ + static_cast<Offset>(LiveLocked()));
   std::size_t dropped = 0;
   while (start_offset_ < offset) {
-    bytes_ -= RecordBytes(records_.front());
-    records_.pop_front();
-    ++start_offset_;
+    DropFrontLocked();
     ++dropped;
   }
-  if (dropped > 0) UpdateMirrors();
+  if (dropped > 0) {
+    MaybeCompactHeadLocked();
+    UpdateMirrors();
+  }
   return dropped;
 }
 
 std::size_t Partition::CompactKeepLatest() {
   std::lock_guard<std::mutex> lk(mu_);
-  // Walk from the tail keeping the first (i.e. newest) record per key;
+  // Walk from the tail keeping the first (i.e. newest) row per key;
   // tombstones mark their key as dead without being retained themselves.
-  std::set<std::string> seen;
-  std::deque<Record> kept;
-  for (auto it = records_.rbegin(); it != records_.rend(); ++it) {
-    if (seen.contains(it->key)) continue;
-    seen.insert(it->key);
-    if (it->payload.empty()) continue;  // tombstone: key deleted
-    kept.push_front(std::move(*it));
+  std::set<std::string, std::less<>> seen;
+  std::vector<std::size_t> keep;  // store_ row indices, collected newest-first
+  for (std::size_t i = store_.size(); i-- > head_;) {
+    const std::string_view key = store_.key(i);
+    if (seen.contains(key)) continue;
+    seen.emplace(key);
+    if (store_.payload_size(i) == 0) continue;  // tombstone: key deleted
+    keep.push_back(i);
   }
-  const std::size_t removed = records_.size() - kept.size();
-  records_ = std::move(kept);
-  bytes_ = 0;
-  for (const auto& r : records_) bytes_ += RecordBytes(r);
+  std::reverse(keep.begin(), keep.end());
+  const std::size_t removed = LiveLocked() - keep.size();
+  // Rebuild the store from the kept rows, copying consecutive survivors as
+  // one column-range run each.
+  RecordBatch kept;
+  for (std::size_t i = 0; i < keep.size();) {
+    std::size_t j = i + 1;
+    while (j < keep.size() && keep[j] == keep[j - 1] + 1) ++j;
+    kept.AppendRange(store_, keep[i], j - i);
+    i = j;
+  }
+  store_ = std::move(kept);
+  head_ = 0;
+  bytes_ = store_.byte_size();
   UpdateMirrors();
   return removed;
 }
@@ -308,6 +369,88 @@ Expected<Offset> Broker::ProduceImpl(const std::string& topic, Topic* t,
   return *off;
 }
 
+Expected<Broker::BatchProduceResult> Broker::ProduceBatch(const std::string& topic,
+                                                          PartitionId partition,
+                                                          const RecordBatch& batch) {
+  auto t = GetTopic(topic);
+  if (!t.ok()) return t.status();
+  if (partition >= (*t)->partition_count()) {
+    return Status::OutOfRange("partition " + std::to_string(partition) + " of topic '" +
+                              topic + "'");
+  }
+  BatchProduceResult res;
+  const std::size_t n = batch.size();
+  if (n == 0) return res;
+
+  // The bulk path is taken only when it is provably equivalent to the
+  // per-record loop: a fault injector draws its RNG once per record, and a
+  // traced row records one produce span per record — both per-row effects
+  // a single bulk append cannot reproduce.
+  const bool traced = tracer_ != nullptr && tracer_->enabled() && batch.has_traced_rows();
+  if (fault_ == nullptr && !traced) {
+    // Budget scan: the per-record loop checks the running totals before
+    // every append, and totals only grow, so the accepted rows form a
+    // prefix — find its length, then append it in one shot.
+    const TopicConfig& cfg = (*t)->config();
+    std::size_t accept = n;
+    if (cfg.max_records > 0 || cfg.max_bytes > 0) {
+      const std::size_t held_records = (*t)->TotalRecords();
+      const std::size_t held_bytes = (*t)->TotalBytes();
+      std::size_t bytes_delta = 0;
+      accept = 0;
+      for (; accept < n; ++accept) {
+        const bool over_records =
+            cfg.max_records > 0 && held_records + accept >= cfg.max_records;
+        const bool over_bytes = cfg.max_bytes > 0 && held_bytes + bytes_delta >= cfg.max_bytes;
+        if (over_records || over_bytes) break;
+        bytes_delta += batch.row_bytes(accept);
+      }
+    }
+    const std::size_t over_budget = n - accept;
+    bool bulk_done = accept == 0;
+    if (accept > 0) {
+      auto base = (*t)->replication(partition).ProduceBatch(batch, 0, accept, clock_.Now());
+      if (base.ok()) {
+        res.base_offset = *base;
+        res.produced = accept;
+        total_produced_.fetch_add(accept, std::memory_order_relaxed);
+        bulk_done = true;
+      }
+      // kFailedPrecondition: the replica group is mid-failure (leaderless
+      // or an auto-restore armed) — nothing appended; take the per-record
+      // loop below, which reproduces the per-attempt restore ticks.
+    }
+    if (bulk_done) {
+      res.rejected = over_budget;
+      if (over_budget > 0) {
+        backpressure_rejects_.fetch_add(over_budget, std::memory_order_relaxed);
+        if (metrics_ != nullptr) {
+          metrics_->Add("qos.backpressure." + topic, static_cast<double>(over_budget));
+        }
+      }
+      if (metrics_ != nullptr && res.produced > 0) {
+        metrics_->Set("qos.depth." + topic + ".p" + std::to_string(partition),
+                      static_cast<double>((*t)->partition(partition).size()));
+        metrics_->Set("qos.bytes." + topic, static_cast<double>((*t)->TotalBytes()));
+      }
+      return res;
+    }
+  }
+
+  // Per-record fallback: identical fault draws, span trees, and restore
+  // ticks to calling ProduceToPartition row by row.
+  for (std::size_t i = 0; i < n; ++i) {
+    auto off = ProduceImpl(topic, *t, partition, batch.MaterializeRecord(i));
+    if (off.ok()) {
+      if (res.produced == 0) res.base_offset = *off;
+      ++res.produced;
+    } else {
+      ++res.rejected;
+    }
+  }
+  return res;
+}
+
 Expected<std::vector<StoredRecord>> Broker::Fetch(const std::string& topic,
                                                   PartitionId partition, Offset from,
                                                   std::size_t max_records) {
@@ -328,6 +471,33 @@ Expected<std::vector<StoredRecord>> Broker::Fetch(const std::string& topic,
     // Ingest-to-fetch lag of the newest record handed out: how far behind
     // the head this consumer is running, in wall-clock terms.
     const Duration lag = clock_.Now() - fetched->back().record.ingest_time;
+    metrics_->Set("qos.lag_ms." + topic + ".p" + std::to_string(partition),
+                  lag.seconds() * 1e3);
+  }
+  return fetched;
+}
+
+Expected<RecordBatch> Broker::FetchBatch(const std::string& topic, PartitionId partition,
+                                         Offset from, std::size_t max_records) {
+  auto t = GetTopic(topic);
+  if (!t.ok()) return t.status();
+  if (partition >= (*t)->partition_count()) {
+    return Status::OutOfRange("partition " + std::to_string(partition) + " of topic '" +
+                              topic + "'");
+  }
+  if (fault_ != nullptr) {
+    std::lock_guard<std::mutex> flk(fault_mu_);
+    // Exactly one draw per call, like Fetch: the injector's sequence is
+    // identical whichever fetch shape the consumer uses.
+    if (fault_->Fire(fault::FaultKind::kFetchError, fault::InjectionPoint::kBrokerFetch)) {
+      return Status::Unavailable("injected fetch error on topic '" + topic + "'");
+    }
+  }
+  auto fetched = (*t)->partition(partition).FetchBatch(from, max_records);
+  if (!fetched.ok()) return fetched.status();
+  fetched->set_partition(partition);
+  if (metrics_ != nullptr && !fetched->empty()) {
+    const Duration lag = clock_.Now() - fetched->ingest_time(fetched->size() - 1);
     metrics_->Set("qos.lag_ms." + topic + ".p" + std::to_string(partition),
                   lag.seconds() * 1e3);
   }

@@ -19,7 +19,6 @@
 
 #include <atomic>
 #include <cstdint>
-#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -31,6 +30,7 @@
 #include "common/metrics.h"
 #include "common/status.h"
 #include "fault/injector.h"
+#include "stream/batch.h"
 #include "stream/record.h"
 #include "stream/replication.h"
 
@@ -63,13 +63,32 @@ struct TopicConfig {
 // All mutating/reading operations on the record store are serialized by
 // the partition mutex; the offset/size/byte accessors read atomic mirrors
 // and may be called from any thread without locking.
+//
+// Storage is a columnar RecordBatch (stream/batch.h) with a dropped-prefix
+// cursor: truncation/retention advance `head_` in O(1) per record, and the
+// store is rebuilt (one bulk column copy) once the dead prefix outweighs
+// the live rows — the classic amortized-O(1) head-drop on flat buffers.
 class Partition {
  public:
   Offset Append(Record record, TimePoint ingest_time);
 
+  // Bulk append of rows [from_row, from_row + n) of `batch`: one column-
+  // range copy under one lock acquisition, equivalent to n sequential
+  // Appends. Returns the offset of the first appended row.
+  Offset AppendBatchRange(const RecordBatch& batch, std::size_t from_row,
+                          std::size_t n, TimePoint ingest_time);
+
   // Fetch up to `max_records` starting at `from`. Returns OutOfRange if
   // `from` is below the log start (truncated away) or above the end.
   Expected<std::vector<StoredRecord>> Fetch(Offset from, std::size_t max_records) const;
+
+  // Columnar fetch: the same rows as Fetch but returned as one RecordBatch
+  // built from contiguous column-range copies (no per-record string/vector
+  // construction). The OutOfRange contract matches Fetch exactly — both
+  // the below-log-start and beyond-end errors carry the valid
+  // [log_start, end) window so consumer auto-reset works unchanged when
+  // batching is on.
+  Expected<RecordBatch> FetchBatch(Offset from, std::size_t max_records) const;
 
   Offset log_start_offset() const { return start_mirror_.load(std::memory_order_acquire); }
   Offset end_offset() const { return end_mirror_.load(std::memory_order_acquire); }
@@ -101,9 +120,15 @@ class Partition {
 
  private:
   void UpdateMirrors();  // call with mu_ held after any mutation
+  std::size_t LiveLocked() const { return store_.size() - head_; }
+  void DropFrontLocked();        // advance head_/start_offset_ by one row
+  void MaybeCompactHeadLocked(); // rebuild the store when the dead prefix dominates
 
   mutable std::mutex mu_;
-  std::deque<Record> records_;
+  // Rows [head_, store_.size()) are live; [0, head_) were truncated away
+  // and are reclaimed lazily by MaybeCompactHeadLocked.
+  RecordBatch store_;
+  std::size_t head_ = 0;
   Offset start_offset_ = 0;
   std::size_t bytes_ = 0;
   TimePoint max_event_time_ = TimePoint::Min();
@@ -178,6 +203,26 @@ class Broker {
   Expected<Offset> ProduceToPartition(const std::string& topic, PartitionId partition,
                                       Record record);
 
+  // Outcome of one batched produce. `rejected` counts rows the broker
+  // refused (budget, injected faults, leaderless group) — the same rows a
+  // per-record loop would have seen fail one by one.
+  struct BatchProduceResult {
+    Offset base_offset = -1;  // offset of the first produced row; -1 if none
+    std::size_t produced = 0;
+    std::size_t rejected = 0;
+  };
+
+  // Columnar produce: append every row of `batch` to one partition,
+  // equivalent to looping ProduceToPartition over materialized rows but
+  // paying broker bookkeeping once per batch. The bulk path runs only when
+  // it is provably equivalent — no fault injector (whose RNG draws are
+  // per-record), no traced rows (whose span trees are per-record), and a
+  // steady replica group — and otherwise falls back to the per-record loop
+  // internally, so the observable outcome is identical either way.
+  Expected<BatchProduceResult> ProduceBatch(const std::string& topic,
+                                            PartitionId partition,
+                                            const RecordBatch& batch);
+
   // Idempotent produce: like ProduceToPartition, but stamped with the
   // producer's stable id and per-partition sequence number so the replica
   // group can dedup retries after a lost ack (torn append, leader crash).
@@ -202,6 +247,12 @@ class Broker {
 
   Expected<std::vector<StoredRecord>> Fetch(const std::string& topic, PartitionId partition,
                                             Offset from, std::size_t max_records);
+
+  // Columnar fetch: same rows, faults (one kFetchError draw per call), and
+  // OutOfRange contract as Fetch, returned as one zero-copy-viewable
+  // RecordBatch stamped with (partition, base_offset).
+  Expected<RecordBatch> FetchBatch(const std::string& topic, PartitionId partition,
+                                   Offset from, std::size_t max_records);
 
   // Advance a partition's log start (consumer-driven queue truncation).
   Expected<std::size_t> TruncateBefore(const std::string& topic, PartitionId partition,

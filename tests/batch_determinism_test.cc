@@ -1,0 +1,212 @@
+// Differential harness for the columnar batch hot path (ISSUE 6
+// tentpole): ARBD_BATCH must be a pure optimization. Every
+// determinism-sensitive observable — committed-log digests, pipeline
+// checkpoint bytes, broker offsets and counters, scenario digests — is
+// bit-identical with the batch path on and off, across worker counts
+// {1, 4}, five seeds, and replication factors {1, 3}. Each TEST runs in
+// its own ctest process (gtest_discover_tests), so setenv cannot leak
+// into sibling tests; SetBatchingEnabled flips the mode in-process.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/serialize.h"
+#include "exec/executor.h"
+#include "scenarios/digest.h"
+#include "scenarios/failover.h"
+#include "stream/batch.h"
+#include "stream/log.h"
+#include "stream/parallel.h"
+#include "stream/replication.h"
+
+namespace arbd {
+namespace {
+
+constexpr std::uint64_t kSeeds[] = {1, 2, 3, 4, 5};
+
+exec::ExecConfig Cfg(std::size_t workers) {
+  exec::ExecConfig cfg;
+  cfg.workers = workers;
+  return cfg;
+}
+
+// Runs `fn` with the batch path forced off, then on; returns {off, on}.
+template <typename Fn>
+std::pair<std::uint64_t, std::uint64_t> OffOn(Fn&& fn) {
+  stream::SetBatchingEnabled(false);
+  const std::uint64_t off = fn();
+  stream::SetBatchingEnabled(true);
+  const std::uint64_t on = fn();
+  stream::SetBatchingEnabled(false);
+  return {off, on};
+}
+
+// Broker-level workload: seeded keyed records through ParallelProduce and
+// ParallelFetchAll against a budgeted topic with mid-run truncation. The
+// digest folds produce reports, every consumed row (key, offset,
+// partition), the committed-log digest, and the broker counters.
+std::uint64_t BrokerWorkloadDigest(std::uint64_t seed, std::size_t workers) {
+  SimClock clock;
+  stream::Broker broker(clock);
+  exec::Executor ex(Cfg(workers));
+  stream::TopicConfig tc;
+  tc.partitions = 4;
+  tc.max_records = 128;
+  EXPECT_TRUE(broker.CreateTopic("batch.diff", tc).ok());
+
+  Rng rng(seed ^ 0xbadc0deULL);
+  BinaryWriter w;
+  w.WriteU64(seed);
+  for (int round = 0; round < 6; ++round) {
+    const std::size_t want = 20 + static_cast<std::size_t>(rng.NextU64() % 80);
+    std::vector<stream::Record> recs;
+    recs.reserve(want);
+    for (std::size_t i = 0; i < want; ++i) {
+      const std::string key = "k" + std::to_string(rng.NextU64() % 16);
+      Bytes payload(8 + (rng.NextU64() % 40), static_cast<std::uint8_t>(round));
+      recs.push_back(stream::Record::Make(key, std::move(payload), clock.Now()));
+    }
+    // Credit clamp on the driver so admission is deterministic (same
+    // discipline as OverloadDigest).
+    const std::size_t credit = broker.Credit("batch.diff");
+    if (recs.size() > credit) recs.resize(credit);
+    const auto rep = stream::ParallelProduce(ex, broker, "batch.diff", std::move(recs),
+                                             Duration::Micros(2));
+    w.WriteU64(rep.produced);
+    w.WriteU64(rep.rejected);
+    for (const std::size_t c : rep.per_partition) w.WriteU64(c);
+
+    const auto fetched =
+        stream::ParallelFetchAll(ex, broker, "batch.diff", 512, Duration::Micros(1));
+    for (std::size_t p = 0; p < fetched.size(); ++p) {
+      for (const auto& sr : fetched[p]) {
+        w.WriteU64(Fnv1a(sr.record.key));
+        w.WriteI64(sr.offset);
+        w.WriteU32(sr.partition);
+      }
+      if (!fetched[p].empty()) {
+        (void)broker.TruncateBefore("batch.diff", static_cast<stream::PartitionId>(p),
+                                    fetched[p].back().offset + 1);
+      }
+    }
+    clock.Advance(Duration::Millis(5));
+  }
+
+  auto topic = broker.GetTopic("batch.diff");
+  EXPECT_TRUE(topic.ok());
+  if (topic.ok()) w.WriteU64(stream::CommittedTopicDigest(**topic));
+  w.WriteU64(broker.total_produced());
+  w.WriteU64(broker.backpressure_rejects());
+  return Fnv1a(w.bytes());
+}
+
+void ExpectBrokerParity() {
+  for (const std::size_t workers : {1u, 4u}) {
+    for (const std::uint64_t seed : kSeeds) {
+      const auto [off, on] =
+          OffOn([&] { return BrokerWorkloadDigest(seed, workers); });
+      EXPECT_EQ(off, on) << "workers=" << workers << " seed=" << seed;
+    }
+  }
+}
+
+TEST(BatchDeterminism, BrokerWorkloadDigestFactorOne) {
+  setenv("ARBD_REPLICAS", "1", 1);
+  ExpectBrokerParity();
+  unsetenv("ARBD_REPLICAS");
+}
+
+TEST(BatchDeterminism, BrokerWorkloadDigestFactorThree) {
+  setenv("ARBD_REPLICAS", "3", 1);
+  ExpectBrokerParity();
+  unsetenv("ARBD_REPLICAS");
+}
+
+void ExpectTourismParity() {
+  for (const std::size_t workers : {1u, 4u}) {
+    for (const std::uint64_t seed : kSeeds) {
+      const auto [off, on] =
+          OffOn([&] { return scenarios::TourismDigest(seed, Cfg(workers)); });
+      EXPECT_EQ(off, on) << "workers=" << workers << " seed=" << seed;
+    }
+  }
+}
+
+TEST(BatchDeterminism, TourismDigestFactorOne) {
+  setenv("ARBD_REPLICAS", "1", 1);
+  ExpectTourismParity();
+  unsetenv("ARBD_REPLICAS");
+}
+
+TEST(BatchDeterminism, TourismDigestFactorThree) {
+  setenv("ARBD_REPLICAS", "3", 1);
+  ExpectTourismParity();
+  unsetenv("ARBD_REPLICAS");
+}
+
+void ExpectOverloadParity() {
+  for (const std::size_t workers : {1u, 4u}) {
+    for (const std::uint64_t seed : kSeeds) {
+      const auto [off, on] =
+          OffOn([&] { return scenarios::OverloadDigest(seed, Cfg(workers)); });
+      EXPECT_EQ(off, on) << "workers=" << workers << " seed=" << seed;
+    }
+  }
+}
+
+TEST(BatchDeterminism, OverloadDigestFactorOne) {
+  setenv("ARBD_REPLICAS", "1", 1);
+  ExpectOverloadParity();
+  unsetenv("ARBD_REPLICAS");
+}
+
+TEST(BatchDeterminism, OverloadDigestFactorThree) {
+  setenv("ARBD_REPLICAS", "3", 1);
+  ExpectOverloadParity();
+  unsetenv("ARBD_REPLICAS");
+}
+
+// Failover soak under injected crashes and torn writes: the batch flag
+// must not move the committed digest, the exactly-once audit, or the
+// final window table. Factor comes from the config, not the env.
+TEST(BatchDeterminism, FailoverSoakBitIdenticalAcrossModes) {
+  for (const std::uint32_t factor : {1u, 3u}) {
+    for (const std::uint64_t fault_seed : {3ull, 5ull}) {
+      scenarios::FailoverConfig cfg;
+      cfg.records = 400;
+      cfg.replication_factor = factor;
+      cfg.seed = 21;
+      cfg.fault_seed = fault_seed;
+      if (factor > 1) {
+        cfg.fault_spec = "nodecrash@p=0.01,x=10;torn@p=0.01";
+        cfg.kill_p = 0.04;
+      }
+      stream::SetBatchingEnabled(false);
+      auto off = scenarios::RunFailoverSoak(cfg);
+      stream::SetBatchingEnabled(true);
+      auto on = scenarios::RunFailoverSoak(cfg);
+      stream::SetBatchingEnabled(false);
+      ASSERT_TRUE(off.ok()) << off.status().ToString();
+      ASSERT_TRUE(on.ok()) << on.status().ToString();
+      ASSERT_FALSE(off->wedged);
+      ASSERT_FALSE(on->wedged);
+      EXPECT_EQ(off->committed_digest, on->committed_digest)
+          << "factor=" << factor << " fs=" << fault_seed;
+      EXPECT_EQ(off->results, on->results) << "factor=" << factor << " fs=" << fault_seed;
+      EXPECT_EQ(off->acked, on->acked);
+      EXPECT_EQ(off->committed_loss, 0u);
+      EXPECT_EQ(on->committed_loss, 0u);
+      EXPECT_EQ(off->log_duplicates, 0u);
+      EXPECT_EQ(on->log_duplicates, 0u);
+      EXPECT_EQ(off->output_duplicates, 0u);
+      EXPECT_EQ(on->output_duplicates, 0u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace arbd
