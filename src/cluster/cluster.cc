@@ -1,0 +1,410 @@
+#include "cluster/cluster.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/log.h"
+
+namespace arbd::cluster {
+
+std::uint32_t ClusterSizeFromEnv() {
+  const char* env = std::getenv("ARBD_CLUSTER");
+  if (env == nullptr || *env == '\0') return 1;
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(env, &end, 10);
+  if (end == env || *end != '\0' || v == 0) return 1;
+  return static_cast<std::uint32_t>(std::min<unsigned long>(v, 16));
+}
+
+BrokerCluster::BrokerCluster(stream::Broker& broker, ClusterConfig cfg)
+    : broker_(broker),
+      cfg_(cfg),
+      ring_(std::max<std::uint32_t>(cfg.brokers, 1), cfg.virtual_nodes, cfg.seed),
+      controller_(std::max<std::uint32_t>(cfg.brokers, 1), cfg.metadata_factor,
+                  cfg.seed ^ 0xc0417011ULL),
+      rng_(cfg.seed ^ 0x6b111b6bULL) {
+  cfg_.brokers = std::max<std::uint32_t>(cfg_.brokers, 1);
+  if (cfg_.default_restore_ticks == 0) cfg_.default_restore_ticks = 1;
+  nodes_.resize(cfg_.brokers);
+  // Seed the metadata log with the initial membership so a replay starts
+  // from the same universe the live state did.
+  for (BrokerId b = 0; b < cfg_.brokers; ++b) {
+    controller_.Append({.kind = MetaEventKind::kBrokerUp, .broker = b, .epoch = 1});
+  }
+  broker_.set_cluster_gate(this);
+}
+
+BrokerCluster::~BrokerCluster() {
+  if (broker_.cluster_gate() == this) broker_.set_cluster_gate(nullptr);
+}
+
+Status BrokerCluster::CreateTopic(const std::string& name, stream::TopicConfig cfg) {
+  std::unique_lock<std::shared_mutex> lk(mu_);
+  if (placements_.contains(name)) return Status::AlreadyExists("topic '" + name + "'");
+  if (cfg.partitions == 0) cfg.partitions = 1;
+  // Resolve the factor the way Topic would (env default, [1,8] clamp), so
+  // the placement clamp below sees the real request.
+  std::uint32_t factor = cfg.replication_factor == 0 ? stream::ReplicationFactorFromEnv()
+                                                     : cfg.replication_factor;
+  factor = std::clamp<std::uint32_t>(factor, 1, 8);
+  TopicPlacement placement = PlaceTopic(ring_, name, cfg.partitions, factor);
+  cfg.replication_factor = placement.factor;
+  Status created = broker_.CreateTopic(name, cfg);
+  if (!created.ok()) return created;
+  MetaEvent placed{.kind = MetaEventKind::kTopicPlaced, .topic = name};
+  placed.placement = placement.Encode();
+  placements_[name] = std::move(placement);
+  return controller_.Append(placed);
+}
+
+Status BrokerCluster::AdmitLocked(const std::string& topic,
+                                  stream::PartitionId partition) const {
+  auto it = placements_.find(topic);
+  if (it == placements_.end()) return Status::Ok();  // not cluster-managed
+  const TopicPlacement& pl = it->second;
+  if (partition >= pl.partition_count()) return Status::Ok();  // broker validates
+  auto t = broker_.GetTopic(topic);
+  if (!t.ok()) return Status::Ok();
+  const stream::NodeId slot = (*t)->replication(partition).leader();
+  if (slot == stream::kNoLeader) {
+    return Status::Unavailable("topic '" + topic + "' partition " +
+                               std::to_string(partition) + " is leaderless");
+  }
+  const BrokerId b = pl.broker_of(partition, slot);
+  const Node& node = nodes_[b];
+  if (!node.up || node.split) {
+    return Status::Unavailable("leader broker " + std::to_string(b) + " of topic '" +
+                               topic + "' partition " + std::to_string(partition) +
+                               (node.up ? "' is partitioned away" : "' is down"));
+  }
+  return Status::Ok();
+}
+
+Status BrokerCluster::AdmitProduce(const std::string& topic,
+                                   stream::PartitionId partition) {
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  Status s = AdmitLocked(topic, partition);
+  if (!s.ok()) produce_denied_.fetch_add(1, std::memory_order_relaxed);
+  return s;
+}
+
+Status BrokerCluster::AdmitFetch(const std::string& topic,
+                                 stream::PartitionId partition) {
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  Status s = AdmitLocked(topic, partition);
+  if (!s.ok()) fetch_denied_.fetch_add(1, std::memory_order_relaxed);
+  return s;
+}
+
+void BrokerCluster::CrashSlotsLocked(BrokerId broker) {
+  for (const auto& [topic, pl] : placements_) {
+    auto t = broker_.GetTopic(topic);
+    if (!t.ok()) continue;
+    for (stream::PartitionId p = 0; p < pl.partition_count(); ++p) {
+      for (std::uint32_t s = 0; s < pl.factor; ++s) {
+        if (pl.broker_of(p, s) == broker) {
+          (*t)->replication(p).CrashNode(s, /*restore_after_ops=*/0);
+        }
+      }
+    }
+  }
+}
+
+void BrokerCluster::RestoreSlotsLocked(BrokerId broker) {
+  for (const auto& [topic, pl] : placements_) {
+    auto t = broker_.GetTopic(topic);
+    if (!t.ok()) continue;
+    for (stream::PartitionId p = 0; p < pl.partition_count(); ++p) {
+      for (std::uint32_t s = 0; s < pl.factor; ++s) {
+        if (pl.broker_of(p, s) == broker) {
+          (*t)->replication(p).RestoreNode(s);
+        }
+      }
+    }
+  }
+}
+
+void BrokerCluster::RefreshRoutesLocked() {
+  for (const auto& [topic, pl] : placements_) {
+    auto t = broker_.GetTopic(topic);
+    if (!t.ok()) continue;
+    for (stream::PartitionId p = 0; p < pl.partition_count(); ++p) {
+      const stream::NodeId slot = (*t)->replication(p).leader();
+      if (slot == stream::kNoLeader) continue;  // keep the last known route
+      const BrokerId now_leading = pl.broker_of(p, slot);
+      auto route = controller_.Route(topic, p);
+      if (route.ok() && *route == now_leading) continue;
+      MetaEvent moved{.kind = MetaEventKind::kLeaderMoved, .topic = topic};
+      moved.partition = p;
+      moved.leader = now_leading;
+      controller_.Append(moved);
+      ++stats_.leader_moves;
+    }
+  }
+}
+
+Status BrokerCluster::KillBrokerLocked(BrokerId broker, std::uint64_t restore_ticks) {
+  if (broker >= cfg_.brokers) {
+    return Status::OutOfRange("broker " + std::to_string(broker) + " of " +
+                              std::to_string(cfg_.brokers));
+  }
+  Node& node = nodes_[broker];
+  if (!node.up) return Status::Ok();  // already down
+  node.up = false;
+  ++node.epoch;
+  node.restore_at = now_tick() + (restore_ticks == 0 ? cfg_.default_restore_ticks
+                                                     : restore_ticks);
+  ++stats_.kills;
+  CrashSlotsLocked(broker);
+  controller_.Append(
+      {.kind = MetaEventKind::kBrokerDown, .broker = broker, .epoch = node.epoch});
+  RefreshRoutesLocked();
+  return Status::Ok();
+}
+
+Status BrokerCluster::RestoreBrokerLocked(BrokerId broker) {
+  if (broker >= cfg_.brokers) {
+    return Status::OutOfRange("broker " + std::to_string(broker) + " of " +
+                              std::to_string(cfg_.brokers));
+  }
+  Node& node = nodes_[broker];
+  if (node.up) return Status::Ok();
+  node.up = true;
+  ++node.epoch;
+  node.restore_at = 0;
+  ++stats_.restores;
+  // A broker that is both down and on the minority side stays fenced
+  // until the split heals.
+  if (!node.split) RestoreSlotsLocked(broker);
+  controller_.Append(
+      {.kind = MetaEventKind::kBrokerUp, .broker = broker, .epoch = node.epoch});
+  RefreshRoutesLocked();
+  return Status::Ok();
+}
+
+Status BrokerCluster::NetSplitLocked(std::uint64_t heal_ticks) {
+  if (cfg_.brokers < 2) return Status::Ok();          // nothing to partition
+  if (split_heal_at_ != 0) return Status::Ok();       // one split at a time
+  std::vector<BrokerId> candidates;
+  for (BrokerId b = 0; b < cfg_.brokers; ++b) {
+    if (nodes_[b].up && !nodes_[b].split) candidates.push_back(b);
+  }
+  const std::size_t minority = std::max<std::size_t>(1, (cfg_.brokers - 1) / 2);
+  if (candidates.size() <= minority) return Status::Ok();  // no majority left
+  for (std::size_t i = 0; i < minority; ++i) {
+    const std::size_t pick = static_cast<std::size_t>(rng_.NextBelow(candidates.size()));
+    const BrokerId victim = candidates[pick];
+    candidates.erase(candidates.begin() + static_cast<std::ptrdiff_t>(pick));
+    nodes_[victim].split = true;
+    CrashSlotsLocked(victim);
+    controller_.Append({.kind = MetaEventKind::kNetSplit,
+                        .broker = victim,
+                        .epoch = nodes_[victim].epoch});
+  }
+  split_heal_at_ =
+      now_tick() + (heal_ticks == 0 ? cfg_.default_restore_ticks : heal_ticks);
+  ++stats_.netsplits;
+  RefreshRoutesLocked();
+  return Status::Ok();
+}
+
+Status BrokerCluster::HealLocked() {
+  if (split_heal_at_ == 0) return Status::Ok();
+  for (BrokerId b = 0; b < cfg_.brokers; ++b) {
+    Node& node = nodes_[b];
+    if (!node.split) continue;
+    node.split = false;
+    // Rejoining the majority: the isolated replicas restore and catch up
+    // (divergent suffixes truncate at the epoch boundary); a broker that
+    // also died during the split stays down until its own restore.
+    if (node.up) RestoreSlotsLocked(b);
+    controller_.Append(
+        {.kind = MetaEventKind::kNetHeal, .broker = b, .epoch = node.epoch});
+  }
+  split_heal_at_ = 0;
+  ++stats_.heals;
+  RefreshRoutesLocked();
+  return Status::Ok();
+}
+
+Status BrokerCluster::KillBroker(BrokerId broker, std::uint64_t restore_ticks) {
+  std::unique_lock<std::shared_mutex> lk(mu_);
+  return KillBrokerLocked(broker, restore_ticks);
+}
+
+Status BrokerCluster::RestoreBroker(BrokerId broker) {
+  std::unique_lock<std::shared_mutex> lk(mu_);
+  return RestoreBrokerLocked(broker);
+}
+
+Status BrokerCluster::NetSplit(std::uint64_t heal_ticks) {
+  std::unique_lock<std::shared_mutex> lk(mu_);
+  return NetSplitLocked(heal_ticks);
+}
+
+Status BrokerCluster::Heal() {
+  std::unique_lock<std::shared_mutex> lk(mu_);
+  return HealLocked();
+}
+
+void BrokerCluster::Tick() {
+  std::unique_lock<std::shared_mutex> lk(mu_);
+  const std::uint64_t now = tick_.fetch_add(1, std::memory_order_relaxed) + 1;
+  for (BrokerId b = 0; b < cfg_.brokers; ++b) {
+    if (!nodes_[b].up && nodes_[b].restore_at != 0 && now >= nodes_[b].restore_at) {
+      RestoreBrokerLocked(b);
+    }
+  }
+  if (split_heal_at_ != 0 && now >= split_heal_at_) HealLocked();
+  if (fault_ == nullptr) return;
+  if (fault_->Fire(fault::FaultKind::kKillBroker, fault::InjectionPoint::kClusterBroker)) {
+    std::vector<BrokerId> up;
+    for (BrokerId b = 0; b < cfg_.brokers; ++b) {
+      if (nodes_[b].up && !nodes_[b].split) up.push_back(b);
+    }
+    if (!up.empty()) {
+      const BrokerId victim = up[rng_.NextBelow(up.size())];
+      std::uint64_t window = 0;
+      const fault::FaultRule* rule = fault_->plan().Find(fault::FaultKind::kKillBroker);
+      if (rule != nullptr && rule->magnitude > 0.0) {
+        window = static_cast<std::uint64_t>(rule->magnitude);
+      }
+      KillBrokerLocked(victim, window);
+    }
+  }
+  if (fault_->Fire(fault::FaultKind::kNetSplit, fault::InjectionPoint::kClusterLink)) {
+    std::uint64_t window = 0;
+    const fault::FaultRule* rule = fault_->plan().Find(fault::FaultKind::kNetSplit);
+    if (rule != nullptr && rule->magnitude > 0.0) {
+      window = static_cast<std::uint64_t>(rule->magnitude);
+    }
+    NetSplitLocked(window);
+  }
+}
+
+bool BrokerCluster::BrokerUp(BrokerId broker) const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  return broker < cfg_.brokers && nodes_[broker].up;
+}
+
+std::vector<BrokerId> BrokerCluster::DownBrokers() const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  std::vector<BrokerId> out;
+  for (BrokerId b = 0; b < cfg_.brokers; ++b) {
+    if (!nodes_[b].up) out.push_back(b);
+  }
+  return out;
+}
+
+std::vector<BrokerId> BrokerCluster::MinoritySide() const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  std::vector<BrokerId> out;
+  for (BrokerId b = 0; b < cfg_.brokers; ++b) {
+    if (nodes_[b].split) out.push_back(b);
+  }
+  return out;
+}
+
+Expected<BrokerId> BrokerCluster::LeaderBroker(const std::string& topic,
+                                               stream::PartitionId p) const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  auto it = placements_.find(topic);
+  if (it == placements_.end()) return Status::NotFound("topic '" + topic + "' not placed");
+  if (p >= it->second.partition_count()) {
+    return Status::OutOfRange("partition " + std::to_string(p) + " of topic '" + topic + "'");
+  }
+  auto t = broker_.GetTopic(topic);
+  if (!t.ok()) return t.status();
+  const stream::NodeId slot = (*t)->replication(p).leader();
+  if (slot == stream::kNoLeader) {
+    return Status::Unavailable("topic '" + topic + "' partition " + std::to_string(p) +
+                               " is leaderless");
+  }
+  return it->second.broker_of(p, slot);
+}
+
+Expected<const TopicPlacement*> BrokerCluster::Placement(const std::string& topic) const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  auto it = placements_.find(topic);
+  if (it == placements_.end()) return Status::NotFound("topic '" + topic + "' not placed");
+  return &it->second;
+}
+
+ClusterStats BrokerCluster::stats() const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  ClusterStats out = stats_;
+  out.produce_denied = produce_denied_.load(std::memory_order_relaxed);
+  out.fetch_denied = fetch_denied_.load(std::memory_order_relaxed);
+  return out;
+}
+
+Duration BrokerCluster::ModeledProduceMakespan(const std::string& topic,
+                                               std::size_t records,
+                                               Duration cost_per_record) const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  auto it = placements_.find(topic);
+  if (it == placements_.end()) return Duration::Zero();
+  auto t = broker_.GetTopic(topic);
+  if (!t.ok()) return Duration::Zero();
+  const TopicPlacement& pl = it->second;
+  const std::uint32_t parts = pl.partition_count();
+  std::vector<std::size_t> busy(cfg_.brokers, 0);
+  for (stream::PartitionId p = 0; p < parts; ++p) {
+    const std::size_t count = records / parts + (p < records % parts ? 1 : 0);
+    const stream::NodeId slot = (*t)->replication(p).leader();
+    if (slot == stream::kNoLeader) continue;
+    busy[pl.broker_of(p, slot)] += count;
+  }
+  const std::size_t worst = *std::max_element(busy.begin(), busy.end());
+  return cost_per_record * static_cast<double>(worst);
+}
+
+ClusterProducer::ClusterProducer(BrokerCluster& cluster, stream::Broker& broker,
+                                 std::string topic, fault::RetryPolicy retry,
+                                 std::uint64_t jitter_seed)
+    : cluster_(cluster),
+      broker_(broker),
+      topic_(std::move(topic)),
+      retry_(retry),
+      rng_(jitter_seed),
+      pid_(broker.AllocateProducerId()) {}
+
+Expected<std::pair<stream::PartitionId, stream::Offset>> ClusterProducer::Send(
+    stream::Record record) {
+  auto t = broker_.GetTopic(topic_);
+  if (!t.ok()) return t.status();
+  const stream::PartitionId p = (*t)->PartitionFor(record.key);
+  const std::uint64_t seq = ++next_seq_[p];
+
+  auto leader = cluster_.LeaderBroker(topic_, p);
+  bool have_leader = leader.ok();
+  BrokerId last_leader = have_leader ? *leader : 0;
+
+  const std::size_t attempts = std::max<std::size_t>(retry_.max_attempts, 1);
+  Status last = Status::Ok();
+  for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+    auto off = broker_.ProduceIdempotent(topic_, p, pid_, seq, record);
+    if (off.ok()) {
+      ++sent_;
+      return std::make_pair(p, *off);
+    }
+    last = off.status();
+    if (last.code() != StatusCode::kUnavailable) break;
+    if (attempt + 1 == attempts) break;
+    ++retries_;
+    total_backoff_ = total_backoff_ + retry_.BackoffFor(attempt, rng_);
+    // Backoff is modeled time passing: kill windows count down, splits
+    // heal, elections settle. Tick the cluster so the retry sees it.
+    cluster_.Tick();
+    auto now_leading = cluster_.LeaderBroker(topic_, p);
+    if (now_leading.ok()) {
+      if (have_leader && *now_leading != last_leader) ++rerouted_;
+      have_leader = true;
+      last_leader = *now_leading;
+    }
+  }
+  ++exhausted_;
+  return last;
+}
+
+}  // namespace arbd::cluster

@@ -1,0 +1,212 @@
+// The modeled multi-broker cluster (ISSUE 7 tentpole). One physical
+// stream::Broker remains the storage substrate; this layer models N
+// broker *nodes* above it by mapping every partition's replica slots onto
+// distinct brokers via consistent-hash placement (placement.h) and
+// gating produce/fetch on the reachability of the partition's current
+// leader broker (stream::ClusterGate).
+//
+// Killing a broker crashes every replica slot it hosts, which drains its
+// leaderships through the existing epoch/fencing election machinery in
+// ReplicatedPartition — no new failover code paths, the cluster only
+// decides *which* nodes die together. Every liveness/placement/leadership
+// transition is appended to the metadata controller's replicated log
+// before taking effect, so the routing table is reconstructible from the
+// log alone.
+//
+// Determinism: cluster time advances only through Tick() (driver-side, or
+// from ClusterProducer's backoff loop), and the injected `killbroker` /
+// `netsplit` faults as well as victim choice are driven by seeded
+// streams. Between ticks the gate's answers are stable, so parallel
+// produce fan-outs see a frozen routing table — the digest-equality
+// argument across worker counts.
+//
+// ARBD_CLUSTER (1..16) sizes the cluster the platform builds; 1 (the
+// default) builds no cluster at all — a structural passthrough,
+// byte-identical to the pre-cluster platform.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "cluster/controller.h"
+#include "cluster/placement.h"
+#include "fault/injector.h"
+#include "fault/retry.h"
+#include "stream/log.h"
+
+namespace arbd::cluster {
+
+// ARBD_CLUSTER (1..16): modeled broker count for clusters built from the
+// environment (core::Platform). Unset or invalid -> 1 (no cluster).
+std::uint32_t ClusterSizeFromEnv();
+
+struct ClusterConfig {
+  std::uint32_t brokers = 1;
+  std::uint32_t virtual_nodes = 64;  // ring points per broker
+  std::uint64_t seed = 0xc1057e7ULL; // ring, elections, victim picks
+  // Ticks a killed broker stays down when the kill site does not specify
+  // a window, and the default netsplit heal window.
+  std::uint64_t default_restore_ticks = 8;
+  // Replicas of the controller's metadata log (clamped to the broker
+  // count; modeled as a separate controller quorum, so data-broker kills
+  // never starve it).
+  std::uint32_t metadata_factor = 3;
+};
+
+struct ClusterStats {
+  std::uint64_t kills = 0;
+  std::uint64_t restores = 0;
+  std::uint64_t netsplits = 0;     // split events (whole-cluster, not per broker)
+  std::uint64_t heals = 0;
+  std::uint64_t leader_moves = 0;  // routing-table updates after elections
+  std::uint64_t produce_denied = 0;
+  std::uint64_t fetch_denied = 0;
+};
+
+class BrokerCluster : public stream::ClusterGate {
+ public:
+  // Installs itself as `broker`'s cluster gate; detaches in the dtor.
+  BrokerCluster(stream::Broker& broker, ClusterConfig cfg);
+  ~BrokerCluster() override;
+
+  BrokerCluster(const BrokerCluster&) = delete;
+  BrokerCluster& operator=(const BrokerCluster&) = delete;
+
+  // Create a topic with cluster placement: the replication factor
+  // (explicit, or ARBD_REPLICAS when 0) is clamped to the live broker
+  // count with a logged warning, every partition's replica slots land on
+  // distinct brokers, and the placement is committed to the metadata log.
+  Status CreateTopic(const std::string& name, stream::TopicConfig cfg);
+
+  // Kill a modeled broker: every replica slot it hosts crashes, its
+  // leaderships drain to surviving brokers (deterministic elections), and
+  // the routing table + metadata log record the transitions.
+  // `restore_ticks` 0 uses the config default; the broker restarts that
+  // many Tick()s later (its slots rejoin and catch up, leadership stays
+  // where it drained to).
+  Status KillBroker(BrokerId broker, std::uint64_t restore_ticks = 0);
+  Status RestoreBroker(BrokerId broker);
+
+  // Seeded link partition: a minority subset of live brokers is isolated
+  // (their slots fence — any stale leader among them is deposed by
+  // election) while the majority keeps committing. Heals `heal_ticks`
+  // ticks later (config default when 0).
+  Status NetSplit(std::uint64_t heal_ticks = 0);
+  Status Heal();
+
+  // Advance cluster time one step: due restores/heals run first, then the
+  // fault injector (if set) gets one `killbroker` draw at cluster.broker
+  // and one `netsplit` draw at cluster.link.
+  void Tick();
+
+  void set_fault_injector(fault::FaultInjector* injector) { fault_ = injector; }
+
+  bool BrokerUp(BrokerId broker) const;
+  std::vector<BrokerId> DownBrokers() const;
+  std::vector<BrokerId> MinoritySide() const;
+  std::uint32_t brokers() const { return cfg_.brokers; }
+  std::uint64_t now_tick() const { return tick_.load(std::memory_order_relaxed); }
+
+  // Current leader broker of a partition (follows elections, unlike the
+  // static placement). Unavailable while the partition is leaderless.
+  Expected<BrokerId> LeaderBroker(const std::string& topic, stream::PartitionId p) const;
+  Expected<const TopicPlacement*> Placement(const std::string& topic) const;
+
+  MetadataController& controller() { return controller_; }
+  const MetadataController& controller() const { return controller_; }
+  ClusterStats stats() const;
+
+  // Modeled makespan of producing `records` spread uniformly over the
+  // topic's partitions, each record costing `cost_per_record` on its
+  // partition's current leader broker: max over brokers of their summed
+  // service time. The E24 scaling gate divides the 1-broker makespan by
+  // this to get modeled speedup.
+  Duration ModeledProduceMakespan(const std::string& topic, std::size_t records,
+                                  Duration cost_per_record) const;
+
+  // stream::ClusterGate — consulted by the broker before fault draws.
+  Status AdmitProduce(const std::string& topic, stream::PartitionId partition) override;
+  Status AdmitFetch(const std::string& topic, stream::PartitionId partition) override;
+
+ private:
+  struct Node {
+    bool up = true;
+    bool split = false;            // isolated minority side
+    std::uint64_t restore_at = 0;  // tick to auto-restart at (0 = manual)
+    std::uint64_t epoch = 1;       // liveness epoch
+  };
+
+  // All *Locked members require mu_ held exclusively.
+  Status KillBrokerLocked(BrokerId broker, std::uint64_t restore_ticks);
+  Status RestoreBrokerLocked(BrokerId broker);
+  Status NetSplitLocked(std::uint64_t heal_ticks);
+  Status HealLocked();
+  // Crash/restore every replica slot `broker` hosts.
+  void CrashSlotsLocked(BrokerId broker);
+  void RestoreSlotsLocked(BrokerId broker);
+  // Re-read every partition's leader slot and record moves in the routing
+  // table + metadata log.
+  void RefreshRoutesLocked();
+  Status AdmitLocked(const std::string& topic, stream::PartitionId partition) const;
+
+  stream::Broker& broker_;
+  ClusterConfig cfg_;
+  HashRing ring_;
+  MetadataController controller_;
+  Rng rng_;  // victim / minority-side picks (consumed only on injected faults)
+  fault::FaultInjector* fault_ = nullptr;
+
+  mutable std::shared_mutex mu_;
+  std::vector<Node> nodes_;
+  std::map<std::string, TopicPlacement> placements_;
+  std::uint64_t split_heal_at_ = 0;  // 0 = no active split
+  std::atomic<std::uint64_t> tick_{0};
+
+  ClusterStats stats_;  // guarded by mu_ (denials via the atomics below)
+  mutable std::atomic<std::uint64_t> produce_denied_{0};
+  mutable std::atomic<std::uint64_t> fetch_denied_{0};
+};
+
+// Cluster-routed idempotent producer: stable (pid, seq) dedup plus
+// RetryPolicy-backed rerouting. A send that hits an unreachable or
+// leaderless partition backs off (modeled time), ticks the cluster — the
+// passage of time during which kill windows expire and elections settle —
+// and retries; `rerouted` counts sends whose leader broker moved between
+// attempts, i.e. retries that actually followed the routing table to a
+// different broker.
+class ClusterProducer {
+ public:
+  ClusterProducer(BrokerCluster& cluster, stream::Broker& broker, std::string topic,
+                  fault::RetryPolicy retry = {}, std::uint64_t jitter_seed = 0xc10dULL);
+
+  Expected<std::pair<stream::PartitionId, stream::Offset>> Send(stream::Record record);
+
+  std::uint64_t sent() const { return sent_; }
+  std::uint64_t retries() const { return retries_; }
+  std::uint64_t rerouted() const { return rerouted_; }
+  std::uint64_t exhausted() const { return exhausted_; }
+  Duration total_backoff() const { return total_backoff_; }
+
+ private:
+  BrokerCluster& cluster_;
+  stream::Broker& broker_;
+  std::string topic_;
+  fault::RetryPolicy retry_;
+  Rng rng_;
+  stream::ProducerId pid_;
+  std::map<stream::PartitionId, std::uint64_t> next_seq_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t rerouted_ = 0;
+  std::uint64_t exhausted_ = 0;
+  Duration total_backoff_ = Duration::Zero();
+};
+
+}  // namespace arbd::cluster

@@ -1,0 +1,75 @@
+// Consistent-hash placement of topic partitions onto modeled broker
+// nodes. Each broker contributes `virtual_nodes` seeded points on a hash
+// ring; a partition's replica set is the first `factor` *distinct*
+// brokers clockwise from the partition's own ring position, so adding or
+// removing one broker moves only the partitions adjacent to its points —
+// the classic consistent-hashing stability argument.
+//
+// On top of the ring, PlaceTopic balances *leaders*: slot 0 of each
+// replica set (the initial leader, since ReplicatedPartition starts with
+// node 0 leading) is chosen as the set member whose broker currently
+// leads the fewest partitions. Raw ring order decides followers and
+// breaks ties, so placement stays a pure function of
+// (seed, topic, partitions, factor, brokers) — the property every
+// digest-across-broker-counts gate in E24 leans on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "stream/record.h"
+
+namespace arbd::cluster {
+
+using BrokerId = std::uint32_t;
+
+class HashRing {
+ public:
+  HashRing(std::uint32_t brokers, std::uint32_t virtual_nodes, std::uint64_t seed);
+
+  // The first n distinct brokers clockwise from item_hash's ring position.
+  // n is clamped to the broker count.
+  std::vector<BrokerId> ReplicaSet(std::uint64_t item_hash, std::uint32_t n) const;
+
+  std::uint32_t brokers() const { return brokers_; }
+
+ private:
+  std::uint32_t brokers_;
+  // (point, broker), sorted by point.
+  std::vector<std::pair<std::uint64_t, BrokerId>> ring_;
+};
+
+// Where every partition of one topic lives.
+struct TopicPlacement {
+  std::uint32_t factor = 1;
+  // The requested factor exceeded the live broker count and was shrunk
+  // (logged at placement time; silent under-replication is a lie about
+  // durability).
+  bool clamped = false;
+  // replicas[p][s] = broker hosting replica slot s of partition p. Slot 0
+  // is the initial leader; all slots of one partition are distinct
+  // brokers.
+  std::vector<std::vector<BrokerId>> replicas;
+
+  BrokerId broker_of(stream::PartitionId p, std::uint32_t slot) const {
+    return replicas[p][slot];
+  }
+  std::uint32_t partition_count() const {
+    return static_cast<std::uint32_t>(replicas.size());
+  }
+
+  // Compact wire form for the controller's metadata log, e.g.
+  // "1,0,2|0,1,2" (partitions '|'-separated, slots ','-separated).
+  std::string Encode() const;
+  static Expected<TopicPlacement> Decode(const std::string& text);
+};
+
+// Place `partitions` partitions with `requested_factor` replicas each.
+// The factor is clamped to the ring's broker count with a logged warning
+// (TopicPlacement::clamped reports it); requested_factor must be >= 1.
+TopicPlacement PlaceTopic(const HashRing& ring, const std::string& topic,
+                          std::uint32_t partitions, std::uint32_t requested_factor);
+
+}  // namespace arbd::cluster

@@ -24,16 +24,29 @@ Platform::Platform(PlatformConfig cfg, const geo::CityModel& city, SimClock& clo
       layout_(cfg.layout),
       tracer_(cfg.tracer != nullptr ? cfg.tracer : &trace::Tracer::Global()) {
   broker_.set_tracer(tracer_);
+  // Cluster first, so topic creation can route through placement. Size 1
+  // (the default) builds nothing — structurally the pre-cluster platform.
+  const std::uint32_t brokers =
+      cfg_.cluster_brokers == 0 ? cluster::ClusterSizeFromEnv()
+                                : std::clamp<std::uint32_t>(cfg_.cluster_brokers, 1, 16);
+  if (brokers > 1) {
+    cluster::ClusterConfig cc;
+    cc.brokers = brokers;
+    cluster_ = std::make_unique<cluster::BrokerCluster>(broker_, cc);
+  }
   stream::TopicConfig tc;
   tc.partitions = cfg_.partitions;
   tc.replication_factor = cfg_.replication_factor;  // 0 defers to ARBD_REPLICAS
   if (cfg_.qos.enabled) tc.max_records = cfg_.qos.topic_budget_records;
-  const Status s = broker_.CreateTopic(cfg_.event_topic, tc);
+  const Status s = cluster_ != nullptr ? cluster_->CreateTopic(cfg_.event_topic, tc)
+                                       : broker_.CreateTopic(cfg_.event_topic, tc);
   ARBD_CHECK(s.ok(), "event topic creation must succeed");
   pid_ = broker_.AllocateProducerId();
   auto created = broker_.GetTopic(cfg_.event_topic);
   ARBD_CHECK(created.ok(), "event topic must exist after creation");
-  publish_retries_ = (*created)->replication(0).factor() > 1;
+  // Retries exist wherever a retry can succeed: replicas absorb leader
+  // crashes, and a cluster restores killed brokers as retries tick time.
+  publish_retries_ = (*created)->replication(0).factor() > 1 || cluster_ != nullptr;
   if (cfg_.qos.enabled) {
     broker_.set_metrics(&metrics_);
     admission_ =
@@ -105,12 +118,18 @@ Status Platform::PublishTraced(const stream::Event& event, qos::PriorityClass pr
   if (!topic.ok()) return topic.status();
   const stream::PartitionId p = (*topic)->PartitionFor(record.key);
   const std::uint64_t seq = ++pub_seq_[p];
-  const std::size_t attempts = publish_retries_ ? 4 : 1;
+  // A cluster gets a deeper budget: a kill window is several ticks long,
+  // and each retry ticks cluster time, so the budget must outlast the
+  // default restore window for a publish to ride out a dead leader broker.
+  const std::size_t attempts = cluster_ != nullptr ? 12 : (publish_retries_ ? 4 : 1);
   Status last = Status::Ok();
   for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
     auto produced = broker_.ProduceIdempotent(cfg_.event_topic, p, pid_, seq, record);
     last = produced.status();
     if (last.code() != StatusCode::kUnavailable) break;
+    // Retry backoff is modeled time: kill/heal windows count down and
+    // elections settle, so the next attempt sees the rerouted table.
+    if (cluster_ != nullptr && attempt + 1 < attempts) cluster_->Tick();
   }
   return last;
 }

@@ -25,6 +25,7 @@
 
 #include "ar/layout.h"
 #include "ar/occlusion.h"
+#include "cluster/cluster.h"
 #include "common/metrics.h"
 #include "core/context.h"
 #include "core/interpretation.h"
@@ -61,6 +62,13 @@ struct PlatformConfig {
   // idempotent producer path and survive injected leader crashes without
   // loss or duplication (retries dedup broker-side).
   std::uint32_t replication_factor = 0;
+  // Modeled broker nodes fronting the event topic; 0 defers to
+  // ARBD_CLUSTER (default 1). At 1 no cluster is built at all — the
+  // platform is structurally identical to the pre-cluster build. At >1 a
+  // BrokerCluster places the topic's replica slots across brokers, gates
+  // produce/fetch on leader reachability, and Publish retries through
+  // rerouting when a leader broker is down.
+  std::uint32_t cluster_brokers = 0;
   Duration max_out_of_orderness = Duration::Millis(200);
   ar::LayoutConfig layout;
   ContextConfig context;
@@ -166,6 +174,10 @@ class Platform {
   exec::Executor& executor() { return *exec_; }
   trace::Tracer& tracer() { return *tracer_; }
 
+  // The modeled broker cluster, or null when cluster_brokers resolved to 1
+  // (the structural passthrough).
+  cluster::BrokerCluster* cluster() { return cluster_.get(); }
+
   // Aggregation-job introspection (digest harnesses checkpoint-hash every
   // pipeline to prove cross-worker-count determinism).
   std::size_t job_count() const { return jobs_.size(); }
@@ -186,6 +198,10 @@ class Platform {
   SimClock& clock_;
   std::unique_ptr<exec::Executor> exec_;
   stream::Broker broker_;
+  // Constructed before the event topic so topic creation routes through
+  // cluster placement; destroyed after broker use ends (declaration order
+  // keeps it alive for the broker's lifetime and detaches its gate first).
+  std::unique_ptr<cluster::BrokerCluster> cluster_;
   std::unique_ptr<stream::ConsumerGroup> group_;
   stream::Consumer* consumer_ = nullptr;
   std::vector<Job> jobs_;

@@ -16,6 +16,8 @@ const char* InjectionPointName(InjectionPoint point) {
     case InjectionPoint::kTaskExecute: return "task.execute";
     case InjectionPoint::kServiceTick: return "service.tick";
     case InjectionPoint::kReplicaAppend: return "replica.append";
+    case InjectionPoint::kClusterBroker: return "cluster.broker";
+    case InjectionPoint::kClusterLink: return "cluster.link";
   }
   return "unknown";
 }

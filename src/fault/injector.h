@@ -31,6 +31,8 @@ enum class InjectionPoint {
   kTaskExecute,
   kServiceTick,   // the overload harness's per-tick service loop
   kReplicaAppend, // the replicated-partition leader append path
+  kClusterBroker, // the cluster tick that can kill a modeled broker node
+  kClusterLink,   // the cluster tick that can partition the broker network
 };
 
 const char* InjectionPointName(InjectionPoint point);

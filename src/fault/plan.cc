@@ -7,7 +7,7 @@
 namespace arbd::fault {
 namespace {
 
-constexpr std::array<std::pair<FaultKind, const char*>, 12> kKindNames = {{
+constexpr std::array<std::pair<FaultKind, const char*>, 14> kKindNames = {{
     {FaultKind::kCrash, "crash"},
     {FaultKind::kTornAppend, "torn"},
     {FaultKind::kAppendError, "apperr"},
@@ -20,6 +20,8 @@ constexpr std::array<std::pair<FaultKind, const char*>, 12> kKindNames = {{
     {FaultKind::kStall, "stall"},
     {FaultKind::kTaskFail, "taskfail"},
     {FaultKind::kNodeCrash, "nodecrash"},
+    {FaultKind::kKillBroker, "killbroker"},
+    {FaultKind::kNetSplit, "netsplit"},
 }};
 
 bool ParseDouble(const std::string& text, double* out) {

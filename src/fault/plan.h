@@ -32,6 +32,13 @@ enum class FaultKind {
   kNodeCrash,       // replica node (the partition leader) crashes mid-produce;
                     // `x=` is how many subsequent produce attempts pass before
                     // the node restores (0 = the layer's default window)
+  kKillBroker,      // a modeled cluster broker dies (all its replica slots
+                    // crash, leaderships drain to surviving brokers); `x=` is
+                    // how many cluster ticks pass before it restarts
+                    // (0 = the cluster's default restore window)
+  kNetSplit,        // seeded link partition between modeled brokers: the
+                    // minority side fences, the majority keeps committing;
+                    // `x=` is the heal window in cluster ticks
 };
 
 // Spec-string token for each kind (also used in ToString / metrics names).

@@ -1,10 +1,47 @@
 #include "offload/fleet.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/metrics.h"
+#include "common/rng.h"
 
 namespace arbd::offload {
+
+double DiurnalIntensity(const FleetLoadConfig& cfg, std::uint32_t tick) {
+  const double trough = std::clamp(cfg.trough_fraction, 0.0, 1.0);
+  const std::uint32_t period = std::max<std::uint32_t>(cfg.ticks, 1);
+  constexpr double kTau = 6.283185307179586;
+  const double phase = kTau * static_cast<double>(tick % period) /
+                       static_cast<double>(period);
+  // Raised cosine: 0 at tick 0 (night trough), 1 mid-period (daytime crest).
+  const double wave = 0.5 * (1.0 - std::cos(phase));
+  return trough + (1.0 - trough) * wave;
+}
+
+std::vector<FleetLoadEvent> GenerateFleetLoad(const FleetLoadConfig& cfg) {
+  const std::uint64_t users = std::max<std::uint64_t>(cfg.users, 1);
+  const std::uint32_t hotspots = std::max<std::uint32_t>(cfg.hotspots, 1);
+  Rng rng(cfg.seed);
+  const ZipfGenerator user_zipf(static_cast<std::size_t>(users), cfg.user_skew);
+  const ZipfGenerator poi_zipf(hotspots, cfg.hotspot_skew);
+
+  std::vector<FleetLoadEvent> out;
+  const std::uint32_t ticks = std::max<std::uint32_t>(cfg.ticks, 1);
+  for (std::uint32_t tick = 0; tick < ticks; ++tick) {
+    const auto volume = static_cast<std::uint32_t>(std::llround(
+        DiurnalIntensity(cfg, tick) * static_cast<double>(cfg.peak_events_per_tick)));
+    for (std::uint32_t n = 0; n < volume; ++n) {
+      FleetLoadEvent e;
+      e.user = static_cast<std::uint64_t>(user_zipf.Next(rng));
+      e.poi = static_cast<std::uint32_t>(poi_zipf.Next(rng));
+      e.tick = tick;
+      e.n = n;
+      out.push_back(e);
+    }
+  }
+  return out;
+}
 
 FleetStats SimulateFleetFrames(exec::Executor& exec, const FleetConfig& cfg) {
   const std::size_t users = std::max<std::size_t>(1, cfg.users);

@@ -18,6 +18,43 @@
 
 namespace arbd::offload {
 
+// ---------------------------------------------------------------------------
+// Fleet load generation: a modeled million-user fleet whose event volume
+// follows a diurnal curve (sinusoid between a night-time trough and a
+// peak) and whose key popularity follows two Zipf distributions — heavy
+// users and hotspot POIs. The output is a flat vector of dependency-free
+// tuples; scenario code converts them to stream Records (keying by POI so
+// hot partitions emerge naturally). Fully deterministic from the seed.
+// ---------------------------------------------------------------------------
+
+struct FleetLoadConfig {
+  std::uint64_t users = 1'000'000;   // modeled fleet size (Zipf over user ids)
+  std::uint32_t hotspots = 256;      // distinct POI keys (Zipf over these)
+  std::uint32_t ticks = 24;          // time steps in one diurnal period
+  std::uint32_t peak_events_per_tick = 2000;  // volume at the curve's crest
+  double trough_fraction = 0.15;     // night-time volume as a fraction of peak
+  double user_skew = 1.1;            // Zipf skew over users (heavy users)
+  double hotspot_skew = 1.3;         // Zipf skew over POIs (crowded places)
+  std::uint64_t seed = 42;
+};
+
+// One modeled fleet event: user `user` reports at POI `poi` during tick
+// `tick` (the `n`th event of that tick, in generation order).
+struct FleetLoadEvent {
+  std::uint64_t user = 0;
+  std::uint32_t poi = 0;
+  std::uint32_t tick = 0;
+  std::uint32_t n = 0;
+};
+
+// The diurnal intensity in [trough_fraction, 1] at `tick` of the period:
+// a raised cosine with its trough at tick 0 (night) and crest mid-period.
+double DiurnalIntensity(const FleetLoadConfig& cfg, std::uint32_t tick);
+
+// Generate the full load trace: per tick, round(peak * intensity) events,
+// users and POIs sampled from the two Zipf streams.
+std::vector<FleetLoadEvent> GenerateFleetLoad(const FleetLoadConfig& cfg);
+
 struct FleetConfig {
   std::size_t users = 8;
   std::size_t frames_per_user = 200;

@@ -1,0 +1,242 @@
+#include "scenarios/cluster.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "stream/consumer.h"
+#include "stream/dataflow.h"
+#include "stream/log.h"
+#include "stream/replication.h"
+
+namespace arbd::scenarios {
+namespace {
+
+// Fleet events rendered as stream records: keyed by POI (hot partitions
+// emerge from the Zipf hotspot skew), event time strictly increasing by
+// generation order — each record's unique identity for the audits.
+std::vector<stream::Record> MakeWorkload(const offload::FleetLoadConfig& fleet) {
+  const auto load = offload::GenerateFleetLoad(fleet);
+  std::vector<stream::Record> records;
+  records.reserve(load.size());
+  TimePoint t;
+  for (const auto& e : load) {
+    t += Duration::Millis(1);
+    stream::Event ev;
+    ev.key = "poi" + std::to_string(e.poi);
+    ev.attribute = "report";
+    ev.value = static_cast<double>(e.user);
+    ev.event_time = t;
+    records.push_back(stream::Record::Make(ev.key, ev.Encode(), ev.event_time));
+  }
+  return records;
+}
+
+}  // namespace
+
+Expected<ClusterSoakReport> RunClusterSoak(const ClusterSoakConfig& cfg) {
+  ClusterSoakReport report;
+
+  SimClock clock;
+  stream::Broker broker(clock);
+  cluster::ClusterConfig cc;
+  cc.brokers = std::max<std::uint32_t>(cfg.brokers, 1);
+  cc.seed = cfg.seed ^ 0xc1a57e12ULL;
+  cc.default_restore_ticks = std::max<std::uint64_t>(cfg.restore_ticks, 1);
+  cluster::BrokerCluster cluster(broker, cc);
+
+  fault::FaultInjector* injector = nullptr;
+  std::unique_ptr<fault::FaultInjector> injector_holder;
+  if (!cfg.fault_spec.empty()) {
+    auto plan = fault::FaultPlan::Parse(cfg.fault_spec);
+    if (!plan.ok()) return plan.status();
+    injector_holder = std::make_unique<fault::FaultInjector>(*plan, cfg.fault_seed);
+    injector = injector_holder.get();
+    cluster.set_fault_injector(injector);
+  }
+
+  stream::TopicConfig tc;
+  tc.partitions = cfg.partitions;
+  tc.replication_factor = std::max<std::uint32_t>(cfg.replication_factor, 1);
+  auto created = cluster.CreateTopic("cluster.events", tc);
+  if (!created.ok()) return created;
+
+  fault::RetryPolicy retry;
+  retry.max_attempts = std::max<std::size_t>(cfg.producer_attempts, 1);
+  cluster::ClusterProducer producer(cluster, broker, "cluster.events", retry,
+                                    cfg.seed ^ 0x9dULL);
+
+  // The consumer group: member i is homed on broker i % brokers — its
+  // host dying evicts it mid-flight, the restore rejoins it.
+  stream::ConsumerGroup group(broker, "cluster.soak", "cluster.events");
+  const std::size_t members = std::max<std::uint32_t>(cfg.consumers, 1);
+  std::vector<stream::Consumer*> consumers;
+  std::vector<bool> evicted(members, false);
+  // In-flight polled identities per member: counted as delivered only when
+  // a successful commit covers them; discarded when the commit is fenced
+  // (the surviving owners redeliver from the committed offsets).
+  std::vector<std::vector<std::int64_t>> buffers(members);
+  for (std::size_t i = 0; i < members; ++i) {
+    auto joined = group.Join("member-" + std::to_string(i));
+    if (!joined.ok()) return joined.status();
+    consumers.push_back(*joined);
+  }
+
+  const auto records = MakeWorkload(cfg.fleet);
+  std::vector<std::int64_t> acked_ids;
+  acked_ids.reserve(records.size());
+  std::map<std::int64_t, std::uint64_t> delivered;
+
+  const std::size_t chunk = std::max<std::size_t>(cfg.produce_chunk, 1);
+  const std::size_t cap =
+      cfg.max_turns != 0
+          ? cfg.max_turns
+          : 1000 + (records.size() / chunk + 1) * 50 +
+                static_cast<std::size_t>(cfg.brokers) *
+                    static_cast<std::size_t>(cfg.restore_ticks + cfg.kill_spacing_ticks);
+
+  std::size_t next = 0;
+  std::uint32_t next_kill = 0;
+  std::size_t turn = 0;
+
+  while (next < records.size() || group.TotalLag() > 0) {
+    if (++turn > cap) {
+      report.wedged = true;
+      break;
+    }
+    const bool split_now = !cluster.MinoritySide().empty();
+
+    // 1. Produce a chunk through the rerouting producer. Retries tick
+    // cluster time, so restore windows count down while a send waits out
+    // a dead leader broker.
+    const std::size_t until = std::min(records.size(), next + chunk);
+    for (; next < until; ++next) {
+      ++report.offered;
+      auto sent = producer.Send(records[next]);
+      if (sent.ok()) {
+        ++report.acked;
+        if (split_now) ++report.acked_during_split;
+        acked_ids.push_back(records[next].event_time.nanos());
+      } else if (sent.status().code() == StatusCode::kUnavailable) {
+        ++report.denied;
+      } else {
+        return sent.status();
+      }
+      clock.Advance(Duration::Millis(1));
+    }
+
+    // 2. Every live member polls; its rows stay in flight until step 4's
+    // commit decides their fate.
+    for (std::size_t i = 0; i < members; ++i) {
+      for (const auto& sr : consumers[i]->Poll(cfg.poll_batch)) {
+        buffers[i].push_back(sr.record.event_time.nanos());
+      }
+    }
+
+    // 3. Cluster time advances — and the kill/split schedules fire — with
+    // those polls in flight, so a broker death lands exactly in the
+    // poll-to-commit window the generation fence protects.
+    cluster.Tick();
+    if (cfg.rolling_kill) {
+      while (next_kill < cc.brokers &&
+             cluster.now_tick() >=
+                 cfg.kill_start_tick + next_kill * cfg.kill_spacing_ticks) {
+        auto killed = cluster.KillBroker(next_kill, cfg.restore_ticks);
+        if (!killed.ok()) return killed;
+        ++next_kill;
+      }
+    }
+    if (cfg.netsplit_at_turn != 0 && turn == cfg.netsplit_at_turn) {
+      auto split = cluster.NetSplit(cfg.netsplit_heal_ticks);
+      if (!split.ok()) return split;
+    }
+    if (!cluster.MinoritySide().empty()) report.minority_fenced = true;
+
+    // Home-broker liveness drives membership: death evicts, restore
+    // rejoins (the zombie's commits stay fenced in between).
+    for (std::size_t i = 0; i < members; ++i) {
+      const auto home = static_cast<cluster::BrokerId>(i % cc.brokers);
+      const auto minority = cluster.MinoritySide();
+      const bool isolated =
+          std::find(minority.begin(), minority.end(), home) != minority.end();
+      const bool alive = cluster.BrokerUp(home) && !isolated;
+      if (!alive && !evicted[i]) {
+        auto s = group.Evict(consumers[i]->id());
+        if (!s.ok()) return s;
+        evicted[i] = true;
+        ++report.evictions;
+      } else if (alive && evicted[i]) {
+        auto s = group.Rejoin(consumers[i]->id());
+        if (!s.ok()) return s;
+        evicted[i] = false;
+        ++report.rejoins;
+      }
+    }
+
+    // 4. Commits. A successful commit covers exactly this member's
+    // in-flight polls (nothing else moved its positions); a fenced or
+    // stale-generation commit means a rebalance intervened — the polled
+    // records belong to a dead generation and are discarded here, to be
+    // redelivered by whoever owns those partitions now.
+    for (std::size_t i = 0; i < members; ++i) {
+      if (buffers[i].empty()) continue;
+      if (consumers[i]->Commit().ok()) {
+        for (const std::int64_t id : buffers[i]) ++delivered[id];
+      }
+      buffers[i].clear();
+    }
+  }
+
+  // --- audits ---------------------------------------------------------
+  auto topic = broker.GetTopic("cluster.events");
+  if (!topic.ok()) return topic.status();
+  std::map<std::int64_t, std::uint64_t> copies;
+  for (stream::PartitionId p = 0; p < (*topic)->partition_count(); ++p) {
+    const auto& part = (*topic)->partition(p);
+    auto fetched = part.Fetch(part.log_start_offset(), part.size());
+    if (!fetched.ok()) return fetched.status();
+    for (const auto& sr : *fetched) {
+      ++copies[sr.record.event_time.nanos()];
+      ++report.committed_records;
+    }
+  }
+  for (const std::int64_t id : acked_ids) {
+    if (!copies.contains(id)) ++report.committed_loss;
+  }
+  for (const auto& [id, n] : copies) {
+    if (n > 1) report.log_duplicates += n - 1;
+  }
+  for (const auto& [id, n] : delivered) {
+    report.delivered += n;
+    if (n > 1) report.delivered_duplicates += n - 1;
+  }
+  if (!report.wedged) {
+    for (const auto& [id, n] : copies) {
+      if (!delivered.contains(id)) ++report.delivery_gaps;
+    }
+  }
+
+  report.producer_retries = producer.retries();
+  report.producer_rerouted = producer.rerouted();
+  report.availability = report.offered == 0
+                            ? 1.0
+                            : static_cast<double>(report.acked) /
+                                  static_cast<double>(report.offered);
+  report.committed_digest = stream::CommittedTopicDigest(**topic);
+
+  report.fenced_commits = group.fenced_commit_count();
+  report.rebalances = group.rebalance_count();
+  report.generation = group.generation();
+
+  report.cluster = cluster.stats();
+  report.controller_events = cluster.controller().appended();
+  report.controller_state_digest = cluster.controller().StateDigest();
+  auto replay = cluster.controller().ReplayDigest();
+  if (!replay.ok()) return replay.status();
+  report.controller_replay_digest = *replay;
+  report.controller_consistent =
+      report.controller_replay_digest == report.controller_state_digest;
+  return report;
+}
+
+}  // namespace arbd::scenarios

@@ -1,0 +1,128 @@
+// Cluster soak harness (E24): a modeled multi-broker cluster under a
+// rolling-kill schedule — every broker is killed once, staggered, while a
+// fleet-shaped workload (diurnal volume curve, Zipf users and POI
+// hotspots) is produced through a rerouting ClusterProducer and consumed
+// by a generation-fenced consumer group whose members are homed on
+// brokers (a broker kill evicts its member mid-flight; the restore
+// rejoins it). Optionally a seeded netsplit isolates a minority of
+// brokers mid-run.
+//
+// The robustness contract audited after the storm:
+//   - zero committed loss: every acknowledged record is in the committed
+//     log (identity = its unique event time);
+//   - zero duplicate delivery: a record counts as delivered only when a
+//     *successful* commit covers it — fenced and stale-generation commits
+//     discard the member's in-flight polls (the records are redelivered
+//     by the surviving owners from the committed offsets), so nothing is
+//     ever counted twice and nothing committed goes missing;
+//   - controller consistency: replaying the metadata log through a fresh
+//     state machine lands on the live routing table's digest;
+//   - determinism: the committed digest is a pure function of
+//     (config, seeds) — and with a generous retry budget it is identical
+//     across broker counts, because placement only moves replica slots,
+//     never the record -> partition routing.
+//
+// Shared by bench_cluster (E24 gates) and the ClusterRebalance 100-seed
+// soak suite.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "cluster/cluster.h"
+#include "fault/injector.h"
+#include "offload/fleet.h"
+
+namespace arbd::scenarios {
+
+struct ClusterSoakConfig {
+  std::uint32_t brokers = 4;
+  std::uint32_t partitions = 8;
+  std::uint32_t replication_factor = 3;  // clamped to `brokers` at placement
+  std::uint32_t consumers = 4;           // group members, homed on broker i % brokers
+
+  // Fleet-shaped workload (diurnal + Zipf hotspots); records are keyed by
+  // POI so hot partitions emerge naturally. Event times are strictly
+  // increasing — each record's unique identity for the loss/dup audit.
+  offload::FleetLoadConfig fleet{.users = 5000,
+                                 .hotspots = 64,
+                                 .ticks = 24,
+                                 .peak_events_per_tick = 120,
+                                 .seed = 7};
+
+  // Rolling-kill schedule: broker k dies at cluster tick
+  // `kill_start_tick + k * kill_spacing_ticks` with restore window
+  // `restore_ticks`. restore_ticks > kill_spacing_ticks overlaps the
+  // outages (several brokers down at once) — the availability-vs-broker-
+  // count experiment's regime.
+  bool rolling_kill = true;
+  std::uint64_t kill_start_tick = 2;
+  std::uint64_t kill_spacing_ticks = 4;
+  std::uint64_t restore_ticks = 6;
+
+  // Turn (produce-poll-commit round) at which a seeded netsplit isolates
+  // a minority of brokers; 0 = no split. Heals after `netsplit_heal_ticks`.
+  std::size_t netsplit_at_turn = 0;
+  std::uint64_t netsplit_heal_ticks = 6;
+
+  // Optional FaultPlan spec (plan.h grammar) fired on every cluster tick:
+  // `killbroker@p=..,x=..` at cluster.broker, `netsplit@p=..,x=..` at
+  // cluster.link. Empty = only the explicit schedules above.
+  std::string fault_spec;
+  std::uint64_t fault_seed = 1;
+
+  std::size_t produce_chunk = 16;  // records produced per turn
+  std::size_t poll_batch = 64;     // records each member polls per turn
+  // Producer retry budget per record (total attempts). Each retry ticks
+  // cluster time, so budgets comfortably above restore_ticks make runs
+  // lossless; starved budgets turn outages into the availability
+  // measurement instead.
+  std::size_t producer_attempts = 32;
+  std::uint64_t seed = 1;
+  std::size_t max_turns = 0;  // wedge guard; 0 = automatic bound
+};
+
+struct ClusterSoakReport {
+  // Producer side.
+  std::uint64_t offered = 0;
+  std::uint64_t acked = 0;   // acknowledged (possibly after rerouted retries)
+  std::uint64_t denied = 0;  // exhausted the retry budget
+  std::uint64_t producer_retries = 0;
+  std::uint64_t producer_rerouted = 0;  // retries that followed a leader move
+  double availability = 0.0;            // acked / offered
+
+  // Committed-log audit (identity = unique event time per record).
+  std::uint64_t committed_records = 0;
+  std::uint64_t committed_loss = 0;   // acked identities missing (must be 0)
+  std::uint64_t log_duplicates = 0;   // identities stored twice (must be 0)
+  std::uint64_t committed_digest = 0; // CommittedTopicDigest over the topic
+
+  // Consumer-group delivery audit.
+  std::uint64_t delivered = 0;            // records covered by successful commits
+  std::uint64_t delivered_duplicates = 0; // identities delivered twice (must be 0)
+  std::uint64_t delivery_gaps = 0;        // committed but never delivered (must be 0)
+  std::uint64_t fenced_commits = 0;       // stale/zombie commits rejected
+  std::uint64_t rebalances = 0;
+  std::uint64_t generation = 0;
+  std::uint64_t evictions = 0;  // member fencings driven by broker kills
+  std::uint64_t rejoins = 0;
+
+  // Cluster + controller.
+  cluster::ClusterStats cluster;
+  std::uint64_t controller_events = 0;
+  std::uint64_t controller_state_digest = 0;
+  std::uint64_t controller_replay_digest = 0;
+  bool controller_consistent = false;  // replay digest == live digest
+
+  // Netsplit observability (netsplit_at_turn > 0 runs only).
+  bool minority_fenced = false;        // a minority side was observed isolated
+  std::uint64_t acked_during_split = 0;  // majority kept committing (> 0)
+
+  bool wedged = false;  // turn cap hit before the group drained
+};
+
+Expected<ClusterSoakReport> RunClusterSoak(const ClusterSoakConfig& cfg);
+
+}  // namespace arbd::scenarios

@@ -6,7 +6,10 @@ namespace arbd::stream {
 
 std::vector<StoredRecord> Consumer::Poll(std::size_t max_records) {
   std::vector<StoredRecord> out;
-  if (positions_.empty() || max_records == 0) return out;
+  if (fenced_ || positions_.empty() || max_records == 0) return out;
+  // Polling observes the current generation: progress made now is
+  // committable until the next rebalance invalidates it.
+  observed_generation_ = group_.generation_;
 
   // Snapshot assigned partitions in a stable order, then start from a
   // rotating cursor for fairness.
@@ -60,7 +63,8 @@ std::vector<StoredRecord> Consumer::Poll(std::size_t max_records) {
 
 std::vector<RecordBatch> Consumer::PollBatches(std::size_t max_records) {
   std::vector<RecordBatch> out;
-  if (positions_.empty() || max_records == 0) return out;
+  if (fenced_ || positions_.empty() || max_records == 0) return out;
+  observed_generation_ = group_.generation_;
 
   std::vector<PartitionId> parts;
   parts.reserve(positions_.size());
@@ -92,10 +96,28 @@ std::vector<RecordBatch> Consumer::PollBatches(std::size_t max_records) {
   return out;
 }
 
-void Consumer::Commit() {
+Status Consumer::Commit() {
+  if (fenced_) {
+    ++group_.fenced_commits_;
+    return Status::FailedPrecondition("consumer '" + id_ + "' is fenced (evicted from group '" +
+                                      group_.group_id_ + "')");
+  }
+  if (observed_generation_ != group_.generation_) {
+    // A rebalance ran between this member's poll and its commit: the
+    // polled records may now be owned by someone else, and this member's
+    // positions were rewound to the committed offsets. Accepting the
+    // commit would advance offsets past records the new owners have not
+    // delivered — the silent-loss bug generation fencing exists to stop.
+    ++group_.fenced_commits_;
+    return Status::FailedPrecondition(
+        "consumer '" + id_ + "' commit from stale generation " +
+        std::to_string(observed_generation_) + " (group at " +
+        std::to_string(group_.generation_) + ")");
+  }
   for (const auto& [p, pos] : positions_) {
     group_.committed_[p] = std::max(group_.CommittedOffset(p), pos);
   }
+  return Status::Ok();
 }
 
 std::vector<PartitionId> Consumer::Assignment() const {
@@ -132,9 +154,35 @@ Status ConsumerGroup::Leave(const std::string& consumer_id, bool commit_progress
     return Status::NotFound("consumer '" + consumer_id + "' not in group '" + group_id_ + "'");
   }
   // Preserve the departing member's progress before dropping it (unless
-  // this models a crash, where in-flight progress is lost).
-  if (commit_progress) it->second->Commit();
+  // this models a crash, where in-flight progress is lost). A fenced
+  // member has nothing committable by definition.
+  if (commit_progress && !it->second->fenced_) it->second->Commit();
   members_.erase(it);
+  Rebalance();
+  return Status::Ok();
+}
+
+Status ConsumerGroup::Evict(const std::string& consumer_id) {
+  auto it = members_.find(consumer_id);
+  if (it == members_.end()) {
+    return Status::NotFound("consumer '" + consumer_id + "' not in group '" + group_id_ + "'");
+  }
+  if (it->second->fenced_) return Status::Ok();  // already a zombie
+  it->second->fenced_ = true;
+  it->second->positions_.clear();
+  Rebalance();
+  return Status::Ok();
+}
+
+Status ConsumerGroup::Rejoin(const std::string& consumer_id) {
+  auto it = members_.find(consumer_id);
+  if (it == members_.end()) {
+    return Status::NotFound("consumer '" + consumer_id + "' not in group '" + group_id_ + "'");
+  }
+  if (!it->second->fenced_) {
+    return Status::FailedPrecondition("consumer '" + consumer_id + "' is not fenced");
+  }
+  it->second->fenced_ = false;
   Rebalance();
   return Status::Ok();
 }
@@ -164,17 +212,24 @@ std::int64_t ConsumerGroup::TotalLag() const {
 
 void ConsumerGroup::Rebalance() {
   ++rebalances_;
+  // Every rebalance opens a new generation: progress polled under the old
+  // one is no longer committable (Consumer::Commit checks this).
+  ++generation_;
   assignment_.clear();
   for (auto& [_, m] : members_) m->positions_.clear();
-  if (members_.empty()) return;
+
+  // Range assignment over the live (non-fenced) members: partitions dealt
+  // to members in sorted order. Fenced zombies keep their handles but get
+  // nothing.
+  std::vector<Consumer*> ms;
+  ms.reserve(members_.size());
+  for (auto& [_, m] : members_) {
+    if (!m->fenced_) ms.push_back(m.get());
+  }
+  if (ms.empty()) return;
 
   auto topic = broker_.GetTopic(topic_name_);
   if (!topic.ok()) return;
-
-  // Range assignment: partitions dealt to members in sorted order.
-  std::vector<Consumer*> ms;
-  ms.reserve(members_.size());
-  for (auto& [_, m] : members_) ms.push_back(m.get());
 
   const std::uint32_t nparts = (*topic)->partition_count();
   for (PartitionId p = 0; p < nparts; ++p) {
@@ -182,6 +237,12 @@ void ConsumerGroup::Rebalance() {
     assignment_[p] = owner->id_;
     owner->positions_[p] = CommittedOffset(p);
   }
+  // Deliberately do NOT sync the members' observed generations here: a
+  // member only becomes current again at its next Poll. Syncing now would
+  // let a commit issued after the rebalance — but covering records polled
+  // before it, whose positions this very rebalance just rewound — pass the
+  // fence and be counted as delivered, double-delivering those records
+  // once the rewound positions are re-polled.
 }
 
 }  // namespace arbd::stream

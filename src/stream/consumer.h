@@ -38,10 +38,20 @@ class Consumer {
   std::vector<RecordBatch> PollBatches(std::size_t max_records);
 
   // Commit consumed offsets back to the group (next offsets to read).
-  void Commit();
+  // Generation-fenced: the commit is rejected with kFailedPrecondition when
+  // this member was evicted (a zombie whose host broker died) or when the
+  // group rebalanced since this member's last Poll — its polled-but-
+  // uncommitted progress was rewound to the committed offsets and belongs
+  // to a dead generation, exactly the stale commit that would silently
+  // skip records for the members now owning those partitions.
+  Status Commit();
 
   const std::string& id() const { return id_; }
   std::vector<PartitionId> Assignment() const;
+  // The group generation this member last synced with (at rebalance or
+  // poll time). A commit is valid only while this matches the group's.
+  std::uint64_t generation() const { return observed_generation_; }
+  bool fenced() const { return fenced_; }
 
  private:
   friend class ConsumerGroup;
@@ -53,6 +63,8 @@ class Consumer {
   // group's committed offsets at (re)assignment.
   std::map<PartitionId, Offset> positions_;
   std::uint64_t rr_cursor_ = 0;
+  std::uint64_t observed_generation_ = 0;
+  bool fenced_ = false;
 };
 
 // Where a fresh group (no committed offset) starts reading.
@@ -70,6 +82,21 @@ class ConsumerGroup {
   // A graceful leave commits the member's progress first; a crash
   // (commit_progress = false) loses everything since the last commit.
   Status Leave(const std::string& consumer_id, bool commit_progress = true);
+
+  // Fence a member without destroying it — the cluster layer's model of a
+  // consumer whose host broker died. The member keeps its handle but polls
+  // nothing and its commits are rejected (stale generation); its
+  // partitions are rebalanced to the survivors, who resume from the
+  // committed offsets. Rejoin() re-admits it after the broker restarts.
+  Status Evict(const std::string& consumer_id);
+  Status Rejoin(const std::string& consumer_id);
+
+  // Monotone rebalance counter used to fence stale commits: bumped on
+  // every membership change, synced to members at rebalance and poll.
+  std::uint64_t generation() const { return generation_; }
+  // Commits rejected because the committing member was fenced or raced a
+  // rebalance — each one is a would-be lost-record bug caught.
+  std::uint64_t fenced_commit_count() const { return fenced_commits_; }
 
   Offset CommittedOffset(PartitionId p) const;
   std::size_t member_count() const { return members_.size(); }
@@ -96,6 +123,8 @@ class ConsumerGroup {
   std::map<PartitionId, Offset> committed_;
   std::uint64_t rebalances_ = 0;
   std::uint64_t auto_resets_ = 0;
+  std::uint64_t generation_ = 0;
+  std::uint64_t fenced_commits_ = 0;
 };
 
 }  // namespace arbd::stream

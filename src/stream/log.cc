@@ -3,6 +3,8 @@
 
 #include <algorithm>
 
+#include "common/log.h"
+
 namespace arbd::stream {
 
 namespace {
@@ -184,6 +186,15 @@ Topic::Topic(std::string name, TopicConfig cfg)
     : name_(std::move(name)), cfg_(cfg) {
   if (cfg_.partitions == 0) cfg_.partitions = 1;
   if (cfg_.replication_factor == 0) cfg_.replication_factor = ReplicationFactorFromEnv();
+  // Explicit factors get the same [1, 8] clamp the ARBD_REPLICAS path
+  // applies — a factor-12 request silently becoming 12 lock-stepped
+  // replicas is not a configuration anyone meant.
+  if (cfg_.replication_factor > 8) {
+    ARBD_LOG_WARN("stream", "topic '" + name_ + "' replication_factor " +
+                                std::to_string(cfg_.replication_factor) +
+                                " clamped to 8");
+    cfg_.replication_factor = 8;
+  }
   parts_.reserve(cfg_.partitions);
   repl_.reserve(cfg_.partitions);
   for (std::uint32_t i = 0; i < cfg_.partitions; ++i) {
@@ -314,7 +325,15 @@ Status Broker::CrashLeader(const std::string& topic, PartitionId partition,
 Expected<Offset> Broker::ProduceImpl(const std::string& topic, Topic* t,
                                      PartitionId p, Record record, ProducerId pid,
                                      std::uint64_t seq) {
-  // Budget check first: backpressure is a flow-control decision, not a
+  // Cluster routing first: an unreachable leader broker is a routing
+  // failure, decided before backpressure or fault draws. The gate consumes
+  // no randomness, so fault schedules are unchanged whether or not a
+  // cluster fronts this broker.
+  if (cluster_gate_ != nullptr) {
+    Status admitted = cluster_gate_->AdmitProduce(topic, p);
+    if (!admitted.ok()) return admitted;
+  }
+  // Budget check next: backpressure is a flow-control decision, not a
   // fault, so it must not consume injector randomness.
   const TopicConfig& cfg = t->config();
   const bool over_records = cfg.max_records > 0 && t->TotalRecords() >= cfg.max_records;
@@ -355,13 +374,18 @@ Expected<Offset> Broker::ProduceImpl(const std::string& topic, Topic* t,
         Fnv1a(record.key) ^ static_cast<std::uint64_t>(record.event_time.nanos()));
   }
   auto off = t->replication(p).Produce(std::move(record), clock_.Now(), pid, seq, crash);
-  if (!off.ok()) return off.status();
-  total_produced_.fetch_add(1, std::memory_order_relaxed);
+  // Refresh the depth/byte gauges on *every* attempt that reached the
+  // replica group, not just acked ones: a leader crash loses the ack while
+  // the elected successor may still commit the record, and a torn append
+  // persists it outright — either way the partition grew and a gauge
+  // updated only on success would go stale across the handoff.
   if (metrics_ != nullptr) {
     metrics_->Set("qos.depth." + topic + ".p" + std::to_string(p),
                   static_cast<double>(t->partition(p).size()));
     metrics_->Set("qos.bytes." + topic, static_cast<double>(t->TotalBytes()));
   }
+  if (!off.ok()) return off.status();
+  total_produced_.fetch_add(1, std::memory_order_relaxed);
   if (torn) {
     // The record landed but the ack is lost; the producer sees a failure.
     return Status::Unavailable("injected torn append on topic '" + topic + "'");
@@ -381,6 +405,17 @@ Expected<Broker::BatchProduceResult> Broker::ProduceBatch(const std::string& top
   BatchProduceResult res;
   const std::size_t n = batch.size();
   if (n == 0) return res;
+  if (cluster_gate_ != nullptr) {
+    // Same reject count the per-record loop would produce (the gate's
+    // answer is stable within a call: cluster state moves only on ticks),
+    // decided once instead of n times.
+    Status admitted = cluster_gate_->AdmitProduce(topic, partition);
+    if (!admitted.ok()) {
+      res.rejected = n;
+      res.unavailable = n;
+      return res;
+    }
+  }
 
   // The bulk path is taken only when it is provably equivalent to the
   // per-record loop: a fault injector draws its RNG once per record, and a
@@ -446,6 +481,7 @@ Expected<Broker::BatchProduceResult> Broker::ProduceBatch(const std::string& top
       ++res.produced;
     } else {
       ++res.rejected;
+      if (off.status().code() == StatusCode::kUnavailable) ++res.unavailable;
     }
   }
   return res;
@@ -459,6 +495,10 @@ Expected<std::vector<StoredRecord>> Broker::Fetch(const std::string& topic,
   if (partition >= (*t)->partition_count()) {
     return Status::OutOfRange("partition " + std::to_string(partition) + " of topic '" +
                               topic + "'");
+  }
+  if (cluster_gate_ != nullptr) {
+    Status admitted = cluster_gate_->AdmitFetch(topic, partition);
+    if (!admitted.ok()) return admitted;
   }
   if (fault_ != nullptr) {
     std::lock_guard<std::mutex> flk(fault_mu_);
@@ -484,6 +524,10 @@ Expected<RecordBatch> Broker::FetchBatch(const std::string& topic, PartitionId p
   if (partition >= (*t)->partition_count()) {
     return Status::OutOfRange("partition " + std::to_string(partition) + " of topic '" +
                               topic + "'");
+  }
+  if (cluster_gate_ != nullptr) {
+    Status admitted = cluster_gate_->AdmitFetch(topic, partition);
+    if (!admitted.ok()) return admitted;
   }
   if (fault_ != nullptr) {
     std::lock_guard<std::mutex> flk(fault_mu_);
@@ -519,6 +563,22 @@ Expected<std::size_t> Broker::TruncateBefore(const std::string& topic,
     metrics_->Set("qos.bytes." + topic, static_cast<double>((*t)->TotalBytes()));
   }
   return dropped;
+}
+
+Expected<std::size_t> Broker::Compact(const std::string& topic, PartitionId partition) {
+  auto t = GetTopic(topic);
+  if (!t.ok()) return t.status();
+  if (partition >= (*t)->partition_count()) {
+    return Status::OutOfRange("partition " + std::to_string(partition) + " of topic '" +
+                              topic + "'");
+  }
+  const std::size_t removed = (*t)->partition(partition).CompactKeepLatest();
+  if (metrics_ != nullptr && removed > 0) {
+    metrics_->Set("qos.depth." + topic + ".p" + std::to_string(partition),
+                  static_cast<double>((*t)->partition(partition).size()));
+    metrics_->Set("qos.bytes." + topic, static_cast<double>((*t)->TotalBytes()));
+  }
+  return removed;
 }
 
 std::size_t Broker::Credit(const std::string& topic) const {
@@ -560,7 +620,26 @@ double Broker::Pressure(const std::string& topic) const {
 std::size_t Broker::RunRetention() {
   std::shared_lock<std::shared_mutex> lk(topics_mu_);
   std::size_t dropped = 0;
-  for (auto& [name, topic] : topics_) dropped += topic->EnforceRetention(clock_.Now());
+  for (auto& [name, topic] : topics_) {
+    // Per partition rather than Topic::EnforceRetention so the depth gauge
+    // of each partition that shed records can be refreshed in step — a
+    // retention pass that shrinks the log but leaves the gauges reading
+    // pre-drop depths is a stale-observability bug.
+    std::size_t topic_dropped = 0;
+    for (PartitionId p = 0; p < topic->partition_count(); ++p) {
+      const std::size_t d =
+          topic->partition(p).EnforceRetention(topic->config(), clock_.Now());
+      if (d > 0 && metrics_ != nullptr) {
+        metrics_->Set("qos.depth." + name + ".p" + std::to_string(p),
+                      static_cast<double>(topic->partition(p).size()));
+      }
+      topic_dropped += d;
+    }
+    if (topic_dropped > 0 && metrics_ != nullptr) {
+      metrics_->Set("qos.bytes." + name, static_cast<double>(topic->TotalBytes()));
+    }
+    dropped += topic_dropped;
+  }
   return dropped;
 }
 

@@ -36,6 +36,21 @@
 
 namespace arbd::stream {
 
+// Admission hook for the modeled multi-broker cluster (src/cluster). When
+// installed on a Broker, every produce/fetch asks the gate whether the
+// partition's current leader broker is reachable before any fault-injector
+// draw — the gate itself consumes no randomness, so installing it never
+// perturbs fault schedules, and with no cluster (or a healthy one) every
+// call admits and the broker's behaviour is byte-identical.
+class ClusterGate {
+ public:
+  virtual ~ClusterGate() = default;
+  // Ok to admit; kUnavailable when the partition's leader broker is down
+  // or on the fenced minority side of a network split.
+  virtual Status AdmitProduce(const std::string& topic, PartitionId partition) = 0;
+  virtual Status AdmitFetch(const std::string& topic, PartitionId partition) = 0;
+};
+
 struct TopicConfig {
   std::uint32_t partitions = 1;
   // Retention: records older than this (by ingest time) or beyond this
@@ -51,7 +66,10 @@ struct TopicConfig {
   std::size_t max_bytes = 0;
   // Replica nodes per partition (stream/replication.h). 0 defers to the
   // ARBD_REPLICAS environment variable (default 1, the single-copy
-  // behaviour every pre-replication caller gets unchanged).
+  // behaviour every pre-replication caller gets unchanged). Explicit
+  // values are clamped to [1, 8] with a logged warning, matching the env
+  // path; the cluster layer additionally clamps to its live broker count
+  // at placement time (src/cluster/placement.h).
   std::uint32_t replication_factor = 0;
   // Seeds the deterministic leader elections; mixed with the partition id
   // so sibling partitions fail over independently.
@@ -210,6 +228,10 @@ class Broker {
     Offset base_offset = -1;  // offset of the first produced row; -1 if none
     std::size_t produced = 0;
     std::size_t rejected = 0;
+    // Of `rejected`, rows refused as kUnavailable — an unreachable leader
+    // broker (cluster gate) or a leaderless replica group. These are the
+    // retriable rejections a cluster producer reroutes.
+    std::size_t unavailable = 0;
   };
 
   // Columnar produce: append every row of `batch` to one partition,
@@ -258,7 +280,13 @@ class Broker {
   Expected<std::size_t> TruncateBefore(const std::string& topic, PartitionId partition,
                                        Offset offset);
 
-  // Runs retention across all topics; returns records dropped.
+  // Partition::CompactKeepLatest through the broker, so the depth/byte
+  // gauges are refreshed alongside the data they describe (the free
+  // CompactTopic in stream/table.h operates on a bare Topic and cannot).
+  Expected<std::size_t> Compact(const std::string& topic, PartitionId partition);
+
+  // Runs retention across all topics; returns records dropped. Depth/byte
+  // gauges of partitions that shed records are refreshed.
   std::size_t RunRetention();
 
   std::vector<std::string> TopicNames() const;
@@ -296,6 +324,12 @@ class Broker {
   // fault *ordering* is deterministic only for serial producers.
   void set_fault_injector(fault::FaultInjector* injector) { fault_ = injector; }
 
+  // Optional cluster-routing hook (not owned; see ClusterGate above).
+  // Installed by cluster::BrokerCluster; consulted before fault draws so
+  // it cannot shift injection schedules.
+  void set_cluster_gate(ClusterGate* gate) { cluster_gate_ = gate; }
+  ClusterGate* cluster_gate() const { return cluster_gate_; }
+
   // Optional tracing hook (not owned). When set and enabled, ProduceImpl
   // records a "broker.produce" span under each record's trace context and
   // stamps the child context back onto the record before it is appended,
@@ -317,6 +351,7 @@ class Broker {
   fault::FaultInjector* fault_ = nullptr;
   MetricRegistry* metrics_ = nullptr;
   trace::Tracer* tracer_ = nullptr;
+  ClusterGate* cluster_gate_ = nullptr;
 };
 
 // Thin producer handle: validates topic existence once and adds batching

@@ -38,26 +38,33 @@ ParallelProduceReport ParallelProduce(exec::Executor& exec, Broker& broker,
 
   std::vector<std::size_t> produced(nparts, 0);
   std::vector<std::size_t> rejected(nparts, 0);
+  std::vector<std::size_t> unavailable(nparts, 0);
   for (std::size_t p = 0; p < nparts; ++p) {
     if (batched) {
       if (batches[p].empty()) continue;
       // One amortized batch charge instead of n flat per-record charges —
       // the modeled-throughput step E23 measures.
       const Duration cost = exec::BatchedCost(cost_per_record).For(batches[p].size());
-      exec.SubmitCost(p, cost, [&broker, &topic, &batches, &produced, &rejected, p] {
+      exec.SubmitCost(p, cost,
+                      [&broker, &topic, &batches, &produced, &rejected, &unavailable, p] {
         auto res = broker.ProduceBatch(topic, static_cast<PartitionId>(p), batches[p]);
         if (res.ok()) {
           produced[p] = res->produced;
           rejected[p] = res->rejected;
+          unavailable[p] = res->unavailable;
         } else {
           rejected[p] = batches[p].size();
+          if (res.status().code() == StatusCode::kUnavailable) {
+            unavailable[p] = batches[p].size();
+          }
         }
       });
       continue;
     }
     if (buckets[p].empty()) continue;
     const Duration cost = cost_per_record * static_cast<double>(buckets[p].size());
-    exec.SubmitCost(p, cost, [&broker, &topic, &buckets, &produced, &rejected, p] {
+    exec.SubmitCost(p, cost,
+                    [&broker, &topic, &buckets, &produced, &rejected, &unavailable, p] {
       for (auto& r : buckets[p]) {
         auto off = broker.ProduceToPartition(topic, static_cast<PartitionId>(p),
                                              std::move(r));
@@ -65,6 +72,7 @@ ParallelProduceReport ParallelProduce(exec::Executor& exec, Broker& broker,
           ++produced[p];
         } else {
           ++rejected[p];
+          if (off.status().code() == StatusCode::kUnavailable) ++unavailable[p];
         }
       }
     });
@@ -76,6 +84,7 @@ ParallelProduceReport ParallelProduce(exec::Executor& exec, Broker& broker,
     report.per_partition[p] = produced[p];
     report.produced += produced[p];
     report.rejected += rejected[p];
+    report.unavailable += unavailable[p];
   }
   return report;
 }

@@ -25,6 +25,10 @@ namespace arbd::stream {
 struct ParallelProduceReport {
   std::size_t produced = 0;
   std::size_t rejected = 0;  // budget rejections + injected append faults
+  // Of `rejected`, records refused as kUnavailable: an unreachable leader
+  // broker (cluster gate) or a leaderless replica group. A cluster-aware
+  // driver retries exactly these; the rest are terminal.
+  std::size_t unavailable = 0;
   // Per-partition record counts, indexed by partition, for digesting.
   std::vector<std::size_t> per_partition;
 };

@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <map>
 #include <set>
 
+#include "common/metrics.h"
+#include "fault/injector.h"
+#include "fault/plan.h"
 #include "stream/consumer.h"
 
 namespace arbd::stream {
@@ -271,6 +275,261 @@ TEST_F(ConsumerGroupTest, LatestResetPolicySkipsRetainedBacklog) {
   std::size_t got = 0;
   for (int i = 0; i < 10 && got < 8; ++i) got += (*c)->Poll(64).size();
   EXPECT_EQ(got, 8u);
+}
+
+// --- generation fencing (broker-loss zombies and stale commits) -------------
+// A member evicted from the group (its modeled host broker died) becomes a
+// zombie: its handle survives but nothing it does may move the group's
+// committed offsets until it rejoins.
+
+TEST_F(ConsumerGroupTest, FencedMemberCommitRejected) {
+  ProduceN(12);
+  ConsumerGroup group(broker_, "g", "t");
+  auto a = group.Join("a");
+  auto b = group.Join("b");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+
+  ASSERT_TRUE(group.Evict("b").ok());
+  EXPECT_TRUE((*b)->fenced());
+  EXPECT_TRUE((*b)->Assignment().empty());
+  EXPECT_TRUE((*b)->Poll(64).empty()) << "a zombie must not receive records";
+  const Status st = (*b)->Commit();
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(group.fenced_commit_count(), 1u);
+
+  // The survivor owns everything and commits normally.
+  std::size_t got = 0;
+  while (true) {
+    const auto batch = (*a)->Poll(16);
+    if (batch.empty()) break;
+    got += batch.size();
+  }
+  EXPECT_EQ(got, 12u);
+  EXPECT_TRUE((*a)->Commit().ok());
+
+  // Rejoining lifts the fence: the member participates again and new data
+  // flows to the group exactly once.
+  ASSERT_TRUE(group.Rejoin("b").ok());
+  EXPECT_FALSE((*b)->fenced());
+  ProduceN(8);
+  std::size_t fresh = 0;
+  for (auto* c : {*a, *b}) {
+    while (true) {
+      const auto batch = c->Poll(16);
+      if (batch.empty()) break;
+      fresh += batch.size();
+    }
+  }
+  EXPECT_EQ(fresh, 8u);
+  EXPECT_TRUE((*b)->Commit().ok());
+}
+
+TEST_F(ConsumerGroupTest, StaleGenerationCommitRejectedAfterRebalance) {
+  ProduceN(40);
+  ConsumerGroup group(broker_, "g", "t");
+  auto a = group.Join("a");
+  ASSERT_TRUE(a.ok());
+  // Poll everything but do not commit yet — the rows are in flight.
+  std::size_t polled = 0;
+  while (true) {
+    const auto batch = (*a)->Poll(16);
+    if (batch.empty()) break;
+    polled += batch.size();
+  }
+  EXPECT_EQ(polled, 40u);
+
+  // A rebalance intervenes between the poll and the commit: the polled
+  // generation is dead, and the commit — which would silently skip records
+  // the new owners have yet to deliver — must be rejected.
+  auto b = group.Join("b");
+  ASSERT_TRUE(b.ok());
+  const Status st = (*a)->Commit();
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(group.fenced_commit_count(), 1u);
+
+  // Every record is redelivered from the committed offsets — exactly once
+  // across the group (identity = the unique payload text).
+  std::map<std::string, int> seen;
+  for (auto* c : {*a, *b}) {
+    while (true) {
+      const auto batch = c->Poll(16);
+      if (batch.empty()) break;
+      for (const auto& sr : batch) ++seen[sr.record.TextPayload()];
+    }
+  }
+  EXPECT_EQ(seen.size(), 40u);
+  for (const auto& [payload, n] : seen) {
+    EXPECT_EQ(n, 1) << "payload '" << payload << "' delivered " << n << " times";
+  }
+  // Current-generation commits from both owners land.
+  EXPECT_TRUE((*a)->Commit().ok());
+  EXPECT_TRUE((*b)->Commit().ok());
+  EXPECT_EQ(group.TotalLag(), 0);
+}
+
+TEST_F(ConsumerGroupTest, RebalanceDuringInFlightPollBatchesResumesAtCommitted) {
+  ProduceN(40);
+  ConsumerGroup group(broker_, "g", "t");
+  auto a = group.Join("a");
+  ASSERT_TRUE(a.ok());
+  // Drain and commit the backlog through the batch path.
+  std::size_t drained = 0;
+  while (true) {
+    const auto batches = (*a)->PollBatches(16);
+    if (batches.empty()) break;
+    for (const auto& b : batches) drained += b.size();
+  }
+  EXPECT_EQ(drained, 40u);
+  ASSERT_TRUE((*a)->Commit().ok());
+
+  // Twenty fresh records with payloads disjoint from the backlog's.
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(broker_
+                    .Produce("t", Record::MakeText("key-" + std::to_string(i % 16),
+                                                   "x-" + std::to_string(i), TimePoint{}))
+                    .ok());
+  }
+
+  // Partial batch poll leaves rows in flight; the rebalance rewinds the
+  // member's positions to the committed offsets and opens a new generation.
+  const auto inflight = (*a)->PollBatches(8);
+  std::size_t inflight_rows = 0;
+  for (const auto& b : inflight) inflight_rows += b.size();
+  ASSERT_GT(inflight_rows, 0u);
+  auto b = group.Join("b");
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ((*a)->Commit().code(), StatusCode::kFailedPrecondition);
+
+  // Resuming from the committed offsets delivers exactly the 20 fresh
+  // records across the group: none of the committed backlog replays (no
+  // position fell below a committed offset) and none of the in-flight rows
+  // are lost (their positions were rewound, so they come around again).
+  std::map<std::string, int> seen;
+  for (auto* c : {*a, *b}) {
+    while (true) {
+      const auto batches = c->PollBatches(16);
+      if (batches.empty()) break;
+      for (const auto& rb : batches) {
+        for (std::size_t i = 0; i < rb.size(); ++i) {
+          ++seen[rb.MaterializeStored(i).record.TextPayload()];
+        }
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), 20u);
+  for (const auto& [payload, n] : seen) {
+    EXPECT_EQ(n, 1) << "payload '" << payload << "' delivered " << n << " times";
+    EXPECT_EQ(payload.rfind("x-", 0), 0u) << "committed backlog replayed: " << payload;
+  }
+  EXPECT_TRUE((*a)->Commit().ok());
+  EXPECT_TRUE((*b)->Commit().ok());
+  EXPECT_EQ(group.auto_reset_count(), 0u);
+  EXPECT_EQ(group.TotalLag(), 0);
+}
+
+// --- depth/byte gauge freshness ---------------------------------------------
+// Regressions for stale per-partition observability: qos.depth.* and
+// qos.bytes.* used to be refreshed only on successful produce, so any path
+// that shrank the log (retention, truncation, compaction) or grew it
+// without an ack (leader crash mid-replication, torn append) left the
+// gauges reading a size the partition no longer had.
+
+TEST_F(ConsumerGroupTest, DepthGaugeRefreshedByRetentionAndTruncation) {
+  MetricRegistry metrics;
+  broker_.set_metrics(&metrics);
+  TopicConfig cfg;
+  cfg.partitions = 1;
+  cfg.retention_records = 5;
+  ASSERT_TRUE(broker_.CreateTopic("small", cfg).ok());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(
+        broker_.Produce("small", Record::MakeText("", std::to_string(i), TimePoint{})).ok());
+  }
+  EXPECT_EQ(metrics.Get("qos.depth.small.p0"), 20.0);
+
+  broker_.RunRetention();
+  auto topic = broker_.GetTopic("small");
+  ASSERT_TRUE(topic.ok());
+  EXPECT_EQ((*topic)->partition(0).size(), 5u);
+  EXPECT_EQ(metrics.Get("qos.depth.small.p0"), 5.0)
+      << "retention must refresh the depth gauge";
+  EXPECT_EQ(metrics.Get("qos.bytes.small"),
+            static_cast<double>((*topic)->TotalBytes()));
+
+  auto dropped = broker_.TruncateBefore("small", 0, (*topic)->partition(0).end_offset() - 2);
+  ASSERT_TRUE(dropped.ok());
+  EXPECT_EQ(metrics.Get("qos.depth.small.p0"), 2.0)
+      << "truncation must refresh the depth gauge";
+  EXPECT_EQ(metrics.Get("qos.bytes.small"),
+            static_cast<double>((*topic)->TotalBytes()));
+}
+
+TEST_F(ConsumerGroupTest, DepthGaugeRefreshedByCompaction) {
+  MetricRegistry metrics;
+  broker_.set_metrics(&metrics);
+  // 32 records over 16 keys in partition 0's keyspace would spread over the
+  // hash; use a single-partition topic so the arithmetic is exact.
+  TopicConfig cfg;
+  cfg.partitions = 1;
+  ASSERT_TRUE(broker_.CreateTopic("kv", cfg).ok());
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE(broker_
+                    .Produce("kv", Record::MakeText("k" + std::to_string(i % 8),
+                                                    std::to_string(i), TimePoint{}))
+                    .ok());
+  }
+  EXPECT_EQ(metrics.Get("qos.depth.kv.p0"), 32.0);
+  auto removed = broker_.Compact("kv", 0);
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(*removed, 24u);  // latest of each of the 8 keys survives
+  EXPECT_EQ(metrics.Get("qos.depth.kv.p0"), 8.0)
+      << "compaction must refresh the depth gauge";
+  auto topic = broker_.GetTopic("kv");
+  ASSERT_TRUE(topic.ok());
+  EXPECT_EQ(metrics.Get("qos.bytes.kv"),
+            static_cast<double>((*topic)->TotalBytes()));
+}
+
+TEST_F(ConsumerGroupTest, DepthGaugeFreshAcrossLeaderCrashHandoff) {
+  MetricRegistry metrics;
+  broker_.set_metrics(&metrics);
+  TopicConfig cfg;
+  cfg.partitions = 1;
+  cfg.replication_factor = 3;
+  ASSERT_TRUE(broker_.CreateTopic("r", cfg).ok());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(
+        broker_.Produce("r", Record::MakeText("", std::to_string(i), TimePoint{})).ok());
+  }
+  EXPECT_EQ(metrics.Get("qos.depth.r.p0"), 4.0);
+
+  // Every produce now crashes the current leader mid-replication: the ack
+  // is lost, but the record may still commit through the elected successor.
+  // Whatever the outcome, the gauge must track the partition's true size —
+  // the handoff window is exactly where a success-only refresh goes stale.
+  auto plan = fault::FaultPlan::Parse("nodecrash@p=1,x=1");
+  ASSERT_TRUE(plan.ok());
+  fault::FaultInjector injector(*plan, 3);
+  broker_.set_fault_injector(&injector);
+
+  auto topic = broker_.GetTopic("r");
+  ASSERT_TRUE(topic.ok());
+  bool grew_during_lost_ack = false;
+  for (int i = 0; i < 6; ++i) {
+    const std::size_t before = (*topic)->partition(0).size();
+    const auto off =
+        broker_.Produce("r", Record::MakeText("", "crash-" + std::to_string(i), TimePoint{}));
+    const std::size_t after = (*topic)->partition(0).size();
+    EXPECT_EQ(metrics.Get("qos.depth.r.p0"), static_cast<double>(after))
+        << "gauge stale after produce attempt " << i << " (ok=" << off.ok() << ")";
+    if (!off.ok() && after > before) grew_during_lost_ack = true;
+  }
+  // The interesting window must actually have occurred, or this test would
+  // pass vacuously: at least one failed ack whose record a successor
+  // committed (deterministic under the fixed seeds above).
+  EXPECT_TRUE(grew_during_lost_ack);
+  broker_.set_fault_injector(nullptr);
 }
 
 }  // namespace
