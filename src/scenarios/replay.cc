@@ -1,0 +1,176 @@
+#include "scenarios/replay.h"
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/serialize.h"
+#include "geo/city.h"
+#include "scenarios/tourism.h"
+#include "stream/consumer.h"
+#include "stream/log.h"
+#include "stream/segment.h"
+
+namespace arbd::scenarios {
+
+namespace {
+
+constexpr char kReplayTopic[] = "replay.sessions";
+
+std::string TouristKey(std::size_t u) { return "t" + std::to_string(u); }
+
+// Tourist sessions are staggered so partitions interleave tourists — the
+// seek path then has to cope with event times that are not globally
+// monotone within a partition, like real multi-device ingest.
+TimePoint SessionStart(std::size_t u) {
+  return TimePoint::FromMillis(static_cast<std::int64_t>(u) * 37);
+}
+
+struct SessionEvent {
+  std::int64_t event_ns = 0;
+  std::string payload;
+};
+
+}  // namespace
+
+SessionReplayReport RunSessionReplay(const SessionReplayConfig& cfg) {
+  // Install the requested seal target for the duration of the run; the
+  // differential callers flip this between 0 and a small value to prove
+  // replay output is independent of segmentation.
+  const std::size_t prev_target = stream::SegmentBytesTarget();
+  stream::SetSegmentBytesTarget(cfg.segment_bytes);
+
+  SessionReplayReport rep;
+  SimClock clock;
+  stream::Broker broker(clock);
+  stream::TopicConfig tc;
+  tc.partitions = cfg.partitions;
+  (void)broker.CreateTopic(kReplayTopic, tc);
+
+  const geo::CityModel city =
+      geo::CityModel::Generate(geo::CityConfig{}, cfg.seed ^ 0xC17Full);
+  PortalGame game(city, /*capture_range_m=*/25.0, cfg.seed);
+  const auto& pois = city.pois().All();
+
+  // --- tour: every step, every tourist emits one session event ----------
+  std::vector<std::vector<SessionEvent>> originals(cfg.tourists);
+  Rng rng(cfg.seed ^ 0x5e55101ULL);
+  for (std::size_t s = 0; s < cfg.events_per_tourist; ++s) {
+    for (std::size_t u = 0; u < cfg.tourists; ++u) {
+      // Seeded hop across the POI map; captures come from the shared
+      // portal game so payloads depend on every tourist's history.
+      const geo::Poi* poi = pois[rng.NextBelow(pois.size())];
+      const auto captured = game.Visit(TouristKey(u), poi->pos);
+      const TimePoint event_time =
+          SessionStart(u) + Duration::Nanos(cfg.step.nanos() * static_cast<std::int64_t>(s));
+      const std::string payload = "s=" + std::to_string(s) + ";poi=" +
+                                  std::to_string(poi->id) + ";cap=" +
+                                  std::to_string(captured.size());
+      auto r = broker.Produce(kReplayTopic,
+                              stream::Record::MakeText(TouristKey(u), payload, event_time));
+      if (r.ok()) {
+        ++rep.produced;
+        originals[u].push_back(SessionEvent{event_time.nanos(), payload});
+      }
+    }
+    clock.Advance(cfg.step);
+  }
+
+  auto topic = broker.GetTopic(kReplayTopic);
+  if (topic.ok()) {
+    for (stream::PartitionId p = 0; p < (*topic)->partition_count(); ++p) {
+      rep.sealed_segments += (*topic)->partition(p).sealed_segment_count();
+    }
+  }
+
+  // --- replay 1: QueryTime over each session window ----------------------
+  BinaryWriter fold;
+  fold.WriteU64(cfg.seed);
+  fold.WriteU64(rep.produced);
+  for (std::size_t u = 0; u < cfg.tourists; ++u) {
+    const std::string key = TouristKey(u);
+    const TimePoint lo = SessionStart(u);
+    const TimePoint hi =
+        lo + Duration::Nanos(cfg.step.nanos() *
+                             static_cast<std::int64_t>(cfg.events_per_tourist));
+    const stream::PartitionId p =
+        topic.ok() ? (*topic)->PartitionFor(key) : 0;
+    auto res = broker.QueryTime(kReplayTopic, p, lo, hi);
+    if (!res.ok()) continue;
+    rep.query_stats.Merge(res->stats);
+    std::size_t matched = 0;
+    bool clean = true;
+    for (const stream::StoredRecord& sr : res->rows) {
+      if (sr.record.key != key) continue;  // co-resident tourists
+      ++rep.replayed_rows;
+      if (matched >= originals[u].size() ||
+          sr.record.event_time.nanos() != originals[u][matched].event_ns ||
+          sr.record.TextPayload() != originals[u][matched].payload) {
+        ++rep.mismatches;
+        clean = false;
+      } else {
+        fold.WriteString(key);
+        fold.WriteI64(originals[u][matched].event_ns);
+        fold.WriteString(originals[u][matched].payload);
+      }
+      ++matched;
+    }
+    if (clean && matched == originals[u].size()) ++rep.sessions_verified;
+  }
+  rep.digest = Fnv1a(fold.bytes());
+
+  // --- replay 2: SeekToTimestamp + Poll to the end ------------------------
+  stream::ConsumerGroup group(broker, "replay-readers", kReplayTopic);
+  auto consumer = group.Join("replayer");
+  if (consumer.ok()) {
+    const TimePoint t_mid =
+        TimePoint::FromMillis(0) +
+        Duration::Nanos(cfg.step.nanos() *
+                        static_cast<std::int64_t>(cfg.events_per_tourist / 2));
+    (void)(*consumer)->SeekToTimestamp(t_mid);
+    std::map<std::string, std::vector<SessionEvent>> polled;
+    for (;;) {
+      const auto rows = (*consumer)->Poll(256);
+      if (rows.empty()) break;
+      for (const auto& sr : rows) {
+        polled[sr.record.key].push_back(
+            SessionEvent{sr.record.event_time.nanos(), sr.record.TextPayload()});
+      }
+      rep.seek_replays += rows.size();
+    }
+    for (std::size_t u = 0; u < cfg.tourists; ++u) {
+      const auto& orig = originals[u];
+      const auto& got = polled[TouristKey(u)];
+      // (a) the polled rows must be a contiguous suffix of the session,
+      if (got.size() > orig.size()) {
+        ++rep.seek_errors;
+        continue;
+      }
+      const std::size_t suffix_at = orig.size() - got.size();
+      bool suffix_ok = true;
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        if (got[i].event_ns != orig[suffix_at + i].event_ns ||
+            got[i].payload != orig[suffix_at + i].payload) {
+          suffix_ok = false;
+          break;
+        }
+      }
+      // (b) …containing every event at/after the seek timestamp.
+      std::size_t first_at_or_after = orig.size();
+      for (std::size_t i = 0; i < orig.size(); ++i) {
+        if (orig[i].event_ns >= t_mid.nanos()) {
+          first_at_or_after = i;
+          break;
+        }
+      }
+      if (!suffix_ok || suffix_at > first_at_or_after) ++rep.seek_errors;
+    }
+  }
+
+  stream::SetSegmentBytesTarget(prev_target);
+  return rep;
+}
+
+}  // namespace arbd::scenarios

@@ -1,0 +1,58 @@
+// Session replay for the tourism scenario (ISSUE 8): the paper's
+// historical-read workload — "replay this tourist's session" — driven
+// end-to-end through the segmented log's query tier. Seeded tourists walk
+// a city playing the portal game, every step producing a keyed session
+// event into a broker topic; afterwards each session is replayed two ways
+// and verified against the original:
+//
+//   1. QueryTime over the tourist's session window on their partition
+//      (key-hash routing pins a tourist to one partition), filtered by
+//      key — must reproduce the session exactly, in order.
+//   2. Consumer::SeekToTimestamp to mid-session, then Poll to the end —
+//      the polled rows per tourist must form a contiguous suffix of the
+//      original session containing every event at/after the seek point.
+//
+// The report's digest folds only produced/replayed row data (never
+// segment structure), so a segmented and an unsegmented run of the same
+// config must produce equal digests — the property bench_storage (E25)
+// and storage_segment_test gate on.
+#pragma once
+
+#include <cstdint>
+
+#include "common/clock.h"
+#include "stream/query.h"
+
+namespace arbd::scenarios {
+
+struct SessionReplayConfig {
+  std::size_t tourists = 6;
+  std::size_t events_per_tourist = 400;
+  std::uint32_t partitions = 2;
+  // Segment seal target installed for the run (SetSegmentBytesTarget);
+  // 0 runs unsegmented. The previous global value is restored on return.
+  std::size_t segment_bytes = 2048;
+  // Virtual time between a tourist's consecutive session events.
+  Duration step = Duration::Millis(250);
+  std::uint64_t seed = 42;
+};
+
+struct SessionReplayReport {
+  std::size_t produced = 0;
+  std::size_t replayed_rows = 0;     // rows returned by the QueryTime replays
+  std::size_t sessions_verified = 0; // tourists whose full replay matched
+  std::size_t mismatches = 0;        // replayed rows differing from the original
+  std::size_t seek_replays = 0;      // rows polled after SeekToTimestamp
+  std::size_t seek_errors = 0;       // suffix/coverage violations after seek
+  std::size_t sealed_segments = 0;   // across partitions when the tour ended
+  std::uint64_t digest = 0;          // FNV-1a over replayed session bytes
+  stream::QueryStats query_stats;    // merged across all session queries
+
+  bool AllVerified(const SessionReplayConfig& cfg) const {
+    return sessions_verified == cfg.tourists && mismatches == 0 && seek_errors == 0;
+  }
+};
+
+SessionReplayReport RunSessionReplay(const SessionReplayConfig& cfg);
+
+}  // namespace arbd::scenarios

@@ -96,6 +96,19 @@ std::vector<RecordBatch> Consumer::PollBatches(std::size_t max_records) {
   return out;
 }
 
+Status Consumer::SeekToTimestamp(TimePoint t) {
+  if (fenced_) {
+    return Status::FailedPrecondition("consumer '" + id_ + "' is fenced (evicted from group '" +
+                                      group_.group_id_ + "')");
+  }
+  for (auto& [p, pos] : positions_) {
+    auto off = group_.broker_.OffsetForTimestamp(group_.topic_name_, p, t);
+    if (!off.ok()) return off.status();
+    pos = *off;
+  }
+  return Status::Ok();
+}
+
 Status Consumer::Commit() {
   if (fenced_) {
     ++group_.fenced_commits_;

@@ -37,6 +37,15 @@ class Consumer {
   // batch-mode ingest surface.
   std::vector<RecordBatch> PollBatches(std::size_t max_records);
 
+  // Reposition every assigned partition to the smallest retained offset
+  // whose event time is >= t (the log end when the partition has nothing
+  // that late) — Kafka's offsetsForTimes + seek, driven by the sealed
+  // segments' sparse time indexes. Polled-but-uncommitted progress on the
+  // seeked partitions is abandoned, exactly like a rebalance rewind; the
+  // next Commit covers positions from the seek point forward. Rejected
+  // with kFailedPrecondition for fenced members.
+  Status SeekToTimestamp(TimePoint t);
+
   // Commit consumed offsets back to the group (next offsets to read).
   // Generation-fenced: the commit is rejected with kFailedPrecondition when
   // this member was evicted (a zombie whose host broker died) or when the

@@ -16,49 +16,112 @@ constexpr Duration kProduceCost = Duration::Micros(2);
 
 void Partition::UpdateMirrors() {
   start_mirror_.store(start_offset_, std::memory_order_release);
-  end_mirror_.store(start_offset_ + static_cast<Offset>(LiveLocked()),
-                    std::memory_order_release);
+  end_mirror_.store(EndLocked(), std::memory_order_release);
   bytes_mirror_.store(bytes_, std::memory_order_release);
   max_event_ns_mirror_.store(max_event_time_.nanos(), std::memory_order_release);
-}
-
-void Partition::DropFrontLocked() {
-  bytes_ -= store_.row_bytes(head_);
-  ++head_;
-  ++start_offset_;
 }
 
 void Partition::MaybeCompactHeadLocked() {
   // Reclaim the dead prefix once it outweighs the live rows: one bulk
   // column copy, amortized O(1) per dropped record.
-  if (head_ < 32 || head_ < LiveLocked()) return;
+  if (active_head_ < 32 || active_head_ < ActiveLiveLocked()) return;
   RecordBatch fresh;
-  fresh.AppendRange(store_, head_, LiveLocked());
-  store_ = std::move(fresh);
-  head_ = 0;
+  fresh.AppendRange(active_, active_head_, ActiveLiveLocked());
+  active_ = std::move(fresh);
+  active_head_ = 0;
+  active_dead_bytes_ = 0;
+}
+
+void Partition::MaybeSealLocked() {
+  const std::size_t target = SegmentBytesTarget();
+  if (target == 0) return;
+  if (active_.byte_size() - active_dead_bytes_ < target) return;
+  if (ActiveLiveLocked() == 0) return;
+  SealActiveLocked();
+}
+
+void Partition::SealActiveLocked() {
+  // Only live rows are sealed, so fresh segments carry no dead prefix.
+  // The threshold is soft: one oversized bulk append seals as one
+  // oversized segment rather than splitting mid-call.
+  const std::size_t live = ActiveLiveLocked();
+  RecordBatch rows;
+  if (active_head_ == 0) {
+    rows = std::move(active_);
+  } else {
+    rows.AppendRange(active_, active_head_, live);
+  }
+  sealed_.push_back(
+      std::make_shared<const Segment>(NextSegmentUid(), active_base_, std::move(rows)));
+  active_ = RecordBatch();
+  active_head_ = 0;
+  active_dead_bytes_ = 0;
+  active_base_ += static_cast<Offset>(live);
+}
+
+std::size_t Partition::AdvanceStartLocked(Offset target) {
+  target = std::min(target, EndLocked());
+  std::size_t dropped = 0;
+  // Whole sealed segments in O(1) each — the tiered "segment drop".
+  while (!sealed_.empty() && sealed_.front()->end_offset() <= target) {
+    const Segment& front = *sealed_.front();
+    bytes_ -= front.bytes() - front_dead_bytes_;
+    dropped += static_cast<std::size_t>(front.end_offset() - start_offset_);
+    start_offset_ = front.end_offset();
+    front_dead_bytes_ = 0;
+    sealed_.pop_front();
+  }
+  if (!sealed_.empty()) {
+    // Partial drop inside the surviving front segment: the rows stay in
+    // the immutable segment, only the accounting moves.
+    const Segment& front = *sealed_.front();
+    while (start_offset_ < target) {
+      const std::size_t row = static_cast<std::size_t>(start_offset_ - front.base_offset());
+      const std::size_t rb = front.data().row_bytes(row);
+      bytes_ -= rb;
+      front_dead_bytes_ += rb;
+      ++start_offset_;
+      ++dropped;
+    }
+    return dropped;
+  }
+  while (start_offset_ < target) {
+    const std::size_t rb = active_.row_bytes(active_head_);
+    bytes_ -= rb;
+    active_dead_bytes_ += rb;
+    ++active_head_;
+    ++active_base_;
+    ++start_offset_;
+    ++dropped;
+  }
+  if (dropped > 0) MaybeCompactHeadLocked();
+  return dropped;
 }
 
 Offset Partition::Append(Record record, TimePoint ingest_time) {
   std::lock_guard<std::mutex> lk(mu_);
   max_event_time_ = std::max(max_event_time_, record.event_time);
   bytes_ += record.key.size() + record.payload.size();
-  store_.AppendRow(record.key, record.payload.data(), record.payload.size(),
-                   record.event_time, ingest_time, record.checksum, record.trace_ctx);
+  active_.AppendRow(record.key, record.payload.data(), record.payload.size(),
+                    record.event_time, ingest_time, record.checksum, record.trace_ctx);
+  const Offset off = EndLocked() - 1;
+  MaybeSealLocked();
   UpdateMirrors();
-  return start_offset_ + static_cast<Offset>(LiveLocked()) - 1;
+  return off;
 }
 
 Offset Partition::AppendBatchRange(const RecordBatch& batch, std::size_t from_row,
                                    std::size_t n, TimePoint ingest_time) {
   std::lock_guard<std::mutex> lk(mu_);
-  const Offset base = start_offset_ + static_cast<Offset>(LiveLocked());
-  const std::size_t first = store_.size();
-  store_.AppendRange(batch, from_row, n);
-  store_.StampIngest(first, ingest_time);
+  const Offset base = EndLocked();
+  const std::size_t first = active_.size();
+  active_.AppendRange(batch, from_row, n);
+  active_.StampIngest(first, ingest_time);
   for (std::size_t i = 0; i < n; ++i) {
     bytes_ += batch.row_bytes(from_row + i);
     max_event_time_ = std::max(max_event_time_, batch.event_time(from_row + i));
   }
+  MaybeSealLocked();
   UpdateMirrors();
   return base;
 }
@@ -66,7 +129,7 @@ Offset Partition::AppendBatchRange(const RecordBatch& batch, std::size_t from_ro
 Expected<std::vector<StoredRecord>> Partition::Fetch(Offset from,
                                                      std::size_t max_records) const {
   std::lock_guard<std::mutex> lk(mu_);
-  const Offset end = start_offset_ + static_cast<Offset>(LiveLocked());
+  const Offset end = EndLocked();
   if (from < start_offset_) {
     // Carry the valid [log_start, end) window as structured payload so
     // consumers can reposition without parsing the message text.
@@ -80,21 +143,44 @@ Expected<std::vector<StoredRecord>> Partition::Fetch(Offset from,
         .WithRange(start_offset_, end);
   }
   std::vector<StoredRecord> out;
-  const std::size_t begin = head_ + static_cast<std::size_t>(from - start_offset_);
-  const std::size_t n = std::min(max_records, store_.size() - begin);
+  std::size_t n = std::min(max_records, static_cast<std::size_t>(end - from));
   out.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    StoredRecord sr;
-    sr.offset = from + static_cast<Offset>(i);
-    sr.record = store_.MaterializeRecord(begin + i);
-    out.push_back(std::move(sr));
+  Offset cur = from;
+  // First sealed segment covering `cur` (offset index: binary search on
+  // the dense per-segment bounds), then contiguous chunks tier by tier.
+  std::size_t si = 0, si_end = sealed_.size();
+  while (si < si_end) {
+    const std::size_t mid = si + (si_end - si) / 2;
+    if (sealed_[mid]->end_offset() <= cur) si = mid + 1; else si_end = mid;
+  }
+  for (; n > 0 && si < sealed_.size(); ++si) {
+    const Segment& seg = *sealed_[si];
+    const std::size_t row = static_cast<std::size_t>(cur - seg.base_offset());
+    const std::size_t take = std::min(n, seg.rows() - row);
+    for (std::size_t i = 0; i < take; ++i) {
+      StoredRecord sr;
+      sr.offset = cur + static_cast<Offset>(i);
+      sr.record = seg.data().MaterializeRecord(row + i);
+      out.push_back(std::move(sr));
+    }
+    cur += static_cast<Offset>(take);
+    n -= take;
+  }
+  if (n > 0 && cur < end) {
+    const std::size_t row = active_head_ + static_cast<std::size_t>(cur - active_base_);
+    for (std::size_t i = 0; i < n; ++i) {
+      StoredRecord sr;
+      sr.offset = cur + static_cast<Offset>(i);
+      sr.record = active_.MaterializeRecord(row + i);
+      out.push_back(std::move(sr));
+    }
   }
   return out;
 }
 
 Expected<RecordBatch> Partition::FetchBatch(Offset from, std::size_t max_records) const {
   std::lock_guard<std::mutex> lk(mu_);
-  const Offset end = start_offset_ + static_cast<Offset>(LiveLocked());
+  const Offset end = EndLocked();
   if (from < start_offset_) {
     return Status::OutOfRange("offset " + std::to_string(from) +
                               " below log start " + std::to_string(start_offset_))
@@ -105,10 +191,28 @@ Expected<RecordBatch> Partition::FetchBatch(Offset from, std::size_t max_records
                               std::to_string(end))
         .WithRange(start_offset_, end);
   }
-  const std::size_t begin = head_ + static_cast<std::size_t>(from - start_offset_);
-  const std::size_t n = std::min(max_records, store_.size() - begin);
   RecordBatch out;
-  out.AppendRange(store_, begin, n);
+  std::size_t n = std::min(max_records, static_cast<std::size_t>(end - from));
+  Offset cur = from;
+  std::size_t si = 0, si_end = sealed_.size();
+  while (si < si_end) {
+    const std::size_t mid = si + (si_end - si) / 2;
+    if (sealed_[mid]->end_offset() <= cur) si = mid + 1; else si_end = mid;
+  }
+  // One column-range copy per tier crossed — a seam-straddling fetch is
+  // two AppendRange calls, not per-row work.
+  for (; n > 0 && si < sealed_.size(); ++si) {
+    const Segment& seg = *sealed_[si];
+    const std::size_t row = static_cast<std::size_t>(cur - seg.base_offset());
+    const std::size_t take = std::min(n, seg.rows() - row);
+    out.AppendRange(seg.data(), row, take);
+    cur += static_cast<Offset>(take);
+    n -= take;
+  }
+  if (n > 0 && cur < end) {
+    const std::size_t row = active_head_ + static_cast<std::size_t>(cur - active_base_);
+    out.AppendRange(active_, row, n);
+  }
   out.set_base_offset(from);
   return out;
 }
@@ -116,70 +220,123 @@ Expected<RecordBatch> Partition::FetchBatch(Offset from, std::size_t max_records
 std::size_t Partition::EnforceRetention(const TopicConfig& cfg, TimePoint now) {
   std::lock_guard<std::mutex> lk(mu_);
   std::size_t dropped = 0;
-  if (cfg.retention_records > 0) {
-    while (LiveLocked() > cfg.retention_records) {
-      DropFrontLocked();
-      ++dropped;
-    }
+  if (cfg.retention_records > 0 && LiveLocked() > cfg.retention_records) {
+    dropped += AdvanceStartLocked(EndLocked() -
+                                  static_cast<Offset>(cfg.retention_records));
   }
   if (cfg.retention_time > Duration::Zero()) {
     const TimePoint cutoff = now - cfg.retention_time;
-    while (LiveLocked() > 0 && store_.ingest_time(head_) < cutoff) {
-      DropFrontLocked();
-      ++dropped;
+    while (LiveLocked() > 0) {
+      if (!sealed_.empty()) {
+        const Segment& front = *sealed_.front();
+        if (front.max_ingest_time() < cutoff) {
+          // Every row in the segment is past retention: drop it whole.
+          dropped += AdvanceStartLocked(front.end_offset());
+          continue;
+        }
+        const std::size_t row =
+            static_cast<std::size_t>(start_offset_ - front.base_offset());
+        if (front.data().ingest_time(row) >= cutoff) break;
+        dropped += AdvanceStartLocked(start_offset_ + 1);
+        continue;
+      }
+      if (active_.ingest_time(active_head_) >= cutoff) break;
+      dropped += AdvanceStartLocked(start_offset_ + 1);
     }
   }
-  if (dropped > 0) {
-    MaybeCompactHeadLocked();
-    UpdateMirrors();
-  }
+  if (dropped > 0) UpdateMirrors();
   return dropped;
 }
 
 std::size_t Partition::TruncateBefore(Offset offset) {
   std::lock_guard<std::mutex> lk(mu_);
-  offset = std::min(offset, start_offset_ + static_cast<Offset>(LiveLocked()));
-  std::size_t dropped = 0;
-  while (start_offset_ < offset) {
-    DropFrontLocked();
-    ++dropped;
-  }
-  if (dropped > 0) {
-    MaybeCompactHeadLocked();
-    UpdateMirrors();
-  }
+  const std::size_t dropped = AdvanceStartLocked(offset);
+  if (dropped > 0) UpdateMirrors();
   return dropped;
 }
 
 std::size_t Partition::CompactKeepLatest() {
   std::lock_guard<std::mutex> lk(mu_);
-  // Walk from the tail keeping the first (i.e. newest) row per key;
-  // tombstones mark their key as dead without being retained themselves.
+  // Walk live rows from the global tail keeping the first (i.e. newest)
+  // row per key; tombstones mark their key as dead without being retained
+  // themselves. The walk crosses tiers: active first (newest), then
+  // sealed segments newest-to-oldest, skipping the front segment's
+  // truncated-away prefix.
   std::set<std::string, std::less<>> seen;
-  std::vector<std::size_t> keep;  // store_ row indices, collected newest-first
-  for (std::size_t i = store_.size(); i-- > head_;) {
-    const std::string_view key = store_.key(i);
-    if (seen.contains(key)) continue;
+  struct Ref {
+    const RecordBatch* src;
+    std::size_t row;
+  };
+  std::vector<Ref> keep;  // collected newest-first
+  const auto consider = [&](const RecordBatch& src, std::size_t row) {
+    const std::string_view key = src.key(row);
+    if (seen.contains(key)) return;
     seen.emplace(key);
-    if (store_.payload_size(i) == 0) continue;  // tombstone: key deleted
-    keep.push_back(i);
+    if (src.payload_size(row) == 0) return;  // tombstone: key deleted
+    keep.push_back(Ref{&src, row});
+  };
+  for (std::size_t i = active_.size(); i-- > active_head_;) consider(active_, i);
+  for (auto it = sealed_.rbegin(); it != sealed_.rend(); ++it) {
+    const Segment& seg = **it;
+    const std::size_t first_live =
+        start_offset_ > seg.base_offset()
+            ? static_cast<std::size_t>(start_offset_ - seg.base_offset())
+            : 0;
+    for (std::size_t i = seg.rows(); i-- > first_live;) consider(seg.data(), i);
   }
-  std::reverse(keep.begin(), keep.end());
+  std::reverse(keep.begin(), keep.end());  // oldest-first, original order
   const std::size_t removed = LiveLocked() - keep.size();
-  // Rebuild the store from the kept rows, copying consecutive survivors as
-  // one column-range run each.
+  // Rebuild as a single fresh active batch (survivors of a compaction are
+  // typically few), copying consecutive same-source survivors as one
+  // column-range run each. Dense renumbering from the current log start,
+  // exactly like the flat store.
   RecordBatch kept;
   for (std::size_t i = 0; i < keep.size();) {
     std::size_t j = i + 1;
-    while (j < keep.size() && keep[j] == keep[j - 1] + 1) ++j;
-    kept.AppendRange(store_, keep[i], j - i);
+    while (j < keep.size() && keep[j].src == keep[i].src &&
+           keep[j].row == keep[j - 1].row + 1) {
+      ++j;
+    }
+    kept.AppendRange(*keep[i].src, keep[i].row, j - i);
     i = j;
   }
-  store_ = std::move(kept);
-  head_ = 0;
-  bytes_ = store_.byte_size();
+  sealed_.clear();
+  active_ = std::move(kept);
+  active_head_ = 0;
+  active_dead_bytes_ = 0;
+  front_dead_bytes_ = 0;
+  active_base_ = start_offset_;
+  bytes_ = active_.byte_size();
   UpdateMirrors();
   return removed;
+}
+
+PartitionSnapshot Partition::Snapshot(Offset lo, Offset hi) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  PartitionSnapshot snap;
+  snap.log_start = start_offset_;
+  snap.end = EndLocked();
+  lo = std::max(lo, start_offset_);
+  hi = std::min(hi, snap.end);
+  snap.active.set_base_offset(snap.end);
+  if (lo >= hi) return snap;
+  for (const auto& seg : sealed_) {
+    if (seg->end_offset() <= lo) continue;
+    if (seg->base_offset() >= hi) break;
+    snap.sealed.push_back(seg);
+  }
+  const Offset a_lo = std::max(lo, active_base_);
+  if (a_lo < hi) {
+    const std::size_t row = active_head_ + static_cast<std::size_t>(a_lo - active_base_);
+    snap.active.AppendRange(active_, row, static_cast<std::size_t>(hi - a_lo));
+    snap.active.set_base_offset(a_lo);
+  }
+  return snap;
+}
+
+std::size_t Partition::sealed_segment_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return sealed_.size();
 }
 
 Topic::Topic(std::string name, TopicConfig cfg)
@@ -546,6 +703,64 @@ Expected<RecordBatch> Broker::FetchBatch(const std::string& topic, PartitionId p
                   lag.seconds() * 1e3);
   }
   return fetched;
+}
+
+Expected<QueryResult> Broker::QueryRange(const std::string& topic, PartitionId partition,
+                                         Offset lo, Offset hi) {
+  auto t = GetTopic(topic);
+  if (!t.ok()) return t.status();
+  if (partition >= (*t)->partition_count()) {
+    return Status::OutOfRange("partition " + std::to_string(partition) + " of topic '" +
+                              topic + "'");
+  }
+  if (cluster_gate_ != nullptr) {
+    Status admitted = cluster_gate_->AdmitFetch(topic, partition);
+    if (!admitted.ok()) return admitted;
+  }
+  // Deliberately no fault-injector draw: historical queries consume no
+  // injector randomness, so running them alongside a chaos schedule never
+  // shifts which tail operations the faults land on.
+  QueryResult res = stream::QueryRange((*t)->partition(partition), lo, hi,
+                                       query_cache_.get());
+  for (StoredRecord& sr : res.rows) sr.partition = partition;
+  return res;
+}
+
+Expected<QueryResult> Broker::QueryTime(const std::string& topic, PartitionId partition,
+                                        TimePoint t_lo, TimePoint t_hi) {
+  auto t = GetTopic(topic);
+  if (!t.ok()) return t.status();
+  if (partition >= (*t)->partition_count()) {
+    return Status::OutOfRange("partition " + std::to_string(partition) + " of topic '" +
+                              topic + "'");
+  }
+  if (cluster_gate_ != nullptr) {
+    Status admitted = cluster_gate_->AdmitFetch(topic, partition);
+    if (!admitted.ok()) return admitted;
+  }
+  QueryResult res = stream::QueryTime((*t)->partition(partition), t_lo, t_hi,
+                                      query_cache_.get());
+  for (StoredRecord& sr : res.rows) sr.partition = partition;
+  return res;
+}
+
+Expected<Offset> Broker::OffsetForTimestamp(const std::string& topic,
+                                            PartitionId partition, TimePoint t) {
+  auto topic_it = GetTopic(topic);
+  if (!topic_it.ok()) return topic_it.status();
+  if (partition >= (*topic_it)->partition_count()) {
+    return Status::OutOfRange("partition " + std::to_string(partition) + " of topic '" +
+                              topic + "'");
+  }
+  if (cluster_gate_ != nullptr) {
+    Status admitted = cluster_gate_->AdmitFetch(topic, partition);
+    if (!admitted.ok()) return admitted;
+  }
+  return stream::OffsetForTimestamp((*topic_it)->partition(partition), t);
+}
+
+void Broker::ConfigureQueryCache(std::size_t capacity_blocks, std::uint64_t seed) {
+  query_cache_ = std::make_unique<BlockCache>(capacity_blocks, seed);
 }
 
 Expected<std::size_t> Broker::TruncateBefore(const std::string& topic,

@@ -19,6 +19,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -31,8 +32,10 @@
 #include "common/status.h"
 #include "fault/injector.h"
 #include "stream/batch.h"
+#include "stream/query.h"
 #include "stream/record.h"
 #include "stream/replication.h"
+#include "stream/segment.h"
 
 namespace arbd::stream {
 
@@ -82,10 +85,24 @@ struct TopicConfig {
 // the partition mutex; the offset/size/byte accessors read atomic mirrors
 // and may be called from any thread without locking.
 //
-// Storage is a columnar RecordBatch (stream/batch.h) with a dropped-prefix
-// cursor: truncation/retention advance `head_` in O(1) per record, and the
-// store is rebuilt (one bulk column copy) once the dead prefix outweighs
-// the live rows — the classic amortized-O(1) head-drop on flat buffers.
+// Storage is a segmented log (ISSUE 8): an active head RecordBatch that
+// appends go to, plus a run of sealed immutable Segments
+// (stream/segment.h), each carrying sparse offset/time indexes. The
+// active batch keeps the dropped-prefix cursor of the flat store
+// (truncation advances `active_head_` in O(1) per record, rebuilt once
+// the dead prefix outweighs the live rows), while sealed segments drop
+// whole in O(1) when retention/truncation passes their end — the tiered
+// "segment drop" path. Sealing is gated by ARBD_SEGMENT_BYTES
+// (SegmentBytesTarget): with it unset the partition never seals and is
+// the flat single-batch store, byte-for-byte.
+//
+// Invariants (with mu_ held): sealed segments are contiguous and
+// adjacent (seg[i].end == seg[i+1].base); if any exist,
+// sealed_.back()->end_offset() == active_base_ and active_head_ == 0
+// (a dead prefix can only accumulate in the active batch once every
+// sealed segment is gone); start_offset_ points into the front segment
+// (rows below it are dead, their bytes in front_dead_bytes_) or equals
+// active_base_ when none exist.
 class Partition {
  public:
   Offset Append(Record record, TimePoint ingest_time);
@@ -136,19 +153,49 @@ class Partition {
     return TimePoint::FromNanos(max_event_ns_mirror_.load(std::memory_order_acquire));
   }
 
+  // What a historical query reads (stream/query.h): shared_ptrs to the
+  // sealed segments overlapping [lo, hi) plus a copy of the overlapping
+  // live active rows, taken under one lock acquisition. The query then
+  // scans the immutable segments lock-free, so long scans never hold the
+  // tail's append lock.
+  PartitionSnapshot Snapshot(Offset lo, Offset hi) const;
+
+  std::size_t sealed_segment_count() const;
+
  private:
   void UpdateMirrors();  // call with mu_ held after any mutation
-  std::size_t LiveLocked() const { return store_.size() - head_; }
-  void DropFrontLocked();        // advance head_/start_offset_ by one row
-  void MaybeCompactHeadLocked(); // rebuild the store when the dead prefix dominates
+  std::size_t ActiveLiveLocked() const { return active_.size() - active_head_; }
+  Offset EndLocked() const {
+    return active_base_ + static_cast<Offset>(ActiveLiveLocked());
+  }
+  std::size_t LiveLocked() const {
+    return static_cast<std::size_t>(EndLocked() - start_offset_);
+  }
+  // Seal the live active rows into an immutable Segment once they exceed
+  // SegmentBytesTarget (no-op when the target is 0 or nothing is live).
+  void MaybeSealLocked();
+  void SealActiveLocked();
+  // Advance the log start to min(target, end), dropping whole sealed
+  // segments in O(1) when the target passes their end and per-row
+  // otherwise. Returns records dropped; caller refreshes mirrors.
+  std::size_t AdvanceStartLocked(Offset target);
+  void MaybeCompactHeadLocked(); // rebuild active_ when its dead prefix dominates
 
   mutable std::mutex mu_;
-  // Rows [head_, store_.size()) are live; [0, head_) were truncated away
-  // and are reclaimed lazily by MaybeCompactHeadLocked.
-  RecordBatch store_;
-  std::size_t head_ = 0;
-  Offset start_offset_ = 0;
-  std::size_t bytes_ = 0;
+  // Sealed run, oldest first; deque for O(1) front drop, shared_ptr so
+  // in-flight query snapshots outlive truncation and compaction.
+  std::deque<std::shared_ptr<const Segment>> sealed_;
+  // Rows [active_head_, active_.size()) are live; [0, active_head_) were
+  // truncated away and are reclaimed lazily by MaybeCompactHeadLocked.
+  RecordBatch active_;
+  std::size_t active_head_ = 0;
+  Offset active_base_ = 0;   // absolute offset of active_ row active_head_
+  Offset start_offset_ = 0;  // log start (may point into sealed_.front())
+  std::size_t bytes_ = 0;    // live key+payload bytes across both tiers
+  // Bytes of the truncated-away rows below start_offset_ still held by
+  // sealed_.front() / active_ (immutable segments can't shrink in place).
+  std::size_t front_dead_bytes_ = 0;
+  std::size_t active_dead_bytes_ = 0;
   TimePoint max_event_time_ = TimePoint::Min();
 
   std::atomic<Offset> start_mirror_{0};
@@ -276,6 +323,29 @@ class Broker {
   Expected<RecordBatch> FetchBatch(const std::string& topic, PartitionId partition,
                                    Offset from, std::size_t max_records);
 
+  // --- historical read path (stream/query.h) ----------------------------
+  // Offset-range and event-time queries over the segmented log, served
+  // through the broker's block cache. Admitted by the cluster gate like
+  // any fetch, but deliberately drawing NO fault-injector randomness:
+  // running historical scans never shifts a fault schedule, so scenario
+  // digests are unchanged whether or not queries run alongside.
+  // Out-of-window bounds clamp to [log_start, end) instead of erroring —
+  // a replay asking below the log start gets the surviving suffix.
+  Expected<QueryResult> QueryRange(const std::string& topic, PartitionId partition,
+                                   Offset lo, Offset hi);
+  Expected<QueryResult> QueryTime(const std::string& topic, PartitionId partition,
+                                  TimePoint t_lo, TimePoint t_hi);
+  // Smallest retained offset with event time >= t, or the log end (what
+  // Consumer::SeekToTimestamp repositions with).
+  Expected<Offset> OffsetForTimestamp(const std::string& topic, PartitionId partition,
+                                      TimePoint t);
+
+  // Replace the query block cache (capacity in blocks; the seed salts the
+  // hash layout). The default cache holds 1024 blocks.
+  void ConfigureQueryCache(std::size_t capacity_blocks,
+                           std::uint64_t seed = 0x5eedb10cULL);
+  BlockCache& query_cache() { return *query_cache_; }
+
   // Advance a partition's log start (consumer-driven queue truncation).
   Expected<std::size_t> TruncateBefore(const std::string& topic, PartitionId partition,
                                        Offset offset);
@@ -348,6 +418,7 @@ class Broker {
   std::atomic<std::uint64_t> backpressure_rejects_{0};
   std::atomic<ProducerId> next_pid_{1};
   std::mutex fault_mu_;
+  std::unique_ptr<BlockCache> query_cache_ = std::make_unique<BlockCache>(1024);
   fault::FaultInjector* fault_ = nullptr;
   MetricRegistry* metrics_ = nullptr;
   trace::Tracer* tracer_ = nullptr;
