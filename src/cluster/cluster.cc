@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "common/log.h"
+#include "common/serialize.h"
 
 namespace arbd::cluster {
 
@@ -14,6 +15,13 @@ std::uint32_t ClusterSizeFromEnv() {
   const unsigned long v = std::strtoul(env, &end, 10);
   if (end == env || *end != '\0' || v == 0) return 1;
   return static_cast<std::uint32_t>(std::min<unsigned long>(v, 16));
+}
+
+bool AutoscaleFromEnv() {
+  const char* env = std::getenv("ARBD_AUTOSCALE");
+  if (env == nullptr) return false;
+  const std::string v(env);
+  return v == "1" || v == "true" || v == "on";
 }
 
 BrokerCluster::BrokerCluster(stream::Broker& broker, ClusterConfig cfg)
@@ -256,30 +264,315 @@ void BrokerCluster::Tick() {
     }
   }
   if (split_heal_at_ != 0 && now >= split_heal_at_) HealLocked();
-  if (fault_ == nullptr) return;
-  if (fault_->Fire(fault::FaultKind::kKillBroker, fault::InjectionPoint::kClusterBroker)) {
-    std::vector<BrokerId> up;
-    for (BrokerId b = 0; b < cfg_.brokers; ++b) {
-      if (nodes_[b].up && !nodes_[b].split) up.push_back(b);
+  if (fault_ != nullptr) {
+    if (fault_->Fire(fault::FaultKind::kKillBroker, fault::InjectionPoint::kClusterBroker)) {
+      std::vector<BrokerId> up;
+      for (BrokerId b = 0; b < cfg_.brokers; ++b) {
+        if (nodes_[b].up && !nodes_[b].split) up.push_back(b);
+      }
+      if (!up.empty()) {
+        const BrokerId victim = up[rng_.NextBelow(up.size())];
+        std::uint64_t window = 0;
+        const fault::FaultRule* rule = fault_->plan().Find(fault::FaultKind::kKillBroker);
+        if (rule != nullptr && rule->magnitude > 0.0) {
+          window = static_cast<std::uint64_t>(rule->magnitude);
+        }
+        KillBrokerLocked(victim, window);
+      }
     }
-    if (!up.empty()) {
-      const BrokerId victim = up[rng_.NextBelow(up.size())];
+    if (fault_->Fire(fault::FaultKind::kNetSplit, fault::InjectionPoint::kClusterLink)) {
       std::uint64_t window = 0;
-      const fault::FaultRule* rule = fault_->plan().Find(fault::FaultKind::kKillBroker);
+      const fault::FaultRule* rule = fault_->plan().Find(fault::FaultKind::kNetSplit);
       if (rule != nullptr && rule->magnitude > 0.0) {
         window = static_cast<std::uint64_t>(rule->magnitude);
       }
-      KillBrokerLocked(victim, window);
+      NetSplitLocked(window);
     }
   }
-  if (fault_->Fire(fault::FaultKind::kNetSplit, fault::InjectionPoint::kClusterLink)) {
-    std::uint64_t window = 0;
-    const fault::FaultRule* rule = fault_->plan().Find(fault::FaultKind::kNetSplit);
-    if (rule != nullptr && rule->magnitude > 0.0) {
-      window = static_cast<std::uint64_t>(rule->magnitude);
-    }
-    NetSplitLocked(window);
+  if (cfg_.autoscale.enabled) AutoscaleTickLocked();
+}
+
+std::vector<stream::PartitionId> BrokerCluster::LiveLeavesLocked(
+    const std::string& topic) const {
+  auto rit = routers_.find(topic);
+  if (rit != routers_.end()) return rit->second.LiveLeaves();
+  std::vector<stream::PartitionId> out;
+  auto pit = placements_.find(topic);
+  if (pit == placements_.end()) return out;
+  out.reserve(pit->second.partition_count());
+  for (stream::PartitionId p = 0; p < pit->second.partition_count(); ++p) {
+    out.push_back(p);
   }
+  return out;
+}
+
+void BrokerCluster::AutoscaleTickLocked() {
+  const AutoscaleConfig& as = cfg_.autoscale;
+  std::uint32_t actions = 0;
+  // Chaos draws happen once per tick (not per topic), so adding topics
+  // never shifts an existing plan's schedule.
+  const bool force_split =
+      fault_ != nullptr &&
+      fault_->Fire(fault::FaultKind::kAutoSplit, fault::InjectionPoint::kClusterAutoscale);
+  const bool force_merge =
+      fault_ != nullptr &&
+      fault_->Fire(fault::FaultKind::kAutoMerge, fault::InjectionPoint::kClusterAutoscale);
+  for (auto& [topic, pl] : placements_) {
+    auto t = broker_.GetTopic(topic);
+    if (!t.ok()) continue;
+    const std::vector<stream::PartitionId> leaves = LiveLeavesLocked(topic);
+    std::vector<stream::Offset>& last = last_end_[topic];
+    last.resize((*t)->partition_count(), 0);
+
+    // Refresh load accounting for every live leaf. Rate is the committed
+    // end-offset delta since the last tick — the same number the broker's
+    // per-partition `qos.depth` gauge is derived from, read here from the
+    // partition mirror so the autoscaler also works with no registry.
+    stream::PartitionId hottest = 0;
+    std::uint64_t hottest_rate = 0;
+    bool have_hottest = false;
+    for (const stream::PartitionId p : leaves) {
+      const stream::Offset end = (*t)->partition(p).end_offset();
+      const std::uint64_t rate = static_cast<std::uint64_t>(end - last[p]);
+      last[p] = end;
+      const std::uint64_t bytes = (*t)->partition(p).bytes();
+      controller_.ObserveLoad(topic, p, rate, bytes, as.merge_rate_threshold);
+      if (!have_hottest || rate > hottest_rate) {
+        have_hottest = true;
+        hottest = p;
+        hottest_rate = rate;
+      }
+    }
+
+    // Split: hottest leaf over threshold (or forced), partition budget
+    // permitting. Child ids are the next two indices, so the cap is on
+    // the total created, not the live count — a topic that split/merged
+    // its way to the cap stays there.
+    if (actions < as.max_actions_per_tick && have_hottest &&
+        (force_split || (as.split_rate_threshold > 0 &&
+                         hottest_rate >= as.split_rate_threshold)) &&
+        (*t)->partition_count() + 2 <= as.max_partitions) {
+      if (SplitPartitionLocked(topic, hottest).ok()) ++actions;
+    }
+
+    // Merge: first sibling pair (by leaf order) where both stayed cold
+    // for the window — or, when forced, the coldest mergeable pair.
+    if (actions < as.max_actions_per_tick) {
+      auto rit = routers_.find(topic);
+      if (rit != routers_.end() && (*t)->partition_count() < as.max_partitions) {
+        stream::PartitionId best_a = 0, best_b = 0;
+        std::uint64_t best_rate = 0;
+        bool have_pair = false;
+        for (const stream::PartitionId p : rit->second.LiveLeaves()) {
+          auto sib = rit->second.SiblingOf(p);
+          if (!sib.ok() || *sib <= p) continue;  // visit each pair once
+          const auto* la = controller_.Load(topic, p);
+          const auto* lb = controller_.Load(topic, *sib);
+          if (la == nullptr || lb == nullptr) continue;
+          const bool cold = la->cold_ticks >= as.merge_cold_ticks &&
+                            lb->cold_ticks >= as.merge_cold_ticks;
+          if (!cold && !force_merge) continue;
+          const std::uint64_t pair_rate = la->rate + lb->rate;
+          if (!have_pair || pair_rate < best_rate) {
+            have_pair = true;
+            best_a = p;
+            best_b = *sib;
+            best_rate = pair_rate;
+          }
+          if (cold) break;  // first cold pair in leaf order wins outright
+        }
+        if (have_pair && MergePartitionsLocked(topic, best_a, best_b).ok()) ++actions;
+      }
+    }
+  }
+}
+
+Status BrokerCluster::SplitPartitionLocked(const std::string& topic,
+                                           stream::PartitionId parent) {
+  auto pit = placements_.find(topic);
+  if (pit == placements_.end()) return Status::NotFound("topic '" + topic + "' not placed");
+  auto t = broker_.GetTopic(topic);
+  if (!t.ok()) return t.status();
+  TopicPlacement& pl = pit->second;
+  // Lazily create the identity router: at the first split the placement
+  // still holds exactly the original partitions, so Identity() over the
+  // current count is the pre-split routing function.
+  auto rit = routers_.find(topic);
+  if (rit == routers_.end()) {
+    rit = routers_.emplace(topic, TopicRouter::Identity(pl.partition_count())).first;
+  }
+  TopicRouter& router = rit->second;
+  if (!router.IsLeaf(parent)) {
+    return Status::FailedPrecondition("partition " + std::to_string(parent) +
+                                      " is not a live leaf");
+  }
+  const stream::PartitionId c0 = pl.partition_count();
+  const stream::PartitionId c1 = c0 + 1;
+  const std::vector<BrokerId> row0 = PlacePartition(ring_, topic, c0, pl.factor);
+  const std::vector<BrokerId> row1 = PlacePartition(ring_, topic, c1, pl.factor);
+
+  // Metadata first: the controller never advertises a transition its log
+  // does not hold, and if the metadata quorum is gone the split simply
+  // does not happen (live state untouched).
+  MetaEvent ev{.kind = MetaEventKind::kPartitionSplit, .topic = topic};
+  ev.partition = parent;
+  ev.children = std::to_string(c0) + "," + std::to_string(c1);
+  ev.split_offset =
+      static_cast<std::uint64_t>((*t)->partition(parent).end_offset());
+  TopicPlacement rows;
+  rows.factor = pl.factor;
+  rows.replicas = {row0, row1};
+  ev.placement = rows.Encode();
+  Status appended = controller_.Append(ev);
+  if (!appended.ok()) return appended;
+
+  // Fence the parent: dedup answers survive, everything else is turned
+  // away; its live rows seal into the immutable query tier.
+  auto seal = (*t)->replication(parent).SealForSplit();
+  (*t)->partition(parent).SealActive();
+
+  // Create the children and hand the parent's committed (pid, seq) table
+  // to both — an in-flight retry of a parent-committed record dedups on
+  // whichever child now owns its key.
+  (*t)->AddPartitions(2);
+  (*t)->replication(c0).SeedDedup(seal.seen);
+  (*t)->replication(c1).SeedDedup(seal.seen);
+  pl.replicas.push_back(row0);
+  pl.replicas.push_back(row1);
+
+  // Child slots hosted on currently-dead or fenced brokers crash
+  // immediately so elections and the gate see the true world.
+  for (const stream::PartitionId c : {c0, c1}) {
+    for (std::uint32_t s = 0; s < pl.factor; ++s) {
+      const Node& host = nodes_[pl.broker_of(c, s)];
+      if (!host.up || host.split) {
+        (*t)->replication(c).CrashNode(s, /*restore_after_ops=*/0);
+      }
+    }
+  }
+
+  router.Split(parent, c0, c1);
+  controller_.ForgetLoad(topic, parent);
+  ++stats_.splits;
+  // The controller's Apply routed the children to slot 0; if a crashed
+  // host just moved a child's leadership, record the move.
+  RefreshRoutesLocked();
+  return Status::Ok();
+}
+
+Status BrokerCluster::MergePartitionsLocked(const std::string& topic,
+                                            stream::PartitionId a,
+                                            stream::PartitionId b) {
+  auto pit = placements_.find(topic);
+  if (pit == placements_.end()) return Status::NotFound("topic '" + topic + "' not placed");
+  auto rit = routers_.find(topic);
+  if (rit == routers_.end()) {
+    return Status::FailedPrecondition("topic '" + topic + "' has never split");
+  }
+  auto t = broker_.GetTopic(topic);
+  if (!t.ok()) return t.status();
+  TopicPlacement& pl = pit->second;
+  TopicRouter& router = rit->second;
+  auto sib = router.SiblingOf(a);
+  if (!sib.ok() || *sib != b) {
+    return Status::FailedPrecondition("partitions " + std::to_string(a) + " and " +
+                                      std::to_string(b) + " are not live siblings");
+  }
+  const stream::PartitionId merged = pl.partition_count();
+  const std::vector<BrokerId> row = PlacePartition(ring_, topic, merged, pl.factor);
+
+  MetaEvent ev{.kind = MetaEventKind::kPartitionMerged, .topic = topic};
+  ev.partition = merged;
+  ev.children = std::to_string(a) + "," + std::to_string(b);
+  TopicPlacement rows;
+  rows.factor = pl.factor;
+  rows.replicas = {row};
+  ev.placement = rows.Encode();
+  Status appended = controller_.Append(ev);
+  if (!appended.ok()) return appended;
+
+  auto seal_a = (*t)->replication(a).SealForSplit();
+  auto seal_b = (*t)->replication(b).SealForSplit();
+  (*t)->partition(a).SealActive();
+  (*t)->partition(b).SealActive();
+
+  (*t)->AddPartitions(1);
+  (*t)->replication(merged).SeedDedup(seal_a.seen);
+  (*t)->replication(merged).SeedDedup(seal_b.seen);
+  pl.replicas.push_back(row);
+
+  for (std::uint32_t s = 0; s < pl.factor; ++s) {
+    const Node& host = nodes_[pl.broker_of(merged, s)];
+    if (!host.up || host.split) {
+      (*t)->replication(merged).CrashNode(s, /*restore_after_ops=*/0);
+    }
+  }
+
+  router.Merge(a, b, merged);
+  controller_.ForgetLoad(topic, a);
+  controller_.ForgetLoad(topic, b);
+  ++stats_.merges;
+  RefreshRoutesLocked();
+  return Status::Ok();
+}
+
+Status BrokerCluster::SplitPartition(const std::string& topic,
+                                     stream::PartitionId parent) {
+  std::unique_lock<std::shared_mutex> lk(mu_);
+  return SplitPartitionLocked(topic, parent);
+}
+
+Status BrokerCluster::MergePartitions(const std::string& topic, stream::PartitionId a,
+                                      stream::PartitionId b) {
+  std::unique_lock<std::shared_mutex> lk(mu_);
+  return MergePartitionsLocked(topic, a, b);
+}
+
+Expected<stream::PartitionId> BrokerCluster::RoutePartition(const std::string& topic,
+                                                            const std::string& key) {
+  auto t = broker_.GetTopic(topic);
+  if (!t.ok()) return t.status();
+  {
+    std::shared_lock<std::shared_mutex> lk(mu_);
+    auto rit = routers_.find(topic);
+    if (rit != routers_.end()) {
+      if (!key.empty()) {
+        return rit->second.RouteHash(Fnv1a(key));
+      }
+      // Empty keys keep round-robining, over the live leaves, reusing the
+      // topic's counter so the draw sequence matches the identity path.
+      const std::vector<stream::PartitionId> leaves = rit->second.LiveLeaves();
+      const stream::PartitionId r = (*t)->PartitionFor(key);
+      return leaves[r % leaves.size()];
+    }
+  }
+  // No router: identical to the pre-autoscale path, draw for draw.
+  return (*t)->PartitionFor(key);
+}
+
+bool BrokerCluster::HasRouter(const std::string& topic) const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  return routers_.contains(topic);
+}
+
+bool BrokerCluster::IsSealed(const std::string& topic, stream::PartitionId p) const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  auto rit = routers_.find(topic);
+  return rit != routers_.end() && rit->second.sealed.contains(p);
+}
+
+std::vector<stream::PartitionId> BrokerCluster::LiveLeaves(
+    const std::string& topic) const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  return LiveLeavesLocked(topic);
+}
+
+std::uint64_t BrokerCluster::DedupFloor(const std::string& topic, stream::PartitionId p,
+                                        stream::ProducerId pid) const {
+  auto t = broker_.GetTopic(topic);
+  if (!t.ok()) return 0;
+  if (p >= (*t)->partition_count()) return 0;
+  return (*t)->replication(p).LastSeq(pid);
 }
 
 bool BrokerCluster::BrokerUp(BrokerId broker) const {
@@ -369,16 +662,45 @@ ClusterProducer::ClusterProducer(BrokerCluster& cluster, stream::Broker& broker,
       rng_(jitter_seed),
       pid_(broker.AllocateProducerId()) {}
 
+std::uint64_t ClusterProducer::NextSeqFor(stream::PartitionId p) {
+  auto [it, inserted] = next_seq_.try_emplace(p, 0);
+  if (inserted) {
+    // First send to this partition. If it is a split/merge child, its
+    // dedup table already holds this producer's parent-committed seqs;
+    // start above them so fresh records are never mistaken for retries.
+    it->second = cluster_.DedupFloor(topic_, p, pid_);
+  }
+  return ++it->second;
+}
+
 Expected<std::pair<stream::PartitionId, stream::Offset>> ClusterProducer::Send(
     stream::Record record) {
-  auto t = broker_.GetTopic(topic_);
-  if (!t.ok()) return t.status();
-  const stream::PartitionId p = (*t)->PartitionFor(record.key);
-  const std::uint64_t seq = ++next_seq_[p];
+  auto routed = cluster_.RoutePartition(topic_, record.key);
+  if (!routed.ok()) return routed.status();
+  stream::PartitionId p = *routed;
+  std::uint64_t seq = NextSeqFor(p);
 
   auto leader = cluster_.LeaderBroker(topic_, p);
   bool have_leader = leader.ok();
   BrokerId last_leader = have_leader ? *leader : 0;
+
+  // Re-resolve the route after a split/merge fenced our partition. Only
+  // called once the sealed target has returned kFailedPrecondition for
+  // (pid_, seq) — and the seal check runs AFTER the dedup check, so a
+  // committed (pid_, seq) would have acked with its original offset
+  // instead. The record is therefore uncommitted everywhere, and it hands
+  // off as a fresh append on the new owner's own seq stream (NextSeqFor
+  // seeds past every inherited parent/sibling seq, so reusing the parent
+  // stream's number can never be mistaken for a merged sibling's record).
+  auto migrate = [&]() -> bool {
+    auto again = cluster_.RoutePartition(topic_, record.key);
+    if (!again.ok() || *again == p) return false;
+    ++handoffs_;
+    p = *again;
+    seq = NextSeqFor(p);
+    have_leader = false;
+    return true;
+  };
 
   const std::size_t attempts = std::max<std::size_t>(retry_.max_attempts, 1);
   Status last = Status::Ok();
@@ -389,6 +711,11 @@ Expected<std::pair<stream::PartitionId, stream::Offset>> ClusterProducer::Send(
       return std::make_pair(p, *off);
     }
     last = off.status();
+    if (last.code() == StatusCode::kFailedPrecondition &&
+        cluster_.IsSealed(topic_, p)) {
+      if (migrate()) continue;
+      break;
+    }
     if (last.code() != StatusCode::kUnavailable) break;
     if (attempt + 1 == attempts) break;
     ++retries_;
@@ -396,6 +723,11 @@ Expected<std::pair<stream::PartitionId, stream::Offset>> ClusterProducer::Send(
     // Backoff is modeled time passing: kill windows count down, splits
     // heal, elections settle. Tick the cluster so the retry sees it.
     cluster_.Tick();
+    // If an autoscale action sealed the target during the backoff ticks,
+    // keep retrying the sealed parent anyway: only it can testify whether
+    // (pid_, seq) committed before the fence (a crash can commit and lose
+    // the ack). Once reachable it either acks the duplicate or returns
+    // kFailedPrecondition, and the sealed branch above hands off.
     auto now_leading = cluster_.LeaderBroker(topic_, p);
     if (now_leading.ok()) {
       if (have_leader && *now_leading != last_leader) ++rerouted_;
@@ -405,6 +737,55 @@ Expected<std::pair<stream::PartitionId, stream::Offset>> ClusterProducer::Send(
   }
   ++exhausted_;
   return last;
+}
+
+ClusterQuery::ClusterQuery(BrokerCluster& cluster, stream::Broker& broker,
+                           std::string topic, fault::RetryPolicy retry,
+                           std::uint64_t jitter_seed)
+    : cluster_(cluster),
+      broker_(broker),
+      topic_(std::move(topic)),
+      retry_(retry),
+      rng_(jitter_seed) {}
+
+template <typename T>
+Expected<T> ClusterQuery::WithRetry(const std::function<Expected<T>()>& attempt_fn) {
+  const std::size_t attempts = std::max<std::size_t>(retry_.max_attempts, 1);
+  Status last = Status::Ok();
+  for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+    auto r = attempt_fn();
+    if (r.ok()) return r;
+    last = r.status();
+    if (last.code() != StatusCode::kUnavailable) break;
+    if (attempt + 1 == attempts) break;
+    ++retries_;
+    total_backoff_ = total_backoff_ + retry_.BackoffFor(attempt, rng_);
+    // Same contract as ClusterProducer: backoff is modeled time, so tick
+    // the cluster — the kill window drains and a new leader is elected,
+    // after which AdmitFetch stops rejecting the read.
+    cluster_.Tick();
+  }
+  ++exhausted_;
+  return last;
+}
+
+Expected<stream::QueryResult> ClusterQuery::QueryRange(stream::PartitionId p,
+                                                       stream::Offset lo,
+                                                       stream::Offset hi) {
+  return WithRetry<stream::QueryResult>(
+      [&] { return broker_.QueryRange(topic_, p, lo, hi); });
+}
+
+Expected<stream::QueryResult> ClusterQuery::QueryTime(stream::PartitionId p,
+                                                      TimePoint t_lo, TimePoint t_hi) {
+  return WithRetry<stream::QueryResult>(
+      [&] { return broker_.QueryTime(topic_, p, t_lo, t_hi); });
+}
+
+Expected<stream::Offset> ClusterQuery::OffsetForTimestamp(stream::PartitionId p,
+                                                          TimePoint t) {
+  return WithRetry<stream::Offset>(
+      [&] { return broker_.OffsetForTimestamp(topic_, p, t); });
 }
 
 }  // namespace arbd::cluster

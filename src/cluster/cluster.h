@@ -27,6 +27,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <shared_mutex>
@@ -47,6 +48,33 @@ namespace arbd::cluster {
 // environment (core::Platform). Unset or invalid -> 1 (no cluster).
 std::uint32_t ClusterSizeFromEnv();
 
+// ARBD_AUTOSCALE ("1"/"true"): enables controller-driven partition
+// split/merge on clusters built from the environment (core::Platform).
+// Only Platform consults this — explicitly-configured clusters (tests,
+// benches, scenarios) opt in through ClusterConfig::autoscale, so turning
+// the env flag on never silently reshapes an experiment that pinned its
+// own config. Off = byte-identical to the pre-autoscale cluster.
+bool AutoscaleFromEnv();
+
+// Partition autoscaling policy (ISSUE 9). Rates are records appended per
+// cluster Tick, observed from end-offset deltas and recorded into the
+// controller's load accounting each tick.
+struct AutoscaleConfig {
+  bool enabled = false;
+  // Split the hottest live partition when its per-tick rate reaches this.
+  std::uint64_t split_rate_threshold = 256;
+  // A partition is "cold" at or below this rate...
+  std::uint64_t merge_rate_threshold = 2;
+  // ...and a sibling pair merges after both stayed cold this many
+  // consecutive ticks.
+  std::uint32_t merge_cold_ticks = 8;
+  // Hard ceiling on a topic's total partition count (live + sealed);
+  // splits stop at it. Merges/splits are also capped per tick so one
+  // tick's metadata churn stays bounded.
+  std::uint32_t max_partitions = 64;
+  std::uint32_t max_actions_per_tick = 1;
+};
+
 struct ClusterConfig {
   std::uint32_t brokers = 1;
   std::uint32_t virtual_nodes = 64;  // ring points per broker
@@ -58,6 +86,7 @@ struct ClusterConfig {
   // count; modeled as a separate controller quorum, so data-broker kills
   // never starve it).
   std::uint32_t metadata_factor = 3;
+  AutoscaleConfig autoscale;
 };
 
 struct ClusterStats {
@@ -68,6 +97,8 @@ struct ClusterStats {
   std::uint64_t leader_moves = 0;  // routing-table updates after elections
   std::uint64_t produce_denied = 0;
   std::uint64_t fetch_denied = 0;
+  std::uint64_t splits = 0;        // partition splits (autoscaler or manual)
+  std::uint64_t merges = 0;        // partition merges
 };
 
 class BrokerCluster : public stream::ClusterGate {
@@ -119,6 +150,42 @@ class BrokerCluster : public stream::ClusterGate {
   Expected<BrokerId> LeaderBroker(const std::string& topic, stream::PartitionId p) const;
   Expected<const TopicPlacement*> Placement(const std::string& topic) const;
 
+  // --- partition autoscaling (ISSUE 9) ---
+  // Split a live partition into two placed children: the split event is
+  // appended to the metadata log FIRST (if the metadata quorum is gone
+  // the split does not happen), then the parent's replica group seals at
+  // its committed end offset, its active rows seal into an immutable
+  // segment, two fresh partitions inherit its dedup table, and the
+  // key-range router sends the parent's key range to them by the next
+  // refinement bit. Exposed publicly for tests/scenarios; the autoscaler
+  // calls it from Tick when a rate threshold trips.
+  Status SplitPartition(const std::string& topic, stream::PartitionId parent);
+  // Inverse transition: seal two cold sibling leaves and route their
+  // combined key range to one fresh placed partition (seeded with both
+  // dedup tables).
+  Status MergePartitions(const std::string& topic, stream::PartitionId a,
+                         stream::PartitionId b);
+
+  // Route a record key to its live partition. Identity with
+  // Topic::PartitionFor — including the empty-key round-robin draw —
+  // until the topic's first split creates a router; after that, keyed
+  // records follow the key-range trie and empty keys round-robin over the
+  // live leaves.
+  Expected<stream::PartitionId> RoutePartition(const std::string& topic,
+                                               const std::string& key);
+  bool HasRouter(const std::string& topic) const;
+  // Whether `p` is sealed for split/merge handoff (a retired parent or
+  // merged child). ClusterProducer uses this to tell the split fence
+  // apart from other kFailedPrecondition rejections.
+  bool IsSealed(const std::string& topic, stream::PartitionId p) const;
+  // Live (routable) partitions, ascending; all partitions when no router.
+  std::vector<stream::PartitionId> LiveLeaves(const std::string& topic) const;
+  // Highest committed (pid, seq) floor on partition `p` — what a producer
+  // first touching a split/merge child must start its sequence above,
+  // because the child inherited its ancestors' dedup table.
+  std::uint64_t DedupFloor(const std::string& topic, stream::PartitionId p,
+                           stream::ProducerId pid) const;
+
   MetadataController& controller() { return controller_; }
   const MetadataController& controller() const { return controller_; }
   ClusterStats stats() const;
@@ -155,6 +222,17 @@ class BrokerCluster : public stream::ClusterGate {
   // table + metadata log.
   void RefreshRoutesLocked();
   Status AdmitLocked(const std::string& topic, stream::PartitionId partition) const;
+  Status SplitPartitionLocked(const std::string& topic, stream::PartitionId parent);
+  Status MergePartitionsLocked(const std::string& topic, stream::PartitionId a,
+                               stream::PartitionId b);
+  // The per-tick autoscale pass: refresh load accounting for every live
+  // leaf from end-offset deltas (plus the qos byte gauges when exported),
+  // then split the hottest leaf over the rate threshold and merge any
+  // sibling pair cold long enough — bounded by max_actions_per_tick. The
+  // injected `autosplit`/`automerge` chaos kinds force the corresponding
+  // action regardless of thresholds.
+  void AutoscaleTickLocked();
+  std::vector<stream::PartitionId> LiveLeavesLocked(const std::string& topic) const;
 
   stream::Broker& broker_;
   ClusterConfig cfg_;
@@ -166,6 +244,13 @@ class BrokerCluster : public stream::ClusterGate {
   mutable std::shared_mutex mu_;
   std::vector<Node> nodes_;
   std::map<std::string, TopicPlacement> placements_;
+  // Live mirror of the controller's key-range routers (same transitions,
+  // applied in the same order; ControllerState holds the replayable copy).
+  // Empty until a topic's first split.
+  std::map<std::string, TopicRouter> routers_;
+  // Per topic: each partition's end offset at the last autoscale pass,
+  // for per-tick rate deltas.
+  std::map<std::string, std::vector<stream::Offset>> last_end_;
   std::uint64_t split_heal_at_ = 0;  // 0 = no active split
   std::atomic<std::uint64_t> tick_{0};
 
@@ -192,9 +277,19 @@ class ClusterProducer {
   std::uint64_t retries() const { return retries_; }
   std::uint64_t rerouted() const { return rerouted_; }
   std::uint64_t exhausted() const { return exhausted_; }
+  // In-flight sends that followed a split/merge to a different partition
+  // (either the target sealed under them, or a tick during backoff moved
+  // the route). Each carried its (pid, seq) across, so the handoff is
+  // dedup-safe end to end.
+  std::uint64_t handoffs() const { return handoffs_; }
   Duration total_backoff() const { return total_backoff_; }
 
  private:
+  // ++next_seq_[p], seeding a first-touched partition's counter above the
+  // broker-side dedup floor (nonzero only for split/merge children, which
+  // inherit their ancestors' committed (pid, seq) table).
+  std::uint64_t NextSeqFor(stream::PartitionId p);
+
   BrokerCluster& cluster_;
   stream::Broker& broker_;
   std::string topic_;
@@ -205,6 +300,47 @@ class ClusterProducer {
   std::uint64_t sent_ = 0;
   std::uint64_t retries_ = 0;
   std::uint64_t rerouted_ = 0;
+  std::uint64_t exhausted_ = 0;
+  std::uint64_t handoffs_ = 0;
+  Duration total_backoff_ = Duration::Zero();
+};
+
+// Cluster-routed historical reads (ISSUE 9 satellite). The broker's query
+// tier is gate-admitted: while a partition's leader broker is down or
+// fenced, Broker::QueryRange/QueryTime/OffsetForTimestamp return the
+// AdmitFetch rejection directly — and before this helper existed, callers
+// had no reroute-and-retry, so a killbroker mid-replay failed the whole
+// replay even though the data was one election away. ClusterQuery wraps
+// the three query entry points in the same backoff-and-Tick retry loop
+// ClusterProducer uses for produce: backoff is modeled time, each Tick
+// counts kill/heal windows down and settles elections, and the retry is
+// admitted once a leader broker is reachable again. Queries consume no
+// fault-injector randomness, so wrapping them never shifts a schedule.
+class ClusterQuery {
+ public:
+  ClusterQuery(BrokerCluster& cluster, stream::Broker& broker, std::string topic,
+               fault::RetryPolicy retry = {}, std::uint64_t jitter_seed = 0x9e7ULL);
+
+  Expected<stream::QueryResult> QueryRange(stream::PartitionId p, stream::Offset lo,
+                                           stream::Offset hi);
+  Expected<stream::QueryResult> QueryTime(stream::PartitionId p, TimePoint t_lo,
+                                          TimePoint t_hi);
+  Expected<stream::Offset> OffsetForTimestamp(stream::PartitionId p, TimePoint t);
+
+  std::uint64_t retries() const { return retries_; }
+  std::uint64_t exhausted() const { return exhausted_; }
+  Duration total_backoff() const { return total_backoff_; }
+
+ private:
+  template <typename T>
+  Expected<T> WithRetry(const std::function<Expected<T>()>& attempt);
+
+  BrokerCluster& cluster_;
+  stream::Broker& broker_;
+  std::string topic_;
+  fault::RetryPolicy retry_;
+  Rng rng_;
+  std::uint64_t retries_ = 0;
   std::uint64_t exhausted_ = 0;
   Duration total_backoff_ = Duration::Zero();
 };

@@ -33,6 +33,8 @@ const char* MetaEventKindName(MetaEventKind kind) {
     case MetaEventKind::kLeaderMoved: return "leader_moved";
     case MetaEventKind::kNetSplit: return "net_split";
     case MetaEventKind::kNetHeal: return "net_heal";
+    case MetaEventKind::kPartitionSplit: return "partition_split";
+    case MetaEventKind::kPartitionMerged: return "partition_merged";
   }
   return "unknown";
 }
@@ -43,6 +45,10 @@ std::string MetaEvent::Encode() const {
   out += ";partition=" + std::to_string(partition);
   out += ";leader=" + std::to_string(leader);
   if (!placement.empty()) out += ";placement=" + placement;
+  if (!children.empty()) out += ";children=" + children;
+  if (kind == MetaEventKind::kPartitionSplit) {
+    out += ";split_offset=" + std::to_string(split_offset);
+  }
   return out;
 }
 
@@ -52,7 +58,8 @@ Expected<MetaEvent> MetaEvent::Decode(const std::string& kind_name,
   bool known = false;
   for (MetaEventKind k :
        {MetaEventKind::kBrokerUp, MetaEventKind::kBrokerDown, MetaEventKind::kTopicPlaced,
-        MetaEventKind::kLeaderMoved, MetaEventKind::kNetSplit, MetaEventKind::kNetHeal}) {
+        MetaEventKind::kLeaderMoved, MetaEventKind::kNetSplit, MetaEventKind::kNetHeal,
+        MetaEventKind::kPartitionSplit, MetaEventKind::kPartitionMerged}) {
     if (kind_name == MetaEventKindName(k)) {
       e.kind = k;
       known = true;
@@ -71,10 +78,32 @@ Expected<MetaEvent> MetaEvent::Decode(const std::string& kind_name,
   if (num("epoch", &tmp)) e.epoch = tmp;
   if (num("partition", &tmp)) e.partition = static_cast<stream::PartitionId>(tmp);
   if (num("leader", &tmp)) e.leader = static_cast<BrokerId>(tmp);
+  if (num("split_offset", &tmp)) e.split_offset = tmp;
   e.topic = Field(payload, "topic");
   e.placement = Field(payload, "placement");
+  e.children = Field(payload, "children");
   return e;
 }
+
+namespace {
+
+// "12,34" -> {12, 34}; nullopt on anything malformed.
+bool ParseChildPair(const std::string& s, stream::PartitionId* a,
+                    stream::PartitionId* b) {
+  const std::size_t comma = s.find(',');
+  if (comma == std::string::npos) return false;
+  const std::string x = s.substr(0, comma), y = s.substr(comma + 1);
+  if (x.empty() || y.empty() ||
+      x.find_first_not_of("0123456789") != std::string::npos ||
+      y.find_first_not_of("0123456789") != std::string::npos) {
+    return false;
+  }
+  *a = static_cast<stream::PartitionId>(std::stoul(x));
+  *b = static_cast<stream::PartitionId>(std::stoul(y));
+  return true;
+}
+
+}  // namespace
 
 void ControllerState::Apply(const MetaEvent& e) {
   switch (e.kind) {
@@ -109,6 +138,49 @@ void ControllerState::Apply(const MetaEvent& e) {
     case MetaEventKind::kNetHeal:
       brokers[e.broker].split = false;
       break;
+    case MetaEventKind::kPartitionSplit: {
+      stream::PartitionId c0 = 0, c1 = 0;
+      auto rows = TopicPlacement::Decode(e.placement);
+      auto pit = placements.find(e.topic);
+      if (pit == placements.end() || !rows.ok() || rows->replicas.size() != 2 ||
+          !ParseChildPair(e.children, &c0, &c1)) {
+        break;  // a corrupt event cannot poison the state machine
+      }
+      TopicPlacement& pl = pit->second;
+      // The router is created lazily at the first split, so its base
+      // leaf set is the topic's original placement.
+      auto rit = routers.try_emplace(e.topic, TopicRouter()).first;
+      if (rit->second.base_partitions == 0) {
+        rit->second = TopicRouter::Identity(pl.partition_count());
+      }
+      if (c0 != pl.partition_count() || c1 != c0 + 1 ||
+          !rit->second.Split(e.partition, c0, c1).ok()) {
+        break;
+      }
+      pl.replicas.push_back(rows->replicas[0]);
+      pl.replicas.push_back(rows->replicas[1]);
+      routes[{e.topic, c0}] = rows->replicas[0][0];
+      routes[{e.topic, c1}] = rows->replicas[1][0];
+      break;
+    }
+    case MetaEventKind::kPartitionMerged: {
+      stream::PartitionId a = 0, b = 0;
+      auto rows = TopicPlacement::Decode(e.placement);
+      auto pit = placements.find(e.topic);
+      auto rit = routers.find(e.topic);
+      if (pit == placements.end() || rit == routers.end() || !rows.ok() ||
+          rows->replicas.size() != 1 || !ParseChildPair(e.children, &a, &b)) {
+        break;
+      }
+      TopicPlacement& pl = pit->second;
+      if (e.partition != pl.partition_count() ||
+          !rit->second.Merge(a, b, e.partition).ok()) {
+        break;
+      }
+      pl.replicas.push_back(rows->replicas[0]);
+      routes[{e.topic, e.partition}] = rows->replicas[0][0];
+      break;
+    }
   }
 }
 
@@ -124,6 +196,9 @@ std::uint64_t ControllerState::Digest() const {
   for (const auto& [key, leader] : routes) {
     flat += "r" + key.first + "#" + std::to_string(key.second) + "->" +
             std::to_string(leader) + ";";
+  }
+  for (const auto& [topic, router] : routers) {
+    flat += "k" + topic + "=" + router.Encode() + ";";
   }
   return Fnv1a(flat);
 }
@@ -163,6 +238,25 @@ Expected<BrokerId> MetadataController::Route(const std::string& topic,
                             std::to_string(p));
   }
   return it->second;
+}
+
+void MetadataController::ObserveLoad(const std::string& topic, stream::PartitionId p,
+                                     std::uint64_t rate, std::uint64_t bytes,
+                                     std::uint64_t cold_threshold) {
+  PartitionLoad& l = loads_[{topic, p}];
+  l.rate = rate;
+  l.bytes = bytes;
+  l.cold_ticks = rate <= cold_threshold ? l.cold_ticks + 1 : 0;
+}
+
+const MetadataController::PartitionLoad* MetadataController::Load(
+    const std::string& topic, stream::PartitionId p) const {
+  auto it = loads_.find({topic, p});
+  return it == loads_.end() ? nullptr : &it->second;
+}
+
+void MetadataController::ForgetLoad(const std::string& topic, stream::PartitionId p) {
+  loads_.erase({topic, p});
 }
 
 Expected<std::uint64_t> MetadataController::ReplayDigest() const {

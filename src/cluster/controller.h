@@ -33,6 +33,8 @@ enum class MetaEventKind : std::uint8_t {
   kLeaderMoved,  // a partition's leadership drained to another broker
   kNetSplit,     // broker isolated on the minority side of a link split
   kNetHeal,      // the split healed
+  kPartitionSplit,   // hot partition sealed, two placed children created
+  kPartitionMerged,  // two cold siblings sealed, one placed merge target
 };
 
 const char* MetaEventKindName(MetaEventKind kind);
@@ -41,10 +43,21 @@ struct MetaEvent {
   MetaEventKind kind = MetaEventKind::kBrokerUp;
   BrokerId broker = 0;         // kBrokerUp/Down/NetSplit/NetHeal
   std::uint64_t epoch = 0;     // broker liveness epoch after the event
-  std::string topic;           // kTopicPlaced / kLeaderMoved
-  stream::PartitionId partition = 0;  // kLeaderMoved
+  std::string topic;           // kTopicPlaced / kLeaderMoved / split / merge
+  // kLeaderMoved: the moved partition. kPartitionSplit: the sealed
+  // parent. kPartitionMerged: the new merge-target partition.
+  stream::PartitionId partition = 0;
   BrokerId leader = 0;                // kLeaderMoved
-  std::string placement;              // kTopicPlaced (TopicPlacement::Encode)
+  // kTopicPlaced: the full placement. kPartitionSplit/kPartitionMerged:
+  // the replica rows of just the new partitions (TopicPlacement::Encode).
+  std::string placement;
+  // kPartitionSplit: "c0,c1" child ids. kPartitionMerged: "a,b" sealed
+  // source ids. Empty for every older kind, so their encodings — and
+  // every pre-autoscale log digest — are byte-identical to before.
+  std::string children;
+  // kPartitionSplit: the parent's committed end offset at the seal; the
+  // fence every child's inherited dedup table is anchored to.
+  std::uint64_t split_offset = 0;
 
   std::string Encode() const;
   static Expected<MetaEvent> Decode(const std::string& kind_name,
@@ -63,6 +76,10 @@ struct ControllerState {
   std::map<std::string, TopicPlacement> placements;
   // (topic, partition) -> broker currently leading it.
   std::map<std::pair<std::string, stream::PartitionId>, BrokerId> routes;
+  // Key-range routers, present only for topics that have split or merged
+  // at least once — absent entries digest to nothing, keeping every
+  // pre-autoscale digest unchanged.
+  std::map<std::string, TopicRouter> routers;
 
   void Apply(const MetaEvent& e);
   std::uint64_t Digest() const;
@@ -96,11 +113,31 @@ class MetadataController {
   std::uint64_t appended() const { return seq_; }
   std::uint64_t LogDigest() const { return stream::CommittedDigest(log_); }
 
+  // --- per-partition load accounting (autoscale telemetry) ---
+  // Fed each cluster Tick from the broker's qos.depth/qos.bytes gauges
+  // (or the partition mirrors when no registry is attached). Telemetry
+  // only: deliberately NOT part of Digest()/ReplayDigest(), so observing
+  // load never perturbs the replay-reconstructibility invariant — only
+  // the split/merge *decisions* (which ARE logged events) do.
+  struct PartitionLoad {
+    std::uint64_t rate = 0;        // records appended since the last observation
+    std::uint64_t bytes = 0;       // retained key+payload bytes right now
+    std::uint64_t cold_ticks = 0;  // consecutive observations at/below the merge bar
+  };
+  void ObserveLoad(const std::string& topic, stream::PartitionId p,
+                   std::uint64_t rate, std::uint64_t bytes,
+                   std::uint64_t cold_threshold);
+  // nullptr when the partition has never been observed (or was forgotten).
+  const PartitionLoad* Load(const std::string& topic, stream::PartitionId p) const;
+  // Drop accounting for a partition that sealed (split parent, merged child).
+  void ForgetLoad(const std::string& topic, stream::PartitionId p);
+
  private:
   stream::Partition log_;  // committed prefix of the metadata log
   stream::ReplicatedPartition log_rp_;
   ControllerState state_;
   std::uint64_t seq_ = 0;  // events appended (also the log's logical clock)
+  std::map<std::pair<std::string, stream::PartitionId>, PartitionLoad> loads_;
 };
 
 }  // namespace arbd::cluster

@@ -179,4 +179,138 @@ TopicPlacement PlaceTopic(const HashRing& ring, const std::string& topic,
   return placement;
 }
 
+std::vector<BrokerId> PlacePartition(const HashRing& ring, const std::string& topic,
+                                     stream::PartitionId pid, std::uint32_t factor) {
+  factor = std::max<std::uint32_t>(factor, 1);
+  return ring.ReplicaSet(Mix(Fnv1a(topic) ^ Mix(pid + 1)),
+                         std::min(factor, ring.brokers()));
+}
+
+namespace {
+
+// The refinement stream: a second hash of the key, independent of the
+// `hash % base` bucket choice, so split children partition a bucket's
+// keys evenly no matter how skewed the bucket assignment was. Bit d of
+// this stream decides the child at trie depth d.
+std::uint64_t RefinementBits(std::uint64_t key_hash) {
+  return Mix(key_hash ^ 0xa17b0a575ca1eULL);
+}
+
+std::uint64_t PathMask(std::uint32_t depth) {
+  return depth >= 64 ? ~0ULL : ((1ULL << depth) - 1);
+}
+
+}  // namespace
+
+TopicRouter TopicRouter::Identity(std::uint32_t partitions) {
+  TopicRouter r;
+  r.base_partitions = std::max<std::uint32_t>(partitions, 1);
+  for (std::uint32_t b = 0; b < r.base_partitions; ++b) {
+    r.leaves[LeafKey{b, 0, 0}] = static_cast<stream::PartitionId>(b);
+  }
+  return r;
+}
+
+stream::PartitionId TopicRouter::RouteHash(std::uint64_t key_hash) const {
+  const std::uint32_t bucket =
+      static_cast<std::uint32_t>(key_hash % base_partitions);
+  const std::uint64_t bits = RefinementBits(key_hash);
+  // The leaves of one bucket are prefix-free, so exactly one ancestor of
+  // the full refinement path is present; depths stay tiny in practice.
+  for (std::uint32_t d = 0; d < 64; ++d) {
+    const auto it = leaves.find(LeafKey{bucket, d, bits & PathMask(d)});
+    if (it != leaves.end()) return it->second;
+  }
+  // Unreachable for a well-formed router; fall back to the base bucket.
+  return static_cast<stream::PartitionId>(bucket);
+}
+
+std::vector<stream::PartitionId> TopicRouter::LiveLeaves() const {
+  std::vector<stream::PartitionId> out;
+  out.reserve(leaves.size());
+  for (const auto& [k, pid] : leaves) out.push_back(pid);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool TopicRouter::IsLeaf(stream::PartitionId p) const {
+  for (const auto& [k, pid] : leaves) {
+    if (pid == p) return true;
+  }
+  return false;
+}
+
+Expected<stream::PartitionId> TopicRouter::SiblingOf(stream::PartitionId p) const {
+  for (const auto& [k, pid] : leaves) {
+    if (pid != p) continue;
+    if (k.depth == 0) return Status::FailedPrecondition("base leaf has no sibling");
+    const std::uint64_t flip = 1ULL << (k.depth - 1);
+    const auto sib = leaves.find(LeafKey{k.bucket, k.depth, k.path ^ flip});
+    if (sib == leaves.end()) {
+      return Status::FailedPrecondition("sibling subtree is itself split");
+    }
+    return sib->second;
+  }
+  return Status::NotFound("not a live leaf");
+}
+
+Status TopicRouter::Split(stream::PartitionId parent_pid, stream::PartitionId c0,
+                          stream::PartitionId c1) {
+  for (auto it = leaves.begin(); it != leaves.end(); ++it) {
+    if (it->second != parent_pid) continue;
+    const LeafKey k = it->first;
+    if (k.depth >= 63) return Status::FailedPrecondition("refinement trie exhausted");
+    leaves.erase(it);
+    leaves[LeafKey{k.bucket, k.depth + 1, k.path}] = c0;
+    leaves[LeafKey{k.bucket, k.depth + 1, k.path | (1ULL << k.depth)}] = c1;
+    sealed.insert(parent_pid);
+    parent[c0] = parent_pid;
+    parent[c1] = parent_pid;
+    return Status::Ok();
+  }
+  return Status::NotFound("split target is not a live leaf");
+}
+
+Status TopicRouter::Merge(stream::PartitionId a, stream::PartitionId b,
+                          stream::PartitionId merged) {
+  for (auto it = leaves.begin(); it != leaves.end(); ++it) {
+    if (it->second != a) continue;
+    const LeafKey k = it->first;
+    if (k.depth == 0) return Status::FailedPrecondition("base leaf has no sibling");
+    const std::uint64_t flip = 1ULL << (k.depth - 1);
+    const auto sib = leaves.find(LeafKey{k.bucket, k.depth, k.path ^ flip});
+    if (sib == leaves.end() || sib->second != b) {
+      return Status::FailedPrecondition("partitions are not live siblings");
+    }
+    const LeafKey up{k.bucket, k.depth - 1, k.path & ~flip};
+    leaves.erase(LeafKey{k.bucket, k.depth, k.path});
+    leaves.erase(LeafKey{k.bucket, k.depth, k.path ^ flip});
+    leaves[up] = merged;
+    sealed.insert(a);
+    sealed.insert(b);
+    parent[merged] = a;
+    return Status::Ok();
+  }
+  return Status::NotFound("merge source is not a live leaf");
+}
+
+std::string TopicRouter::Encode() const {
+  std::string out = "base=" + std::to_string(base_partitions) + ";leaves=";
+  bool first = true;
+  for (const auto& [k, pid] : leaves) {
+    if (!first) out += ',';
+    first = false;
+    out += std::to_string(k.bucket) + '.' + std::to_string(k.depth) + '.' +
+           std::to_string(k.path) + "->" + std::to_string(pid);
+  }
+  out += ";sealed=";
+  first = true;
+  for (const stream::PartitionId p : sealed) {
+    if (!first) out += ',';
+    first = false;
+    out += std::to_string(p);
+  }
+  return out;
+}
+
 }  // namespace arbd::cluster

@@ -15,6 +15,8 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -71,5 +73,76 @@ struct TopicPlacement {
 // (TopicPlacement::clamped reports it); requested_factor must be >= 1.
 TopicPlacement PlaceTopic(const HashRing& ring, const std::string& topic,
                           std::uint32_t partitions, std::uint32_t requested_factor);
+
+// Ring placement for ONE late-created partition (an autoscale split/merge
+// child). Uses the exact per-partition ring formula PlaceTopic uses, minus
+// the leader-balancing pass — children are placed one at a time after the
+// fact, so their slot order is raw ring order. Still a pure function of
+// (ring, topic, pid, factor).
+std::vector<BrokerId> PlacePartition(const HashRing& ring, const std::string& topic,
+                                     stream::PartitionId pid, std::uint32_t factor);
+
+// Key-range router for partition autoscaling. Base routing stays
+// `hash % base_partitions` — byte-identical to Topic::PartitionFor — and
+// each base bucket owns a binary refinement trie over a second,
+// independent hash stream of the key: splitting a hot partition replaces
+// its leaf with two children distinguished by the next refinement bit;
+// merging two cold siblings replaces their leaves with one fresh
+// partition at the shallower depth. Across all buckets the leaves form a
+// prefix-free cover of the key space, so every key routes to exactly one
+// live partition. Retired partitions (split parents, merged children) go
+// into `sealed` — they stop taking appends and drain historically.
+struct TopicRouter {
+  struct LeafKey {
+    std::uint32_t bucket = 0;  // hash % base_partitions
+    std::uint32_t depth = 0;   // refinement bits consumed
+    std::uint64_t path = 0;    // low `depth` bits of the refinement stream
+    friend bool operator<(const LeafKey& a, const LeafKey& b) {
+      if (a.bucket != b.bucket) return a.bucket < b.bucket;
+      if (a.depth != b.depth) return a.depth < b.depth;
+      return a.path < b.path;
+    }
+    friend bool operator==(const LeafKey& a, const LeafKey& b) {
+      return a.bucket == b.bucket && a.depth == b.depth && a.path == b.path;
+    }
+  };
+
+  std::uint32_t base_partitions = 0;
+  std::map<LeafKey, stream::PartitionId> leaves;
+  std::set<stream::PartitionId> sealed;
+  // child -> the partition it split from (merge targets record the first
+  // merged child). Lineage only; routing never consults it.
+  std::map<stream::PartitionId, stream::PartitionId> parent;
+
+  // One leaf per base bucket at depth 0: routing identical to
+  // Topic::PartitionFor until the first split.
+  static TopicRouter Identity(std::uint32_t partitions);
+
+  // The live partition owning `key_hash` (the Fnv1a the base partitioner
+  // already uses; the refinement stream is derived, not re-supplied).
+  stream::PartitionId RouteHash(std::uint64_t key_hash) const;
+
+  // Live partition ids, ascending.
+  std::vector<stream::PartitionId> LiveLeaves() const;
+
+  bool IsLeaf(stream::PartitionId p) const;
+  // The leaf that would merge with p (same bucket, same depth >= 1,
+  // paths differing only in the deepest bit) — if both are live leaves.
+  Expected<stream::PartitionId> SiblingOf(stream::PartitionId p) const;
+
+  // Replace parent_pid's leaf with children c0 (refinement bit 0) and c1
+  // (bit 1) one level deeper; seals parent_pid.
+  Status Split(stream::PartitionId parent_pid, stream::PartitionId c0,
+               stream::PartitionId c1);
+  // Replace sibling leaves a and b with `merged` one level shallower;
+  // seals both.
+  Status Merge(stream::PartitionId a, stream::PartitionId b,
+               stream::PartitionId merged);
+
+  // Canonical text form, folded into ControllerState::Digest so routing
+  // divergence shows up as a digest mismatch:
+  // "base=N;leaves=b.d.p->pid,...;sealed=a,b,..."
+  std::string Encode() const;
+};
 
 }  // namespace arbd::cluster

@@ -32,6 +32,7 @@ Platform::Platform(PlatformConfig cfg, const geo::CityModel& city, SimClock& clo
   if (brokers > 1) {
     cluster::ClusterConfig cc;
     cc.brokers = brokers;
+    cc.autoscale.enabled = cluster::AutoscaleFromEnv();
     cluster_ = std::make_unique<cluster::BrokerCluster>(broker_, cc);
   }
   stream::TopicConfig tc;

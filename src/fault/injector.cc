@@ -18,6 +18,7 @@ const char* InjectionPointName(InjectionPoint point) {
     case InjectionPoint::kReplicaAppend: return "replica.append";
     case InjectionPoint::kClusterBroker: return "cluster.broker";
     case InjectionPoint::kClusterLink: return "cluster.link";
+    case InjectionPoint::kClusterAutoscale: return "cluster.autoscale";
   }
   return "unknown";
 }

@@ -33,6 +33,7 @@ enum class InjectionPoint {
   kReplicaAppend, // the replicated-partition leader append path
   kClusterBroker, // the cluster tick that can kill a modeled broker node
   kClusterLink,   // the cluster tick that can partition the broker network
+  kClusterAutoscale, // the cluster tick's split/merge decision point
 };
 
 const char* InjectionPointName(InjectionPoint point);

@@ -7,7 +7,7 @@
 namespace arbd::fault {
 namespace {
 
-constexpr std::array<std::pair<FaultKind, const char*>, 14> kKindNames = {{
+constexpr std::array<std::pair<FaultKind, const char*>, 16> kKindNames = {{
     {FaultKind::kCrash, "crash"},
     {FaultKind::kTornAppend, "torn"},
     {FaultKind::kAppendError, "apperr"},
@@ -22,6 +22,8 @@ constexpr std::array<std::pair<FaultKind, const char*>, 14> kKindNames = {{
     {FaultKind::kNodeCrash, "nodecrash"},
     {FaultKind::kKillBroker, "killbroker"},
     {FaultKind::kNetSplit, "netsplit"},
+    {FaultKind::kAutoSplit, "autosplit"},
+    {FaultKind::kAutoMerge, "automerge"},
 }};
 
 bool ParseDouble(const std::string& text, double* out) {

@@ -39,6 +39,10 @@ enum class FaultKind {
   kNetSplit,        // seeded link partition between modeled brokers: the
                     // minority side fences, the majority keeps committing;
                     // `x=` is the heal window in cluster ticks
+  kAutoSplit,       // autoscale chaos: force-split the hottest live
+                    // partition this tick, thresholds notwithstanding
+  kAutoMerge,       // autoscale chaos: force-merge the coldest live
+                    // sibling pair this tick, cold windows notwithstanding
 };
 
 // Spec-string token for each kind (also used in ToString / metrics names).

@@ -39,6 +39,26 @@ std::vector<FleetLoadEvent> GenerateFleetLoad(const FleetLoadConfig& cfg) {
       e.n = n;
       out.push_back(e);
     }
+    // Flash-crowd surge: extra events cycling over the top surge_pois
+    // POIs, appended after the diurnal draw so a zero-surge config
+    // produces a byte-identical trace (the Zipf streams never see the
+    // surge branch).
+    const bool surging = cfg.surge_ticks > 0 && tick >= cfg.surge_start_tick &&
+                         tick < cfg.surge_start_tick + cfg.surge_ticks;
+    if (surging && cfg.surge_boost > 0.0) {
+      const auto extra = static_cast<std::uint32_t>(std::llround(
+          cfg.surge_boost * static_cast<double>(cfg.peak_events_per_tick)));
+      const std::uint32_t pois =
+          std::min(std::max<std::uint32_t>(cfg.surge_pois, 1), hotspots);
+      for (std::uint32_t n = 0; n < extra; ++n) {
+        FleetLoadEvent e;
+        e.user = static_cast<std::uint64_t>(user_zipf.Next(rng));
+        e.poi = n % pois;
+        e.tick = tick;
+        e.n = volume + n;
+        out.push_back(e);
+      }
+    }
   }
   return out;
 }

@@ -36,6 +36,17 @@ struct FleetLoadConfig {
   double user_skew = 1.1;            // Zipf skew over users (heavy users)
   double hotspot_skew = 1.3;         // Zipf skew over POIs (crowded places)
   std::uint64_t seed = 42;
+  // Optional flash-crowd surge: for `surge_ticks` ticks starting at
+  // `surge_start_tick`, an extra `surge_boost * peak_events_per_tick`
+  // events per tick land on the `surge_pois` most popular POIs
+  // (cycling 0,1,..,surge_pois-1,0,..). More than one surge POI matters:
+  // a single key is one hash and can never be split apart, while a
+  // handful of crowded POIs give the partition autoscaler refinement
+  // bits to separate. Defaults model no surge (output unchanged).
+  std::uint32_t surge_start_tick = 0;
+  std::uint32_t surge_ticks = 0;     // 0 = no surge
+  double surge_boost = 0.0;          // extra volume as a multiple of peak
+  std::uint32_t surge_pois = 4;      // top POIs sharing the surge
 };
 
 // One modeled fleet event: user `user` reports at POI `poi` during tick

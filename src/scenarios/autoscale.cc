@@ -1,4 +1,4 @@
-#include "scenarios/cluster.h"
+#include "scenarios/autoscale.h"
 
 #include <algorithm>
 #include <map>
@@ -10,29 +10,27 @@
 #include "stream/replication.h"
 
 namespace arbd::scenarios {
+namespace {
 
-// Fleet events rendered as stream records: keyed by POI (hot partitions
-// emerge from the Zipf hotspot skew), event time strictly increasing by
-// generation order — each record's unique identity for the audits.
-std::vector<stream::Record> MakeFleetWorkload(const offload::FleetLoadConfig& fleet) {
-  const auto load = offload::GenerateFleetLoad(fleet);
-  std::vector<stream::Record> records;
-  records.reserve(load.size());
-  TimePoint t;
-  for (const auto& e : load) {
-    t += Duration::Millis(1);
-    stream::Event ev;
-    ev.key = "poi" + std::to_string(e.poi);
-    ev.attribute = "report";
-    ev.value = static_cast<double>(e.user);
-    ev.event_time = t;
-    records.push_back(stream::Record::Make(ev.key, ev.Encode(), ev.event_time));
-  }
-  return records;
+double Percentile(std::vector<std::uint64_t> xs, double q) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const auto idx = static_cast<std::size_t>(
+      std::min<double>(static_cast<double>(xs.size()) - 1.0,
+                       q * static_cast<double>(xs.size())));
+  return static_cast<double>(xs[idx]);
 }
 
-Expected<ClusterSoakReport> RunClusterSoak(const ClusterSoakConfig& cfg) {
-  ClusterSoakReport report;
+}  // namespace
+
+Expected<AutoscaleSoakReport> RunAutoscaleSoak(const AutoscaleSoakConfig& acfg) {
+  // This loop is RunClusterSoak's, line for line, plus four read-only or
+  // autoscale-gated insertions (armed autoscaler, per-turn hot-rate
+  // sample, SyncPartitions, sealed-aware audits). With autoscale off each
+  // insertion is a no-op, so the committed digest matches the flat soak.
+  const ClusterSoakConfig& cfg = acfg.base;
+  AutoscaleSoakReport out;
+  ClusterSoakReport& report = out.soak;
 
   SimClock clock;
   stream::Broker broker(clock);
@@ -40,6 +38,8 @@ Expected<ClusterSoakReport> RunClusterSoak(const ClusterSoakConfig& cfg) {
   cc.brokers = std::max<std::uint32_t>(cfg.brokers, 1);
   cc.seed = cfg.seed ^ 0xc1a57e12ULL;
   cc.default_restore_ticks = std::max<std::uint64_t>(cfg.restore_ticks, 1);
+  cc.autoscale = acfg.thresholds;
+  cc.autoscale.enabled = acfg.autoscale;
   cluster::BrokerCluster cluster(broker, cc);
 
   fault::FaultInjector* injector = nullptr;
@@ -63,15 +63,10 @@ Expected<ClusterSoakReport> RunClusterSoak(const ClusterSoakConfig& cfg) {
   cluster::ClusterProducer producer(cluster, broker, "cluster.events", retry,
                                     cfg.seed ^ 0x9dULL);
 
-  // The consumer group: member i is homed on broker i % brokers — its
-  // host dying evicts it mid-flight, the restore rejoins it.
   stream::ConsumerGroup group(broker, "cluster.soak", "cluster.events");
   const std::size_t members = std::max<std::uint32_t>(cfg.consumers, 1);
   std::vector<stream::Consumer*> consumers;
   std::vector<bool> evicted(members, false);
-  // In-flight polled identities per member: counted as delivered only when
-  // a successful commit covers them; discarded when the commit is fenced
-  // (the surviving owners redeliver from the committed offsets).
   std::vector<std::vector<std::int64_t>> buffers(members);
   for (std::size_t i = 0; i < members; ++i) {
     auto joined = group.Join("member-" + std::to_string(i));
@@ -92,6 +87,14 @@ Expected<ClusterSoakReport> RunClusterSoak(const ClusterSoakConfig& cfg) {
                 static_cast<std::size_t>(cfg.brokers) *
                     static_cast<std::size_t>(cfg.restore_ticks + cfg.kill_spacing_ticks);
 
+  // Hot-partition pressure sampling: per turn, the max committed-ingest
+  // delta across live leaves, tagged with the split count at sample time.
+  // "Before" is the unsplit regime; "after" is the stabilized regime (the
+  // final split count), so cascade intermediates — a hot child measured
+  // one tick before it splits again — pollute neither bucket.
+  std::vector<stream::Offset> last_end;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> hot_samples;
+
   std::size_t next = 0;
   std::uint32_t next_kill = 0;
   std::size_t turn = 0;
@@ -103,9 +106,6 @@ Expected<ClusterSoakReport> RunClusterSoak(const ClusterSoakConfig& cfg) {
     }
     const bool split_now = !cluster.MinoritySide().empty();
 
-    // 1. Produce a chunk through the rerouting producer. Retries tick
-    // cluster time, so restore windows count down while a send waits out
-    // a dead leader broker.
     const std::size_t until = std::min(records.size(), next + chunk);
     for (; next < until; ++next) {
       ++report.offered;
@@ -122,17 +122,26 @@ Expected<ClusterSoakReport> RunClusterSoak(const ClusterSoakConfig& cfg) {
       clock.Advance(Duration::Millis(1));
     }
 
-    // 2. Every live member polls; its rows stay in flight until step 4's
-    // commit decides their fate.
+    // Read-only hot-rate sample over this turn's ingest.
+    {
+      auto t = broker.GetTopic("cluster.events");
+      if (!t.ok()) return t.status();
+      last_end.resize((*t)->partition_count(), 0);
+      std::uint64_t hot = 0;
+      for (const stream::PartitionId p : cluster.LiveLeaves("cluster.events")) {
+        const stream::Offset end = (*t)->partition(p).end_offset();
+        hot = std::max(hot, static_cast<std::uint64_t>(end - last_end[p]));
+        last_end[p] = end;
+      }
+      hot_samples.emplace_back(cluster.stats().splits, hot);
+    }
+
     for (std::size_t i = 0; i < members; ++i) {
       for (const auto& sr : consumers[i]->Poll(cfg.poll_batch)) {
         buffers[i].push_back(sr.record.event_time.nanos());
       }
     }
 
-    // 3. Cluster time advances — and the kill/split schedules fire — with
-    // those polls in flight, so a broker death lands exactly in the
-    // poll-to-commit window the generation fence protects.
     cluster.Tick();
     if (cfg.rolling_kill) {
       while (next_kill < cc.brokers &&
@@ -149,8 +158,12 @@ Expected<ClusterSoakReport> RunClusterSoak(const ClusterSoakConfig& cfg) {
     }
     if (!cluster.MinoritySide().empty()) report.minority_fenced = true;
 
-    // Home-broker liveness drives membership: death evicts, restore
-    // rejoins (the zombie's commits stay fenced in between).
+    // A split or merge added partitions: the group rebalances onto them
+    // under the usual generation fence (in-flight polls of the old
+    // generation are discarded at commit and redelivered). With no
+    // autoscale action this is a no-op — it never touches the generation.
+    group.SyncPartitions();
+
     for (std::size_t i = 0; i < members; ++i) {
       const auto home = static_cast<cluster::BrokerId>(i % cc.brokers);
       const auto minority = cluster.MinoritySide();
@@ -170,11 +183,6 @@ Expected<ClusterSoakReport> RunClusterSoak(const ClusterSoakConfig& cfg) {
       }
     }
 
-    // 4. Commits. A successful commit covers exactly this member's
-    // in-flight polls (nothing else moved its positions); a fenced or
-    // stale-generation commit means a rebalance intervened — the polled
-    // records belong to a dead generation and are discarded here, to be
-    // redelivered by whoever owns those partitions now.
     for (std::size_t i = 0; i < members; ++i) {
       if (buffers[i].empty()) continue;
       if (consumers[i]->Commit().ok()) {
@@ -184,7 +192,8 @@ Expected<ClusterSoakReport> RunClusterSoak(const ClusterSoakConfig& cfg) {
     }
   }
 
-  // --- audits ---------------------------------------------------------
+  // --- audits (identical to the flat soak; sealed parents are still
+  // fetchable, so the committed sweep covers parent + children) ---------
   auto topic = broker.GetTopic("cluster.events");
   if (!topic.ok()) return topic.status();
   std::map<std::int64_t, std::uint64_t> copies;
@@ -233,7 +242,21 @@ Expected<ClusterSoakReport> RunClusterSoak(const ClusterSoakConfig& cfg) {
   report.controller_replay_digest = *replay;
   report.controller_consistent =
       report.controller_replay_digest == report.controller_state_digest;
-  return report;
+
+  out.splits = cluster.stats().splits;
+  out.merges = cluster.stats().merges;
+  out.producer_handoffs = producer.handoffs();
+  out.final_partitions = (*topic)->partition_count();
+  out.live_leaves =
+      static_cast<std::uint32_t>(cluster.LiveLeaves("cluster.events").size());
+  std::vector<std::uint64_t> hot_before, hot_after;
+  for (const auto& [splits_at_sample, hot] : hot_samples) {
+    if (splits_at_sample == 0) hot_before.push_back(hot);
+    if (splits_at_sample == out.splits) hot_after.push_back(hot);
+  }
+  out.hot_p99_before = Percentile(hot_before, 0.99);
+  out.hot_p99_after = Percentile(hot_after, 0.99);
+  return out;
 }
 
 }  // namespace arbd::scenarios

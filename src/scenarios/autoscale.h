@@ -1,0 +1,53 @@
+// Partition-autoscaling soak harness (E26): the E24 cluster soak with the
+// controller-driven split/merge autoscaler enabled and a fleet flash
+// crowd (surge over the top POIs) driving a hot partition past the split
+// threshold mid-run. The harness audits the same exactly-once contract as
+// E24 — zero committed loss, zero duplicate delivery, zero delivery gaps,
+// controller replay == live state — across split/merge handoffs, plus the
+// scaling claim itself: the per-turn ingest of the hottest live partition,
+// sampled before the first split and after it, drops once the crowd is
+// spread over the children.
+//
+// With `autoscale = false` the run is the flat E24 soak, record for
+// record: same workload, same producer draws, same tick schedule — the
+// committed digest must equal RunClusterSoak's on the same base config
+// (the ARBD_AUTOSCALE=0 byte-identity gate).
+#pragma once
+
+#include <cstdint>
+
+#include "scenarios/cluster.h"
+
+namespace arbd::scenarios {
+
+struct AutoscaleSoakConfig {
+  // Workload, kill schedule, consumers, retry budget — E24's knobs.
+  ClusterSoakConfig base;
+
+  // Autoscaler toggle + thresholds. `thresholds.enabled` is ignored; the
+  // toggle below is what arms the cluster.
+  bool autoscale = true;
+  cluster::AutoscaleConfig thresholds;
+};
+
+struct AutoscaleSoakReport {
+  // Everything the flat soak audits (loss/dups/gaps/digests/stats).
+  ClusterSoakReport soak;
+
+  // Autoscaler outcome.
+  std::uint64_t splits = 0;
+  std::uint64_t merges = 0;
+  std::uint64_t producer_handoffs = 0;  // sends rerouted off a sealed partition
+  std::uint32_t final_partitions = 0;   // total ever created (incl. sealed)
+  std::uint32_t live_leaves = 0;        // partitions currently routable
+
+  // Hot-partition pressure: per-turn max ingest across live leaves,
+  // p99 over the turns before the first split vs the turns after it.
+  // (Both are over the whole run when no split fires.)
+  double hot_p99_before = 0.0;
+  double hot_p99_after = 0.0;
+};
+
+Expected<AutoscaleSoakReport> RunAutoscaleSoak(const AutoscaleSoakConfig& cfg);
+
+}  // namespace arbd::scenarios

@@ -125,4 +125,10 @@ struct ClusterSoakReport {
 
 Expected<ClusterSoakReport> RunClusterSoak(const ClusterSoakConfig& cfg);
 
+// The fleet trace rendered as stream records — keyed by POI, event time
+// strictly increasing (the unique identity every audit keys on). Shared
+// with the autoscale soak so flat and autoscaled runs see the identical
+// record sequence, draw for draw.
+std::vector<stream::Record> MakeFleetWorkload(const offload::FleetLoadConfig& fleet);
+
 }  // namespace arbd::scenarios

@@ -101,11 +101,18 @@ Status Consumer::SeekToTimestamp(TimePoint t) {
     return Status::FailedPrecondition("consumer '" + id_ + "' is fenced (evicted from group '" +
                                       group_.group_id_ + "')");
   }
-  for (auto& [p, pos] : positions_) {
+  // Resolve every partition's offset before touching any position: the
+  // seek is atomic. A mid-iteration failure (gate rejection, injected
+  // fetch fault, truncated index) used to leave earlier partitions moved
+  // and later ones not — a half-applied seek the caller could neither
+  // detect nor undo. Either every assigned partition repositions, or none.
+  std::map<PartitionId, Offset> resolved;
+  for (const auto& [p, pos] : positions_) {
     auto off = group_.broker_.OffsetForTimestamp(group_.topic_name_, p, t);
     if (!off.ok()) return off.status();
-    pos = *off;
+    resolved[p] = *off;
   }
+  for (auto& [p, pos] : positions_) pos = resolved[p];
   return Status::Ok();
 }
 
@@ -229,7 +236,16 @@ void ConsumerGroup::Rebalance() {
   // one is no longer committable (Consumer::Commit checks this).
   ++generation_;
   assignment_.clear();
-  for (auto& [_, m] : members_) m->positions_.clear();
+  for (auto& [_, m] : members_) {
+    m->positions_.clear();
+    // Reset the poll rotation with the assignment it indexes into: the
+    // cursor is a position in the *previous* assignment's partition list,
+    // and carrying it across a shrink/grow (member churn, an autoscale
+    // split widening the partition set) starts the next poll mid-list —
+    // fair rotation then visits the first partitions last, indefinitely,
+    // for members whose cursor happened to land past them.
+    m->rr_cursor_ = 0;
+  }
 
   // Range assignment over the live (non-fenced) members: partitions dealt
   // to members in sorted order. Fenced zombies keep their handles but get
@@ -245,6 +261,7 @@ void ConsumerGroup::Rebalance() {
   if (!topic.ok()) return;
 
   const std::uint32_t nparts = (*topic)->partition_count();
+  assigned_partition_count_ = nparts;
   for (PartitionId p = 0; p < nparts; ++p) {
     Consumer* owner = ms[p % ms.size()];
     assignment_[p] = owner->id_;
@@ -256,6 +273,14 @@ void ConsumerGroup::Rebalance() {
   // before it, whose positions this very rebalance just rewound — pass the
   // fence and be counted as delivered, double-delivering those records
   // once the rewound positions are re-polled.
+}
+
+bool ConsumerGroup::SyncPartitions() {
+  auto topic = broker_.GetTopic(topic_name_);
+  if (!topic.ok()) return false;
+  if ((*topic)->partition_count() == assigned_partition_count_) return false;
+  Rebalance();
+  return true;
 }
 
 }  // namespace arbd::stream

@@ -118,6 +118,12 @@ class ConsumerGroup {
   // Total records not yet committed across all partitions ("consumer lag").
   std::int64_t TotalLag() const;
 
+  // Rebalance iff the topic's partition count changed since the last
+  // assignment (an autoscale split/merge appended partitions). Drivers
+  // call this after cluster ticks; it is a no-op — no generation bump, no
+  // position rewind — when nothing changed. Returns whether it rebalanced.
+  bool SyncPartitions();
+
  private:
   friend class Consumer;
   void Rebalance();
@@ -130,6 +136,7 @@ class ConsumerGroup {
   std::map<std::string, std::unique_ptr<Consumer>> members_;
   std::map<PartitionId, std::string> assignment_;  // partition -> consumer id
   std::map<PartitionId, Offset> committed_;
+  std::uint32_t assigned_partition_count_ = 0;  // topic size at last rebalance
   std::uint64_t rebalances_ = 0;
   std::uint64_t auto_resets_ = 0;
   std::uint64_t generation_ = 0;

@@ -339,6 +339,13 @@ std::size_t Partition::sealed_segment_count() const {
   return sealed_.size();
 }
 
+void Partition::SealActive() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (ActiveLiveLocked() == 0) return;
+  SealActiveLocked();
+  UpdateMirrors();
+}
+
 Topic::Topic(std::string name, TopicConfig cfg)
     : name_(std::move(name)), cfg_(cfg) {
   if (cfg_.partitions == 0) cfg_.partitions = 1;
@@ -362,6 +369,20 @@ Topic::Topic(std::string name, TopicConfig cfg)
         cfg_.replication_factor, cfg_.replication_seed ^ (0x9e3779b97f4a7c15ULL * (i + 1)),
         *parts_.back()));
   }
+}
+
+std::uint32_t Topic::AddPartitions(std::uint32_t n) {
+  parts_.reserve(parts_.size() + n);
+  repl_.reserve(repl_.size() + n);
+  for (std::uint32_t k = 0; k < n; ++k) {
+    const std::uint64_t i = parts_.size();  // absolute index, same seed formula
+    parts_.push_back(std::make_unique<Partition>());
+    repl_.push_back(std::make_unique<ReplicatedPartition>(
+        cfg_.replication_factor, cfg_.replication_seed ^ (0x9e3779b97f4a7c15ULL * (i + 1)),
+        *parts_.back()));
+  }
+  cfg_.partitions = static_cast<std::uint32_t>(parts_.size());
+  return cfg_.partitions;
 }
 
 PartitionId Topic::PartitionFor(const std::string& key) {

@@ -162,6 +162,12 @@ class Partition {
 
   std::size_t sealed_segment_count() const;
 
+  // Force-seal the live active rows into an immutable segment regardless
+  // of the SegmentBytesTarget gate (no-op when nothing is live). The
+  // autoscale split fence uses this so a sealed parent's history is
+  // served entirely from the immutable query tier.
+  void SealActive();
+
  private:
   void UpdateMirrors();  // call with mu_ held after any mutation
   std::size_t ActiveLiveLocked() const { return active_.size() - active_head_; }
@@ -224,6 +230,17 @@ class Topic {
   // The replica group in front of partition `p`: every produce routes
   // through it, and the Partition above is its committed prefix.
   ReplicatedPartition& replication(PartitionId p) { return *repl_.at(p); }
+
+  // Append `n` fresh empty partitions (each with its own replica group,
+  // seeded by the same per-index formula the constructor uses) — the
+  // autoscale split/merge target creation. Carries the same quiescence
+  // contract as Broker::DeleteTopic: no concurrent produce/fetch on this
+  // topic during the call (the cluster layer only mutates under its
+  // exclusive lock between driver ticks). Existing partitions and offsets
+  // are untouched; note PartitionFor's modulus widens, so key-stable
+  // routing across a grow must go through the cluster's key-range router.
+  // Returns the new partition count.
+  std::uint32_t AddPartitions(std::uint32_t n);
 
   std::size_t TotalRecords() const;
   std::size_t TotalBytes() const;
@@ -384,6 +401,7 @@ class Broker {
   // backpressure counters into the registry. Gauges are last-write-wins
   // under concurrency; scenario digests only fold in counters.
   void set_metrics(MetricRegistry* metrics) { metrics_ = metrics; }
+  MetricRegistry* metrics() const { return metrics_; }
 
   // Optional chaos hook (not owned). When set, produce/fetch consult it:
   // `apperr` rejects the append cleanly, `torn` persists the record but

@@ -11,6 +11,24 @@ ParallelProduceReport ParallelProduce(exec::Executor& exec, Broker& broker,
                                       const std::string& topic,
                                       std::vector<Record> records,
                                       Duration cost_per_record) {
+  auto t = broker.GetTopic(topic);
+  if (!t.ok()) {
+    ParallelProduceReport report;
+    report.rejected = records.size();
+    return report;
+  }
+  Topic* topic_ptr = *t;
+  return ParallelProduce(exec, broker, topic, std::move(records), cost_per_record,
+                         [topic_ptr](const Record& r) {
+                           return topic_ptr->PartitionFor(r.key);
+                         });
+}
+
+ParallelProduceReport ParallelProduce(exec::Executor& exec, Broker& broker,
+                                      const std::string& topic,
+                                      std::vector<Record> records,
+                                      Duration cost_per_record,
+                                      const PartitionAssigner& assign) {
   ParallelProduceReport report;
   auto t = broker.GetTopic(topic);
   if (!t.ok()) {
@@ -21,20 +39,26 @@ ParallelProduceReport ParallelProduce(exec::Executor& exec, Broker& broker,
   const bool batched = BatchingEnabled();
 
   // Partition assignment happens here, on the driver, in record order:
-  // this is the only place the round-robin counter or hash is consulted,
-  // so the record→partition mapping is independent of worker count.
-  // In batch mode the buckets are columnar from the start — records go
-  // straight into per-partition RecordBatches and are never re-boxed.
+  // this is the only place the round-robin counter, hash, or router is
+  // consulted, so the record→partition mapping is independent of worker
+  // count. In batch mode the buckets are columnar from the start —
+  // records go straight into per-partition RecordBatches, never re-boxed.
   std::vector<std::vector<Record>> buckets(nparts);
   std::vector<RecordBatch> batches(nparts);
+  std::size_t misassigned = 0;
   for (auto& r : records) {
-    const PartitionId p = (*t)->PartitionFor(r.key);
+    const PartitionId p = assign(r);
+    if (p >= nparts) {
+      ++misassigned;
+      continue;
+    }
     if (batched) {
       batches[p].Append(r);
     } else {
       buckets[p].push_back(std::move(r));
     }
   }
+  report.rejected += misassigned;
 
   std::vector<std::size_t> produced(nparts, 0);
   std::vector<std::size_t> rejected(nparts, 0);

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -41,6 +42,21 @@ ParallelProduceReport ParallelProduce(exec::Executor& exec, Broker& broker,
                                       const std::string& topic,
                                       std::vector<Record> records,
                                       Duration cost_per_record);
+
+// Record→partition assignment hook. Runs serially on the driver in record
+// order, so any stateful assigner (round-robin counters, split routers)
+// sees the same sequence at every worker count.
+using PartitionAssigner = std::function<PartitionId(const Record&)>;
+
+// Same parallel produce, but partitions are chosen by `assign` instead of
+// Topic::PartitionFor — the hook a key-range router (partition autoscaling)
+// plugs into. An assigner returning an out-of-range partition has that
+// record counted rejected.
+ParallelProduceReport ParallelProduce(exec::Executor& exec, Broker& broker,
+                                      const std::string& topic,
+                                      std::vector<Record> records,
+                                      Duration cost_per_record,
+                                      const PartitionAssigner& assign);
 
 // Fetches every partition's full retained log concurrently (up to
 // `max_per_partition` records each). Result is indexed by partition, so

@@ -56,6 +56,9 @@ Expected<Offset> ReplicatedPartition::ProduceBatch(const RecordBatch& batch,
                                                    std::size_t from_row, std::size_t n,
                                                    TimePoint ingest_time) {
   std::lock_guard<std::mutex> lk(mu_);
+  if (sealed_) {
+    return Status::FailedPrecondition("partition sealed for split/merge handoff");
+  }
   // Bail to the per-record path whenever a restore is armed: restores tick
   // once per produce *attempt*, so their firing point is per-row state the
   // bulk path would collapse. With none armed, TickRestores is a no-op for
@@ -121,6 +124,13 @@ Expected<Offset> ReplicatedPartition::AppendLocked(Epoch claimed_epoch, Record r
       return it->second.second;
     }
   }
+  // Split/merge fence — checked after dedup, deliberately: a retry of a
+  // record the parent committed before sealing must keep resolving to its
+  // original offset (exactly-once through the handoff); only genuinely
+  // new appends get turned away toward the children.
+  if (sealed_) {
+    return Status::FailedPrecondition("partition sealed for split/merge handoff");
+  }
 
   if (replicas_.size() == 1) {
     // Single copy: a crash downs the node before the record persists (no
@@ -172,6 +182,39 @@ Expected<Offset> ReplicatedPartition::AppendLocked(Epoch claimed_epoch, Record r
   // CommitLeaderTail recorded this (pid, seq) at its committed offset.
   if (pid != 0) return seen_[pid].second;
   return committed_.end_offset() - 1;
+}
+
+ReplicatedPartition::SealSnapshot ReplicatedPartition::SealForSplit() {
+  std::lock_guard<std::mutex> lk(mu_);
+  sealed_ = true;
+  // Uncommitted tails were never acknowledged to any producer — dropping
+  // them loses nothing promised, and guarantees a later restore can never
+  // resurrect a divergent suffix past the fence.
+  for (Replica& r : replicas_) {
+    stats_.truncated_entries += r.tail.size();
+    r.tail.clear();
+  }
+  return SealSnapshot{committed_.end_offset(), seen_};
+}
+
+bool ReplicatedPartition::sealed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return sealed_;
+}
+
+void ReplicatedPartition::SeedDedup(
+    const std::map<ProducerId, std::pair<std::uint64_t, Offset>>& seen) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& [pid, entry] : seen) {
+    auto it = seen_.find(pid);
+    if (it == seen_.end() || entry.first > it->second.first) seen_[pid] = entry;
+  }
+}
+
+std::uint64_t ReplicatedPartition::LastSeq(ProducerId pid) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = seen_.find(pid);
+  return it == seen_.end() ? 0 : it->second.first;
 }
 
 void ReplicatedPartition::CommitLeaderTail() {

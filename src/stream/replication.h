@@ -146,6 +146,30 @@ class ReplicatedPartition {
   // Crash the current leader (no-op error if the group is leaderless).
   Status CrashLeader(std::size_t restore_after_ops = 0);
 
+  // --- autoscale split/merge handoff (ISSUE 9) ---
+  // Fence the group for a partition split or merge: every replica's
+  // uncommitted tail is dropped (those entries were never acknowledged,
+  // so dropping them loses nothing a producer was promised), and all
+  // future appends are rejected with kFailedPrecondition. Dedup lookups
+  // still answer: a retry of a (pid, seq) that committed before the seal
+  // keeps returning its original offset instead of the sealed error —
+  // the order the exactly-once handoff depends on. Returns the committed
+  // end offset (the fenced split offset) and a snapshot of the dedup
+  // table for seeding the children.
+  struct SealSnapshot {
+    Offset split_offset = 0;
+    std::map<ProducerId, std::pair<std::uint64_t, Offset>> seen;
+  };
+  SealSnapshot SealForSplit();
+  bool sealed() const;
+  // Merge a sealed ancestor's dedup table into this (fresh) group, taking
+  // the max seq per producer — so an in-flight retry of a record the
+  // parent already committed dedups on the child instead of duplicating.
+  void SeedDedup(const std::map<ProducerId, std::pair<std::uint64_t, Offset>>& seen);
+  // Highest committed seq for `pid` (0 if never seen) — the floor a
+  // rerouting producer must start its per-partition sequence above.
+  std::uint64_t LastSeq(ProducerId pid) const;
+
   NodeId leader() const;
   Epoch epoch() const;
   Offset high_watermark() const;
@@ -205,6 +229,7 @@ class ReplicatedPartition {
   Epoch epoch_ = 1;
   // Committed (pid -> {highest seq, offset it landed at}); the dedup table.
   std::map<ProducerId, std::pair<std::uint64_t, Offset>> seen_;
+  bool sealed_ = false;  // split/merge fence: no further appends, ever
   ReplicationStats stats_;
   std::vector<HwStep> hw_history_;
 };

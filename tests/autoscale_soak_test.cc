@@ -1,0 +1,101 @@
+// Soak-labeled autoscale churn suite (ctest -L soak): 100 seeded
+// split/merge-under-kill schedules. Each run arms the partition
+// autoscaler with seed-varied thresholds over a fleet workload with a
+// flash-crowd surge, layers a rolling-kill schedule (and sometimes forced
+// autosplit/automerge chaos rules plus extra killbroker faults) on top,
+// and audits the E24 exactly-once contract across every handoff:
+//   - zero committed loss, zero log duplicates;
+//   - zero duplicate delivery, zero delivery gaps (generation-fenced
+//     rebalances onto split children);
+//   - controller consistency: the metadata log replays to the live
+//     routing table digest, key-range routers included;
+//   - the run drains despite kills landing mid-handoff.
+// Every ~10th seed also re-runs with the autoscaler off and checks the
+// committed digest equals the flat cluster soak's — the ARBD_AUTOSCALE=0
+// byte-identity contract.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "scenarios/autoscale.h"
+
+namespace arbd {
+namespace {
+
+class AutoscaleChurn : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AutoscaleChurn, SplitMergeUnderKillsDeliversExactlyOnce) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed ^ 0xa5ca'1e5e'edULL);
+
+  scenarios::AutoscaleSoakConfig cfg;
+  cfg.base.seed = seed;
+  cfg.base.brokers = static_cast<std::uint32_t>(2 + rng.NextBelow(5));  // 2..6
+  cfg.base.partitions = static_cast<std::uint32_t>(2 + rng.NextBelow(5));
+  cfg.base.replication_factor = static_cast<std::uint32_t>(2 + rng.NextBelow(2));
+  cfg.base.consumers = static_cast<std::uint32_t>(2 + rng.NextBelow(4));
+  cfg.base.fleet.users = 2000;
+  cfg.base.fleet.hotspots = 32;
+  cfg.base.fleet.ticks = 12;
+  cfg.base.fleet.peak_events_per_tick = 60;
+  cfg.base.fleet.seed = seed * 31 + 7;
+  // Flash crowd over the top POIs mid-period — the hotspot the
+  // autoscaler is there to absorb.
+  cfg.base.fleet.surge_start_tick = 3 + static_cast<std::uint32_t>(rng.NextBelow(4));
+  cfg.base.fleet.surge_ticks = 3 + static_cast<std::uint32_t>(rng.NextBelow(4));
+  cfg.base.fleet.surge_boost = 1.0 + 0.5 * static_cast<double>(rng.NextBelow(4));
+  cfg.base.fleet.surge_pois = 2 + static_cast<std::uint32_t>(rng.NextBelow(4));
+  cfg.base.kill_start_tick = 1 + rng.NextBelow(4);
+  cfg.base.kill_spacing_ticks = 2 + rng.NextBelow(5);
+  cfg.base.restore_ticks = 3 + rng.NextBelow(6);
+
+  cfg.autoscale = true;
+  cfg.thresholds.split_rate_threshold = 24 + rng.NextBelow(64);
+  cfg.thresholds.merge_rate_threshold = 1 + rng.NextBelow(3);
+  cfg.thresholds.merge_cold_ticks = 4 + static_cast<std::uint32_t>(rng.NextBelow(8));
+  cfg.thresholds.max_partitions = 24 + static_cast<std::uint32_t>(rng.NextBelow(24));
+
+  // A third of the schedules add forced split/merge chaos on top of the
+  // thresholds (and some stack extra killbroker draws), so handoffs land
+  // at adversarial times, not just when load says so.
+  if (rng.Bernoulli(0.33)) {
+    cfg.base.fault_spec = "autosplit@p=0.08;automerge@p=0.05";
+    if (rng.Bernoulli(0.5)) cfg.base.fault_spec += ";killbroker@p=0.04,x=4";
+    cfg.base.fault_seed = seed + 1;
+  }
+
+  auto report = scenarios::RunAutoscaleSoak(cfg);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  const auto& soak = report->soak;
+
+  EXPECT_FALSE(soak.wedged) << "brokers=" << cfg.base.brokers;
+  EXPECT_EQ(soak.committed_loss, 0u) << "acked records lost across handoff";
+  EXPECT_EQ(soak.log_duplicates, 0u) << "a handoff retry double-appended";
+  EXPECT_EQ(soak.delivered_duplicates, 0u)
+      << "rebalance onto children double-delivered";
+  EXPECT_EQ(soak.delivery_gaps, 0u) << "committed records never delivered";
+  EXPECT_TRUE(soak.controller_consistent)
+      << "metadata replay digest " << soak.controller_replay_digest
+      << " != live digest " << soak.controller_state_digest;
+  EXPECT_GT(soak.cluster.kills, 0u);
+
+  // Flat-equivalence spot check: with the autoscaler off, the same base
+  // schedule must reproduce the flat cluster soak bit for bit.
+  if (seed % 10 == 0) {
+    auto flat = scenarios::RunClusterSoak(cfg.base);
+    ASSERT_TRUE(flat.ok());
+    scenarios::AutoscaleSoakConfig off = cfg;
+    off.autoscale = false;
+    auto disabled = scenarios::RunAutoscaleSoak(off);
+    ASSERT_TRUE(disabled.ok());
+    EXPECT_EQ(disabled->soak.committed_digest, flat->committed_digest);
+    EXPECT_EQ(disabled->soak.acked, flat->acked);
+    EXPECT_EQ(disabled->splits, 0u);
+    EXPECT_EQ(disabled->producer_handoffs, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(HundredSeeds, AutoscaleChurn,
+                         ::testing::Range<std::uint64_t>(1, 101));
+
+}  // namespace
+}  // namespace arbd
