@@ -24,13 +24,26 @@ bool AutoscaleFromEnv() {
   return v == "1" || v == "true" || v == "on";
 }
 
+namespace {
+
+// SplitMix64 finalizer: the lossy-link drop hash's mixing function.
+constexpr std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
 BrokerCluster::BrokerCluster(stream::Broker& broker, ClusterConfig cfg)
     : broker_(broker),
       cfg_(cfg),
       ring_(std::max<std::uint32_t>(cfg.brokers, 1), cfg.virtual_nodes, cfg.seed),
       controller_(std::max<std::uint32_t>(cfg.brokers, 1), cfg.metadata_factor,
                   cfg.seed ^ 0xc0417011ULL),
-      rng_(cfg.seed ^ 0x6b111b6bULL) {
+      rng_(cfg.seed ^ 0x6b111b6bULL),
+      health_(std::max<std::uint32_t>(cfg.brokers, 1), cfg.health, cfg.base_op_latency) {
   cfg_.brokers = std::max<std::uint32_t>(cfg_.brokers, 1);
   if (cfg_.default_restore_ticks == 0) cfg_.default_restore_ticks = 1;
   nodes_.resize(cfg_.brokers);
@@ -102,6 +115,240 @@ Status BrokerCluster::AdmitFetch(const std::string& topic,
   Status s = AdmitLocked(topic, partition);
   if (!s.ok()) fetch_denied_.fetch_add(1, std::memory_order_relaxed);
   return s;
+}
+
+const BrokerCluster::Node* BrokerCluster::LeaderNodeLocked(
+    const std::string& topic, stream::PartitionId partition, BrokerId* broker) const {
+  auto it = placements_.find(topic);
+  if (it == placements_.end() || partition >= it->second.partition_count()) {
+    return nullptr;
+  }
+  auto t = broker_.GetTopic(topic);
+  if (!t.ok()) return nullptr;
+  const stream::NodeId slot = (*t)->replication(partition).leader();
+  if (slot == stream::kNoLeader) return nullptr;
+  const BrokerId b = it->second.broker_of(partition, slot);
+  if (broker != nullptr) *broker = b;
+  return &nodes_[b];
+}
+
+bool BrokerCluster::LossyDropLocked(const Node& node, BrokerId broker,
+                                    std::uint64_t request_id) const {
+  const std::uint64_t now = now_tick();
+  if (node.drop_p <= 0.0 || now >= node.lossy_until) return false;
+  // Pure hash of (seed, broker, brownout epoch, tick, request id): the
+  // verdict for a given request is frozen within a tick — parallel
+  // fan-outs agree on it regardless of interleaving — and re-drawn across
+  // ticks, so a retry that ticked the cluster can get through. No
+  // sequential RNG stream is consumed, so arming a lossy link never
+  // shifts any other fault's schedule.
+  std::uint64_t h = Mix64(cfg_.seed ^ 0x105517ULL);
+  h = Mix64(h ^ broker);
+  h = Mix64(h ^ node.lossy_epoch);
+  h = Mix64(h ^ now);
+  h = Mix64(h ^ request_id);
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return u < node.drop_p;
+}
+
+Status BrokerCluster::AdmitProduceRequest(const std::string& topic,
+                                          stream::PartitionId partition,
+                                          std::uint64_t request_id) {
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  Status s = AdmitLocked(topic, partition);
+  if (!s.ok()) {
+    produce_denied_.fetch_add(1, std::memory_order_relaxed);
+    return s;
+  }
+  BrokerId b = 0;
+  const Node* node = LeaderNodeLocked(topic, partition, &b);
+  if (node != nullptr && LossyDropLocked(*node, b, request_id)) {
+    lossy_drops_.fetch_add(1, std::memory_order_relaxed);
+    produce_denied_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Unavailable("lossy link to broker " + std::to_string(b) +
+                               " dropped the produce request");
+  }
+  return Status::Ok();
+}
+
+Status BrokerCluster::AdmitFetchRequest(const std::string& topic,
+                                        stream::PartitionId partition,
+                                        std::uint64_t request_id) {
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  Status s = AdmitLocked(topic, partition);
+  if (!s.ok()) {
+    fetch_denied_.fetch_add(1, std::memory_order_relaxed);
+    return s;
+  }
+  BrokerId b = 0;
+  const Node* node = LeaderNodeLocked(topic, partition, &b);
+  if (node != nullptr && LossyDropLocked(*node, b, request_id)) {
+    lossy_drops_.fetch_add(1, std::memory_order_relaxed);
+    fetch_denied_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Unavailable("lossy link to broker " + std::to_string(b) +
+                               " dropped the fetch request");
+  }
+  return Status::Ok();
+}
+
+Duration BrokerCluster::OpCost(const std::string& topic, stream::PartitionId partition) {
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  const Node* node = LeaderNodeLocked(topic, partition, nullptr);
+  if (node == nullptr) return Duration::Zero();
+  const double f = now_tick() < node->slow_until ? node->slow_factor : 1.0;
+  return cfg_.base_op_latency * f;
+}
+
+Status BrokerCluster::ArmSlowLocked(BrokerId broker, double factor, std::uint64_t ticks) {
+  if (broker >= cfg_.brokers) {
+    return Status::OutOfRange("broker " + std::to_string(broker) + " of " +
+                              std::to_string(cfg_.brokers));
+  }
+  if (factor < 1.0) {
+    return Status::InvalidArgument("slow factor must be >= 1");
+  }
+  Node& node = nodes_[broker];
+  node.slow_factor = factor;
+  node.slow_until = now_tick() + (ticks == 0 ? cfg_.default_restore_ticks : ticks);
+  ++stats_.slow_brownouts;
+  return Status::Ok();
+}
+
+Status BrokerCluster::ArmLossyLocked(BrokerId broker, double drop_p,
+                                     std::uint64_t ticks) {
+  if (broker >= cfg_.brokers) {
+    return Status::OutOfRange("broker " + std::to_string(broker) + " of " +
+                              std::to_string(cfg_.brokers));
+  }
+  if (drop_p < 0.0 || drop_p > 1.0) {
+    return Status::InvalidArgument("drop probability must be in [0, 1]");
+  }
+  Node& node = nodes_[broker];
+  node.drop_p = drop_p;
+  node.lossy_until = now_tick() + (ticks == 0 ? cfg_.default_restore_ticks : ticks);
+  // Salt the drop hash so a second window on the same broker draws an
+  // independent drop schedule.
+  ++node.lossy_epoch;
+  ++stats_.lossy_brownouts;
+  return Status::Ok();
+}
+
+void BrokerCluster::ExpireBrownoutsLocked(std::uint64_t now) {
+  for (BrokerId b = 0; b < cfg_.brokers; ++b) {
+    Node& node = nodes_[b];
+    if (node.slow_factor != 1.0 && now >= node.slow_until) {
+      node.slow_factor = 1.0;
+      node.slow_until = 0;
+    }
+    if (node.drop_p > 0.0 && now >= node.lossy_until) {
+      node.drop_p = 0.0;
+      node.lossy_until = 0;
+    }
+  }
+}
+
+Status BrokerCluster::SlowBroker(BrokerId broker, double factor, std::uint64_t ticks) {
+  std::unique_lock<std::shared_mutex> lk(mu_);
+  return ArmSlowLocked(broker, factor, ticks);
+}
+
+Status BrokerCluster::LossyLink(BrokerId broker, double drop_p, std::uint64_t ticks) {
+  std::unique_lock<std::shared_mutex> lk(mu_);
+  return ArmLossyLocked(broker, drop_p, ticks);
+}
+
+Duration BrokerCluster::OpLatency(BrokerId broker) const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  if (broker >= cfg_.brokers) return Duration::Max();
+  const Node& node = nodes_[broker];
+  const double f = now_tick() < node.slow_until ? node.slow_factor : 1.0;
+  return cfg_.base_op_latency * f;
+}
+
+bool BrokerCluster::BrokerDegraded(BrokerId broker) const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  return broker < cfg_.brokers && nodes_[broker].degraded;
+}
+
+void BrokerCluster::DrainLeadershipsLocked(BrokerId broker) {
+  for (const auto& [topic, pl] : placements_) {
+    auto t = broker_.GetTopic(topic);
+    if (!t.ok()) continue;
+    for (stream::PartitionId p = 0; p < pl.partition_count(); ++p) {
+      auto& rp = (*t)->replication(p);
+      const stream::NodeId slot = rp.leader();
+      if (slot == stream::kNoLeader) continue;
+      if (pl.broker_of(p, slot) != broker) continue;
+      // Nowhere to drain to: a singleton ISR keeps its leader — demoting
+      // it would take the partition offline, strictly worse than slow.
+      if (rp.Isr().size() < 2) continue;
+      // Crash-and-restore the leader slot: the election picks an in-sync
+      // replica on another broker (placement puts replicas on distinct
+      // brokers), then the slot rejoins as a follower and catches up.
+      rp.CrashNode(slot, /*restore_after_ops=*/0);
+      rp.RestoreNode(slot);
+    }
+  }
+}
+
+void BrokerCluster::HealthTickLocked() {
+  if (cfg_.health.enabled) {
+    // Modeled health-checker ping: one probe op per live broker per tick,
+    // at the broker's current modeled service time. This is what lets a
+    // drained (demoted) broker ever recover — demotion removes all of its
+    // produce/fetch traffic, so without an active probe its latency EWMA
+    // would stay frozen at the browned-out value forever. Probes fire
+    // only with health enabled, so the disabled tracker's observation
+    // stream (and the hedge delay derived from it) is untouched.
+    const std::uint64_t now = tick_.load(std::memory_order_relaxed);
+    for (BrokerId b = 0; b < cfg_.brokers; ++b) {
+      const Node& node = nodes_[b];
+      if (!node.up || node.split) continue;
+      const double factor = now < node.slow_until ? node.slow_factor : 1.0;
+      health_.Observe(
+          b,
+          Duration::Nanos(static_cast<std::int64_t>(
+              static_cast<double>(cfg_.base_op_latency.nanos()) * factor)),
+          /*error=*/false);
+    }
+  }
+  health_.Tick();
+  if (!cfg_.health.enabled) return;
+  bool drained = false;
+  for (BrokerId b = 0; b < cfg_.brokers; ++b) {
+    Node& node = nodes_[b];
+    const bool verdict = health_.Degraded(b);
+    if (verdict && !node.degraded) {
+      // Metadata first: if the quorum is gone the demotion does not
+      // happen, and the live state never advertises it.
+      if (!controller_
+               .Append({.kind = MetaEventKind::kBrokerDegraded,
+                        .broker = b,
+                        .epoch = node.epoch})
+               .ok()) {
+        continue;
+      }
+      node.degraded = true;
+      ++stats_.demotions;
+    } else if (!verdict && node.degraded) {
+      if (!controller_
+               .Append({.kind = MetaEventKind::kBrokerRecovered,
+                        .broker = b,
+                        .epoch = node.epoch})
+               .ok()) {
+        continue;
+      }
+      node.degraded = false;
+      ++stats_.recoveries;
+    }
+    // Re-drain every tick while degraded: elections, restores, and
+    // splits/merges can hand leaderships back between verdicts.
+    if (node.degraded && node.up && !node.split) {
+      DrainLeadershipsLocked(b);
+      drained = true;
+    }
+  }
+  if (drained) RefreshRoutesLocked();
 }
 
 void BrokerCluster::CrashSlotsLocked(BrokerId broker) {
@@ -264,6 +511,7 @@ void BrokerCluster::Tick() {
     }
   }
   if (split_heal_at_ != 0 && now >= split_heal_at_) HealLocked();
+  ExpireBrownoutsLocked(now);
   if (fault_ != nullptr) {
     if (fault_->Fire(fault::FaultKind::kKillBroker, fault::InjectionPoint::kClusterBroker)) {
       std::vector<BrokerId> up;
@@ -288,7 +536,50 @@ void BrokerCluster::Tick() {
       }
       NetSplitLocked(window);
     }
+    // Gray-failure draws run after the fail-stop draws, so arming either
+    // brownout kind leaves every pre-existing kill/split schedule — and
+    // the victim picks it consumed from rng_ — untouched.
+    if (fault_->Fire(fault::FaultKind::kSlowBroker,
+                     fault::InjectionPoint::kClusterBroker)) {
+      std::vector<BrokerId> up;
+      for (BrokerId b = 0; b < cfg_.brokers; ++b) {
+        if (nodes_[b].up && !nodes_[b].split) up.push_back(b);
+      }
+      if (!up.empty()) {
+        const BrokerId victim = up[rng_.NextBelow(up.size())];
+        const fault::FaultRule* rule = fault_->plan().Find(fault::FaultKind::kSlowBroker);
+        const double factor =
+            (rule != nullptr && rule->magnitude > 1.0) ? rule->magnitude : 4.0;
+        std::uint64_t window = 0;
+        if (rule != nullptr && rule->duration > Duration::Zero()) {
+          // `ms=` on tick-scoped kinds means cluster ticks, like killbroker's `x=`.
+          window = static_cast<std::uint64_t>(rule->duration.millis());
+        }
+        ArmSlowLocked(victim, factor, window);
+      }
+    }
+    if (fault_->Fire(fault::FaultKind::kLossyLink,
+                     fault::InjectionPoint::kClusterLink)) {
+      std::vector<BrokerId> up;
+      for (BrokerId b = 0; b < cfg_.brokers; ++b) {
+        if (nodes_[b].up && !nodes_[b].split) up.push_back(b);
+      }
+      if (!up.empty()) {
+        const BrokerId victim = up[rng_.NextBelow(up.size())];
+        const fault::FaultRule* rule = fault_->plan().Find(fault::FaultKind::kLossyLink);
+        const double drop_p =
+            (rule != nullptr && rule->magnitude > 0.0 && rule->magnitude <= 1.0)
+                ? rule->magnitude
+                : 0.5;
+        std::uint64_t window = 0;
+        if (rule != nullptr && rule->duration > Duration::Zero()) {
+          window = static_cast<std::uint64_t>(rule->duration.millis());
+        }
+        ArmLossyLocked(victim, drop_p, window);
+      }
+    }
   }
+  HealthTickLocked();
   if (cfg_.autoscale.enabled) AutoscaleTickLocked();
 }
 
@@ -628,6 +919,7 @@ ClusterStats BrokerCluster::stats() const {
   ClusterStats out = stats_;
   out.produce_denied = produce_denied_.load(std::memory_order_relaxed);
   out.fetch_denied = fetch_denied_.load(std::memory_order_relaxed);
+  out.lossy_drops = lossy_drops_.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -674,7 +966,7 @@ std::uint64_t ClusterProducer::NextSeqFor(stream::PartitionId p) {
 }
 
 Expected<std::pair<stream::PartitionId, stream::Offset>> ClusterProducer::Send(
-    stream::Record record) {
+    stream::Record record, Deadline* deadline) {
   auto routed = cluster_.RoutePartition(topic_, record.key);
   if (!routed.ok()) return routed.status();
   stream::PartitionId p = *routed;
@@ -705,7 +997,21 @@ Expected<std::pair<stream::PartitionId, stream::Offset>> ClusterProducer::Send(
   const std::size_t attempts = std::max<std::size_t>(retry_.max_attempts, 1);
   Status last = Status::Ok();
   for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+    if (deadline != nullptr && deadline->expired()) {
+      ++deadline_exhausted_;
+      return Status::DeadlineExceeded("send budget exhausted after " +
+                                      std::to_string(attempt) + " attempts");
+    }
     auto off = broker_.ProduceIdempotent(topic_, p, pid_, seq, record);
+    // Charge the attempt's modeled service time on whichever broker led
+    // the partition, and report it to the health tracker. Pure accounting:
+    // no randomness is consumed, so the null-deadline path stays
+    // byte-identical to the pre-deadline producer.
+    if (auto served_by = cluster_.LeaderBroker(topic_, p); served_by.ok()) {
+      const Duration cost = cluster_.OpLatency(*served_by);
+      if (deadline != nullptr) deadline->Charge(cost);
+      cluster_.health().Observe(*served_by, cost, !off.ok());
+    }
     if (off.ok()) {
       ++sent_;
       return std::make_pair(p, *off);
@@ -719,7 +1025,14 @@ Expected<std::pair<stream::PartitionId, stream::Offset>> ClusterProducer::Send(
     if (last.code() != StatusCode::kUnavailable) break;
     if (attempt + 1 == attempts) break;
     ++retries_;
-    total_backoff_ = total_backoff_ + retry_.BackoffFor(attempt, rng_);
+    // Budget-aware backoff: same jitter draw either way, but the sleep is
+    // clamped to (and charged against) whatever budget remains, so a
+    // retry can never outlive the caller's frame.
+    const Duration back = deadline == nullptr
+                              ? retry_.BackoffFor(attempt, rng_)
+                              : retry_.BackoffForBudget(attempt, rng_, *deadline);
+    if (deadline != nullptr) deadline->Charge(back);
+    total_backoff_ = total_backoff_ + back;
     // Backoff is modeled time passing: kill windows count down, splits
     // heal, elections settle. Tick the cluster so the retry sees it.
     cluster_.Tick();
@@ -749,17 +1062,35 @@ ClusterQuery::ClusterQuery(BrokerCluster& cluster, stream::Broker& broker,
       rng_(jitter_seed) {}
 
 template <typename T>
-Expected<T> ClusterQuery::WithRetry(const std::function<Expected<T>()>& attempt_fn) {
+Expected<T> ClusterQuery::WithRetry(stream::PartitionId p,
+                                    const std::function<Expected<T>()>& attempt_fn,
+                                    Deadline* deadline) {
   const std::size_t attempts = std::max<std::size_t>(retry_.max_attempts, 1);
   Status last = Status::Ok();
   for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+    if (deadline != nullptr && deadline->expired()) {
+      ++deadline_exhausted_;
+      return Status::DeadlineExceeded("query budget exhausted after " +
+                                      std::to_string(attempt) + " attempts");
+    }
     auto r = attempt_fn();
+    // Same accounting contract as ClusterProducer::Send: charge the
+    // leader's modeled service time and feed the health tracker.
+    if (auto served_by = cluster_.LeaderBroker(topic_, p); served_by.ok()) {
+      const Duration cost = cluster_.OpLatency(*served_by);
+      if (deadline != nullptr) deadline->Charge(cost);
+      cluster_.health().Observe(*served_by, cost, !r.ok());
+    }
     if (r.ok()) return r;
     last = r.status();
     if (last.code() != StatusCode::kUnavailable) break;
     if (attempt + 1 == attempts) break;
     ++retries_;
-    total_backoff_ = total_backoff_ + retry_.BackoffFor(attempt, rng_);
+    const Duration back = deadline == nullptr
+                              ? retry_.BackoffFor(attempt, rng_)
+                              : retry_.BackoffForBudget(attempt, rng_, *deadline);
+    if (deadline != nullptr) deadline->Charge(back);
+    total_backoff_ = total_backoff_ + back;
     // Same contract as ClusterProducer: backoff is modeled time, so tick
     // the cluster — the kill window drains and a new leader is elected,
     // after which AdmitFetch stops rejecting the read.
@@ -771,21 +1102,24 @@ Expected<T> ClusterQuery::WithRetry(const std::function<Expected<T>()>& attempt_
 
 Expected<stream::QueryResult> ClusterQuery::QueryRange(stream::PartitionId p,
                                                        stream::Offset lo,
-                                                       stream::Offset hi) {
+                                                       stream::Offset hi,
+                                                       Deadline* deadline) {
   return WithRetry<stream::QueryResult>(
-      [&] { return broker_.QueryRange(topic_, p, lo, hi); });
+      p, [&] { return broker_.QueryRange(topic_, p, lo, hi); }, deadline);
 }
 
 Expected<stream::QueryResult> ClusterQuery::QueryTime(stream::PartitionId p,
-                                                      TimePoint t_lo, TimePoint t_hi) {
+                                                      TimePoint t_lo, TimePoint t_hi,
+                                                      Deadline* deadline) {
   return WithRetry<stream::QueryResult>(
-      [&] { return broker_.QueryTime(topic_, p, t_lo, t_hi); });
+      p, [&] { return broker_.QueryTime(topic_, p, t_lo, t_hi); }, deadline);
 }
 
 Expected<stream::Offset> ClusterQuery::OffsetForTimestamp(stream::PartitionId p,
-                                                          TimePoint t) {
+                                                          TimePoint t,
+                                                          Deadline* deadline) {
   return WithRetry<stream::Offset>(
-      [&] { return broker_.OffsetForTimestamp(topic_, p, t); });
+      p, [&] { return broker_.OffsetForTimestamp(topic_, p, t); }, deadline);
 }
 
 }  // namespace arbd::cluster

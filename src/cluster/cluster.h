@@ -34,9 +34,11 @@
 #include <string>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "cluster/controller.h"
+#include "cluster/health.h"
 #include "cluster/placement.h"
 #include "fault/injector.h"
 #include "fault/retry.h"
@@ -87,6 +89,13 @@ struct ClusterConfig {
   // never starve it).
   std::uint32_t metadata_factor = 3;
   AutoscaleConfig autoscale;
+  // Modeled service time of one operation on a healthy broker. A browned-
+  // out broker (SlowBroker / injected `slowbroker`) serves at this times
+  // its slow factor; deadline-aware callers charge OpLatency per attempt.
+  Duration base_op_latency = Duration::Micros(200);
+  // Health-driven leadership demotion (ISSUE 10). Disabled = no tracker
+  // verdicts ever fire and the cluster is byte-identical to before.
+  HealthConfig health;
 };
 
 struct ClusterStats {
@@ -99,6 +108,11 @@ struct ClusterStats {
   std::uint64_t fetch_denied = 0;
   std::uint64_t splits = 0;        // partition splits (autoscaler or manual)
   std::uint64_t merges = 0;        // partition merges
+  std::uint64_t slow_brownouts = 0;   // slowbroker arms (fault or manual)
+  std::uint64_t lossy_brownouts = 0;  // lossylink arms (fault or manual)
+  std::uint64_t lossy_drops = 0;      // admitted requests dropped by a lossy link
+  std::uint64_t demotions = 0;        // health-driven leadership drains
+  std::uint64_t recoveries = 0;       // degraded brokers restored to service
 };
 
 class BrokerCluster : public stream::ClusterGate {
@@ -132,9 +146,33 @@ class BrokerCluster : public stream::ClusterGate {
   Status NetSplit(std::uint64_t heal_ticks = 0);
   Status Heal();
 
-  // Advance cluster time one step: due restores/heals run first, then the
-  // fault injector (if set) gets one `killbroker` draw at cluster.broker
-  // and one `netsplit` draw at cluster.link.
+  // --- gray failures (ISSUE 10) ---
+  // Brown a broker out: it stays up and keeps serving, but every
+  // operation costs `factor` times the base latency for `ticks` cluster
+  // ticks (config default when 0). Arming is a fault, not a metadata
+  // event — routing is unchanged, only modeled latency moves.
+  Status SlowBroker(BrokerId broker, double factor, std::uint64_t ticks = 0);
+  // Make a broker's link lossy: each admitted produce/fetch/query against
+  // it is dropped with probability `drop_p` (retriable Unavailable, not
+  // fail-stop) for `ticks` cluster ticks. Drops are a pure seeded hash of
+  // (seed, broker, epoch, tick, request id): frozen within a tick — so
+  // parallel fan-outs agree — and re-drawn across ticks, so retries that
+  // tick the cluster make progress.
+  Status LossyLink(BrokerId broker, double drop_p, std::uint64_t ticks = 0);
+  // Modeled service time of one op on `broker` right now (base latency
+  // times its slow factor; Duration::Max() if the id is out of range).
+  Duration OpLatency(BrokerId broker) const;
+  // Current health verdict (always false with health disabled).
+  bool BrokerDegraded(BrokerId broker) const;
+  HealthTracker& health() { return health_; }
+  const HealthTracker& health() const { return health_; }
+
+  // Advance cluster time one step: due restores/heals and expired
+  // brownouts clear first, then the fault injector (if set) gets one
+  // `killbroker` + `slowbroker` draw at cluster.broker and one `netsplit`
+  // + `lossylink` draw at cluster.link, then the health pass folds the
+  // tracker and drains leaderships off degraded brokers (when enabled),
+  // then the autoscaler runs (when enabled).
   void Tick();
 
   void set_fault_injector(fault::FaultInjector* injector) { fault_ = injector; }
@@ -201,6 +239,18 @@ class BrokerCluster : public stream::ClusterGate {
   // stream::ClusterGate — consulted by the broker before fault draws.
   Status AdmitProduce(const std::string& topic, stream::PartitionId partition) override;
   Status AdmitFetch(const std::string& topic, stream::PartitionId partition) override;
+  // Identity-bearing admission: the reachability check above, then — only
+  // while a lossy brownout is armed on the leader broker — the seeded
+  // per-request drop. With no lossy fault armed these are bit-identical
+  // to AdmitProduce/AdmitFetch.
+  Status AdmitProduceRequest(const std::string& topic, stream::PartitionId partition,
+                             std::uint64_t request_id) override;
+  Status AdmitFetchRequest(const std::string& topic, stream::PartitionId partition,
+                           std::uint64_t request_id) override;
+  // Modeled per-op cost of the partition's current leader broker (zero
+  // when the topic is not cluster-managed or leaderless — the admission
+  // rejection carries the cost story there).
+  Duration OpCost(const std::string& topic, stream::PartitionId partition) override;
 
  private:
   struct Node {
@@ -208,6 +258,18 @@ class BrokerCluster : public stream::ClusterGate {
     bool split = false;            // isolated minority side
     std::uint64_t restore_at = 0;  // tick to auto-restart at (0 = manual)
     std::uint64_t epoch = 1;       // liveness epoch
+    // Gray-failure state (ISSUE 10). slow_factor inflates OpLatency while
+    // now_tick() < slow_until; drop_p drops admitted requests while
+    // now_tick() < lossy_until. lossy_epoch salts the drop hash so two
+    // brownout windows on one broker draw independent schedules.
+    double slow_factor = 1.0;
+    std::uint64_t slow_until = 0;
+    double drop_p = 0.0;
+    std::uint64_t lossy_until = 0;
+    std::uint64_t lossy_epoch = 0;
+    // Health demotion: true while the controller holds a kBrokerDegraded
+    // verdict for this broker (leaderships drained off it each tick).
+    bool degraded = false;
   };
 
   // All *Locked members require mu_ held exclusively.
@@ -233,12 +295,31 @@ class BrokerCluster : public stream::ClusterGate {
   // action regardless of thresholds.
   void AutoscaleTickLocked();
   std::vector<stream::PartitionId> LiveLeavesLocked(const std::string& topic) const;
+  // Gray-failure plumbing. ArmSlow/ArmLossy implement SlowBroker/LossyLink
+  // under the lock; ExpireBrownoutsLocked clears windows that ran out.
+  Status ArmSlowLocked(BrokerId broker, double factor, std::uint64_t ticks);
+  Status ArmLossyLocked(BrokerId broker, double drop_p, std::uint64_t ticks);
+  void ExpireBrownoutsLocked(std::uint64_t now);
+  // Health fold + demotion pass: fold the tracker's per-tick aggregates,
+  // append kBrokerDegraded/kBrokerRecovered transitions (metadata first),
+  // and drain leaderships off every currently-degraded broker through the
+  // existing epoch/fencing elections (CrashNode + RestoreNode per slot).
+  void HealthTickLocked();
+  void DrainLeadershipsLocked(BrokerId broker);
+  // The lossy-link drop verdict for an admitted request (pure hash).
+  bool LossyDropLocked(const Node& node, BrokerId broker,
+                       std::uint64_t request_id) const;
+  // The node currently leading a cluster-managed partition, or nullptr
+  // when the topic is unmanaged or the partition leaderless (mu_ held).
+  const Node* LeaderNodeLocked(const std::string& topic,
+                               stream::PartitionId partition, BrokerId* broker) const;
 
   stream::Broker& broker_;
   ClusterConfig cfg_;
   HashRing ring_;
   MetadataController controller_;
   Rng rng_;  // victim / minority-side picks (consumed only on injected faults)
+  HealthTracker health_;
   fault::FaultInjector* fault_ = nullptr;
 
   mutable std::shared_mutex mu_;
@@ -257,6 +338,7 @@ class BrokerCluster : public stream::ClusterGate {
   ClusterStats stats_;  // guarded by mu_ (denials via the atomics below)
   mutable std::atomic<std::uint64_t> produce_denied_{0};
   mutable std::atomic<std::uint64_t> fetch_denied_{0};
+  mutable std::atomic<std::uint64_t> lossy_drops_{0};
 };
 
 // Cluster-routed idempotent producer: stable (pid, seq) dedup plus
@@ -271,12 +353,22 @@ class ClusterProducer {
   ClusterProducer(BrokerCluster& cluster, stream::Broker& broker, std::string topic,
                   fault::RetryPolicy retry = {}, std::uint64_t jitter_seed = 0xc10dULL);
 
-  Expected<std::pair<stream::PartitionId, stream::Offset>> Send(stream::Record record);
+  // Send with an optional deadline budget (ISSUE 10): each attempt
+  // charges the leader broker's modeled OpLatency, each backoff charges
+  // (and is clamped to) the remaining budget, and once the budget is gone
+  // the send short-circuits with kDeadlineExceeded instead of retrying
+  // past the frame. Null deadline = the original unbounded behaviour,
+  // byte for byte. Every attempt also feeds the cluster's HealthTracker
+  // (pure accounting; affects nothing until health is enabled).
+  Expected<std::pair<stream::PartitionId, stream::Offset>> Send(
+      stream::Record record, Deadline* deadline = nullptr);
 
   std::uint64_t sent() const { return sent_; }
   std::uint64_t retries() const { return retries_; }
   std::uint64_t rerouted() const { return rerouted_; }
   std::uint64_t exhausted() const { return exhausted_; }
+  // Sends abandoned because the deadline budget ran out mid-retry.
+  std::uint64_t deadline_exhausted() const { return deadline_exhausted_; }
   // In-flight sends that followed a split/merge to a different partition
   // (either the target sealed under them, or a tick during backoff moved
   // the route). Each carried its (pid, seq) across, so the handoff is
@@ -302,6 +394,7 @@ class ClusterProducer {
   std::uint64_t rerouted_ = 0;
   std::uint64_t exhausted_ = 0;
   std::uint64_t handoffs_ = 0;
+  std::uint64_t deadline_exhausted_ = 0;
   Duration total_backoff_ = Duration::Zero();
 };
 
@@ -321,19 +414,28 @@ class ClusterQuery {
   ClusterQuery(BrokerCluster& cluster, stream::Broker& broker, std::string topic,
                fault::RetryPolicy retry = {}, std::uint64_t jitter_seed = 0x9e7ULL);
 
+  // Each entry point takes an optional deadline budget (ISSUE 10): every
+  // attempt charges the leader's modeled OpLatency, backoffs clamp to the
+  // remaining budget, and an exhausted budget short-circuits with
+  // kDeadlineExceeded. Null = the original unbounded retry loop.
   Expected<stream::QueryResult> QueryRange(stream::PartitionId p, stream::Offset lo,
-                                           stream::Offset hi);
+                                           stream::Offset hi,
+                                           Deadline* deadline = nullptr);
   Expected<stream::QueryResult> QueryTime(stream::PartitionId p, TimePoint t_lo,
-                                          TimePoint t_hi);
-  Expected<stream::Offset> OffsetForTimestamp(stream::PartitionId p, TimePoint t);
+                                          TimePoint t_hi, Deadline* deadline = nullptr);
+  Expected<stream::Offset> OffsetForTimestamp(stream::PartitionId p, TimePoint t,
+                                              Deadline* deadline = nullptr);
 
   std::uint64_t retries() const { return retries_; }
   std::uint64_t exhausted() const { return exhausted_; }
+  std::uint64_t deadline_exhausted() const { return deadline_exhausted_; }
   Duration total_backoff() const { return total_backoff_; }
 
  private:
   template <typename T>
-  Expected<T> WithRetry(const std::function<Expected<T>()>& attempt);
+  Expected<T> WithRetry(stream::PartitionId p,
+                        const std::function<Expected<T>()>& attempt,
+                        Deadline* deadline);
 
   BrokerCluster& cluster_;
   stream::Broker& broker_;
@@ -342,6 +444,7 @@ class ClusterQuery {
   Rng rng_;
   std::uint64_t retries_ = 0;
   std::uint64_t exhausted_ = 0;
+  std::uint64_t deadline_exhausted_ = 0;
   Duration total_backoff_ = Duration::Zero();
 };
 

@@ -35,6 +35,8 @@ const char* MetaEventKindName(MetaEventKind kind) {
     case MetaEventKind::kNetHeal: return "net_heal";
     case MetaEventKind::kPartitionSplit: return "partition_split";
     case MetaEventKind::kPartitionMerged: return "partition_merged";
+    case MetaEventKind::kBrokerDegraded: return "broker_degraded";
+    case MetaEventKind::kBrokerRecovered: return "broker_recovered";
   }
   return "unknown";
 }
@@ -59,7 +61,8 @@ Expected<MetaEvent> MetaEvent::Decode(const std::string& kind_name,
   for (MetaEventKind k :
        {MetaEventKind::kBrokerUp, MetaEventKind::kBrokerDown, MetaEventKind::kTopicPlaced,
         MetaEventKind::kLeaderMoved, MetaEventKind::kNetSplit, MetaEventKind::kNetHeal,
-        MetaEventKind::kPartitionSplit, MetaEventKind::kPartitionMerged}) {
+        MetaEventKind::kPartitionSplit, MetaEventKind::kPartitionMerged,
+        MetaEventKind::kBrokerDegraded, MetaEventKind::kBrokerRecovered}) {
     if (kind_name == MetaEventKindName(k)) {
       e.kind = k;
       known = true;
@@ -138,6 +141,12 @@ void ControllerState::Apply(const MetaEvent& e) {
     case MetaEventKind::kNetHeal:
       brokers[e.broker].split = false;
       break;
+    case MetaEventKind::kBrokerDegraded:
+      brokers[e.broker].degraded = true;
+      break;
+    case MetaEventKind::kBrokerRecovered:
+      brokers[e.broker].degraded = false;
+      break;
     case MetaEventKind::kPartitionSplit: {
       stream::PartitionId c0 = 0, c1 = 0;
       auto rows = TopicPlacement::Decode(e.placement);
@@ -188,7 +197,7 @@ std::uint64_t ControllerState::Digest() const {
   std::string flat;
   for (const auto& [b, st] : brokers) {
     flat += "b" + std::to_string(b) + (st.up ? "+" : "-") + (st.split ? "x" : ".") +
-            std::to_string(st.epoch) + ";";
+            std::to_string(st.epoch) + (st.degraded ? "!" : "") + ";";
   }
   for (const auto& [topic, p] : placements) {
     flat += "t" + topic + "=" + p.Encode() + ";";

@@ -35,6 +35,9 @@ enum class MetaEventKind : std::uint8_t {
   kNetHeal,      // the split healed
   kPartitionSplit,   // hot partition sealed, two placed children created
   kPartitionMerged,  // two cold siblings sealed, one placed merge target
+  kBrokerDegraded,   // health verdict: broker browned out, leaderships
+                     // drain off it (gray failure, broker still up)
+  kBrokerRecovered,  // health verdict cleared: broker trusted again
 };
 
 const char* MetaEventKindName(MetaEventKind kind);
@@ -71,6 +74,9 @@ struct ControllerState {
     bool up = true;
     bool split = false;          // fenced on the minority side
     std::uint64_t epoch = 1;     // liveness epoch
+    // Health verdict (kBrokerDegraded/kBrokerRecovered). Folded into
+    // Digest() only while true, so every pre-health digest is unchanged.
+    bool degraded = false;
   };
   std::map<BrokerId, BrokerStatus> brokers;
   std::map<std::string, TopicPlacement> placements;

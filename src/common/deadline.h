@@ -1,0 +1,53 @@
+// Deadline budgets for gray-failure tolerance (ISSUE 10). A Deadline is
+// an explicit time *budget* carried down a call chain — frame budget ->
+// publish -> retry loop -> hedged read — and charged with modeled costs
+// as work happens. It is budget-style rather than wall-clock-style on
+// purpose: ARBD's latencies are modeled (virtual time), so the costs a
+// call site knows about are Durations it charges explicitly, which keeps
+// deadline accounting bit-deterministic at any worker count.
+//
+// A default-constructed Deadline is unlimited: Charge() is a no-op,
+// expired() is always false, and every call path behaves byte-identically
+// to the pre-deadline code — the passthrough the E27 digest gate proves.
+#pragma once
+
+#include <algorithm>
+
+#include "common/clock.h"
+
+namespace arbd {
+
+class Deadline {
+ public:
+  // Unlimited budget: never expires, charges are still tallied in spent().
+  constexpr Deadline() = default;
+
+  static constexpr Deadline WithBudget(Duration budget) {
+    Deadline d;
+    d.limited_ = true;
+    d.remaining_ = std::max(budget, Duration::Zero());
+    return d;
+  }
+
+  // Consume `cost` from the budget (saturating at zero). Unlimited
+  // deadlines only accumulate spent().
+  constexpr void Charge(Duration cost) {
+    if (cost < Duration::Zero()) cost = Duration::Zero();
+    spent_ += cost;
+    if (!limited_) return;
+    remaining_ = std::max(remaining_ - cost, Duration::Zero());
+  }
+
+  constexpr bool limited() const { return limited_; }
+  constexpr bool expired() const { return limited_ && remaining_ == Duration::Zero(); }
+  // Duration::Max() when unlimited, so min(backoff, remaining()) is safe.
+  constexpr Duration remaining() const { return limited_ ? remaining_ : Duration::Max(); }
+  constexpr Duration spent() const { return spent_; }
+
+ private:
+  bool limited_ = false;
+  Duration remaining_ = Duration::Max();
+  Duration spent_ = Duration::Zero();
+};
+
+}  // namespace arbd

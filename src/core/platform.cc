@@ -33,6 +33,7 @@ Platform::Platform(PlatformConfig cfg, const geo::CityModel& city, SimClock& clo
     cluster::ClusterConfig cc;
     cc.brokers = brokers;
     cc.autoscale.enabled = cluster::AutoscaleFromEnv();
+    cc.health.enabled = cluster::HealthFromEnv();
     cluster_ = std::make_unique<cluster::BrokerCluster>(broker_, cc);
   }
   stream::TopicConfig tc;
@@ -123,9 +124,23 @@ Status Platform::PublishTraced(const stream::Event& event, qos::PriorityClass pr
   // and each retry ticks cluster time, so the budget must outlast the
   // default restore window for a publish to ride out a dead leader broker.
   const std::size_t attempts = cluster_ != nullptr ? 12 : (publish_retries_ ? 4 : 1);
+  // Frame-deadline propagation: with a budget configured, every attempt
+  // charges the leader broker's modeled op cost, and an exhausted budget
+  // stops the retry loop — the publish fails inside the frame instead of
+  // ticking cluster time past it. Zero budget threads no deadline at all.
+  Deadline budget = Deadline::WithBudget(cfg_.frame_budget);
+  Deadline* deadline = cfg_.frame_budget > Duration::Zero() ? &budget : nullptr;
   Status last = Status::Ok();
   for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+    if (deadline != nullptr && deadline->expired()) {
+      last = Status::DeadlineExceeded("publish budget exhausted after " +
+                                      std::to_string(attempt) + " attempts");
+      break;
+    }
     auto produced = broker_.ProduceIdempotent(cfg_.event_topic, p, pid_, seq, record);
+    if (deadline != nullptr && cluster_ != nullptr) {
+      deadline->Charge(cluster_->OpCost(cfg_.event_topic, p));
+    }
     last = produced.status();
     if (last.code() != StatusCode::kUnavailable) break;
     // Retry backoff is modeled time: kill/heal windows count down and
@@ -212,7 +227,13 @@ std::size_t Platform::ProcessPending(std::size_t max_records) {
       events.push_back(std::move(*event));
     }
   } else {
-    auto records = consumer_->Poll(max_records);
+    // With a frame budget configured the poll is deadline-bounded: it
+    // stops visiting partitions once the budget is spent, and the
+    // leftovers are simply picked up next frame (at-least-once, same as a
+    // short poll).
+    Deadline budget = Deadline::WithBudget(cfg_.frame_budget);
+    Deadline* deadline = cfg_.frame_budget > Duration::Zero() ? &budget : nullptr;
+    auto records = consumer_->Poll(max_records, deadline);
     fetched = records.size();
     // The poll interleaves partitions in fetch order, not event-time order;
     // sorting each batch by event time keeps the watermark honest so one

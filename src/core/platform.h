@@ -69,6 +69,13 @@ struct PlatformConfig {
   // produce/fetch on leader reachability, and Publish retries through
   // rerouting when a leader broker is down.
   std::uint32_t cluster_brokers = 0;
+  // Frame-deadline propagation (ISSUE 10): when nonzero, each Publish and
+  // each ProcessPending poll carries a Deadline with this budget — cluster
+  // retries charge modeled op latency + backoff against it and stop with
+  // kDeadlineExceeded rather than outliving the frame, and the consumer
+  // stops visiting further partitions once the budget is spent. Zero (the
+  // default) threads no deadline anywhere: byte-identical passthrough.
+  Duration frame_budget = Duration::Zero();
   Duration max_out_of_orderness = Duration::Millis(200);
   ar::LayoutConfig layout;
   ContextConfig context;

@@ -7,7 +7,7 @@
 namespace arbd::fault {
 namespace {
 
-constexpr std::array<std::pair<FaultKind, const char*>, 16> kKindNames = {{
+constexpr std::array<std::pair<FaultKind, const char*>, 18> kKindNames = {{
     {FaultKind::kCrash, "crash"},
     {FaultKind::kTornAppend, "torn"},
     {FaultKind::kAppendError, "apperr"},
@@ -24,6 +24,8 @@ constexpr std::array<std::pair<FaultKind, const char*>, 16> kKindNames = {{
     {FaultKind::kNetSplit, "netsplit"},
     {FaultKind::kAutoSplit, "autosplit"},
     {FaultKind::kAutoMerge, "automerge"},
+    {FaultKind::kSlowBroker, "slowbroker"},
+    {FaultKind::kLossyLink, "lossylink"},
 }};
 
 bool ParseDouble(const std::string& text, double* out) {

@@ -43,6 +43,16 @@ enum class FaultKind {
                     // partition this tick, thresholds notwithstanding
   kAutoMerge,       // autoscale chaos: force-merge the coldest live
                     // sibling pair this tick, cold windows notwithstanding
+  kSlowBroker,      // gray failure: a modeled cluster broker browns out —
+                    // alive and answering, but every operation it serves
+                    // costs `x=` times the base latency; `ms=` is the
+                    // window in cluster ticks (0 = the cluster's default
+                    // restore window)
+  kLossyLink,       // gray failure: a broker's link drops requests without
+                    // fail-stop — each admitted produce/fetch/query is
+                    // dropped (Unavailable, retriable) with probability
+                    // `x=`, decided by a pure seeded hash; `ms=` is the
+                    // window in cluster ticks (0 = the default window)
 };
 
 // Spec-string token for each kind (also used in ToString / metrics names).

@@ -7,6 +7,7 @@
 #include <algorithm>
 
 #include "common/clock.h"
+#include "common/deadline.h"
 #include "common/rng.h"
 
 namespace arbd::fault {
@@ -37,6 +38,18 @@ struct RetryPolicy {
     const double jittered =
         backoff_s * (1.0 + rng.Uniform(-jitter, jitter));
     return Duration::Seconds(std::max(0.0, jittered));
+  }
+
+  // Budget-aware backoff (ISSUE 10): the sampled backoff, clamped to what
+  // the deadline has left — a retry may be the last useful work inside
+  // the frame, but its backoff must never sleep past the frame's end.
+  // Consumes exactly the randomness BackoffFor does (one Uniform draw for
+  // retry >= 1), so threading a deadline through an existing retry loop
+  // cannot shift any seeded schedule; with an unlimited deadline the
+  // result is bit-identical to BackoffFor.
+  Duration BackoffForBudget(std::size_t retry, Rng& rng, const Deadline& deadline) const {
+    const Duration sampled = BackoffFor(retry, rng);
+    return std::min(sampled, deadline.remaining());
   }
 };
 

@@ -56,10 +56,14 @@ TaskOutcome OffloadScheduler::RunCloud(const ComputeTask& task) {
         fault_ != nullptr &&
         fault_->Fire(fault::FaultKind::kTaskFail, fault::InjectionPoint::kTaskExecute);
     if (!failed) {
-      if (breaker_ != nullptr) breaker_->RecordSuccess();
       const Duration up = network_.UplinkTime(task.input_bytes);
       const Duration exec = cloud_.ExecTime(task);
       const Duration down = network_.DownlinkTime(task.output_bytes);
+      // Latency-aware outcome report: a success slower than the breaker's
+      // slow-success threshold counts as a failure, so a browned-out cloud
+      // (injected latency spikes, congested uplink) trips the breaker even
+      // though every attempt "succeeds". Threshold zero = the old signal.
+      if (breaker_ != nullptr) breaker_->RecordSuccess(up + exec + down);
       out.latency += up + exec + down;
       out.energy_j +=
           device_.TxEnergyJ(up) + device_.IdleEnergyJ(exec) + device_.RxEnergyJ(down);

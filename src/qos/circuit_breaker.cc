@@ -73,6 +73,20 @@ void CircuitBreaker::RecordSuccess() {
   }
 }
 
+void CircuitBreaker::RecordSuccess(Duration latency) {
+  if (cfg_.slow_success_threshold > Duration::Zero() &&
+      latency >= cfg_.slow_success_threshold) {
+    // A success that blew the deadline is a failure to the caller: count
+    // it as one so a browned-out path trips the breaker — and, crucially,
+    // re-opens a half-open breaker whose probes "succeed" slowly.
+    ++slow_successes_;
+    if (metrics_ != nullptr) metrics_->Add("qos.breaker.slow_successes");
+    RecordFailure();
+    return;
+  }
+  RecordSuccess();
+}
+
 void CircuitBreaker::RecordFailure() {
   if (state_ == BreakerState::kHalfOpen) {
     // A failed probe: the path is still bad, hold the circuit open for

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 
+#include "common/clock.h"
 #include "common/metrics.h"
 #include "common/rng.h"
 
@@ -32,6 +33,14 @@ struct BreakerConfig {
   // a worst-case seed can short-circuit indefinitely and a recovered cloud
   // is never rediscovered. 0 disables the floor (pre-fix behavior).
   std::size_t probe_interval = 16;
+  // Gray-failure awareness (ISSUE 10): a success slower than this counts
+  // as a failure — it trips a closed breaker and re-opens a half-open one.
+  // A browned-out cloud answers every probe "successfully" but blows the
+  // caller's deadline every time; without this threshold such sustained
+  // slow-successes close the breaker and the offload path stays pinned to
+  // the slow cloud. Zero (the default) disables the check: only the
+  // latency-blind RecordSuccess()/RecordFailure() signals count.
+  Duration slow_success_threshold = Duration::Zero();
 };
 
 class CircuitBreaker {
@@ -48,6 +57,13 @@ class CircuitBreaker {
   // Report the outcome of an attempt that Allow() let through.
   void RecordSuccess();
   void RecordFailure();
+  // Latency-aware success report: a success at or over the configured
+  // slow_success_threshold is treated as a failure (deadline-equivalent).
+  // With the threshold at zero this is exactly RecordSuccess().
+  void RecordSuccess(Duration latency);
+
+  // Successes reclassified as failures by the slow-success threshold.
+  std::uint64_t slow_successes() const { return slow_successes_; }
 
   BreakerState state() const { return state_; }
   std::uint64_t opens() const { return opens_; }
@@ -72,6 +88,7 @@ class CircuitBreaker {
   std::uint64_t closes_ = 0;
   std::uint64_t short_circuits_ = 0;
   std::uint64_t probes_ = 0;
+  std::uint64_t slow_successes_ = 0;
 };
 
 }  // namespace arbd::qos

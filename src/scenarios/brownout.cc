@@ -1,0 +1,261 @@
+#include "scenarios/brownout.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/metrics.h"
+#include "scenarios/cluster.h"
+#include "stream/consumer.h"
+#include "stream/dataflow.h"
+#include "stream/log.h"
+#include "stream/replication.h"
+
+namespace arbd::scenarios {
+
+Expected<BrownoutSoakReport> RunBrownoutSoak(const BrownoutSoakConfig& cfg) {
+  BrownoutSoakReport report;
+
+  SimClock clock;
+  stream::Broker broker(clock);
+  cluster::ClusterConfig cc;
+  cc.brokers = std::max<std::uint32_t>(cfg.brokers, 1);
+  cc.seed = cfg.seed ^ 0xb07a11ULL;
+  cc.default_restore_ticks = std::max<std::uint64_t>(cfg.restore_ticks, 1);
+  cc.base_op_latency = cfg.base_op_latency;
+  cc.health = cfg.health;
+  cluster::BrokerCluster cluster(broker, cc);
+
+  fault::FaultInjector* injector = nullptr;
+  std::unique_ptr<fault::FaultInjector> injector_holder;
+  if (!cfg.fault_spec.empty()) {
+    auto plan = fault::FaultPlan::Parse(cfg.fault_spec);
+    if (!plan.ok()) return plan.status();
+    injector_holder = std::make_unique<fault::FaultInjector>(*plan, cfg.fault_seed);
+    injector = injector_holder.get();
+    cluster.set_fault_injector(injector);
+  }
+
+  stream::TopicConfig tc;
+  tc.partitions = cfg.partitions;
+  tc.replication_factor = std::max<std::uint32_t>(cfg.replication_factor, 1);
+  auto created = cluster.CreateTopic("brownout.events", tc);
+  if (!created.ok()) return created;
+
+  fault::RetryPolicy retry;
+  retry.max_attempts = std::max<std::size_t>(cfg.producer_attempts, 1);
+  cluster::ClusterProducer producer(cluster, broker, "brownout.events", retry,
+                                    cfg.seed ^ 0x9dULL);
+  cluster::HedgedReader reader(cluster, broker, "brownout.events", cfg.hedge,
+                               cfg.seed ^ 0x4ed6eULL);
+
+  // Generation-fenced consumer group, members homed on brokers (the kill
+  // overlap evicts a member mid-flight; the restore rejoins it). Delivery
+  // polls run unbudgeted: the frame deadline shapes the produce/read
+  // path, never the drain the gap audit depends on.
+  stream::ConsumerGroup group(broker, "brownout.soak", "brownout.events");
+  const std::size_t members = std::max<std::uint32_t>(cfg.consumers, 1);
+  std::vector<stream::Consumer*> consumers;
+  std::vector<bool> evicted(members, false);
+  std::vector<std::vector<std::int64_t>> buffers(members);
+  for (std::size_t i = 0; i < members; ++i) {
+    auto joined = group.Join("member-" + std::to_string(i));
+    if (!joined.ok()) return joined.status();
+    consumers.push_back(*joined);
+  }
+
+  const auto records = MakeFleetWorkload(cfg.fleet);
+  std::vector<std::int64_t> acked_ids;
+  acked_ids.reserve(records.size());
+  std::map<std::int64_t, std::uint64_t> delivered;
+
+  // Per-partition cursors for the frame's hedged reads — an overlay
+  // reader tier, independent of the group's committed positions.
+  std::vector<stream::Offset> cursor(cfg.partitions, 0);
+  Histogram read_hist;
+  Histogram post_demotion_hist;
+  bool slow_armed = false, lossy_armed = false, kill_fired = false;
+
+  const std::size_t chunk = std::max<std::size_t>(cfg.produce_chunk, 1);
+  const std::size_t cap =
+      cfg.max_turns != 0
+          ? cfg.max_turns
+          : 1000 + (records.size() / chunk + 1) * 50 +
+                static_cast<std::size_t>(cfg.brokers) *
+                    static_cast<std::size_t>(cfg.restore_ticks + cfg.slow_ticks);
+
+  std::size_t next = 0;
+  std::size_t turn = 0;
+
+  while (next < records.size() || group.TotalLag() > 0) {
+    if (++turn > cap) {
+      report.wedged = true;
+      break;
+    }
+    // One frame per turn. With frame_budget zero the deadline is
+    // unlimited — it tallies spent() but never expires, and every path
+    // behaves exactly as without a deadline.
+    Deadline frame = cfg.frame_budget > Duration::Zero()
+                         ? Deadline::WithBudget(cfg.frame_budget)
+                         : Deadline();
+
+    // 1. Produce a chunk under the frame budget. A send the budget cuts
+    // off is a deadline miss — the record is dropped at the producer
+    // (never acked), which is the paper's frame semantics: stale sensor
+    // data is worthless next frame.
+    const std::size_t until = std::min(records.size(), next + chunk);
+    for (; next < until; ++next) {
+      ++report.offered;
+      auto sent = producer.Send(records[next], &frame);
+      if (sent.ok()) {
+        ++report.acked;
+        acked_ids.push_back(records[next].event_time.nanos());
+      } else if (sent.status().code() == StatusCode::kDeadlineExceeded) {
+        ++report.deadline_misses;
+      } else if (sent.status().code() == StatusCode::kUnavailable) {
+        ++report.denied;
+      } else {
+        return sent.status();
+      }
+      clock.Advance(Duration::Millis(1));
+    }
+
+    // 2. One hedged read per partition, each charged to the frame at the
+    // winning attempt's modeled cost. Reads that no longer fit the frame
+    // are skipped (they would blow the deadline anyway).
+    for (stream::PartitionId p = 0; p < cfg.partitions; ++p) {
+      if (frame.expired()) break;
+      Deadline probe;  // unlimited: a pure cost meter for this read
+      auto rows = reader.Fetch(p, cursor[p], cfg.read_batch, &probe);
+      const Duration cost = probe.spent();
+      frame.Charge(cost);
+      read_hist.RecordDuration(cost);
+      if (report.cluster.demotions > 0) post_demotion_hist.RecordDuration(cost);
+      ++report.reads;
+      if (rows.ok()) {
+        report.read_rows += rows->size();
+        cursor[p] += static_cast<stream::Offset>(rows->size());
+      } else {
+        ++report.read_errors;
+      }
+    }
+
+    // 3. Every live member polls (in-flight until step 6's commit).
+    for (std::size_t i = 0; i < members; ++i) {
+      for (const auto& sr : consumers[i]->Poll(cfg.poll_batch)) {
+        buffers[i].push_back(sr.record.event_time.nanos());
+      }
+    }
+
+    // 4. Cluster time advances, then the brownout/kill schedule fires.
+    cluster.Tick();
+    report.cluster = cluster.stats();
+    if (cfg.slow_at_tick != 0 && !slow_armed &&
+        cluster.now_tick() >= cfg.slow_at_tick) {
+      auto s = cluster.SlowBroker(cfg.slow_broker, cfg.slow_factor, cfg.slow_ticks);
+      if (!s.ok()) return s;
+      slow_armed = true;
+    }
+    if (cfg.lossy_at_tick != 0 && !lossy_armed &&
+        cluster.now_tick() >= cfg.lossy_at_tick) {
+      auto s = cluster.LossyLink(cfg.lossy_broker, cfg.lossy_drop_p, cfg.lossy_ticks);
+      if (!s.ok()) return s;
+      lossy_armed = true;
+    }
+    if (cfg.kill_at_tick != 0 && !kill_fired &&
+        cluster.now_tick() >= cfg.kill_at_tick) {
+      auto s = cluster.KillBroker(cfg.kill_broker, cfg.restore_ticks);
+      if (!s.ok()) return s;
+      kill_fired = true;
+    }
+
+    // 5. Home-broker liveness drives membership (kill overlap only; a
+    // browned-out broker is up, so brownouts never evict anyone).
+    for (std::size_t i = 0; i < members; ++i) {
+      const auto home = static_cast<cluster::BrokerId>(i % cc.brokers);
+      const bool alive = cluster.BrokerUp(home);
+      if (!alive && !evicted[i]) {
+        auto s = group.Evict(consumers[i]->id());
+        if (!s.ok()) return s;
+        evicted[i] = true;
+        ++report.evictions;
+      } else if (alive && evicted[i]) {
+        auto s = group.Rejoin(consumers[i]->id());
+        if (!s.ok()) return s;
+        evicted[i] = false;
+        ++report.rejoins;
+      }
+    }
+
+    // 6. Commits: successful commits deliver this member's in-flight
+    // polls; fenced commits discard them for redelivery.
+    for (std::size_t i = 0; i < members; ++i) {
+      if (buffers[i].empty()) continue;
+      if (consumers[i]->Commit().ok()) {
+        for (const std::int64_t id : buffers[i]) ++delivered[id];
+      }
+      buffers[i].clear();
+    }
+
+    ++report.frames;
+    if (!frame.expired()) ++report.frame_hits;
+  }
+
+  // --- audits (identical contract to the E24 cluster soak) -------------
+  auto topic = broker.GetTopic("brownout.events");
+  if (!topic.ok()) return topic.status();
+  std::map<std::int64_t, std::uint64_t> copies;
+  for (stream::PartitionId p = 0; p < (*topic)->partition_count(); ++p) {
+    const auto& part = (*topic)->partition(p);
+    auto fetched = part.Fetch(part.log_start_offset(), part.size());
+    if (!fetched.ok()) return fetched.status();
+    for (const auto& sr : *fetched) {
+      ++copies[sr.record.event_time.nanos()];
+      ++report.committed_records;
+    }
+  }
+  for (const std::int64_t id : acked_ids) {
+    if (!copies.contains(id)) ++report.committed_loss;
+  }
+  for (const auto& [id, n] : copies) {
+    if (n > 1) report.log_duplicates += n - 1;
+  }
+  for (const auto& [id, n] : delivered) {
+    report.delivered += n;
+    if (n > 1) report.delivered_duplicates += n - 1;
+  }
+  if (!report.wedged) {
+    for (const auto& [id, n] : copies) {
+      if (!delivered.contains(id)) ++report.delivery_gaps;
+    }
+  }
+
+  report.frame_hit_rate =
+      report.frames == 0
+          ? 1.0
+          : static_cast<double>(report.frame_hits) / static_cast<double>(report.frames);
+  report.availability = report.offered == 0
+                            ? 1.0
+                            : static_cast<double>(report.acked) /
+                                  static_cast<double>(report.offered);
+  report.producer_retries = producer.retries();
+  report.read_p50_ns = read_hist.p50();
+  report.read_p99_ns = read_hist.p99();
+  report.post_demotion_reads = post_demotion_hist.count();
+  report.post_demotion_p99_ns = post_demotion_hist.p99();
+  report.hedge = reader.stats();
+  report.committed_digest = stream::CommittedTopicDigest(**topic);
+
+  report.fenced_commits = group.fenced_commit_count();
+  report.cluster = cluster.stats();
+  report.controller_events = cluster.controller().appended();
+  report.controller_state_digest = cluster.controller().StateDigest();
+  auto replay = cluster.controller().ReplayDigest();
+  if (!replay.ok()) return replay.status();
+  report.controller_replay_digest = *replay;
+  report.controller_consistent =
+      report.controller_replay_digest == report.controller_state_digest;
+  return report;
+}
+
+}  // namespace arbd::scenarios

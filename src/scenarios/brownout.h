@@ -1,0 +1,153 @@
+// Brownout soak harness (E27): a modeled broker cluster under *gray*
+// failures — brokers that stay up but serve slowly (`slowbroker`) or drop
+// requests on a lossy link (`lossylink`), optionally overlapped with a
+// fail-stop kill — while a fleet-shaped workload runs produce/read/commit
+// turns, each turn framed by a deadline budget (the AR frame budget of
+// ISSUE 10's deadline-propagation tentpole).
+//
+// Every turn is one "frame": a produce chunk sent through the
+// budget-aware ClusterProducer, then one hedged read per partition, all
+// charged against the same Deadline. A frame whose budget survives the
+// turn is a deadline hit; the hit rate is the headline gray-failure
+// metric — bench_brownout (E27) gates that hedged reads strictly improve
+// it under a brownout, and that health-driven leadership demotion
+// improves read p99 by draining leaderships off the browned-out broker.
+//
+// The fail-stop audits are inherited verbatim from the cluster soak
+// (E24): zero committed loss, zero duplicate delivery, zero delivery
+// gaps, controller replay == live state — now required to hold *through*
+// brownouts, demotions, and brownout+kill overlap. The committed digest
+// must be invariant under hedging and worker count (hedged reads bypass
+// the gate and consume no injector randomness).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "cluster/cluster.h"
+#include "cluster/hedge.h"
+#include "offload/fleet.h"
+
+namespace arbd::scenarios {
+
+struct BrownoutSoakConfig {
+  std::uint32_t brokers = 4;
+  std::uint32_t partitions = 8;
+  std::uint32_t replication_factor = 3;  // clamped to `brokers` at placement
+  std::uint32_t consumers = 2;           // group members, homed on broker i % brokers
+
+  // Fleet-shaped workload (diurnal + Zipf hotspots), smaller than the
+  // cluster soak's — brownout runs sweep many configurations.
+  offload::FleetLoadConfig fleet{.users = 2000,
+                                 .hotspots = 32,
+                                 .ticks = 12,
+                                 .peak_events_per_tick = 60,
+                                 .seed = 7};
+
+  // Brownout schedule. At cluster tick `slow_at_tick` broker `slow_broker`
+  // is browned out to `slow_factor`× base latency for `slow_ticks`;
+  // 0 disables the arm. Likewise for the lossy link.
+  std::uint64_t slow_at_tick = 2;
+  cluster::BrokerId slow_broker = 0;
+  double slow_factor = 8.0;
+  std::uint64_t slow_ticks = 24;
+  std::uint64_t lossy_at_tick = 0;  // 0 = no lossy window
+  cluster::BrokerId lossy_broker = 0;
+  double lossy_drop_p = 0.35;
+  std::uint64_t lossy_ticks = 8;
+
+  // Optional fail-stop overlap: kill `kill_broker` at `kill_at_tick`
+  // (0 = no kill) with restore window `restore_ticks` — the
+  // brownout+kill schedules of the E27 robustness gate.
+  std::uint64_t kill_at_tick = 0;
+  cluster::BrokerId kill_broker = 1;
+  std::uint64_t restore_ticks = 6;
+
+  // Optional FaultPlan spec (plan.h grammar) fired on every cluster tick:
+  // `slowbroker@p=..,x=..,ms=..` at cluster.broker and
+  // `lossylink@p=..,x=..,ms=..` at cluster.link join the kill/netsplit
+  // kinds. Empty = only the explicit schedule above.
+  std::string fault_spec;
+  std::uint64_t fault_seed = 1;
+
+  // Gray-failure machinery under test.
+  cluster::HedgeConfig hedge;    // enabled=false = primary-only reads
+  cluster::HealthConfig health;  // enabled=false = no demotion verdicts
+  // Per-turn frame budget charged by produce retries and hedged reads;
+  // Zero = unlimited (every frame hits, the passthrough baseline).
+  Duration frame_budget = Duration::Millis(33);
+  Duration base_op_latency = Duration::Micros(200);
+
+  std::size_t produce_chunk = 16;  // records produced per frame
+  std::size_t read_batch = 32;     // rows each per-partition hedged read asks for
+  std::size_t poll_batch = 64;     // records each member polls per turn
+  std::size_t producer_attempts = 32;
+  std::uint64_t seed = 1;
+  std::size_t max_turns = 0;  // wedge guard; 0 = automatic bound
+};
+
+struct BrownoutSoakReport {
+  // Frame accounting: one frame per turn; a hit = the frame's deadline
+  // budget survived its produce chunk and hedged reads.
+  std::uint64_t frames = 0;
+  std::uint64_t frame_hits = 0;
+  double frame_hit_rate = 0.0;
+
+  // Producer side.
+  std::uint64_t offered = 0;
+  std::uint64_t acked = 0;
+  std::uint64_t denied = 0;              // exhausted the retry budget
+  std::uint64_t deadline_misses = 0;     // sends stopped by the frame budget
+  std::uint64_t producer_retries = 0;
+  double availability = 0.0;
+
+  // Hedged-read side (modeled winner cost per read).
+  std::uint64_t reads = 0;
+  std::uint64_t read_rows = 0;
+  std::uint64_t read_errors = 0;
+  std::int64_t read_p50_ns = 0;
+  std::int64_t read_p99_ns = 0;
+  // Reads issued after the first health-driven demotion: the p99 here is
+  // what the E27 gate compares against a health-off run's overall p99 —
+  // demotion drains the browned-out leaderships, so post-demotion reads
+  // should be near base latency again.
+  std::uint64_t post_demotion_reads = 0;
+  std::int64_t post_demotion_p99_ns = 0;
+  cluster::HedgedReader::Stats hedge;
+
+  // Committed-log audit (identity = unique event time per record).
+  std::uint64_t committed_records = 0;
+  std::uint64_t committed_loss = 0;   // acked identities missing (must be 0)
+  std::uint64_t log_duplicates = 0;   // identities stored twice (must be 0)
+  std::uint64_t committed_digest = 0; // CommittedTopicDigest over the topic
+
+  // Consumer-group delivery audit.
+  std::uint64_t delivered = 0;
+  std::uint64_t delivered_duplicates = 0; // must be 0
+  std::uint64_t delivery_gaps = 0;        // must be 0
+  std::uint64_t fenced_commits = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t rejoins = 0;
+
+  // Cluster + controller (stats carries demotions / recoveries /
+  // slow_brownouts / lossy_brownouts / lossy_drops).
+  cluster::ClusterStats cluster;
+  std::uint64_t controller_events = 0;
+  std::uint64_t controller_state_digest = 0;
+  std::uint64_t controller_replay_digest = 0;
+  bool controller_consistent = false;
+
+  bool wedged = false;
+
+  bool AuditClean() const {
+    return committed_loss == 0 && log_duplicates == 0 &&
+           delivered_duplicates == 0 && delivery_gaps == 0 &&
+           controller_consistent && !wedged;
+  }
+};
+
+Expected<BrownoutSoakReport> RunBrownoutSoak(const BrownoutSoakConfig& cfg);
+
+}  // namespace arbd::scenarios

@@ -55,4 +55,61 @@ struct SessionReplayReport {
 
 SessionReplayReport RunSessionReplay(const SessionReplayConfig& cfg);
 
+// Healthcare anomaly replay (ISSUE 10 satellite): the §3.3 caregiver
+// workflow "show me what led up to this alert". A ward of monitored
+// patients streams vitals into one topic — every patient samples at the
+// same instants, so any time window crosses *many* patient sessions at
+// once (the property the session replay above never exercises: its
+// QueryTime windows are single-tourist). Seeded tachycardia episodes are
+// injected as ground truth; afterwards each episode's surrounding window
+// [start - pre, end + post] is replayed with QueryTime across EVERY
+// partition and verified:
+//
+//   - the episode patient's samples inside the window come back exactly,
+//     in order (payload + event time), including every anomalous sample;
+//   - the window also returns other patients' co-resident rows
+//     (cross_session_rows > 0) — the multi-session property itself.
+//
+// The digest folds only verified row data, never segment structure, so
+// flat and segmented runs of one config must produce equal digests.
+struct AnomalyReplayConfig {
+  std::size_t patients = 12;
+  std::size_t samples_per_patient = 240;
+  std::uint32_t partitions = 4;
+  // Segment seal target installed for the run; 0 runs unsegmented. The
+  // previous global value is restored on return.
+  std::size_t segment_bytes = 2048;
+  Duration sample_period = Duration::Millis(500);
+  // Seeded ground-truth episodes per patient, each `episode_samples`
+  // consecutive elevated readings, placed in disjoint blocks of the
+  // patient's timeline.
+  std::size_t episodes_per_patient = 2;
+  std::size_t episode_samples = 10;
+  // Replay window margins around an episode.
+  Duration pre_window = Duration::Seconds(2);
+  Duration post_window = Duration::Seconds(2);
+  std::uint64_t seed = 42;
+};
+
+struct AnomalyReplayReport {
+  std::size_t produced = 0;
+  std::size_t episodes = 0;           // injected ground-truth episodes
+  std::size_t windows_replayed = 0;   // QueryTime calls (episodes × partitions)
+  std::size_t rows_replayed = 0;      // total rows the replays returned
+  std::size_t cross_session_rows = 0; // rows from other patients (must be > 0)
+  std::size_t anomalous_rows = 0;     // elevated samples recovered
+  std::size_t mismatches = 0;         // expected rows missing / wrong / out of order
+  std::size_t episodes_verified = 0;  // episodes whose window replay matched
+  std::size_t sealed_segments = 0;
+  std::uint64_t digest = 0;           // FNV-1a over verified row data only
+  stream::QueryStats query_stats;
+
+  bool AllVerified() const {
+    return episodes_verified == episodes && mismatches == 0 &&
+           cross_session_rows > 0;
+  }
+};
+
+AnomalyReplayReport RunAnomalyReplay(const AnomalyReplayConfig& cfg);
+
 }  // namespace arbd::scenarios

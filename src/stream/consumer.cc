@@ -4,7 +4,7 @@
 
 namespace arbd::stream {
 
-std::vector<StoredRecord> Consumer::Poll(std::size_t max_records) {
+std::vector<StoredRecord> Consumer::Poll(std::size_t max_records, Deadline* deadline) {
   std::vector<StoredRecord> out;
   if (fenced_ || positions_.empty() || max_records == 0) return out;
   // Polling observes the current generation: progress made now is
@@ -34,8 +34,17 @@ std::vector<StoredRecord> Consumer::Poll(std::size_t max_records) {
 
   const std::size_t n = parts.size();
   for (std::size_t i = 0; i < n && out.size() < max_records; ++i) {
+    // An exhausted budget stops the rotation between partitions — the
+    // records already gathered are returned, and the cursor still
+    // advances so the next poll resumes fairly.
+    if (deadline != nullptr && deadline->expired()) break;
     const PartitionId p = parts[(rr_cursor_ + i) % n];
     Offset& pos = positions_[p];
+    if (deadline != nullptr) {
+      if (ClusterGate* gate = group_.broker_.cluster_gate(); gate != nullptr) {
+        deadline->Charge(gate->OpCost(group_.topic_name_, p));
+      }
+    }
     auto fetched = fetch(p, pos, max_records - out.size());
     if (!fetched.ok()) {
       const Status st = fetched.status();

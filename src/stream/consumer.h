@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/status.h"
 #include "stream/log.h"
 
@@ -28,7 +29,15 @@ class Consumer {
   // fetches go through the broker's columnar FetchBatch and rows are
   // materialized at the return boundary — same records, same auto-reset
   // behaviour, one batched fetch per partition.
-  std::vector<StoredRecord> Poll(std::size_t max_records);
+  //
+  // The optional deadline (ISSUE 10) bounds the poll to a budget: each
+  // partition fetch charges the cluster gate's modeled per-op cost
+  // (zero without a cluster), and once the budget is spent the poll
+  // stops visiting further partitions and returns what it has — a
+  // frame-deadline consumer degrades to partial progress instead of
+  // blowing the frame. Null = the original unbounded poll, byte for
+  // byte.
+  std::vector<StoredRecord> Poll(std::size_t max_records, Deadline* deadline = nullptr);
 
   // Columnar poll: the same partition rotation, positions, and auto-reset
   // semantics as Poll, but rows stay in per-partition RecordBatches (one

@@ -12,6 +12,17 @@ namespace {
 // Modeled cost of one broker append on the causal-trace time axis.
 constexpr Duration kProduceCost = Duration::Micros(2);
 
+// Stable request identity for gate admission (ClusterGate::*Request): a
+// SplitMix64 finalizer so adjacent offsets/timestamps land far apart in
+// request-id space. Pure function of the request's content — a retry of
+// the same request carries the same id.
+constexpr std::uint64_t MixRequestId(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
 }  // namespace
 
 void Partition::UpdateMirrors() {
@@ -508,7 +519,10 @@ Expected<Offset> Broker::ProduceImpl(const std::string& topic, Topic* t,
   // no randomness, so fault schedules are unchanged whether or not a
   // cluster fronts this broker.
   if (cluster_gate_ != nullptr) {
-    Status admitted = cluster_gate_->AdmitProduce(topic, p);
+    Status admitted = cluster_gate_->AdmitProduceRequest(
+        topic, p,
+        MixRequestId(Fnv1a(record.key) ^
+                     static_cast<std::uint64_t>(record.event_time.nanos())));
     if (!admitted.ok()) return admitted;
   }
   // Budget check next: backpressure is a flow-control decision, not a
@@ -586,8 +600,14 @@ Expected<Broker::BatchProduceResult> Broker::ProduceBatch(const std::string& top
   if (cluster_gate_ != nullptr) {
     // Same reject count the per-record loop would produce (the gate's
     // answer is stable within a call: cluster state moves only on ticks),
-    // decided once instead of n times.
-    Status admitted = cluster_gate_->AdmitProduce(topic, partition);
+    // decided once instead of n times. A batched produce is one network
+    // request, so a lossy link drops it with one decision too — the
+    // identity covers the whole batch (partition, size, first row).
+    Status admitted = cluster_gate_->AdmitProduceRequest(
+        topic, partition,
+        MixRequestId(static_cast<std::uint64_t>(partition) ^
+                     (static_cast<std::uint64_t>(n) << 40) ^
+                     static_cast<std::uint64_t>(batch.event_time(0).nanos())));
     if (!admitted.ok()) {
       res.rejected = n;
       res.unavailable = n;
@@ -675,7 +695,10 @@ Expected<std::vector<StoredRecord>> Broker::Fetch(const std::string& topic,
                               topic + "'");
   }
   if (cluster_gate_ != nullptr) {
-    Status admitted = cluster_gate_->AdmitFetch(topic, partition);
+    Status admitted = cluster_gate_->AdmitFetchRequest(
+        topic, partition,
+        MixRequestId(static_cast<std::uint64_t>(from) ^
+                     (static_cast<std::uint64_t>(partition) << 48)));
     if (!admitted.ok()) return admitted;
   }
   if (fault_ != nullptr) {
@@ -704,7 +727,13 @@ Expected<RecordBatch> Broker::FetchBatch(const std::string& topic, PartitionId p
                               topic + "'");
   }
   if (cluster_gate_ != nullptr) {
-    Status admitted = cluster_gate_->AdmitFetch(topic, partition);
+    // Same identity as the Fetch shape for the same (partition, from):
+    // whichever fetch path the consumer uses, a lossy link makes the same
+    // drop decision.
+    Status admitted = cluster_gate_->AdmitFetchRequest(
+        topic, partition,
+        MixRequestId(static_cast<std::uint64_t>(from) ^
+                     (static_cast<std::uint64_t>(partition) << 48)));
     if (!admitted.ok()) return admitted;
   }
   if (fault_ != nullptr) {
@@ -735,7 +764,11 @@ Expected<QueryResult> Broker::QueryRange(const std::string& topic, PartitionId p
                               topic + "'");
   }
   if (cluster_gate_ != nullptr) {
-    Status admitted = cluster_gate_->AdmitFetch(topic, partition);
+    Status admitted = cluster_gate_->AdmitFetchRequest(
+        topic, partition,
+        MixRequestId(static_cast<std::uint64_t>(lo) ^
+                     (static_cast<std::uint64_t>(hi) << 24) ^
+                     (static_cast<std::uint64_t>(partition) << 56)));
     if (!admitted.ok()) return admitted;
   }
   // Deliberately no fault-injector draw: historical queries consume no
@@ -756,7 +789,11 @@ Expected<QueryResult> Broker::QueryTime(const std::string& topic, PartitionId pa
                               topic + "'");
   }
   if (cluster_gate_ != nullptr) {
-    Status admitted = cluster_gate_->AdmitFetch(topic, partition);
+    Status admitted = cluster_gate_->AdmitFetchRequest(
+        topic, partition,
+        MixRequestId(static_cast<std::uint64_t>(t_lo.nanos()) ^
+                     (static_cast<std::uint64_t>(t_hi.nanos()) << 1) ^
+                     (static_cast<std::uint64_t>(partition) << 56)));
     if (!admitted.ok()) return admitted;
   }
   QueryResult res = stream::QueryTime((*t)->partition(partition), t_lo, t_hi,
@@ -774,7 +811,10 @@ Expected<Offset> Broker::OffsetForTimestamp(const std::string& topic,
                               topic + "'");
   }
   if (cluster_gate_ != nullptr) {
-    Status admitted = cluster_gate_->AdmitFetch(topic, partition);
+    Status admitted = cluster_gate_->AdmitFetchRequest(
+        topic, partition,
+        MixRequestId(static_cast<std::uint64_t>(t.nanos()) ^
+                     (static_cast<std::uint64_t>(partition) << 56)));
     if (!admitted.ok()) return admitted;
   }
   return stream::OffsetForTimestamp((*topic_it)->partition(partition), t);

@@ -52,6 +52,33 @@ class ClusterGate {
   // or on the fenced minority side of a network split.
   virtual Status AdmitProduce(const std::string& topic, PartitionId partition) = 0;
   virtual Status AdmitFetch(const std::string& topic, PartitionId partition) = 0;
+
+  // Identity-bearing admission (ISSUE 10 gray failures). `request_id` is a
+  // stable hash of the request's content, which lets a lossy-link gate
+  // drop individual requests by pure seeded hash — no RNG stream, so the
+  // decision is independent of worker interleaving. The defaults forward
+  // to the identity-free methods: gates that predate gray failures (and
+  // clusters with no lossy fault armed) behave exactly as before.
+  virtual Status AdmitProduceRequest(const std::string& topic, PartitionId partition,
+                                     std::uint64_t request_id) {
+    (void)request_id;
+    return AdmitProduce(topic, partition);
+  }
+  virtual Status AdmitFetchRequest(const std::string& topic, PartitionId partition,
+                                   std::uint64_t request_id) {
+    (void)request_id;
+    return AdmitFetch(topic, partition);
+  }
+
+  // Modeled cost of one admitted operation against this partition's
+  // leader broker — what deadline-aware callers charge their budget per
+  // produce/fetch/query. Zero by default (and for non-cluster gates), so
+  // deadline accounting is a no-op unless the cluster models latency.
+  virtual Duration OpCost(const std::string& topic, PartitionId partition) {
+    (void)topic;
+    (void)partition;
+    return Duration::Zero();
+  }
 };
 
 struct TopicConfig {

@@ -1,0 +1,87 @@
+// Soak-labeled brownout churn suite (ctest -L soak): 100 seeded
+// brownout schedules — slow brokers, lossy links, sometimes an
+// overlapping fail-stop kill, sometimes an injected gray fault plan on
+// top — with hedging and health-driven demotion seed-varied on and off.
+// Frames run with an unlimited budget (Zero) so the committed workload
+// is schedule-independent and the exactly-once audits must hold exactly:
+// zero committed loss, zero log duplicates, zero duplicate delivery,
+// zero gaps, controller replay == live state, no wedge.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "scenarios/brownout.h"
+
+namespace arbd {
+namespace {
+
+class BrownoutChurn : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BrownoutChurn, GrayFailuresStayExactlyOnce) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed ^ 0xb407'7e12'5eedULL);
+
+  scenarios::BrownoutSoakConfig cfg;
+  cfg.seed = seed;
+  cfg.brokers = static_cast<std::uint32_t>(2 + rng.NextBelow(7));  // 2..8
+  cfg.partitions = static_cast<std::uint32_t>(4 + rng.NextBelow(9));
+  cfg.replication_factor = static_cast<std::uint32_t>(2 + rng.NextBelow(3));
+  cfg.consumers = static_cast<std::uint32_t>(2 + rng.NextBelow(4));
+  cfg.fleet.users = 1200;
+  cfg.fleet.hotspots = 32;
+  cfg.fleet.ticks = 10;
+  cfg.fleet.peak_events_per_tick = 50;
+  cfg.fleet.seed = seed * 31 + 7;
+  cfg.frame_budget = Duration::Zero();  // lossless regime: audits must be exact
+
+  // Every schedule browns out at least one broker; the victim, depth and
+  // window vary by seed.
+  cfg.slow_at_tick = 1 + rng.NextBelow(4);
+  cfg.slow_broker = static_cast<cluster::BrokerId>(rng.NextBelow(cfg.brokers));
+  cfg.slow_factor = 2.0 + static_cast<double>(rng.NextBelow(15));  // 2..16x
+  cfg.slow_ticks = 4 + rng.NextBelow(20);
+  if (rng.Bernoulli(0.6)) {
+    cfg.lossy_at_tick = 1 + rng.NextBelow(6);
+    cfg.lossy_broker = static_cast<cluster::BrokerId>(rng.NextBelow(cfg.brokers));
+    cfg.lossy_drop_p = 0.1 + 0.05 * static_cast<double>(rng.NextBelow(8));
+    cfg.lossy_ticks = 2 + rng.NextBelow(8);
+  }
+  // Sometimes a fail-stop kill lands mid-brownout: the E27 overlap regime.
+  if (rng.Bernoulli(0.4)) {
+    cfg.kill_at_tick = 2 + rng.NextBelow(6);
+    cfg.kill_broker = static_cast<cluster::BrokerId>(rng.NextBelow(cfg.brokers));
+    cfg.restore_ticks = 3 + rng.NextBelow(6);
+  }
+  // Sometimes an injected gray plan fires on top of the explicit schedule.
+  if (rng.Bernoulli(0.25)) {
+    cfg.fault_spec = "slowbroker@p=0.08,x=6,ms=4;lossylink@p=0.05,x=0.3,ms=3";
+    cfg.fault_seed = seed + 1;
+  }
+  // Hedging and health demotion seed-varied on/off: the audits must hold
+  // in every quadrant.
+  cfg.hedge.enabled = rng.Bernoulli(0.5);
+  cfg.health.enabled = rng.Bernoulli(0.5);
+
+  auto report = scenarios::RunBrownoutSoak(cfg);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  EXPECT_FALSE(report->wedged) << "brokers=" << cfg.brokers;
+  EXPECT_EQ(report->committed_loss, 0u) << "acked records lost";
+  EXPECT_EQ(report->log_duplicates, 0u) << "idempotent produce double-appended";
+  EXPECT_EQ(report->delivered_duplicates, 0u)
+      << "fenced commits still double-delivered";
+  EXPECT_EQ(report->delivery_gaps, 0u) << "committed records never delivered";
+  EXPECT_TRUE(report->controller_consistent)
+      << "metadata replay digest " << report->controller_replay_digest
+      << " != live digest " << report->controller_state_digest;
+  // With an unlimited budget nothing may be deadline-dropped.
+  EXPECT_EQ(report->deadline_misses, 0u);
+  // The brownout actually happened.
+  EXPECT_GT(report->cluster.slow_brownouts, 0u);
+  if (cfg.kill_at_tick != 0) EXPECT_GT(report->cluster.kills, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(HundredSeeds, BrownoutChurn,
+                         ::testing::Range<std::uint64_t>(1, 101));
+
+}  // namespace
+}  // namespace arbd

@@ -193,6 +193,99 @@ TEST(RetryPolicy, JitterStaysBoundedAndNonNegative) {
   }
 }
 
+// --- Budget-aware backoff (ISSUE 10 deadline propagation) ---------------
+
+TEST(RetryPolicy, BudgetBackoffClampsToRemainingBudget) {
+  fault::RetryPolicy policy;
+  policy.base_backoff = Duration::Millis(10);
+  policy.multiplier = 2.0;
+  policy.jitter = 0.0;
+  policy.max_backoff = Duration::Seconds(1);
+  Rng rng(1);
+  Deadline d = Deadline::WithBudget(Duration::Millis(15));
+  // Sampled backoff for retry 2 is 20ms; only 15ms remain in the frame.
+  EXPECT_EQ(policy.BackoffForBudget(2, rng, d).millis(), 15);
+  // Spend the budget down: the clamp follows the remaining budget, not
+  // the original one.
+  d.Charge(Duration::Millis(12));
+  EXPECT_EQ(policy.BackoffForBudget(2, rng, d).millis(), 3);
+}
+
+TEST(RetryPolicy, BudgetBackoffIsBitIdenticalWithUnlimitedDeadline) {
+  // The passthrough half of the contract: with a default (unlimited)
+  // Deadline, BackoffForBudget must return BackoffFor's exact value AND
+  // consume exactly the same randomness, so threading a deadline through
+  // an existing retry loop cannot shift any seeded schedule.
+  fault::RetryPolicy policy;
+  policy.jitter = 0.35;
+  Rng a(99), b(99);
+  const Deadline unlimited;
+  for (std::size_t retry = 0; retry < 20; ++retry) {
+    EXPECT_EQ(policy.BackoffFor(retry, a).nanos(),
+              policy.BackoffForBudget(retry, b, unlimited).nanos())
+        << retry;
+  }
+  // Same post-loop RNG state: the two streams stay in lockstep.
+  EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RetryPolicy, BudgetBackoffExhaustedDeadlineSleepsZeroButDrawsOnce) {
+  fault::RetryPolicy policy;
+  policy.jitter = 0.5;
+  Deadline d = Deadline::WithBudget(Duration::Zero());
+  ASSERT_TRUE(d.expired());
+  Rng a(7), b(7);
+  // Zero sleep — a retry loop about to short-circuit must not stall...
+  EXPECT_EQ(policy.BackoffForBudget(3, a, d).nanos(), 0);
+  // ...but the jitter draw still happened (schedule parity with the
+  // unclamped path).
+  (void)policy.BackoffFor(3, b);
+  EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RetryPolicy, BudgetBackoffSurvivesIssue5Edges) {
+  // The ISSUE 5 regressions must hold through the budget path too:
+  // max_attempts == 0 still means zero retries, and an absurd retry
+  // number stays capped and finite before the clamp is even applied.
+  fault::RetryPolicy policy;
+  policy.max_attempts = 0;
+  EXPECT_EQ(policy.MaxRetries(), 0u);
+  policy.base_backoff = Duration::Millis(10);
+  policy.multiplier = 2.0;
+  policy.jitter = 0.0;
+  policy.max_backoff = Duration::Seconds(1);
+  Rng rng(1);
+  const Deadline roomy = Deadline::WithBudget(Duration::Seconds(30));
+  EXPECT_EQ(policy.BackoffForBudget(std::size_t{1} << 62, rng, roomy).nanos(),
+            policy.max_backoff.nanos());
+  const Deadline tight = Deadline::WithBudget(Duration::Millis(2));
+  EXPECT_EQ(policy.BackoffForBudget(std::size_t{1} << 62, rng, tight).millis(), 2);
+}
+
+TEST(Deadline, BudgetAccounting) {
+  Deadline d = Deadline::WithBudget(Duration::Millis(10));
+  EXPECT_TRUE(d.limited());
+  EXPECT_FALSE(d.expired());
+  d.Charge(Duration::Millis(4));
+  EXPECT_EQ(d.remaining().millis(), 6);
+  EXPECT_EQ(d.spent().millis(), 4);
+  d.Charge(Duration::Millis(100));  // saturates, never negative
+  EXPECT_TRUE(d.expired());
+  EXPECT_EQ(d.remaining().nanos(), 0);
+  EXPECT_EQ(d.spent().millis(), 104);  // spent() keeps the true tally
+
+  Deadline unlimited;
+  unlimited.Charge(Duration::Seconds(1000));
+  EXPECT_FALSE(unlimited.expired());
+  EXPECT_EQ(unlimited.remaining().nanos(), Duration::Max().nanos());
+  EXPECT_EQ(unlimited.spent().seconds(), 1000.0);
+
+  // Negative charges clamp to zero (a modeled cost can never refund).
+  Deadline d2 = Deadline::WithBudget(Duration::Millis(5));
+  d2.Charge(Duration::Millis(-3));
+  EXPECT_EQ(d2.remaining().millis(), 5);
+}
+
 // --- Negative-duration regression (network jitter) ---------------------
 
 TEST(NetworkModel, NoNegativeSamplesWhenJitterExceedsRtt) {

@@ -306,6 +306,65 @@ TEST(Ladder, ShedFrameWorkCountsAsViolation) {
   EXPECT_EQ(ladder.level(), 1);
 }
 
+// --- Slow-success (gray failure) regression --------------------------------
+
+TEST(Breaker, SustainedSlowSuccessesTripTheBreaker) {
+  // Regression (ISSUE 10): a browned-out backend answers every request
+  // "successfully" but over the caller's deadline. Before the latency-
+  // aware success report the breaker only ever saw RecordSuccess() and
+  // stayed closed forever, pinning the offload path to the slow cloud.
+  BreakerConfig cfg;
+  cfg.slow_success_threshold = Duration::Millis(10);
+  CircuitBreaker b(cfg, 7);
+  for (std::size_t i = 0; i < cfg.failure_threshold; ++i) {
+    EXPECT_TRUE(b.Allow());
+    b.RecordSuccess(Duration::Millis(25));  // success, but 2.5x the deadline
+  }
+  EXPECT_EQ(b.state(), BreakerState::kOpen);
+  EXPECT_EQ(b.slow_successes(), cfg.failure_threshold);
+}
+
+TEST(Breaker, HalfOpenProbeSucceedingSlowlyReopens) {
+  // The sharper half of the regression: a half-open breaker's probe that
+  // "succeeds" past the deadline must count as a failed probe and re-open
+  // the circuit — otherwise close_successes slow probes close it and the
+  // caller is fed the browned-out path again.
+  BreakerConfig cfg;
+  cfg.slow_success_threshold = Duration::Millis(10);
+  cfg.probe_interval = 4;
+  CircuitBreaker b(cfg, 7);
+  for (std::size_t i = 0; i < cfg.failure_threshold; ++i) {
+    b.Allow();
+    b.RecordFailure();
+  }
+  ASSERT_EQ(b.state(), BreakerState::kOpen);
+  // Ride out the cooldown to the first allowed probe.
+  bool probed = false;
+  for (std::size_t i = 0; i < cfg.open_decisions + cfg.probe_interval + 1; ++i) {
+    if (b.Allow()) {
+      probed = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(probed);
+  ASSERT_EQ(b.state(), BreakerState::kHalfOpen);
+  b.RecordSuccess(Duration::Millis(25));  // slow probe "success"
+  EXPECT_EQ(b.state(), BreakerState::kOpen) << "slow probe must not count as recovery";
+  EXPECT_EQ(b.opens(), 2u);
+}
+
+TEST(Breaker, ZeroThresholdKeepsLatencyBlindSemantics) {
+  // Threshold zero (the default) must be exactly the old RecordSuccess():
+  // arbitrarily slow successes keep the breaker closed.
+  CircuitBreaker b({}, 7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(b.Allow());
+    b.RecordSuccess(Duration::Seconds(10));
+  }
+  EXPECT_EQ(b.state(), BreakerState::kClosed);
+  EXPECT_EQ(b.slow_successes(), 0u);
+}
+
 // --- Breaker wiring into the offload scheduler -----------------------------
 
 TEST(SchedulerBreaker, OutageShortCircuitsToLocalInsteadOfRetryStorm) {
@@ -343,6 +402,34 @@ TEST(SchedulerBreaker, OutageShortCircuitsToLocalInsteadOfRetryStorm) {
   EXPECT_LT(sched.retry_count(),
             50 * static_cast<std::uint64_t>(sched.retry_policy().max_attempts - 1));
   EXPECT_GT(fell_back, 0u);
+}
+
+TEST(SchedulerBreaker, BrownedOutCloudShortCircuitsViaSlowSuccesses) {
+  // No injected failures at all — the cloud path "works", it is just far
+  // over the frame deadline (a 60 ms RTT against a 10 ms slow-success
+  // threshold). The scheduler's latency-aware outcome report must trip
+  // the breaker and pin execution local.
+  offload::NetworkConfig net_cfg;
+  net_cfg.rtt = Duration::Millis(60);
+  net_cfg.rtt_jitter = Duration::Millis(0);
+  net_cfg.loss_rate = 0.0;
+  offload::NetworkModel net(net_cfg, 11);
+  offload::OffloadScheduler sched(offload::OffloadPolicy::kCloudOnly,
+                                  offload::DeviceModel{}, offload::CloudModel{}, net);
+  BreakerConfig bc;
+  bc.slow_success_threshold = Duration::Millis(10);
+  CircuitBreaker breaker(bc, 13);
+  sched.set_circuit_breaker(&breaker);
+
+  const offload::ComputeTask task{"t", 10.0, 1024, 256, true};
+  std::uint64_t short_circuited = 0;
+  for (int i = 0; i < 50; ++i) {
+    const auto out = sched.Run(task);
+    short_circuited += out.short_circuited ? 1 : 0;
+  }
+  EXPECT_GT(breaker.slow_successes(), 0u);
+  EXPECT_GT(breaker.opens(), 0u);
+  EXPECT_GT(short_circuited, 0u);
 }
 
 // --- Overload harness ------------------------------------------------------
